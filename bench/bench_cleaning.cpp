@@ -1,0 +1,57 @@
+// Experiment E2 (paper: data cleaning by integrity-constraint
+// enforcement).
+//
+// "The second part of the experiments showed how data cleaning procedures
+//  can be used in MayBMS. We cleaned the world-set from inconsistencies
+//  by enforcing real-life integrity constraints."
+//
+// For each constraint class (domain, conditional domain, key, functional
+// dependency) and noise degree, reports enforcement time, the probability
+// mass of removed (inconsistent) worlds, deleted component rows, and the
+// world count before/after.
+#include "bench/bench_util.h"
+#include "chase/enforce.h"
+#include "gen/workload.h"
+
+using namespace maybms;
+using namespace maybms::bench;
+
+int main() {
+  size_t records = Scaled(20000);
+  printf("E2 cleaning: constraint enforcement on the noisy census "
+         "(%zu records)\n\n",
+         records);
+
+  // 0.5% (5x the paper's densest degree) is included deliberately: exact
+  // FD conditioning hits the correlation budget there — an honest
+  // breakdown point of the representation (see EXPERIMENTS.md).
+  for (double noise : {0.0005, 0.001, 0.002, 0.005}) {
+    WsdDb db = BuildNoisyCensus(records, noise, /*seed=*/2);
+    printf("noise degree %.2f%% (2^%.0f worlds before cleaning)\n",
+           noise * 100, db.Log2WorldCount());
+    Table table({"constraint", "time(s)", "removed mass", "rows deleted",
+                 "pairs checked", "log2 worlds after"});
+    for (const auto& c : CensusConstraints()) {
+      Timer t;
+      auto stats = Enforce(&db, c);
+      double secs = t.Seconds();
+      if (!stats.ok()) {
+        table.AddRow({c.ToString(), StrFormat("%.3f", secs),
+                      stats.status().ToString(), "-", "-", "-"});
+        continue;
+      }
+      table.AddRow({c.ToString(), StrFormat("%.3f", secs),
+                    StrFormat("%.4g", stats->removed_mass),
+                    StrFormat("%zu", stats->rows_removed),
+                    StrFormat("%zu", stats->pairs_checked),
+                    StrFormat("%.0f", stats->log2_worlds_after)});
+    }
+    table.Print();
+    printf("\n");
+  }
+  printf("shape check vs paper: cleaning time is dominated by a single\n"
+         "scan per constraint (plus candidate-pair hashing for keys/FDs);\n"
+         "conditioning removes inconsistent worlds and renormalizes the\n"
+         "distribution without materializing any world.\n");
+  return 0;
+}

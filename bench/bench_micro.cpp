@@ -1,0 +1,189 @@
+// Experiment E8: operator micro-benchmarks (google-benchmark).
+//
+// Measures the primitive operations behind the experiment numbers: value
+// comparison/hashing, expression evaluation, component product and dedup,
+// lifted vs conventional selection per tuple, existence probability, and
+// confidence computation on the paper's running example.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/confidence.h"
+#include "core/lifted_executor.h"
+#include "core/normalize.h"
+#include "ra/executor.h"
+#include "worlds/enumerate.h"
+
+using namespace maybms;
+using namespace maybms::bench;
+
+namespace {
+
+WsdDb MedicalExample() {
+  WsdDb db;
+  Schema schema({{"Diagnosis", ValueType::kString},
+                 {"Test", ValueType::kString},
+                 {"Symptom", ValueType::kString}});
+  Status st = db.CreateRelation("R", schema);
+  MAYBMS_CHECK(st.ok());
+  auto r1 = InsertTuple(
+      &db, "R",
+      {CellSpec::Pending(), CellSpec::Pending(),
+       CellSpec::OrSet({{Value::String("weight gain"), 0.7},
+                        {Value::String("fatigue"), 0.3}})});
+  MAYBMS_CHECK(r1.ok());
+  auto c1 = AddJointComponent(
+      &db, {{*r1, "Diagnosis"}, {*r1, "Test"}},
+      {{{Value::String("pregnancy"), Value::String("ultrasound")}, 0.4},
+       {{Value::String("hypothyroidism"), Value::String("TSH")}, 0.6}});
+  MAYBMS_CHECK(c1.ok());
+  auto r2 = InsertTuple(&db, "R",
+                        {CellSpec::Certain(Value::String("obesity")),
+                         CellSpec::Certain(Value::String("BMI")),
+                         CellSpec::Certain(Value::String("weight gain"))});
+  MAYBMS_CHECK(r2.ok());
+  return db;
+}
+
+void BM_ValueCompareInt(benchmark::State& state) {
+  Value a = Value::Int(42), b = Value::Int(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Compare(b));
+  }
+}
+BENCHMARK(BM_ValueCompareInt);
+
+void BM_ValueHashString(benchmark::State& state) {
+  Value v = Value::String("hypothyroidism");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Hash());
+  }
+}
+BENCHMARK(BM_ValueHashString);
+
+void BM_ExprEvalConjunction(benchmark::State& state) {
+  Schema s({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+  auto pred = Expr::And(
+      Expr::Compare(CompareOp::kGe, Expr::Column("a"),
+                    Expr::Const(Value::Int(10))),
+      Expr::Compare(CompareOp::kLt, Expr::Column("b"),
+                    Expr::Const(Value::Int(100))));
+  auto bound = pred->BindAgainst(s);
+  MAYBMS_CHECK(bound.ok());
+  Tuple t{Value::Int(50), Value::Int(50)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalPredicate(**bound, t));
+  }
+}
+BENCHMARK(BM_ExprEvalConjunction);
+
+void BM_ComponentProduct(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  Component a, b;
+  a.AddSlot({1, "x"}, Value::Null());
+  b.AddSlot({2, "y"}, Value::Null());
+  for (size_t i = 0; i < rows; ++i) {
+    Status st = a.AddRow({{Value::Int(static_cast<int64_t>(i))},
+                          1.0 / static_cast<double>(rows)});
+    MAYBMS_CHECK(st.ok());
+    st = b.AddRow({{Value::Int(static_cast<int64_t>(i))},
+                   1.0 / static_cast<double>(rows)});
+    MAYBMS_CHECK(st.ok());
+  }
+  for (auto _ : state) {
+    auto p = Component::Product(a, b, 1u << 22);
+    MAYBMS_CHECK(p.ok());
+    benchmark::DoNotOptimize(p->NumRows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows * rows));
+}
+BENCHMARK(BM_ComponentProduct)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_LiftedSelectPerTuple(benchmark::State& state) {
+  size_t records = 2000;
+  double noise = static_cast<double>(state.range(0)) / 10000.0;
+  WsdDb base = BuildNoisyCensus(records, noise, /*seed=*/21);
+  auto plan = Plan::Select(Plan::Scan("census"),
+                           Expr::Compare(CompareOp::kGe, Expr::Column("AGE"),
+                                         Expr::Const(Value::Int(65))));
+  for (auto _ : state) {
+    auto result = ExecuteLifted(plan, base);
+    MAYBMS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->NumLiveComponents());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records));
+}
+BENCHMARK(BM_LiftedSelectPerTuple)->Arg(0)->Arg(10)->Arg(100);
+
+void BM_ConventionalSelectPerTuple(benchmark::State& state) {
+  size_t records = 2000;
+  Catalog cat;
+  Status st = cat.Create(GenerateCensus({records, 21}));
+  MAYBMS_CHECK(st.ok());
+  auto plan = Plan::Select(Plan::Scan("census"),
+                           Expr::Compare(CompareOp::kGe, Expr::Column("AGE"),
+                                         Expr::Const(Value::Int(65))));
+  for (auto _ : state) {
+    auto result = Execute(plan, cat);
+    MAYBMS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->NumRows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records));
+}
+BENCHMARK(BM_ConventionalSelectPerTuple);
+
+void BM_Normalize(benchmark::State& state) {
+  WsdDb base = BuildNoisyCensus(5000, 0.001, /*seed=*/22);
+  for (auto _ : state) {
+    WsdDb db = base;
+    auto stats = Normalize(&db);
+    MAYBMS_CHECK(stats.ok());
+    benchmark::DoNotOptimize(stats->iterations);
+  }
+}
+BENCHMARK(BM_Normalize);
+
+void BM_ExistenceProbability(benchmark::State& state) {
+  WsdDb db = MedicalExample();
+  const WsdRelation* rel = db.GetRelation("R").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.ExistenceProbability(rel->tuple(0)));
+  }
+}
+BENCHMARK(BM_ExistenceProbability);
+
+void BM_ConfMedicalExample(benchmark::State& state) {
+  WsdDb db = MedicalExample();
+  for (auto _ : state) {
+    auto conf = ConfTable(db, "R");
+    MAYBMS_CHECK(conf.ok());
+    benchmark::DoNotOptimize(conf->NumRows());
+  }
+}
+BENCHMARK(BM_ConfMedicalExample);
+
+void BM_EnumerateWorlds(benchmark::State& state) {
+  // World count = 2^range or-sets.
+  size_t cells = static_cast<size_t>(state.range(0));
+  WsdDb db;
+  Status st = db.CreateRelation("r", Schema({{"x", ValueType::kInt}}));
+  MAYBMS_CHECK(st.ok());
+  for (size_t i = 0; i < cells; ++i) {
+    auto h = InsertTuple(
+        &db, "r",
+        {CellSpec::OrSet({{Value::Int(0), 0.5}, {Value::Int(1), 0.5}})});
+    MAYBMS_CHECK(h.ok());
+  }
+  for (auto _ : state) {
+    auto worlds = EnumerateWorlds(db, 1u << 20);
+    MAYBMS_CHECK(worlds.ok());
+    benchmark::DoNotOptimize(worlds->size());
+  }
+}
+BENCHMARK(BM_EnumerateWorlds)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+// Experiment E7 (ablation): what each normalization step contributes.
+//
+// The paper's Section 2 walks through normalization after a selection
+// (⊥ propagation, dropping components of deleted tuples, inlining fields
+// that became certain). This ablation quantifies each step: starting from
+// the same denormalized state (a selection's raw ⊥ markings plus merged
+// components), it toggles the steps individually and reports the size of
+// the resulting representation and the time spent.
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/factorize.h"
+#include "core/lifted_internal.h"
+#include "core/normalize.h"
+#include "ra/expr.h"
+
+using namespace maybms;
+using namespace maybms::bench;
+
+namespace {
+
+// Builds the denormalized input: census with heavy or-set noise focused
+// on AGE and INCTOT, pairwise component merges (as a conjunctive
+// selection produces), and the raw ⊥ markings of a selection over both
+// attributes — the state right after the paper's selection step, before
+// normalization.
+WsdDb DenormalizedInput(size_t records) {
+  Catalog cat;
+  Status st = cat.Create(GenerateCensus({records, 11}));
+  MAYBMS_CHECK(st.ok());
+  WsdDb db = FromCatalog(cat);
+  NoiseOptions opt;
+  opt.cell_fraction = 0.10;   // of the two targeted columns
+  opt.columns = {1, 17};      // AGE, INCTOT
+  opt.seed = 12;
+  auto ns = ApplyOrSetNoise(&db, "census", opt);
+  MAYBMS_CHECK(ns.ok()) << ns.status().ToString();
+  // Merge component pairs (multi-attribute selections do this).
+  auto live = db.LiveComponents();
+  std::vector<std::vector<ComponentId>> groups;
+  for (size_t i = 0; i + 1 < live.size(); i += 2) {
+    groups.push_back({live[i], live[i + 1]});
+  }
+  auto merged = db.MergeComponentGroups(groups, 1u << 20);
+  MAYBMS_CHECK(merged.ok());
+  // Raw selection over both noisy attributes: marks ⊥, no normalization.
+  auto pred = Expr::And(
+      Expr::Compare(CompareOp::kLt, Expr::Column("AGE"),
+                    Expr::Const(Value::Int(65))),
+      Expr::Compare(CompareOp::kLt, Expr::Column("INCTOT"),
+                    Expr::Const(Value::Int(50000))));
+  auto bound = pred->BindAgainst(
+      db.GetRelation("census").value()->schema());
+  MAYBMS_CHECK(bound.ok());
+  st = lifted_internal::FilterRelationInPlace(&db, "census", *bound);
+  MAYBMS_CHECK(st.ok()) << st.ToString();
+  // Simulate conditioning (as cleaning does): in every third component,
+  // keep only the rows agreeing with row 0 on slot 0 and renormalize.
+  // That slot becomes certain — the state that inlining reclaims.
+  size_t k = 0;
+  for (ComponentId id : db.LiveComponents()) {
+    if (++k % 3 != 0) continue;
+    Component& c = db.mutable_component(id);
+    if (c.NumRows() < 2 || c.NumSlots() == 0) continue;
+    Value keep = c.row(0).values[0];
+    if (keep.is_bottom()) continue;
+    Component rebuilt;
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      rebuilt.AddSlot(c.slot(s), Value::Null());
+    }
+    for (size_t r = 0; r < c.NumRows(); ++r) {
+      if (c.row(r).values[0] == keep) {
+        Status add = rebuilt.AddRow(c.row(r));
+        MAYBMS_CHECK(add.ok());
+      }
+    }
+    if (rebuilt.NumRows() == 0 || rebuilt.NumRows() == c.NumRows()) continue;
+    Status rn = rebuilt.Renormalize();
+    if (!rn.ok()) continue;
+    c = std::move(rebuilt);
+  }
+  return db;
+}
+
+struct Variant {
+  const char* name;
+  NormalizeOptions options;
+};
+
+}  // namespace
+
+int main() {
+  size_t records = Scaled(20000);
+  printf("E7 normalization ablation (census %zu records, raw σ markings "
+         "+ pairwise merges)\n\n",
+         records);
+
+  NormalizeOptions all;
+  NormalizeOptions none;
+  none.propagate_bottom = none.remove_dead_tuples = none.gc_slots =
+      none.dedup_rows = none.inline_certain = false;
+
+  std::vector<Variant> variants;
+  variants.push_back({"all steps", all});
+  {
+    NormalizeOptions o = all;
+    o.propagate_bottom = false;
+    variants.push_back({"- bottom propagation", o});
+  }
+  {
+    NormalizeOptions o = all;
+    o.remove_dead_tuples = false;
+    variants.push_back({"- dead tuple removal", o});
+  }
+  {
+    NormalizeOptions o = all;
+    o.gc_slots = false;
+    variants.push_back({"- slot GC", o});
+  }
+  {
+    NormalizeOptions o = all;
+    o.dedup_rows = false;
+    variants.push_back({"- row dedup", o});
+  }
+  {
+    NormalizeOptions o = all;
+    o.inline_certain = false;
+    variants.push_back({"- certain inlining", o});
+  }
+
+  WsdDb base = DenormalizedInput(records);
+  uint64_t before_bytes = base.SerializedSize();
+  printf("denormalized input: %llu bytes, %zu components, %zu tuple "
+         "templates\n\n",
+         static_cast<unsigned long long>(before_bytes),
+         base.NumLiveComponents(),
+         base.GetRelation("census").value()->NumTuples());
+
+  Table table({"variant", "time(s)", "bytes after", "Δbytes%", "components",
+               "templates", "tuples removed", "cells inlined"});
+  for (const auto& v : variants) {
+    WsdDb db = base;
+    Timer t;
+    auto stats = Normalize(&db, v.options);
+    double secs = t.Seconds();
+    MAYBMS_CHECK(stats.ok()) << stats.status().ToString();
+    uint64_t after = db.SerializedSize();
+    table.AddRow(
+        {v.name, StrFormat("%.3f", secs),
+         StrFormat("%llu", static_cast<unsigned long long>(after)),
+         StrFormat("%+.1f", 100.0 * (static_cast<double>(after) /
+                                         static_cast<double>(before_bytes) -
+                                     1.0)),
+         StrFormat("%zu", db.NumLiveComponents()),
+         StrFormat("%zu", db.GetRelation("census").value()->NumTuples()),
+         StrFormat("%zu", stats->tuples_removed),
+         StrFormat("%zu", stats->cells_inlined)});
+  }
+  table.Print();
+
+  // Factorization as the final ablation: can it re-split the merges?
+  {
+    WsdDb db = base;
+    auto n = Normalize(&db);
+    MAYBMS_CHECK(n.ok());
+    size_t comps_before = db.NumLiveComponents();
+    Timer t;
+    auto stats = Factorize(&db);
+    double secs = t.Seconds();
+    MAYBMS_CHECK(stats.ok());
+    printf("\nfactorization after normalize: %zu -> %zu components "
+           "(%zu split, %zu factors, %.3fs)\n",
+           comps_before, db.NumLiveComponents(), stats->components_split,
+           stats->factors_produced, secs);
+  }
+  printf("\nshape check vs paper: dead-tuple removal + slot GC reclaim the\n"
+         "space of deleted tuples, inlining shrinks components that became\n"
+         "certain, and factorization recovers independence after merges —\n"
+         "together they restore the compact normal form of Section 2.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Experiment E3 (paper: query evaluation on world-sets vs conventional
+// processing).
+//
+// "The performance of query evaluation on incomplete data was compared to
+//  that of conventional query processing (that is, of processing a single
+//  world using standard database techniques). Our results showed that the
+//  processing time on large world-sets is very close to that on a single
+//  world."
+//
+// Runs the six census workload queries conventionally on the clean single
+// world and lifted on the noisy (cleaned) world-set, reporting both times
+// and their ratio. The world-set here has far too many worlds to
+// enumerate — the ratio being a small constant is the reproduction of the
+// paper's claim.
+#include "bench/bench_util.h"
+#include "chase/enforce.h"
+#include "core/lifted_executor.h"
+#include "gen/workload.h"
+#include "ra/executor.h"
+
+using namespace maybms;
+using namespace maybms::bench;
+
+int main() {
+  size_t records = Scaled(20000);
+  double noise = 0.001;
+  printf("E3 queries: lifted evaluation on the world-set vs conventional "
+         "single-world processing\n(census %zu records, %.2f%% noise)\n\n",
+         records, noise * 100);
+
+  Catalog clean;
+  Status st = clean.Create(GenerateCensus({records, 3}));
+  MAYBMS_CHECK(st.ok());
+  st = clean.Create(GenerateStates());
+  MAYBMS_CHECK(st.ok());
+
+  WsdDb db = BuildNoisyCensus(records, noise, /*seed=*/3);
+  // Clean the world-set first (experiment 3 ran on cleaned data).
+  for (const auto& c : CensusConstraints()) {
+    auto stats = Enforce(&db, c);
+    MAYBMS_CHECK(stats.ok()) << c.ToString() << ": "
+                             << stats.status().ToString();
+  }
+  printf("world-set after cleaning: 2^%.0f worlds\n\n", db.Log2WorldCount());
+
+  Table table({"query", "description", "single(s)", "wsd(s)", "ratio",
+               "single rows", "wsd templates"});
+  double total_single = 0, total_wsd = 0;
+  for (const auto& q : CensusQueries()) {
+    Timer t;
+    auto conventional = Execute(q.plan, clean);
+    double t_single = t.Seconds();
+    MAYBMS_CHECK(conventional.ok()) << conventional.status().ToString();
+    t.Reset();
+    auto lifted = ExecuteLifted(q.plan, db);
+    double t_wsd = t.Seconds();
+    MAYBMS_CHECK(lifted.ok()) << q.id << ": " << lifted.status().ToString();
+    total_single += t_single;
+    total_wsd += t_wsd;
+    table.AddRow({q.id, q.description, StrFormat("%.4f", t_single),
+                  StrFormat("%.4f", t_wsd),
+                  StrFormat("%.2fx", t_single > 0 ? t_wsd / t_single : 0.0),
+                  StrFormat("%zu", conventional->NumRows()),
+                  StrFormat("%zu",
+                            lifted->GetRelation("result").value()
+                                ->NumTuples())});
+  }
+  table.Print();
+  printf("\ntotal: single %.3fs, world-set %.3fs (ratio %.2fx over 2^%.0f "
+         "worlds)\n",
+         total_single, total_wsd, total_wsd / total_single,
+         db.Log2WorldCount());
+
+  // Second series: the ratio as a function of the degree of
+  // incompleteness (the paper's experiments sweep the noise degree) — Q1.
+  printf("\nQ1 ratio vs noise degree (world count grows exponentially, the "
+         "ratio stays flat):\n");
+  Table sweep({"noise%", "log2 worlds", "single(s)", "wsd(s)", "ratio"});
+  auto q1 = CensusQueries()[0].plan;
+  for (double n : {0.0, 0.0001, 0.001, 0.005, 0.01}) {
+    WsdDb noisy = BuildNoisyCensus(records, n, /*seed=*/33);
+    Timer t;
+    auto conventional = Execute(q1, clean);
+    double t_single = t.Seconds();
+    MAYBMS_CHECK(conventional.ok());
+    t.Reset();
+    auto lifted = ExecuteLifted(q1, noisy);
+    double t_wsd = t.Seconds();
+    MAYBMS_CHECK(lifted.ok());
+    sweep.AddRow({StrFormat("%.2f", n * 100),
+                  StrFormat("%.0f", noisy.Log2WorldCount()),
+                  StrFormat("%.4f", t_single), StrFormat("%.4f", t_wsd),
+                  StrFormat("%.2fx", t_single > 0 ? t_wsd / t_single : 0.0)});
+  }
+  sweep.Print();
+  printf("\nshape check vs paper: evaluating a query over the entire\n"
+         "world-set costs a small constant factor over one conventional\n"
+         "single-world execution, independent of the number of worlds.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Experiment E6 (paper: succinctness of the decomposition).
+//
+// "WSDs can be exponentially more succinct than the sets of worlds they
+//  represent." This bench makes the exponential separation measurable:
+// the same selection query is evaluated (a) lifted on the WSD and (b) by
+// materializing every world and running the query in each, as the number
+// of or-set cells grows. Enumeration size and time double per cell; the
+// lifted evaluation stays flat.
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/lifted_executor.h"
+#include "ra/executor.h"
+#include "worlds/enumerate.h"
+
+using namespace maybms;
+using namespace maybms::bench;
+
+int main() {
+  printf("E6 succinctness: lifted evaluation vs explicit world "
+         "enumeration\n\n");
+  Table table({"or-set cells", "worlds", "wsd bytes", "worlds bytes",
+               "wsd query(s)", "enum query(s)", "blowup"});
+
+  auto pred = Expr::Compare(CompareOp::kGe, Expr::Column("AGE"),
+                            Expr::Const(Value::Int(65)));
+  auto plan = Plan::Select(Plan::Scan("census"), pred);
+
+  for (size_t cells : {size_t(2), size_t(6), size_t(10), size_t(14),
+                       size_t(16)}) {
+    // A small census so that enumeration stays possible at all.
+    size_t records = 100;
+    Catalog cat;
+    Status st = cat.Create(GenerateCensus({records, 8}));
+    MAYBMS_CHECK(st.ok());
+    WsdDb db = FromCatalog(cat);
+    // Exactly `cells` binary or-sets on AGE cells.
+    Rng rng(9);
+    size_t placed = 0;
+    size_t age_col = 1;
+    while (placed < cells) {
+      size_t row = rng.NextBelow(records);
+      const WsdRelation* rel = db.GetRelation("census").value();
+      if (!rel->tuple(row).cells[age_col].is_certain()) continue;
+      int64_t original =
+          rel->tuple(row).cells[age_col].value().as_int();
+      auto cid = MakeCellUncertain(
+          &db, "census", row, age_col,
+          {{Value::Int(original), 0.5},
+           {Value::Int((original + 30) % 91), 0.5}});
+      MAYBMS_CHECK(cid.ok());
+      ++placed;
+    }
+
+    Timer t;
+    auto lifted = ExecuteLifted(plan, db);
+    double t_wsd = t.Seconds();
+    MAYBMS_CHECK(lifted.ok());
+
+    t.Reset();
+    uint64_t world_bytes = 0;
+    Status st_enum = ForEachWorld(
+        db, 1u << 20, [&](const Catalog& world, double p) -> Status {
+          (void)p;
+          world_bytes += world.SerializedSize();
+          MAYBMS_ASSIGN_OR_RETURN(Relation answer, Execute(plan, world));
+          (void)answer;
+          return Status::OK();
+        });
+    MAYBMS_CHECK(st_enum.ok()) << st_enum.ToString();
+    double t_enum = t.Seconds();
+
+    table.AddRow(
+        {StrFormat("%zu", cells),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(*db.WorldCountIfSmall())),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(db.SerializedSize())),
+         StrFormat("%llu", static_cast<unsigned long long>(world_bytes)),
+         StrFormat("%.4f", t_wsd), StrFormat("%.4f", t_enum),
+         StrFormat("%.0fx", t_enum / std::max(t_wsd, 1e-9))});
+  }
+  table.Print();
+  printf("\nshape check vs paper: per added or-set cell the enumeration\n"
+         "side doubles in size and time while the WSD side is unchanged —\n"
+         "the exponential succinctness gap of the decomposition.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// maybms_shell: an interactive console over the MayBMS query language —
+// the scriptable equivalent of the demo paper's GUI. Reads ';'-terminated
+// statements from stdin and prints world-set answers, probabilistic
+// tables, optimized plans (EXPLAIN) and enumerated worlds (SHOW WORLDS).
+//
+// Run:  ./maybms_shell            (interactive)
+//       ./maybms_shell < script.sql
+//       ./maybms_shell --demo     (pre-loads the paper's medical example)
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include <iostream>
+#include <string>
+
+#include "core/builder.h"
+#include "core/serialize.h"
+#include "sql/session.h"
+
+using namespace maybms;
+
+namespace {
+
+WsdDb DemoDatabase() {
+  WsdDb db;
+  Schema schema({{"Diagnosis", ValueType::kString},
+                 {"Test", ValueType::kString},
+                 {"Symptom", ValueType::kString}});
+  Status st = db.CreateRelation("R", schema);
+  MAYBMS_CHECK(st.ok());
+  auto r1 = InsertTuple(
+      &db, "R",
+      {CellSpec::Pending(), CellSpec::Pending(),
+       CellSpec::OrSet({{Value::String("weight gain"), 0.7},
+                        {Value::String("fatigue"), 0.3}})});
+  MAYBMS_CHECK(r1.ok());
+  auto c1 = AddJointComponent(
+      &db, {{*r1, "Diagnosis"}, {*r1, "Test"}},
+      {{{Value::String("pregnancy"), Value::String("ultrasound")}, 0.4},
+       {{Value::String("hypothyroidism"), Value::String("TSH")}, 0.6}});
+  MAYBMS_CHECK(c1.ok());
+  auto r2 = InsertTuple(&db, "R",
+                        {CellSpec::Certain(Value::String("obesity")),
+                         CellSpec::Certain(Value::String("BMI")),
+                         CellSpec::Certain(Value::String("weight gain"))});
+  MAYBMS_CHECK(r2.ok());
+  return db;
+}
+
+constexpr const char* kHelp = R"(statements:
+  CREATE TABLE r (a INT, b STRING, ...);
+  INSERT INTO r VALUES (1, {'x': 0.4, 'y': 0.6});   -- or-set cell
+  SELECT b FROM r WHERE a = 1;                      -- world-set answer
+  SELECT b, PROB() FROM r WHERE a = 1;              -- probabilities
+  POSSIBLE SELECT b FROM r;   CERTAIN SELECT b FROM r;
+  SELECT ECOUNT() FROM r WHERE a = 1;               -- expected count
+  SELECT ESUM(a) FROM r;                            -- expected sum
+  SELECT a FROM r UNION SELECT a FROM s;            -- also EXCEPT
+  REPAIR KEY (a) IN r WEIGHT BY w;                  -- introduce uncertainty
+  ENFORCE CHECK (a >= 0) ON r;                      -- clean by conditioning
+  ENFORCE KEY (a) ON r;   ENFORCE FD a -> b ON r;
+  EXPLAIN SELECT ...;   SHOW TABLES;   SHOW WORLDS;  SHOW RELATION r;
+  DROP TABLE r;
+meta: \h (help)  \q (quit)  \save <file>  \load <file>
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = argc > 1 && strcmp(argv[1], "--demo") == 0;
+  sql::Session session(demo ? DemoDatabase() : WsdDb{});
+  bool tty = isatty(fileno(stdin));
+  if (tty) {
+    printf("MayBMS shell — managing incomplete information with "
+           "probabilistic world-set decompositions\n");
+    if (demo) {
+      printf("(demo database loaded: try  SELECT Test, PROB() FROM R WHERE "
+             "Diagnosis = 'pregnancy';)\n");
+    }
+    printf("type \\h for help, \\q to quit\n");
+  }
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (tty) {
+      printf(buffer.empty() ? "maybms> " : "   ...> ");
+      fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(Trim(line));
+    if (buffer.empty() && (trimmed == "\\q" || trimmed == "quit" ||
+                           trimmed == "exit")) {
+      break;
+    }
+    if (buffer.empty() && trimmed == "\\h") {
+      printf("%s", kHelp);
+      continue;
+    }
+    if (buffer.empty() && StartsWith(trimmed, "\\save ")) {
+      Status st = SaveWsdDb(session.db(),
+                            std::string(Trim(trimmed.substr(6))));
+      printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+      continue;
+    }
+    if (buffer.empty() && StartsWith(trimmed, "\\load ")) {
+      auto loaded = LoadWsdDb(std::string(Trim(trimmed.substr(6))));
+      if (loaded.ok()) {
+        session = sql::Session(std::move(*loaded));
+        printf("loaded\n");
+      } else {
+        printf("%s\n", loaded.status().ToString().c_str());
+      }
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    // Execute once the statement is ';'-terminated.
+    std::string_view t = Trim(buffer);
+    if (t.empty()) {
+      buffer.clear();
+      continue;
+    }
+    if (t.back() != ';') continue;
+    auto results = session.ExecuteScript(buffer);
+    buffer.clear();
+    if (!results.ok()) {
+      printf("error: %s\n", results.status().ToString().c_str());
+      continue;
+    }
+    for (const auto& r : *results) {
+      printf("%s\n", r.ToDisplayString().c_str());
+    }
+  }
+  if (tty) printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "chase/constraint.h"
+
+#include "common/string_util.h"
+
+namespace maybms {
+
+Constraint Constraint::Domain(std::string relation, ExprPtr pred,
+                              std::string name) {
+  Constraint c;
+  c.kind_ = ConstraintKind::kDomain;
+  c.relation_ = std::move(relation);
+  c.pred_ = std::move(pred);
+  c.name_ = name.empty() ? "domain" : std::move(name);
+  return c;
+}
+
+Constraint Constraint::FunctionalDependency(std::string relation,
+                                            std::vector<std::string> lhs,
+                                            std::vector<std::string> rhs,
+                                            std::string name) {
+  Constraint c;
+  c.kind_ = ConstraintKind::kFd;
+  c.relation_ = std::move(relation);
+  c.lhs_ = std::move(lhs);
+  c.rhs_ = std::move(rhs);
+  c.name_ = name.empty() ? "fd" : std::move(name);
+  return c;
+}
+
+Constraint Constraint::Key(std::string relation,
+                           std::vector<std::string> attrs, std::string name) {
+  Constraint c;
+  c.kind_ = ConstraintKind::kKey;
+  c.relation_ = std::move(relation);
+  c.lhs_ = std::move(attrs);
+  c.name_ = name.empty() ? "key" : std::move(name);
+  return c;
+}
+
+std::string Constraint::ToString() const {
+  switch (kind_) {
+    case ConstraintKind::kDomain:
+      return StrFormat("DOMAIN[%s] on %s: %s", name_.c_str(),
+                       relation_.c_str(), pred_->ToString().c_str());
+    case ConstraintKind::kFd:
+      return StrFormat("FD[%s] on %s: %s -> %s", name_.c_str(),
+                       relation_.c_str(), Join(lhs_, ",").c_str(),
+                       Join(rhs_, ",").c_str());
+    case ConstraintKind::kKey:
+      return StrFormat("KEY[%s] on %s: (%s)", name_.c_str(),
+                       relation_.c_str(), Join(lhs_, ",").c_str());
+  }
+  return "?";
+}
+
+}  // namespace maybms

@@ -1,0 +1,65 @@
+// Integrity constraints for data cleaning (the paper's experiment 2:
+// "We cleaned the world-set from inconsistencies by enforcing real-life
+// integrity constraints").
+//
+// Enforcement is *conditioning*: worlds violating a constraint are removed
+// from the world-set and the probabilities of the surviving worlds are
+// renormalized. On the decomposition this amounts to deleting rows from
+// (merged) components and renormalizing their mass.
+#ifndef MAYBMS_CHASE_CONSTRAINT_H_
+#define MAYBMS_CHASE_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "ra/expr.h"
+
+namespace maybms {
+
+enum class ConstraintKind : uint8_t {
+  kDomain,  ///< every existing tuple satisfies a predicate
+  kFd,      ///< functional dependency lhs -> rhs within one relation
+  kKey,     ///< no two distinct tuples agree on the key attributes
+};
+
+/// A declarative constraint over one relation.
+class Constraint {
+ public:
+  /// ∀t ∈ R: pred(t). `pred` uses the relation's attribute names;
+  /// conditional domain constraints are written as implications, e.g.
+  /// NOT(MARST = 1) OR AGE >= 15.
+  static Constraint Domain(std::string relation, ExprPtr pred,
+                           std::string name = "");
+
+  /// ∀t1,t2 ∈ R: t1[lhs] = t2[lhs] ⟹ t1[rhs] = t2[rhs].
+  static Constraint FunctionalDependency(std::string relation,
+                                         std::vector<std::string> lhs,
+                                         std::vector<std::string> rhs,
+                                         std::string name = "");
+
+  /// ∀t1≠t2 ∈ R: t1[attrs] ≠ t2[attrs] (some attribute differs).
+  static Constraint Key(std::string relation, std::vector<std::string> attrs,
+                        std::string name = "");
+
+  ConstraintKind kind() const { return kind_; }
+  const std::string& relation() const { return relation_; }
+  const ExprPtr& predicate() const { return pred_; }
+  const std::vector<std::string>& lhs() const { return lhs_; }
+  const std::vector<std::string>& rhs() const { return rhs_; }
+  /// Human-readable label for reports.
+  const std::string& name() const { return name_; }
+
+  std::string ToString() const;
+
+ private:
+  ConstraintKind kind_ = ConstraintKind::kDomain;
+  std::string relation_;
+  std::string name_;
+  ExprPtr pred_;                  // kDomain
+  std::vector<std::string> lhs_;  // kFd / kKey
+  std::vector<std::string> rhs_;  // kFd
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CHASE_CONSTRAINT_H_

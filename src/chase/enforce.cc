@@ -1,0 +1,426 @@
+#include "chase/enforce.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/lifted_internal.h"
+#include "core/normalize.h"
+
+namespace maybms {
+
+namespace {
+
+using lifted_internal::BottomGatingIndex;
+using lifted_internal::BuildBottomGatingIndex;
+using lifted_internal::CellsPossiblyEqual;
+using lifted_internal::LookupBottomGating;
+using lifted_internal::MergePlanner;
+
+// Accumulates "bad row" verdicts per merged component, then removes them
+// and renormalizes — the conditioning step shared by all constraint kinds.
+class Conditioner {
+ public:
+  explicit Conditioner(WsdDb* db) : db_(db) {}
+
+  void Require(const std::vector<ComponentId>& cids) {
+    planner_.Require(cids);
+  }
+
+  Status ExecuteMerges() { return planner_.Execute(db_); }
+
+  ComponentId Resolve(ComponentId cid) const { return planner_.Resolve(cid); }
+
+  void MarkBad(ComponentId mid, size_t row) {
+    auto& flags = bad_[mid];
+    if (flags.empty()) flags.resize(db_->component(mid).NumRows(), false);
+    flags[row] = true;
+  }
+
+  // Deletes all bad rows, renormalizes, accumulates stats.
+  Status Finish(EnforceStats* stats) {
+    double kept_product = 1.0;
+    for (auto& [mid, flags] : bad_) {
+      Component& c = db_->mutable_component(mid);
+      double kept_mass = 0.0;
+      std::vector<ComponentRow> kept;
+      kept.reserve(c.NumRows());
+      for (size_t r = 0; r < c.NumRows(); ++r) {
+        if (!flags[r]) {
+          kept_mass += c.row(r).prob;
+          kept.push_back(std::move(c.mutable_row(r)));
+        } else {
+          stats->rows_removed++;
+        }
+      }
+      if (kept.empty() || kept_mass <= 0.0) {
+        return Status::Inconsistent(
+            "constraint removes every world (component " +
+            std::to_string(mid) + ")");
+      }
+      kept_product *= kept_mass;
+      Component rebuilt;
+      for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+        rebuilt.AddSlot(c.slot(s), Value::Null());
+      }
+      for (auto& row : kept) {
+        MAYBMS_RETURN_IF_ERROR(rebuilt.AddRow(std::move(row)));
+      }
+      MAYBMS_RETURN_IF_ERROR(rebuilt.Renormalize());
+      c = std::move(rebuilt);
+    }
+    stats->removed_mass = 1.0 - kept_product;
+    return Status::OK();
+  }
+
+ private:
+  WsdDb* db_;
+  MergePlanner planner_;
+  std::unordered_map<ComponentId, std::vector<bool>> bad_;
+};
+
+// ---------------------------------------------------------------------------
+// Domain constraints.
+// ---------------------------------------------------------------------------
+
+Status EnforceDomain(WsdDb* db, const Constraint& con, EnforceStats* stats) {
+  MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel,
+                          db->GetRelation(con.relation()));
+  MAYBMS_ASSIGN_OR_RETURN(ExprPtr pred,
+                          con.predicate()->BindAgainst(rel->schema()));
+  std::vector<size_t> cols;
+  pred->CollectColumns(&cols);
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+
+  Conditioner cond(db);
+  BottomGatingIndex gating_index = BuildBottomGatingIndex(*db);
+  // Pass 1: register merges.
+  struct Work {
+    size_t tuple_idx;
+    std::vector<ComponentId> cids;  // empty => fully certain & un-gated
+  };
+  std::vector<Work> work;
+  for (size_t i = 0; i < rel->NumTuples(); ++i) {
+    const WsdTuple& t = rel->tuple(i);
+    stats->tuples_checked++;
+    std::vector<ComponentId> cids;
+    for (size_t c : cols) {
+      if (t.cells[c].is_ref()) cids.push_back(t.cells[c].ref().cid);
+    }
+    for (ComponentId g : LookupBottomGating(gating_index, t.deps)) {
+      cids.push_back(g);
+    }
+    std::sort(cids.begin(), cids.end());
+    cids.erase(std::unique(cids.begin(), cids.end()), cids.end());
+    if (!cids.empty()) {
+      cond.Require(cids);
+      work.push_back({i, std::move(cids)});
+    } else {
+      work.push_back({i, {}});
+    }
+  }
+  MAYBMS_RETURN_IF_ERROR(cond.ExecuteMerges());
+
+  // Pass 2: evaluate.
+  Tuple eval_buf(rel->schema().size(), Value::Null());
+  for (const auto& w : work) {
+    // Re-read the tuple: merges remapped its cells.
+    const WsdTuple& t = rel->tuple(w.tuple_idx);
+    if (w.cids.empty()) {
+      for (size_t c : cols) eval_buf[c] = t.cells[c].value();
+      MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, eval_buf));
+      if (!pass) {
+        return Status::Inconsistent(
+            "certain tuple violates " + con.ToString() +
+            " — no consistent world exists");
+      }
+      continue;
+    }
+    ComponentId mid = cond.Resolve(w.cids[0]);
+    const Component& m = db->component(mid);
+    // Gating slots of this tuple inside m.
+    std::vector<uint32_t> gating;
+    for (uint32_t s = 0; s < m.NumSlots(); ++s) {
+      if (std::binary_search(t.deps.begin(), t.deps.end(), m.slot(s).owner)) {
+        gating.push_back(s);
+      }
+    }
+    // Involved cells layout.
+    std::vector<std::pair<size_t, uint32_t>> ref_cols;
+    for (size_t c : cols) {
+      const Cell& cell = t.cells[c];
+      if (cell.is_certain()) {
+        eval_buf[c] = cell.value();
+      } else {
+        MAYBMS_CHECK(cell.ref().cid == mid) << "merge planner bug";
+        ref_cols.emplace_back(c, cell.ref().slot);
+      }
+    }
+    for (size_t r = 0; r < m.NumRows(); ++r) {
+      const ComponentRow& row = m.row(r);
+      bool alive = true;
+      for (uint32_t s : gating) {
+        if (row.values[s].is_bottom()) {
+          alive = false;
+          break;
+        }
+      }
+      if (!alive) continue;
+      bool dead_value = false;
+      for (const auto& [c, slot] : ref_cols) {
+        const Value& v = row.values[slot];
+        if (v.is_bottom()) {
+          dead_value = true;
+          break;
+        }
+        eval_buf[c] = v;
+      }
+      if (dead_value) continue;
+      MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, eval_buf));
+      if (!pass) cond.MarkBad(mid, r);
+    }
+    for (size_t c : cols) eval_buf[c] = Value::Null();
+  }
+  return cond.Finish(stats);
+}
+
+// ---------------------------------------------------------------------------
+// FD / key constraints (pairwise equality-generating checks).
+// ---------------------------------------------------------------------------
+
+Status EnforcePairwise(WsdDb* db, const Constraint& con, EnforceStats* stats) {
+  MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel,
+                          db->GetRelation(con.relation()));
+  std::vector<size_t> lhs, rhs;
+  for (const auto& a : con.lhs()) {
+    MAYBMS_ASSIGN_OR_RETURN(size_t i, rel->schema().Resolve(a));
+    lhs.push_back(i);
+  }
+  for (const auto& a : con.rhs()) {
+    MAYBMS_ASSIGN_OR_RETURN(size_t i, rel->schema().Resolve(a));
+    rhs.push_back(i);
+  }
+  bool is_key = con.kind() == ConstraintKind::kKey;
+  stats->tuples_checked += rel->NumTuples();
+
+  // Candidate pair discovery: hash fully-certain-lhs tuples, pair
+  // uncertain-lhs tuples conservatively.
+  auto lhs_certain = [&](const WsdTuple& t) {
+    for (size_t c : lhs) {
+      if (!t.cells[c].is_certain()) return false;
+    }
+    return true;
+  };
+  std::unordered_map<size_t, std::vector<size_t>> groups;
+  std::vector<size_t> uncertain;
+  for (size_t i = 0; i < rel->NumTuples(); ++i) {
+    const WsdTuple& t = rel->tuple(i);
+    if (lhs_certain(t)) {
+      size_t h = lhs.size();
+      for (size_t c : lhs) HashCombine(&h, t.cells[c].value().Hash());
+      groups[h].push_back(i);
+    } else {
+      uncertain.push_back(i);
+    }
+  }
+  std::vector<std::pair<size_t, size_t>> pairs;
+  auto lhs_possibly_equal = [&](size_t i, size_t j) {
+    const WsdTuple& a = rel->tuple(i);
+    const WsdTuple& b = rel->tuple(j);
+    for (size_t c : lhs) {
+      if (!CellsPossiblyEqual(*db, a.cells[c], b.cells[c])) return false;
+    }
+    return true;
+  };
+  auto rhs_possibly_differ = [&](size_t i, size_t j) {
+    if (is_key) return true;
+    const WsdTuple& a = rel->tuple(i);
+    const WsdTuple& b = rel->tuple(j);
+    for (size_t c : rhs) {
+      const Cell& x = a.cells[c];
+      const Cell& y = b.cells[c];
+      if (!(x.is_certain() && y.is_certain() && x.value() == y.value())) {
+        return true;  // can differ in some world
+      }
+    }
+    return false;
+  };
+  for (const auto& [h, members] : groups) {
+    for (size_t x = 0; x < members.size(); ++x) {
+      for (size_t y = x + 1; y < members.size(); ++y) {
+        if (lhs_possibly_equal(members[x], members[y]) &&
+            rhs_possibly_differ(members[x], members[y])) {
+          pairs.emplace_back(members[x], members[y]);
+        }
+      }
+    }
+  }
+  for (size_t u : uncertain) {
+    for (size_t i = 0; i < rel->NumTuples(); ++i) {
+      if (i == u) continue;
+      size_t a = std::min(i, u), b = std::max(i, u);
+      // Avoid double-adding (uncertain × uncertain would repeat).
+      if (i > u && !lhs_certain(rel->tuple(i))) continue;
+      if (lhs_possibly_equal(a, b) && rhs_possibly_differ(a, b)) {
+        pairs.emplace_back(a, b);
+      }
+    }
+  }
+  stats->pairs_checked += pairs.size();
+
+  Conditioner cond(db);
+  BottomGatingIndex gating_index = BuildBottomGatingIndex(*db);
+  struct Work {
+    size_t i, j;
+    std::vector<ComponentId> cids;
+  };
+  std::vector<Work> work;
+  std::vector<size_t> value_cols = lhs;
+  value_cols.insert(value_cols.end(), rhs.begin(), rhs.end());
+  std::sort(value_cols.begin(), value_cols.end());
+  value_cols.erase(std::unique(value_cols.begin(), value_cols.end()),
+                   value_cols.end());
+  for (auto [i, j] : pairs) {
+    std::vector<ComponentId> cids;
+    for (size_t idx : {i, j}) {
+      const WsdTuple& t = rel->tuple(idx);
+      for (size_t c : value_cols) {
+        if (t.cells[c].is_ref()) cids.push_back(t.cells[c].ref().cid);
+      }
+      for (ComponentId g : LookupBottomGating(gating_index, t.deps)) {
+        cids.push_back(g);
+      }
+    }
+    std::sort(cids.begin(), cids.end());
+    cids.erase(std::unique(cids.begin(), cids.end()), cids.end());
+    if (cids.empty()) {
+      // Both tuples certain and always-alive: a certain violation.
+      return Status::Inconsistent("certain tuples violate " + con.ToString());
+    }
+    cond.Require(cids);
+    work.push_back({i, j, std::move(cids)});
+  }
+  MAYBMS_RETURN_IF_ERROR(cond.ExecuteMerges());
+
+  for (const auto& w : work) {
+    ComponentId mid = cond.Resolve(w.cids[0]);
+    const Component& m = db->component(mid);
+    const WsdTuple& t1 = rel->tuple(w.i);
+    const WsdTuple& t2 = rel->tuple(w.j);
+    // Gating slots for both tuples inside m.
+    auto gating_of = [&](const WsdTuple& t) {
+      std::vector<uint32_t> g;
+      for (uint32_t s = 0; s < m.NumSlots(); ++s) {
+        if (std::binary_search(t.deps.begin(), t.deps.end(),
+                               m.slot(s).owner)) {
+          g.push_back(s);
+        }
+      }
+      return g;
+    };
+    std::vector<uint32_t> g1 = gating_of(t1), g2 = gating_of(t2);
+    auto value_of = [&](const WsdTuple& t, size_t c,
+                        const ComponentRow& row) -> const Value& {
+      const Cell& cell = t.cells[c];
+      if (cell.is_certain()) return cell.value();
+      return row.values[cell.ref().slot];
+    };
+    for (size_t r = 0; r < m.NumRows(); ++r) {
+      const ComponentRow& row = m.row(r);
+      bool alive = true;
+      for (uint32_t s : g1) {
+        if (row.values[s].is_bottom()) {
+          alive = false;
+          break;
+        }
+      }
+      for (uint32_t s : g2) {
+        if (!alive) break;
+        if (row.values[s].is_bottom()) alive = false;
+      }
+      if (!alive) continue;
+      bool lhs_equal = true;
+      for (size_t c : lhs) {
+        const Value& a = value_of(t1, c, row);
+        const Value& b = value_of(t2, c, row);
+        if (a.is_bottom() || b.is_bottom() || !(a == b)) {
+          lhs_equal = false;
+          break;
+        }
+      }
+      if (!lhs_equal) continue;
+      bool violation;
+      if (is_key) {
+        violation = true;  // two distinct tuples agree on the key
+      } else {
+        violation = false;
+        for (size_t c : rhs) {
+          const Value& a = value_of(t1, c, row);
+          const Value& b = value_of(t2, c, row);
+          if (a.is_bottom() || b.is_bottom()) {
+            violation = false;  // dead value => tuple dead; caught above
+            break;
+          }
+          if (!(a == b)) {
+            violation = true;
+            break;
+          }
+        }
+      }
+      if (violation) cond.MarkBad(mid, r);
+    }
+  }
+  return cond.Finish(stats);
+}
+
+}  // namespace
+
+Result<EnforceStats> Enforce(WsdDb* db, const Constraint& constraint) {
+  EnforceStats stats;
+  stats.log2_worlds_before = db->Log2WorldCount();
+  switch (constraint.kind()) {
+    case ConstraintKind::kDomain:
+      MAYBMS_RETURN_IF_ERROR(EnforceDomain(db, constraint, &stats));
+      break;
+    case ConstraintKind::kFd:
+    case ConstraintKind::kKey:
+      MAYBMS_RETURN_IF_ERROR(EnforcePairwise(db, constraint, &stats));
+      break;
+  }
+  MAYBMS_ASSIGN_OR_RETURN(NormalizeStats ns, Normalize(db));
+  (void)ns;
+  stats.log2_worlds_after = db->Log2WorldCount();
+  return stats;
+}
+
+Result<EnforceStats> EnforceAll(WsdDb* db,
+                                const std::vector<Constraint>& constraints) {
+  EnforceStats total;
+  total.log2_worlds_before = db->Log2WorldCount();
+  double kept = 1.0;
+  for (const auto& c : constraints) {
+    MAYBMS_ASSIGN_OR_RETURN(EnforceStats s, Enforce(db, c));
+    kept *= (1.0 - s.removed_mass);
+    total.rows_removed += s.rows_removed;
+    total.tuples_checked += s.tuples_checked;
+    total.pairs_checked += s.pairs_checked;
+  }
+  total.removed_mass = 1.0 - kept;
+  total.log2_worlds_after = db->Log2WorldCount();
+  return total;
+}
+
+Result<double> ViolationProbability(const WsdDb& db,
+                                    const Constraint& constraint) {
+  WsdDb copy = db;
+  auto stats = Enforce(&copy, constraint);
+  if (!stats.ok()) {
+    if (stats.status().code() == StatusCode::kInconsistent) return 1.0;
+    return stats.status();
+  }
+  return stats->removed_mass;
+}
+
+}  // namespace maybms

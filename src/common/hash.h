@@ -1,0 +1,42 @@
+// Hash combinators used by relations, components and plan caches.
+#ifndef MAYBMS_COMMON_HASH_H_
+#define MAYBMS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace maybms {
+
+/// Mixes `v` into the running hash `seed` (boost::hash_combine style,
+/// strengthened with a 64-bit finalizer).
+inline void HashCombine(size_t* seed, size_t v) {
+  uint64_t x = static_cast<uint64_t>(*seed) ^
+               (static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL +
+                (static_cast<uint64_t>(*seed) << 6) +
+                (static_cast<uint64_t>(*seed) >> 2));
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  *seed = static_cast<size_t>(x);
+}
+
+/// FNV-1a over raw bytes; stable across platforms for test fixtures.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace maybms
+
+#endif  // MAYBMS_COMMON_HASH_H_

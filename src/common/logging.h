@@ -1,0 +1,58 @@
+// Minimal leveled logging + check macros.
+#ifndef MAYBMS_COMMON_LOGGING_H_
+#define MAYBMS_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <sstream>
+#include <string>
+
+namespace maybms {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process after streaming the message (fatal check failure).
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* cond);
+  [[noreturn]] ~FatalMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace maybms
+
+#define MAYBMS_LOG(level)                                              \
+  ::maybms::internal::LogMessage(::maybms::LogLevel::k##level, __FILE__, \
+                                 __LINE__)                              \
+      .stream()
+
+/// Invariant check, active in all build types. Use for internal invariants
+/// whose violation means a bug in the engine, not bad user input.
+#define MAYBMS_CHECK(cond)                                                 \
+  if (cond) {                                                              \
+  } else /* NOLINT */                                                      \
+    ::maybms::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define MAYBMS_DCHECK(cond) assert(cond)
+
+#endif  // MAYBMS_COMMON_LOGGING_H_

@@ -1,0 +1,69 @@
+// Result<T>: a value or a Status, in the style of arrow::Result.
+#ifndef MAYBMS_COMMON_RESULT_H_
+#define MAYBMS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace maybms {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<Relation> r = LoadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Relation rel = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so functions can `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK if a value is held.
+  const Status& status() const { return status_; }
+
+  /// Value accessors; undefined behaviour when !ok() (asserts in debug).
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_COMMON_RESULT_H_

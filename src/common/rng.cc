@@ -1,0 +1,104 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace maybms {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used only to expand the seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& w : s_) w = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::vector<double> Rng::NextProbabilities(int n) {
+  assert(n > 0);
+  std::vector<double> out(n);
+  double total = 0.0;
+  for (auto& x : out) {
+    // Shift away from zero so every alternative keeps nonzero mass.
+    x = 0.05 + NextDouble();
+    total += x;
+  }
+  for (auto& x : out) x /= total;
+  return out;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  assert(n > 0);
+  if (s <= 0.0) return NextBelow(n);
+  // Inverse-CDF sampling over precomputation-free harmonic approximation:
+  // acceptable for generator use; exactness is not required.
+  double u = NextDouble();
+  double h = 0.0;
+  // For small n compute exactly; for large n sample via the approximate
+  // continuous inverse to stay O(1).
+  if (n <= 1024) {
+    double norm = 0.0;
+    for (uint64_t k = 1; k <= n; ++k) norm += std::pow(k, -s);
+    double target = u * norm;
+    for (uint64_t k = 1; k <= n; ++k) {
+      h += std::pow(k, -s);
+      if (h >= target) return k - 1;
+    }
+    return n - 1;
+  }
+  // Continuous approximation: P(X <= x) ~ (x^{1-s}-1)/(n^{1-s}-1), s != 1.
+  if (s == 1.0) s = 1.0000001;
+  double x = std::pow(u * (std::pow(static_cast<double>(n), 1.0 - s) - 1.0) + 1.0,
+                      1.0 / (1.0 - s));
+  uint64_t k = static_cast<uint64_t>(x);
+  if (k >= n) k = n - 1;
+  return k;
+}
+
+}  // namespace maybms

@@ -1,0 +1,118 @@
+// Status: error propagation without exceptions across API boundaries.
+// Follows the RocksDB/Arrow idiom: cheap OK path, code + message otherwise.
+#ifndef MAYBMS_COMMON_STATUS_H_
+#define MAYBMS_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace maybms {
+
+/// Error categories used across the engine.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< named relation/attribute/component missing
+  kAlreadyExists,     ///< catalog name collision
+  kOutOfRange,        ///< index past the end, probability outside [0,1]
+  kTypeMismatch,      ///< value/attribute type conflict
+  kParseError,        ///< SQL front-end rejection
+  kUnsupported,       ///< feature intentionally out of scope
+  kResourceExhausted, ///< enumeration/merge budget exceeded
+  kInternal,          ///< invariant violation (a bug)
+  kInconsistent,      ///< world-set became empty (e.g. cleaning removed all)
+};
+
+/// Human-readable name of a StatusCode ("InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation: either OK or a code with a message.
+///
+/// The OK status carries no allocation; error states allocate one small
+/// struct. Statuses are value types and cheap to move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given error code and message.
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  // shared_ptr keeps Status copyable (needed by Result<T>); error path only.
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace maybms
+
+/// Propagates a non-OK Status to the caller.
+#define MAYBMS_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::maybms::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates an expression yielding Result<T>; on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define MAYBMS_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto MAYBMS_CONCAT_(_res_, __LINE__) = (expr);                   \
+  if (!MAYBMS_CONCAT_(_res_, __LINE__).ok())                       \
+    return MAYBMS_CONCAT_(_res_, __LINE__).status();               \
+  lhs = std::move(MAYBMS_CONCAT_(_res_, __LINE__)).value()
+
+#define MAYBMS_CONCAT_IMPL_(a, b) a##b
+#define MAYBMS_CONCAT_(a, b) MAYBMS_CONCAT_IMPL_(a, b)
+
+#endif  // MAYBMS_COMMON_STATUS_H_

@@ -1,0 +1,108 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace maybms {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\n' || s[b] == '\r'))
+    ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\n' ||
+                   s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char x = a[i], y = b[i];
+    if (x >= 'A' && x <= 'Z') x = static_cast<char>(x - 'A' + 'a');
+    if (y >= 'A' && y <= 'Z') y = static_cast<char>(y - 'A' + 'a');
+    if (x != y) return false;
+  }
+  return true;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    vsnprintf(out.data(), static_cast<size_t>(n) + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  if (u == 0) return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+  return StrFormat("%.1f %s", v, kUnits[u]);
+}
+
+std::string PadRight(std::string s, size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+std::string PadLeft(std::string s, size_t width) {
+  if (s.size() < width) s.insert(0, width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace maybms

@@ -1,0 +1,39 @@
+// Small string helpers shared by the SQL front-end, CSV I/O and printers.
+#ifndef MAYBMS_COMMON_STRING_UTIL_H_
+#define MAYBMS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maybms {
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (SQL keywords, attribute lookup).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Removes leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count ("3.1 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Fixed-width left/right padding for plain-text benchmark tables.
+std::string PadRight(std::string s, size_t width);
+std::string PadLeft(std::string s, size_t width);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,86 @@
+// Construction of world-set databases: from certain relations, from
+// or-set cells (the census noise process), and from explicit joint
+// components (the paper's medical example, where r1.Diagnosis and r1.Test
+// are correlated within one component).
+#ifndef MAYBMS_CORE_BUILDER_H_
+#define MAYBMS_CORE_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/wsd.h"
+
+namespace maybms {
+
+/// One alternative of an or-set: value and its probability.
+struct Alternative {
+  Value value;
+  double prob = 1.0;
+};
+
+/// Specification of one cell when inserting a tuple.
+class CellSpec {
+ public:
+  /// A certain value.
+  static CellSpec Certain(Value v);
+  /// An or-set with explicit probabilities (must sum to 1).
+  static CellSpec OrSet(std::vector<Alternative> alts);
+  /// An or-set with uniform probabilities.
+  static CellSpec UniformOrSet(std::vector<Value> values);
+  /// A placeholder to be covered later by AddJointComponent.
+  static CellSpec Pending();
+
+  bool is_certain() const { return kind_ == Kind::kCertain; }
+  bool is_orset() const { return kind_ == Kind::kOrSet; }
+  bool is_pending() const { return kind_ == Kind::kPending; }
+  const Value& value() const { return alts_[0].value; }
+  const std::vector<Alternative>& alternatives() const { return alts_; }
+
+ private:
+  enum class Kind { kCertain, kOrSet, kPending };
+  Kind kind_ = Kind::kCertain;
+  std::vector<Alternative> alts_;
+};
+
+/// Handle to a tuple inserted through the builder functions.
+struct TupleHandle {
+  std::string relation;
+  size_t index = 0;
+  OwnerId owner = 0;
+};
+
+/// A field of a previously inserted tuple, addressed by attribute name.
+struct FieldSpec {
+  TupleHandle tuple;
+  std::string attr;
+};
+
+/// Converts a certain database into a WSD (every cell inline, one world).
+WsdDb FromCatalog(const Catalog& catalog);
+
+/// Inserts a tuple with per-cell specs. Each or-set cell becomes its own
+/// single-slot component owned by the tuple. Pending cells must later be
+/// covered by AddJointComponent. Returns a handle for later reference.
+Result<TupleHandle> InsertTuple(WsdDb* db, const std::string& relation,
+                                std::vector<CellSpec> cells);
+
+/// Creates one component jointly covering the given fields (possibly of
+/// different tuples); `rows` assigns values to the fields in order, with
+/// probabilities summing to 1. The targeted cells must be pending or
+/// certain; they become references into the new component.
+Result<ComponentId> AddJointComponent(
+    WsdDb* db, const std::vector<FieldSpec>& fields,
+    const std::vector<std::pair<std::vector<Value>, double>>& rows);
+
+/// Replaces a (currently certain) cell of an existing tuple with an
+/// or-set: creates a fresh single-slot component. This is the noise
+/// injection primitive of the census experiments.
+Result<ComponentId> MakeCellUncertain(WsdDb* db, const std::string& relation,
+                                      size_t row, size_t col,
+                                      std::vector<Alternative> alts);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_BUILDER_H_

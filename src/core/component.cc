@@ -1,0 +1,195 @@
+#include "core/component.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace maybms {
+
+Value ExistsToken() { return Value::Bool(true); }
+
+uint32_t Component::AddSlot(Slot slot, const Value& fill) {
+  slots_.push_back(std::move(slot));
+  for (auto& row : rows_) row.values.push_back(fill);
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+uint32_t Component::AddSlotWithValues(Slot slot, std::vector<Value> values) {
+  MAYBMS_DCHECK(values.size() == rows_.size());
+  slots_.push_back(std::move(slot));
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    rows_[i].values.push_back(std::move(values[i]));
+  }
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+Status Component::AddRow(ComponentRow row) {
+  if (row.values.size() != slots_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("component row arity %zu != slot count %zu",
+                  row.values.size(), slots_.size()));
+  }
+  if (row.prob < 0.0 || row.prob > 1.0 + 1e-9) {
+    return Status::OutOfRange(
+        StrFormat("row probability %g outside [0,1]", row.prob));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+double Component::TotalMass() const {
+  double total = 0.0;
+  for (const auto& row : rows_) total += row.prob;
+  return total;
+}
+
+Status Component::Renormalize() {
+  double mass = TotalMass();
+  if (mass <= 0.0) {
+    return Status::Inconsistent("component has zero probability mass");
+  }
+  for (auto& row : rows_) row.prob /= mass;
+  return Status::OK();
+}
+
+void Component::DedupRows() {
+  std::unordered_map<size_t, std::vector<size_t>> seen;  // hash -> kept idx
+  std::vector<ComponentRow> kept;
+  kept.reserve(rows_.size());
+  for (auto& row : rows_) {
+    size_t h = row.values.size();
+    for (const auto& v : row.values) HashCombine(&h, v.Hash());
+    auto& bucket = seen[h];
+    bool merged = false;
+    for (size_t idx : bucket) {
+      if (kept[idx].values.size() == row.values.size()) {
+        bool eq = true;
+        for (size_t i = 0; i < row.values.size(); ++i) {
+          if (!(kept[idx].values[i] == row.values[i])) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) {
+          kept[idx].prob += row.prob;
+          merged = true;
+          break;
+        }
+      }
+    }
+    if (!merged) {
+      bucket.push_back(kept.size());
+      kept.push_back(std::move(row));
+    }
+  }
+  rows_ = std::move(kept);
+}
+
+void Component::DropSlots(const std::vector<uint32_t>& sorted_slots) {
+  if (sorted_slots.empty()) return;
+  std::vector<bool> drop(slots_.size(), false);
+  for (uint32_t s : sorted_slots) {
+    MAYBMS_DCHECK(s < slots_.size());
+    drop[s] = true;
+  }
+  std::vector<Slot> new_slots;
+  new_slots.reserve(slots_.size() - sorted_slots.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!drop[i]) new_slots.push_back(std::move(slots_[i]));
+  }
+  slots_ = std::move(new_slots);
+  for (auto& row : rows_) {
+    std::vector<Value> nv;
+    nv.reserve(slots_.size());
+    for (size_t i = 0; i < row.values.size(); ++i) {
+      if (!drop[i]) nv.push_back(std::move(row.values[i]));
+    }
+    row.values = std::move(nv);
+  }
+  DedupRows();
+}
+
+void Component::DropZeroRows(double eps) {
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                             [eps](const ComponentRow& r) {
+                               return r.prob <= eps;
+                             }),
+              rows_.end());
+}
+
+Result<Component> Component::Product(const Component& a, const Component& b,
+                                     size_t max_rows) {
+  size_t n = a.NumRows() * b.NumRows();
+  if (a.NumRows() != 0 && n / a.NumRows() != b.NumRows()) {
+    return Status::ResourceExhausted("component product row count overflow");
+  }
+  if (n > max_rows) {
+    return Status::ResourceExhausted(
+        StrFormat("component product would have %zu rows (budget %zu)", n,
+                  max_rows));
+  }
+  Component out;
+  out.slots_ = a.slots_;
+  out.slots_.insert(out.slots_.end(), b.slots_.begin(), b.slots_.end());
+  out.rows_.reserve(n);
+  for (const auto& ra : a.rows_) {
+    for (const auto& rb : b.rows_) {
+      ComponentRow row;
+      row.values.reserve(ra.values.size() + rb.values.size());
+      row.values.insert(row.values.end(), ra.values.begin(), ra.values.end());
+      row.values.insert(row.values.end(), rb.values.begin(), rb.values.end());
+      row.prob = ra.prob * rb.prob;
+      out.rows_.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+uint64_t Component::SerializedSize() const {
+  uint64_t total = 0;
+  for (const auto& row : rows_) {
+    total += 4 + 8;  // row header + probability
+    for (const auto& v : row.values) total += v.SerializedSize();
+  }
+  return total;
+}
+
+std::string Component::ToString() const {
+  std::vector<size_t> width(slots_.size());
+  for (size_t c = 0; c < slots_.size(); ++c) width[c] = slots_[c].label.size();
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  std::vector<std::string> probs(rows_.size());
+  size_t pwidth = 1;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    cells[r].resize(slots_.size());
+    for (size_t c = 0; c < slots_.size(); ++c) {
+      cells[r][c] = rows_[r].values[c].ToString();
+      // ⊥ renders as 3 UTF-8 bytes but 1 column; compensate.
+      size_t render = cells[r][c] == "\xE2\x8A\xA5" ? 1 : cells[r][c].size();
+      width[c] = std::max(width[c], render);
+    }
+    probs[r] = StrFormat("%.4g", rows_[r].prob);
+    pwidth = std::max(pwidth, probs[r].size());
+  }
+  std::string out;
+  for (size_t c = 0; c < slots_.size(); ++c) {
+    out += PadRight(slots_[c].label, width[c]) + "  ";
+  }
+  out += PadRight("p", pwidth) + "\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < slots_.size(); ++c) {
+      std::string cell = cells[r][c];
+      size_t render = cell == "\xE2\x8A\xA5" ? 1 : cell.size();
+      out += cell + std::string(width[c] - render + 2, ' ');
+    }
+    out += probs[r] + "\n";
+  }
+  return out;
+}
+
+}  // namespace maybms

@@ -1,0 +1,105 @@
+// Component: one independent factor of a world-set decomposition.
+//
+// A component covers a set of *slots* (fields of template tuples, or
+// synthetic existence slots); each row simultaneously assigns a value to
+// every slot and carries a probability. Choosing one row per component,
+// independently across components, yields one possible world; the world's
+// probability is the product of the chosen rows' probabilities. Row
+// probabilities of every component sum to 1.
+#ifndef MAYBMS_CORE_COMPONENT_H_
+#define MAYBMS_CORE_COMPONENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/types.h"
+#include "storage/value.h"
+
+namespace maybms {
+
+/// Metadata of one slot (column) of a component.
+struct Slot {
+  OwnerId owner = 0;   ///< tuple/derivation that this slot gates
+  std::string label;   ///< for rendering, e.g. "r1.Diagnosis" or "r1.∃"
+};
+
+/// One alternative of a component: a value per slot plus its probability.
+struct ComponentRow {
+  std::vector<Value> values;
+  double prob = 1.0;
+};
+
+/// The token stored in existence slots for "the owner is alive here".
+/// Only ⊥ vs non-⊥ matters for existence; the concrete token is arbitrary.
+Value ExistsToken();
+
+/// One independent factor of the decomposition.
+class Component {
+ public:
+  Component() = default;
+
+  size_t NumSlots() const { return slots_.size(); }
+  size_t NumRows() const { return rows_.size(); }
+  bool empty() const { return slots_.empty(); }
+
+  const Slot& slot(size_t i) const { return slots_[i]; }
+  Slot& mutable_slot(size_t i) { return slots_[i]; }
+  const std::vector<Slot>& slots() const { return slots_; }
+
+  const ComponentRow& row(size_t i) const { return rows_[i]; }
+  ComponentRow& mutable_row(size_t i) { return rows_[i]; }
+  const std::vector<ComponentRow>& rows() const { return rows_; }
+
+  /// Appends a slot to every row using `fill` as its value; returns the
+  /// new slot index.
+  uint32_t AddSlot(Slot slot, const Value& fill);
+
+  /// Appends a slot whose per-row values are supplied (must match NumRows).
+  uint32_t AddSlotWithValues(Slot slot, std::vector<Value> values);
+
+  /// Appends a row; arity must equal NumSlots.
+  Status AddRow(ComponentRow row);
+
+  /// Sum of row probabilities (should be ~1 outside of conditioning).
+  double TotalMass() const;
+
+  /// Divides all row probabilities by TotalMass(). Fails when mass is 0
+  /// (the world-set is inconsistent).
+  Status Renormalize();
+
+  /// Merges duplicate rows (equal values in all slots), summing their
+  /// probabilities. Preserves first-occurrence order.
+  void DedupRows();
+
+  /// Removes the given slots (sorted ascending) and marginalizes:
+  /// projects rows onto the remaining slots and dedups.
+  void DropSlots(const std::vector<uint32_t>& sorted_slots);
+
+  /// Removes rows with probability below `eps` (mass is renormalized by
+  /// the caller when appropriate). Rows of probability exactly 0 carry no
+  /// worlds.
+  void DropZeroRows(double eps = 0.0);
+
+  /// The relational product of two components: slots concatenated, rows
+  /// paired, probabilities multiplied. Fails when the result would exceed
+  /// `max_rows`.
+  static Result<Component> Product(const Component& a, const Component& b,
+                                   size_t max_rows);
+
+  /// Bytes in the flat serialized model (values + 8-byte probability per
+  /// row + 4-byte row header), mirroring Relation::SerializedSize.
+  uint64_t SerializedSize() const;
+
+  /// Paper-style rendering: a small table with one column per slot and a
+  /// probability column.
+  std::string ToString() const;
+
+ private:
+  std::vector<Slot> slots_;
+  std::vector<ComponentRow> rows_;
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_COMPONENT_H_

@@ -1,0 +1,419 @@
+#include "core/confidence.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace maybms {
+
+namespace {
+
+// Union-find over component ids for clustering.
+class ComponentUf {
+ public:
+  ComponentId Find(ComponentId c) {
+    auto it = parent_.find(c);
+    if (it == parent_.end()) {
+      parent_[c] = c;
+      return c;
+    }
+    ComponentId root = c;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[c] != root) {
+      ComponentId next = parent_[c];
+      parent_[c] = root;
+      c = next;
+    }
+    return root;
+  }
+  void Union(ComponentId a, ComponentId b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::unordered_map<ComponentId, ComponentId> parent_;
+};
+
+struct VectorHash {
+  size_t operator()(const Tuple& t) const { return TupleHash(t); }
+};
+struct VectorEq {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return TupleCompare(a, b) == 0;
+  }
+};
+
+using VectorProb = std::unordered_map<Tuple, double, VectorHash, VectorEq>;
+
+}  // namespace
+
+Result<Relation> ConfTable(const WsdDb& db, const std::string& rel_name,
+                           const ConfidenceOptions& options) {
+  MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db.GetRelation(rel_name));
+
+  // Precompute, per tuple, the touched components; gating-component
+  // discovery is hoisted out of the per-tuple loop via an owner->component
+  // index.
+  std::unordered_map<OwnerId, std::vector<ComponentId>> owner_comps;
+  for (ComponentId id : db.LiveComponents()) {
+    const Component& c = db.component(id);
+    std::unordered_set<OwnerId> seen;
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      if (seen.insert(c.slot(s).owner).second) {
+        owner_comps[c.slot(s).owner].push_back(id);
+      }
+    }
+  }
+  auto touched = [&](const WsdTuple& t) {
+    std::vector<ComponentId> out;
+    for (const auto& cell : t.cells) {
+      if (cell.is_ref()) out.push_back(cell.ref().cid);
+    }
+    for (OwnerId o : t.deps) {
+      auto it = owner_comps.find(o);
+      if (it != owner_comps.end()) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+
+  // Cluster tuples through shared components.
+  ComponentUf uf;
+  std::vector<std::vector<ComponentId>> tuple_comps(rel->NumTuples());
+  for (size_t i = 0; i < rel->NumTuples(); ++i) {
+    tuple_comps[i] = touched(rel->tuple(i));
+    for (size_t k = 1; k < tuple_comps[i].size(); ++k) {
+      uf.Union(tuple_comps[i][0], tuple_comps[i][k]);
+    }
+  }
+  // cluster root -> tuple indexes; certain tuples go to the trivial pile.
+  std::map<ComponentId, std::vector<size_t>> clusters;
+  std::vector<size_t> certain_tuples;
+  for (size_t i = 0; i < rel->NumTuples(); ++i) {
+    if (tuple_comps[i].empty()) {
+      certain_tuples.push_back(i);
+    } else {
+      clusters[uf.Find(tuple_comps[i][0])].push_back(i);
+    }
+  }
+
+  // P(vector present) per cluster.
+  std::vector<VectorProb> cluster_probs;
+
+  // Trivial pile: always-present vectors.
+  if (!certain_tuples.empty()) {
+    VectorProb vp;
+    for (size_t i : certain_tuples) {
+      Tuple v;
+      v.reserve(rel->schema().size());
+      for (const auto& cell : rel->tuple(i).cells) v.push_back(cell.value());
+      vp[v] = 1.0;
+    }
+    cluster_probs.push_back(std::move(vp));
+  }
+
+  for (const auto& [root, tuple_idxs] : clusters) {
+    // Collect the cluster's components (union over member tuples).
+    std::vector<ComponentId> comps;
+    for (size_t i : tuple_idxs) {
+      comps.insert(comps.end(), tuple_comps[i].begin(), tuple_comps[i].end());
+    }
+    std::sort(comps.begin(), comps.end());
+    comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
+
+    // Budget check.
+    size_t states = 1;
+    for (ComponentId id : comps) {
+      size_t rows = db.component(id).NumRows();
+      if (rows == 0) return Status::Inconsistent("empty component");
+      if (states > options.max_cluster_states / rows) {
+        return Status::ResourceExhausted(
+            StrFormat("confidence cluster needs more than %zu states",
+                      options.max_cluster_states));
+      }
+      states *= rows;
+    }
+
+    // Per tuple: resolve which slots gate it in each cluster component.
+    struct Member {
+      const WsdTuple* t;
+      // per component (aligned with comps): gating slot indexes
+      std::vector<std::vector<uint32_t>> gating;
+    };
+    std::vector<Member> members;
+    members.reserve(tuple_idxs.size());
+    for (size_t i : tuple_idxs) {
+      Member m;
+      m.t = &rel->tuple(i);
+      m.gating.resize(comps.size());
+      for (size_t k = 0; k < comps.size(); ++k) {
+        const Component& c = db.component(comps[k]);
+        for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+          if (std::binary_search(m.t->deps.begin(), m.t->deps.end(),
+                                 c.slot(s).owner)) {
+            m.gating[k].push_back(s);
+          }
+        }
+      }
+      members.push_back(std::move(m));
+    }
+
+    // Map component id -> position in comps for cell resolution.
+    std::unordered_map<ComponentId, size_t> comp_pos;
+    for (size_t k = 0; k < comps.size(); ++k) comp_pos[comps[k]] = k;
+
+    // Odometer over the cluster's component rows.
+    std::vector<size_t> choice(comps.size(), 0);
+    VectorProb vp;
+    Tuple v(rel->schema().size());
+    for (;;) {
+      double p = 1.0;
+      for (size_t k = 0; k < comps.size(); ++k) {
+        p *= db.component(comps[k]).row(choice[k]).prob;
+      }
+      if (p > 0.0) {
+        // Which vectors are present in this state? Dedup within state.
+        std::unordered_set<size_t> seen_hashes;
+        std::vector<Tuple> present;
+        for (const auto& m : members) {
+          bool alive = true;
+          for (size_t k = 0; alive && k < comps.size(); ++k) {
+            const ComponentRow& row = db.component(comps[k]).row(choice[k]);
+            for (uint32_t s : m.gating[k]) {
+              if (row.values[s].is_bottom()) {
+                alive = false;
+                break;
+              }
+            }
+          }
+          if (!alive) continue;
+          bool dead_value = false;
+          for (size_t c = 0; c < m.t->cells.size(); ++c) {
+            const Cell& cell = m.t->cells[c];
+            if (cell.is_certain()) {
+              v[c] = cell.value();
+            } else {
+              size_t k = comp_pos.at(cell.ref().cid);
+              v[c] = db.component(comps[k]).row(choice[k])
+                         .values[cell.ref().slot];
+              if (v[c].is_bottom()) {
+                dead_value = true;
+                break;
+              }
+            }
+          }
+          if (dead_value) continue;
+          bool dup = false;
+          for (const auto& u : present) {
+            if (TupleCompare(u, v) == 0) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) present.push_back(v);
+        }
+        for (auto& u : present) vp[u] += p;
+      }
+      // Advance odometer.
+      size_t k = 0;
+      for (; k < comps.size(); ++k) {
+        if (++choice[k] < db.component(comps[k]).NumRows()) break;
+        choice[k] = 0;
+      }
+      if (k == comps.size()) break;
+      if (comps.empty()) break;
+    }
+    if (comps.empty()) {
+      // Cannot happen (cluster implies components), but stay safe.
+      continue;
+    }
+    cluster_probs.push_back(std::move(vp));
+  }
+
+  // Combine: conf(v) = 1 - Π (1 - P_cluster(v)).
+  VectorProb conf;
+  for (const auto& vp : cluster_probs) {
+    for (const auto& [v, p] : vp) {
+      conf.emplace(v, 0.0);
+    }
+  }
+  for (auto& [v, total] : conf) {
+    double absent = 1.0;
+    for (const auto& vp : cluster_probs) {
+      auto it = vp.find(v);
+      if (it != vp.end()) absent *= (1.0 - std::min(1.0, it->second));
+    }
+    total = 1.0 - absent;
+  }
+
+  // Materialize sorted output.
+  Schema out_schema = rel->schema();
+  std::string conf_name = "conf";
+  int suffix = 2;
+  while (out_schema.IndexOf(conf_name)) {
+    conf_name = "conf_" + std::to_string(suffix++);
+  }
+  MAYBMS_RETURN_IF_ERROR(out_schema.Add({conf_name, ValueType::kDouble}));
+  std::vector<std::pair<Tuple, double>> rows(conf.begin(), conf.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return TupleCompare(a.first, b.first) < 0;
+  });
+  Relation out(rel_name + "_conf", out_schema);
+  for (auto& [v, p] : rows) {
+    Tuple t = v;
+    t.push_back(Value::Double(p));
+    out.AppendUnchecked(std::move(t));
+  }
+  return out;
+}
+
+Result<Relation> PossibleTuples(const WsdDb& db, const std::string& rel,
+                                const ConfidenceOptions& options) {
+  return ConfTable(db, rel, options);
+}
+
+Result<Relation> CertainTuples(const WsdDb& db, const std::string& rel_name,
+                               const ConfidenceOptions& options) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation with_conf,
+                          ConfTable(db, rel_name, options));
+  // Strip the conf column, keep rows with conf ~ 1.
+  const Schema& s = with_conf.schema();
+  std::vector<size_t> keep_cols;
+  for (size_t i = 0; i + 1 < s.size(); ++i) keep_cols.push_back(i);
+  Relation out(rel_name + "_certain", s.Project(keep_cols));
+  size_t conf_col = s.size() - 1;
+  for (const auto& row : with_conf.rows()) {
+    if (row[conf_col].as_double() >= 1.0 - options.eps) {
+      Tuple t(row.begin(), row.end() - 1);
+      out.AppendUnchecked(std::move(t));
+    }
+  }
+  return out;
+}
+
+Result<double> ExpectedCount(const WsdDb& db, const std::string& rel_name) {
+  MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db.GetRelation(rel_name));
+  double total = 0.0;
+  for (const auto& t : rel->tuples()) {
+    total += db.ExistenceProbability(t);
+  }
+  return total;
+}
+
+Result<double> ExpectedSum(const WsdDb& db, const std::string& rel_name,
+                           const std::string& column,
+                           const ConfidenceOptions& options) {
+  MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db.GetRelation(rel_name));
+  MAYBMS_ASSIGN_OR_RETURN(size_t col, rel->schema().Resolve(column));
+
+  // owner -> components gating it (built once).
+  std::unordered_map<OwnerId, std::vector<ComponentId>> owner_comps;
+  for (ComponentId id : db.LiveComponents()) {
+    const Component& c = db.component(id);
+    std::unordered_set<OwnerId> seen;
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      if (seen.insert(c.slot(s).owner).second) {
+        owner_comps[c.slot(s).owner].push_back(id);
+      }
+    }
+  }
+
+  double total = 0.0;
+  for (const auto& t : rel->tuples()) {
+    // Components relevant for this tuple's term.
+    std::vector<ComponentId> comps;
+    if (t.cells[col].is_ref()) comps.push_back(t.cells[col].ref().cid);
+    for (OwnerId o : t.deps) {
+      auto it = owner_comps.find(o);
+      if (it != owner_comps.end()) {
+        comps.insert(comps.end(), it->second.begin(), it->second.end());
+      }
+    }
+    std::sort(comps.begin(), comps.end());
+    comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
+
+    if (comps.empty()) {
+      const Value& v = t.cells[col].value();
+      if (v.is_null()) continue;
+      if (!v.is_numeric()) {
+        return Status::TypeMismatch("ESUM over non-numeric value " +
+                                    v.ToString());
+      }
+      total += v.NumericValue();
+      continue;
+    }
+    size_t states = 1;
+    for (ComponentId id : comps) {
+      size_t rows = db.component(id).NumRows();
+      if (rows == 0) return Status::Inconsistent("empty component");
+      if (states > options.max_cluster_states / rows) {
+        return Status::ResourceExhausted(
+            "ESUM tuple cluster exceeds enumeration budget");
+      }
+      states *= rows;
+    }
+    // Gating slot layout per component.
+    std::vector<std::vector<uint32_t>> gating(comps.size());
+    for (size_t k = 0; k < comps.size(); ++k) {
+      const Component& c = db.component(comps[k]);
+      for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+        if (std::binary_search(t.deps.begin(), t.deps.end(),
+                               c.slot(s).owner)) {
+          gating[k].push_back(s);
+        }
+      }
+    }
+    std::unordered_map<ComponentId, size_t> comp_pos;
+    for (size_t k = 0; k < comps.size(); ++k) comp_pos[comps[k]] = k;
+
+    std::vector<size_t> choice(comps.size(), 0);
+    for (;;) {
+      double p = 1.0;
+      for (size_t k = 0; k < comps.size(); ++k) {
+        p *= db.component(comps[k]).row(choice[k]).prob;
+      }
+      if (p > 0.0) {
+        bool alive = true;
+        for (size_t k = 0; alive && k < comps.size(); ++k) {
+          const ComponentRow& row = db.component(comps[k]).row(choice[k]);
+          for (uint32_t s : gating[k]) {
+            if (row.values[s].is_bottom()) {
+              alive = false;
+              break;
+            }
+          }
+        }
+        if (alive) {
+          const Cell& cell = t.cells[col];
+          Value v = cell.is_certain()
+                        ? cell.value()
+                        : db.component(comps[comp_pos.at(cell.ref().cid)])
+                              .row(choice[comp_pos.at(cell.ref().cid)])
+                              .values[cell.ref().slot];
+          if (!v.is_null() && !v.is_bottom()) {
+            if (!v.is_numeric()) {
+              return Status::TypeMismatch("ESUM over non-numeric value " +
+                                          v.ToString());
+            }
+            total += p * v.NumericValue();
+          }
+        }
+      }
+      size_t k = 0;
+      for (; k < comps.size(); ++k) {
+        if (++choice[k] < db.component(comps[k]).NumRows()) break;
+        choice[k] = 0;
+      }
+      if (k == comps.size()) break;
+    }
+  }
+  return total;
+}
+
+}  // namespace maybms

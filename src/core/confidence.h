@@ -1,0 +1,61 @@
+// Confidence computation: the probability constructs of the query
+// language (prob(), possible, certain answers).
+//
+// conf(v) for a value-vector v over relation R is the probability that
+// some tuple of R carries exactly the values v — the paper's prob()
+// semantics ("computed by summing up the probabilities of this event over
+// all such worlds").
+//
+// Exact algorithm: template tuples are partitioned into independence
+// clusters (tuples connected through shared components); within a cluster
+// the joint distribution is enumerated (budgeted), across clusters the
+// absence probabilities multiply. Confidence computation is #P-hard in
+// general; the decomposition keeps typical or-set workloads polynomial
+// because clusters stay small.
+#ifndef MAYBMS_CORE_CONFIDENCE_H_
+#define MAYBMS_CORE_CONFIDENCE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/wsd.h"
+
+namespace maybms {
+
+struct ConfidenceOptions {
+  /// Budget on the number of joint states enumerated per cluster.
+  size_t max_cluster_states = 1u << 20;
+  /// Tolerance when classifying certainty (conf >= 1 - eps).
+  double eps = 1e-9;
+};
+
+/// Distinct possible value-vectors of `rel` with a trailing "conf" column
+/// (DOUBLE): the probability that the vector appears in the relation.
+/// Rows are sorted descending by confidence, ties broken by value order.
+Result<Relation> ConfTable(const WsdDb& db, const std::string& rel,
+                           const ConfidenceOptions& options = {});
+
+/// Vectors with conf > 0 (all rows of ConfTable) — the possible answers.
+Result<Relation> PossibleTuples(const WsdDb& db, const std::string& rel,
+                                const ConfidenceOptions& options = {});
+
+/// Vectors with conf >= 1 - eps — the certain answers (without the conf
+/// column).
+Result<Relation> CertainTuples(const WsdDb& db, const std::string& rel,
+                               const ConfidenceOptions& options = {});
+
+/// Expected number of tuples of `rel` (sum of existence probabilities) —
+/// a probabilistic-aggregate extension.
+Result<double> ExpectedCount(const WsdDb& db, const std::string& rel);
+
+/// Expected value of SUM(column) over the worlds: by linearity,
+/// Σ_t E[v_t · alive_t], each term computed exactly over the tuple's own
+/// component cluster (budgeted by options.max_cluster_states). NULL
+/// values contribute 0 (as SQL SUM ignores them).
+Result<double> ExpectedSum(const WsdDb& db, const std::string& rel,
+                           const std::string& column,
+                           const ConfidenceOptions& options = {});
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_CONFIDENCE_H_

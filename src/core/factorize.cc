@@ -1,0 +1,247 @@
+#include "core/factorize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace maybms {
+
+namespace {
+
+struct UnionFind {
+  std::vector<uint32_t> parent;
+  explicit UnionFind(size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) { parent[Find(a)] = Find(b); }
+};
+
+// Distribution over the values of one slot.
+using Marginal = std::map<Value, double>;
+
+Marginal SlotMarginal(const Component& c, uint32_t s) {
+  Marginal m;
+  for (const auto& row : c.rows()) m[row.values[s]] += row.prob;
+  return m;
+}
+
+// Tests whether slots a and b are independent: joint == product of
+// marginals for every observed pair (and the joint support is the full
+// product — checked via the probability equation, which fails on missing
+// combinations since those would need probability 0 = pa*pb > 0).
+bool PairwiseIndependent(const Component& c, uint32_t a, uint32_t b,
+                         const Marginal& ma, const Marginal& mb, double eps) {
+  std::map<std::pair<Value, Value>, double> joint;
+  for (const auto& row : c.rows()) {
+    joint[{row.values[a], row.values[b]}] += row.prob;
+  }
+  // Support size check: full independence needs |joint| == |ma| * |mb|.
+  if (joint.size() != ma.size() * mb.size()) return false;
+  for (const auto& [pair, p] : joint) {
+    double expected = ma.at(pair.first) * mb.at(pair.second);
+    if (std::abs(p - expected) > eps) return false;
+  }
+  return true;
+}
+
+// Projects rows onto a slot group, summing probabilities of equal
+// projections. Returns rows in first-occurrence order.
+std::vector<ComponentRow> ProjectGroup(const Component& c,
+                                       const std::vector<uint32_t>& slots) {
+  std::vector<ComponentRow> out;
+  std::unordered_map<size_t, std::vector<size_t>> seen;
+  for (const auto& row : c.rows()) {
+    ComponentRow proj;
+    proj.values.reserve(slots.size());
+    for (uint32_t s : slots) proj.values.push_back(row.values[s]);
+    proj.prob = row.prob;
+    size_t h = proj.values.size();
+    for (const auto& v : proj.values) HashCombine(&h, v.Hash());
+    auto& bucket = seen[h];
+    bool merged = false;
+    for (size_t idx : bucket) {
+      if (out[idx].values.size() == proj.values.size()) {
+        bool eq = true;
+        for (size_t i = 0; i < proj.values.size(); ++i) {
+          if (!(out[idx].values[i] == proj.values[i])) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) {
+          out[idx].prob += proj.prob;
+          merged = true;
+          break;
+        }
+      }
+    }
+    if (!merged) {
+      bucket.push_back(out.size());
+      out.push_back(std::move(proj));
+    }
+  }
+  return out;
+}
+
+// Exact verification that the partition yields a product decomposition.
+bool VerifyProductDecomposition(
+    const Component& c, const std::vector<std::vector<uint32_t>>& groups,
+    const std::vector<std::vector<ComponentRow>>& projections, double eps) {
+  // Count check: distinct rows of c must equal the product of group sizes.
+  // (c is expected deduped; dedup happens in normalization. Recompute the
+  // distinct count defensively.)
+  std::vector<uint32_t> all(c.NumSlots());
+  std::iota(all.begin(), all.end(), 0);
+  size_t distinct = ProjectGroup(c, all).size();
+  size_t product = 1;
+  for (const auto& proj : projections) {
+    if (proj.empty()) return false;
+    if (product > distinct / proj.size() + 1) return false;
+    product *= proj.size();
+    if (product > distinct) return false;
+  }
+  if (product != distinct) return false;
+  // Probability check: every row's probability equals the product of its
+  // group-projection marginals.
+  for (const auto& row : c.rows()) {
+    double expected = 1.0;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      // Find the projection entry matching this row.
+      double pg = -1.0;
+      for (const auto& proj_row : projections[g]) {
+        bool eq = true;
+        for (size_t i = 0; i < groups[g].size(); ++i) {
+          if (!(proj_row.values[i] == row.values[groups[g][i]])) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) {
+          pg = proj_row.prob;
+          break;
+        }
+      }
+      if (pg < 0.0) return false;
+      expected *= pg;
+    }
+    // Row probability may appear multiple times if c has duplicate rows;
+    // compare against the deduped mass of this row.
+    double mass = 0.0;
+    for (const auto& other : c.rows()) {
+      bool eq = true;
+      for (size_t i = 0; i < row.values.size(); ++i) {
+        if (!(other.values[i] == row.values[i])) {
+          eq = false;
+          break;
+        }
+      }
+      if (eq) mass += other.prob;
+    }
+    if (std::abs(mass - expected) > eps * std::max(1.0, std::abs(expected))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<FactorizeStats> Factorize(WsdDb* db, const FactorizeOptions& options) {
+  FactorizeStats stats;
+  for (ComponentId id : db->LiveComponents()) {
+    if (db->component(id).NumSlots() < 2 || db->component(id).NumRows() < 2) {
+      continue;
+    }
+    if (db->component(id).NumSlots() > options.max_slots) continue;
+    // Copy: AddComponent below may reallocate the store.
+    const Component c = db->component(id);
+    stats.rows_before += c.NumRows();
+
+    // Group slots by pairwise dependence; the exact product verification
+    // below makes this sound even across slots of the same owner (the ⊥
+    // existence pattern is part of the joint distribution being checked).
+    size_t n = c.NumSlots();
+    UnionFind uf(n);
+    std::vector<Marginal> marginals(n);
+    for (uint32_t s = 0; s < n; ++s) marginals[s] = SlotMarginal(c, s);
+    for (uint32_t a = 0; a < n; ++a) {
+      for (uint32_t b = a + 1; b < n; ++b) {
+        if (uf.Find(a) == uf.Find(b)) continue;
+        if (!PairwiseIndependent(c, a, b, marginals[a], marginals[b],
+                                 options.eps)) {
+          uf.Union(a, b);
+        }
+      }
+    }
+    std::map<uint32_t, std::vector<uint32_t>> group_map;
+    for (uint32_t s = 0; s < n; ++s) group_map[uf.Find(s)].push_back(s);
+    if (group_map.size() < 2) {
+      stats.rows_after += c.NumRows();
+      continue;
+    }
+    std::vector<std::vector<uint32_t>> groups;
+    groups.reserve(group_map.size());
+    for (auto& [root, slots] : group_map) groups.push_back(std::move(slots));
+
+    std::vector<std::vector<ComponentRow>> projections;
+    projections.reserve(groups.size());
+    for (const auto& g : groups) projections.push_back(ProjectGroup(c, g));
+
+    if (!VerifyProductDecomposition(c, groups, projections, options.eps)) {
+      stats.rows_after += c.NumRows();
+      continue;
+    }
+
+    // Materialize the factors and remap template references.
+    // old slot -> (new component id, new slot idx)
+    std::vector<std::pair<ComponentId, uint32_t>> remap(n);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      Component factor;
+      for (size_t i = 0; i < groups[g].size(); ++i) {
+        factor.AddSlot(c.slot(groups[g][i]), Value::Null());
+      }
+      // AddSlot on an empty component adds no rows; add them now.
+      for (auto& row : projections[g]) {
+        Status st = factor.AddRow(std::move(row));
+        MAYBMS_CHECK(st.ok()) << st.ToString();
+      }
+      Status st = factor.Renormalize();  // guard against eps drift
+      MAYBMS_CHECK(st.ok()) << st.ToString();
+      stats.rows_after += factor.NumRows();
+      ComponentId fid = db->AddComponent(std::move(factor));
+      for (size_t i = 0; i < groups[g].size(); ++i) {
+        remap[groups[g][i]] = {fid, static_cast<uint32_t>(i)};
+      }
+      ++stats.factors_produced;
+    }
+    for (auto& [key, rel] : db->mutable_relations()) {
+      for (auto& t : rel.mutable_tuples()) {
+        for (auto& cell : t.cells) {
+          if (cell.is_ref() && cell.ref().cid == id) {
+            auto [fid, slot] = remap[cell.ref().slot];
+            cell.mutable_ref().cid = fid;
+            cell.mutable_ref().slot = slot;
+          }
+        }
+      }
+    }
+    db->RemoveComponent(id);
+    ++stats.components_split;
+  }
+  return stats;
+}
+
+}  // namespace maybms

@@ -1,0 +1,42 @@
+// Factorization: splitting a component into a product of independent
+// sub-components. This is the decomposition step that makes world-set
+// decompositions exponentially more succinct than world tables: a merged
+// component whose row relation happens to be a product of projections on
+// disjoint slot sets is replaced by those (much smaller) projections.
+#ifndef MAYBMS_CORE_FACTORIZE_H_
+#define MAYBMS_CORE_FACTORIZE_H_
+
+#include "common/result.h"
+#include "core/wsd.h"
+
+namespace maybms {
+
+struct FactorizeOptions {
+  /// Numeric tolerance when comparing probabilities.
+  double eps = 1e-9;
+  /// Components with more slots than this skip the O(slots²·rows)
+  /// pairwise analysis.
+  size_t max_slots = 128;
+};
+
+struct FactorizeStats {
+  size_t components_split = 0;
+  size_t factors_produced = 0;
+  size_t rows_before = 0;
+  size_t rows_after = 0;
+};
+
+/// Splits every splittable component of `db` into independent factors.
+///
+/// Algorithm: slots are grouped with a union-find where two slots unite
+/// when their pairwise joint distribution differs from the product of
+/// their marginals; the candidate partition is then verified exactly
+/// (distinct-row counts must multiply, and every row's probability must
+/// equal the product of its group marginals). On verification failure the
+/// component is left unsplit — the test is sound: a split only happens
+/// when the product decomposition is exact.
+Result<FactorizeStats> Factorize(WsdDb* db, const FactorizeOptions& options = {});
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_FACTORIZE_H_

@@ -1,0 +1,67 @@
+// Lifted relational algebra over world-set decompositions.
+//
+// Each operator consumes its input relation(s) inside the WsdDb (they are
+// removed or renamed) and produces the `output` relation in the same
+// database, preserving the semantics: evaluating the operator in every
+// world of the input WSD yields exactly the worlds of the output WSD,
+// probabilities included. The differential tests in tests/ verify this
+// against explicit world enumeration.
+//
+// Selection follows the paper's algorithm: tuples whose predicate can be
+// decided per-world get their fields marked with ⊥ in the failing worlds
+// (in place when the tuple exclusively owns its slots, via a synthetic
+// existence slot otherwise), and normalization restores the compact form.
+#ifndef MAYBMS_CORE_LIFTED_H_
+#define MAYBMS_CORE_LIFTED_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/wsd.h"
+#include "ra/plan.h"
+
+namespace maybms {
+
+/// σ: keeps input tuples only in the worlds where `pred` holds.
+Status LiftedSelect(WsdDb* db, const std::string& input, const ExprPtr& pred,
+                    const std::string& output);
+
+/// π (bag semantics): projects onto the given expressions. Column
+/// references are free; computed expressions over uncertain fields add
+/// slots to (merged) components.
+Status LiftedProject(WsdDb* db, const std::string& input,
+                     const std::vector<ProjectItem>& items,
+                     const std::string& output);
+
+/// ×: pairs tuples within each world; pair existence = both exist.
+Status LiftedProduct(WsdDb* db, const std::string& left,
+                     const std::string& right, const std::string& output);
+
+/// ⋈: product restricted by `pred`, with a hash fast path for equi-join
+/// conjuncts whose key cells are certain.
+Status LiftedJoin(WsdDb* db, const std::string& left, const std::string& right,
+                  const ExprPtr& pred, const std::string& output);
+
+/// ∪ (bag): concatenation; schemas must have equal arity and types.
+Status LiftedUnion(WsdDb* db, const std::string& left,
+                   const std::string& right, const std::string& output);
+
+/// − (anti-join semantics, as in SQL EXCEPT evaluated per world): a left
+/// tuple survives in a world iff no right tuple with equal values exists
+/// in that world. Left multiplicity is preserved; NULLs compare equal.
+Status LiftedDifference(WsdDb* db, const std::string& left,
+                        const std::string& right, const std::string& output);
+
+/// δ: per-world duplicate elimination. Among tuples with equal values in
+/// a world, only the first survives.
+Status LiftedDistinct(WsdDb* db, const std::string& input,
+                      const std::string& output);
+
+/// Renames/moves a relation inside the database.
+Status RenameRelation(WsdDb* db, const std::string& from,
+                      const std::string& to);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_LIFTED_H_

@@ -1,0 +1,38 @@
+// Evaluates a logical plan over a world-set decomposition: the lifted
+// counterpart of ra/executor.h, implementing the paper's "rewrite user
+// queries into a sequence of relational queries on WSDs".
+#ifndef MAYBMS_CORE_LIFTED_EXECUTOR_H_
+#define MAYBMS_CORE_LIFTED_EXECUTOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/wsd.h"
+#include "ra/plan.h"
+
+namespace maybms {
+
+struct LiftedExecOptions {
+  /// Name of the result relation in the returned database.
+  std::string result_name = "result";
+  /// Run factorization after the final normalization (re-splits merged
+  /// components when they decompose).
+  bool factorize_result = false;
+};
+
+/// Evaluates `plan` over `input`, returning a new world-set database that
+/// contains exactly one relation (options.result_name) — the query answer
+/// in every world — plus the components it references.
+///
+/// Semantics: for every world w of `input` with probability p, the result
+/// represents the world "plan evaluated on w" with probability p.
+/// Supported nodes: Scan, Select, Project, Product, Join, Union,
+/// Difference, Distinct, and Sort over certain columns. Limit and
+/// Aggregate return kUnsupported (the SQL layer lowers aggregates to
+/// confidence computation instead).
+Result<WsdDb> ExecuteLifted(const PlanPtr& plan, const WsdDb& input,
+                            const LiftedExecOptions& options = {});
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_LIFTED_EXECUTOR_H_

@@ -1,0 +1,693 @@
+#include "core/lifted_internal.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace maybms {
+namespace lifted_internal {
+
+std::unordered_map<OwnerId, size_t> CountOwnerUsage(const WsdDb& db) {
+  std::unordered_map<OwnerId, size_t> usage;
+  for (const auto& [key, rel] : db.relations()) {
+    for (const auto& t : rel.tuples()) {
+      for (OwnerId o : t.deps) usage[o]++;
+    }
+  }
+  return usage;
+}
+
+std::vector<ComponentId> ComponentsGatingOwners(
+    const WsdDb& db, const std::vector<OwnerId>& owners) {
+  std::vector<ComponentId> out;
+  for (ComponentId id : db.LiveComponents()) {
+    const Component& c = db.component(id);
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      if (std::binary_search(owners.begin(), owners.end(), c.slot(s).owner)) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ComponentId> BottomGatingComponents(
+    const WsdDb& db, const std::vector<OwnerId>& owners) {
+  std::vector<ComponentId> out;
+  for (ComponentId id : db.LiveComponents()) {
+    const Component& c = db.component(id);
+    bool relevant = false;
+    for (uint32_t s = 0; !relevant && s < c.NumSlots(); ++s) {
+      if (!std::binary_search(owners.begin(), owners.end(),
+                              c.slot(s).owner)) {
+        continue;
+      }
+      for (const auto& row : c.rows()) {
+        if (row.values[s].is_bottom()) {
+          relevant = true;
+          break;
+        }
+      }
+    }
+    if (relevant) out.push_back(id);
+  }
+  return out;
+}
+
+bool AlwaysAlive(const WsdDb& db, const std::vector<OwnerId>& deps) {
+  return deps.empty() || BottomGatingComponents(db, deps).empty();
+}
+
+BottomGatingIndex BuildBottomGatingIndex(const WsdDb& db) {
+  BottomGatingIndex index;
+  for (ComponentId id : db.LiveComponents()) {
+    const Component& c = db.component(id);
+    std::unordered_set<OwnerId> done;
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      OwnerId owner = c.slot(s).owner;
+      if (done.count(owner)) continue;
+      for (const auto& row : c.rows()) {
+        if (row.values[s].is_bottom()) {
+          index[owner].push_back(id);
+          done.insert(owner);
+          break;
+        }
+      }
+    }
+  }
+  return index;
+}
+
+std::vector<ComponentId> LookupBottomGating(
+    const BottomGatingIndex& index, const std::vector<OwnerId>& deps) {
+  std::vector<ComponentId> out;
+  for (OwnerId o : deps) {
+    auto it = index.find(o);
+    if (it != index.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool FullyCertain(const WsdTuple& t) {
+  for (const auto& cell : t.cells) {
+    if (!cell.is_certain()) return false;
+  }
+  return true;
+}
+
+bool CertainlyEqual(const WsdTuple& a, const WsdTuple& b) {
+  if (a.cells.size() != b.cells.size()) return false;
+  for (size_t c = 0; c < a.cells.size(); ++c) {
+    if (!a.cells[c].is_certain() || !b.cells[c].is_certain() ||
+        !(a.cells[c].value() == b.cells[c].value())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ComponentId MergePlanner::Find(ComponentId c) {
+  auto it = parent_.find(c);
+  if (it == parent_.end()) {
+    parent_[c] = c;
+    return c;
+  }
+  // Path compression over the map.
+  ComponentId root = c;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[c] != root) {
+    ComponentId next = parent_[c];
+    parent_[c] = root;
+    c = next;
+  }
+  return root;
+}
+
+void MergePlanner::Require(const std::vector<ComponentId>& cids) {
+  MAYBMS_CHECK(!executed_) << "MergePlanner reused after Execute";
+  if (cids.size() < 2) {
+    if (cids.size() == 1) Find(cids[0]);
+    return;
+  }
+  ComponentId first = Find(cids[0]);
+  for (size_t i = 1; i < cids.size(); ++i) {
+    parent_[Find(cids[i])] = first = Find(first);
+  }
+}
+
+Status MergePlanner::Execute(WsdDb* db) {
+  MAYBMS_CHECK(!executed_);
+  executed_ = true;
+  // Collect groups. Find mutates parent_, so gather keys first.
+  std::unordered_map<ComponentId, std::vector<ComponentId>> groups;
+  std::vector<ComponentId> keys;
+  keys.reserve(parent_.size());
+  for (const auto& [cid, p] : parent_) keys.push_back(cid);
+  for (ComponentId cid : keys) groups[Find(cid)].push_back(cid);
+  // Batch all real merges into one MergeComponentGroups call so the
+  // template remap is a single pass.
+  std::vector<ComponentId> roots;
+  std::vector<std::vector<ComponentId>> batch;
+  for (auto& [root, members] : groups) {
+    if (members.size() < 2) {
+      merged_[root] = members[0];
+      continue;
+    }
+    roots.push_back(root);
+    batch.push_back(std::move(members));
+  }
+  if (!batch.empty()) {
+    MAYBMS_ASSIGN_OR_RETURN(
+        std::vector<ComponentId> merged,
+        db->MergeComponentGroups(batch, db->options().max_component_rows));
+    for (size_t i = 0; i < roots.size(); ++i) merged_[roots[i]] = merged[i];
+  }
+  return Status::OK();
+}
+
+ComponentId MergePlanner::Resolve(ComponentId cid) const {
+  MAYBMS_CHECK(executed_);
+  // Non-const Find not available here; walk without compression.
+  auto it = parent_.find(cid);
+  if (it == parent_.end()) return cid;
+  ComponentId root = cid;
+  while (true) {
+    auto pit = parent_.find(root);
+    if (pit == parent_.end() || pit->second == root) break;
+    root = pit->second;
+  }
+  auto mit = merged_.find(root);
+  return mit == merged_.end() ? cid : mit->second;
+}
+
+Status FilterRelationInPlace(WsdDb* db, const std::string& rel_name,
+                             const ExprPtr& bound_pred) {
+  MAYBMS_ASSIGN_OR_RETURN(WsdRelation * rel, db->GetMutableRelation(rel_name));
+  std::vector<size_t> cols;
+  bound_pred->CollectColumns(&cols);
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  for (size_t c : cols) {
+    if (c >= rel->schema().size()) {
+      return Status::OutOfRange("predicate column out of range");
+    }
+  }
+
+  // Pass 1: plan merges for tuples whose predicate spans components.
+  MergePlanner planner;
+  for (const auto& t : rel->tuples()) {
+    std::vector<ComponentId> cids;
+    for (size_t c : cols) {
+      if (t.cells[c].is_ref()) cids.push_back(t.cells[c].ref().cid);
+    }
+    std::sort(cids.begin(), cids.end());
+    cids.erase(std::unique(cids.begin(), cids.end()), cids.end());
+    if (cids.size() > 1) planner.Require(cids);
+  }
+  MAYBMS_RETURN_IF_ERROR(planner.Execute(db));
+
+  auto usage = CountOwnerUsage(*db);
+
+  // Pass 2: evaluate per tuple.
+  std::vector<bool> drop(rel->NumTuples(), false);
+  Tuple eval_buf(rel->schema().size(), Value::Null());
+  for (size_t i = 0; i < rel->NumTuples(); ++i) {
+    WsdTuple& t = rel->mutable_tuple(i);
+    // Gather involved cells.
+    ComponentId cid = kInvalidComponent;
+    std::vector<std::pair<size_t, uint32_t>> ref_cols;  // (col, slot)
+    for (size_t c : cols) {
+      const Cell& cell = t.cells[c];
+      if (cell.is_certain()) {
+        eval_buf[c] = cell.value();
+      } else {
+        if (cid == kInvalidComponent) {
+          cid = cell.ref().cid;
+        } else if (cid != cell.ref().cid) {
+          return Status::Internal(
+              "predicate spans components after merge — planner bug");
+        }
+        ref_cols.emplace_back(c, cell.ref().slot);
+      }
+    }
+    if (ref_cols.empty()) {
+      MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*bound_pred, eval_buf));
+      if (!pass) drop[i] = true;
+      continue;
+    }
+    Component& m = db->mutable_component(cid);
+    // Fast path: an owner gating only this tuple lets us mark ⊥ in place
+    // (the paper's algorithm). Any referenced slot's owner is in t.deps.
+    OwnerId fast_owner = 0;
+    bool have_fast = false;
+    for (const auto& [c, slot] : ref_cols) {
+      OwnerId o = m.slot(slot).owner;
+      auto it = usage.find(o);
+      if (it != usage.end() && it->second == 1) {
+        fast_owner = o;
+        have_fast = true;
+        break;
+      }
+    }
+    if (have_fast) {
+      std::vector<uint32_t> owner_slots;
+      for (uint32_t s = 0; s < m.NumSlots(); ++s) {
+        if (m.slot(s).owner == fast_owner) owner_slots.push_back(s);
+      }
+      for (size_t r = 0; r < m.NumRows(); ++r) {
+        ComponentRow& row = m.mutable_row(r);
+        bool dead = false;
+        for (const auto& [c, slot] : ref_cols) {
+          const Value& v = row.values[slot];
+          if (v.is_bottom()) {
+            dead = true;
+            break;
+          }
+          eval_buf[c] = v;
+        }
+        if (dead) continue;  // already absent in these worlds
+        MAYBMS_ASSIGN_OR_RETURN(bool pass,
+                                EvalPredicate(*bound_pred, eval_buf));
+        if (!pass) {
+          for (uint32_t s : owner_slots) row.values[s] = Value::Bottom();
+        }
+      }
+    } else {
+      // Existence-slot path: a fresh owner encodes survival.
+      std::vector<Value> exist_values;
+      exist_values.reserve(m.NumRows());
+      bool any_alive = false, any_kill = false;
+      for (size_t r = 0; r < m.NumRows(); ++r) {
+        const ComponentRow& row = m.row(r);
+        bool dead = false;
+        for (const auto& [c, slot] : ref_cols) {
+          const Value& v = row.values[slot];
+          if (v.is_bottom()) {
+            dead = true;
+            break;
+          }
+          eval_buf[c] = v;
+        }
+        if (dead) {
+          // Tuple already absent in these worlds; ⊥ is redundant but
+          // compact and does not trigger slot creation by itself.
+          exist_values.push_back(Value::Bottom());
+          continue;
+        }
+        MAYBMS_ASSIGN_OR_RETURN(bool pass,
+                                EvalPredicate(*bound_pred, eval_buf));
+        exist_values.push_back(pass ? ExistsToken() : Value::Bottom());
+        (pass ? any_alive : any_kill) = true;
+      }
+      if (!any_alive) {
+        drop[i] = true;
+      } else if (any_kill) {
+        OwnerId fresh = db->NextOwner();
+        m.AddSlotWithValues(
+            {fresh, "\xCF\x83\xE2\x88\x83" + std::to_string(fresh)},
+            std::move(exist_values));
+        t.AddDep(fresh);
+      }
+    }
+    // Reset buffer columns we touched (cheap hygiene for certain cells of
+    // the next tuple).
+    for (size_t c : cols) eval_buf[c] = Value::Null();
+  }
+
+  // Remove dropped tuples.
+  auto& tuples = rel->mutable_tuples();
+  size_t kept = 0;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (!drop[i]) {
+      if (kept != i) tuples[kept] = std::move(tuples[i]);
+      ++kept;
+    }
+  }
+  tuples.resize(kept);
+  return Status::OK();
+}
+
+std::vector<Value> PossibleCellValues(const WsdDb& db, const Cell& cell) {
+  if (cell.is_certain()) return {cell.value()};
+  const Component& c = db.component(cell.ref().cid);
+  std::vector<Value> out;
+  for (const auto& row : c.rows()) {
+    const Value& v = row.values[cell.ref().slot];
+    if (v.is_bottom()) continue;
+    bool seen = false;
+    for (const auto& u : out) {
+      if (u == v) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(v);
+  }
+  return out;
+}
+
+bool CellsPossiblyEqual(const WsdDb& db, const Cell& a, const Cell& b) {
+  if (a.is_certain() && b.is_certain()) return a.value() == b.value();
+  std::vector<Value> va = PossibleCellValues(db, a);
+  std::vector<Value> vb = PossibleCellValues(db, b);
+  for (const auto& x : va) {
+    for (const auto& y : vb) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// One existence slot to be computed: kills `target` in the worlds of the
+// merged component where some member source is alive with equal values,
+// or where the target's values equal one of `killer_values` (value
+// vectors of always-alive certain duplicates, which need no components of
+// their own).
+struct KillUnit {
+  std::string target_rel;
+  size_t target_idx = 0;
+  std::vector<size_t> spec_source_idxs;  // indexes into spec.sources
+  std::vector<std::vector<Value>> killer_values;
+  const MatchKillSpec* spec = nullptr;
+  std::vector<ComponentId> cids;  // pre-merge components of this unit
+};
+
+}  // namespace
+
+Status ApplyMatchKills(WsdDb* db, const std::vector<MatchKillSpec>& specs) {
+  if (specs.empty()) return Status::OK();
+
+  MergePlanner planner;
+  std::vector<KillUnit> units;
+  std::unordered_map<std::string, std::vector<size_t>> removals;
+  BottomGatingIndex gating_index = BuildBottomGatingIndex(*db);
+  auto always_alive = [&gating_index](const std::vector<OwnerId>& deps) {
+    for (OwnerId o : deps) {
+      if (gating_index.count(o)) return false;
+    }
+    return true;
+  };
+
+  // Phase 1: static kills + unit construction. Sources whose kill events
+  // touch disjoint components get independent existence slots (target
+  // existence is the conjunction over its deps), so no cross-source merge
+  // is needed unless they genuinely share components.
+  for (const auto& spec : specs) {
+    MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* trel,
+                            db->GetRelation(spec.target_rel));
+    const WsdTuple& target = trel->tuple(spec.target_idx);
+    bool target_certain = FullyCertain(target);
+
+    // Static kill: a fully-certain, always-alive, equal source kills a
+    // fully-certain target in every world — no components involved.
+    if (target_certain) {
+      bool killed = false;
+      for (const auto& src : spec.sources) {
+        MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* srel,
+                                db->GetRelation(src.rel));
+        const WsdTuple& s = srel->tuple(src.idx);
+        if (CertainlyEqual(target, s) && always_alive(src.deps)) {
+          killed = true;
+          break;
+        }
+      }
+      if (killed) {
+        removals[spec.target_rel].push_back(spec.target_idx);
+        continue;
+      }
+    }
+
+    std::vector<ComponentId> target_cids;
+    for (const auto& cell : target.cells) {
+      if (cell.is_ref()) target_cids.push_back(cell.ref().cid);
+    }
+    std::sort(target_cids.begin(), target_cids.end());
+    target_cids.erase(std::unique(target_cids.begin(), target_cids.end()),
+                      target_cids.end());
+
+    // Value-only killers: fully-certain, always-alive sources kill the
+    // (uncertain) target in exactly the worlds where the target takes
+    // their values — no source components are needed. They also dominate
+    // any gated certain source with the same values, which can be dropped
+    // from the merge entirely.
+    std::vector<std::vector<Value>> killer_values;
+    std::vector<bool> dominated(spec.sources.size(), false);
+    if (!target_cids.empty()) {
+      for (size_t s = 0; s < spec.sources.size(); ++s) {
+        const auto& src = spec.sources[s];
+        MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* srel,
+                                db->GetRelation(src.rel));
+        const WsdTuple& st = srel->tuple(src.idx);
+        if (!FullyCertain(st)) continue;
+        std::vector<Value> values;
+        values.reserve(st.cells.size());
+        for (const auto& cell : st.cells) values.push_back(cell.value());
+        if (always_alive(src.deps)) {
+          dominated[s] = true;
+          bool seen = false;
+          for (const auto& kv : killer_values) {
+            if (kv.size() == values.size()) {
+              bool eq = true;
+              for (size_t c = 0; c < kv.size(); ++c) {
+                if (!(kv[c] == values[c])) {
+                  eq = false;
+                  break;
+                }
+              }
+              if (eq) {
+                seen = true;
+                break;
+              }
+            }
+          }
+          if (!seen) killer_values.push_back(std::move(values));
+        }
+      }
+      // Second pass: gated certain sources dominated by a killer.
+      for (size_t s = 0; s < spec.sources.size(); ++s) {
+        if (dominated[s]) continue;
+        const auto& src = spec.sources[s];
+        const WsdRelation* srel = db->GetRelation(src.rel).value();
+        const WsdTuple& st = srel->tuple(src.idx);
+        if (!FullyCertain(st)) continue;
+        for (const auto& kv : killer_values) {
+          bool eq = kv.size() == st.cells.size();
+          for (size_t c = 0; eq && c < kv.size(); ++c) {
+            eq = (kv[c] == st.cells[c].value());
+          }
+          if (eq) {
+            dominated[s] = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // Per-source component sets (values + ⊥-gating only).
+    std::vector<std::vector<ComponentId>> scids(spec.sources.size());
+    for (size_t s = 0; s < spec.sources.size(); ++s) {
+      if (dominated[s]) continue;
+      const auto& src = spec.sources[s];
+      MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* srel,
+                              db->GetRelation(src.rel));
+      const WsdTuple& st = srel->tuple(src.idx);
+      for (const auto& cell : st.cells) {
+        if (cell.is_ref()) scids[s].push_back(cell.ref().cid);
+      }
+      for (ComponentId g : LookupBottomGating(gating_index, src.deps)) {
+        scids[s].push_back(g);
+      }
+      std::sort(scids[s].begin(), scids[s].end());
+      scids[s].erase(std::unique(scids[s].begin(), scids[s].end()),
+                     scids[s].end());
+    }
+
+    // Group sources that share components (always including the target's
+    // value components in every group when the target is uncertain).
+    // Union-find over source indexes keyed by component id.
+    std::unordered_map<ComponentId, size_t> comp_owner;  // comp -> source idx
+    std::vector<size_t> parent(spec.sources.size());
+    for (size_t s = 0; s < parent.size(); ++s) parent[s] = s;
+    std::function<size_t(size_t)> find = [&](size_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    if (!target_cids.empty()) {
+      // Uncertain target: every source correlates through the target's
+      // cells — one group.
+      for (size_t s = 1; s < parent.size(); ++s) parent[find(s)] = find(0);
+    } else {
+      for (size_t s = 0; s < spec.sources.size(); ++s) {
+        for (ComponentId cid : scids[s]) {
+          auto [it, inserted] = comp_owner.try_emplace(cid, s);
+          if (!inserted) parent[find(s)] = find(it->second);
+        }
+      }
+    }
+    std::unordered_map<size_t, KillUnit> group_units;
+    for (size_t s = 0; s < spec.sources.size(); ++s) {
+      if (dominated[s]) continue;
+      // A source with no components at all: fully certain and always
+      // alive would have been a static kill for certain targets and a
+      // value-only killer for uncertain ones; skip defensively.
+      if (scids[s].empty() && target_cids.empty()) continue;
+      KillUnit& unit = group_units[find(s)];
+      unit.spec_source_idxs.push_back(s);
+      for (ComponentId cid : scids[s]) unit.cids.push_back(cid);
+    }
+    // Value-only killers get their own unit over the target's components.
+    if (!killer_values.empty()) {
+      KillUnit unit;
+      unit.killer_values = std::move(killer_values);
+      // Merge into the sources' group when one exists (the planner would
+      // fuse the merged components anyway via the shared target cids).
+      if (!group_units.empty()) {
+        auto& first = group_units.begin()->second;
+        first.killer_values = std::move(unit.killer_values);
+      } else {
+        group_units.emplace(SIZE_MAX, std::move(unit));
+      }
+    }
+    for (auto& [root, unit] : group_units) {
+      unit.target_rel = spec.target_rel;
+      unit.target_idx = spec.target_idx;
+      unit.spec = &spec;
+      for (ComponentId cid : target_cids) unit.cids.push_back(cid);
+      std::sort(unit.cids.begin(), unit.cids.end());
+      unit.cids.erase(std::unique(unit.cids.begin(), unit.cids.end()),
+                      unit.cids.end());
+      if (unit.cids.empty()) continue;
+      planner.Require(unit.cids);
+      units.push_back(std::move(unit));
+    }
+  }
+  MAYBMS_RETURN_IF_ERROR(planner.Execute(db));
+
+  // Phase 2: compute one existence slot per unit.
+  std::unordered_map<std::string, std::unordered_set<size_t>> removed_set;
+  for (auto& [rel_name, idxs] : removals) {
+    removed_set[rel_name].insert(idxs.begin(), idxs.end());
+  }
+  for (const KillUnit& unit : units) {
+    if (removed_set.count(unit.target_rel) &&
+        removed_set[unit.target_rel].count(unit.target_idx)) {
+      continue;  // already statically dead
+    }
+    MAYBMS_ASSIGN_OR_RETURN(WsdRelation * trel,
+                            db->GetMutableRelation(unit.target_rel));
+    WsdTuple& target = trel->mutable_tuple(unit.target_idx);
+    ComponentId mid = planner.Resolve(unit.cids[0]);
+    Component& m = db->mutable_component(mid);
+
+    struct SourceInfo {
+      std::vector<uint32_t> gating_slots;
+      const WsdTuple* tuple = nullptr;
+    };
+    std::vector<SourceInfo> sources(unit.spec_source_idxs.size());
+    for (size_t k = 0; k < unit.spec_source_idxs.size(); ++k) {
+      const auto& src = unit.spec->sources[unit.spec_source_idxs[k]];
+      MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* srel,
+                              db->GetRelation(src.rel));
+      sources[k].tuple = &srel->tuple(src.idx);
+      for (uint32_t slot = 0; slot < m.NumSlots(); ++slot) {
+        if (std::binary_search(src.deps.begin(), src.deps.end(),
+                               m.slot(slot).owner)) {
+          sources[k].gating_slots.push_back(slot);
+        }
+      }
+    }
+
+    std::vector<Value> exist_values;
+    exist_values.reserve(m.NumRows());
+    bool any_alive = false, any_kill = false;
+    std::vector<Value> tvals(target.cells.size());
+    for (size_t r = 0; r < m.NumRows(); ++r) {
+      const ComponentRow& row = m.row(r);
+      bool target_dead = false;
+      for (size_t c = 0; c < target.cells.size(); ++c) {
+        const Cell& cell = target.cells[c];
+        if (cell.is_certain()) {
+          tvals[c] = cell.value();
+        } else {
+          MAYBMS_CHECK(cell.ref().cid == mid);
+          tvals[c] = row.values[cell.ref().slot];
+          if (tvals[c].is_bottom()) target_dead = true;
+        }
+      }
+      if (target_dead) {
+        exist_values.push_back(Value::Bottom());
+        continue;
+      }
+      bool killed = false;
+      // Value-only killers: always-alive certain duplicates.
+      for (const auto& kv : unit.killer_values) {
+        bool eq = kv.size() == tvals.size();
+        for (size_t c = 0; eq && c < kv.size(); ++c) {
+          eq = (kv[c] == tvals[c]);
+        }
+        if (eq) {
+          killed = true;
+          break;
+        }
+      }
+      for (size_t s = 0; !killed && s < sources.size(); ++s) {
+        bool alive = true;
+        for (uint32_t slot : sources[s].gating_slots) {
+          if (row.values[slot].is_bottom()) {
+            alive = false;
+            break;
+          }
+        }
+        if (!alive) continue;
+        const WsdTuple& st = *sources[s].tuple;
+        bool equal = st.cells.size() == tvals.size();
+        for (size_t c = 0; equal && c < st.cells.size(); ++c) {
+          const Cell& cell = st.cells[c];
+          const Value& sv = cell.is_certain() ? cell.value()
+                                              : row.values[cell.ref().slot];
+          if (sv.is_bottom() || !(sv == tvals[c])) equal = false;
+        }
+        if (equal) killed = true;
+      }
+      exist_values.push_back(killed ? Value::Bottom() : ExistsToken());
+      (killed ? any_kill : any_alive) = true;
+    }
+    if (!any_alive) {
+      removals[unit.target_rel].push_back(unit.target_idx);
+      removed_set[unit.target_rel].insert(unit.target_idx);
+    } else if (any_kill) {
+      OwnerId fresh = db->NextOwner();
+      m.AddSlotWithValues(
+          {fresh, "\xCE\xB4\xE2\x88\x83" + std::to_string(fresh)},
+          std::move(exist_values));
+      target.AddDep(fresh);
+    }
+  }
+
+  // Execute removals (descending indexes per relation).
+  for (auto& [rel_name, idxs] : removals) {
+    MAYBMS_ASSIGN_OR_RETURN(WsdRelation * rel,
+                            db->GetMutableRelation(rel_name));
+    std::sort(idxs.begin(), idxs.end(), std::greater<size_t>());
+    idxs.erase(std::unique(idxs.begin(), idxs.end()), idxs.end());
+    auto& tuples = rel->mutable_tuples();
+    for (size_t idx : idxs) tuples.erase(tuples.begin() + idx);
+  }
+  return Status::OK();
+}
+
+}  // namespace lifted_internal
+}  // namespace maybms

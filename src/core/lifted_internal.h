@@ -1,0 +1,112 @@
+// Shared machinery of the lifted operators. Internal header — not part of
+// the public API.
+#ifndef MAYBMS_CORE_LIFTED_INTERNAL_H_
+#define MAYBMS_CORE_LIFTED_INTERNAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/wsd.h"
+#include "ra/expr.h"
+
+namespace maybms {
+namespace lifted_internal {
+
+/// Number of tuples (across the whole database) whose deps contain each
+/// owner. Owners with count 1 admit the paper-style in-place ⊥ marking.
+std::unordered_map<OwnerId, size_t> CountOwnerUsage(const WsdDb& db);
+
+/// Components that contain at least one slot owned by one of `owners`
+/// (sorted). These gate the existence of tuples depending on the owners.
+std::vector<ComponentId> ComponentsGatingOwners(
+    const WsdDb& db, const std::vector<OwnerId>& owners);
+
+/// Components that both gate one of `owners` and contain ⊥ on an owned
+/// slot — the only ones that can make a dependent tuple dead. (After
+/// plain or-set insertion there are none.)
+std::vector<ComponentId> BottomGatingComponents(
+    const WsdDb& db, const std::vector<OwnerId>& owners);
+
+/// True when a tuple with these deps exists in every world (no component
+/// carries ⊥ on a dep-owned slot).
+bool AlwaysAlive(const WsdDb& db, const std::vector<OwnerId>& deps);
+
+/// owner -> components carrying ⊥ on a slot owned by that owner. Build
+/// once per operator; per-tuple queries then cost O(|deps|).
+using BottomGatingIndex =
+    std::unordered_map<OwnerId, std::vector<ComponentId>>;
+BottomGatingIndex BuildBottomGatingIndex(const WsdDb& db);
+
+/// Gating components of `deps` via the index (sorted, deduplicated).
+std::vector<ComponentId> LookupBottomGating(
+    const BottomGatingIndex& index, const std::vector<OwnerId>& deps);
+
+/// True when every cell of the tuple is certain.
+bool FullyCertain(const WsdTuple& t);
+
+/// True when both tuples are fully certain with equal values.
+bool CertainlyEqual(const WsdTuple& a, const WsdTuple& b);
+
+/// Disjoint-set merge planner: operators register groups of components
+/// that must end up in one component; Execute() merges each connected
+/// group once and remaps all template cells in a single pass.
+class MergePlanner {
+ public:
+  /// Registers that all components in `cids` must be merged together.
+  void Require(const std::vector<ComponentId>& cids);
+
+  /// Performs the merges. After this call, Resolve() maps any registered
+  /// component to its merged component.
+  Status Execute(WsdDb* db);
+
+  /// The merged id for `cid` (identity when never registered).
+  ComponentId Resolve(ComponentId cid) const;
+
+  bool executed() const { return executed_; }
+
+ private:
+  ComponentId Find(ComponentId c);
+  std::unordered_map<ComponentId, ComponentId> parent_;
+  std::unordered_map<ComponentId, ComponentId> merged_;  // root -> new id
+  bool executed_ = false;
+};
+
+/// Filters the tuples of `rel_name` in place by a predicate already bound
+/// against the relation's schema: tuples are kept exactly in the worlds
+/// where the predicate evaluates to true. Implements the paper's
+/// selection, including component merging for multi-component predicates.
+Status FilterRelationInPlace(WsdDb* db, const std::string& rel_name,
+                             const ExprPtr& bound_pred);
+
+/// The distinct non-⊥ values a cell can take (single value for certain
+/// cells, slot values otherwise).
+std::vector<Value> PossibleCellValues(const WsdDb& db, const Cell& cell);
+
+/// True when two cells can hold equal values in some world (conservative:
+/// may return true for cells that never coexist).
+bool CellsPossiblyEqual(const WsdDb& db, const Cell& a, const Cell& b);
+
+/// Adds to each tuple listed in `targets` an existence slot that kills it
+/// in exactly the worlds where some of its `sources` tuples is alive
+/// (w.r.t. the snapshot deps) and has values equal to the target's.
+/// Shared backbone of LiftedDifference and LiftedDistinct.
+struct MatchKillSpec {
+  std::string target_rel;
+  size_t target_idx = 0;
+  /// Sources: (relation, tuple index, snapshot deps to use for aliveness).
+  struct Source {
+    std::string rel;
+    size_t idx = 0;
+    std::vector<OwnerId> deps;
+  };
+  std::vector<Source> sources;
+};
+
+Status ApplyMatchKills(WsdDb* db, const std::vector<MatchKillSpec>& specs);
+
+}  // namespace lifted_internal
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_LIFTED_INTERNAL_H_

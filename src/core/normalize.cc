@@ -1,0 +1,382 @@
+#include "core/normalize.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace maybms {
+
+namespace {
+
+// Reference information gathered in one scan over the templates.
+struct RefIndex {
+  // (cid, slot) -> number of referencing template cells.
+  std::unordered_map<uint64_t, size_t> slot_refs;
+  // owners appearing in some tuple's deps.
+  std::unordered_set<OwnerId> live_owners;
+
+  static uint64_t Key(ComponentId cid, uint32_t slot) {
+    return (static_cast<uint64_t>(cid) << 32) | slot;
+  }
+};
+
+RefIndex BuildRefIndex(const WsdDb& db) {
+  RefIndex idx;
+  for (const auto& [key, rel] : db.relations()) {
+    for (const auto& t : rel.tuples()) {
+      for (OwnerId o : t.deps) idx.live_owners.insert(o);
+      for (const auto& cell : t.cells) {
+        if (cell.is_ref()) {
+          idx.slot_refs[RefIndex::Key(cell.ref().cid, cell.ref().slot)]++;
+        }
+      }
+    }
+  }
+  return idx;
+}
+
+// Step 1: within each component row, a ⊥ on any slot of an owner spreads
+// to all slots of that owner in the same row.
+bool PropagateBottom(WsdDb* db) {
+  bool changed = false;
+  for (ComponentId id : db->LiveComponents()) {
+    Component& c = db->mutable_component(id);
+    // owner -> slots in this component
+    std::unordered_map<OwnerId, std::vector<uint32_t>> by_owner;
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      by_owner[c.slot(s).owner].push_back(s);
+    }
+    bool multi = false;
+    for (const auto& [o, slots] : by_owner) {
+      if (slots.size() > 1) {
+        multi = true;
+        break;
+      }
+    }
+    if (!multi) continue;
+    for (size_t r = 0; r < c.NumRows(); ++r) {
+      ComponentRow& row = c.mutable_row(r);
+      for (const auto& [o, slots] : by_owner) {
+        if (slots.size() < 2) continue;
+        bool any_bottom = false;
+        for (uint32_t s : slots) {
+          if (row.values[s].is_bottom()) {
+            any_bottom = true;
+            break;
+          }
+        }
+        if (!any_bottom) continue;
+        for (uint32_t s : slots) {
+          if (!row.values[s].is_bottom()) {
+            row.values[s] = Value::Bottom();
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+// Step 2: remove tuples with existence probability 0.
+//
+// P(exists) factorizes per component, so it is 0 iff in some component
+// the rows where none of the tuple's dep-owned slots are ⊥ carry zero
+// mass. Indexed for the common case: only owners with ⊥ somewhere can
+// kill; single-owner-per-component deaths are precomputed, joint deaths
+// (several dep owners sharing one component) are checked exactly but only
+// for the rare tuples where that can occur.
+size_t RemoveDeadTuples(WsdDb* db) {
+  std::unordered_set<OwnerId> dead_owners;
+  // owner -> components where the owner has a ⊥ slot (but is not
+  // single-handedly dead there).
+  std::unordered_map<OwnerId, std::vector<ComponentId>> bottom_comps;
+  for (ComponentId id : db->LiveComponents()) {
+    const Component& c = db->component(id);
+    std::unordered_map<OwnerId, std::vector<uint32_t>> by_owner;
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      by_owner[c.slot(s).owner].push_back(s);
+    }
+    for (const auto& [owner, slots] : by_owner) {
+      bool has_bottom = false;
+      double alive = 0.0;
+      for (const auto& row : c.rows()) {
+        bool ok = true;
+        for (uint32_t s : slots) {
+          if (row.values[s].is_bottom()) {
+            ok = false;
+            has_bottom = true;
+            break;
+          }
+        }
+        if (ok) alive += row.prob;
+      }
+      if (has_bottom) {
+        if (alive <= 0.0) {
+          dead_owners.insert(owner);
+        } else {
+          bottom_comps[owner].push_back(id);
+        }
+      }
+    }
+  }
+  if (dead_owners.empty() && bottom_comps.empty()) return 0;
+
+  size_t removed = 0;
+  std::unordered_map<ComponentId, size_t> comp_hits;
+  for (auto& [key, rel] : db->mutable_relations()) {
+    auto& tuples = rel.mutable_tuples();
+    size_t kept = 0;
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      const WsdTuple& t = tuples[i];
+      bool dead = false;
+      for (OwnerId o : t.deps) {
+        if (dead_owners.count(o)) {
+          dead = true;
+          break;
+        }
+      }
+      // Joint death: two or more dep owners with ⊥ in the same component
+      // may leave no jointly-alive row even though each survives alone.
+      if (!dead && t.deps.size() > 1) {
+        comp_hits.clear();
+        for (OwnerId o : t.deps) {
+          auto it = bottom_comps.find(o);
+          if (it == bottom_comps.end()) continue;
+          for (ComponentId cid : it->second) comp_hits[cid]++;
+        }
+        for (const auto& [cid, hits] : comp_hits) {
+          if (hits < 2) continue;
+          const Component& c = db->component(cid);
+          double alive = 0.0;
+          for (const auto& row : c.rows()) {
+            bool ok = true;
+            for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+              if (row.values[s].is_bottom() &&
+                  std::binary_search(t.deps.begin(), t.deps.end(),
+                                     c.slot(s).owner)) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) alive += row.prob;
+          }
+          if (alive <= 0.0) {
+            dead = true;
+            break;
+          }
+        }
+      }
+      if (!dead) {
+        if (kept != i) tuples[kept] = std::move(tuples[i]);
+        ++kept;
+      } else {
+        ++removed;
+      }
+    }
+    tuples.resize(kept);
+  }
+  return removed;
+}
+
+// Step 3: garbage-collect slots. Unreferenced slots that never carry ⊥ or
+// whose owner gates no tuple are dropped (marginalized); unreferenced
+// slots that do carry ⊥ for a live owner collapse into existence slots.
+// Duplicate existence slots of the same owner within a component merge.
+// All slot renumberings are applied to the templates in ONE final pass.
+void GcSlots(WsdDb* db, const RefIndex& idx, NormalizeStats* stats) {
+  std::unordered_map<ComponentId, std::vector<uint32_t>> remaps;
+  for (ComponentId id : db->LiveComponents()) {
+    Component& c = db->mutable_component(id);
+    std::vector<uint32_t> to_drop;
+    // owner -> first existence slot index seen
+    std::unordered_map<OwnerId, uint32_t> exist_slot;
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      bool referenced = idx.slot_refs.count(RefIndex::Key(id, s)) > 0;
+      if (referenced) continue;
+      OwnerId owner = c.slot(s).owner;
+      bool owner_live = idx.live_owners.count(owner) > 0;
+      bool has_bottom = false;
+      for (const auto& row : c.rows()) {
+        if (row.values[s].is_bottom()) {
+          has_bottom = true;
+          break;
+        }
+      }
+      if (!owner_live || !has_bottom) {
+        to_drop.push_back(s);
+        stats->slots_dropped++;
+        continue;
+      }
+      // Collapse to an existence slot.
+      auto it = exist_slot.find(owner);
+      if (it == exist_slot.end()) {
+        exist_slot[owner] = s;
+        bool was_data = false;
+        for (size_t r = 0; r < c.NumRows(); ++r) {
+          Value& v = c.mutable_row(r).values[s];
+          if (!v.is_bottom()) {
+            if (!(v == ExistsToken())) was_data = true;
+            v = ExistsToken();
+          }
+        }
+        if (was_data) {
+          c.mutable_slot(s).label = "\xE2\x88\x83" + std::to_string(owner);
+          stats->slots_collapsed++;
+        }
+      } else {
+        // AND into the canonical existence slot, then drop this one.
+        uint32_t keep = it->second;
+        for (size_t r = 0; r < c.NumRows(); ++r) {
+          if (c.row(r).values[s].is_bottom()) {
+            c.mutable_row(r).values[keep] = Value::Bottom();
+          }
+        }
+        to_drop.push_back(s);
+        stats->slots_dropped++;
+      }
+    }
+    if (!to_drop.empty()) {
+      std::vector<uint32_t> remap(c.NumSlots());
+      std::vector<bool> dropped(c.NumSlots(), false);
+      for (uint32_t s : to_drop) dropped[s] = true;
+      uint32_t next = 0;
+      for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+        remap[s] = next;
+        if (!dropped[s]) ++next;
+      }
+      c.DropSlots(to_drop);
+      remaps.emplace(id, std::move(remap));
+    }
+    if (c.NumSlots() == 0) {
+      db->RemoveComponent(id);
+      stats->components_dropped++;
+      remaps.erase(id);
+    }
+  }
+  if (!remaps.empty()) {
+    for (auto& [key, rel] : db->mutable_relations()) {
+      for (auto& t : rel.mutable_tuples()) {
+        for (auto& cell : t.cells) {
+          if (!cell.is_ref()) continue;
+          auto it = remaps.find(cell.ref().cid);
+          if (it != remaps.end()) {
+            cell.mutable_ref().slot = it->second[cell.ref().slot];
+          }
+        }
+      }
+    }
+  }
+}
+
+// Step 4: merge identical rows within each component.
+size_t DedupRows(WsdDb* db) {
+  size_t merged = 0;
+  for (ComponentId id : db->LiveComponents()) {
+    Component& c = db->mutable_component(id);
+    size_t before = c.NumRows();
+    c.DedupRows();
+    merged += before - c.NumRows();
+  }
+  return merged;
+}
+
+// Step 5: inline slots whose value is the same (non-⊥) in every row.
+// Constant-slot detection runs per component; the inlining itself is one
+// pass over all templates.
+size_t InlineCertain(WsdDb* db, NormalizeStats* stats) {
+  // cid -> (constant flags, constant values)
+  std::unordered_map<ComponentId,
+                     std::pair<std::vector<bool>, std::vector<Value>>>
+      constants;
+  for (ComponentId id : db->LiveComponents()) {
+    Component& c = db->mutable_component(id);
+    if (c.NumRows() == 0) continue;
+    std::vector<bool> is_constant(c.NumSlots(), false);
+    std::vector<Value> constant_of(c.NumSlots());
+    bool any = false;
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      const Value& first = c.row(0).values[s];
+      if (first.is_bottom()) continue;
+      bool constant = true;
+      for (size_t r = 1; r < c.NumRows(); ++r) {
+        if (!(c.row(r).values[s] == first)) {
+          constant = false;
+          break;
+        }
+      }
+      if (constant) {
+        is_constant[s] = true;
+        constant_of[s] = first;
+        any = true;
+      }
+    }
+    if (any) {
+      constants.emplace(
+          id, std::make_pair(std::move(is_constant), std::move(constant_of)));
+    }
+  }
+  if (constants.empty()) return 0;
+  // Inline into referencing cells; unreferenced constant slots are
+  // handled by GC in the next iteration.
+  size_t inlined_cells = 0;
+  for (auto& [key, rel] : db->mutable_relations()) {
+    for (auto& t : rel.mutable_tuples()) {
+      for (auto& cell : t.cells) {
+        if (!cell.is_ref()) continue;
+        auto it = constants.find(cell.ref().cid);
+        if (it != constants.end() && it->second.first[cell.ref().slot]) {
+          cell = Cell::Certain(it->second.second[cell.ref().slot]);
+          ++inlined_cells;
+        }
+      }
+    }
+  }
+  stats->cells_inlined += inlined_cells;
+  return inlined_cells;
+}
+
+}  // namespace
+
+Result<NormalizeStats> Normalize(WsdDb* db, const NormalizeOptions& options) {
+  NormalizeStats stats;
+  bool changed = true;
+  // Each iteration strictly shrinks the representation (slots, rows,
+  // tuples, or refs), so this terminates; the cap is a safety net.
+  constexpr size_t kMaxIterations = 64;
+  while (changed && stats.iterations < kMaxIterations) {
+    changed = false;
+    ++stats.iterations;
+    if (options.propagate_bottom) {
+      changed |= PropagateBottom(db);
+    }
+    if (options.remove_dead_tuples) {
+      size_t removed = RemoveDeadTuples(db);
+      stats.tuples_removed += removed;
+      changed |= removed > 0;
+    }
+    if (options.gc_slots) {
+      RefIndex idx = BuildRefIndex(*db);
+      size_t before_drop = stats.slots_dropped + stats.components_dropped;
+      GcSlots(db, idx, &stats);
+      changed |=
+          (stats.slots_dropped + stats.components_dropped) != before_drop;
+    }
+    if (options.dedup_rows) {
+      size_t merged = DedupRows(db);
+      stats.rows_merged += merged;
+      changed |= merged > 0;
+    }
+    if (options.inline_certain) {
+      changed |= InlineCertain(db, &stats) > 0;
+    }
+  }
+  if (stats.iterations >= kMaxIterations) {
+    return Status::Internal("normalization did not reach fixpoint");
+  }
+  return stats;
+}
+
+}  // namespace maybms

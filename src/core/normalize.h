@@ -1,0 +1,45 @@
+// Normalization of world-set decompositions (Section 2 of the paper).
+//
+// After lifted operators mark fields with ⊥, normalization restores the
+// compact form: ⊥ is propagated across a tuple's fields within each
+// component row, tuples that exist in no world are removed, unreferenced
+// slots are garbage-collected or collapsed into existence slots, duplicate
+// component rows are merged, and fields that became certain are inlined
+// back into the template.
+#ifndef MAYBMS_CORE_NORMALIZE_H_
+#define MAYBMS_CORE_NORMALIZE_H_
+
+#include "common/result.h"
+#include "core/wsd.h"
+
+namespace maybms {
+
+/// Which normalization steps to run (all on by default; the ablation
+/// benchmark toggles them individually).
+struct NormalizeOptions {
+  bool propagate_bottom = true;   ///< ⊥ spreads over a tuple's fields per row
+  bool remove_dead_tuples = true; ///< drop tuples with existence probability 0
+  bool gc_slots = true;           ///< drop/collapse unreferenced slots
+  bool dedup_rows = true;         ///< merge identical component rows
+  bool inline_certain = true;     ///< move constant slots into the template
+};
+
+/// Counters reported by Normalize.
+struct NormalizeStats {
+  size_t tuples_removed = 0;
+  size_t slots_dropped = 0;
+  size_t slots_collapsed = 0;  ///< data slots turned into existence slots
+  size_t rows_merged = 0;
+  size_t cells_inlined = 0;
+  size_t components_dropped = 0;
+  size_t iterations = 0;
+};
+
+/// Runs normalization to fixpoint. Preserves the represented world-set and
+/// its probability distribution exactly (verified by the property tests).
+Result<NormalizeStats> Normalize(WsdDb* db,
+                                 const NormalizeOptions& options = {});
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_NORMALIZE_H_

@@ -1,0 +1,152 @@
+#include "core/repair.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "core/normalize.h"
+
+namespace maybms {
+
+Result<RepairKeyStats> RepairKey(WsdDb* db, const std::string& relation,
+                                 const std::vector<std::string>& key_attrs,
+                                 const std::string& weight_attr) {
+  MAYBMS_ASSIGN_OR_RETURN(WsdRelation * rel, db->GetMutableRelation(relation));
+  if (key_attrs.empty()) {
+    return Status::InvalidArgument("REPAIR KEY needs at least one attribute");
+  }
+  std::vector<size_t> key_cols;
+  for (const auto& a : key_attrs) {
+    MAYBMS_ASSIGN_OR_RETURN(size_t i, rel->schema().Resolve(a));
+    key_cols.push_back(i);
+  }
+  std::optional<size_t> weight_col;
+  if (!weight_attr.empty()) {
+    MAYBMS_ASSIGN_OR_RETURN(size_t i, rel->schema().Resolve(weight_attr));
+    weight_col = i;
+  }
+
+  RepairKeyStats stats;
+  stats.tuples = rel->NumTuples();
+
+  // Group by certain key values.
+  struct Group {
+    std::vector<size_t> members;
+    std::vector<double> weights;
+    double total = 0.0;
+  };
+  std::unordered_map<size_t, std::vector<std::pair<Tuple, Group>>> groups;
+  for (size_t i = 0; i < rel->NumTuples(); ++i) {
+    const WsdTuple& t = rel->tuple(i);
+    Tuple key;
+    key.reserve(key_cols.size());
+    for (size_t c : key_cols) {
+      const Cell& cell = t.cells[c];
+      if (!cell.is_certain()) {
+        return Status::Unsupported(
+            StrFormat("REPAIR KEY requires certain key values (tuple %zu, "
+                      "attribute %s is uncertain)",
+                      i, rel->schema().attr(c).name.c_str()));
+      }
+      key.push_back(cell.value());
+    }
+    double w = 1.0;
+    if (weight_col) {
+      const Cell& cell = t.cells[*weight_col];
+      if (!cell.is_certain()) {
+        return Status::Unsupported("REPAIR KEY weight must be certain");
+      }
+      const Value& v = cell.value();
+      if (!v.is_numeric()) {
+        return Status::TypeMismatch("REPAIR KEY weight must be numeric");
+      }
+      w = v.NumericValue();
+      if (w < 0.0 || !std::isfinite(w)) {
+        return Status::OutOfRange(
+            StrFormat("REPAIR KEY weight %g out of range", w));
+      }
+    }
+    size_t h = TupleHash(key);
+    auto& bucket = groups[h];
+    Group* g = nullptr;
+    for (auto& [k, cand] : bucket) {
+      if (TupleCompare(k, key) == 0) {
+        g = &cand;
+        break;
+      }
+    }
+    if (!g) {
+      bucket.emplace_back(std::move(key), Group{});
+      g = &bucket.back().second;
+    }
+    g->members.push_back(i);
+    g->weights.push_back(w);
+    g->total += w;
+  }
+
+  // Build one component per conflicting group: row r chooses member r
+  // (its existence slot is the exists token, all others ⊥).
+  std::vector<bool> drop(rel->NumTuples(), false);
+  for (auto& [h, bucket] : groups) {
+    for (auto& [key, g] : bucket) {
+      stats.groups++;
+      if (g.members.size() < 2) continue;
+      if (g.total <= 0.0) {
+        return Status::Inconsistent(
+            "REPAIR KEY group with zero total weight: " +
+            (key.empty() ? "()" : key[0].ToString()));
+      }
+      // Weight-0 members can never be chosen; drop them outright.
+      std::vector<size_t> members;
+      std::vector<double> probs;
+      for (size_t k = 0; k < g.members.size(); ++k) {
+        if (g.weights[k] > 0.0) {
+          members.push_back(g.members[k]);
+          probs.push_back(g.weights[k] / g.total);
+        } else {
+          drop[g.members[k]] = true;
+        }
+      }
+      if (members.size() < 2) continue;  // at most one survivor possible
+      stats.conflicting_groups++;
+      stats.log2_worlds_added += std::log2(static_cast<double>(members.size()));
+
+      Component c;
+      std::vector<OwnerId> owners;
+      owners.reserve(members.size());
+      for (size_t k = 0; k < members.size(); ++k) {
+        OwnerId o = db->NextOwner();
+        owners.push_back(o);
+        c.AddSlot({o, StrFormat("repair[%zu]", members[k])}, Value::Null());
+      }
+      for (size_t r = 0; r < members.size(); ++r) {
+        ComponentRow row;
+        row.values.assign(members.size(), Value::Bottom());
+        row.values[r] = ExistsToken();
+        row.prob = probs[r];
+        MAYBMS_RETURN_IF_ERROR(c.AddRow(std::move(row)));
+      }
+      ComponentId cid = db->AddComponent(std::move(c));
+      (void)cid;
+      for (size_t k = 0; k < members.size(); ++k) {
+        rel->mutable_tuple(members[k]).AddDep(owners[k]);
+      }
+    }
+  }
+  // Remove weight-0 tuples.
+  auto& tuples = rel->mutable_tuples();
+  size_t kept = 0;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (!drop[i]) {
+      if (kept != i) tuples[kept] = std::move(tuples[i]);
+      ++kept;
+    }
+  }
+  tuples.resize(kept);
+  MAYBMS_ASSIGN_OR_RETURN(NormalizeStats ns, Normalize(db));
+  (void)ns;
+  return stats;
+}
+
+}  // namespace maybms

@@ -1,0 +1,43 @@
+// REPAIR KEY: turning a dirty certain relation into a probabilistic
+// world-set (the canonical MayBMS construct for *introducing*
+// uncertainty, the dual of cleaning).
+//
+// For every group of tuples agreeing on the key attributes, exactly one
+// tuple survives per world; the alternatives are weighted uniformly or by
+// a weight attribute. The result represents all minimal key repairs of
+// the relation, with probabilities — e.g. conflicting records for the
+// same person id become one or-set of records.
+#ifndef MAYBMS_CORE_REPAIR_H_
+#define MAYBMS_CORE_REPAIR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/wsd.h"
+
+namespace maybms {
+
+struct RepairKeyStats {
+  size_t groups = 0;            ///< distinct key values
+  size_t conflicting_groups = 0;///< groups with ≥2 alternatives
+  size_t tuples = 0;            ///< tuples processed
+  double log2_worlds_added = 0; ///< log2 of the repair multiplicity
+};
+
+/// Repairs `relation` in place on the key `key_attrs`.
+///
+/// Requirements: the key cells (and the weight cells, when given) must be
+/// certain; weights must be non-negative numbers with a positive sum per
+/// group (tuples of weight 0 are impossible and dropped). Non-key cells
+/// may already be uncertain; their components are preserved and simply
+/// gated by the repair choice.
+///
+/// With `weight_attr` empty, alternatives are uniform.
+Result<RepairKeyStats> RepairKey(WsdDb* db, const std::string& relation,
+                                 const std::vector<std::string>& key_attrs,
+                                 const std::string& weight_attr = "");
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_REPAIR_H_

@@ -1,0 +1,356 @@
+#include "core/serialize.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace maybms {
+
+namespace {
+
+constexpr const char* kMagic = "MAYBMS-WSD";
+constexpr int kVersion = 1;
+
+// --- writing ---------------------------------------------------------------
+
+void WriteString(std::ostream& out, const std::string& s) {
+  out << "s" << s.size() << ":" << s;
+}
+
+void WriteValue(std::ostream& out, const Value& v) {
+  if (v.is_null()) {
+    out << "N";
+  } else if (v.is_bottom()) {
+    out << "B";
+  } else if (v.is_bool()) {
+    out << (v.as_bool() ? "T" : "F");
+  } else if (v.is_int()) {
+    out << "i" << v.as_int();
+  } else if (v.is_double()) {
+    out << "d" << StrFormat("%.17g", v.as_double());
+  } else {
+    WriteString(out, v.as_string());
+  }
+}
+
+const char* TypeTag(ValueType t) {
+  switch (t) {
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+// --- reading ---------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  Status Expect(const std::string& token) {
+    std::string t;
+    if (!(in_ >> t) || t != token) {
+      return Status::ParseError("expected token '" + token + "', got '" + t +
+                                "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ReadToken() {
+    std::string t;
+    if (!(in_ >> t)) return Status::ParseError("unexpected end of input");
+    return t;
+  }
+
+  Result<int64_t> ReadInt() {
+    int64_t v;
+    if (!(in_ >> v)) return Status::ParseError("expected integer");
+    return v;
+  }
+
+  Result<size_t> ReadSize() {
+    MAYBMS_ASSIGN_OR_RETURN(int64_t v, ReadInt());
+    if (v < 0) return Status::ParseError("expected non-negative integer");
+    return static_cast<size_t>(v);
+  }
+
+  Result<double> ReadDouble() {
+    double v;
+    if (!(in_ >> v)) return Status::ParseError("expected double");
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    // Format: s<len>:<bytes> — the 's' may already be consumed by the
+    // caller's token peek, so handle both.
+    int c = SkipWs();
+    if (c != 's') return Status::ParseError("expected string tag 's'");
+    in_.get();
+    size_t len = 0;
+    MAYBMS_RETURN_IF_ERROR(ReadLenColon(&len));
+    std::string s(len, '\0');
+    in_.read(s.data(), static_cast<std::streamsize>(len));
+    if (in_.gcount() != static_cast<std::streamsize>(len)) {
+      return Status::ParseError("truncated string payload");
+    }
+    return s;
+  }
+
+  Result<Value> ReadValue() {
+    int c = SkipWs();
+    if (c == EOF) return Status::ParseError("unexpected end of input");
+    switch (c) {
+      case 'N':
+        in_.get();
+        return Value::Null();
+      case 'B':
+        in_.get();
+        return Value::Bottom();
+      case 'T':
+        in_.get();
+        return Value::Bool(true);
+      case 'F':
+        in_.get();
+        return Value::Bool(false);
+      case 'i': {
+        in_.get();
+        MAYBMS_ASSIGN_OR_RETURN(int64_t v, ReadInt());
+        return Value::Int(v);
+      }
+      case 'd': {
+        in_.get();
+        MAYBMS_ASSIGN_OR_RETURN(double v, ReadDouble());
+        return Value::Double(v);
+      }
+      case 's': {
+        MAYBMS_ASSIGN_OR_RETURN(std::string s, ReadString());
+        return Value::String(std::move(s));
+      }
+      default:
+        return Status::ParseError(
+            StrFormat("unknown value tag '%c'", static_cast<char>(c)));
+    }
+  }
+
+ private:
+  int SkipWs() {
+    int c = in_.peek();
+    while (c == ' ' || c == '\n' || c == '\t' || c == '\r') {
+      in_.get();
+      c = in_.peek();
+    }
+    return c;
+  }
+
+  Status ReadLenColon(size_t* len) {
+    *len = 0;
+    int c = in_.peek();
+    if (!isdigit(c)) return Status::ParseError("expected string length");
+    while (isdigit(in_.peek())) {
+      *len = *len * 10 + static_cast<size_t>(in_.get() - '0');
+    }
+    if (in_.get() != ':') return Status::ParseError("expected ':'");
+    return Status::OK();
+  }
+
+  std::istream& in_;
+};
+
+Result<ValueType> ParseType(const std::string& tag) {
+  if (tag == "bool") return ValueType::kBool;
+  if (tag == "int") return ValueType::kInt;
+  if (tag == "double") return ValueType::kDouble;
+  if (tag == "string") return ValueType::kString;
+  return Status::ParseError("unknown type tag " + tag);
+}
+
+}  // namespace
+
+Status WriteWsdDb(const WsdDb& db, std::ostream& out) {
+  out << kMagic << " " << kVersion << "\n";
+  out << "OPTIONS " << db.options().max_component_rows << "\n";
+
+  auto live = db.LiveComponents();
+  out << "COMPONENTS " << live.size() << "\n";
+  for (ComponentId id : live) {
+    const Component& c = db.component(id);
+    out << "COMPONENT " << id << " " << c.NumSlots() << " " << c.NumRows()
+        << "\n";
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      out << "SLOT " << c.slot(s).owner << " ";
+      WriteString(out, c.slot(s).label);
+      out << "\n";
+    }
+    for (const auto& row : c.rows()) {
+      out << "ROW " << StrFormat("%.17g", row.prob);
+      for (const auto& v : row.values) {
+        out << " ";
+        WriteValue(out, v);
+      }
+      out << "\n";
+    }
+  }
+
+  out << "RELATIONS " << db.relations().size() << "\n";
+  for (const auto& [key, rel] : db.relations()) {
+    out << "RELATION ";
+    WriteString(out, rel.name());
+    out << " ";
+    WriteString(out, rel.display_name());
+    out << " " << rel.schema().size() << " " << rel.NumTuples() << "\n";
+    for (size_t c = 0; c < rel.schema().size(); ++c) {
+      out << "COL ";
+      WriteString(out, rel.schema().attr(c).name);
+      out << " " << TypeTag(rel.schema().attr(c).type) << "\n";
+    }
+    for (const auto& t : rel.tuples()) {
+      out << "TUPLE " << t.deps.size();
+      for (OwnerId o : t.deps) out << " " << o;
+      out << " |";
+      for (const auto& cell : t.cells) {
+        if (cell.is_certain()) {
+          out << " C ";
+          WriteValue(out, cell.value());
+        } else {
+          out << " R " << cell.ref().cid << " " << cell.ref().slot;
+        }
+      }
+      out << "\n";
+    }
+  }
+  out << "END\n";
+  if (!out.good()) return Status::Internal("stream write failure");
+  return Status::OK();
+}
+
+Status SaveWsdDb(const WsdDb& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot open for write: " + path);
+  return WriteWsdDb(db, out);
+}
+
+Result<WsdDb> ReadWsdDb(std::istream& in) {
+  Reader r(in);
+  MAYBMS_RETURN_IF_ERROR(r.Expect(kMagic));
+  MAYBMS_ASSIGN_OR_RETURN(int64_t version, r.ReadInt());
+  if (version != kVersion) {
+    return Status::Unsupported(
+        StrFormat("unsupported WSD format version %lld",
+                  static_cast<long long>(version)));
+  }
+  WsdDb db;
+  MAYBMS_RETURN_IF_ERROR(r.Expect("OPTIONS"));
+  MAYBMS_ASSIGN_OR_RETURN(size_t max_rows, r.ReadSize());
+  db.mutable_options().max_component_rows = max_rows;
+
+  MAYBMS_RETURN_IF_ERROR(r.Expect("COMPONENTS"));
+  MAYBMS_ASSIGN_OR_RETURN(size_t n_comps, r.ReadSize());
+  OwnerId max_owner = 0;
+  for (size_t k = 0; k < n_comps; ++k) {
+    MAYBMS_RETURN_IF_ERROR(r.Expect("COMPONENT"));
+    MAYBMS_ASSIGN_OR_RETURN(size_t id, r.ReadSize());
+    MAYBMS_ASSIGN_OR_RETURN(size_t n_slots, r.ReadSize());
+    MAYBMS_ASSIGN_OR_RETURN(size_t n_rows, r.ReadSize());
+    Component c;
+    for (size_t s = 0; s < n_slots; ++s) {
+      MAYBMS_RETURN_IF_ERROR(r.Expect("SLOT"));
+      MAYBMS_ASSIGN_OR_RETURN(int64_t owner, r.ReadInt());
+      MAYBMS_ASSIGN_OR_RETURN(std::string label, r.ReadString());
+      c.AddSlot({static_cast<OwnerId>(owner), std::move(label)},
+                Value::Null());
+      max_owner = std::max(max_owner, static_cast<OwnerId>(owner));
+    }
+    // AddSlot added no rows (component empty); now read the rows.
+    for (size_t row_i = 0; row_i < n_rows; ++row_i) {
+      MAYBMS_RETURN_IF_ERROR(r.Expect("ROW"));
+      ComponentRow row;
+      MAYBMS_ASSIGN_OR_RETURN(row.prob, r.ReadDouble());
+      row.values.reserve(n_slots);
+      for (size_t s = 0; s < n_slots; ++s) {
+        MAYBMS_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+        row.values.push_back(std::move(v));
+      }
+      MAYBMS_RETURN_IF_ERROR(c.AddRow(std::move(row)));
+    }
+    // Place the component at exactly the stored id (cells reference it);
+    // ids were written ascending, gaps become dead slots.
+    for (;;) {
+      ComponentId got = db.AddComponent(Component());
+      if (got == id) {
+        db.mutable_component(got) = std::move(c);
+        break;
+      }
+      if (got > id) return Status::ParseError("component ids out of order");
+      db.RemoveComponent(got);  // filler for a gap in the id space
+    }
+  }
+
+  MAYBMS_RETURN_IF_ERROR(r.Expect("RELATIONS"));
+  MAYBMS_ASSIGN_OR_RETURN(size_t n_rels, r.ReadSize());
+  for (size_t k = 0; k < n_rels; ++k) {
+    MAYBMS_RETURN_IF_ERROR(r.Expect("RELATION"));
+    MAYBMS_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    MAYBMS_ASSIGN_OR_RETURN(std::string display, r.ReadString());
+    MAYBMS_ASSIGN_OR_RETURN(size_t n_cols, r.ReadSize());
+    MAYBMS_ASSIGN_OR_RETURN(size_t n_tuples, r.ReadSize());
+    Schema schema;
+    for (size_t c = 0; c < n_cols; ++c) {
+      MAYBMS_RETURN_IF_ERROR(r.Expect("COL"));
+      MAYBMS_ASSIGN_OR_RETURN(std::string col, r.ReadString());
+      MAYBMS_ASSIGN_OR_RETURN(std::string tag, r.ReadToken());
+      MAYBMS_ASSIGN_OR_RETURN(ValueType type, ParseType(tag));
+      MAYBMS_RETURN_IF_ERROR(schema.Add({std::move(col), type}));
+    }
+    MAYBMS_RETURN_IF_ERROR(db.CreateRelation(name, schema));
+    WsdRelation* rel = db.GetMutableRelation(name).value();
+    rel->set_display_name(display);
+    rel->Reserve(n_tuples);
+    for (size_t i = 0; i < n_tuples; ++i) {
+      MAYBMS_RETURN_IF_ERROR(r.Expect("TUPLE"));
+      MAYBMS_ASSIGN_OR_RETURN(size_t n_deps, r.ReadSize());
+      WsdTuple t;
+      for (size_t d = 0; d < n_deps; ++d) {
+        MAYBMS_ASSIGN_OR_RETURN(int64_t o, r.ReadInt());
+        t.AddDep(static_cast<OwnerId>(o));
+        max_owner = std::max(max_owner, static_cast<OwnerId>(o));
+      }
+      MAYBMS_RETURN_IF_ERROR(r.Expect("|"));
+      t.cells.reserve(n_cols);
+      for (size_t c = 0; c < n_cols; ++c) {
+        MAYBMS_ASSIGN_OR_RETURN(std::string tag, r.ReadToken());
+        if (tag == "C") {
+          MAYBMS_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+          t.cells.push_back(Cell::Certain(std::move(v)));
+        } else if (tag == "R") {
+          MAYBMS_ASSIGN_OR_RETURN(size_t cid, r.ReadSize());
+          MAYBMS_ASSIGN_OR_RETURN(size_t slot, r.ReadSize());
+          t.cells.push_back(Cell::Ref({static_cast<ComponentId>(cid),
+                                       static_cast<uint32_t>(slot)}));
+        } else {
+          return Status::ParseError("expected cell tag C or R, got " + tag);
+        }
+      }
+      rel->Add(std::move(t));
+    }
+  }
+  MAYBMS_RETURN_IF_ERROR(r.Expect("END"));
+  db.BumpOwner(max_owner);
+  MAYBMS_RETURN_IF_ERROR(db.CheckInvariants());
+  return db;
+}
+
+Result<WsdDb> LoadWsdDb(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  return ReadWsdDb(in);
+}
+
+}  // namespace maybms

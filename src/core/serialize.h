@@ -1,0 +1,27 @@
+// Persistence for world-set databases: a versioned, token-based text
+// format that round-trips templates, components, probabilities, owners
+// and options exactly. Strings are length-prefixed, so arbitrary content
+// (including newlines and the ⊥ glyph) survives.
+#ifndef MAYBMS_CORE_SERIALIZE_H_
+#define MAYBMS_CORE_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "core/wsd.h"
+
+namespace maybms {
+
+/// Writes `db` to a stream / file. The format is stable across versions
+/// of this library (header "MAYBMS-WSD 1").
+Status WriteWsdDb(const WsdDb& db, std::ostream& out);
+Status SaveWsdDb(const WsdDb& db, const std::string& path);
+
+/// Reads a database written by WriteWsdDb; validates invariants.
+Result<WsdDb> ReadWsdDb(std::istream& in);
+Result<WsdDb> LoadWsdDb(const std::string& path);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_SERIALIZE_H_

@@ -1,0 +1,38 @@
+// Core identifier types of the world-set decomposition representation.
+#ifndef MAYBMS_CORE_TYPES_H_
+#define MAYBMS_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace maybms {
+
+/// Identifies a component within a WsdDb's component store.
+using ComponentId = uint32_t;
+
+/// Identifies the *owner* of component slots: every slot belongs to an
+/// owner, and a template tuple exists in a world iff, for every owner in
+/// its dependency set, all slots of that owner are non-⊥ in the world.
+///
+/// Base tuples own the slots storing their uncertain fields. Derived
+/// tuples (join results, deduplicated tuples) acquire additional owners
+/// whose "existence slots" encode the worlds in which the derived tuple
+/// survives.
+using OwnerId = uint64_t;
+
+inline constexpr ComponentId kInvalidComponent =
+    std::numeric_limits<ComponentId>::max();
+
+/// Reference from a template cell into a component slot.
+struct FieldRef {
+  ComponentId cid = kInvalidComponent;
+  uint32_t slot = 0;
+
+  bool operator==(const FieldRef& other) const {
+    return cid == other.cid && slot == other.slot;
+  }
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_TYPES_H_

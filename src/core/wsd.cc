@@ -1,0 +1,336 @@
+#include "core/wsd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace maybms {
+
+void WsdTuple::AddDep(OwnerId owner) {
+  auto it = std::lower_bound(deps.begin(), deps.end(), owner);
+  if (it == deps.end() || *it != owner) deps.insert(it, owner);
+}
+
+Status WsdDb::CreateRelation(std::string name, Schema schema) {
+  std::string key = ToLower(name);
+  if (relations_.count(key)) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  relations_.emplace(std::move(key),
+                     WsdRelation(std::move(name), std::move(schema)));
+  return Status::OK();
+}
+
+bool WsdDb::HasRelation(const std::string& name) const {
+  return relations_.count(ToLower(name)) > 0;
+}
+
+Result<const WsdRelation*> WsdDb::GetRelation(const std::string& name) const {
+  auto it = relations_.find(ToLower(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  return &it->second;
+}
+
+Result<WsdRelation*> WsdDb::GetMutableRelation(const std::string& name) {
+  auto it = relations_.find(ToLower(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  return &it->second;
+}
+
+Status WsdDb::DropRelation(const std::string& name) {
+  if (relations_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> WsdDb::RelationNames() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [key, rel] : relations_) out.push_back(rel.name());
+  return out;
+}
+
+ComponentId WsdDb::AddComponent(Component c) {
+  components_.emplace_back(std::move(c));
+  return static_cast<ComponentId>(components_.size() - 1);
+}
+
+const Component& WsdDb::component(ComponentId id) const {
+  MAYBMS_CHECK(IsLive(id)) << "dead component " << id;
+  return *components_[id];
+}
+
+Component& WsdDb::mutable_component(ComponentId id) {
+  MAYBMS_CHECK(IsLive(id)) << "dead component " << id;
+  return *components_[id];
+}
+
+void WsdDb::RemoveComponent(ComponentId id) {
+  MAYBMS_CHECK(id < components_.size());
+  components_[id].reset();
+}
+
+std::vector<ComponentId> WsdDb::LiveComponents() const {
+  std::vector<ComponentId> out;
+  for (ComponentId i = 0; i < components_.size(); ++i) {
+    if (components_[i].has_value()) out.push_back(i);
+  }
+  return out;
+}
+
+size_t WsdDb::NumLiveComponents() const {
+  size_t n = 0;
+  for (const auto& c : components_) {
+    if (c.has_value()) ++n;
+  }
+  return n;
+}
+
+Result<ComponentId> WsdDb::MergeComponents(std::vector<ComponentId> ids,
+                                           size_t max_rows) {
+  MAYBMS_ASSIGN_OR_RETURN(std::vector<ComponentId> merged,
+                          MergeComponentGroups({std::move(ids)}, max_rows));
+  return merged[0];
+}
+
+Result<std::vector<ComponentId>> WsdDb::MergeComponentGroups(
+    const std::vector<std::vector<ComponentId>>& groups, size_t max_rows) {
+  std::vector<ComponentId> result(groups.size(), kInvalidComponent);
+  // (old cid) -> (new cid, slot base); filled across all groups, applied
+  // to the templates in one pass.
+  std::unordered_map<ComponentId, std::pair<ComponentId, uint32_t>> remap;
+  std::vector<ComponentId> to_remove;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    std::vector<ComponentId> ids = groups[g];
+    if (ids.empty()) {
+      return Status::InvalidArgument("merge of zero components");
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    if (ids.size() == 1) {
+      result[g] = ids[0];
+      continue;
+    }
+    for (ComponentId id : ids) {
+      if (!IsLive(id)) {
+        return Status::Internal(StrFormat("merging dead component %u", id));
+      }
+      if (remap.count(id)) {
+        return Status::InvalidArgument(
+            "component groups passed to MergeComponentGroups overlap");
+      }
+    }
+    // Fold left-to-right; remember where each old component's slots land.
+    Component merged = component(ids[0]);
+    std::vector<std::pair<ComponentId, uint32_t>> bases;
+    bases.emplace_back(ids[0], 0);
+    for (size_t k = 1; k < ids.size(); ++k) {
+      bases.emplace_back(ids[k], static_cast<uint32_t>(merged.NumSlots()));
+      MAYBMS_ASSIGN_OR_RETURN(
+          merged, Component::Product(merged, component(ids[k]), max_rows));
+    }
+    ComponentId new_id = AddComponent(std::move(merged));
+    for (const auto& [old_id, base] : bases) {
+      remap.emplace(old_id, std::make_pair(new_id, base));
+      to_remove.push_back(old_id);
+    }
+    result[g] = new_id;
+  }
+  if (!remap.empty()) {
+    for (auto& [key, rel] : relations_) {
+      for (auto& t : rel.mutable_tuples()) {
+        for (auto& cell : t.cells) {
+          if (!cell.is_ref()) continue;
+          auto it = remap.find(cell.ref().cid);
+          if (it != remap.end()) {
+            cell.mutable_ref().slot += it->second.second;
+            cell.mutable_ref().cid = it->second.first;
+          }
+        }
+      }
+    }
+    for (ComponentId id : to_remove) RemoveComponent(id);
+  }
+  return result;
+}
+
+double WsdDb::Log2WorldCount() const {
+  double log2 = 0.0;
+  for (const auto& c : components_) {
+    if (c.has_value() && c->NumRows() > 0) {
+      log2 += std::log2(static_cast<double>(c->NumRows()));
+    }
+  }
+  return log2;
+}
+
+std::optional<uint64_t> WsdDb::WorldCountIfSmall(uint64_t limit) const {
+  uint64_t count = 1;
+  for (const auto& c : components_) {
+    if (!c.has_value()) continue;
+    uint64_t rows = c->NumRows();
+    if (rows == 0) return 0;
+    if (count > limit / rows) return std::nullopt;
+    count *= rows;
+  }
+  return count;
+}
+
+uint64_t WsdDb::SerializedSize() const {
+  uint64_t total = 0;
+  for (const auto& [key, rel] : relations_) {
+    for (const auto& t : rel.tuples()) {
+      total += 4;  // row header
+      for (const auto& cell : t.cells) {
+        total += cell.is_certain() ? cell.value().SerializedSize() : 8;
+      }
+    }
+  }
+  for (const auto& c : components_) {
+    if (c.has_value()) total += c->SerializedSize();
+  }
+  return total;
+}
+
+double WsdDb::ExistenceProbability(const WsdTuple& t) const {
+  if (t.deps.empty()) return 1.0;
+  double p = 1.0;
+  for (ComponentId id = 0; id < components_.size(); ++id) {
+    if (!components_[id].has_value()) continue;
+    const Component& c = *components_[id];
+    // Slots of this component owned by one of t's deps.
+    std::vector<uint32_t> gating;
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      if (std::binary_search(t.deps.begin(), t.deps.end(), c.slot(s).owner)) {
+        gating.push_back(s);
+      }
+    }
+    if (gating.empty()) continue;
+    double alive = 0.0;
+    for (const auto& row : c.rows()) {
+      bool ok = true;
+      for (uint32_t s : gating) {
+        if (row.values[s].is_bottom()) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) alive += row.prob;
+    }
+    p *= alive;
+    if (p == 0.0) return 0.0;
+  }
+  return p;
+}
+
+Status WsdDb::CheckInvariants() const {
+  constexpr double kEps = 1e-6;
+  for (ComponentId id = 0; id < components_.size(); ++id) {
+    if (!components_[id].has_value()) continue;
+    const Component& c = *components_[id];
+    if (c.NumRows() == 0) {
+      return Status::Internal(StrFormat("component %u has no rows", id));
+    }
+    double mass = c.TotalMass();
+    if (std::abs(mass - 1.0) > kEps) {
+      return Status::Internal(
+          StrFormat("component %u mass %.9f != 1", id, mass));
+    }
+    for (const auto& row : c.rows()) {
+      if (row.values.size() != c.NumSlots()) {
+        return Status::Internal(StrFormat("component %u row arity", id));
+      }
+      if (row.prob < -kEps || row.prob > 1.0 + kEps) {
+        return Status::Internal(
+            StrFormat("component %u row prob %g", id, row.prob));
+      }
+    }
+  }
+  for (const auto& [key, rel] : relations_) {
+    for (const auto& t : rel.tuples()) {
+      if (t.cells.size() != rel.schema().size()) {
+        return Status::Internal("tuple arity mismatch in " + rel.name());
+      }
+      if (!std::is_sorted(t.deps.begin(), t.deps.end())) {
+        return Status::Internal("tuple deps not sorted in " + rel.name());
+      }
+      for (const auto& cell : t.cells) {
+        if (cell.is_certain()) {
+          if (cell.value().is_bottom()) {
+            return Status::Internal("inline ⊥ cell in " + rel.name());
+          }
+        } else {
+          const FieldRef& ref = cell.ref();
+          if (!IsLive(ref.cid)) {
+            return Status::Internal(
+                StrFormat("cell references dead component %u", ref.cid));
+          }
+          if (ref.slot >= component(ref.cid).NumSlots()) {
+            return Status::Internal(
+                StrFormat("cell references slot %u of component %u (%zu "
+                          "slots)",
+                          ref.slot, ref.cid, component(ref.cid).NumSlots()));
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string WsdDb::ToString() const {
+  std::string out;
+  for (const auto& [key, rel] : relations_) {
+    out += rel.name() + " " + rel.schema().ToString() + "\n";
+    for (size_t i = 0; i < rel.NumTuples(); ++i) {
+      const WsdTuple& t = rel.tuple(i);
+      out += StrFormat("  t%zu: (", i);
+      for (size_t c = 0; c < t.cells.size(); ++c) {
+        if (c) out += ", ";
+        const Cell& cell = t.cells[c];
+        if (cell.is_certain()) {
+          out += cell.value().ToString();
+        } else {
+          out += StrFormat("@c%u.%u", cell.ref().cid, cell.ref().slot);
+        }
+      }
+      out += ")";
+      if (!t.deps.empty()) {
+        out += " deps{";
+        for (size_t d = 0; d < t.deps.size(); ++d) {
+          if (d) out += ",";
+          out += std::to_string(t.deps[d]);
+        }
+        out += "}";
+      }
+      out += "\n";
+    }
+  }
+  bool first = true;
+  for (ComponentId id = 0; id < components_.size(); ++id) {
+    if (!components_[id].has_value()) continue;
+    out += first ? "components:\n" : "  ×\n";
+    first = false;
+    std::string body = components_[id]->ToString();
+    // indent
+    out += StrFormat("  [c%u]\n", id);
+    size_t pos = 0;
+    while (pos < body.size()) {
+      size_t nl = body.find('\n', pos);
+      if (nl == std::string::npos) nl = body.size();
+      out += "  " + body.substr(pos, nl - pos) + "\n";
+      pos = nl + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace maybms

@@ -1,0 +1,204 @@
+// WsdDb: a probabilistic world-set decomposition of a finite set of
+// possible databases (the paper's central data structure).
+//
+// Representation
+//   - Each relation is stored as a *template relation*: its tuples exist
+//     in some subset of the worlds, and each cell either holds an inline
+//     (certain) value or references a slot of a component.
+//   - The *component store* holds the independent factors. A world is one
+//     row choice per component; its probability is the product of the
+//     chosen rows' probabilities.
+//   - A template tuple `t` exists in a world iff every slot owned by an
+//     owner in `t.deps` is non-⊥ under that world's choices. Base tuples
+//     own the slots of their uncertain fields; lifted operators attach
+//     additional "existence slots" to encode survival of derived tuples.
+#ifndef MAYBMS_CORE_WSD_H_
+#define MAYBMS_CORE_WSD_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "core/component.h"
+#include "core/types.h"
+#include "storage/catalog.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+
+namespace maybms {
+
+/// A template cell: inline certain value or reference to a component slot.
+class Cell {
+ public:
+  Cell() : rep_(Value::Null()) {}
+  static Cell Certain(Value v) {
+    Cell c;
+    c.rep_ = std::move(v);
+    return c;
+  }
+  static Cell Ref(FieldRef ref) {
+    Cell c;
+    c.rep_ = ref;
+    return c;
+  }
+
+  bool is_certain() const { return std::holds_alternative<Value>(rep_); }
+  bool is_ref() const { return !is_certain(); }
+  const Value& value() const { return std::get<Value>(rep_); }
+  const FieldRef& ref() const { return std::get<FieldRef>(rep_); }
+  FieldRef& mutable_ref() { return std::get<FieldRef>(rep_); }
+
+ private:
+  std::variant<Value, FieldRef> rep_;
+};
+
+/// One tuple of a template relation.
+struct WsdTuple {
+  std::vector<Cell> cells;
+  /// Sorted, deduplicated owner ids gating this tuple's existence.
+  std::vector<OwnerId> deps;
+
+  /// Adds an owner to deps, keeping the vector sorted and unique.
+  void AddDep(OwnerId owner);
+};
+
+/// A template relation: schema plus world-dependent tuples.
+class WsdRelation {
+ public:
+  WsdRelation() = default;
+  WsdRelation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  /// Name used for schema disambiguation in products/joins (e.g. the
+  /// base-relation name of a scan copy whose storage name is a temp).
+  const std::string& display_name() const {
+    return display_name_.empty() ? name_ : display_name_;
+  }
+  void set_display_name(std::string n) { display_name_ = std::move(n); }
+  const Schema& schema() const { return schema_; }
+  void set_schema(Schema s) { schema_ = std::move(s); }
+
+  size_t NumTuples() const { return tuples_.size(); }
+  const WsdTuple& tuple(size_t i) const { return tuples_[i]; }
+  WsdTuple& mutable_tuple(size_t i) { return tuples_[i]; }
+  const std::vector<WsdTuple>& tuples() const { return tuples_; }
+  std::vector<WsdTuple>& mutable_tuples() { return tuples_; }
+
+  void Add(WsdTuple t) { tuples_.push_back(std::move(t)); }
+  void Reserve(size_t n) { tuples_.reserve(n); }
+
+ private:
+  std::string name_;
+  std::string display_name_;
+  Schema schema_;
+  std::vector<WsdTuple> tuples_;
+};
+
+/// Tuning knobs for lifted evaluation.
+struct WsdOptions {
+  /// Hard cap on the row count of any merged component. Lifted operators
+  /// return ResourceExhausted instead of exceeding it.
+  size_t max_component_rows = 1u << 20;
+};
+
+/// A world-set database: template relations + component store.
+///
+/// Value type with deep-copy semantics; lifted query evaluation operates
+/// on a private copy so inputs stay immutable.
+class WsdDb {
+ public:
+  WsdDb() = default;
+
+  // --- relations ---------------------------------------------------------
+  Status CreateRelation(std::string name, Schema schema);
+  bool HasRelation(const std::string& name) const;
+  Result<const WsdRelation*> GetRelation(const std::string& name) const;
+  Result<WsdRelation*> GetMutableRelation(const std::string& name);
+  Status DropRelation(const std::string& name);
+  std::vector<std::string> RelationNames() const;
+  const std::map<std::string, WsdRelation>& relations() const {
+    return relations_;
+  }
+  std::map<std::string, WsdRelation>& mutable_relations() {
+    return relations_;
+  }
+
+  // --- components --------------------------------------------------------
+  /// Adds a component, returning its id.
+  ComponentId AddComponent(Component c);
+  /// Component access; the id must be live.
+  const Component& component(ComponentId id) const;
+  Component& mutable_component(ComponentId id);
+  bool IsLive(ComponentId id) const {
+    return id < components_.size() && components_[id].has_value();
+  }
+  void RemoveComponent(ComponentId id);
+  /// Ids of all live components.
+  std::vector<ComponentId> LiveComponents() const;
+  size_t NumLiveComponents() const;
+
+  /// Merges the given components (≥1) into a single product component.
+  /// All template cells referencing the old components are remapped to the
+  /// merged one. Returns the merged component's id.
+  Result<ComponentId> MergeComponents(std::vector<ComponentId> ids,
+                                      size_t max_rows);
+
+  /// Merges several disjoint groups at once; template cells are remapped
+  /// in a single pass over all relations (use this instead of repeated
+  /// MergeComponents calls when many groups are involved). Returns the
+  /// merged id per group, aligned with `groups`.
+  Result<std::vector<ComponentId>> MergeComponentGroups(
+      const std::vector<std::vector<ComponentId>>& groups, size_t max_rows);
+
+  /// Fresh owner id for new tuples/existence slots.
+  OwnerId NextOwner() { return next_owner_++; }
+  /// Keeps the owner counter ahead of any id used so far.
+  void BumpOwner(OwnerId used) {
+    if (used >= next_owner_) next_owner_ = used + 1;
+  }
+
+  const WsdOptions& options() const { return options_; }
+  WsdOptions& mutable_options() { return options_; }
+
+  // --- statistics --------------------------------------------------------
+  /// log2 of the number of choice combinations (= worlds counted as in the
+  /// paper's "2^624449 worlds": the product of component row counts).
+  double Log2WorldCount() const;
+
+  /// Exact world count when it fits in uint64; nullopt otherwise.
+  std::optional<uint64_t> WorldCountIfSmall(uint64_t limit = 1ull << 62) const;
+
+  /// Flat serialized size of template relations + components, comparable
+  /// with Relation::SerializedSize for the storage experiment. Inline
+  /// cells count their value; ref cells count a 8-byte reference.
+  uint64_t SerializedSize() const;
+
+  /// Probability that `t` exists (product over components of the mass of
+  /// rows where no dep-owned slot is ⊥).
+  double ExistenceProbability(const WsdTuple& t) const;
+
+  // --- invariants / rendering -------------------------------------------
+  /// Validates structural invariants: refs point at live components/slots,
+  /// component masses ≈ 1, deps sorted, no ⊥ in inline cells. Returns the
+  /// first violation found.
+  Status CheckInvariants() const;
+
+  /// Paper-style rendering: template relations, then components as small
+  /// tables joined by ×.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, WsdRelation> relations_;
+  std::vector<std::optional<Component>> components_;
+  OwnerId next_owner_ = 1;
+  WsdOptions options_;
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_WSD_H_

@@ -1,0 +1,182 @@
+#include "gen/census.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace maybms {
+
+namespace {
+
+// One coded attribute: name, domain size (codes 0..domain-1), Zipf skew.
+// Domains follow IPUMS-style code books (sex: 2, marital status: 6,
+// state FIPS: 51, occupation: 500, ...). Incomes are drawn separately.
+struct CodedAttr {
+  const char* name;
+  int64_t domain;
+  double skew;
+};
+
+// 50 attributes. PERNUM is a unique person number (generated serially);
+// income-like attributes are sampled from a skewed continuous-ish range.
+constexpr CodedAttr kAttrs[] = {
+    {"PERNUM", 0, 0.0},      // 0: unique id
+    {"AGE", 91, 0.3},        // 1: 0..90
+    {"SEX", 2, 0.0},         // 2
+    {"MARST", 6, 0.5},       // 3: 1=married ... coded 0..5
+    {"RACE", 9, 1.1},        // 4
+    {"BPL", 150, 1.2},       // 5: birthplace
+    {"CITIZEN", 5, 1.5},     // 6
+    {"YRSUSA", 70, 1.0},     // 7
+    {"LANGUAGE", 90, 1.6},   // 8
+    {"SPEAKENG", 6, 1.4},    // 9
+    {"EDUC", 18, 0.6},       // 10
+    {"EMPSTAT", 4, 0.7},     // 11
+    {"OCC", 500, 1.1},       // 12
+    {"IND", 250, 1.1},       // 13
+    {"CLASSWKR", 8, 1.0},    // 14
+    {"WKSWORK", 53, 0.4},    // 15
+    {"HRSWORK", 100, 0.5},   // 16
+    {"INCTOT", 0, 0.0},      // 17: income, special
+    {"INCWAGE", 0, 0.0},     // 18
+    {"INCBUS", 0, 0.0},      // 19
+    {"INCSS", 0, 0.0},       // 20
+    {"INCWELFR", 0, 0.0},    // 21
+    {"INCINVST", 0, 0.0},    // 22
+    {"INCRETIR", 0, 0.0},    // 23
+    {"INCOTHER", 0, 0.0},    // 24
+    {"POVERTY", 501, 0.4},   // 25
+    {"MIGRATE5", 5, 0.8},    // 26
+    {"MIGPLAC5", 150, 1.3},  // 27
+    {"VETSTAT", 3, 1.0},     // 28
+    {"TRANTIME", 120, 0.6},  // 29
+    {"TRANWORK", 40, 1.4},   // 30
+    {"RENT", 0, 0.0},        // 31: money-ish
+    {"VALUEH", 0, 0.0},      // 32
+    {"MORTGAGE", 4, 0.8},    // 33
+    {"ROOMS", 10, 0.4},      // 34
+    {"BUILTYR", 10, 0.5},    // 35
+    {"UNITSSTR", 11, 0.9},   // 36
+    {"FUEL", 9, 1.2},        // 37
+    {"WATER", 4, 1.0},       // 38
+    {"SEWAGE", 3, 1.0},      // 39
+    {"AUTOS", 8, 0.6},       // 40
+    {"STATEFIP", 51, 0.8},   // 41
+    {"COUNTY", 300, 1.0},    // 42
+    {"CITY", 1000, 1.3},     // 43
+    {"URBAN", 3, 0.5},       // 44
+    {"FARM", 2, 2.0},        // 45
+    {"OWNERSHP", 3, 0.4},    // 46
+    {"GQ", 5, 2.0},          // 47: group quarters
+    {"FAMSIZE", 15, 0.8},    // 48
+    {"NCHILD", 10, 1.0},     // 49
+};
+constexpr size_t kNumAttrs = sizeof(kAttrs) / sizeof(kAttrs[0]);
+static_assert(kNumAttrs == 50, "the census schema has 50 attributes");
+
+bool IsIncomeAttr(size_t col) {
+  return (col >= 17 && col <= 24) || col == 31 || col == 32;
+}
+
+int64_t SampleIncome(Rng* rng) {
+  // Mixture: many zeros, then a heavy-tailed positive part.
+  if (rng->NextBernoulli(0.35)) return 0;
+  double u = rng->NextDouble();
+  // Log-uniform between ~500 and ~250k, rounded to dollars.
+  double v = 500.0 * std::pow(500.0, u);
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Schema CensusSchema() {
+  Schema s;
+  for (size_t i = 0; i < kNumAttrs; ++i) {
+    Status st = s.Add({kAttrs[i].name, ValueType::kInt});
+    MAYBMS_CHECK(st.ok()) << st.ToString();
+  }
+  return s;
+}
+
+int64_t CensusDomainSize(size_t col) {
+  MAYBMS_CHECK(col < kNumAttrs);
+  if (col == 0) return 0;                 // key: never noised
+  if (IsIncomeAttr(col)) return 250000;   // money range
+  return kAttrs[col].domain;
+}
+
+Relation GenerateCensus(const CensusOptions& options) {
+  Rng rng(options.seed);
+  Relation rel("census", CensusSchema());
+  rel.Reserve(options.num_records);
+  for (size_t i = 0; i < options.num_records; ++i) {
+    Tuple t;
+    t.reserve(kNumAttrs);
+    for (size_t c = 0; c < kNumAttrs; ++c) {
+      if (c == 0) {
+        t.push_back(Value::Int(static_cast<int64_t>(i) + 1));
+      } else if (IsIncomeAttr(c)) {
+        t.push_back(Value::Int(SampleIncome(&rng)));
+      } else {
+        t.push_back(Value::Int(static_cast<int64_t>(
+            rng.NextZipf(static_cast<uint64_t>(kAttrs[c].domain),
+                         kAttrs[c].skew))));
+      }
+    }
+    // Consistency of the clean data (the cleaning experiment removes
+    // *noise-induced* violations; the clean extract satisfies the
+    // workload constraints):
+    //  - children are never married (married-implies-adult),
+    //  - COUNTY and CITY codes embed the state so that CITY -> STATEFIP
+    //    (and COUNTY -> STATEFIP) hold as functional dependencies.
+    constexpr size_t kAge = 1, kMarst = 3, kStatefip = 41, kCounty = 42,
+                     kCity = 43;
+    if (t[kAge].as_int() < 15) {
+      t[kMarst] = Value::Int(0);  // 0 = n/a, never married
+    }
+    int64_t state = t[kStatefip].as_int();
+    t[kCounty] = Value::Int(state * 6 + t[kCounty].as_int() % 6);
+    t[kCity] = Value::Int(state * 20 + t[kCity].as_int() % 20);
+    rel.AppendUnchecked(std::move(t));
+  }
+  return rel;
+}
+
+Relation GenerateStates() {
+  static const char* kNames[] = {
+      "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+      "Connecticut", "Delaware", "DC", "Florida", "Georgia", "Hawaii",
+      "Idaho", "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky",
+      "Louisiana", "Maine", "Maryland", "Massachusetts", "Michigan",
+      "Minnesota", "Mississippi", "Missouri", "Montana", "Nebraska",
+      "Nevada", "NewHampshire", "NewJersey", "NewMexico", "NewYork",
+      "NorthCarolina", "NorthDakota", "Ohio", "Oklahoma", "Oregon",
+      "Pennsylvania", "RhodeIsland", "SouthCarolina", "SouthDakota",
+      "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+      "WestVirginia", "Wisconsin", "Wyoming"};
+  static const char* kRegions[] = {"South", "West", "West", "South", "West",
+                                   "West", "Northeast", "South", "South",
+                                   "South", "South", "West", "West",
+                                   "Midwest", "Midwest", "Midwest",
+                                   "Midwest", "South", "South", "Northeast",
+                                   "South", "Northeast", "Midwest",
+                                   "Midwest", "South", "Midwest", "West",
+                                   "Midwest", "West", "Northeast",
+                                   "Northeast", "West", "Northeast",
+                                   "South", "Midwest", "Midwest", "South",
+                                   "West", "Northeast", "Northeast",
+                                   "South", "Midwest", "South", "South",
+                                   "West", "Northeast", "South", "West",
+                                   "South", "Midwest", "West"};
+  Relation rel("states", Schema({{"STATEFIP", ValueType::kInt},
+                                 {"NAME", ValueType::kString},
+                                 {"REGION", ValueType::kString}}));
+  for (int64_t i = 0; i < 51; ++i) {
+    rel.AppendUnchecked({Value::Int(i), Value::String(kNames[i]),
+                         Value::String(kRegions[i])});
+  }
+  return rel;
+}
+
+}  // namespace maybms

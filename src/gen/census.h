@@ -1,0 +1,41 @@
+// Synthetic census data generator.
+//
+// The paper's experiments used a 5% extract of the 1990 US census (IPUMS,
+// ~12.5M records × 50 columns, ~3GB). That dataset is not redistributable,
+// so this module generates a synthetic extract with the same shape: a
+// 50-attribute person-record schema with realistic domains, cardinalities
+// and Zipf-skewed value distributions, scalable to any record count, fully
+// deterministic from a seed. The experiments depend only on these
+// statistics — arity, value domains, and the noise process — not on the
+// actual census values (see DESIGN.md §4).
+#ifndef MAYBMS_GEN_CENSUS_H_
+#define MAYBMS_GEN_CENSUS_H_
+
+#include <cstdint>
+
+#include "storage/relation.h"
+
+namespace maybms {
+
+struct CensusOptions {
+  size_t num_records = 1000;
+  uint64_t seed = 42;
+};
+
+/// The 50-attribute person schema (IPUMS-style coded attributes).
+Schema CensusSchema();
+
+/// Generates a census extract relation named "census".
+Relation GenerateCensus(const CensusOptions& options);
+
+/// Reference relation "states": STATEFIP code, name, region — used by the
+/// join queries of the evaluation.
+Relation GenerateStates();
+
+/// Number of distinct codes attribute `col` draws from (the noise
+/// injector samples alternatives from the same domain).
+int64_t CensusDomainSize(size_t col);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_GEN_CENSUS_H_

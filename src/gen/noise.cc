@@ -1,0 +1,127 @@
+#include "gen/noise.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/builder.h"
+
+namespace maybms {
+
+Result<NoiseStats> ApplyOrSetNoise(WsdDb* db, const std::string& relation,
+                                   const NoiseOptions& options,
+                                   AlternativeSampler sampler) {
+  MAYBMS_ASSIGN_OR_RETURN(WsdRelation * rel, db->GetMutableRelation(relation));
+  if (options.cell_fraction < 0.0 || options.cell_fraction > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("cell_fraction %g outside [0,1]", options.cell_fraction));
+  }
+  if (options.min_alternatives < 2 ||
+      options.max_alternatives < options.min_alternatives) {
+    return Status::InvalidArgument("need 2 <= min_alternatives <= max");
+  }
+  Rng rng(options.seed);
+
+  std::vector<size_t> cols = options.columns;
+  if (cols.empty()) {
+    for (size_t c = 0; c < rel->schema().size(); ++c) {
+      if (c != options.key_column) cols.push_back(c);
+    }
+  }
+  for (size_t c : cols) {
+    if (c >= rel->schema().size()) {
+      return Status::OutOfRange(StrFormat("noise column %zu out of range", c));
+    }
+  }
+  size_t rows = rel->NumTuples();
+  size_t eligible = rows * cols.size();
+  size_t target = static_cast<size_t>(
+      static_cast<double>(eligible) * options.cell_fraction + 0.5);
+
+  // Sample distinct (row, col-position) pairs.
+  std::unordered_set<uint64_t> picked;
+  picked.reserve(target * 2);
+  NoiseStats stats;
+  size_t attempts = 0;
+  // Default sampler: value of a random other row in the same column; this
+  // keeps alternatives inside the attribute's observed domain.
+  AlternativeSampler sample = sampler;
+  if (!sample) {
+    double wild = options.wild_fraction;
+    sample = [db, relation, &rng, wild](size_t col, const Value& original) {
+      if (original.is_int() && rng.NextBernoulli(wild)) {
+        // Wild perturbation: may leave the attribute domain (e.g. a
+        // negative age) — the raw material of the cleaning experiment.
+        int64_t offset = rng.NextInt(1, 40);
+        return Value::Int(rng.NextBernoulli(0.5) ? original.as_int() + offset
+                                                 : original.as_int() - offset);
+      }
+      const WsdRelation* r = db->GetRelation(relation).value();
+      for (int tries = 0; tries < 8; ++tries) {
+        const WsdTuple& t = r->tuple(rng.NextBelow(r->NumTuples()));
+        const Cell& cell = t.cells[col];
+        if (cell.is_certain() && !(cell.value() == original)) {
+          return cell.value();
+        }
+      }
+      // Fall back to a perturbed value for low-cardinality columns.
+      if (original.is_int()) return Value::Int(original.as_int() + 1);
+      return Value::String(original.ToString() + "_alt");
+    };
+  }
+
+  while (stats.cells_noised < target && attempts < target * 64 + 64) {
+    ++attempts;
+    size_t row = rng.NextBelow(rows);
+    size_t col = cols[rng.NextBelow(cols.size())];
+    uint64_t key = static_cast<uint64_t>(row) * rel->schema().size() + col;
+    if (!picked.insert(key).second) continue;
+    const Cell& cell = rel->tuple(row).cells[col];
+    if (!cell.is_certain()) continue;
+    Value original = cell.value();
+    if (original.is_null()) continue;
+
+    size_t k = options.min_alternatives +
+               rng.NextBelow(options.max_alternatives -
+                             options.min_alternatives + 1);
+    std::vector<Value> values{original};
+    for (size_t a = 1; a < k && values.size() < k; ++a) {
+      Value v = sample(col, original);
+      bool dup = false;
+      for (const auto& u : values) {
+        if (u == v) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) values.push_back(std::move(v));
+    }
+    if (values.size() < 2) continue;  // could not find an alternative
+    std::vector<double> probs;
+    if (options.uniform_probs) {
+      probs.assign(values.size(), 1.0 / static_cast<double>(values.size()));
+    } else {
+      probs = rng.NextProbabilities(static_cast<int>(values.size()));
+      // Give the original value the largest share so the noisy database
+      // stays centred on the clean one (as in repair-style scenarios).
+      auto max_it = std::max_element(probs.begin(), probs.end());
+      std::swap(*probs.begin(), *max_it);
+    }
+    std::vector<Alternative> alts;
+    alts.reserve(values.size());
+    for (size_t a = 0; a < values.size(); ++a) {
+      alts.push_back({std::move(values[a]), probs[a]});
+    }
+    MAYBMS_ASSIGN_OR_RETURN(ComponentId cid,
+                            MakeCellUncertain(db, relation, row, col,
+                                              std::move(alts)));
+    (void)cid;
+    stats.cells_noised++;
+    stats.alternatives_added += values.size() - 1;
+  }
+  stats.log2_worlds = db->Log2WorldCount();
+  return stats;
+}
+
+}  // namespace maybms

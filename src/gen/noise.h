@@ -1,0 +1,61 @@
+// Or-set noise injection — the paper's incompleteness process:
+// "We introduced noise with different degree of incompleteness to the
+//  data by replacing randomly picked values with or-sets."
+//
+// Each noised cell becomes an or-set of alternatives (the original value
+// plus plausible others from the attribute's domain), i.e. one fresh
+// single-slot component; k alternatives multiply the world count by k.
+#ifndef MAYBMS_GEN_NOISE_H_
+#define MAYBMS_GEN_NOISE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/wsd.h"
+
+namespace maybms {
+
+struct NoiseOptions {
+  /// Fraction of eligible cells replaced by or-sets (the paper's "degree
+  /// of incompleteness").
+  double cell_fraction = 0.001;
+  size_t min_alternatives = 2;
+  size_t max_alternatives = 4;
+  /// Uniform alternative probabilities instead of random ones.
+  bool uniform_probs = false;
+  /// Fraction of alternatives drawn as wild perturbations of the original
+  /// value (original ± random offset) instead of same-column samples;
+  /// wild values can leave the attribute's domain, which is what the
+  /// domain-constraint cleaning experiment detects.
+  double wild_fraction = 0.0;
+  /// Columns eligible for noise; empty = all columns except `key_column`.
+  std::vector<size_t> columns;
+  /// Column never noised (unique id). Ignored when `columns` is set.
+  size_t key_column = 0;
+  uint64_t seed = 17;
+};
+
+struct NoiseStats {
+  size_t cells_noised = 0;
+  size_t alternatives_added = 0;  ///< extra values beyond the originals
+  double log2_worlds = 0.0;       ///< of the database after injection
+};
+
+/// Draws an alternative value for column `col`, distinct from `original`
+/// where possible. Default implementation samples a random other row's
+/// value in that column (keeps alternatives domain-plausible).
+using AlternativeSampler =
+    std::function<Value(size_t col, const Value& original)>;
+
+/// Replaces a random `cell_fraction` of `relation`'s eligible certain
+/// cells with or-sets. `sampler` may be null — then alternatives are
+/// sampled from the same column of random rows.
+Result<NoiseStats> ApplyOrSetNoise(WsdDb* db, const std::string& relation,
+                                   const NoiseOptions& options,
+                                   AlternativeSampler sampler = nullptr);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_GEN_NOISE_H_

@@ -1,0 +1,86 @@
+#include "gen/workload.h"
+
+namespace maybms {
+
+namespace {
+ExprPtr Col(const std::string& n) { return Expr::Column(n); }
+ExprPtr IntLit(int64_t v) { return Expr::Const(Value::Int(v)); }
+ExprPtr StrLit(const char* s) { return Expr::Const(Value::String(s)); }
+ExprPtr Cmp(CompareOp op, ExprPtr l, ExprPtr r) {
+  return Expr::Compare(op, std::move(l), std::move(r));
+}
+}  // namespace
+
+std::vector<WorkloadQuery> CensusQueries() {
+  std::vector<WorkloadQuery> out;
+
+  out.push_back(
+      {"Q1", "selection on one possibly-noisy attribute (AGE >= 65)",
+       Plan::Select(Plan::Scan("census"),
+                    Cmp(CompareOp::kGe, Col("AGE"), IntLit(65)))});
+
+  out.push_back(
+      {"Q2",
+       "conjunctive selection across two attributes (SEX = 1 AND AGE < 30)",
+       Plan::Select(Plan::Scan("census"),
+                    Expr::And(Cmp(CompareOp::kEq, Col("SEX"), IntLit(1)),
+                              Cmp(CompareOp::kLt, Col("AGE"), IntLit(30))))});
+
+  out.push_back(
+      {"Q3", "selection + projection (high earners per state)",
+       Plan::Project(
+           Plan::Select(Plan::Scan("census"),
+                        Cmp(CompareOp::kGt, Col("INCTOT"), IntLit(50000))),
+           {{Col("STATEFIP"), "STATEFIP"}, {Col("INCTOT"), "INCTOT"}})});
+
+  out.push_back(
+      {"Q4", "equi-join with states + selection on region",
+       Plan::Project(
+           Plan::Select(
+               Plan::Join(Plan::Scan("census"), Plan::Scan("states"),
+                          Cmp(CompareOp::kEq, Col("STATEFIP"),
+                              Col("states.STATEFIP"))),
+               Cmp(CompareOp::kEq, Col("REGION"), StrLit("West"))),
+           {{Col("PERNUM"), "PERNUM"}, {Col("NAME"), "STATE"}})});
+
+  out.push_back(
+      {"Q5", "distinct projection (which states have welfare recipients)",
+       Plan::Distinct(Plan::Project(
+           Plan::Select(Plan::Scan("census"),
+                        Cmp(CompareOp::kGt, Col("INCWELFR"), IntLit(0))),
+           {{Col("STATEFIP"), "STATEFIP"}}))});
+
+  out.push_back(
+      {"Q6", "union of two selections (veterans or farmers)",
+       Plan::Union(
+           Plan::Select(Plan::Scan("census"),
+                        Cmp(CompareOp::kEq, Col("VETSTAT"), IntLit(1))),
+           Plan::Select(Plan::Scan("census"),
+                        Cmp(CompareOp::kEq, Col("FARM"), IntLit(1))))});
+
+  return out;
+}
+
+std::vector<Constraint> CensusConstraints() {
+  std::vector<Constraint> out;
+  out.push_back(Constraint::Domain(
+      "census",
+      Expr::And(Cmp(CompareOp::kGe, Col("AGE"), IntLit(0)),
+                Cmp(CompareOp::kLe, Col("AGE"), IntLit(90))),
+      "age-range"));
+  out.push_back(Constraint::Domain(
+      "census",
+      Expr::Or(Expr::Not(Cmp(CompareOp::kEq, Col("MARST"), IntLit(1))),
+               Cmp(CompareOp::kGe, Col("AGE"), IntLit(15))),
+      "married-implies-adult"));
+  out.push_back(Constraint::Domain(
+      "census", Cmp(CompareOp::kGe, Col("INCTOT"), IntLit(0)),
+      "income-nonnegative"));
+  out.push_back(Constraint::Key("census", {"PERNUM"}, "pernum-unique"));
+  out.push_back(Constraint::FunctionalDependency("census", {"CITY"},
+                                                 {"STATEFIP"},
+                                                 "city-determines-state"));
+  return out;
+}
+
+}  // namespace maybms

@@ -1,0 +1,41 @@
+// The canonical evaluation workload: the queries and integrity
+// constraints used by the experiment harness (bench/) and the integration
+// tests, mirroring the census scenario of the paper's evaluation.
+#ifndef MAYBMS_GEN_WORKLOAD_H_
+#define MAYBMS_GEN_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/constraint.h"
+#include "ra/plan.h"
+
+namespace maybms {
+
+/// A named query of the evaluation suite.
+struct WorkloadQuery {
+  std::string id;           ///< "Q1".."Q6"
+  std::string description;  ///< what the query exercises
+  PlanPtr plan;
+};
+
+/// The six evaluation queries over census(+states):
+///   Q1  selection on one (possibly noisy) attribute
+///   Q2  conjunctive selection across two attributes (component merging)
+///   Q3  selection + projection (π with column drop)
+///   Q4  equi-join census ⋈ states + selection on the joined side
+///   Q5  distinct projection (per-world duplicate elimination)
+///   Q6  union of two selections
+std::vector<WorkloadQuery> CensusQueries();
+
+/// The cleaning constraints of experiment 2:
+///   C1  domain: AGE between 0 and 90
+///   C2  conditional domain: MARST = 1 (married) implies AGE >= 15
+///   C3  domain: INCTOT >= 0
+///   C4  key: PERNUM unique
+///   C5  FD: CITY determines STATEFIP
+std::vector<Constraint> CensusConstraints();
+
+}  // namespace maybms
+
+#endif  // MAYBMS_GEN_WORKLOAD_H_

@@ -1,0 +1,488 @@
+#include "ra/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace maybms {
+
+namespace {
+
+// Local alias; shared implementation lives in ra/expr.cc.
+ValueType InferType(const Expr& e, const Schema& in) {
+  return InferExprType(e, in);
+}
+
+// Detects a conjunction of equality predicates between left-side and
+// right-side columns of a join; returns pairs of (left idx, right idx in
+// right schema) and the residual predicate (bound against the concat
+// schema) or nullptr.
+struct EquiJoinKeys {
+  std::vector<size_t> left_cols;
+  std::vector<size_t> right_cols;  // indexes into the *right* schema
+  ExprPtr residual;                // bound against concatenated schema
+};
+
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind() == ExprKind::kAnd) {
+    SplitConjuncts(e->left(), out);
+    SplitConjuncts(e->right(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+EquiJoinKeys AnalyzeJoinPredicate(const ExprPtr& bound_pred,
+                                  size_t left_arity) {
+  EquiJoinKeys keys;
+  if (!bound_pred) return keys;
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(bound_pred, &conjuncts);
+  std::vector<ExprPtr> residuals;
+  for (const auto& c : conjuncts) {
+    if (c->kind() == ExprKind::kCompare &&
+        c->compare_op() == CompareOp::kEq &&
+        c->left()->kind() == ExprKind::kColumn &&
+        c->right()->kind() == ExprKind::kColumn) {
+      size_t a = c->left()->column_index();
+      size_t b = c->right()->column_index();
+      if (a < left_arity && b >= left_arity) {
+        keys.left_cols.push_back(a);
+        keys.right_cols.push_back(b - left_arity);
+        continue;
+      }
+      if (b < left_arity && a >= left_arity) {
+        keys.left_cols.push_back(b);
+        keys.right_cols.push_back(a - left_arity);
+        continue;
+      }
+    }
+    residuals.push_back(c);
+  }
+  if (!residuals.empty()) {
+    ExprPtr acc = residuals[0];
+    for (size_t i = 1; i < residuals.size(); ++i) {
+      acc = Expr::And(acc, residuals[i]);
+    }
+    keys.residual = acc;
+  }
+  return keys;
+}
+
+Result<Relation> ExecSelect(const Plan& plan, const Catalog& catalog);
+
+Result<Relation> ExecNode(const PlanPtr& plan, const Catalog& catalog);
+
+Result<Relation> ExecProject(const Plan& plan, const Catalog& catalog) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog));
+  std::vector<ExprPtr> bound;
+  Schema out_schema;
+  for (const auto& item : plan.project_items()) {
+    MAYBMS_ASSIGN_OR_RETURN(ExprPtr b, item.expr->BindAgainst(in.schema()));
+    ValueType t = InferType(*b, in.schema());
+    std::string name = item.name;
+    int k = 2;
+    while (out_schema.IndexOf(name)) name = item.name + "_" + std::to_string(k++);
+    MAYBMS_RETURN_IF_ERROR(out_schema.Add({name, t}));
+    bound.push_back(std::move(b));
+  }
+  Relation out("", out_schema);
+  out.Reserve(in.NumRows());
+  for (const auto& row : in.rows()) {
+    Tuple t;
+    t.reserve(bound.size());
+    for (const auto& e : bound) {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, e->Eval(row));
+      t.push_back(std::move(v));
+    }
+    out.AppendUnchecked(std::move(t));
+  }
+  return out;
+}
+
+Result<Relation> ExecProductOrJoin(const Plan& plan, const Catalog& catalog) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation l, ExecNode(plan.left(), catalog));
+  MAYBMS_ASSIGN_OR_RETURN(Relation r, ExecNode(plan.right(), catalog));
+  Schema out_schema = Schema::Concat(
+      l.schema(), r.schema(), r.name().empty() ? "r" : r.name());
+  Relation out("", out_schema);
+
+  ExprPtr bound_pred;
+  if (plan.kind() == PlanKind::kJoin && plan.predicate()) {
+    MAYBMS_ASSIGN_OR_RETURN(bound_pred,
+                            plan.predicate()->BindAgainst(out_schema));
+  }
+
+  EquiJoinKeys keys = AnalyzeJoinPredicate(bound_pred, l.schema().size());
+  if (!keys.left_cols.empty()) {
+    // Hash join on the equality keys.
+    std::unordered_map<size_t, std::vector<size_t>> table;
+    table.reserve(r.NumRows() * 2);
+    for (size_t j = 0; j < r.NumRows(); ++j) {
+      size_t h = 0;
+      for (size_t k : keys.right_cols) HashCombine(&h, r.row(j)[k].Hash());
+      table[h].push_back(j);
+    }
+    for (size_t i = 0; i < l.NumRows(); ++i) {
+      size_t h = 0;
+      for (size_t k : keys.left_cols) HashCombine(&h, l.row(i)[k].Hash());
+      auto it = table.find(h);
+      if (it == table.end()) continue;
+      for (size_t j : it->second) {
+        bool match = true;
+        for (size_t k = 0; k < keys.left_cols.size(); ++k) {
+          const Value& a = l.row(i)[keys.left_cols[k]];
+          const Value& b = r.row(j)[keys.right_cols[k]];
+          if (a.is_null() || b.is_null() || !(a == b)) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        Tuple t = l.row(i);
+        t.insert(t.end(), r.row(j).begin(), r.row(j).end());
+        if (keys.residual) {
+          MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*keys.residual, t));
+          if (!pass) continue;
+        }
+        out.AppendUnchecked(std::move(t));
+      }
+    }
+    return out;
+  }
+
+  // Nested-loop product with optional predicate.
+  for (size_t i = 0; i < l.NumRows(); ++i) {
+    for (size_t j = 0; j < r.NumRows(); ++j) {
+      Tuple t = l.row(i);
+      t.insert(t.end(), r.row(j).begin(), r.row(j).end());
+      if (bound_pred) {
+        MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*bound_pred, t));
+        if (!pass) continue;
+      }
+      out.AppendUnchecked(std::move(t));
+    }
+  }
+  return out;
+}
+
+Result<Relation> ExecUnion(const Plan& plan, const Catalog& catalog) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation l, ExecNode(plan.left(), catalog));
+  MAYBMS_ASSIGN_OR_RETURN(Relation r, ExecNode(plan.right(), catalog));
+  if (l.schema().size() != r.schema().size()) {
+    return Status::InvalidArgument(
+        StrFormat("UNION arity mismatch: %zu vs %zu", l.schema().size(),
+                  r.schema().size()));
+  }
+  Relation out("", l.schema());
+  out.Reserve(l.NumRows() + r.NumRows());
+  for (const auto& row : l.rows()) out.AppendUnchecked(row);
+  for (const auto& row : r.rows()) out.AppendUnchecked(row);
+  return out;
+}
+
+Result<Relation> ExecDifference(const Plan& plan, const Catalog& catalog) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation l, ExecNode(plan.left(), catalog));
+  MAYBMS_ASSIGN_OR_RETURN(Relation r, ExecNode(plan.right(), catalog));
+  if (l.schema().size() != r.schema().size()) {
+    return Status::InvalidArgument(
+        StrFormat("EXCEPT arity mismatch: %zu vs %zu", l.schema().size(),
+                  r.schema().size()));
+  }
+  // Anti-join semantics (SQL EXCEPT): a left row survives iff no equal
+  // right row exists; left multiplicity is preserved. This matches the
+  // lifted Difference evaluated per world.
+  std::unordered_map<size_t, std::vector<Tuple>> right_set;
+  for (const auto& row : r.rows()) {
+    auto& bucket = right_set[TupleHash(row)];
+    bool found = false;
+    for (const auto& t : bucket) {
+      if (TupleCompare(t, row) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) bucket.push_back(row);
+  }
+  Relation out("", l.schema());
+  for (const auto& row : l.rows()) {
+    auto it = right_set.find(TupleHash(row));
+    bool matched = false;
+    if (it != right_set.end()) {
+      for (const auto& t : it->second) {
+        if (TupleCompare(t, row) == 0) {
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) out.AppendUnchecked(row);
+  }
+  return out;
+}
+
+Result<Relation> ExecDistinct(const Plan& plan, const Catalog& catalog) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog));
+  Relation out("", in.schema());
+  std::unordered_map<size_t, std::vector<size_t>> seen;
+  for (const auto& row : in.rows()) {
+    size_t h = TupleHash(row);
+    auto& bucket = seen[h];
+    bool dup = false;
+    for (size_t idx : bucket) {
+      if (TupleCompare(out.row(idx), row) == 0) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(out.NumRows());
+      out.AppendUnchecked(row);
+    }
+  }
+  return out;
+}
+
+Result<Relation> ExecSort(const Plan& plan, const Catalog& catalog) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog));
+  std::vector<size_t> idxs;
+  for (const auto& name : plan.sort_columns()) {
+    MAYBMS_ASSIGN_OR_RETURN(size_t i, in.schema().Resolve(name));
+    idxs.push_back(i);
+  }
+  const auto& desc = plan.sort_descending();
+  Relation out = in;
+  std::vector<Tuple> rows = in.rows();
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     for (size_t k = 0; k < idxs.size(); ++k) {
+                       int c = a[idxs[k]].Compare(b[idxs[k]]);
+                       if (k < desc.size() && desc[k]) c = -c;
+                       if (c != 0) return c < 0;
+                     }
+                     return false;
+                   });
+  Relation sorted("", in.schema());
+  for (auto& row : rows) sorted.AppendUnchecked(std::move(row));
+  return sorted;
+}
+
+Result<Relation> ExecAggregate(const Plan& plan, const Catalog& catalog) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog));
+  std::vector<size_t> group_idx;
+  Schema out_schema;
+  for (const auto& name : plan.group_by()) {
+    MAYBMS_ASSIGN_OR_RETURN(size_t i, in.schema().Resolve(name));
+    group_idx.push_back(i);
+    MAYBMS_RETURN_IF_ERROR(out_schema.Add(in.schema().attr(i)));
+  }
+  std::vector<ExprPtr> bound_args;
+  for (const auto& agg : plan.aggregates()) {
+    ExprPtr b;
+    if (agg.arg) {
+      MAYBMS_ASSIGN_OR_RETURN(b, agg.arg->BindAgainst(in.schema()));
+    }
+    bound_args.push_back(b);
+    ValueType t = ValueType::kDouble;
+    if (agg.func == AggFunc::kCount) t = ValueType::kInt;
+    else if (b && (agg.func == AggFunc::kMin || agg.func == AggFunc::kMax)) {
+      t = InferType(*b, in.schema());
+    } else if (b && agg.func == AggFunc::kSum &&
+               InferType(*b, in.schema()) == ValueType::kInt) {
+      t = ValueType::kInt;
+    }
+    MAYBMS_RETURN_IF_ERROR(out_schema.Add({agg.name, t}));
+  }
+
+  struct GroupState {
+    Tuple key;
+    std::vector<double> sums;
+    std::vector<int64_t> int_sums;
+    std::vector<bool> int_exact;
+    std::vector<Value> mins, maxs;
+    std::vector<int64_t> counts;  // per-agg non-null count
+    int64_t rows = 0;
+  };
+  std::unordered_map<size_t, std::vector<GroupState>> groups;
+  std::vector<const GroupState*> order;  // first-seen order
+
+  size_t n_aggs = plan.aggregates().size();
+  for (const auto& row : in.rows()) {
+    Tuple key;
+    key.reserve(group_idx.size());
+    for (size_t i : group_idx) key.push_back(row[i]);
+    size_t h = TupleHash(key);
+    auto& bucket = groups[h];
+    GroupState* g = nullptr;
+    for (auto& cand : bucket) {
+      if (TupleCompare(cand.key, key) == 0) {
+        g = &cand;
+        break;
+      }
+    }
+    if (!g) {
+      bucket.push_back(GroupState{});
+      g = &bucket.back();
+      g->key = std::move(key);
+      g->sums.assign(n_aggs, 0.0);
+      g->int_sums.assign(n_aggs, 0);
+      g->int_exact.assign(n_aggs, true);
+      g->mins.assign(n_aggs, Value::Null());
+      g->maxs.assign(n_aggs, Value::Null());
+      g->counts.assign(n_aggs, 0);
+      order.push_back(g);
+    }
+    g->rows += 1;
+    for (size_t a = 0; a < n_aggs; ++a) {
+      const auto& spec = plan.aggregates()[a];
+      if (!bound_args[a]) {  // COUNT(*)
+        g->counts[a] += 1;
+        continue;
+      }
+      MAYBMS_ASSIGN_OR_RETURN(Value v, bound_args[a]->Eval(row));
+      if (v.is_null() || v.is_bottom()) continue;
+      g->counts[a] += 1;
+      switch (spec.func) {
+        case AggFunc::kCount:
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          if (!v.is_numeric()) {
+            return Status::TypeMismatch("SUM/AVG over non-numeric value");
+          }
+          g->sums[a] += v.NumericValue();
+          if (v.is_int()) g->int_sums[a] += v.as_int();
+          else g->int_exact[a] = false;
+          break;
+        case AggFunc::kMin:
+          if (g->mins[a].is_null() || v.Compare(g->mins[a]) < 0) g->mins[a] = v;
+          break;
+        case AggFunc::kMax:
+          if (g->maxs[a].is_null() || v.Compare(g->maxs[a]) > 0) g->maxs[a] = v;
+          break;
+      }
+    }
+  }
+
+  Relation out("", out_schema);
+  // Global aggregate over empty input still yields one row.
+  if (order.empty() && group_idx.empty()) {
+    Tuple t;
+    for (size_t a = 0; a < n_aggs; ++a) {
+      if (plan.aggregates()[a].func == AggFunc::kCount) {
+        t.push_back(Value::Int(0));
+      } else {
+        t.push_back(Value::Null());
+      }
+    }
+    out.AppendUnchecked(std::move(t));
+    return out;
+  }
+  for (const GroupState* g : order) {
+    Tuple t = g->key;
+    for (size_t a = 0; a < n_aggs; ++a) {
+      const auto& spec = plan.aggregates()[a];
+      switch (spec.func) {
+        case AggFunc::kCount:
+          t.push_back(Value::Int(g->counts[a]));
+          break;
+        case AggFunc::kSum:
+          if (g->counts[a] == 0) t.push_back(Value::Null());
+          else if (g->int_exact[a]) t.push_back(Value::Int(g->int_sums[a]));
+          else t.push_back(Value::Double(g->sums[a]));
+          break;
+        case AggFunc::kAvg:
+          if (g->counts[a] == 0) t.push_back(Value::Null());
+          else t.push_back(
+              Value::Double(g->sums[a] / static_cast<double>(g->counts[a])));
+          break;
+        case AggFunc::kMin:
+          t.push_back(g->mins[a]);
+          break;
+        case AggFunc::kMax:
+          t.push_back(g->maxs[a]);
+          break;
+      }
+    }
+    out.AppendUnchecked(std::move(t));
+  }
+  return out;
+}
+
+Result<Relation> ExecSelect(const Plan& plan, const Catalog& catalog) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog));
+  MAYBMS_ASSIGN_OR_RETURN(ExprPtr pred,
+                          plan.predicate()->BindAgainst(in.schema()));
+  Relation out("", in.schema());
+  for (const auto& row : in.rows()) {
+    MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, row));
+    if (pass) out.AppendUnchecked(row);
+  }
+  return out;
+}
+
+Result<Relation> ExecNode(const PlanPtr& plan, const Catalog& catalog) {
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      MAYBMS_ASSIGN_OR_RETURN(const Relation* rel, catalog.Get(plan->relation()));
+      return *rel;
+    }
+    case PlanKind::kSelect:
+      return ExecSelect(*plan, catalog);
+    case PlanKind::kProject:
+      return ExecProject(*plan, catalog);
+    case PlanKind::kProduct:
+    case PlanKind::kJoin:
+      return ExecProductOrJoin(*plan, catalog);
+    case PlanKind::kUnion:
+      return ExecUnion(*plan, catalog);
+    case PlanKind::kDifference:
+      return ExecDifference(*plan, catalog);
+    case PlanKind::kDistinct:
+      return ExecDistinct(*plan, catalog);
+    case PlanKind::kSort:
+      return ExecSort(*plan, catalog);
+    case PlanKind::kLimit: {
+      MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan->input(), catalog));
+      Relation out("", in.schema());
+      for (size_t i = 0; i < std::min(plan->limit(), in.NumRows()); ++i) {
+        out.AppendUnchecked(in.row(i));
+      }
+      return out;
+    }
+    case PlanKind::kAggregate:
+      return ExecAggregate(*plan, catalog);
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+}  // namespace
+
+Result<Relation> Execute(const PlanPtr& plan, const Catalog& catalog) {
+  return ExecNode(plan, catalog);
+}
+
+Result<Schema> OutputSchema(const PlanPtr& plan, const Catalog& catalog) {
+  // Execute on an empty shell of the catalog would be wasteful; instead we
+  // execute the plan with all base relations emptied. Plans are cheap on
+  // empty inputs, and this reuses exactly the schema logic of execution.
+  Catalog empty;
+  // Collect scans.
+  std::vector<const Plan*> stack = {plan.get()};
+  while (!stack.empty()) {
+    const Plan* p = stack.back();
+    stack.pop_back();
+    if (p->kind() == PlanKind::kScan) {
+      MAYBMS_ASSIGN_OR_RETURN(const Relation* rel, catalog.Get(p->relation()));
+      Relation shell(rel->name(), rel->schema());
+      empty.Put(std::move(shell));
+    }
+    for (const auto& c : p->children()) stack.push_back(c.get());
+  }
+  MAYBMS_ASSIGN_OR_RETURN(Relation r, ExecNode(plan, empty));
+  return r.schema();
+}
+
+}  // namespace maybms

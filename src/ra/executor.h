@@ -1,0 +1,23 @@
+// Materializing executor for the conventional engine: evaluates a logical
+// plan against a Catalog of certain relations. This is the single-world
+// baseline of the paper's experiment 3 and the per-world evaluator of the
+// enumeration oracle.
+#ifndef MAYBMS_RA_EXECUTOR_H_
+#define MAYBMS_RA_EXECUTOR_H_
+
+#include "common/result.h"
+#include "ra/plan.h"
+#include "storage/catalog.h"
+
+namespace maybms {
+
+/// Evaluates `plan` over `catalog`, materializing every intermediate.
+/// Equi-joins use a hash table; other joins fall back to nested loops.
+Result<Relation> Execute(const PlanPtr& plan, const Catalog& catalog);
+
+/// Computes the output schema of `plan` without executing it.
+Result<Schema> OutputSchema(const PlanPtr& plan, const Catalog& catalog);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_RA_EXECUTOR_H_

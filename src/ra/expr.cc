@@ -1,0 +1,389 @@
+#include "ra/expr.h"
+
+#include "common/string_util.h"
+
+namespace maybms {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string_view ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Const(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kConst;
+  e->value_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumn;
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::ColumnIdx(size_t idx, std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumn;
+  e->name_ = std::move(name);
+  e->col_idx_ = idx;
+  e->bound_ = true;
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kCompare;
+  e->cmp_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kArith;
+  e->arith_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kAnd;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kOr;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr child) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kNot;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr child, bool negated) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kIsNull;
+  e->negated_ = negated;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::In(ExprPtr child, std::vector<Value> set) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kIn;
+  e->in_set_ = std::move(set);
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+Result<ExprPtr> Expr::BindAgainst(const Schema& schema) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return Const(value_);
+    case ExprKind::kColumn: {
+      if (bound_) {
+        if (col_idx_ >= schema.size()) {
+          return Status::OutOfRange(
+              StrFormat("column index %zu out of range for schema %s",
+                        col_idx_, schema.ToString().c_str()));
+        }
+        return ColumnIdx(col_idx_, name_);
+      }
+      MAYBMS_ASSIGN_OR_RETURN(size_t idx, schema.Resolve(name_));
+      return ColumnIdx(idx, name_);
+    }
+    default: {
+      std::vector<ExprPtr> bound_children;
+      bound_children.reserve(children_.size());
+      for (const auto& c : children_) {
+        MAYBMS_ASSIGN_OR_RETURN(ExprPtr b, c->BindAgainst(schema));
+        bound_children.push_back(std::move(b));
+      }
+      auto e = std::shared_ptr<Expr>(new Expr(*this));
+      e->children_ = std::move(bound_children);
+      return ExprPtr(e);
+    }
+  }
+}
+
+namespace {
+
+// Three-valued comparison. Returns Bool or Null.
+Result<Value> EvalCompare(CompareOp op, const Value& l, const Value& r) {
+  if (l.is_bottom() || r.is_bottom()) return Value::Bottom();
+  if (l.is_null() || r.is_null()) return Value::Null();
+  // Comparable kinds: both numeric, both string, both bool.
+  bool comparable = (l.is_numeric() && r.is_numeric()) ||
+                    (l.is_string() && r.is_string()) ||
+                    (l.is_bool() && r.is_bool());
+  if (!comparable) {
+    return Status::TypeMismatch(StrFormat(
+        "cannot compare %s with %s", l.ToString().c_str(),
+        r.ToString().c_str()));
+  }
+  int c = l.Compare(r);
+  bool result = false;
+  switch (op) {
+    case CompareOp::kEq:
+      result = (c == 0);
+      break;
+    case CompareOp::kNe:
+      result = (c != 0);
+      break;
+    case CompareOp::kLt:
+      result = (c < 0);
+      break;
+    case CompareOp::kLe:
+      result = (c <= 0);
+      break;
+    case CompareOp::kGt:
+      result = (c > 0);
+      break;
+    case CompareOp::kGe:
+      result = (c >= 0);
+      break;
+  }
+  return Value::Bool(result);
+}
+
+Result<Value> EvalArith(ArithOp op, const Value& l, const Value& r) {
+  if (l.is_bottom() || r.is_bottom()) return Value::Bottom();
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::TypeMismatch(
+        StrFormat("arithmetic needs numbers, got %s %s %s",
+                  l.ToString().c_str(),
+                  std::string(ArithOpToString(op)).c_str(),
+                  r.ToString().c_str()));
+  }
+  if (l.is_int() && r.is_int()) {
+    int64_t a = l.as_int(), b = r.as_int();
+    switch (op) {
+      case ArithOp::kAdd:
+        return Value::Int(a + b);
+      case ArithOp::kSub:
+        return Value::Int(a - b);
+      case ArithOp::kMul:
+        return Value::Int(a * b);
+      case ArithOp::kDiv:
+        if (b == 0) return Value::Null();  // SQL: division by zero -> NULL here
+        return Value::Int(a / b);
+    }
+  }
+  double a = l.NumericValue(), b = r.NumericValue();
+  switch (op) {
+    case ArithOp::kAdd:
+      return Value::Double(a + b);
+    case ArithOp::kSub:
+      return Value::Double(a - b);
+    case ArithOp::kMul:
+      return Value::Double(a * b);
+    case ArithOp::kDiv:
+      if (b == 0.0) return Value::Null();
+      return Value::Double(a / b);
+  }
+  return Status::Internal("unreachable arith");
+}
+
+}  // namespace
+
+Result<Value> Expr::Eval(const Tuple& tuple) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return value_;
+    case ExprKind::kColumn: {
+      if (!bound_) {
+        return Status::Internal("evaluating unbound column " + name_);
+      }
+      if (col_idx_ >= tuple.size()) {
+        return Status::OutOfRange(
+            StrFormat("column index %zu >= tuple arity %zu", col_idx_,
+                      tuple.size()));
+      }
+      return tuple[col_idx_];
+    }
+    case ExprKind::kCompare: {
+      MAYBMS_ASSIGN_OR_RETURN(Value l, children_[0]->Eval(tuple));
+      MAYBMS_ASSIGN_OR_RETURN(Value r, children_[1]->Eval(tuple));
+      return EvalCompare(cmp_, l, r);
+    }
+    case ExprKind::kArith: {
+      MAYBMS_ASSIGN_OR_RETURN(Value l, children_[0]->Eval(tuple));
+      MAYBMS_ASSIGN_OR_RETURN(Value r, children_[1]->Eval(tuple));
+      return EvalArith(arith_, l, r);
+    }
+    case ExprKind::kAnd: {
+      MAYBMS_ASSIGN_OR_RETURN(Value l, children_[0]->Eval(tuple));
+      if (l.is_bottom()) return Value::Bottom();
+      if (l.is_bool() && !l.as_bool()) return Value::Bool(false);
+      MAYBMS_ASSIGN_OR_RETURN(Value r, children_[1]->Eval(tuple));
+      if (r.is_bottom()) return Value::Bottom();
+      if (r.is_bool() && !r.as_bool()) return Value::Bool(false);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      if (!l.is_bool() || !r.is_bool()) {
+        return Status::TypeMismatch("AND over non-boolean");
+      }
+      return Value::Bool(true);
+    }
+    case ExprKind::kOr: {
+      MAYBMS_ASSIGN_OR_RETURN(Value l, children_[0]->Eval(tuple));
+      if (l.is_bottom()) return Value::Bottom();
+      if (l.is_bool() && l.as_bool()) return Value::Bool(true);
+      MAYBMS_ASSIGN_OR_RETURN(Value r, children_[1]->Eval(tuple));
+      if (r.is_bottom()) return Value::Bottom();
+      if (r.is_bool() && r.as_bool()) return Value::Bool(true);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      if (!l.is_bool() || !r.is_bool()) {
+        return Status::TypeMismatch("OR over non-boolean");
+      }
+      return Value::Bool(false);
+    }
+    case ExprKind::kNot: {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, children_[0]->Eval(tuple));
+      if (v.is_bottom()) return Value::Bottom();
+      if (v.is_null()) return Value::Null();
+      if (!v.is_bool()) return Status::TypeMismatch("NOT over non-boolean");
+      return Value::Bool(!v.as_bool());
+    }
+    case ExprKind::kIsNull: {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, children_[0]->Eval(tuple));
+      if (v.is_bottom()) return Value::Bottom();
+      bool is_null = v.is_null();
+      return Value::Bool(negated_ ? !is_null : is_null);
+    }
+    case ExprKind::kIn: {
+      MAYBMS_ASSIGN_OR_RETURN(Value v, children_[0]->Eval(tuple));
+      if (v.is_bottom()) return Value::Bottom();
+      if (v.is_null()) return Value::Null();
+      for (const auto& candidate : in_set_) {
+        if (!candidate.is_null() && v == candidate) return Value::Bool(true);
+      }
+      return Value::Bool(false);
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+void Expr::CollectColumns(std::vector<size_t>* out) const {
+  if (kind_ == ExprKind::kColumn) {
+    if (bound_) out->push_back(col_idx_);
+    return;
+  }
+  for (const auto& c : children_) c->CollectColumns(out);
+}
+
+void Expr::CollectColumnNames(std::vector<std::string>* out) const {
+  if (kind_ == ExprKind::kColumn) {
+    out->push_back(name_);
+    return;
+  }
+  for (const auto& c : children_) c->CollectColumnNames(out);
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return value_.ToString();
+    case ExprKind::kColumn:
+      return name_.empty() ? StrFormat("$%zu", col_idx_) : name_;
+    case ExprKind::kCompare:
+      return "(" + children_[0]->ToString() + " " +
+             std::string(CompareOpToString(cmp_)) + " " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kArith:
+      return "(" + children_[0]->ToString() + " " +
+             std::string(ArithOpToString(arith_)) + " " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kAnd:
+      return "(" + children_[0]->ToString() + " AND " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + children_[0]->ToString() + " OR " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kNot:
+      return "(NOT " + children_[0]->ToString() + ")";
+    case ExprKind::kIsNull:
+      return "(" + children_[0]->ToString() +
+             (negated_ ? " IS NOT NULL)" : " IS NULL)");
+    case ExprKind::kIn: {
+      std::string out = "(" + children_[0]->ToString() + " IN (";
+      for (size_t i = 0; i < in_set_.size(); ++i) {
+        if (i) out += ", ";
+        out += in_set_[i].ToString();
+      }
+      return out + "))";
+    }
+  }
+  return "?";
+}
+
+ValueType InferExprType(const Expr& e, const Schema& in) {
+  switch (e.kind()) {
+    case ExprKind::kConst: {
+      const Value& v = e.const_value();
+      if (v.is_bool()) return ValueType::kBool;
+      if (v.is_int()) return ValueType::kInt;
+      if (v.is_double()) return ValueType::kDouble;
+      return ValueType::kString;
+    }
+    case ExprKind::kColumn:
+      if (e.column_index() < in.size()) return in.attr(e.column_index()).type;
+      return ValueType::kString;
+    case ExprKind::kArith: {
+      ValueType l = InferExprType(*e.left(), in);
+      ValueType r = InferExprType(*e.right(), in);
+      if (l == ValueType::kDouble || r == ValueType::kDouble) {
+        return ValueType::kDouble;
+      }
+      return ValueType::kInt;
+    }
+    default:
+      return ValueType::kBool;
+  }
+}
+
+Result<bool> EvalPredicate(const Expr& pred, const Tuple& tuple) {
+  MAYBMS_ASSIGN_OR_RETURN(Value v, pred.Eval(tuple));
+  if (v.is_bool()) return v.as_bool();
+  if (v.is_null() || v.is_bottom()) return false;
+  return Status::TypeMismatch("predicate did not evaluate to boolean: " +
+                              pred.ToString());
+}
+
+}  // namespace maybms

@@ -1,0 +1,119 @@
+// Scalar expressions over tuples: literals, column references, arithmetic,
+// comparisons and boolean connectives with SQL three-valued logic.
+//
+// Expressions are shared between the conventional engine (src/ra) and the
+// lifted WSD operators (src/core), which evaluate them on combinations of
+// component rows.
+#ifndef MAYBMS_RA_EXPR_H_
+#define MAYBMS_RA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+
+namespace maybms {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  kConst,    ///< literal Value
+  kColumn,   ///< reference to an attribute (by name until bound, then index)
+  kCompare,  ///< = <> < <= > >=
+  kArith,    ///< + - * /
+  kAnd,
+  kOr,
+  kNot,
+  kIsNull,  ///< IS NULL
+  kIn,      ///< column IN (literal list)
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+
+std::string_view CompareOpToString(CompareOp op);
+std::string_view ArithOpToString(ArithOp op);
+
+/// Immutable expression tree node. Build via the factory functions below,
+/// bind against a Schema with Bind(), then evaluate with Eval().
+class Expr {
+ public:
+  ExprKind kind() const { return kind_; }
+
+  // --- factories ---------------------------------------------------------
+  static ExprPtr Const(Value v);
+  static ExprPtr Column(std::string name);
+  /// Column already resolved to an index (used by planners).
+  static ExprPtr ColumnIdx(size_t idx, std::string name = "");
+  static ExprPtr Compare(CompareOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr And(ExprPtr l, ExprPtr r);
+  static ExprPtr Or(ExprPtr l, ExprPtr r);
+  static ExprPtr Not(ExprPtr e);
+  static ExprPtr IsNull(ExprPtr e, bool negated);
+  static ExprPtr In(ExprPtr e, std::vector<Value> set);
+
+  // --- accessors (valid per kind) ----------------------------------------
+  const Value& const_value() const { return value_; }
+  const std::string& column_name() const { return name_; }
+  /// Bound column index; only meaningful after Bind().
+  size_t column_index() const { return col_idx_; }
+  bool is_bound() const { return bound_; }
+  CompareOp compare_op() const { return cmp_; }
+  ArithOp arith_op() const { return arith_; }
+  bool is_null_negated() const { return negated_; }
+  const std::vector<Value>& in_set() const { return in_set_; }
+  const ExprPtr& left() const { return children_[0]; }
+  const ExprPtr& right() const { return children_[1]; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// Returns a copy of this tree with all column names resolved against
+  /// `schema`. Fails if a column is missing.
+  Result<ExprPtr> BindAgainst(const Schema& schema) const;
+
+  /// Evaluates the bound expression on one tuple. NULL propagates with SQL
+  /// three-valued logic; boolean results are Bool or NULL.
+  ///
+  /// ⊥ input makes the result ⊥ — callers in the lifted engine treat any
+  /// ⊥ involvement as "tuple absent" before interpreting predicates.
+  Result<Value> Eval(const Tuple& tuple) const;
+
+  /// Collects the bound column indexes read by this tree.
+  void CollectColumns(std::vector<size_t>* out) const;
+
+  /// Collects unbound column names read by this tree.
+  void CollectColumnNames(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kConst;
+  Value value_;                  // kConst
+  std::string name_;             // kColumn
+  size_t col_idx_ = 0;           // kColumn, after bind
+  bool bound_ = false;           // kColumn
+  CompareOp cmp_ = CompareOp::kEq;
+  ArithOp arith_ = ArithOp::kAdd;
+  bool negated_ = false;         // kIsNull
+  std::vector<Value> in_set_;    // kIn
+  std::vector<ExprPtr> children_;
+};
+
+/// Evaluates a bound predicate; returns true only for Bool(true) (NULL and
+/// false both reject, as in SQL WHERE).
+Result<bool> EvalPredicate(const Expr& pred, const Tuple& tuple);
+
+/// Infers the output type of a bound expression given the input schema;
+/// falls back to kString when undecidable statically.
+ValueType InferExprType(const Expr& e, const Schema& in);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_RA_EXPR_H_

@@ -1,0 +1,178 @@
+#include "ra/plan.h"
+
+#include "common/string_util.h"
+
+namespace maybms {
+
+std::string_view AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+PlanPtr Plan::Scan(std::string relation) {
+  auto p = std::shared_ptr<Plan>(new Plan());
+  p->kind_ = PlanKind::kScan;
+  p->relation_ = std::move(relation);
+  return p;
+}
+
+PlanPtr Plan::Select(PlanPtr input, ExprPtr predicate) {
+  auto p = std::shared_ptr<Plan>(new Plan());
+  p->kind_ = PlanKind::kSelect;
+  p->predicate_ = std::move(predicate);
+  p->children_ = {std::move(input)};
+  return p;
+}
+
+PlanPtr Plan::Project(PlanPtr input, std::vector<ProjectItem> items) {
+  auto p = std::shared_ptr<Plan>(new Plan());
+  p->kind_ = PlanKind::kProject;
+  p->items_ = std::move(items);
+  p->children_ = {std::move(input)};
+  return p;
+}
+
+PlanPtr Plan::Product(PlanPtr left, PlanPtr right) {
+  auto p = std::shared_ptr<Plan>(new Plan());
+  p->kind_ = PlanKind::kProduct;
+  p->children_ = {std::move(left), std::move(right)};
+  return p;
+}
+
+PlanPtr Plan::Join(PlanPtr left, PlanPtr right, ExprPtr predicate) {
+  auto p = std::shared_ptr<Plan>(new Plan());
+  p->kind_ = PlanKind::kJoin;
+  p->predicate_ = std::move(predicate);
+  p->children_ = {std::move(left), std::move(right)};
+  return p;
+}
+
+PlanPtr Plan::Union(PlanPtr left, PlanPtr right) {
+  auto p = std::shared_ptr<Plan>(new Plan());
+  p->kind_ = PlanKind::kUnion;
+  p->children_ = {std::move(left), std::move(right)};
+  return p;
+}
+
+PlanPtr Plan::Difference(PlanPtr left, PlanPtr right) {
+  auto p = std::shared_ptr<Plan>(new Plan());
+  p->kind_ = PlanKind::kDifference;
+  p->children_ = {std::move(left), std::move(right)};
+  return p;
+}
+
+PlanPtr Plan::Distinct(PlanPtr input) {
+  auto p = std::shared_ptr<Plan>(new Plan());
+  p->kind_ = PlanKind::kDistinct;
+  p->children_ = {std::move(input)};
+  return p;
+}
+
+PlanPtr Plan::Sort(PlanPtr input, std::vector<std::string> columns,
+                   std::vector<bool> descending) {
+  auto p = std::shared_ptr<Plan>(new Plan());
+  p->kind_ = PlanKind::kSort;
+  p->columns_ = std::move(columns);
+  p->descending_ = std::move(descending);
+  p->children_ = {std::move(input)};
+  return p;
+}
+
+PlanPtr Plan::Limit(PlanPtr input, size_t limit) {
+  auto p = std::shared_ptr<Plan>(new Plan());
+  p->kind_ = PlanKind::kLimit;
+  p->limit_ = limit;
+  p->children_ = {std::move(input)};
+  return p;
+}
+
+PlanPtr Plan::Aggregate(PlanPtr input, std::vector<std::string> group_by,
+                        std::vector<AggSpec> aggs) {
+  auto p = std::shared_ptr<Plan>(new Plan());
+  p->kind_ = PlanKind::kAggregate;
+  p->columns_ = std::move(group_by);
+  p->aggs_ = std::move(aggs);
+  p->children_ = {std::move(input)};
+  return p;
+}
+
+std::string Plan::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad;
+  switch (kind_) {
+    case PlanKind::kScan:
+      out += "Scan " + relation_;
+      break;
+    case PlanKind::kSelect:
+      out += "Select " + predicate_->ToString();
+      break;
+    case PlanKind::kProject: {
+      out += "Project ";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ", ";
+        out += items_[i].expr->ToString() + " AS " + items_[i].name;
+      }
+      break;
+    }
+    case PlanKind::kProduct:
+      out += "Product";
+      break;
+    case PlanKind::kJoin:
+      out += "Join " + (predicate_ ? predicate_->ToString() : "true");
+      break;
+    case PlanKind::kUnion:
+      out += "Union";
+      break;
+    case PlanKind::kDifference:
+      out += "Difference";
+      break;
+    case PlanKind::kDistinct:
+      out += "Distinct";
+      break;
+    case PlanKind::kSort: {
+      out += "Sort ";
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        if (i) out += ", ";
+        out += columns_[i];
+        if (i < descending_.size() && descending_[i]) out += " DESC";
+      }
+      break;
+    }
+    case PlanKind::kLimit:
+      out += StrFormat("Limit %zu", limit_);
+      break;
+    case PlanKind::kAggregate: {
+      out += "Aggregate group by [";
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        if (i) out += ", ";
+        out += columns_[i];
+      }
+      out += "] aggs [";
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        if (i) out += ", ";
+        out += std::string(AggFuncToString(aggs_[i].func)) + "(" +
+               (aggs_[i].arg ? aggs_[i].arg->ToString() : "*") + ") AS " +
+               aggs_[i].name;
+      }
+      out += "]";
+      break;
+    }
+  }
+  for (const auto& c : children_) {
+    out += "\n" + c->ToString(indent + 1);
+  }
+  return out;
+}
+
+}  // namespace maybms

@@ -1,0 +1,102 @@
+// Logical plans for the conventional (single-world) engine.
+//
+// The same plan shape is reused by the lifted executor in src/core, which
+// interprets each node over a world-set decomposition instead of a certain
+// relation.
+#ifndef MAYBMS_RA_PLAN_H_
+#define MAYBMS_RA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ra/expr.h"
+
+namespace maybms {
+
+class Plan;
+using PlanPtr = std::shared_ptr<const Plan>;
+
+enum class PlanKind : uint8_t {
+  kScan,        ///< named base relation
+  kSelect,      ///< σ predicate
+  kProject,     ///< π over expressions (bag semantics)
+  kProduct,     ///< ×
+  kJoin,        ///< ⋈ predicate (σ over ×, with equi-join fast path)
+  kUnion,       ///< ∪ (bag)
+  kDifference,  ///< − (bag: multiplicity-aware)
+  kDistinct,    ///< duplicate elimination
+  kSort,        ///< order by column list
+  kLimit,
+  kAggregate,   ///< group-by + aggregates
+};
+
+enum class AggFunc : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+std::string_view AggFuncToString(AggFunc f);
+
+/// One aggregate in an Aggregate node, e.g. SUM(income) AS total.
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  ExprPtr arg;       ///< null for COUNT(*)
+  std::string name;  ///< output attribute name
+};
+
+/// One output column of a Project node.
+struct ProjectItem {
+  ExprPtr expr;
+  std::string name;  ///< output attribute name
+};
+
+/// Immutable logical plan node; construct via the factories.
+class Plan {
+ public:
+  PlanKind kind() const { return kind_; }
+
+  static PlanPtr Scan(std::string relation);
+  static PlanPtr Select(PlanPtr input, ExprPtr predicate);
+  static PlanPtr Project(PlanPtr input, std::vector<ProjectItem> items);
+  static PlanPtr Product(PlanPtr left, PlanPtr right);
+  static PlanPtr Join(PlanPtr left, PlanPtr right, ExprPtr predicate);
+  static PlanPtr Union(PlanPtr left, PlanPtr right);
+  static PlanPtr Difference(PlanPtr left, PlanPtr right);
+  static PlanPtr Distinct(PlanPtr input);
+  static PlanPtr Sort(PlanPtr input, std::vector<std::string> columns,
+                      std::vector<bool> descending);
+  static PlanPtr Limit(PlanPtr input, size_t limit);
+  static PlanPtr Aggregate(PlanPtr input, std::vector<std::string> group_by,
+                           std::vector<AggSpec> aggs);
+
+  const std::string& relation() const { return relation_; }
+  const ExprPtr& predicate() const { return predicate_; }
+  const std::vector<ProjectItem>& project_items() const { return items_; }
+  const std::vector<std::string>& sort_columns() const { return columns_; }
+  const std::vector<bool>& sort_descending() const { return descending_; }
+  size_t limit() const { return limit_; }
+  const std::vector<std::string>& group_by() const { return columns_; }
+  const std::vector<AggSpec>& aggregates() const { return aggs_; }
+  const PlanPtr& left() const { return children_[0]; }
+  const PlanPtr& right() const { return children_[1]; }
+  const PlanPtr& input() const { return children_[0]; }
+  const std::vector<PlanPtr>& children() const { return children_; }
+
+  /// Multi-line indented rendering (EXPLAIN output).
+  std::string ToString(int indent = 0) const;
+
+ private:
+  Plan() = default;
+
+  PlanKind kind_ = PlanKind::kScan;
+  std::string relation_;
+  ExprPtr predicate_;
+  std::vector<ProjectItem> items_;
+  std::vector<std::string> columns_;
+  std::vector<bool> descending_;
+  size_t limit_ = 0;
+  std::vector<AggSpec> aggs_;
+  std::vector<PlanPtr> children_;
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_RA_PLAN_H_

@@ -1,0 +1,147 @@
+// Abstract syntax of the MayBMS query language — SQL with constructs for
+// incompleteness and probability:
+//
+//   CREATE TABLE r (a INT, b STRING);
+//   INSERT INTO r VALUES (1, {'x': 0.4, 'y': 0.6});     -- or-set cell
+//   SELECT b FROM r WHERE a = 1;                        -- world-set answer
+//   SELECT b, PROB() FROM r WHERE a = 1;                -- confidence
+//   POSSIBLE SELECT b FROM r;  CERTAIN SELECT b FROM r;
+//   SELECT ECOUNT() FROM r WHERE a = 1;                 -- expected count
+//   ENFORCE CHECK (a >= 0) ON r;  ENFORCE KEY (a) ON r;
+//   ENFORCE FD city -> state ON r;
+//   EXPLAIN SELECT ...;  SHOW TABLES;  SHOW WORLDS;  DROP TABLE r;
+#ifndef MAYBMS_SQL_AST_H_
+#define MAYBMS_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ra/expr.h"
+#include "storage/schema.h"
+
+namespace maybms {
+namespace sql {
+
+/// One cell of an INSERT row: a certain literal or an or-set.
+struct InsertCell {
+  bool is_orset = false;
+  Value value;  ///< when certain
+  /// when or-set: alternatives and optional probabilities (empty probs =
+  /// uniform)
+  std::vector<Value> alternatives;
+  std::vector<double> probs;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  Schema schema;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<InsertCell>> rows;
+};
+
+struct DropTableStmt {
+  std::string name;
+};
+
+/// SELECT item: an expression, '*', PROB(), ECOUNT() or ESUM(col).
+struct SelectItem {
+  enum class Kind { kExpr, kStar, kProb, kEcount, kEsum };
+  Kind kind = Kind::kExpr;
+  ExprPtr expr;  ///< also the argument of ESUM (a column reference)
+  std::string alias;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< empty when none
+};
+
+struct OrderItem {
+  std::string column;
+  bool descending = false;
+};
+
+/// Answer mode of a SELECT.
+enum class SelectMode {
+  kWorldSet,  ///< plain SELECT: the answer is a world-set (a WSD)
+  kPossible,  ///< POSSIBLE SELECT: tuples appearing in some world
+  kCertain,   ///< CERTAIN SELECT: tuples appearing in every world
+};
+
+struct SelectStmt;
+using SelectPtr = std::shared_ptr<SelectStmt>;
+
+struct SelectStmt {
+  SelectMode mode = SelectMode::kWorldSet;
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  ///< null when absent
+  std::vector<OrderItem> order_by;
+  /// Compound: this select (UNION|EXCEPT) rhs.
+  enum class Compound { kNone, kUnion, kExcept };
+  Compound compound = Compound::kNone;
+  SelectPtr rhs;
+};
+
+struct ExplainStmt {
+  SelectPtr select;
+};
+
+struct ShowStmt {
+  enum class What { kTables, kWorlds, kRelation };
+  What what = What::kTables;
+  std::string relation;   ///< for kRelation
+  size_t max_worlds = 32; ///< for kWorlds
+};
+
+struct EnforceStmt {
+  enum class Kind { kCheck, kKey, kFd };
+  Kind kind = Kind::kCheck;
+  std::string table;
+  ExprPtr check;                  ///< kCheck
+  std::vector<std::string> lhs;   ///< kKey attrs / kFd lhs
+  std::vector<std::string> rhs;   ///< kFd rhs
+};
+
+/// REPAIR KEY (attrs) IN table [WEIGHT BY col]: one tuple per key group
+/// survives per world, weighted — the construct that *introduces*
+/// uncertainty from dirty certain data.
+struct RepairStmt {
+  std::string table;
+  std::vector<std::string> key;
+  std::string weight;  ///< empty = uniform
+};
+
+/// A parsed statement (exactly one member is set).
+struct Statement {
+  enum class Kind {
+    kCreateTable,
+    kInsert,
+    kDropTable,
+    kSelect,
+    kExplain,
+    kShow,
+    kEnforce,
+    kRepair,
+  };
+  Kind kind = Kind::kSelect;
+  std::optional<CreateTableStmt> create_table;
+  std::optional<InsertStmt> insert;
+  std::optional<DropTableStmt> drop_table;
+  SelectPtr select;
+  std::optional<ExplainStmt> explain;
+  std::optional<ShowStmt> show;
+  std::optional<EnforceStmt> enforce;
+  std::optional<RepairStmt> repair;
+};
+
+}  // namespace sql
+}  // namespace maybms
+
+#endif  // MAYBMS_SQL_AST_H_

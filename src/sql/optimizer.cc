@@ -1,0 +1,281 @@
+#include "sql/optimizer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace maybms {
+namespace sql {
+
+namespace {
+
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind() == ExprKind::kAnd) {
+    SplitConjuncts(e->left(), out);
+    SplitConjuncts(e->right(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  ExprPtr acc = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    acc = Expr::And(acc, conjuncts[i]);
+  }
+  return acc;
+}
+
+// Rebuilds a bound expression with every column index shifted by -offset
+// and relabeled from `child` (used when pushing a predicate through a
+// product to its right input).
+ExprPtr ShiftColumns(const ExprPtr& e, size_t offset, const Schema& child) {
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      return e;
+    case ExprKind::kColumn: {
+      size_t idx = e->column_index() - offset;
+      return Expr::ColumnIdx(idx, idx < child.size() ? child.attr(idx).name
+                                                     : "");
+    }
+    case ExprKind::kCompare:
+      return Expr::Compare(e->compare_op(),
+                           ShiftColumns(e->left(), offset, child),
+                           ShiftColumns(e->right(), offset, child));
+    case ExprKind::kArith:
+      return Expr::Arith(e->arith_op(), ShiftColumns(e->left(), offset, child),
+                         ShiftColumns(e->right(), offset, child));
+    case ExprKind::kAnd:
+      return Expr::And(ShiftColumns(e->left(), offset, child),
+                       ShiftColumns(e->right(), offset, child));
+    case ExprKind::kOr:
+      return Expr::Or(ShiftColumns(e->left(), offset, child),
+                      ShiftColumns(e->right(), offset, child));
+    case ExprKind::kNot:
+      return Expr::Not(ShiftColumns(e->children()[0], offset, child));
+    case ExprKind::kIsNull:
+      return Expr::IsNull(ShiftColumns(e->children()[0], offset, child),
+                          e->is_null_negated());
+    case ExprKind::kIn:
+      return Expr::In(ShiftColumns(e->children()[0], offset, child),
+                      e->in_set());
+  }
+  return e;
+}
+
+struct ColumnRange {
+  size_t min_col = SIZE_MAX;
+  size_t max_col = 0;
+  bool any = false;
+};
+
+ColumnRange RangeOf(const ExprPtr& bound) {
+  std::vector<size_t> cols;
+  bound->CollectColumns(&cols);
+  ColumnRange r;
+  for (size_t c : cols) {
+    r.any = true;
+    r.min_col = std::min(r.min_col, c);
+    r.max_col = std::max(r.max_col, c);
+  }
+  return r;
+}
+
+class Optimizer {
+ public:
+  explicit Optimizer(const WsdDb& db) : db_(db) {}
+
+  Result<Schema> SchemaOf(const PlanPtr& plan) {
+    switch (plan->kind()) {
+      case PlanKind::kScan: {
+        MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel,
+                                db_.GetRelation(plan->relation()));
+        return rel->schema();
+      }
+      case PlanKind::kSelect:
+      case PlanKind::kDistinct:
+      case PlanKind::kSort:
+      case PlanKind::kLimit:
+        return SchemaOf(plan->input());
+      case PlanKind::kProject: {
+        MAYBMS_ASSIGN_OR_RETURN(Schema in, SchemaOf(plan->input()));
+        Schema out;
+        for (const auto& item : plan->project_items()) {
+          MAYBMS_ASSIGN_OR_RETURN(ExprPtr b, item.expr->BindAgainst(in));
+          std::string name = item.name;
+          int k = 2;
+          while (out.IndexOf(name)) name = item.name + "_" + std::to_string(k++);
+          MAYBMS_RETURN_IF_ERROR(out.Add({name, InferExprType(*b, in)}));
+        }
+        return out;
+      }
+      case PlanKind::kProduct:
+      case PlanKind::kJoin: {
+        MAYBMS_ASSIGN_OR_RETURN(Schema l, SchemaOf(plan->left()));
+        MAYBMS_ASSIGN_OR_RETURN(Schema r, SchemaOf(plan->right()));
+        return Schema::Concat(l, r, DeriveName(plan->right()));
+      }
+      case PlanKind::kUnion:
+      case PlanKind::kDifference:
+        return SchemaOf(plan->left());
+      case PlanKind::kAggregate: {
+        // Not used by the lifted path; approximate.
+        MAYBMS_ASSIGN_OR_RETURN(Schema in, SchemaOf(plan->input()));
+        Schema out;
+        for (const auto& g : plan->group_by()) {
+          MAYBMS_ASSIGN_OR_RETURN(size_t i, in.Resolve(g));
+          MAYBMS_RETURN_IF_ERROR(out.Add(in.attr(i)));
+        }
+        for (const auto& a : plan->aggregates()) {
+          MAYBMS_RETURN_IF_ERROR(out.Add({a.name, ValueType::kDouble}));
+        }
+        return out;
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+  std::string DeriveName(const PlanPtr& plan) {
+    if (plan->kind() == PlanKind::kScan) {
+      auto rel = db_.GetRelation(plan->relation());
+      if (rel.ok()) return (*rel)->display_name();
+      return plan->relation();
+    }
+    if (plan->kind() == PlanKind::kSelect ||
+        plan->kind() == PlanKind::kDistinct ||
+        plan->kind() == PlanKind::kSort) {
+      return DeriveName(plan->input());
+    }
+    return "r";
+  }
+
+  Result<PlanPtr> Rewrite(const PlanPtr& plan) {
+    switch (plan->kind()) {
+      case PlanKind::kSelect:
+        return RewriteSelect(plan);
+      case PlanKind::kScan:
+        return plan;
+      case PlanKind::kProject: {
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr in, Rewrite(plan->input()));
+        return Plan::Project(in, plan->project_items());
+      }
+      case PlanKind::kProduct: {
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr l, Rewrite(plan->left()));
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr r, Rewrite(plan->right()));
+        return Plan::Product(l, r);
+      }
+      case PlanKind::kJoin: {
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr l, Rewrite(plan->left()));
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr r, Rewrite(plan->right()));
+        return Plan::Join(l, r, plan->predicate());
+      }
+      case PlanKind::kUnion: {
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr l, Rewrite(plan->left()));
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr r, Rewrite(plan->right()));
+        return Plan::Union(l, r);
+      }
+      case PlanKind::kDifference: {
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr l, Rewrite(plan->left()));
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr r, Rewrite(plan->right()));
+        return Plan::Difference(l, r);
+      }
+      case PlanKind::kDistinct: {
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr in, Rewrite(plan->input()));
+        return Plan::Distinct(in);
+      }
+      case PlanKind::kSort: {
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr in, Rewrite(plan->input()));
+        return Plan::Sort(in, plan->sort_columns(), plan->sort_descending());
+      }
+      case PlanKind::kLimit: {
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr in, Rewrite(plan->input()));
+        return Plan::Limit(in, plan->limit());
+      }
+      case PlanKind::kAggregate: {
+        MAYBMS_ASSIGN_OR_RETURN(PlanPtr in, Rewrite(plan->input()));
+        return Plan::Aggregate(in, plan->group_by(), plan->aggregates());
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+ private:
+  Result<PlanPtr> RewriteSelect(const PlanPtr& plan) {
+    MAYBMS_ASSIGN_OR_RETURN(PlanPtr input, Rewrite(plan->input()));
+    ExprPtr pred = plan->predicate();
+
+    // Push into products/joins.
+    if (input->kind() == PlanKind::kProduct ||
+        input->kind() == PlanKind::kJoin) {
+      MAYBMS_ASSIGN_OR_RETURN(Schema concat, SchemaOf(input));
+      MAYBMS_ASSIGN_OR_RETURN(Schema lschema, SchemaOf(input->left()));
+      size_t larity = lschema.size();
+      MAYBMS_ASSIGN_OR_RETURN(Schema rschema, SchemaOf(input->right()));
+      MAYBMS_ASSIGN_OR_RETURN(ExprPtr bound, pred->BindAgainst(concat));
+      std::vector<ExprPtr> conjuncts;
+      SplitConjuncts(bound, &conjuncts);
+      std::vector<ExprPtr> to_left, to_right, cross;
+      for (const auto& c : conjuncts) {
+        ColumnRange r = RangeOf(c);
+        if (!r.any || r.max_col < larity) {
+          to_left.push_back(c);
+        } else if (r.min_col >= larity) {
+          to_right.push_back(ShiftColumns(c, larity, rschema));
+        } else {
+          cross.push_back(c);
+        }
+      }
+      PlanPtr l = input->left();
+      PlanPtr r = input->right();
+      if (!to_left.empty()) {
+        MAYBMS_ASSIGN_OR_RETURN(l, Rewrite(Plan::Select(
+                                       l, CombineConjuncts(to_left))));
+      }
+      if (!to_right.empty()) {
+        MAYBMS_ASSIGN_OR_RETURN(r, Rewrite(Plan::Select(
+                                       r, CombineConjuncts(to_right))));
+      }
+      ExprPtr join_pred = CombineConjuncts(cross);
+      if (input->kind() == PlanKind::kJoin && input->predicate()) {
+        join_pred = join_pred
+                        ? Expr::And(input->predicate(), join_pred)
+                        : input->predicate();
+      }
+      if (join_pred) return Plan::Join(l, r, join_pred);
+      return Plan::Product(l, r);
+    }
+
+    // Merge adjacent selects.
+    if (input->kind() == PlanKind::kSelect) {
+      return Rewrite(
+          Plan::Select(input->input(), Expr::And(input->predicate(), pred)));
+    }
+    // Push through union (both sides see the same schema).
+    if (input->kind() == PlanKind::kUnion) {
+      MAYBMS_ASSIGN_OR_RETURN(
+          PlanPtr l, Rewrite(Plan::Select(input->left(), pred)));
+      MAYBMS_ASSIGN_OR_RETURN(
+          PlanPtr r, Rewrite(Plan::Select(input->right(), pred)));
+      return Plan::Union(l, r);
+    }
+    return Plan::Select(input, pred);
+  }
+
+  const WsdDb& db_;
+};
+
+}  // namespace
+
+Result<PlanPtr> Optimize(const PlanPtr& plan, const WsdDb& db) {
+  Optimizer opt(db);
+  return opt.Rewrite(plan);
+}
+
+Result<Schema> PlanSchema(const PlanPtr& plan, const WsdDb& db) {
+  Optimizer opt(db);
+  return opt.SchemaOf(plan);
+}
+
+}  // namespace sql
+}  // namespace maybms

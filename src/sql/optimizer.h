@@ -1,0 +1,34 @@
+// Logical plan optimizer: predicate pushdown and product-to-join
+// conversion ("MayBMS rewrites and optimizes user queries into a sequence
+// of relational queries on world-set decompositions" — these rewrites keep
+// the per-tuple component merging of lifted selection small and let joins
+// use the certain-key hash path).
+#ifndef MAYBMS_SQL_OPTIMIZER_H_
+#define MAYBMS_SQL_OPTIMIZER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "core/wsd.h"
+#include "ra/plan.h"
+
+namespace maybms {
+namespace sql {
+
+/// Rewrites `plan`:
+///   1. WHERE conjuncts are split and pushed below products/joins/unions
+///      to the deepest input whose schema covers their columns;
+///   2. Select-over-Product with cross-side conjuncts becomes Join.
+/// The rewritten predicates are column-index-bound, so they stay valid
+/// regardless of later name disambiguation.
+Result<PlanPtr> Optimize(const PlanPtr& plan, const WsdDb& db);
+
+/// Output schema of a plan against the WSD catalog (mirrors
+/// ra::OutputSchema, which works over certain catalogs).
+Result<Schema> PlanSchema(const PlanPtr& plan, const WsdDb& db);
+
+}  // namespace sql
+}  // namespace maybms
+
+#endif  // MAYBMS_SQL_OPTIMIZER_H_

@@ -1,0 +1,23 @@
+// Recursive-descent parser for the MayBMS query language.
+#ifndef MAYBMS_SQL_PARSER_H_
+#define MAYBMS_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace maybms {
+namespace sql {
+
+/// Parses a single statement (a trailing ';' is allowed).
+Result<Statement> ParseStatement(const std::string& input);
+
+/// Splits `input` on top-level ';' and parses each statement.
+Result<std::vector<Statement>> ParseScript(const std::string& input);
+
+}  // namespace sql
+}  // namespace maybms
+
+#endif  // MAYBMS_SQL_PARSER_H_

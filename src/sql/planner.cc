@@ -1,0 +1,118 @@
+#include "sql/planner.h"
+
+#include "common/string_util.h"
+
+namespace maybms {
+namespace sql {
+
+namespace {
+
+// A scan, renaming every column to "alias.col" when an alias is given.
+Result<PlanPtr> PlanTableRef(const TableRef& ref, const WsdDb& db) {
+  MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db.GetRelation(ref.table));
+  PlanPtr scan = Plan::Scan(ref.table);
+  if (ref.alias.empty()) return scan;
+  std::vector<ProjectItem> items;
+  items.reserve(rel->schema().size());
+  for (size_t c = 0; c < rel->schema().size(); ++c) {
+    const std::string& col = rel->schema().attr(c).name;
+    items.push_back({Expr::Column(col), ref.alias + "." + col});
+  }
+  return Plan::Project(scan, std::move(items));
+}
+
+}  // namespace
+
+Result<PlannedQuery> PlanSelect(const SelectStmt& stmt, const WsdDb& db) {
+  PlannedQuery out;
+  out.mode = stmt.mode;
+  if (stmt.from.empty()) {
+    return Status::ParseError("SELECT requires a FROM clause");
+  }
+
+  // FROM chain: left-deep products.
+  MAYBMS_ASSIGN_OR_RETURN(PlanPtr plan, PlanTableRef(stmt.from[0], db));
+  for (size_t i = 1; i < stmt.from.size(); ++i) {
+    MAYBMS_ASSIGN_OR_RETURN(PlanPtr right, PlanTableRef(stmt.from[i], db));
+    plan = Plan::Product(plan, right);
+  }
+
+  if (stmt.where) plan = Plan::Select(plan, stmt.where);
+
+  // Select list.
+  bool has_star = false;
+  size_t n_prob = 0, n_ecount = 0, n_esum = 0;
+  std::vector<ProjectItem> items;
+  for (const auto& item : stmt.items) {
+    switch (item.kind) {
+      case SelectItem::Kind::kStar:
+        has_star = true;
+        break;
+      case SelectItem::Kind::kProb:
+        ++n_prob;
+        if (!item.alias.empty()) out.prob_alias = item.alias;
+        break;
+      case SelectItem::Kind::kEcount:
+        ++n_ecount;
+        break;
+      case SelectItem::Kind::kEsum:
+        ++n_esum;
+        out.esum_column = item.expr->column_name();
+        break;
+      case SelectItem::Kind::kExpr:
+        items.push_back({item.expr, item.alias});
+        break;
+    }
+  }
+  if (n_prob > 1 || n_ecount > 1 || n_esum > 1) {
+    return Status::ParseError(
+        "PROB()/ECOUNT()/ESUM() may appear at most once");
+  }
+  if ((n_ecount > 0 || n_esum > 0) &&
+      (n_prob > 0 || has_star || !items.empty() || n_ecount + n_esum > 1)) {
+    return Status::ParseError(
+        "ECOUNT()/ESUM() must be the only select item");
+  }
+  if (has_star && !items.empty()) {
+    return Status::ParseError("'*' cannot be combined with other items");
+  }
+  out.wants_prob = n_prob > 0;
+  out.wants_ecount = n_ecount > 0;
+  out.wants_esum = n_esum > 0;
+
+  if (!items.empty()) {
+    plan = Plan::Project(plan, std::move(items));
+  } else if (out.wants_prob && !has_star) {
+    // "SELECT PROB() FROM ... WHERE ..." asks for the probability that
+    // the answer is non-empty: project onto zero columns, so the only
+    // possible answer vector is the empty tuple and its confidence is
+    // P(some qualifying tuple exists).
+    plan = Plan::Project(plan, {});
+  }
+  if (stmt.distinct) plan = Plan::Distinct(plan);
+  if (!stmt.order_by.empty()) {
+    std::vector<std::string> cols;
+    std::vector<bool> desc;
+    for (const auto& o : stmt.order_by) {
+      cols.push_back(o.column);
+      desc.push_back(o.descending);
+    }
+    plan = Plan::Sort(plan, std::move(cols), std::move(desc));
+  }
+
+  if (stmt.compound != SelectStmt::Compound::kNone) {
+    MAYBMS_ASSIGN_OR_RETURN(PlannedQuery rhs, PlanSelect(*stmt.rhs, db));
+    if (rhs.wants_prob || rhs.wants_ecount) {
+      return Status::ParseError(
+          "PROB()/ECOUNT() are not allowed inside compound operands");
+    }
+    plan = stmt.compound == SelectStmt::Compound::kUnion
+               ? Plan::Union(plan, rhs.plan)
+               : Plan::Difference(plan, rhs.plan);
+  }
+  out.plan = plan;
+  return out;
+}
+
+}  // namespace sql
+}  // namespace maybms

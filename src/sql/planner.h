@@ -1,0 +1,33 @@
+// Lowers a parsed SELECT statement to a logical plan plus the
+// probabilistic post-processing it requests (prob(), possible/certain,
+// ecount()).
+#ifndef MAYBMS_SQL_PLANNER_H_
+#define MAYBMS_SQL_PLANNER_H_
+
+#include "common/result.h"
+#include "core/wsd.h"
+#include "ra/plan.h"
+#include "sql/ast.h"
+
+namespace maybms {
+namespace sql {
+
+/// The relational plan plus the answer-mode flags of a query.
+struct PlannedQuery {
+  PlanPtr plan;
+  SelectMode mode = SelectMode::kWorldSet;
+  bool wants_prob = false;    ///< PROB() in the select list
+  bool wants_ecount = false;  ///< ECOUNT() as the only select item
+  bool wants_esum = false;    ///< ESUM(col) as the only select item
+  std::string prob_alias = "prob";
+  std::string esum_column;    ///< output column ESUM aggregates over
+};
+
+/// Plans `stmt` against the relations of `db` (schemas are needed for
+/// '*' expansion and alias renaming).
+Result<PlannedQuery> PlanSelect(const SelectStmt& stmt, const WsdDb& db);
+
+}  // namespace sql
+}  // namespace maybms
+
+#endif  // MAYBMS_SQL_PLANNER_H_

@@ -1,0 +1,270 @@
+#include "sql/session.h"
+
+#include <cmath>
+
+#include "chase/enforce.h"
+#include "common/string_util.h"
+#include "core/builder.h"
+#include "core/repair.h"
+#include "core/confidence.h"
+#include "core/lifted_executor.h"
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace sql {
+
+std::string StatementResult::ToDisplayString(size_t max_rows) const {
+  switch (kind) {
+    case Kind::kMessage:
+      return message;
+    case Kind::kTable:
+      return table.ToString(max_rows);
+    case Kind::kWorldSet: {
+      std::string out = world_set.ToString();
+      out += StrFormat("(world-set: 2^%.4g choice combinations)\n",
+                       world_set.Log2WorldCount());
+      return out;
+    }
+  }
+  return "";
+}
+
+Result<StatementResult> Session::Execute(const std::string& statement) {
+  MAYBMS_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  return ExecuteParsed(stmt);
+}
+
+Result<std::vector<StatementResult>> Session::ExecuteScript(
+    const std::string& script) {
+  MAYBMS_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(script));
+  std::vector<StatementResult> out;
+  out.reserve(stmts.size());
+  for (const auto& stmt : stmts) {
+    MAYBMS_ASSIGN_OR_RETURN(StatementResult r, ExecuteParsed(stmt));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<StatementResult> Session::ExecuteParsed(const Statement& stmt) {
+  StatementResult result;
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateTable: {
+      MAYBMS_RETURN_IF_ERROR(db_.CreateRelation(stmt.create_table->name,
+                                                stmt.create_table->schema));
+      result.message =
+          "created table " + stmt.create_table->name + " " +
+          stmt.create_table->schema.ToString();
+      return result;
+    }
+    case Statement::Kind::kDropTable: {
+      MAYBMS_RETURN_IF_ERROR(db_.DropRelation(stmt.drop_table->name));
+      result.message = "dropped table " + stmt.drop_table->name;
+      return result;
+    }
+    case Statement::Kind::kInsert:
+      return RunInsert(*stmt.insert);
+    case Statement::Kind::kSelect:
+      return RunSelect(*stmt.select);
+    case Statement::Kind::kExplain: {
+      MAYBMS_ASSIGN_OR_RETURN(PlannedQuery q,
+                              PlanSelect(*stmt.explain->select, db_));
+      MAYBMS_ASSIGN_OR_RETURN(PlanPtr optimized, Optimize(q.plan, db_));
+      result.message = "plan (optimized):\n" + optimized->ToString();
+      if (q.wants_prob) result.message += "\n→ PROB() via conf computation";
+      if (q.wants_ecount) result.message += "\n→ ECOUNT() via existence sums";
+      if (q.wants_esum) {
+        result.message +=
+            "\n→ ESUM(" + q.esum_column + ") via expectation sums";
+      }
+      if (q.mode == SelectMode::kPossible)
+        result.message += "\n→ possible answers";
+      if (q.mode == SelectMode::kCertain)
+        result.message += "\n→ certain answers";
+      return result;
+    }
+    case Statement::Kind::kShow:
+      return RunShow(*stmt.show);
+    case Statement::Kind::kEnforce:
+      return RunEnforce(*stmt.enforce);
+    case Statement::Kind::kRepair: {
+      MAYBMS_ASSIGN_OR_RETURN(
+          RepairKeyStats stats,
+          RepairKey(&db_, stmt.repair->table, stmt.repair->key,
+                    stmt.repair->weight));
+      StatementResult result;
+      result.message = StrFormat(
+          "repaired key (%s) in %s: %zu group(s), %zu conflicting, "
+          "world count x 2^%.4g",
+          Join(stmt.repair->key, ",").c_str(), stmt.repair->table.c_str(),
+          stats.groups, stats.conflicting_groups, stats.log2_worlds_added);
+      return result;
+    }
+  }
+  return Status::Internal("unreachable statement kind");
+}
+
+Result<StatementResult> Session::RunInsert(const InsertStmt& stmt) {
+  MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db_.GetRelation(stmt.table));
+  (void)rel;
+  size_t inserted = 0;
+  for (const auto& row : stmt.rows) {
+    std::vector<CellSpec> cells;
+    cells.reserve(row.size());
+    for (const auto& cell : row) {
+      if (!cell.is_orset) {
+        cells.push_back(CellSpec::Certain(cell.value));
+        continue;
+      }
+      if (cell.probs.empty()) {
+        cells.push_back(CellSpec::UniformOrSet(cell.alternatives));
+      } else {
+        std::vector<Alternative> alts;
+        for (size_t i = 0; i < cell.alternatives.size(); ++i) {
+          alts.push_back({cell.alternatives[i], cell.probs[i]});
+        }
+        cells.push_back(CellSpec::OrSet(std::move(alts)));
+      }
+    }
+    MAYBMS_ASSIGN_OR_RETURN(TupleHandle h,
+                            InsertTuple(&db_, stmt.table, std::move(cells)));
+    (void)h;
+    ++inserted;
+  }
+  StatementResult result;
+  result.message = StrFormat("inserted %zu tuple(s) into %s", inserted,
+                             stmt.table.c_str());
+  return result;
+}
+
+Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
+  MAYBMS_ASSIGN_OR_RETURN(PlannedQuery q, PlanSelect(stmt, db_));
+  MAYBMS_ASSIGN_OR_RETURN(PlanPtr plan, Optimize(q.plan, db_));
+  MAYBMS_ASSIGN_OR_RETURN(WsdDb answer, ExecuteLifted(plan, db_));
+  StatementResult result;
+  if (q.wants_ecount) {
+    MAYBMS_ASSIGN_OR_RETURN(double ec, ExpectedCount(answer, "result"));
+    Relation table("", Schema({{"ecount", ValueType::kDouble}}));
+    table.AppendUnchecked({Value::Double(ec)});
+    result.kind = StatementResult::Kind::kTable;
+    result.table = std::move(table);
+    return result;
+  }
+  if (q.wants_esum) {
+    MAYBMS_ASSIGN_OR_RETURN(double es,
+                            ExpectedSum(answer, "result", q.esum_column));
+    Relation table("", Schema({{"esum", ValueType::kDouble}}));
+    table.AppendUnchecked({Value::Double(es)});
+    result.kind = StatementResult::Kind::kTable;
+    result.table = std::move(table);
+    return result;
+  }
+  if (q.wants_prob) {
+    MAYBMS_ASSIGN_OR_RETURN(Relation conf, ConfTable(answer, "result"));
+    // Rename the trailing conf column to the requested alias.
+    Schema s = conf.schema();
+    std::vector<Attribute> attrs = s.attrs();
+    attrs.back().name = q.prob_alias;
+    Relation renamed(conf.name(), Schema(attrs));
+    for (const auto& row : conf.rows()) renamed.AppendUnchecked(row);
+    result.kind = StatementResult::Kind::kTable;
+    result.table = std::move(renamed);
+    return result;
+  }
+  switch (q.mode) {
+    case SelectMode::kPossible: {
+      MAYBMS_ASSIGN_OR_RETURN(Relation t, PossibleTuples(answer, "result"));
+      result.kind = StatementResult::Kind::kTable;
+      result.table = std::move(t);
+      return result;
+    }
+    case SelectMode::kCertain: {
+      MAYBMS_ASSIGN_OR_RETURN(Relation t, CertainTuples(answer, "result"));
+      result.kind = StatementResult::Kind::kTable;
+      result.table = std::move(t);
+      return result;
+    }
+    case SelectMode::kWorldSet:
+      result.kind = StatementResult::Kind::kWorldSet;
+      result.world_set = std::move(answer);
+      return result;
+  }
+  return Status::Internal("unreachable select mode");
+}
+
+Result<StatementResult> Session::RunEnforce(const EnforceStmt& stmt) {
+  Constraint c = [&] {
+    switch (stmt.kind) {
+      case EnforceStmt::Kind::kCheck:
+        return Constraint::Domain(stmt.table, stmt.check);
+      case EnforceStmt::Kind::kKey:
+        return Constraint::Key(stmt.table, stmt.lhs);
+      case EnforceStmt::Kind::kFd:
+      default:
+        return Constraint::FunctionalDependency(stmt.table, stmt.lhs,
+                                                stmt.rhs);
+    }
+  }();
+  MAYBMS_ASSIGN_OR_RETURN(EnforceStats stats, Enforce(&db_, c));
+  StatementResult result;
+  result.message = StrFormat(
+      "enforced %s: removed probability mass %.6g, %zu component row(s) "
+      "deleted; log2(worlds) %.4g -> %.4g",
+      c.ToString().c_str(), stats.removed_mass, stats.rows_removed,
+      stats.log2_worlds_before, stats.log2_worlds_after);
+  return result;
+}
+
+Result<StatementResult> Session::RunShow(const ShowStmt& stmt) {
+  StatementResult result;
+  switch (stmt.what) {
+    case ShowStmt::What::kTables: {
+      std::string out;
+      for (const auto& name : db_.RelationNames()) {
+        const WsdRelation* rel = db_.GetRelation(name).value();
+        out += rel->name() + " " + rel->schema().ToString() +
+               StrFormat(" — %zu tuple template(s)\n", rel->NumTuples());
+      }
+      if (out.empty()) out = "(no tables)\n";
+      result.message = std::move(out);
+      return result;
+    }
+    case ShowStmt::What::kRelation: {
+      MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel,
+                              db_.GetRelation(stmt.relation));
+      (void)rel;
+      result.message = db_.ToString();
+      return result;
+    }
+    case ShowStmt::What::kWorlds: {
+      auto count = db_.WorldCountIfSmall(stmt.max_worlds);
+      if (!count.has_value()) {
+        result.message = StrFormat(
+            "world-set too large to enumerate: 2^%.4g choice combinations\n",
+            db_.Log2WorldCount());
+        return result;
+      }
+      MAYBMS_ASSIGN_OR_RETURN(std::vector<World> worlds,
+                              EnumerateWorlds(db_, stmt.max_worlds));
+      auto merged = MergeEqualWorlds(std::move(worlds));
+      std::string out =
+          StrFormat("%zu distinct world(s):\n", merged.size());
+      for (size_t i = 0; i < merged.size(); ++i) {
+        out += StrFormat("--- world %zu (p = %.6g) ---\n", i + 1,
+                         merged[i].prob);
+        for (const auto& name : merged[i].catalog.Names()) {
+          out += merged[i].catalog.Get(name).value()->ToString();
+        }
+      }
+      result.message = std::move(out);
+      return result;
+    }
+  }
+  return Status::Internal("unreachable show kind");
+}
+
+}  // namespace sql
+}  // namespace maybms

@@ -1,0 +1,65 @@
+// Session: the top-level entry point of the MayBMS engine. Owns a
+// world-set database and executes query-language statements against it —
+// the programmatic equivalent of the demo's console.
+#ifndef MAYBMS_SQL_SESSION_H_
+#define MAYBMS_SQL_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/wsd.h"
+#include "sql/ast.h"
+#include "storage/relation.h"
+
+namespace maybms {
+namespace sql {
+
+/// What a statement produced.
+struct StatementResult {
+  enum class Kind {
+    kMessage,   ///< DDL/DML acknowledgements, EXPLAIN text, ENFORCE stats
+    kTable,     ///< a certain relation (prob/possible/certain/ecount/show)
+    kWorldSet,  ///< a world-set answer (plain SELECT)
+  };
+  Kind kind = Kind::kMessage;
+  std::string message;
+  Relation table;
+  WsdDb world_set;  ///< contains relation "result"
+
+  /// Renders the result for a console.
+  std::string ToDisplayString(size_t max_rows = 50) const;
+};
+
+/// An interactive session over one world-set database.
+class Session {
+ public:
+  Session() = default;
+  /// Starts from an existing database (e.g. a generated census WSD).
+  explicit Session(WsdDb db) : db_(std::move(db)) {}
+
+  WsdDb& db() { return db_; }
+  const WsdDb& db() const { return db_; }
+
+  /// Parses and executes one statement.
+  Result<StatementResult> Execute(const std::string& statement);
+
+  /// Executes a ';'-separated script, stopping at the first error.
+  Result<std::vector<StatementResult>> ExecuteScript(const std::string& sql);
+
+  /// Executes an already-parsed statement.
+  Result<StatementResult> ExecuteParsed(const Statement& stmt);
+
+ private:
+  Result<StatementResult> RunSelect(const SelectStmt& stmt);
+  Result<StatementResult> RunInsert(const InsertStmt& stmt);
+  Result<StatementResult> RunEnforce(const EnforceStmt& stmt);
+  Result<StatementResult> RunShow(const ShowStmt& stmt);
+
+  WsdDb db_;
+};
+
+}  // namespace sql
+}  // namespace maybms
+
+#endif  // MAYBMS_SQL_SESSION_H_

@@ -1,0 +1,140 @@
+#include "sql/token.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace maybms {
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto is_ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto is_ident_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    if (is_ident_start(c)) {
+      size_t start = i;
+      while (i < n && is_ident_char(sql[i])) ++i;
+      // Dotted identifiers (qualified column names, e.g. a.x).
+      while (i + 1 < n && sql[i] == '.' && is_ident_start(sql[i + 1])) {
+        ++i;
+        while (i < n && is_ident_char(sql[i])) ++i;
+      }
+      t.kind = TokenKind::kIdent;
+      t.text = sql.substr(start, i - start);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool has_dot = false, has_exp = false;
+      while (i < n) {
+        char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.' && !has_dot && !has_exp) {
+          has_dot = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && !has_exp && i + 1 < n) {
+          has_exp = true;
+          ++i;
+          if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        } else {
+          break;
+        }
+      }
+      std::string text = sql.substr(start, i - start);
+      if (has_dot || has_exp) {
+        t.kind = TokenKind::kFloat;
+        t.float_value = strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInt;
+        t.int_value = strtoll(text.c_str(), nullptr, 10);
+      }
+      t.text = std::move(text);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          text += sql[i++];
+        }
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", t.offset));
+      }
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Multi-char symbols first.
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!=", "->"};
+    bool matched = false;
+    for (const char* sym : kTwoChar) {
+      if (c == sym[0] && i + 1 < n && sql[i + 1] == sym[1]) {
+        t.kind = TokenKind::kSymbol;
+        t.text = sym;
+        i += 2;
+        out.push_back(std::move(t));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingles = "()[]{},;*.=<>+-/:";
+    if (kSingles.find(c) != std::string::npos) {
+      t.kind = TokenKind::kSymbol;
+      t.text = std::string(1, c);
+      ++i;
+      out.push_back(std::move(t));
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace maybms

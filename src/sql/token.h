@@ -1,0 +1,40 @@
+// Token stream for the MayBMS query language.
+#ifndef MAYBMS_SQL_TOKEN_H_
+#define MAYBMS_SQL_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace maybms {
+
+enum class TokenKind : uint8_t {
+  kIdent,    ///< bare or dotted identifier (case preserved)
+  kString,   ///< 'single quoted'
+  kInt,
+  kFloat,
+  kSymbol,   ///< punctuation / operator, text() holds it (e.g. "<=", "(")
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;  ///< byte offset in the input, for error messages
+
+  bool IsSymbol(const char* s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword match for identifiers.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes `sql`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_SQL_TOKEN_H_

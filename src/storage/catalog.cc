@@ -1,0 +1,73 @@
+#include "storage/catalog.h"
+
+#include "common/string_util.h"
+
+namespace maybms {
+
+std::string Catalog::Key(const std::string& name) { return ToLower(name); }
+
+Status Catalog::Create(Relation rel) {
+  std::string key = Key(rel.name());
+  if (relations_.count(key)) {
+    return Status::AlreadyExists("relation already exists: " + rel.name());
+  }
+  relations_.emplace(std::move(key), std::move(rel));
+  return Status::OK();
+}
+
+void Catalog::Put(Relation rel) {
+  std::string key = Key(rel.name());
+  relations_.insert_or_assign(std::move(key), std::move(rel));
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (relations_.erase(Key(name)) == 0) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  return Status::OK();
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return relations_.count(Key(name)) > 0;
+}
+
+Result<const Relation*> Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(Key(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  return &it->second;
+}
+
+Result<Relation*> Catalog::GetMutable(const std::string& name) {
+  auto it = relations_.find(Key(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation not found: " + name);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [key, rel] : relations_) out.push_back(rel.name());
+  return out;
+}
+
+uint64_t Catalog::SerializedSize() const {
+  uint64_t total = 0;
+  for (const auto& [key, rel] : relations_) total += rel.SerializedSize();
+  return total;
+}
+
+bool Catalog::Equals(const Catalog& other) const {
+  if (relations_.size() != other.relations_.size()) return false;
+  for (const auto& [key, rel] : relations_) {
+    auto it = other.relations_.find(key);
+    if (it == other.relations_.end()) return false;
+    if (!rel.BagEquals(it->second)) return false;
+  }
+  return true;
+}
+
+}  // namespace maybms

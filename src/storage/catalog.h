@@ -1,0 +1,50 @@
+// Catalog: named relations of one (certain) database / possible world.
+#ifndef MAYBMS_STORAGE_CATALOG_H_
+#define MAYBMS_STORAGE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace maybms {
+
+/// A set of named certain relations — one conventional database instance,
+/// which is also the content of a single possible world.
+class Catalog {
+ public:
+  /// Registers a relation under its name; fails on collision.
+  Status Create(Relation rel);
+
+  /// Replaces or creates.
+  void Put(Relation rel);
+
+  Status Drop(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+
+  Result<const Relation*> Get(const std::string& name) const;
+  Result<Relation*> GetMutable(const std::string& name);
+
+  std::vector<std::string> Names() const;
+  size_t size() const { return relations_.size(); }
+
+  /// Total flat serialized size across all relations.
+  uint64_t SerializedSize() const;
+
+  /// Deep bag-equality of all relations; used by the world-enumeration
+  /// oracle to compare worlds.
+  bool Equals(const Catalog& other) const;
+
+ private:
+  // Case-insensitive name map would complicate iteration; we canonicalize
+  // names to lower case on insertion and lookup instead.
+  static std::string Key(const std::string& name);
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_STORAGE_CATALOG_H_

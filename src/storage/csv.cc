@@ -1,0 +1,157 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace maybms {
+
+namespace {
+std::string EscapeField(const std::string& s) {
+  bool needs_quote = s.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+Status WriteCsv(const Relation& rel, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open for write: " + path);
+  const Schema& s = rel.schema();
+  for (size_t c = 0; c < s.size(); ++c) {
+    if (c) out << ",";
+    out << EscapeField(s.attr(c).name);
+  }
+  out << "\n";
+  for (const auto& row : rel.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      const Value& v = row[c];
+      if (v.is_null()) {
+        // empty field
+      } else if (v.is_string()) {
+        out << EscapeField(v.as_string());
+      } else if (v.is_bool()) {
+        out << (v.as_bool() ? "true" : "false");
+      } else if (v.is_int()) {
+        out << v.as_int();
+      } else if (v.is_double()) {
+        out << StrFormat("%.17g", v.as_double());
+      }
+    }
+    out << "\n";
+  }
+  return out.good() ? Status::OK()
+                    : Status::Internal("write failed: " + path);
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<Value> ParseValueAs(const std::string& raw, ValueType type) {
+  if (raw.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kBool: {
+      if (EqualsIgnoreCase(raw, "true") || raw == "1") return Value::Bool(true);
+      if (EqualsIgnoreCase(raw, "false") || raw == "0")
+        return Value::Bool(false);
+      return Status::ParseError("not a bool: " + raw);
+    }
+    case ValueType::kInt: {
+      char* end = nullptr;
+      long long v = strtoll(raw.c_str(), &end, 10);
+      if (end == raw.c_str() || *end != '\0') {
+        return Status::ParseError("not an int: " + raw);
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = strtod(raw.c_str(), &end);
+      if (end == raw.c_str() || *end != '\0') {
+        return Status::ParseError("not a double: " + raw);
+      }
+      return Value::Double(v);
+    }
+    case ValueType::kString:
+      return Value::String(raw);
+  }
+  return Status::Internal("unknown type");
+}
+
+Result<Relation> ReadCsv(const std::string& path, std::string name,
+                         Schema schema) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("empty csv: " + path);
+  }
+  auto header = ParseCsvLine(line);
+  if (header.size() != schema.size()) {
+    return Status::ParseError(
+        StrFormat("csv has %zu columns, schema expects %zu", header.size(),
+                  schema.size()));
+  }
+  Relation rel(std::move(name), std::move(schema));
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = ParseCsvLine(line);
+    if (fields.size() != rel.schema().size()) {
+      return Status::ParseError(
+          StrFormat("line %zu: %zu fields, expected %zu", line_no,
+                    fields.size(), rel.schema().size()));
+    }
+    Tuple t;
+    t.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      auto v = ParseValueAs(fields[c], rel.schema().attr(c).type);
+      if (!v.ok()) {
+        return Status::ParseError(
+            StrFormat("line %zu col %zu: %s", line_no, c,
+                      v.status().message().c_str()));
+      }
+      t.push_back(std::move(v).value());
+    }
+    rel.AppendUnchecked(std::move(t));
+  }
+  return rel;
+}
+
+}  // namespace maybms

@@ -1,0 +1,30 @@
+// CSV import/export for certain relations; used by examples and by the
+// workload generator to persist generated census extracts.
+#ifndef MAYBMS_STORAGE_CSV_H_
+#define MAYBMS_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace maybms {
+
+/// Writes `rel` as a CSV file with a header row. Strings are quoted with
+/// double quotes; embedded quotes are doubled.
+Status WriteCsv(const Relation& rel, const std::string& path);
+
+/// Reads a CSV file with a header row into a relation with the given
+/// schema. Values are parsed per attribute type; empty fields become NULL.
+Result<Relation> ReadCsv(const std::string& path, std::string name,
+                         Schema schema);
+
+/// Parses one CSV line into raw string fields (handles quoting).
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Parses a raw field per the target type; empty string is NULL.
+Result<Value> ParseValueAs(const std::string& raw, ValueType type);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_STORAGE_CSV_H_

@@ -1,0 +1,131 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace maybms {
+
+size_t TupleHash(const Tuple& t) {
+  size_t seed = t.size();
+  for (const auto& v : t) HashCombine(&seed, v.Hash());
+  return seed;
+}
+
+int TupleCompare(const Tuple& a, const Tuple& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+bool ValueFitsType(const Value& v, ValueType t) {
+  if (v.is_bottom()) return false;
+  if (v.is_null()) return true;
+  switch (t) {
+    case ValueType::kBool:
+      return v.is_bool();
+    case ValueType::kInt:
+      return v.is_int();
+    case ValueType::kDouble:
+      return v.is_numeric();
+    case ValueType::kString:
+      return v.is_string();
+  }
+  return false;
+}
+
+Status Relation::Append(Tuple t) {
+  if (t.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("arity mismatch: tuple has %zu values, schema %s has %zu",
+                  t.size(), name_.c_str(), schema_.size()));
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!ValueFitsType(t[i], schema_.attr(i).type)) {
+      return Status::TypeMismatch(
+          StrFormat("value %s does not fit attribute %s %s",
+                    t[i].ToString().c_str(), schema_.attr(i).name.c_str(),
+                    std::string(ValueTypeToString(schema_.attr(i).type))
+                        .c_str()));
+    }
+  }
+  rows_.push_back(std::move(t));
+  return Status::OK();
+}
+
+void Relation::SortRows() {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const Tuple& a, const Tuple& b) { return TupleCompare(a, b) < 0; });
+}
+
+bool Relation::BagEquals(const Relation& other) const {
+  if (schema_.size() != other.schema_.size()) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  std::vector<Tuple> a = rows_, b = other.rows_;
+  auto less = [](const Tuple& x, const Tuple& y) {
+    return TupleCompare(x, y) < 0;
+  };
+  std::sort(a.begin(), a.end(), less);
+  std::sort(b.begin(), b.end(), less);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (TupleCompare(a[i], b[i]) != 0) return false;
+  }
+  return true;
+}
+
+uint64_t Relation::SerializedSize() const {
+  uint64_t total = 0;
+  for (const auto& row : rows_) {
+    total += 4;  // row header
+    for (const auto& v : row) total += v.SerializedSize();
+  }
+  return total;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  // Compute column widths.
+  std::vector<size_t> width(schema_.size());
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    width[c] = schema_.attr(c).name.size();
+  }
+  size_t shown = std::min(max_rows, rows_.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(schema_.size());
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      width[c] = std::max(width[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  if (!name_.empty()) out += name_ + "\n";
+  std::string sep = "+";
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "+";
+  }
+  out += sep + "\n|";
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    out += " " + PadRight(schema_.attr(c).name, width[c]) + " |";
+  }
+  out += "\n" + sep + "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    out += "|";
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      out += " " + PadRight(cells[r][c], width[c]) + " |";
+    }
+    out += "\n";
+  }
+  out += sep + "\n";
+  if (shown < rows_.size()) {
+    out += StrFormat("(%zu of %zu rows shown)\n", shown, rows_.size());
+  } else {
+    out += StrFormat("(%zu rows)\n", rows_.size());
+  }
+  return out;
+}
+
+}  // namespace maybms

@@ -1,0 +1,79 @@
+// Relation: a materialized bag of tuples over a Schema. This is the
+// "certain" (single-world) relation used by the conventional engine and
+// as the payload of each possible world.
+#ifndef MAYBMS_STORAGE_RELATION_H_
+#define MAYBMS_STORAGE_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace maybms {
+
+/// A row: values aligned with a Schema.
+using Tuple = std::vector<Value>;
+
+/// Hash of a whole tuple, consistent with Value equality.
+size_t TupleHash(const Tuple& t);
+
+/// Lexicographic three-way comparison in the Value total order.
+int TupleCompare(const Tuple& a, const Tuple& b);
+
+/// A named, materialized bag of tuples.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return rows_.size(); }
+  size_t NumCols() const { return schema_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  Tuple& mutable_row(size_t i) { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Appends after checking arity and types (NULL fits any type).
+  Status Append(Tuple t);
+
+  /// Appends without validation; used by operators that construct
+  /// well-typed tuples internally.
+  void AppendUnchecked(Tuple t) { rows_.push_back(std::move(t)); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Clear() { rows_.clear(); }
+
+  /// Sorts rows lexicographically; canonical form for comparisons in tests.
+  void SortRows();
+
+  /// Bag equality: same schema types and same multiset of rows.
+  bool BagEquals(const Relation& other) const;
+
+  /// Bytes in the flat serialized model (sum of value sizes + per-row
+  /// 4-byte header). The storage experiment measures this for the
+  /// original relation and for WSD component tables with the same model.
+  uint64_t SerializedSize() const;
+
+  /// Pretty-printed table (up to `max_rows` rows) for examples/REPL.
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+/// Checks a value against an attribute type; NULL always fits, BOTTOM never
+/// fits a certain relation.
+bool ValueFitsType(const Value& v, ValueType t);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_STORAGE_RELATION_H_

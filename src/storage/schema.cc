@@ -1,0 +1,81 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace maybms {
+
+std::optional<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (EqualsIgnoreCase(attrs_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::Resolve(std::string_view name) const {
+  auto idx = IndexOf(name);
+  if (!idx) {
+    return Status::NotFound(StrFormat("attribute '%.*s' not in schema %s",
+                                      static_cast<int>(name.size()),
+                                      name.data(), ToString().c_str()));
+  }
+  return *idx;
+}
+
+Status Schema::Add(Attribute attr) {
+  if (IndexOf(attr.name)) {
+    return Status::AlreadyExists("duplicate attribute " + attr.name);
+  }
+  attrs_.push_back(std::move(attr));
+  return Status::OK();
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right,
+                      const std::string& right_prefix) {
+  Schema out = left;
+  for (const auto& a : right.attrs()) {
+    Attribute copy = a;
+    if (out.IndexOf(copy.name)) {
+      copy.name = right_prefix + "." + copy.name;
+      // If even the prefixed name collides, append an index suffix.
+      int k = 2;
+      while (out.IndexOf(copy.name)) {
+        copy.name = right_prefix + "." + a.name + "_" + std::to_string(k++);
+      }
+    }
+    Status st = out.Add(std::move(copy));
+    (void)st;  // cannot fail: collision handled above
+  }
+  return out;
+}
+
+Schema Schema::Project(const std::vector<size_t>& idxs) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(idxs.size());
+  for (size_t i : idxs) attrs.push_back(attrs_[i]);
+  // Projection may duplicate names (e.g. SELECT a, a): disambiguate.
+  Schema out;
+  for (auto& a : attrs) {
+    Attribute copy = a;
+    int k = 2;
+    while (out.IndexOf(copy.name)) {
+      copy.name = a.name + "_" + std::to_string(k++);
+    }
+    Status st = out.Add(std::move(copy));
+    (void)st;
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i) out += ", ";
+    out += attrs_[i].name;
+    out += " ";
+    out += ValueTypeToString(attrs_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace maybms

@@ -1,0 +1,64 @@
+// Schema: ordered list of named, typed attributes.
+#ifndef MAYBMS_STORAGE_SCHEMA_H_
+#define MAYBMS_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace maybms {
+
+/// One attribute of a relation schema.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered attribute list with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {}
+
+  size_t size() const { return attrs_.size(); }
+  bool empty() const { return attrs_.empty(); }
+  const Attribute& attr(size_t i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  /// Index of the attribute with the given name (case-insensitive);
+  /// nullopt when absent.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+
+  /// Like IndexOf but returns a Status when the attribute is missing.
+  Result<size_t> Resolve(std::string_view name) const;
+
+  /// Appends an attribute; fails on duplicate name.
+  Status Add(Attribute attr);
+
+  /// Schema of the concatenation R × S; duplicate names from the right
+  /// side are prefixed with `right_prefix` ("S." style disambiguation).
+  static Schema Concat(const Schema& left, const Schema& right,
+                       const std::string& right_prefix);
+
+  /// Sub-schema with the given attribute indexes, in order.
+  Schema Project(const std::vector<size_t>& idxs) const;
+
+  bool operator==(const Schema& other) const { return attrs_ == other.attrs_; }
+
+  /// "(name TYPE, ...)" rendering for error messages and EXPLAIN.
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_STORAGE_SCHEMA_H_

@@ -1,0 +1,109 @@
+#include "storage/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace maybms {
+
+std::string_view ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+namespace {
+// Rank in the total order: BOTTOM < NULL < bool < numeric < string.
+int KindRank(const Value& v) {
+  if (v.is_bottom()) return 0;
+  if (v.is_null()) return 1;
+  if (v.is_bool()) return 2;
+  if (v.is_numeric()) return 3;
+  return 4;
+}
+}  // namespace
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return as_int() == other.as_int();
+    return NumericValue() == other.NumericValue();
+  }
+  return rep_ == other.rep_;
+}
+
+int Value::Compare(const Value& other) const {
+  int ra = KindRank(*this), rb = KindRank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+    case 1:
+      return 0;  // BOTTOM == BOTTOM, NULL == NULL structurally
+    case 2:
+      return static_cast<int>(as_bool()) - static_cast<int>(other.as_bool());
+    case 3: {
+      if (is_int() && other.is_int()) {
+        int64_t a = as_int(), b = other.as_int();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      double a = NumericValue(), b = other.NumericValue();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default: {
+      int c = as_string().compare(other.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(KindRank(*this));
+  if (is_bool()) {
+    HashCombine(&seed, as_bool() ? 1u : 2u);
+  } else if (is_numeric()) {
+    // ints that fit exactly in double hash identically to their double image
+    double d = NumericValue();
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(d));
+    if (d == 0.0) bits = 0;  // +0/-0 collapse
+    HashCombine(&seed, static_cast<size_t>(bits));
+  } else if (is_string()) {
+    HashCombine(&seed, static_cast<size_t>(HashString(as_string())));
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_bottom()) return "\xE2\x8A\xA5";  // UTF-8 ⊥
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    std::string s = StrFormat("%.6g", as_double());
+    return s;
+  }
+  std::string out = "'";
+  for (char c : as_string()) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+uint64_t Value::SerializedSize() const {
+  if (is_null() || is_bottom()) return 1;
+  if (is_bool()) return 2;
+  if (is_int() || is_double()) return 9;
+  return 1 + 4 + as_string().size();
+}
+
+}  // namespace maybms

@@ -1,0 +1,122 @@
+// Value: the typed cell content of tuples and component rows.
+//
+// Besides the usual SQL scalar types and NULL, values include the special
+// marker BOTTOM (⊥ in the paper): a field value meaning "the tuple owning
+// this field does not exist in this world". BOTTOM never appears in
+// conventional (certain) relations; it lives inside WSD components and is
+// produced by lifted selection.
+#ifndef MAYBMS_STORAGE_VALUE_H_
+#define MAYBMS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace maybms {
+
+/// SQL-level attribute types (NULL and BOTTOM are value states, not types).
+enum class ValueType : uint8_t { kBool, kInt, kDouble, kString };
+
+std::string_view ValueTypeToString(ValueType t);
+
+/// A dynamically typed scalar.
+///
+/// Total order: BOTTOM < NULL < booleans < numbers < strings, with numeric
+/// values (int/double) compared on the real line so that mixed-type data
+/// sorts deterministically.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : rep_(NullTag{}) {}
+
+  static Value Null() { return Value(); }
+  /// Constructs ⊥ ("tuple absent in this world").
+  static Value Bottom() {
+    Value v;
+    v.rep_ = BottomTag{};
+    return v;
+  }
+  static Value Bool(bool b) {
+    Value v;
+    v.rep_ = b;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.rep_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.rep_ = d;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.rep_ = std::move(s);
+    return v;
+  }
+
+  bool is_null() const { return std::holds_alternative<NullTag>(rep_); }
+  bool is_bottom() const { return std::holds_alternative<BottomTag>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool as_bool() const { return std::get<bool>(rep_); }
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  double as_double() const { return std::get<double>(rep_); }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: int promoted to double. Pre: is_numeric().
+  double NumericValue() const {
+    return is_int() ? static_cast<double>(as_int()) : as_double();
+  }
+
+  /// Strict equality (kind-aware; int 1 == double 1.0 holds because both
+  /// are numeric and equal on the real line). NULL == NULL and ⊥ == ⊥ are
+  /// true here — this is structural equality of the representation, not
+  /// SQL three-valued logic (which the expression layer implements).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order used by sorting, grouping, and map keys.
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// -1 / 0 / +1 three-way comparison in the total order.
+  int Compare(const Value& other) const;
+
+  /// Stable hash, consistent with operator== (numeric values hash by
+  /// their double image).
+  size_t Hash() const;
+
+  /// SQL-ish rendering: NULL, ⊥, 'str', 1, 2.5, true.
+  std::string ToString() const;
+
+  /// Bytes this value occupies in the flat serialized model used for the
+  /// storage experiment (1 tag byte + payload; strings add a 4-byte
+  /// length prefix).
+  uint64_t SerializedSize() const;
+
+ private:
+  struct NullTag {
+    bool operator==(const NullTag&) const { return true; }
+  };
+  struct BottomTag {
+    bool operator==(const BottomTag&) const { return true; }
+  };
+  std::variant<NullTag, BottomTag, bool, int64_t, double, std::string> rep_;
+};
+
+/// std::hash adapter so Value can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_STORAGE_VALUE_H_

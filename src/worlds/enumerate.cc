@@ -1,0 +1,121 @@
+#include "worlds/enumerate.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace maybms {
+
+Catalog ResolveWorld(const WsdDb& db, const std::vector<ComponentId>& comps,
+                     const std::vector<size_t>& choice) {
+  // component id -> chosen row
+  std::unordered_map<ComponentId, const ComponentRow*> chosen;
+  for (size_t k = 0; k < comps.size(); ++k) {
+    chosen[comps[k]] = &db.component(comps[k]).row(choice[k]);
+  }
+  Catalog catalog;
+  for (const auto& [key, wrel] : db.relations()) {
+    Relation rel(wrel.name(), wrel.schema());
+    for (const auto& t : wrel.tuples()) {
+      // Existence: every slot owned by a dep must be non-⊥.
+      bool alive = true;
+      for (size_t k = 0; alive && k < comps.size(); ++k) {
+        const Component& c = db.component(comps[k]);
+        const ComponentRow& row = *chosen[comps[k]];
+        for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+          if (row.values[s].is_bottom() &&
+              std::binary_search(t.deps.begin(), t.deps.end(),
+                                 c.slot(s).owner)) {
+            alive = false;
+            break;
+          }
+        }
+      }
+      if (!alive) continue;
+      Tuple row;
+      row.reserve(t.cells.size());
+      bool bottom_value = false;
+      for (const auto& cell : t.cells) {
+        if (cell.is_certain()) {
+          row.push_back(cell.value());
+        } else {
+          const Value& v = chosen[cell.ref().cid]->values[cell.ref().slot];
+          if (v.is_bottom()) {
+            bottom_value = true;
+            break;
+          }
+          row.push_back(v);
+        }
+      }
+      if (bottom_value) continue;  // defensive: gated by deps already
+      rel.AppendUnchecked(std::move(row));
+    }
+    catalog.Put(std::move(rel));
+  }
+  return catalog;
+}
+
+Status ForEachWorld(const WsdDb& db, size_t max_worlds,
+                    const std::function<Status(const Catalog&, double)>& fn) {
+  std::vector<ComponentId> comps = db.LiveComponents();
+  size_t total = 1;
+  for (ComponentId id : comps) {
+    size_t rows = db.component(id).NumRows();
+    if (rows == 0) {
+      return Status::Inconsistent(
+          StrFormat("component %u has no rows — empty world-set", id));
+    }
+    if (total > max_worlds / rows) {
+      return Status::ResourceExhausted(
+          StrFormat("world-set has more than %zu worlds", max_worlds));
+    }
+    total *= rows;
+  }
+  std::vector<size_t> choice(comps.size(), 0);
+  for (;;) {
+    double p = 1.0;
+    for (size_t k = 0; k < comps.size(); ++k) {
+      p *= db.component(comps[k]).row(choice[k]).prob;
+    }
+    if (p > 0.0) {
+      MAYBMS_RETURN_IF_ERROR(fn(ResolveWorld(db, comps, choice), p));
+    }
+    size_t k = 0;
+    for (; k < comps.size(); ++k) {
+      if (++choice[k] < db.component(comps[k]).NumRows()) break;
+      choice[k] = 0;
+    }
+    if (k == comps.size()) break;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<World>> EnumerateWorlds(const WsdDb& db,
+                                           size_t max_worlds) {
+  std::vector<World> out;
+  MAYBMS_RETURN_IF_ERROR(
+      ForEachWorld(db, max_worlds, [&](const Catalog& catalog, double p) {
+        out.push_back({catalog, p});
+        return Status::OK();
+      }));
+  return out;
+}
+
+std::vector<World> MergeEqualWorlds(std::vector<World> worlds) {
+  std::vector<World> merged;
+  for (auto& w : worlds) {
+    bool found = false;
+    for (auto& m : merged) {
+      if (m.catalog.Equals(w.catalog)) {
+        m.prob += w.prob;
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(std::move(w));
+  }
+  return merged;
+}
+
+}  // namespace maybms

@@ -1,0 +1,49 @@
+// Explicit world enumeration: materializes every possible world of a WSD.
+//
+// This is (a) the naive baseline the paper's representation is measured
+// against — world-sets are exponentially larger than their decompositions
+// — and (b) the ground-truth oracle of the differential test suite: lifted
+// query answers must match per-world conventional evaluation.
+#ifndef MAYBMS_WORLDS_ENUMERATE_H_
+#define MAYBMS_WORLDS_ENUMERATE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/wsd.h"
+#include "storage/catalog.h"
+
+namespace maybms {
+
+/// One possible world: a certain database with its probability.
+struct World {
+  Catalog catalog;
+  double prob = 1.0;
+};
+
+/// Streams every world (one per choice combination with probability > 0)
+/// through `fn` without materializing the set. Stops early when `fn`
+/// returns a non-OK status (which is propagated). Fails with
+/// ResourceExhausted when more than `max_worlds` combinations exist.
+Status ForEachWorld(const WsdDb& db, size_t max_worlds,
+                    const std::function<Status(const Catalog&, double)>& fn);
+
+/// Materializes one world per choice combination (probabilities multiply;
+/// distinct combinations may yield equal databases — see MergeEqualWorlds).
+/// Fails with ResourceExhausted when more than `max_worlds` combinations
+/// exist. Combinations of probability 0 are skipped.
+Result<std::vector<World>> EnumerateWorlds(const WsdDb& db,
+                                           size_t max_worlds = 1u << 16);
+
+/// Merges worlds with equal database content, summing probabilities.
+std::vector<World> MergeEqualWorlds(std::vector<World> worlds);
+
+/// The content of `db` under a fixed choice of component rows (`choice`
+/// aligned with `comps`). Exposed for incremental/streaming uses.
+Catalog ResolveWorld(const WsdDb& db, const std::vector<ComponentId>& comps,
+                     const std::vector<size_t>& choice);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_WORLDS_ENUMERATE_H_

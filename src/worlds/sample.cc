@@ -1,0 +1,113 @@
+#include "worlds/sample.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+
+namespace {
+
+// Samples a row index of `c` proportionally to row probabilities.
+size_t SampleRow(const Component& c, Rng* rng) {
+  double u = rng->NextDouble() * c.TotalMass();
+  double acc = 0.0;
+  for (size_t r = 0; r < c.NumRows(); ++r) {
+    acc += c.row(r).prob;
+    if (u < acc) return r;
+  }
+  return c.NumRows() - 1;
+}
+
+}  // namespace
+
+Catalog SampleWorld(const WsdDb& db, Rng* rng) {
+  std::vector<ComponentId> comps = db.LiveComponents();
+  std::vector<size_t> choice(comps.size());
+  for (size_t k = 0; k < comps.size(); ++k) {
+    choice[k] = SampleRow(db.component(comps[k]), rng);
+  }
+  return ResolveWorld(db, comps, choice);
+}
+
+Status SampleWorlds(const WsdDb& db, size_t n, Rng* rng,
+                    const std::function<Status(const Catalog&)>& fn) {
+  for (size_t i = 0; i < n; ++i) {
+    MAYBMS_RETURN_IF_ERROR(fn(SampleWorld(db, rng)));
+  }
+  return Status::OK();
+}
+
+Result<Relation> ApproximateConfTable(const WsdDb& db,
+                                      const std::string& rel_name,
+                                      size_t samples, uint64_t seed) {
+  MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db.GetRelation(rel_name));
+  if (samples == 0) {
+    return Status::InvalidArgument("need at least one sample");
+  }
+  struct VectorHash {
+    size_t operator()(const Tuple& t) const { return TupleHash(t); }
+  };
+  struct VectorEq {
+    bool operator()(const Tuple& a, const Tuple& b) const {
+      return TupleCompare(a, b) == 0;
+    }
+  };
+  std::unordered_map<Tuple, size_t, VectorHash, VectorEq> counts;
+  Rng rng(seed);
+  MAYBMS_RETURN_IF_ERROR(SampleWorlds(
+      db, samples, &rng, [&](const Catalog& world) -> Status {
+        MAYBMS_ASSIGN_OR_RETURN(const Relation* r, world.Get(rel_name));
+        // Count each distinct vector once per world.
+        std::unordered_map<Tuple, bool, VectorHash, VectorEq> present;
+        for (const auto& row : r->rows()) present.emplace(row, true);
+        for (const auto& [v, unused] : present) counts[v]++;
+        return Status::OK();
+      }));
+  Schema out_schema = rel->schema();
+  std::string conf_name = "conf";
+  int suffix = 2;
+  while (out_schema.IndexOf(conf_name)) {
+    conf_name = "conf_" + std::to_string(suffix++);
+  }
+  MAYBMS_RETURN_IF_ERROR(out_schema.Add({conf_name, ValueType::kDouble}));
+  std::vector<std::pair<Tuple, double>> rows;
+  rows.reserve(counts.size());
+  for (const auto& [v, n] : counts) {
+    rows.emplace_back(v, static_cast<double>(n) /
+                             static_cast<double>(samples));
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return TupleCompare(a.first, b.first) < 0;
+  });
+  Relation out(rel_name + "_conf_approx", out_schema);
+  for (auto& [v, p] : rows) {
+    Tuple t = v;
+    t.push_back(Value::Double(p));
+    out.AppendUnchecked(std::move(t));
+  }
+  return out;
+}
+
+Result<MapWorld> MostProbableWorld(const WsdDb& db) {
+  std::vector<ComponentId> comps = db.LiveComponents();
+  std::vector<size_t> choice(comps.size());
+  double prob = 1.0;
+  for (size_t k = 0; k < comps.size(); ++k) {
+    const Component& c = db.component(comps[k]);
+    if (c.NumRows() == 0) {
+      return Status::Inconsistent("empty component — empty world-set");
+    }
+    size_t best = 0;
+    for (size_t r = 1; r < c.NumRows(); ++r) {
+      if (c.row(r).prob > c.row(best).prob) best = r;
+    }
+    choice[k] = best;
+    prob *= c.row(best).prob;
+  }
+  return MapWorld{ResolveWorld(db, comps, choice), prob};
+}
+
+}  // namespace maybms

@@ -1,0 +1,44 @@
+// Monte-Carlo world sampling: draws worlds from the distribution defined
+// by a probabilistic WSD. Complements exact confidence computation when
+// independence clusters exceed the enumeration budget — an approximate
+// prob() with standard-error guarantees (a MayBMS-line extension).
+#ifndef MAYBMS_WORLDS_SAMPLE_H_
+#define MAYBMS_WORLDS_SAMPLE_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/wsd.h"
+#include "storage/catalog.h"
+#include "storage/relation.h"
+
+namespace maybms {
+
+/// Draws one world: independently samples a row per component according
+/// to the row probabilities and resolves the templates.
+Catalog SampleWorld(const WsdDb& db, Rng* rng);
+
+/// Streams `n` sampled worlds through `fn` (each a fair draw from the
+/// world distribution).
+Status SampleWorlds(const WsdDb& db, size_t n, Rng* rng,
+                    const std::function<Status(const Catalog&)>& fn);
+
+/// Monte-Carlo estimate of the confidence table of `rel` (same schema as
+/// ConfTable: the relation's columns plus a trailing "conf" DOUBLE).
+/// Standard error of each estimate is ≤ 0.5/sqrt(samples).
+Result<Relation> ApproximateConfTable(const WsdDb& db, const std::string& rel,
+                                      size_t samples, uint64_t seed = 42);
+
+/// The most probable world: picks the highest-probability row of every
+/// component (exact for WSDs, since components are independent). Returns
+/// the resolved database and its probability.
+struct MapWorld {
+  Catalog catalog;
+  double prob = 1.0;
+};
+Result<MapWorld> MostProbableWorld(const WsdDb& db);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_WORLDS_SAMPLE_H_

@@ -1,0 +1,326 @@
+// Tests for constraint enforcement (cleaning by conditioning): domain
+// constraints, conditional domains, FDs, keys — checked against Bayes
+// conditioning on the enumeration oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "chase/enforce.h"
+#include "core/builder.h"
+#include "ra/executor.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace {
+
+using testing_util::ExpectDistEq;
+using testing_util::RandomWsd;
+using testing_util::RandomWsdOptions;
+using testing_util::RelationDistribution;
+
+ExprPtr Col(const std::string& n) { return Expr::Column(n); }
+ExprPtr IntLit(int64_t v) { return Expr::Const(Value::Int(v)); }
+
+// Oracle: condition the enumerated world distribution on the constraint.
+// `violates(catalog)` decides per world.
+std::map<std::string, double> OracleConditioned(
+    const WsdDb& db, const std::string& rel,
+    const std::function<bool(const Catalog&)>& violates) {
+  auto worlds = EnumerateWorlds(db, 1u << 16);
+  EXPECT_TRUE(worlds.ok());
+  std::map<std::string, double> dist;
+  double kept = 0;
+  for (const auto& w : *worlds) {
+    if (violates(w.catalog)) continue;
+    kept += w.prob;
+    dist[testing_util::CanonicalBag(*w.catalog.Get(rel).value())] += w.prob;
+  }
+  EXPECT_GT(kept, 0.0);
+  for (auto& [key, p] : dist) p /= kept;
+  return dist;
+}
+
+WsdDb AgeDb() {
+  WsdDb db;
+  Status st = db.CreateRelation("p", Schema({{"id", ValueType::kInt},
+                                             {"age", ValueType::kInt},
+                                             {"marst", ValueType::kInt}}));
+  EXPECT_TRUE(st.ok());
+  // Tuple 1: age uncertain {30: .6, -5: .4} — negative age is invalid.
+  EXPECT_TRUE(InsertTuple(&db, "p",
+                          {CellSpec::Certain(Value::Int(1)),
+                           CellSpec::OrSet({{Value::Int(30), 0.6},
+                                            {Value::Int(-5), 0.4}}),
+                           CellSpec::Certain(Value::Int(0))})
+                  .ok());
+  // Tuple 2: marst uncertain {married(1): .5, single(0): .5}, age 12.
+  EXPECT_TRUE(InsertTuple(&db, "p",
+                          {CellSpec::Certain(Value::Int(2)),
+                           CellSpec::Certain(Value::Int(12)),
+                           CellSpec::OrSet({{Value::Int(1), 0.5},
+                                            {Value::Int(0), 0.5}})})
+                  .ok());
+  return db;
+}
+
+TEST(ChaseTest, DomainConstraintConditions) {
+  WsdDb db = AgeDb();
+  Constraint c = Constraint::Domain(
+      "p", Expr::Compare(CompareOp::kGe, Col("age"), IntLit(0)));
+  auto expected = OracleConditioned(db, "p", [](const Catalog& cat) {
+    for (const auto& row : cat.Get("p").value()->rows()) {
+      if (row[1].as_int() < 0) return true;
+    }
+    return false;
+  });
+  auto stats = Enforce(&db, c);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NEAR(stats->removed_mass, 0.4, 1e-12);
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  auto worlds = EnumerateWorlds(db, 1u << 16);
+  ASSERT_TRUE(worlds.ok());
+  ExpectDistEq(expected, RelationDistribution(*worlds, "p"));
+  // Age 30 is now certain; normalization inlined it.
+  EXPECT_TRUE(
+      db.GetRelation("p").value()->tuple(0).cells[1].is_certain());
+}
+
+TEST(ChaseTest, ConditionalDomainConstraint) {
+  WsdDb db = AgeDb();
+  // married => age >= 15; tuple 2 is 12 years old with married in 50% of
+  // worlds, so half the mass goes away.
+  Constraint c = Constraint::Domain(
+      "p",
+      Expr::Or(Expr::Not(Expr::Compare(CompareOp::kEq, Col("marst"),
+                                       IntLit(1))),
+               Expr::Compare(CompareOp::kGe, Col("age"), IntLit(15))),
+      "married-adult");
+  auto expected = OracleConditioned(db, "p", [](const Catalog& cat) {
+    for (const auto& row : cat.Get("p").value()->rows()) {
+      if (row[2].as_int() == 1 && row[1].as_int() < 15) return true;
+    }
+    return false;
+  });
+  auto stats = Enforce(&db, c);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->removed_mass, 0.5, 1e-12);
+  auto worlds = EnumerateWorlds(db, 1u << 16);
+  ASSERT_TRUE(worlds.ok());
+  ExpectDistEq(expected, RelationDistribution(*worlds, "p"));
+}
+
+TEST(ChaseTest, CertainViolationIsInconsistent) {
+  WsdDb db = AgeDb();
+  Constraint c = Constraint::Domain(
+      "p", Expr::Compare(CompareOp::kGe, Col("age"), IntLit(100)));
+  EXPECT_EQ(Enforce(&db, c).status().code(), StatusCode::kInconsistent);
+}
+
+TEST(ChaseTest, FdEnforcement) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"city", ValueType::kInt},
+                                                  {"state", ValueType::kInt}})));
+  // t1: city 7, state uncertain {1: .5, 2: .5}; t2: city 7, state 1.
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::Certain(Value::Int(7)),
+                           CellSpec::OrSet({{Value::Int(1), 0.5},
+                                            {Value::Int(2), 0.5}})})
+                  .ok());
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::Certain(Value::Int(7)),
+                           CellSpec::Certain(Value::Int(1))})
+                  .ok());
+  Constraint c = Constraint::FunctionalDependency("r", {"city"}, {"state"});
+  auto expected = OracleConditioned(db, "r", [](const Catalog& cat) {
+    const Relation& r = *cat.Get("r").value();
+    for (size_t i = 0; i < r.NumRows(); ++i) {
+      for (size_t j = i + 1; j < r.NumRows(); ++j) {
+        if (r.row(i)[0] == r.row(j)[0] && !(r.row(i)[1] == r.row(j)[1])) {
+          return true;
+        }
+      }
+    }
+    return false;
+  });
+  auto stats = Enforce(&db, c);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NEAR(stats->removed_mass, 0.5, 1e-12);
+  EXPECT_EQ(stats->pairs_checked, 1u);
+  auto worlds = EnumerateWorlds(db, 1u << 16);
+  ASSERT_TRUE(worlds.ok());
+  ExpectDistEq(expected, RelationDistribution(*worlds, "r"));
+}
+
+TEST(ChaseTest, KeyEnforcement) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"id", ValueType::kInt},
+                                                  {"v", ValueType::kInt}})));
+  // Key violation possible when t2.id resolves to 1.
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::Certain(Value::Int(1)),
+                           CellSpec::Certain(Value::Int(10))})
+                  .ok());
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::OrSet({{Value::Int(1), 0.3},
+                                            {Value::Int(2), 0.7}}),
+                           CellSpec::Certain(Value::Int(20))})
+                  .ok());
+  Constraint c = Constraint::Key("r", {"id"});
+  auto stats = Enforce(&db, c);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->removed_mass, 0.3, 1e-12);
+  // After conditioning, t2.id = 2 with certainty.
+  const WsdRelation* rel = db.GetRelation("r").value();
+  ASSERT_TRUE(rel->tuple(1).cells[0].is_certain());
+  EXPECT_EQ(rel->tuple(1).cells[0].value(), Value::Int(2));
+}
+
+TEST(ChaseTest, CertainKeyViolationInconsistent) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"id", ValueType::kInt}})));
+  ASSERT_TRUE(
+      InsertTuple(&db, "r", {CellSpec::Certain(Value::Int(1))}).ok());
+  ASSERT_TRUE(
+      InsertTuple(&db, "r", {CellSpec::Certain(Value::Int(1))}).ok());
+  EXPECT_EQ(Enforce(&db, Constraint::Key("r", {"id"})).status().code(),
+            StatusCode::kInconsistent);
+}
+
+TEST(ChaseTest, ViolationProbabilityDoesNotMutate) {
+  WsdDb db = AgeDb();
+  Constraint c = Constraint::Domain(
+      "p", Expr::Compare(CompareOp::kGe, Col("age"), IntLit(0)));
+  auto p = ViolationProbability(db, c);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.4, 1e-12);
+  // db unchanged: age alternative -5 still present.
+  auto count = db.WorldCountIfSmall();
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 4u);
+}
+
+TEST(ChaseTest, EnforceAllAccumulates) {
+  WsdDb db = AgeDb();
+  std::vector<Constraint> cs = {
+      Constraint::Domain("p",
+                         Expr::Compare(CompareOp::kGe, Col("age"), IntLit(0))),
+      Constraint::Domain(
+          "p",
+          Expr::Or(Expr::Not(Expr::Compare(CompareOp::kEq, Col("marst"),
+                                           IntLit(1))),
+                   Expr::Compare(CompareOp::kGe, Col("age"), IntLit(15)))),
+  };
+  auto stats = EnforceAll(&db, cs);
+  ASSERT_TRUE(stats.ok());
+  // Independent violations: removed = 1 - 0.6*0.5 = 0.7.
+  EXPECT_NEAR(stats->removed_mass, 0.7, 1e-12);
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+}
+
+TEST(ChaseTest, FdOnCorrelatedComponentsMergesExactly) {
+  // lhs equality depends on a joint component spanning both tuples.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"a", ValueType::kInt},
+                                                  {"b", ValueType::kInt}})));
+  auto t1 = InsertTuple(&db, "r", {CellSpec::Pending(),
+                                   CellSpec::Certain(Value::Int(1))});
+  auto t2 = InsertTuple(&db, "r", {CellSpec::Pending(),
+                                   CellSpec::Certain(Value::Int(2))});
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  // a-values correlated: equal in 40% of worlds.
+  ASSERT_TRUE(AddJointComponent(&db, {{*t1, "a"}, {*t2, "a"}},
+                                {{{Value::Int(5), Value::Int(5)}, 0.4},
+                                 {{Value::Int(5), Value::Int(6)}, 0.6}})
+                  .ok());
+  Constraint c = Constraint::FunctionalDependency("r", {"a"}, {"b"});
+  auto expected = OracleConditioned(db, "r", [](const Catalog& cat) {
+    const Relation& r = *cat.Get("r").value();
+    for (size_t i = 0; i < r.NumRows(); ++i) {
+      for (size_t j = i + 1; j < r.NumRows(); ++j) {
+        if (r.row(i)[0] == r.row(j)[0] && !(r.row(i)[1] == r.row(j)[1])) {
+          return true;
+        }
+      }
+    }
+    return false;
+  });
+  auto stats = Enforce(&db, c);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->removed_mass, 0.4, 1e-12);
+  auto worlds = EnumerateWorlds(db, 1u << 16);
+  ASSERT_TRUE(worlds.ok());
+  ExpectDistEq(expected, RelationDistribution(*worlds, "r"));
+}
+
+class ChaseRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaseRandom, DomainConditioningMatchesOracle) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1299709 + 31);
+  RandomWsdOptions opt;
+  opt.min_cols = 2;
+  opt.max_cols = 3;
+  opt.allow_strings = false;  // numeric constraint target
+  opt.p_uncertain_cell = 0.5;
+  WsdDb db = RandomWsd(&rng, opt);
+  Constraint c = Constraint::Domain(
+      "R0", Expr::Compare(CompareOp::kLe, Col("a0"), IntLit(2)));
+  auto violation = ViolationProbability(db, c);
+  ASSERT_TRUE(violation.ok());
+  if (*violation >= 1.0 - 1e-12) {
+    EXPECT_EQ(Enforce(&db, c).status().code(), StatusCode::kInconsistent);
+    return;
+  }
+  auto expected = OracleConditioned(db, "R0", [](const Catalog& cat) {
+    for (const auto& row : cat.Get("R0").value()->rows()) {
+      if (row[0].as_int() > 2) return true;
+    }
+    return false;
+  });
+  auto stats = Enforce(&db, c);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  auto worlds = EnumerateWorlds(db, 1u << 16);
+  ASSERT_TRUE(worlds.ok());
+  ExpectDistEq(expected, RelationDistribution(*worlds, "R0"));
+}
+
+TEST_P(ChaseRandom, FdConditioningMatchesOracle) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7907 + 5);
+  RandomWsdOptions opt;
+  opt.min_cols = 2;
+  opt.max_cols = 2;
+  opt.allow_strings = false;
+  opt.p_uncertain_cell = 0.45;
+  opt.max_tuples = 4;
+  opt.value_domain = 3;  // small domain: collisions are common
+  WsdDb db = RandomWsd(&rng, opt);
+  Constraint c = Constraint::FunctionalDependency("R0", {"a0"}, {"a1"});
+  auto violation = ViolationProbability(db, c);
+  ASSERT_TRUE(violation.ok()) << violation.status().ToString();
+  if (*violation >= 1.0 - 1e-12) {
+    EXPECT_EQ(Enforce(&db, c).status().code(), StatusCode::kInconsistent);
+    return;
+  }
+  auto expected = OracleConditioned(db, "R0", [](const Catalog& cat) {
+    const Relation& r = *cat.Get("R0").value();
+    for (size_t i = 0; i < r.NumRows(); ++i) {
+      for (size_t j = i + 1; j < r.NumRows(); ++j) {
+        if (r.row(i)[0] == r.row(j)[0] && !(r.row(i)[1] == r.row(j)[1])) {
+          return true;
+        }
+      }
+    }
+    return false;
+  });
+  auto stats = Enforce(&db, c);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  auto worlds = EnumerateWorlds(db, 1u << 16);
+  ASSERT_TRUE(worlds.ok());
+  ExpectDistEq(expected, RelationDistribution(*worlds, "R0"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaseRandom, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace maybms

@@ -1,0 +1,229 @@
+// Tests for confidence computation (prob()/conf(), possible/certain
+// answers, expected count) — validated against brute-force enumeration.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/builder.h"
+#include "core/confidence.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace {
+
+using testing_util::MedicalExample;
+using testing_util::RandomWsd;
+using testing_util::RandomWsdOptions;
+
+// Brute-force conf: for each distinct value-vector, sum the probabilities
+// of worlds containing it.
+std::map<std::string, double> OracleConf(const WsdDb& db,
+                                         const std::string& rel) {
+  auto worlds = EnumerateWorlds(db, 1u << 18);
+  EXPECT_TRUE(worlds.ok());
+  std::map<std::string, double> conf;
+  for (const auto& w : *worlds) {
+    const Relation& r = *w.catalog.Get(rel).value();
+    std::map<std::string, bool> present;
+    for (const auto& row : r.rows()) {
+      std::string key;
+      for (const auto& v : row) key += v.ToString() + "|";
+      present[key] = true;
+    }
+    for (const auto& [key, unused] : present) conf[key] += w.prob;
+  }
+  return conf;
+}
+
+std::map<std::string, double> TableConf(const Relation& table) {
+  std::map<std::string, double> conf;
+  for (const auto& row : table.rows()) {
+    std::string key;
+    for (size_t c = 0; c + 1 < row.size(); ++c) key += row[c].ToString() + "|";
+    conf[key] = row.back().as_double();
+  }
+  return conf;
+}
+
+TEST(ConfidenceTest, MedicalExampleValues) {
+  WsdDb db = MedicalExample();
+  auto table = ConfTable(db, "R");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  // Possible tuples: 2 (r1 variants) * ... r1 has 2x2 value combinations,
+  // r2 is one certain tuple -> 5 distinct vectors.
+  EXPECT_EQ(table->NumRows(), 5u);
+  auto oracle = OracleConf(db, "R");
+  auto actual = TableConf(*table);
+  ASSERT_EQ(oracle.size(), actual.size());
+  for (const auto& [key, p] : oracle) {
+    ASSERT_TRUE(actual.count(key)) << key;
+    EXPECT_NEAR(actual[key], p, 1e-9) << key;
+  }
+}
+
+TEST(ConfidenceTest, CertainTuples) {
+  WsdDb db = MedicalExample();
+  auto certain = CertainTuples(db, "R");
+  ASSERT_TRUE(certain.ok());
+  // Only r2 = (obesity, BMI, weight gain) is certain.
+  ASSERT_EQ(certain->NumRows(), 1u);
+  EXPECT_EQ(certain->row(0)[0], Value::String("obesity"));
+  EXPECT_EQ(certain->schema().size(), 3u);  // conf column stripped
+}
+
+TEST(ConfidenceTest, ConfSortedDescending) {
+  WsdDb db = MedicalExample();
+  auto table = ConfTable(db, "R");
+  ASSERT_TRUE(table.ok());
+  for (size_t i = 1; i < table->NumRows(); ++i) {
+    EXPECT_GE(table->row(i - 1).back().as_double(),
+              table->row(i).back().as_double());
+  }
+}
+
+TEST(ConfidenceTest, DuplicateValueTuplesDoNotDoubleCount) {
+  // Two independent tuples that can both be (1): conf(1) = 1-(1-p)(1-q).
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::OrSet({{Value::Int(1), 0.5},
+                                            {Value::Int(2), 0.5}})})
+                  .ok());
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::OrSet({{Value::Int(1), 0.25},
+                                            {Value::Int(3), 0.75}})})
+                  .ok());
+  auto table = ConfTable(db, "r");
+  ASSERT_TRUE(table.ok());
+  std::map<std::string, double> conf = TableConf(*table);
+  EXPECT_NEAR(conf["1|"], 1.0 - 0.5 * 0.75, 1e-12);
+  EXPECT_NEAR(conf["2|"], 0.5, 1e-12);
+  EXPECT_NEAR(conf["3|"], 0.75, 1e-12);
+}
+
+TEST(ConfidenceTest, CorrelatedTuplesUseJointEnumeration) {
+  // Two tuples sharing one component: their values co-vary.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  auto t1 = InsertTuple(&db, "r", {CellSpec::Pending()});
+  auto t2 = InsertTuple(&db, "r", {CellSpec::Pending()});
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_TRUE(AddJointComponent(
+                  &db, {{*t1, "x"}, {*t2, "x"}},
+                  {{{Value::Int(1), Value::Int(2)}, 0.3},
+                   {{Value::Int(5), Value::Int(5)}, 0.7}})
+                  .ok());
+  auto table = ConfTable(db, "r");
+  ASSERT_TRUE(table.ok());
+  auto conf = TableConf(*table);
+  EXPECT_NEAR(conf["1|"], 0.3, 1e-12);
+  EXPECT_NEAR(conf["2|"], 0.3, 1e-12);
+  // Both tuples take value 5 simultaneously: count once.
+  EXPECT_NEAR(conf["5|"], 0.7, 1e-12);
+}
+
+TEST(ConfidenceTest, CrossTupleCertainty) {
+  // Anti-correlated tuples: in every world exactly one carries 1 and the
+  // other carries 2, so both values are CERTAIN answers although neither
+  // tuple is individually fixed.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  auto t1 = InsertTuple(&db, "r", {CellSpec::Pending()});
+  auto t2 = InsertTuple(&db, "r", {CellSpec::Pending()});
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_TRUE(AddJointComponent(&db, {{*t1, "x"}, {*t2, "x"}},
+                                {{{Value::Int(1), Value::Int(2)}, 0.5},
+                                 {{Value::Int(2), Value::Int(1)}, 0.5}})
+                  .ok());
+  auto certain = CertainTuples(db, "r");
+  ASSERT_TRUE(certain.ok());
+  EXPECT_EQ(certain->NumRows(), 2u);
+  auto conf = TableConf(*ConfTable(db, "r"));
+  EXPECT_NEAR(conf["1|"], 1.0, 1e-12);
+  EXPECT_NEAR(conf["2|"], 1.0, 1e-12);
+}
+
+TEST(ConfidenceTest, ExpectedCount) {
+  WsdDb db = MedicalExample();
+  auto ec = ExpectedCount(db, "R");
+  ASSERT_TRUE(ec.ok());
+  EXPECT_NEAR(*ec, 2.0, 1e-12);  // both tuples exist in every world
+}
+
+TEST(ConfidenceTest, BudgetExceeded) {
+  // A chain of tuples R(x, y) where each joint component covers the y of
+  // one tuple and the x of the next: a single independence cluster with
+  // 2^12 joint states.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt},
+                                                  {"y", ValueType::kInt}})));
+  auto prev = InsertTuple(&db, "r", {CellSpec::Certain(Value::Int(0)),
+                                     CellSpec::Pending()});
+  ASSERT_TRUE(prev.ok());
+  TupleHandle chain = *prev;
+  for (int i = 0; i < 12; ++i) {
+    bool last = (i == 11);
+    auto next = InsertTuple(
+        &db, "r",
+        {CellSpec::Pending(), last ? CellSpec::Certain(Value::Int(99))
+                                   : CellSpec::Pending()});
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(AddJointComponent(
+                    &db, {{chain, "y"}, {*next, "x"}},
+                    {{{Value::Int(i), Value::Int(i + 1)}, 0.5},
+                     {{Value::Int(i + 1), Value::Int(i)}, 0.5}})
+                    .ok());
+    chain = *next;
+  }
+  // One chain cluster with 2^12 states; a small budget must fail cleanly.
+  ConfidenceOptions opt;
+  opt.max_cluster_states = 64;
+  EXPECT_EQ(ConfTable(db, "r", opt).status().code(),
+            StatusCode::kResourceExhausted);
+  // The default budget handles it and matches the oracle.
+  auto table = ConfTable(db, "r");
+  ASSERT_TRUE(table.ok());
+  auto oracle = OracleConf(db, "r");
+  auto actual = TableConf(*table);
+  for (const auto& [key, p] : oracle) {
+    EXPECT_NEAR(actual[key], p, 1e-9) << key;
+  }
+}
+
+class ConfidenceRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConfidenceRandom, MatchesOracle) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 48271 + 19);
+  RandomWsdOptions opt;
+  opt.p_uncertain_cell = 0.45;
+  opt.p_joint = 0.4;
+  opt.max_tuples = 4;
+  WsdDb db = RandomWsd(&rng, opt);
+  auto table = ConfTable(db, "R0");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  auto oracle = OracleConf(db, "R0");
+  auto actual = TableConf(*table);
+  ASSERT_EQ(oracle.size(), actual.size());
+  for (const auto& [key, p] : oracle) {
+    ASSERT_TRUE(actual.count(key)) << key;
+    EXPECT_NEAR(actual[key], p, 1e-9) << key;
+  }
+  // Expected count also matches the oracle.
+  auto worlds = EnumerateWorlds(db, 1u << 18);
+  ASSERT_TRUE(worlds.ok());
+  double oracle_ec = 0;
+  for (const auto& w : *worlds) {
+    oracle_ec +=
+        w.prob *
+        static_cast<double>(w.catalog.Get("R0").value()->NumRows());
+  }
+  auto ec = ExpectedCount(db, "R0");
+  ASSERT_TRUE(ec.ok());
+  EXPECT_NEAR(*ec, oracle_ec, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfidenceRandom, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace maybms

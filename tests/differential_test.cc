@@ -1,0 +1,310 @@
+// Differential (oracle) tests: for random world-set databases and a
+// battery of query plans, lifted evaluation over the WSD must produce
+// exactly the same distribution over answer relations as evaluating the
+// plan conventionally in every enumerated world.
+//
+// This is the central correctness argument for the lifted algebra: the
+// diagram  (WSD --lifted op--> WSD') == (worlds --per-world op--> worlds')
+// commutes, probabilities included.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/lifted_executor.h"
+#include "ra/executor.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace {
+
+using testing_util::CanonicalBag;
+using testing_util::ExpectDistEq;
+using testing_util::RandomWsd;
+using testing_util::RandomWsdOptions;
+
+ExprPtr Col(const std::string& n) { return Expr::Column(n); }
+ExprPtr Lit(Value v) { return Expr::Const(std::move(v)); }
+
+// Evaluates `plan` in every world of `db` conventionally and returns the
+// distribution over canonical answer bags.
+std::map<std::string, double> OracleDistribution(const WsdDb& db,
+                                                 const PlanPtr& plan) {
+  auto worlds = EnumerateWorlds(db, 1u << 18);
+  EXPECT_TRUE(worlds.ok()) << worlds.status().ToString();
+  std::map<std::string, double> dist;
+  for (const auto& w : *worlds) {
+    auto answer = Execute(plan, w.catalog);
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+    dist[CanonicalBag(*answer)] += w.prob;
+  }
+  return dist;
+}
+
+// Evaluates `plan` lifted and returns the distribution over canonical
+// answer bags of the result WSD.
+std::map<std::string, double> LiftedDistribution(const WsdDb& db,
+                                                 const PlanPtr& plan) {
+  auto result = ExecuteLifted(plan, db);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return {};
+  Status inv = result->CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+  auto worlds = EnumerateWorlds(*result, 1u << 18);
+  EXPECT_TRUE(worlds.ok()) << worlds.status().ToString();
+  std::map<std::string, double> dist;
+  for (const auto& w : *worlds) {
+    auto rel = w.catalog.Get("result");
+    EXPECT_TRUE(rel.ok());
+    dist[CanonicalBag(**rel)] += w.prob;
+  }
+  return dist;
+}
+
+void CheckPlan(const WsdDb& db, const PlanPtr& plan, double eps = 1e-9) {
+  SCOPED_TRACE(plan->ToString());
+  auto expected = OracleDistribution(db, plan);
+  auto actual = LiftedDistribution(db, plan);
+  ExpectDistEq(expected, actual, eps);
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-structure cases first: each exercises one operator on a WSD with
+// known correlation structure.
+// ---------------------------------------------------------------------------
+
+WsdDb TwoTupleDb() {
+  WsdDb db;
+  Schema schema({{"a", ValueType::kInt}, {"b", ValueType::kString}});
+  EXPECT_TRUE(db.CreateRelation("R", schema).ok());
+  auto t1 = InsertTuple(
+      &db, "R",
+      {CellSpec::OrSet({{Value::Int(1), 0.5}, {Value::Int(2), 0.5}}),
+       CellSpec::Certain(Value::String("x"))});
+  EXPECT_TRUE(t1.ok());
+  auto t2 = InsertTuple(
+      &db, "R",
+      {CellSpec::Certain(Value::Int(1)),
+       CellSpec::OrSet({{Value::String("x"), 0.3},
+                        {Value::String("y"), 0.7}})});
+  EXPECT_TRUE(t2.ok());
+  return db;
+}
+
+TEST(DifferentialFixed, SelectOnUncertainColumn) {
+  WsdDb db = TwoTupleDb();
+  CheckPlan(db, Plan::Select(Plan::Scan("R"),
+                             Expr::Compare(CompareOp::kEq, Col("a"),
+                                           Lit(Value::Int(1)))));
+}
+
+TEST(DifferentialFixed, SelectConjunctionAcrossComponents) {
+  WsdDb db = TwoTupleDb();
+  auto pred = Expr::And(
+      Expr::Compare(CompareOp::kEq, Col("a"), Lit(Value::Int(1))),
+      Expr::Compare(CompareOp::kEq, Col("b"), Lit(Value::String("x"))));
+  CheckPlan(db, Plan::Select(Plan::Scan("R"), pred));
+}
+
+TEST(DifferentialFixed, ProjectDropsUncertainColumn) {
+  WsdDb db = TwoTupleDb();
+  CheckPlan(db, Plan::Project(Plan::Scan("R"), {{Col("b"), "b"}}));
+}
+
+TEST(DifferentialFixed, ProjectComputedExpression) {
+  WsdDb db = TwoTupleDb();
+  CheckPlan(db, Plan::Project(
+                    Plan::Scan("R"),
+                    {{Expr::Arith(ArithOp::kMul, Col("a"), Lit(Value::Int(10))),
+                      "a10"}}));
+}
+
+TEST(DifferentialFixed, SelfProductSharesComponents) {
+  WsdDb db = TwoTupleDb();
+  CheckPlan(db, Plan::Product(Plan::Scan("R"), Plan::Scan("R")));
+}
+
+TEST(DifferentialFixed, SelectAfterSelfProduct) {
+  WsdDb db = TwoTupleDb();
+  auto pred = Expr::Compare(CompareOp::kLt, Expr::ColumnIdx(0, "a"),
+                            Expr::ColumnIdx(2, "R.a"));
+  CheckPlan(db, Plan::Select(Plan::Product(Plan::Scan("R"), Plan::Scan("R")),
+                             pred));
+}
+
+TEST(DifferentialFixed, UnionWithSelf) {
+  WsdDb db = TwoTupleDb();
+  CheckPlan(db, Plan::Union(Plan::Scan("R"), Plan::Scan("R")));
+}
+
+TEST(DifferentialFixed, DistinctCollapsesPossiblyEqualTuples) {
+  WsdDb db = TwoTupleDb();
+  CheckPlan(db, Plan::Distinct(Plan::Scan("R")));
+}
+
+TEST(DifferentialFixed, DifferenceWithSelectedSelf) {
+  WsdDb db = TwoTupleDb();
+  auto right = Plan::Select(Plan::Scan("R"),
+                            Expr::Compare(CompareOp::kEq, Col("b"),
+                                          Lit(Value::String("y"))));
+  CheckPlan(db, Plan::Difference(Plan::Scan("R"), right));
+}
+
+TEST(DifferentialFixed, JoinOnUncertainKeys) {
+  WsdDb db = TwoTupleDb();
+  auto pred = Expr::Compare(CompareOp::kEq, Expr::ColumnIdx(0, "a"),
+                            Expr::ColumnIdx(2, "R.a"));
+  CheckPlan(db, Plan::Join(Plan::Scan("R"), Plan::Scan("R"), pred));
+}
+
+TEST(DifferentialFixed, MedicalPipeline) {
+  WsdDb db = testing_util::MedicalExample();
+  auto plan = Plan::Project(
+      Plan::Select(Plan::Scan("R"),
+                   Expr::Compare(CompareOp::kEq, Col("Diagnosis"),
+                                 Lit(Value::String("pregnancy")))),
+      {{Col("Test"), "Test"}});
+  CheckPlan(db, plan);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized sweeps: many seeds × a battery of plan shapes.
+// ---------------------------------------------------------------------------
+
+class DifferentialRandom : public ::testing::TestWithParam<int> {};
+
+PlanPtr PlanForShape(int shape, const Schema& schema) {
+  const std::string a0 = schema.attr(0).name;
+  const std::string a1 = schema.attr(schema.size() > 1 ? 1 : 0).name;
+  Value lit0 = schema.attr(0).type == ValueType::kString
+                   ? Value::String("a")
+                   : Value::Int(1);
+  Value lit1 = schema.attr(schema.size() > 1 ? 1 : 0).type ==
+                       ValueType::kString
+                   ? Value::String("b")
+                   : Value::Int(2);
+  switch (shape % 8) {
+    case 0:
+      return Plan::Select(Plan::Scan("R0"),
+                          Expr::Compare(CompareOp::kEq, Col(a0),
+                                        Lit(lit0)));
+    case 1:
+      return Plan::Select(
+          Plan::Scan("R0"),
+          Expr::Or(Expr::Compare(CompareOp::kEq, Col(a0), Lit(lit0)),
+                   Expr::Compare(CompareOp::kNe, Col(a1), Lit(lit1))));
+    case 2:
+      return Plan::Project(Plan::Scan("R0"), {{Col(a1), "v"}});
+    case 3:
+      return Plan::Distinct(Plan::Project(Plan::Scan("R0"), {{Col(a0), "v"}}));
+    case 4:
+      return Plan::Union(
+          Plan::Select(Plan::Scan("R0"),
+                       Expr::Compare(CompareOp::kEq, Col(a0), Lit(lit0))),
+          Plan::Scan("R0"));
+    case 5:
+      return Plan::Difference(
+          Plan::Scan("R0"),
+          Plan::Select(Plan::Scan("R0"),
+                       Expr::Compare(CompareOp::kEq, Col(a1), Lit(lit1))));
+    case 6: {
+      auto pred = Expr::Compare(CompareOp::kEq, Expr::ColumnIdx(0, a0),
+                                Expr::ColumnIdx(schema.size(), "r." + a0));
+      return Plan::Join(Plan::Scan("R0"), Plan::Scan("R0"), pred);
+    }
+    default:
+      return Plan::Project(
+          Plan::Select(Plan::Scan("R0"),
+                       Expr::Compare(CompareOp::kNe, Col(a0), Lit(lit0))),
+          {{Col(a0), "k"}, {Col(a1), "v"}});
+  }
+}
+
+TEST_P(DifferentialRandom, LiftedMatchesOracle) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + 13);
+  RandomWsdOptions opt;
+  opt.max_tuples = 4;
+  opt.p_uncertain_cell = 0.4;
+  WsdDb db = RandomWsd(&rng, opt);
+  Status inv = db.CheckInvariants();
+  ASSERT_TRUE(inv.ok()) << inv.ToString();
+  const Schema& schema = db.GetRelation("R0").value()->schema();
+  for (int shape = 0; shape < 8; ++shape) {
+    CheckPlan(db, PlanForShape(shape, schema));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialRandom, ::testing::Range(0, 30));
+
+// Joint components (correlated fields) get their own sweep.
+class DifferentialJoint : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialJoint, LiftedMatchesOracle) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 104729 + 7);
+  RandomWsdOptions opt;
+  opt.max_tuples = 3;
+  opt.p_uncertain_cell = 0.25;
+  opt.p_joint = 0.8;
+  WsdDb db = RandomWsd(&rng, opt);
+  const Schema& schema = db.GetRelation("R0").value()->schema();
+  for (int shape = 0; shape < 8; ++shape) {
+    CheckPlan(db, PlanForShape(shape, schema));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialJoint, ::testing::Range(0, 20));
+
+// Multi-relation databases: joins, unions and differences across two
+// independently generated relations sharing the same world-set.
+class DifferentialMultiRelation : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialMultiRelation, LiftedMatchesOracle) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 15485863 + 101);
+  RandomWsdOptions opt;
+  opt.num_relations = 2;
+  opt.max_tuples = 3;
+  opt.min_cols = 2;
+  opt.max_cols = 2;
+  opt.p_uncertain_cell = 0.35;
+  opt.allow_strings = false;  // comparable join keys
+  WsdDb db = RandomWsd(&rng, opt);
+  const Schema& s0 = db.GetRelation("R0").value()->schema();
+  const std::string a0 = s0.attr(0).name;
+
+  std::vector<PlanPtr> plans;
+  // Cross-relation equi-join.
+  plans.push_back(Plan::Join(
+      Plan::Scan("R0"), Plan::Scan("R1"),
+      Expr::Compare(CompareOp::kEq, Expr::ColumnIdx(0, "l"),
+                    Expr::ColumnIdx(s0.size(), "r"))));
+  // Product restricted by inequality.
+  plans.push_back(Plan::Select(
+      Plan::Product(Plan::Scan("R0"), Plan::Scan("R1")),
+      Expr::Compare(CompareOp::kLt, Expr::ColumnIdx(0, "l"),
+                    Expr::ColumnIdx(s0.size() + 1, "r"))));
+  // Union and difference across relations (same arity/types by
+  // construction).
+  plans.push_back(Plan::Union(Plan::Scan("R0"), Plan::Scan("R1")));
+  plans.push_back(Plan::Difference(Plan::Scan("R0"), Plan::Scan("R1")));
+  // Join, then project, then select — a deeper pipeline.
+  plans.push_back(Plan::Select(
+      Plan::Project(
+          Plan::Join(Plan::Scan("R0"), Plan::Scan("R1"),
+                     Expr::Compare(CompareOp::kEq, Expr::ColumnIdx(0, "l"),
+                                   Expr::ColumnIdx(s0.size(), "r"))),
+          {{Expr::ColumnIdx(1, "v"), "v"}}),
+      Expr::Compare(CompareOp::kGe, Col("v"), Lit(Value::Int(1)))));
+
+  for (const auto& plan : plans) {
+    CheckPlan(db, plan);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialMultiRelation,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace maybms

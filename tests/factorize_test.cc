@@ -1,0 +1,220 @@
+// Tests for component factorization: independent slot groups split into
+// separate components, dependent ones stay together, and the represented
+// distribution never changes.
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/factorize.h"
+#include "core/normalize.h"
+#include "core/wsd.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace {
+
+using testing_util::ExpectDistEq;
+using testing_util::RandomWsd;
+using testing_util::RandomWsdOptions;
+using testing_util::RelationDistribution;
+
+// Builds a database with one merged component covering fields of two
+// tuples; `independent` controls whether the joint distribution is a
+// product or genuinely correlated.
+WsdDb MergedDb(bool independent) {
+  WsdDb db;
+  Status st = db.CreateRelation("r", Schema({{"x", ValueType::kInt},
+                                             {"y", ValueType::kInt}}));
+  EXPECT_TRUE(st.ok());
+  auto t = InsertTuple(&db, "r", {CellSpec::Pending(), CellSpec::Pending()});
+  EXPECT_TRUE(t.ok());
+  auto u = InsertTuple(&db, "r", {CellSpec::Pending(),
+                                  CellSpec::Certain(Value::Int(0))});
+  EXPECT_TRUE(u.ok());
+  std::vector<std::pair<std::vector<Value>, double>> rows;
+  if (independent) {
+    // (x,y of t) ⊥ (x of u): full product 2×2 with product probabilities.
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        double pa = a == 0 ? 0.3 : 0.7;
+        double pb = b == 0 ? 0.4 : 0.6;
+        rows.push_back(
+            {{Value::Int(a), Value::Int(a + 10), Value::Int(b)}, pa * pb});
+      }
+    }
+  } else {
+    // Correlated: only matching pairs.
+    rows.push_back({{Value::Int(0), Value::Int(10), Value::Int(0)}, 0.5});
+    rows.push_back({{Value::Int(1), Value::Int(11), Value::Int(1)}, 0.5});
+  }
+  auto cid = AddJointComponent(
+      &db, {{*t, "x"}, {*t, "y"}, {*u, "x"}}, rows);
+  EXPECT_TRUE(cid.ok()) << cid.status().ToString();
+  return db;
+}
+
+TEST(FactorizeTest, SplitsIndependentGroups) {
+  WsdDb db = MergedDb(/*independent=*/true);
+  ASSERT_EQ(db.NumLiveComponents(), 1u);
+  auto before = EnumerateWorlds(db, 1u << 12);
+  ASSERT_TRUE(before.ok());
+  auto before_dist = RelationDistribution(*before, "r");
+
+  auto stats = Factorize(&db);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->components_split, 1u);
+  EXPECT_EQ(stats->factors_produced, 2u);
+  EXPECT_EQ(db.NumLiveComponents(), 2u);
+  // 4 rows became 2 + 2.
+  EXPECT_EQ(stats->rows_before, 4u);
+  EXPECT_EQ(stats->rows_after, 4u);
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+
+  auto after = EnumerateWorlds(db, 1u << 12);
+  ASSERT_TRUE(after.ok());
+  ExpectDistEq(before_dist, RelationDistribution(*after, "r"));
+}
+
+TEST(FactorizeTest, KeepsCorrelatedGroupsTogether) {
+  WsdDb db = MergedDb(/*independent=*/false);
+  auto stats = Factorize(&db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->components_split, 0u);
+  EXPECT_EQ(db.NumLiveComponents(), 1u);
+}
+
+TEST(FactorizeTest, SameOwnerIndependentSlotsMaySplit) {
+  // A tuple's two fields with a genuinely independent joint distribution
+  // split into two components; the verification covers the ⊥ pattern, so
+  // same-owner slots need no special casing.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt},
+                                                  {"y", ValueType::kInt}})));
+  auto t = InsertTuple(&db, "r", {CellSpec::Pending(), CellSpec::Pending()});
+  ASSERT_TRUE(t.ok());
+  std::vector<std::pair<std::vector<Value>, double>> rows;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      rows.push_back({{Value::Int(a), Value::Int(b)}, 0.25});
+    }
+  }
+  ASSERT_TRUE(AddJointComponent(&db, {{*t, "x"}, {*t, "y"}}, rows).ok());
+  auto before = EnumerateWorlds(db, 1 << 12);
+  ASSERT_TRUE(before.ok());
+  auto stats = Factorize(&db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->components_split, 1u);
+  EXPECT_EQ(db.NumLiveComponents(), 2u);
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  auto after = EnumerateWorlds(db, 1 << 12);
+  ASSERT_TRUE(after.ok());
+  ExpectDistEq(RelationDistribution(*before, "r"),
+               RelationDistribution(*after, "r"));
+}
+
+TEST(FactorizeTest, XorPatternIsNotSplit) {
+  // Three pairwise-independent bits with XOR dependency: c = a ^ b.
+  // Pairwise tests pass, but the full verification must reject the split.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"a", ValueType::kInt},
+                                                  {"b", ValueType::kInt},
+                                                  {"c", ValueType::kInt}})));
+  auto t1 = InsertTuple(&db, "r", {CellSpec::Pending(),
+                                   CellSpec::Certain(Value::Int(0)),
+                                   CellSpec::Certain(Value::Int(0))});
+  auto t2 = InsertTuple(&db, "r", {CellSpec::Certain(Value::Int(0)),
+                                   CellSpec::Pending(),
+                                   CellSpec::Certain(Value::Int(0))});
+  auto t3 = InsertTuple(&db, "r", {CellSpec::Certain(Value::Int(0)),
+                                   CellSpec::Certain(Value::Int(0)),
+                                   CellSpec::Pending()});
+  ASSERT_TRUE(t1.ok() && t2.ok() && t3.ok());
+  std::vector<std::pair<std::vector<Value>, double>> rows;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      rows.push_back({{Value::Int(a), Value::Int(b), Value::Int(a ^ b)},
+                      0.25});
+    }
+  }
+  ASSERT_TRUE(
+      AddJointComponent(&db, {{*t1, "a"}, {*t2, "b"}, {*t3, "c"}}, rows)
+          .ok());
+  auto before = EnumerateWorlds(db, 1 << 12);
+  ASSERT_TRUE(before.ok());
+  auto stats = Factorize(&db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->components_split, 0u);
+  auto after = EnumerateWorlds(db, 1 << 12);
+  ASSERT_TRUE(after.ok());
+  ExpectDistEq(RelationDistribution(*before, "r"),
+               RelationDistribution(*after, "r"));
+}
+
+TEST(FactorizeTest, UndoesMergeRoundTrip) {
+  // Merge the medical example's two independent components, factorize,
+  // and expect two components again (the same distribution).
+  WsdDb db = testing_util::MedicalExample();
+  auto before = EnumerateWorlds(db, 1 << 12);
+  ASSERT_TRUE(before.ok());
+  auto merged = db.MergeComponents(db.LiveComponents(), 1u << 12);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(db.NumLiveComponents(), 1u);
+  auto stats = Factorize(&db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->components_split, 1u);
+  EXPECT_EQ(db.NumLiveComponents(), 2u);
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  auto after = EnumerateWorlds(db, 1 << 12);
+  ASSERT_TRUE(after.ok());
+  ExpectDistEq(RelationDistribution(*before, "R"),
+               RelationDistribution(*after, "R"));
+}
+
+TEST(FactorizeTest, RespectsMaxSlots) {
+  WsdDb db = MergedDb(/*independent=*/true);
+  FactorizeOptions opt;
+  opt.max_slots = 2;  // our component has 3 slots -> skipped
+  auto stats = Factorize(&db, opt);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->components_split, 0u);
+}
+
+class FactorizePreservesDistribution : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactorizePreservesDistribution, AfterRandomMerges) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 3);
+  RandomWsdOptions opt;
+  opt.p_uncertain_cell = 0.5;
+  opt.p_joint = 0.4;
+  WsdDb db = RandomWsd(&rng, opt);
+  // Merge a random subset of components to create factorization work.
+  auto live = db.LiveComponents();
+  if (live.size() >= 2) {
+    std::vector<ComponentId> to_merge;
+    for (ComponentId id : live) {
+      if (rng.NextBernoulli(0.7)) to_merge.push_back(id);
+    }
+    if (to_merge.size() >= 2) {
+      ASSERT_TRUE(db.MergeComponents(to_merge, 1u << 16).ok());
+    }
+  }
+  auto before = EnumerateWorlds(db, 1u << 16);
+  ASSERT_TRUE(before.ok());
+  auto before_dist = RelationDistribution(*before, "R0");
+  auto stats = Factorize(&db);
+  ASSERT_TRUE(stats.ok());
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  auto after = EnumerateWorlds(db, 1u << 16);
+  ASSERT_TRUE(after.ok());
+  ExpectDistEq(before_dist, RelationDistribution(*after, "R0"));
+  // Factorization after a merge of independent or-set components must
+  // recover a decomposition at least as fine as before the merge.
+  auto inv = Normalize(&db);
+  ASSERT_TRUE(inv.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FactorizePreservesDistribution,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace maybms

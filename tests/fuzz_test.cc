@@ -1,0 +1,121 @@
+// Deterministic fuzzing of the SQL front-end and the session: random
+// token soups and mutated valid statements must produce clean Status
+// errors (or valid results), never crashes or invariant violations.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sql/parser.h"
+#include "sql/session.h"
+#include "tests/test_util.h"
+
+namespace maybms {
+namespace {
+
+const char* kFragments[] = {
+    "SELECT", "FROM",   "WHERE",  "INSERT", "INTO",    "VALUES", "CREATE",
+    "TABLE",  "DROP",   "(",      ")",      ",",       ";",      "*",
+    "=",      "<",      ">=",     "<>",     "AND",     "OR",     "NOT",
+    "NULL",   "IN",     "IS",     "{",      "}",       ":",      "PROB",
+    "ECOUNT", "ESUM",   "POSSIBLE", "CERTAIN", "DISTINCT", "ORDER", "BY",
+    "UNION",  "EXCEPT", "ENFORCE", "CHECK", "KEY",     "FD",     "->",
+    "ON",     "REPAIR", "IN",     "WEIGHT", "SHOW",    "WORLDS", "TABLES",
+    "EXPLAIN", "r",     "t",      "x",      "y",       "a.b",    "42",
+    "-7",     "0.5",    "'str'",  "''",     "1e9",     "AS",
+};
+
+std::string RandomStatement(Rng* rng, size_t max_tokens) {
+  std::string out;
+  size_t n = 1 + rng->NextBelow(max_tokens);
+  for (size_t i = 0; i < n; ++i) {
+    out += kFragments[rng->NextBelow(std::size(kFragments))];
+    out += " ";
+  }
+  return out;
+}
+
+TEST(FuzzParser, RandomTokenSoupsNeverCrash) {
+  Rng rng(4242);
+  size_t parsed_ok = 0;
+  for (int i = 0; i < 5000; ++i) {
+    std::string stmt = RandomStatement(&rng, 24);
+    auto result = sql::ParseStatement(stmt);
+    if (result.ok()) ++parsed_ok;
+    // Either way: no crash, and errors carry the ParseError code.
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError) << stmt;
+    }
+  }
+  // A few soups happen to be valid statements; the point is survival.
+  SUCCEED() << parsed_ok << " of 5000 soups parsed";
+}
+
+TEST(FuzzParser, RandomBytesNeverCrash) {
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    std::string stmt;
+    size_t n = rng.NextBelow(64);
+    for (size_t k = 0; k < n; ++k) {
+      stmt += static_cast<char>(rng.NextBelow(96) + 32);
+    }
+    auto result = sql::ParseStatement(stmt);
+    (void)result;  // survival is the assertion
+  }
+  SUCCEED();
+}
+
+TEST(FuzzSession, RandomStatementsAgainstLiveDatabase) {
+  sql::Session session(testing_util::MedicalExample());
+  MAYBMS_ASSERT_OK(
+      session.Execute("CREATE TABLE t (x INT, y STRING)").status());
+  MAYBMS_ASSERT_OK(
+      session
+          .Execute("INSERT INTO t VALUES (1, {'a': 0.5, 'b': 0.5}), (2, 'c')")
+          .status());
+  Rng rng(31337);
+  size_t executed_ok = 0;
+  for (int i = 0; i < 1500; ++i) {
+    std::string stmt = RandomStatement(&rng, 16);
+    auto result = session.Execute(stmt);
+    if (result.ok()) ++executed_ok;
+    // The database must stay structurally sound whatever happened.
+    if (i % 100 == 0) {
+      Status inv = session.db().CheckInvariants();
+      ASSERT_TRUE(inv.ok()) << "after: " << stmt << " — " << inv.ToString();
+    }
+  }
+  Status inv = session.db().CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+  SUCCEED() << executed_ok << " statements executed";
+}
+
+TEST(FuzzSession, MutatedValidStatements) {
+  // Take valid statements and flip random characters; the session must
+  // survive every mutation.
+  const char* valid[] = {
+      "SELECT Test, PROB() FROM R WHERE Diagnosis = 'pregnancy'",
+      "POSSIBLE SELECT Symptom FROM R",
+      "INSERT INTO t (1, {2: 0.5, 3: 0.5})",
+      "ENFORCE CHECK (x >= 0) ON t",
+      "REPAIR KEY (x) IN t WEIGHT BY y",
+      "SELECT ESUM(x) FROM t WHERE x > 0",
+  };
+  Rng rng(911);
+  sql::Session session(testing_util::MedicalExample());
+  MAYBMS_ASSERT_OK(
+      session.Execute("CREATE TABLE t (x INT, y DOUBLE)").status());
+  for (int i = 0; i < 2000; ++i) {
+    std::string stmt = valid[rng.NextBelow(std::size(valid))];
+    size_t flips = 1 + rng.NextBelow(4);
+    for (size_t f = 0; f < flips && !stmt.empty(); ++f) {
+      stmt[rng.NextBelow(stmt.size())] =
+          static_cast<char>(rng.NextBelow(96) + 32);
+    }
+    auto result = session.Execute(stmt);
+    (void)result;
+  }
+  Status inv = session.db().CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+}
+
+}  // namespace
+}  // namespace maybms

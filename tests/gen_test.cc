@@ -1,0 +1,219 @@
+// Tests for the census generator, the or-set noise injector and the
+// canonical workload definitions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "chase/enforce.h"
+#include "core/builder.h"
+#include "gen/census.h"
+#include "gen/noise.h"
+#include "gen/workload.h"
+#include "ra/executor.h"
+#include "tests/test_util.h"
+
+namespace maybms {
+namespace {
+
+TEST(CensusTest, SchemaHasFiftyIntAttributes) {
+  Schema s = CensusSchema();
+  EXPECT_EQ(s.size(), 50u);
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.attr(i).type, ValueType::kInt);
+  }
+  EXPECT_TRUE(s.IndexOf("AGE").has_value());
+  EXPECT_TRUE(s.IndexOf("STATEFIP").has_value());
+}
+
+TEST(CensusTest, DeterministicFromSeed) {
+  Relation a = GenerateCensus({100, 7});
+  Relation b = GenerateCensus({100, 7});
+  Relation c = GenerateCensus({100, 8});
+  EXPECT_TRUE(a.BagEquals(b));
+  EXPECT_FALSE(a.BagEquals(c));
+}
+
+TEST(CensusTest, PernumIsUniqueKey) {
+  Relation r = GenerateCensus({500, 1});
+  std::set<int64_t> ids;
+  for (const auto& row : r.rows()) ids.insert(row[0].as_int());
+  EXPECT_EQ(ids.size(), 500u);
+}
+
+TEST(CensusTest, CleanDataSatisfiesWorkloadConstraints) {
+  Relation census = GenerateCensus({400, 3});
+  Catalog cat;
+  MAYBMS_ASSERT_OK(cat.Create(std::move(census)));
+  WsdDb db = FromCatalog(cat);
+  for (const auto& c : CensusConstraints()) {
+    auto p = ViolationProbability(db, c);
+    ASSERT_TRUE(p.ok()) << c.ToString() << ": " << p.status().ToString();
+    EXPECT_EQ(*p, 0.0) << "clean data violates " << c.ToString();
+  }
+}
+
+TEST(CensusTest, ValueRangesPlausible) {
+  Relation r = GenerateCensus({1000, 5});
+  const Schema& s = r.schema();
+  size_t age = *s.IndexOf("AGE");
+  size_t state = *s.IndexOf("STATEFIP");
+  size_t inc = *s.IndexOf("INCTOT");
+  for (const auto& row : r.rows()) {
+    EXPECT_GE(row[age].as_int(), 0);
+    EXPECT_LE(row[age].as_int(), 90);
+    EXPECT_GE(row[state].as_int(), 0);
+    EXPECT_LT(row[state].as_int(), 51);
+    EXPECT_GE(row[inc].as_int(), 0);
+  }
+}
+
+TEST(CensusTest, StatesCoverAllFips) {
+  Relation s = GenerateStates();
+  EXPECT_EQ(s.NumRows(), 51u);
+  std::set<std::string> regions;
+  for (const auto& row : s.rows()) regions.insert(row[2].as_string());
+  EXPECT_EQ(regions.size(), 4u);
+}
+
+TEST(NoiseTest, HitsRequestedFraction) {
+  Catalog cat;
+  MAYBMS_ASSERT_OK(cat.Create(GenerateCensus({200, 11})));
+  WsdDb db = FromCatalog(cat);
+  NoiseOptions opt;
+  opt.cell_fraction = 0.01;
+  opt.seed = 23;
+  auto stats = ApplyOrSetNoise(&db, "census", opt);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  size_t eligible = 200 * 49;  // key column excluded
+  size_t target = static_cast<size_t>(eligible * 0.01 + 0.5);
+  EXPECT_EQ(stats->cells_noised, target);
+  EXPECT_EQ(db.NumLiveComponents(), stats->cells_noised);
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  // Worlds: product of alternative counts; log2 > 0.
+  EXPECT_GT(stats->log2_worlds, 0.0);
+  EXPECT_NEAR(stats->log2_worlds, db.Log2WorldCount(), 1e-9);
+}
+
+TEST(NoiseTest, KeyColumnNeverNoised) {
+  Catalog cat;
+  MAYBMS_ASSERT_OK(cat.Create(GenerateCensus({100, 13})));
+  WsdDb db = FromCatalog(cat);
+  NoiseOptions opt;
+  opt.cell_fraction = 0.2;
+  auto stats = ApplyOrSetNoise(&db, "census", opt);
+  ASSERT_TRUE(stats.ok());
+  const WsdRelation* rel = db.GetRelation("census").value();
+  for (const auto& t : rel->tuples()) {
+    EXPECT_TRUE(t.cells[0].is_certain());
+  }
+}
+
+TEST(NoiseTest, ColumnSubsetRespected) {
+  Catalog cat;
+  MAYBMS_ASSERT_OK(cat.Create(GenerateCensus({100, 19})));
+  WsdDb db = FromCatalog(cat);
+  NoiseOptions opt;
+  opt.cell_fraction = 0.5;
+  opt.columns = {1};  // AGE only
+  auto stats = ApplyOrSetNoise(&db, "census", opt);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->cells_noised, 0u);
+  const WsdRelation* rel = db.GetRelation("census").value();
+  for (const auto& t : rel->tuples()) {
+    for (size_t c = 0; c < t.cells.size(); ++c) {
+      if (c != 1) {
+        EXPECT_TRUE(t.cells[c].is_certain());
+      }
+    }
+  }
+}
+
+TEST(NoiseTest, ProbabilitiesFavourOriginal) {
+  Catalog cat;
+  MAYBMS_ASSERT_OK(cat.Create(GenerateCensus({100, 29})));
+  WsdDb db = FromCatalog(cat);
+  NoiseOptions opt;
+  opt.cell_fraction = 0.05;
+  auto stats = ApplyOrSetNoise(&db, "census", opt);
+  ASSERT_TRUE(stats.ok());
+  // First alternative of each component (the original value) carries the
+  // largest probability.
+  for (ComponentId id : db.LiveComponents()) {
+    const Component& c = db.component(id);
+    double first = c.row(0).prob;
+    for (const auto& row : c.rows()) {
+      EXPECT_GE(first + 1e-12, row.prob);
+    }
+  }
+}
+
+TEST(NoiseTest, UniformProbs) {
+  Catalog cat;
+  MAYBMS_ASSERT_OK(cat.Create(GenerateCensus({50, 31})));
+  WsdDb db = FromCatalog(cat);
+  NoiseOptions opt;
+  opt.cell_fraction = 0.05;
+  opt.uniform_probs = true;
+  auto stats = ApplyOrSetNoise(&db, "census", opt);
+  ASSERT_TRUE(stats.ok());
+  for (ComponentId id : db.LiveComponents()) {
+    const Component& c = db.component(id);
+    for (const auto& row : c.rows()) {
+      EXPECT_NEAR(row.prob, 1.0 / c.NumRows(), 1e-12);
+    }
+  }
+}
+
+TEST(NoiseTest, InvalidOptions) {
+  Catalog cat;
+  MAYBMS_ASSERT_OK(cat.Create(GenerateCensus({10, 1})));
+  WsdDb db = FromCatalog(cat);
+  NoiseOptions opt;
+  opt.cell_fraction = 2.0;
+  EXPECT_EQ(ApplyOrSetNoise(&db, "census", opt).status().code(),
+            StatusCode::kInvalidArgument);
+  opt.cell_fraction = 0.1;
+  opt.min_alternatives = 1;
+  EXPECT_EQ(ApplyOrSetNoise(&db, "census", opt).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadTest, QueriesRunOnCleanData) {
+  Catalog cat;
+  MAYBMS_ASSERT_OK(cat.Create(GenerateCensus({300, 37})));
+  MAYBMS_ASSERT_OK(cat.Create(GenerateStates()));
+  for (const auto& q : CensusQueries()) {
+    auto r = Execute(q.plan, cat);
+    ASSERT_TRUE(r.ok()) << q.id << ": " << r.status().ToString();
+  }
+}
+
+TEST(WorkloadTest, QueriesHaveDistinctIds) {
+  std::set<std::string> ids;
+  for (const auto& q : CensusQueries()) ids.insert(q.id);
+  EXPECT_EQ(ids.size(), 6u);
+  EXPECT_EQ(CensusConstraints().size(), 5u);
+}
+
+TEST(WorkloadTest, NoiseCreatesConstraintViolations) {
+  Catalog cat;
+  MAYBMS_ASSERT_OK(cat.Create(GenerateCensus({300, 41})));
+  WsdDb db = FromCatalog(cat);
+  NoiseOptions opt;
+  opt.cell_fraction = 0.02;
+  opt.wild_fraction = 0.5;
+  opt.seed = 43;
+  ASSERT_TRUE(ApplyOrSetNoise(&db, "census", opt).ok());
+  double total_violation = 0.0;
+  for (const auto& c : CensusConstraints()) {
+    auto p = ViolationProbability(db, c);
+    ASSERT_TRUE(p.ok()) << c.ToString();
+    total_violation += *p;
+  }
+  // At 2% noise with wild perturbations, some constraint must bite.
+  EXPECT_GT(total_violation, 0.0);
+}
+
+}  // namespace
+}  // namespace maybms

@@ -1,0 +1,271 @@
+// Edge cases of the lifted operators: empty inputs, shared slots, zero-
+// column projections, resource budgets, unsupported plan nodes, and
+// operator pipelines that stress normalization interplay.
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/confidence.h"
+#include "core/lifted.h"
+#include "core/lifted_executor.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace {
+
+using testing_util::MedicalExample;
+
+ExprPtr Col(const std::string& n) { return Expr::Column(n); }
+ExprPtr Lit(Value v) { return Expr::Const(std::move(v)); }
+
+WsdDb EmptyRelationDb() {
+  WsdDb db;
+  Status st = db.CreateRelation(
+      "e", Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+  EXPECT_TRUE(st.ok());
+  return db;
+}
+
+TEST(LiftedEdge, OperatorsOnEmptyRelation) {
+  {
+    WsdDb db = EmptyRelationDb();
+    MAYBMS_ASSERT_OK(LiftedSelect(
+        &db, "e", Expr::Compare(CompareOp::kEq, Col("a"), Lit(Value::Int(1))),
+        "out"));
+    EXPECT_EQ(db.GetRelation("out").value()->NumTuples(), 0u);
+  }
+  {
+    WsdDb db = EmptyRelationDb();
+    MAYBMS_ASSERT_OK(LiftedProject(&db, "e", {{Col("a"), "a"}}, "out"));
+    EXPECT_EQ(db.GetRelation("out").value()->NumTuples(), 0u);
+    EXPECT_EQ(db.GetRelation("out").value()->schema().size(), 1u);
+  }
+  {
+    WsdDb db = EmptyRelationDb();
+    MAYBMS_ASSERT_OK(db.CreateRelation("f", db.GetRelation("e").value()
+                                                ->schema()));
+    MAYBMS_ASSERT_OK(LiftedProduct(&db, "e", "f", "out"));
+    EXPECT_EQ(db.GetRelation("out").value()->NumTuples(), 0u);
+  }
+  {
+    WsdDb db = EmptyRelationDb();
+    MAYBMS_ASSERT_OK(db.CreateRelation("f", db.GetRelation("e").value()
+                                                ->schema()));
+    MAYBMS_ASSERT_OK(LiftedDifference(&db, "e", "f", "out"));
+    EXPECT_EQ(db.GetRelation("out").value()->NumTuples(), 0u);
+  }
+  {
+    WsdDb db = EmptyRelationDb();
+    MAYBMS_ASSERT_OK(LiftedDistinct(&db, "e", "out"));
+    EXPECT_EQ(db.GetRelation("out").value()->NumTuples(), 0u);
+  }
+}
+
+TEST(LiftedEdge, ZeroColumnProjection) {
+  WsdDb db = MedicalExample();
+  auto plan = Plan::Project(
+      Plan::Select(Plan::Scan("R"),
+                   Expr::Compare(CompareOp::kEq, Col("Diagnosis"),
+                                 Lit(Value::String("pregnancy")))),
+      {});
+  auto result = ExecuteLifted(plan, db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Confidence of the empty vector = P(answer non-empty) = 0.4.
+  auto conf = ConfTable(*result, "result");
+  ASSERT_TRUE(conf.ok());
+  ASSERT_EQ(conf->NumRows(), 1u);
+  EXPECT_NEAR(conf->row(0)[0].as_double(), 0.4, 1e-12);
+}
+
+TEST(LiftedEdge, ProjectionDuplicatingUncertainColumn) {
+  WsdDb db = MedicalExample();
+  // Both output columns reference the same slot: values co-vary.
+  auto plan = Plan::Project(Plan::Scan("R"),
+                            {{Col("Symptom"), "s1"}, {Col("Symptom"), "s2"}});
+  auto result = ExecuteLifted(plan, db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto worlds = EnumerateWorlds(*result);
+  ASSERT_TRUE(worlds.ok());
+  for (const auto& w : *worlds) {
+    for (const auto& row : w.catalog.Get("result").value()->rows()) {
+      EXPECT_EQ(row[0], row[1]);
+    }
+  }
+}
+
+TEST(LiftedEdge, SelectOnComputedProjection) {
+  // Pipeline: project a computed expression over an uncertain field,
+  // then select on it. The computed slot lives in the original component.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::OrSet({{Value::Int(1), 0.25},
+                                            {Value::Int(2), 0.75}})})
+                  .ok());
+  auto plan = Plan::Select(
+      Plan::Project(Plan::Scan("r"),
+                    {{Expr::Arith(ArithOp::kMul, Col("x"),
+                                  Lit(Value::Int(10))),
+                      "x10"}}),
+      Expr::Compare(CompareOp::kEq, Col("x10"), Lit(Value::Int(20))));
+  auto result = ExecuteLifted(plan, db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto conf = ConfTable(*result, "result");
+  ASSERT_TRUE(conf.ok());
+  ASSERT_EQ(conf->NumRows(), 1u);
+  EXPECT_EQ(conf->row(0)[0], Value::Int(20));
+  EXPECT_NEAR(conf->row(0)[1].as_double(), 0.75, 1e-12);
+}
+
+TEST(LiftedEdge, MergeBudgetSurfacesCleanly) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation(
+      "r", Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}})));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(InsertTuple(&db, "r",
+                            {CellSpec::UniformOrSet({Value::Int(0),
+                                                     Value::Int(1)}),
+                             CellSpec::UniformOrSet({Value::Int(0),
+                                                     Value::Int(1)})})
+                    .ok());
+  }
+  db.mutable_options().max_component_rows = 2;  // any merge is too big
+  auto pred = Expr::Compare(CompareOp::kEq, Col("a"), Col("b"));
+  Status st = LiftedSelect(&db, "r", pred, "out");
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LiftedEdge, RenameRelationErrors) {
+  WsdDb db = EmptyRelationDb();
+  EXPECT_EQ(RenameRelation(&db, "missing", "x").code(),
+            StatusCode::kNotFound);
+  MAYBMS_ASSERT_OK(db.CreateRelation("f", Schema({{"a", ValueType::kInt}})));
+  EXPECT_EQ(RenameRelation(&db, "e", "f").code(),
+            StatusCode::kAlreadyExists);
+  MAYBMS_ASSERT_OK(RenameRelation(&db, "e", "E"));  // case-insensitive noop
+}
+
+TEST(LiftedEdge, UnsupportedPlanNodes) {
+  WsdDb db = MedicalExample();
+  EXPECT_EQ(ExecuteLifted(Plan::Limit(Plan::Scan("R"), 1), db)
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(ExecuteLifted(
+                Plan::Aggregate(Plan::Scan("R"), {},
+                                {{AggFunc::kCount, nullptr, "n"}}),
+                db)
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(LiftedEdge, SortOverUncertainColumnUnsupported) {
+  WsdDb db = MedicalExample();
+  EXPECT_EQ(
+      ExecuteLifted(Plan::Sort(Plan::Scan("R"), {"Symptom"}, {false}), db)
+          .status()
+          .code(),
+      StatusCode::kUnsupported);
+  // Sorting by a certain-after-selection column works.
+  auto plan = Plan::Sort(
+      Plan::Select(Plan::Scan("R"),
+                   Expr::Compare(CompareOp::kEq, Col("Diagnosis"),
+                                 Lit(Value::String("obesity")))),
+      {"Test"}, {false});
+  auto result = ExecuteLifted(plan, db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(LiftedEdge, UnionTypeMismatch) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("a", Schema({{"x", ValueType::kInt}})));
+  MAYBMS_ASSERT_OK(
+      db.CreateRelation("b", Schema({{"x", ValueType::kString}})));
+  EXPECT_EQ(LiftedUnion(&db, "a", "b", "out").code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST(LiftedEdge, DifferenceRemovesCertainDuplicateStatically) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("l", Schema({{"x", ValueType::kInt}})));
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  ASSERT_TRUE(InsertTuple(&db, "l", {CellSpec::Certain(Value::Int(1))}).ok());
+  ASSERT_TRUE(InsertTuple(&db, "l", {CellSpec::Certain(Value::Int(2))}).ok());
+  ASSERT_TRUE(InsertTuple(&db, "r", {CellSpec::Certain(Value::Int(1))}).ok());
+  MAYBMS_ASSERT_OK(LiftedDifference(&db, "l", "r", "out"));
+  const WsdRelation* out = db.GetRelation("out").value();
+  ASSERT_EQ(out->NumTuples(), 1u);
+  EXPECT_EQ(out->tuple(0).cells[0].value(), Value::Int(2));
+  // No components were created for the static kill.
+  EXPECT_EQ(db.NumLiveComponents(), 0u);
+}
+
+TEST(LiftedEdge, DistinctReordersButPreservesDistribution) {
+  // Uncertain tuple first, certain duplicates later: the reorder pass
+  // must not change the answer distribution.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::OrSet({{Value::Int(1), 0.5},
+                                            {Value::Int(2), 0.5}})})
+                  .ok());
+  ASSERT_TRUE(InsertTuple(&db, "r", {CellSpec::Certain(Value::Int(1))}).ok());
+  auto expected = [&] {
+    std::map<std::string, double> dist;
+    auto worlds = EnumerateWorlds(db);
+    EXPECT_TRUE(worlds.ok());
+    for (const auto& w : *worlds) {
+      Relation rel = *w.catalog.Get("r").value();
+      // Per-world set semantics.
+      rel.SortRows();
+      std::string key;
+      Value prev = Value::Bottom();
+      for (const auto& row : rel.rows()) {
+        if (!(row[0] == prev)) key += row[0].ToString() + ";";
+        prev = row[0];
+      }
+      dist[key] += w.prob;
+    }
+    return dist;
+  }();
+  MAYBMS_ASSERT_OK(LiftedDistinct(&db, "r", "out"));
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  std::map<std::string, double> actual;
+  auto worlds = EnumerateWorlds(db);
+  ASSERT_TRUE(worlds.ok());
+  for (const auto& w : *worlds) {
+    Relation rel = *w.catalog.Get("out").value();
+    rel.SortRows();
+    std::string key;
+    for (const auto& row : rel.rows()) key += row[0].ToString() + ";";
+    actual[key] += w.prob;
+  }
+  for (const auto& [key, p] : expected) {
+    ASSERT_TRUE(actual.count(key)) << key;
+    EXPECT_NEAR(actual[key], p, 1e-9) << key;
+  }
+}
+
+TEST(LiftedEdge, SelfJoinPreservesCorrelation) {
+  // R ⋈ R on the uncertain column: both sides resolve identically per
+  // world, so every pair matches (the same tuple paired with itself).
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::OrSet({{Value::Int(1), 0.5},
+                                            {Value::Int(2), 0.5}})})
+                  .ok());
+  auto pred = Expr::Compare(CompareOp::kEq, Expr::ColumnIdx(0, "x"),
+                            Expr::ColumnIdx(1, "r.x"));
+  auto plan = Plan::Join(Plan::Scan("r"), Plan::Scan("r"), pred);
+  auto result = ExecuteLifted(plan, db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto ec = ExpectedCount(*result, "result");
+  ASSERT_TRUE(ec.ok());
+  // In every world the single tuple joins with itself exactly once.
+  EXPECT_NEAR(*ec, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace maybms

@@ -1,0 +1,191 @@
+// Tests for normalization: each step individually, fixpoint behaviour,
+// and the property that normalization preserves the represented
+// world-set distribution exactly.
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/normalize.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace {
+
+using testing_util::ExpectDistEq;
+using testing_util::MedicalExample;
+using testing_util::RandomWsd;
+using testing_util::RandomWsdOptions;
+using testing_util::RelationDistribution;
+
+// Sets a component value to ⊥ directly, for crafting denormalized inputs.
+void SetBottom(WsdDb* db, ComponentId cid, size_t row, uint32_t slot) {
+  db->mutable_component(cid).mutable_row(row).values[slot] = Value::Bottom();
+}
+
+TEST(NormalizeTest, IdempotentOnNormalForm) {
+  WsdDb db = MedicalExample();
+  auto stats = Normalize(&db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tuples_removed, 0u);
+  EXPECT_EQ(stats->slots_dropped, 0u);
+  EXPECT_EQ(stats->cells_inlined, 0u);
+  EXPECT_EQ(db.NumLiveComponents(), 2u);
+}
+
+TEST(NormalizeTest, BottomPropagationWithinRow) {
+  WsdDb db = MedicalExample();
+  // Make Diagnosis of the first c1 row ⊥ (as the paper's selection does);
+  // propagation must extend ⊥ to the Test field in the same row.
+  const WsdRelation* rel = db.GetRelation("R").value();
+  const Cell& diag = rel->tuple(0).cells[0];
+  ASSERT_TRUE(diag.is_ref());
+  ComponentId c1 = diag.ref().cid;
+  SetBottom(&db, c1, 0, diag.ref().slot);
+  auto stats = Normalize(&db);
+  ASSERT_TRUE(stats.ok());
+  // In the surviving component row, both fields are ⊥ — and with one row
+  // now fully dead, r1 survives only via the 'hypothyroidism' row.
+  auto worlds = EnumerateWorlds(db);
+  ASSERT_TRUE(worlds.ok());
+  for (const auto& w : *worlds) {
+    const Relation& r = *w.catalog.Get("R").value();
+    for (const auto& row : r.rows()) {
+      EXPECT_NE(row[0], Value::String("pregnancy"));
+    }
+  }
+}
+
+TEST(NormalizeTest, DeadTupleRemoval) {
+  WsdDb db = MedicalExample();
+  const WsdRelation* rel = db.GetRelation("R").value();
+  const Cell& diag = rel->tuple(0).cells[0];
+  ComponentId c1 = diag.ref().cid;
+  // Kill r1 in every world: ⊥ in both rows of its Diagnosis slot.
+  SetBottom(&db, c1, 0, diag.ref().slot);
+  SetBottom(&db, c1, 1, diag.ref().slot);
+  auto stats = Normalize(&db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tuples_removed, 1u);
+  EXPECT_EQ(db.GetRelation("R").value()->NumTuples(), 1u);
+  // r1's components are garbage-collected entirely.
+  EXPECT_EQ(db.NumLiveComponents(), 0u);
+}
+
+TEST(NormalizeTest, CertainSlotInlining) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt},
+                                                  {"y", ValueType::kInt}})));
+  auto h = InsertTuple(&db, "r",
+                       {CellSpec::Pending(), CellSpec::Pending()});
+  ASSERT_TRUE(h.ok());
+  // Joint component where x is constant but y varies.
+  auto cid = AddJointComponent(
+      &db, {{*h, "x"}, {*h, "y"}},
+      {{{Value::Int(7), Value::Int(1)}, 0.5},
+       {{Value::Int(7), Value::Int(2)}, 0.5}});
+  ASSERT_TRUE(cid.ok());
+  auto stats = Normalize(&db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cells_inlined, 1u);
+  const WsdRelation* rel = db.GetRelation("r").value();
+  EXPECT_TRUE(rel->tuple(0).cells[0].is_certain());
+  EXPECT_EQ(rel->tuple(0).cells[0].value(), Value::Int(7));
+  EXPECT_TRUE(rel->tuple(0).cells[1].is_ref());
+}
+
+TEST(NormalizeTest, SingleRowComponentFullyInlines) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  auto h = InsertTuple(&db, "r",
+                       {CellSpec::OrSet({{Value::Int(3), 1.0}})});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(db.NumLiveComponents(), 1u);
+  auto stats = Normalize(&db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(db.NumLiveComponents(), 0u);
+  EXPECT_TRUE(db.GetRelation("r").value()->tuple(0).cells[0].is_certain());
+}
+
+TEST(NormalizeTest, RowDedupMergesProbabilities) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  auto h = InsertTuple(&db, "r",
+                       {CellSpec::OrSet({{Value::Int(1), 0.25},
+                                         {Value::Int(1), 0.25},
+                                         {Value::Int(2), 0.5}})});
+  ASSERT_TRUE(h.ok());
+  auto stats = Normalize(&db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows_merged, 1u);
+  const Component& c = db.component(db.LiveComponents()[0]);
+  ASSERT_EQ(c.NumRows(), 2u);
+  EXPECT_NEAR(c.row(0).prob, 0.5, 1e-12);
+}
+
+TEST(NormalizeTest, UnreferencedSlotWithBottomBecomesExistenceSlot) {
+  WsdDb db = MedicalExample();
+  const WsdRelation* rel = db.GetRelation("R").value();
+  const Cell& sym = rel->tuple(0).cells[2];
+  ASSERT_TRUE(sym.is_ref());
+  ComponentId c2 = sym.ref().cid;
+  // ⊥ one symptom row (r1 dead in 30% of worlds), then project Symptom
+  // away by clearing the reference.
+  SetBottom(&db, c2, 1, sym.ref().slot);
+  WsdRelation* mrel = db.GetMutableRelation("R").value();
+  // Rebuild relation without the Symptom column.
+  Schema s2({{"Diagnosis", ValueType::kString}, {"Test", ValueType::kString}});
+  for (auto& t : mrel->mutable_tuples()) t.cells.resize(2);
+  mrel->set_schema(s2);
+  auto stats = Normalize(&db);
+  ASSERT_TRUE(stats.ok());
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  // r1 must still be absent in 30% of worlds: the ⊥ pattern survived as an
+  // existence slot even though Symptom was projected away.
+  EXPECT_NEAR(db.ExistenceProbability(db.GetRelation("R").value()->tuple(0)),
+              0.7, 1e-9);
+}
+
+TEST(NormalizeTest, StatsCountIterations) {
+  WsdDb db = MedicalExample();
+  auto stats = Normalize(&db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->iterations, 1u);
+}
+
+class NormalizePreservesDistribution : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizePreservesDistribution, RandomWsds) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 11);
+  RandomWsdOptions opt;
+  opt.p_uncertain_cell = 0.5;
+  opt.p_joint = 0.5;
+  WsdDb db = RandomWsd(&rng, opt);
+  // Inject some ⊥ to denormalize.
+  for (ComponentId id : db.LiveComponents()) {
+    Component& c = db.mutable_component(id);
+    for (size_t r = 0; r < c.NumRows(); ++r) {
+      if (rng.NextBernoulli(0.2)) {
+        c.mutable_row(r).values[rng.NextBelow(c.NumSlots())] =
+            Value::Bottom();
+      }
+    }
+  }
+  auto before = EnumerateWorlds(db, 1u << 16);
+  ASSERT_TRUE(before.ok());
+  auto before_dist = RelationDistribution(*before, "R0");
+
+  WsdDb copy = db;
+  auto stats = Normalize(&copy);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  MAYBMS_ASSERT_OK(copy.CheckInvariants());
+  auto after = EnumerateWorlds(copy, 1u << 16);
+  ASSERT_TRUE(after.ok());
+  auto after_dist = RelationDistribution(*after, "R0");
+  ExpectDistEq(before_dist, after_dist);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizePreservesDistribution,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace maybms

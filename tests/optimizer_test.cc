@@ -1,0 +1,152 @@
+// Tests for the plan optimizer: predicate pushdown, product-to-join
+// conversion, select merging, schema inference — and the property that
+// optimization never changes the answer distribution.
+#include <gtest/gtest.h>
+
+#include "core/lifted_executor.h"
+#include "sql/optimizer.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace sql {
+namespace {
+
+using testing_util::CanonicalBag;
+using testing_util::ExpectDistEq;
+
+ExprPtr Col(const std::string& n) { return Expr::Column(n); }
+ExprPtr IntLit(int64_t v) { return Expr::Const(Value::Int(v)); }
+ExprPtr Cmp(CompareOp op, ExprPtr l, ExprPtr r) {
+  return Expr::Compare(op, std::move(l), std::move(r));
+}
+
+WsdDb TwoTableDb() {
+  WsdDb db;
+  Status st = db.CreateRelation(
+      "r", Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}}));
+  EXPECT_TRUE(st.ok());
+  st = db.CreateRelation(
+      "s", Schema({{"a", ValueType::kInt}, {"c", ValueType::kInt}}));
+  EXPECT_TRUE(st.ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(InsertTuple(&db, "r",
+                            {CellSpec::Certain(Value::Int(i % 3)),
+                             i == 0 ? CellSpec::UniformOrSet({Value::Int(1),
+                                                              Value::Int(5)})
+                                    : CellSpec::Certain(Value::Int(i))})
+                    .ok());
+    EXPECT_TRUE(InsertTuple(&db, "s",
+                            {CellSpec::Certain(Value::Int(i % 3)),
+                             CellSpec::Certain(Value::Int(10 - i))})
+                    .ok());
+  }
+  return db;
+}
+
+TEST(OptimizerTest, CrossConjunctBecomesJoinOthersPushDown) {
+  WsdDb db = TwoTableDb();
+  auto pred = Expr::And(
+      Expr::And(Cmp(CompareOp::kEq, Col("a"), Col("s.a")),
+                Cmp(CompareOp::kGt, Col("b"), IntLit(0))),
+      Cmp(CompareOp::kLt, Col("c"), IntLit(10)));
+  auto plan = Plan::Select(Plan::Product(Plan::Scan("r"), Plan::Scan("s")),
+                           pred);
+  auto optimized = Optimize(plan, db);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  // Root is a Join whose two children are Selects over Scans.
+  ASSERT_EQ((*optimized)->kind(), PlanKind::kJoin);
+  EXPECT_EQ((*optimized)->left()->kind(), PlanKind::kSelect);
+  EXPECT_EQ((*optimized)->right()->kind(), PlanKind::kSelect);
+  EXPECT_EQ((*optimized)->left()->input()->kind(), PlanKind::kScan);
+}
+
+TEST(OptimizerTest, LeftOnlyPredicateLeavesNoJoinPredicate) {
+  WsdDb db = TwoTableDb();
+  auto plan = Plan::Select(Plan::Product(Plan::Scan("r"), Plan::Scan("s")),
+                           Cmp(CompareOp::kGt, Col("b"), IntLit(1)));
+  auto optimized = Optimize(plan, db);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_EQ((*optimized)->kind(), PlanKind::kProduct);
+  EXPECT_EQ((*optimized)->left()->kind(), PlanKind::kSelect);
+  EXPECT_EQ((*optimized)->right()->kind(), PlanKind::kScan);
+}
+
+TEST(OptimizerTest, AdjacentSelectsMerge) {
+  WsdDb db = TwoTableDb();
+  auto plan = Plan::Select(
+      Plan::Select(Plan::Scan("r"), Cmp(CompareOp::kGt, Col("b"), IntLit(0))),
+      Cmp(CompareOp::kLt, Col("a"), IntLit(2)));
+  auto optimized = Optimize(plan, db);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_EQ((*optimized)->kind(), PlanKind::kSelect);
+  EXPECT_EQ((*optimized)->input()->kind(), PlanKind::kScan);
+}
+
+TEST(OptimizerTest, PushThroughUnion) {
+  WsdDb db = TwoTableDb();
+  auto plan = Plan::Select(Plan::Union(Plan::Scan("r"), Plan::Scan("r")),
+                           Cmp(CompareOp::kGt, Col("b"), IntLit(1)));
+  auto optimized = Optimize(plan, db);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_EQ((*optimized)->kind(), PlanKind::kUnion);
+  EXPECT_EQ((*optimized)->left()->kind(), PlanKind::kSelect);
+  EXPECT_EQ((*optimized)->right()->kind(), PlanKind::kSelect);
+}
+
+TEST(OptimizerTest, PlanSchemaMatchesExecution) {
+  WsdDb db = TwoTableDb();
+  auto plan = Plan::Project(
+      Plan::Select(Plan::Product(Plan::Scan("r"), Plan::Scan("s")),
+                   Cmp(CompareOp::kEq, Col("a"), Col("s.a"))),
+      {{Col("b"), "b"}, {Col("c"), "c"}});
+  auto schema = PlanSchema(plan, db);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  ASSERT_EQ(schema->size(), 2u);
+  EXPECT_EQ(schema->attr(0).name, "b");
+  EXPECT_EQ(schema->attr(1).name, "c");
+  auto result = ExecuteLifted(plan, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->GetRelation("result").value()->schema().size(), 2u);
+}
+
+// Property: optimization preserves the answer distribution exactly.
+class OptimizerEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerEquivalence, OptimizedPlanSameDistribution) {
+  WsdDb db = TwoTableDb();
+  std::vector<PlanPtr> plans;
+  plans.push_back(Plan::Select(
+      Plan::Product(Plan::Scan("r"), Plan::Scan("s")),
+      Expr::And(Cmp(CompareOp::kEq, Col("a"), Col("s.a")),
+                Cmp(CompareOp::kGt, Col("b"), IntLit(0)))));
+  plans.push_back(Plan::Select(
+      Plan::Product(Plan::Scan("r"), Plan::Scan("s")),
+      Expr::Or(Cmp(CompareOp::kGt, Col("b"), IntLit(2)),
+               Cmp(CompareOp::kLt, Col("c"), IntLit(8)))));
+  plans.push_back(Plan::Project(
+      Plan::Select(Plan::Select(Plan::Scan("r"),
+                                Cmp(CompareOp::kGe, Col("a"), IntLit(0))),
+                   Cmp(CompareOp::kGt, Col("b"), IntLit(0))),
+      {{Col("b"), "b"}}));
+  const PlanPtr& plan = plans[static_cast<size_t>(GetParam()) % plans.size()];
+
+  auto raw = ExecuteLifted(plan, db);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  auto optimized_plan = Optimize(plan, db);
+  ASSERT_TRUE(optimized_plan.ok());
+  auto opt = ExecuteLifted(*optimized_plan, db);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+
+  auto wa = EnumerateWorlds(*raw, 1u << 14);
+  auto wb = EnumerateWorlds(*opt, 1u << 14);
+  ASSERT_TRUE(wa.ok() && wb.ok());
+  ExpectDistEq(testing_util::RelationDistribution(*wa, "result"),
+               testing_util::RelationDistribution(*wb, "result"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, OptimizerEquivalence, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace sql
+}  // namespace maybms

@@ -1,0 +1,368 @@
+// Unit tests for the conventional engine: expression evaluation with
+// three-valued logic, plan construction, and every executor operator.
+#include <gtest/gtest.h>
+
+#include "ra/executor.h"
+#include "ra/expr.h"
+#include "ra/plan.h"
+#include "tests/test_util.h"
+
+namespace maybms {
+namespace {
+
+ExprPtr Col(const std::string& n) { return Expr::Column(n); }
+ExprPtr Lit(Value v) { return Expr::Const(std::move(v)); }
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kEq, std::move(a), std::move(b));
+}
+
+Catalog MakeCatalog() {
+  Catalog cat;
+  Relation people("people", Schema({{"id", ValueType::kInt},
+                                    {"name", ValueType::kString},
+                                    {"age", ValueType::kInt},
+                                    {"city", ValueType::kString}}));
+  people.AppendUnchecked({Value::Int(1), Value::String("ann"), Value::Int(34),
+                          Value::String("berlin")});
+  people.AppendUnchecked({Value::Int(2), Value::String("bob"), Value::Int(25),
+                          Value::String("paris")});
+  people.AppendUnchecked({Value::Int(3), Value::String("cid"), Value::Int(41),
+                          Value::String("berlin")});
+  people.AppendUnchecked({Value::Int(4), Value::String("dee"), Value::Null(),
+                          Value::String("rome")});
+  EXPECT_TRUE(cat.Create(std::move(people)).ok());
+
+  Relation cities("cities", Schema({{"city", ValueType::kString},
+                                    {"country", ValueType::kString}}));
+  cities.AppendUnchecked({Value::String("berlin"), Value::String("de")});
+  cities.AppendUnchecked({Value::String("paris"), Value::String("fr")});
+  EXPECT_TRUE(cat.Create(std::move(cities)).ok());
+  return cat;
+}
+
+TEST(ExprTest, BindResolvesColumns) {
+  Schema s({{"a", ValueType::kInt}, {"b", ValueType::kString}});
+  auto e = Eq(Col("b"), Lit(Value::String("x")));
+  auto bound = e->BindAgainst(s);
+  ASSERT_TRUE(bound.ok());
+  auto v = (*bound)->Eval({Value::Int(1), Value::String("x")});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Bool(true));
+  EXPECT_EQ(e->BindAgainst(Schema({{"z", ValueType::kInt}})).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ExprTest, ComparisonOperators) {
+  Schema s({{"a", ValueType::kInt}});
+  Tuple t{Value::Int(5)};
+  struct Case {
+    CompareOp op;
+    int64_t rhs;
+    bool expected;
+  } cases[] = {
+      {CompareOp::kEq, 5, true},  {CompareOp::kEq, 4, false},
+      {CompareOp::kNe, 4, true},  {CompareOp::kLt, 6, true},
+      {CompareOp::kLt, 5, false}, {CompareOp::kLe, 5, true},
+      {CompareOp::kGt, 4, true},  {CompareOp::kGe, 5, true},
+      {CompareOp::kGe, 6, false},
+  };
+  for (const auto& c : cases) {
+    auto e = Expr::Compare(c.op, Col("a"), Lit(Value::Int(c.rhs)));
+    auto b = e->BindAgainst(s);
+    ASSERT_TRUE(b.ok());
+    auto v = (*b)->Eval(t);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->as_bool(), c.expected)
+        << e->ToString() << " on a=5";
+  }
+}
+
+TEST(ExprTest, NullPropagatesThroughComparison) {
+  Schema s({{"a", ValueType::kInt}});
+  auto e = Eq(Col("a"), Lit(Value::Int(1)))->BindAgainst(s);
+  ASSERT_TRUE(e.ok());
+  auto v = (*e)->Eval({Value::Null()});
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ExprTest, KleeneAndOr) {
+  Schema s({{"a", ValueType::kInt}});
+  Tuple null_t{Value::Null()};
+  // NULL AND false = false; NULL OR true = true; NULL AND true = NULL.
+  auto null_cmp = Eq(Col("a"), Lit(Value::Int(1)));
+  auto f = Lit(Value::Bool(false));
+  auto t = Lit(Value::Bool(true));
+  auto and_false = Expr::And(null_cmp, f)->BindAgainst(s);
+  ASSERT_TRUE(and_false.ok());
+  EXPECT_EQ(*(*and_false)->Eval(null_t), Value::Bool(false));
+  auto or_true = Expr::Or(null_cmp, t)->BindAgainst(s);
+  ASSERT_TRUE(or_true.ok());
+  EXPECT_EQ(*(*or_true)->Eval(null_t), Value::Bool(true));
+  auto and_true = Expr::And(null_cmp, t)->BindAgainst(s);
+  ASSERT_TRUE(and_true.ok());
+  EXPECT_TRUE((*and_true)->Eval(null_t)->is_null());
+  auto not_null = Expr::Not(null_cmp)->BindAgainst(s);
+  ASSERT_TRUE(not_null.ok());
+  EXPECT_TRUE((*not_null)->Eval(null_t)->is_null());
+}
+
+TEST(ExprTest, ArithmeticTypesAndDivByZero) {
+  Schema s({{"a", ValueType::kInt}, {"b", ValueType::kDouble}});
+  Tuple t{Value::Int(7), Value::Double(2.0)};
+  auto add = Expr::Arith(ArithOp::kAdd, Col("a"), Col("b"))->BindAgainst(s);
+  ASSERT_TRUE(add.ok());
+  EXPECT_EQ(*(*add)->Eval(t), Value::Double(9.0));
+  auto idiv =
+      Expr::Arith(ArithOp::kDiv, Col("a"), Lit(Value::Int(2)))->BindAgainst(s);
+  ASSERT_TRUE(idiv.ok());
+  EXPECT_EQ(*(*idiv)->Eval(t), Value::Int(3));  // integer division
+  auto div0 =
+      Expr::Arith(ArithOp::kDiv, Col("a"), Lit(Value::Int(0)))->BindAgainst(s);
+  ASSERT_TRUE(div0.ok());
+  EXPECT_TRUE((*div0)->Eval(t)->is_null());
+}
+
+TEST(ExprTest, IsNullAndIn) {
+  Schema s({{"a", ValueType::kInt}});
+  auto isnull = Expr::IsNull(Col("a"), false)->BindAgainst(s);
+  auto isnotnull = Expr::IsNull(Col("a"), true)->BindAgainst(s);
+  ASSERT_TRUE(isnull.ok());
+  ASSERT_TRUE(isnotnull.ok());
+  EXPECT_EQ(*(*isnull)->Eval({Value::Null()}), Value::Bool(true));
+  EXPECT_EQ(*(*isnull)->Eval({Value::Int(1)}), Value::Bool(false));
+  EXPECT_EQ(*(*isnotnull)->Eval({Value::Int(1)}), Value::Bool(true));
+  auto in = Expr::In(Col("a"), {Value::Int(1), Value::Int(3)})->BindAgainst(s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(*(*in)->Eval({Value::Int(3)}), Value::Bool(true));
+  EXPECT_EQ(*(*in)->Eval({Value::Int(2)}), Value::Bool(false));
+  EXPECT_TRUE((*in)->Eval({Value::Null()})->is_null());
+}
+
+TEST(ExprTest, TypeMismatchIsError) {
+  Schema s({{"a", ValueType::kInt}});
+  auto e = Eq(Col("a"), Lit(Value::String("x")))->BindAgainst(s);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->Eval({Value::Int(1)}).status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST(ExprTest, ToStringRoundtripsShape) {
+  auto e = Expr::And(Eq(Col("a"), Lit(Value::Int(1))),
+                     Expr::Not(Eq(Col("b"), Lit(Value::String("x")))));
+  EXPECT_EQ(e->ToString(), "((a = 1) AND (NOT (b = 'x')))");
+}
+
+TEST(ExecutorTest, ScanReturnsAllRows) {
+  Catalog cat = MakeCatalog();
+  auto r = Execute(Plan::Scan("people"), cat);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 4u);
+  EXPECT_EQ(Execute(Plan::Scan("nope"), cat).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ExecutorTest, SelectFilters) {
+  Catalog cat = MakeCatalog();
+  auto plan = Plan::Select(Plan::Scan("people"),
+                           Eq(Col("city"), Lit(Value::String("berlin"))));
+  auto r = Execute(plan, cat);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 2u);
+  // NULL age row is rejected by a predicate on age.
+  auto plan2 = Plan::Select(
+      Plan::Scan("people"),
+      Expr::Compare(CompareOp::kGt, Col("age"), Lit(Value::Int(0))));
+  auto r2 = Execute(plan2, cat);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->NumRows(), 3u);
+}
+
+TEST(ExecutorTest, ProjectComputesExpressions) {
+  Catalog cat = MakeCatalog();
+  auto plan = Plan::Project(
+      Plan::Scan("people"),
+      {{Col("name"), "name"},
+       {Expr::Arith(ArithOp::kAdd, Col("age"), Lit(Value::Int(1))), "age1"}});
+  auto r = Execute(plan, cat);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 4u);
+  EXPECT_EQ(r->schema().attr(1).name, "age1");
+  EXPECT_EQ(r->row(0)[1], Value::Int(35));
+  EXPECT_TRUE(r->row(3)[1].is_null());  // NULL + 1 = NULL
+}
+
+TEST(ExecutorTest, ProductPairsEverything) {
+  Catalog cat = MakeCatalog();
+  auto r = Execute(Plan::Product(Plan::Scan("people"), Plan::Scan("cities")),
+                   cat);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 8u);
+  EXPECT_EQ(r->schema().size(), 6u);
+}
+
+TEST(ExecutorTest, EquiJoinUsesKeysCorrectly) {
+  Catalog cat = MakeCatalog();
+  auto pred = Eq(Col("city"), Col("cities.city"));
+  // Bind against concatenated schema is done inside; names resolve left
+  // first, so use the disambiguated right name.
+  auto r = Execute(Plan::Join(Plan::Scan("people"), Plan::Scan("cities"),
+                              pred),
+                   cat);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 3u);  // ann, bob, cid match; dee (rome) does not
+}
+
+TEST(ExecutorTest, JoinWithResidualPredicate) {
+  Catalog cat = MakeCatalog();
+  auto pred = Expr::And(
+      Eq(Col("city"), Col("cities.city")),
+      Expr::Compare(CompareOp::kGt, Col("age"), Lit(Value::Int(30))));
+  auto r = Execute(Plan::Join(Plan::Scan("people"), Plan::Scan("cities"),
+                              pred),
+                   cat);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 2u);  // ann 34 berlin, cid 41 berlin
+}
+
+TEST(ExecutorTest, NonEquiJoinFallsBackToNestedLoop) {
+  Catalog cat = MakeCatalog();
+  auto pred =
+      Expr::Compare(CompareOp::kLt, Col("id"), Lit(Value::Int(3)));
+  auto r = Execute(Plan::Join(Plan::Scan("people"), Plan::Scan("cities"),
+                              pred),
+                   cat);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 4u);  // ids 1,2 × 2 cities
+}
+
+TEST(ExecutorTest, UnionConcatsBags) {
+  Catalog cat = MakeCatalog();
+  auto r = Execute(Plan::Union(Plan::Scan("cities"), Plan::Scan("cities")),
+                   cat);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 4u);
+  auto bad = Execute(Plan::Union(Plan::Scan("cities"), Plan::Scan("people")),
+                     cat);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutorTest, DifferenceIsAntiJoin) {
+  Catalog cat;
+  Relation a("a", Schema({{"x", ValueType::kInt}}));
+  a.AppendUnchecked({Value::Int(1)});
+  a.AppendUnchecked({Value::Int(1)});
+  a.AppendUnchecked({Value::Int(2)});
+  a.AppendUnchecked({Value::Int(2)});
+  Relation b("b", Schema({{"x", ValueType::kInt}}));
+  b.AppendUnchecked({Value::Int(1)});
+  MAYBMS_ASSERT_OK(cat.Create(std::move(a)));
+  MAYBMS_ASSERT_OK(cat.Create(std::move(b)));
+  auto r = Execute(Plan::Difference(Plan::Scan("a"), Plan::Scan("b")), cat);
+  ASSERT_TRUE(r.ok());
+  // Anti-join (SQL EXCEPT) semantics: every equal occurrence is removed,
+  // surviving rows keep their multiplicity.
+  ASSERT_EQ(r->NumRows(), 2u);
+  EXPECT_EQ(r->row(0)[0], Value::Int(2));
+  EXPECT_EQ(r->row(1)[0], Value::Int(2));
+}
+
+TEST(ExecutorTest, DistinctRemovesDuplicates) {
+  Catalog cat = MakeCatalog();
+  auto plan = Plan::Distinct(
+      Plan::Project(Plan::Scan("people"), {{Col("city"), "city"}}));
+  auto r = Execute(plan, cat);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 3u);
+}
+
+TEST(ExecutorTest, SortOrdersRows) {
+  Catalog cat = MakeCatalog();
+  auto r = Execute(Plan::Sort(Plan::Scan("people"), {"age"}, {true}), cat);
+  ASSERT_TRUE(r.ok());
+  // Descending: 41, 34, 25, NULL (NULL smallest → last in desc).
+  EXPECT_EQ(r->row(0)[2], Value::Int(41));
+  EXPECT_TRUE(r->row(3)[2].is_null());
+}
+
+TEST(ExecutorTest, LimitTruncates) {
+  Catalog cat = MakeCatalog();
+  auto r = Execute(Plan::Limit(Plan::Scan("people"), 2), cat);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 2u);
+  auto r0 = Execute(Plan::Limit(Plan::Scan("people"), 0), cat);
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0->NumRows(), 0u);
+}
+
+TEST(ExecutorTest, AggregateGroupBy) {
+  Catalog cat = MakeCatalog();
+  auto plan = Plan::Aggregate(
+      Plan::Scan("people"), {"city"},
+      {{AggFunc::kCount, nullptr, "n"}, {AggFunc::kAvg, Col("age"), "avg_age"}});
+  auto r = Execute(plan, cat);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 3u);
+  // berlin group: count 2, avg 37.5
+  bool found = false;
+  for (const auto& row : r->rows()) {
+    if (row[0] == Value::String("berlin")) {
+      EXPECT_EQ(row[1], Value::Int(2));
+      EXPECT_EQ(row[2], Value::Double(37.5));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ExecutorTest, AggregateGlobalOnEmptyInput) {
+  Catalog cat = MakeCatalog();
+  auto plan = Plan::Aggregate(
+      Plan::Select(Plan::Scan("people"),
+                   Eq(Col("city"), Lit(Value::String("nowhere")))),
+      {}, {{AggFunc::kCount, nullptr, "n"}, {AggFunc::kSum, Col("age"), "s"}});
+  auto r = Execute(plan, cat);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_EQ(r->row(0)[0], Value::Int(0));
+  EXPECT_TRUE(r->row(0)[1].is_null());
+}
+
+TEST(ExecutorTest, AggregateMinMaxSumIgnoreNulls) {
+  Catalog cat = MakeCatalog();
+  auto plan = Plan::Aggregate(Plan::Scan("people"), {},
+                              {{AggFunc::kMin, Col("age"), "lo"},
+                               {AggFunc::kMax, Col("age"), "hi"},
+                               {AggFunc::kSum, Col("age"), "total"},
+                               {AggFunc::kCount, Col("age"), "n"}});
+  auto r = Execute(plan, cat);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_EQ(r->row(0)[0], Value::Int(25));
+  EXPECT_EQ(r->row(0)[1], Value::Int(41));
+  EXPECT_EQ(r->row(0)[2], Value::Int(100));
+  EXPECT_EQ(r->row(0)[3], Value::Int(3));  // NULL age not counted
+}
+
+TEST(ExecutorTest, OutputSchemaWithoutExecution) {
+  Catalog cat = MakeCatalog();
+  auto plan = Plan::Project(
+      Plan::Join(Plan::Scan("people"), Plan::Scan("cities"),
+                 Eq(Col("city"), Col("cities.city"))),
+      {{Col("name"), "name"}, {Col("country"), "country"}});
+  auto s = OutputSchema(plan, cat);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_EQ(s->size(), 2u);
+  EXPECT_EQ(s->attr(0).name, "name");
+  EXPECT_EQ(s->attr(1).name, "country");
+}
+
+TEST(PlanTest, ToStringRendersTree) {
+  auto plan = Plan::Select(Plan::Scan("r"), Eq(Col("a"), Lit(Value::Int(1))));
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("Select"), std::string::npos);
+  EXPECT_NE(s.find("Scan r"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maybms

@@ -1,0 +1,249 @@
+// Tests for REPAIR KEY (uncertainty introduction) and the ESUM expected
+// aggregate.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/builder.h"
+#include "core/confidence.h"
+#include "core/repair.h"
+#include "sql/session.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace {
+
+WsdDb DirtyPersons() {
+  WsdDb db;
+  Status st = db.CreateRelation("p", Schema({{"id", ValueType::kInt},
+                                             {"city", ValueType::kString},
+                                             {"w", ValueType::kDouble}}));
+  EXPECT_TRUE(st.ok());
+  auto add = [&](int64_t id, const char* city, double w) {
+    auto h = InsertTuple(&db, "p",
+                         {CellSpec::Certain(Value::Int(id)),
+                          CellSpec::Certain(Value::String(city)),
+                          CellSpec::Certain(Value::Double(w))});
+    EXPECT_TRUE(h.ok());
+  };
+  add(1, "berlin", 3.0);
+  add(1, "paris", 1.0);
+  add(2, "rome", 1.0);
+  add(3, "oslo", 2.0);
+  add(3, "bern", 1.0);
+  add(3, "kiev", 1.0);
+  return db;
+}
+
+TEST(RepairKeyTest, UniformRepairDistribution) {
+  WsdDb db = DirtyPersons();
+  auto stats = RepairKey(&db, "p", {"id"});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->groups, 3u);
+  EXPECT_EQ(stats->conflicting_groups, 2u);
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  // Worlds: 2 x 3 = 6 choice combinations, uniform 1/6 each; every world
+  // has exactly one tuple per id.
+  auto worlds = EnumerateWorlds(db);
+  ASSERT_TRUE(worlds.ok());
+  auto merged = MergeEqualWorlds(std::move(*worlds));
+  ASSERT_EQ(merged.size(), 6u);
+  for (const auto& w : merged) {
+    EXPECT_NEAR(w.prob, 1.0 / 6, 1e-12);
+    const Relation& r = *w.catalog.Get("p").value();
+    ASSERT_EQ(r.NumRows(), 3u);
+    std::map<int64_t, int> counts;
+    for (const auto& row : r.rows()) counts[row[0].as_int()]++;
+    for (const auto& [id, n] : counts) EXPECT_EQ(n, 1) << "id " << id;
+  }
+}
+
+TEST(RepairKeyTest, WeightedRepair) {
+  WsdDb db = DirtyPersons();
+  auto stats = RepairKey(&db, "p", {"id"}, "w");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // P(id=1 chooses berlin) = 3/4; P(id=3 chooses oslo) = 2/4.
+  auto conf = ConfTable(db, "p");
+  ASSERT_TRUE(conf.ok());
+  std::map<std::string, double> probs;
+  for (const auto& row : conf->rows()) {
+    probs[row[1].as_string()] = row.back().as_double();
+  }
+  EXPECT_NEAR(probs["berlin"], 0.75, 1e-12);
+  EXPECT_NEAR(probs["paris"], 0.25, 1e-12);
+  EXPECT_NEAR(probs["rome"], 1.0, 1e-12);
+  EXPECT_NEAR(probs["oslo"], 0.5, 1e-12);
+  EXPECT_NEAR(probs["bern"], 0.25, 1e-12);
+}
+
+TEST(RepairKeyTest, ZeroWeightTuplesAreImpossible) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("p", Schema({{"id", ValueType::kInt},
+                                                  {"w", ValueType::kInt}})));
+  ASSERT_TRUE(InsertTuple(&db, "p", {CellSpec::Certain(Value::Int(1)),
+                                     CellSpec::Certain(Value::Int(0))})
+                  .ok());
+  ASSERT_TRUE(InsertTuple(&db, "p", {CellSpec::Certain(Value::Int(1)),
+                                     CellSpec::Certain(Value::Int(5))})
+                  .ok());
+  auto stats = RepairKey(&db, "p", {"id"}, "w");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Only the weight-5 tuple survives, with certainty.
+  const WsdRelation* rel = db.GetRelation("p").value();
+  ASSERT_EQ(rel->NumTuples(), 1u);
+  EXPECT_EQ(rel->tuple(0).cells[1].value(), Value::Int(5));
+  EXPECT_EQ(db.NumLiveComponents(), 0u);
+}
+
+TEST(RepairKeyTest, ZeroTotalWeightIsInconsistent) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("p", Schema({{"id", ValueType::kInt},
+                                                  {"w", ValueType::kInt}})));
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(InsertTuple(&db, "p", {CellSpec::Certain(Value::Int(1)),
+                                       CellSpec::Certain(Value::Int(0))})
+                    .ok());
+  }
+  EXPECT_EQ(RepairKey(&db, "p", {"id"}, "w").status().code(),
+            StatusCode::kInconsistent);
+}
+
+TEST(RepairKeyTest, InputValidation) {
+  WsdDb db = DirtyPersons();
+  EXPECT_EQ(RepairKey(&db, "p", {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RepairKey(&db, "p", {"nope"}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(RepairKey(&db, "p", {"id"}, "city").status().code(),
+            StatusCode::kTypeMismatch);
+  // Uncertain key cells are unsupported.
+  WsdDb db2;
+  MAYBMS_ASSERT_OK(db2.CreateRelation("r", Schema({{"k", ValueType::kInt}})));
+  ASSERT_TRUE(InsertTuple(&db2, "r",
+                          {CellSpec::UniformOrSet({Value::Int(1),
+                                                   Value::Int(2)})})
+                  .ok());
+  EXPECT_EQ(RepairKey(&db2, "r", {"k"}).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(RepairKeyTest, UncertainNonKeyCellsArePreserved) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"k", ValueType::kInt},
+                                                  {"v", ValueType::kInt}})));
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::Certain(Value::Int(1)),
+                           CellSpec::OrSet({{Value::Int(10), 0.5},
+                                            {Value::Int(20), 0.5}})})
+                  .ok());
+  ASSERT_TRUE(InsertTuple(&db, "r", {CellSpec::Certain(Value::Int(1)),
+                                     CellSpec::Certain(Value::Int(30))})
+                  .ok());
+  auto stats = RepairKey(&db, "r", {"k"});
+  ASSERT_TRUE(stats.ok());
+  // Worlds: choice of tuple (1/2 each) x v or-set for the first tuple.
+  auto conf = ConfTable(db, "r");
+  ASSERT_TRUE(conf.ok());
+  std::map<int64_t, double> probs;
+  for (const auto& row : conf->rows()) {
+    probs[row[1].as_int()] = row.back().as_double();
+  }
+  EXPECT_NEAR(probs[10], 0.25, 1e-12);
+  EXPECT_NEAR(probs[20], 0.25, 1e-12);
+  EXPECT_NEAR(probs[30], 0.5, 1e-12);
+}
+
+TEST(RepairKeyTest, SqlStatement) {
+  sql::Session session;
+  auto setup = session.ExecuteScript(R"sql(
+    CREATE TABLE dirty (id INT, city STRING, w DOUBLE);
+    INSERT INTO dirty VALUES
+      (1, 'berlin', 3.0), (1, 'paris', 1.0), (2, 'rome', 1.0);
+    REPAIR KEY (id) IN dirty WEIGHT BY w;
+  )sql");
+  ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+  EXPECT_NE(setup->back().message.find("1 conflicting"), std::string::npos)
+      << setup->back().message;
+  auto prob = session.Execute("SELECT city, PROB() FROM dirty");
+  ASSERT_TRUE(prob.ok());
+  std::map<std::string, double> probs;
+  for (const auto& row : prob->table.rows()) {
+    probs[row[0].as_string()] = row[1].as_double();
+  }
+  EXPECT_NEAR(probs["berlin"], 0.75, 1e-12);
+  EXPECT_NEAR(probs["rome"], 1.0, 1e-12);
+}
+
+TEST(EsumTest, MatchesOracle) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"v", ValueType::kInt}})));
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::OrSet({{Value::Int(10), 0.5},
+                                            {Value::Int(20), 0.5}})})
+                  .ok());
+  ASSERT_TRUE(InsertTuple(&db, "r", {CellSpec::Certain(Value::Int(5))}).ok());
+  auto es = ExpectedSum(db, "r", "v");
+  ASSERT_TRUE(es.ok()) << es.status().ToString();
+  EXPECT_NEAR(*es, 15.0 + 5.0, 1e-12);
+
+  // Oracle comparison on a random WSD (numeric columns only).
+  Rng rng(23);
+  testing_util::RandomWsdOptions opt;
+  opt.allow_strings = false;
+  opt.p_uncertain_cell = 0.5;
+  WsdDb rdb = testing_util::RandomWsd(&rng, opt);
+  auto expected = [&] {
+    auto worlds = EnumerateWorlds(rdb, 1u << 16);
+    EXPECT_TRUE(worlds.ok());
+    double acc = 0;
+    for (const auto& w : *worlds) {
+      for (const auto& row : w.catalog.Get("R0").value()->rows()) {
+        if (row[0].is_numeric()) acc += w.prob * row[0].NumericValue();
+      }
+    }
+    return acc;
+  }();
+  auto actual = ExpectedSum(rdb, "R0", "a0");
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_NEAR(*actual, expected, 1e-9);
+}
+
+TEST(EsumTest, GatedTuplesCountConditionally) {
+  // After repair, the value contributes only in worlds where its tuple
+  // was chosen.
+  WsdDb db = DirtyPersons();
+  ASSERT_TRUE(RepairKey(&db, "p", {"id"}, "w").ok());
+  auto es = ExpectedSum(db, "p", "w");
+  ASSERT_TRUE(es.ok());
+  // id1: 3*(3/4)+1*(1/4)=2.5; id2: 1; id3: 2*(1/2)+1*(1/4)+1*(1/4)=1.5.
+  EXPECT_NEAR(*es, 2.5 + 1.0 + 1.5, 1e-12);
+}
+
+TEST(EsumTest, SqlSurface) {
+  sql::Session session;
+  auto setup = session.ExecuteScript(R"sql(
+    CREATE TABLE t (v INT);
+    INSERT INTO t VALUES ({10: 0.5, 20: 0.5}), (5);
+  )sql");
+  ASSERT_TRUE(setup.ok());
+  auto es = session.Execute("SELECT ESUM(v) FROM t");
+  ASSERT_TRUE(es.ok()) << es.status().ToString();
+  EXPECT_NEAR(es->table.row(0)[0].as_double(), 20.0, 1e-12);
+  auto filtered = session.Execute("SELECT ESUM(v) FROM t WHERE v > 5");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_NEAR(filtered->table.row(0)[0].as_double(), 15.0, 1e-12);
+  EXPECT_EQ(session.Execute("SELECT ESUM(v), PROB() FROM t").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(EsumTest, TypeErrors) {
+  WsdDb db = DirtyPersons();
+  EXPECT_EQ(ExpectedSum(db, "p", "city").status().code(),
+            StatusCode::kTypeMismatch);
+  EXPECT_EQ(ExpectedSum(db, "p", "nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace maybms

@@ -1,0 +1,165 @@
+// Tests for WSD persistence: exact round-trips, distribution
+// preservation, tricky values, and corrupted-input handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/builder.h"
+#include "core/lifted.h"
+#include "core/serialize.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace {
+
+using testing_util::ExpectDistEq;
+using testing_util::MedicalExample;
+using testing_util::RelationDistribution;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SerializeTest, MedicalExampleRoundTrip) {
+  WsdDb db = MedicalExample();
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDb(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+  EXPECT_EQ(back->NumLiveComponents(), db.NumLiveComponents());
+  auto a = EnumerateWorlds(db);
+  auto b = EnumerateWorlds(*back);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectDistEq(RelationDistribution(*a, "R"), RelationDistribution(*b, "R"));
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  WsdDb db = MedicalExample();
+  std::string path = TempPath("maybms_roundtrip.wsd");
+  MAYBMS_ASSERT_OK(SaveWsdDb(db, path));
+  auto back = LoadWsdDb(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->GetRelation("R").value()->NumTuples(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TrickyValuesSurvive) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation(
+      "t", Schema({{"s", ValueType::kString},
+                   {"d", ValueType::kDouble},
+                   {"b", ValueType::kBool},
+                   {"i", ValueType::kInt}})));
+  ASSERT_TRUE(
+      InsertTuple(&db, "t",
+                  {CellSpec::OrSet({{Value::String("with space\nand\n"
+                                                   "newlines: s5:x"),
+                                     0.5},
+                                    {Value::String(""), 0.5}}),
+                   CellSpec::Certain(Value::Double(-0.1)),
+                   CellSpec::Certain(Value::Bool(false)),
+                   CellSpec::Certain(Value::Int(-9223372036854775807LL))})
+          .ok());
+  ASSERT_TRUE(InsertTuple(&db, "t",
+                          {CellSpec::Certain(Value::Null()),
+                           CellSpec::Certain(Value::Double(1e-300)),
+                           CellSpec::Certain(Value::Null()),
+                           CellSpec::Certain(Value::Null())})
+                  .ok());
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDb(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  auto a = EnumerateWorlds(db);
+  auto b = EnumerateWorlds(*back);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectDistEq(RelationDistribution(*a, "t"), RelationDistribution(*b, "t"));
+}
+
+TEST(SerializeTest, GapsInComponentIdsSurvive) {
+  // Removing a component leaves a dead id; the writer/reader must keep
+  // the remaining ids stable because cells reference them.
+  WsdDb db = MedicalExample();
+  // Force a gap: merge the two components (kills both ids, creates a new
+  // higher one), so the live set is {2} with dead 0 and 1.
+  auto merged = db.MergeComponents(db.LiveComponents(), 1u << 12);
+  ASSERT_TRUE(merged.ok());
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDb(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+  auto a = EnumerateWorlds(db);
+  auto b = EnumerateWorlds(*back);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectDistEq(RelationDistribution(*a, "R"), RelationDistribution(*b, "R"));
+}
+
+TEST(SerializeTest, LoadedDbSupportsFurtherOperations) {
+  WsdDb db = MedicalExample();
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDb(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok());
+  // Owner counter was restored: new inserts must not collide with loaded
+  // owners.
+  auto h = InsertTuple(&*back, "R",
+                       {CellSpec::UniformOrSet({Value::String("x"),
+                                                Value::String("y")}),
+                        CellSpec::Certain(Value::String("t")),
+                        CellSpec::Certain(Value::String("s"))});
+  ASSERT_TRUE(h.ok());
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+  auto pred = Expr::Compare(CompareOp::kEq, Expr::Column("Diagnosis"),
+                            Expr::Const(Value::String("pregnancy")));
+  MAYBMS_ASSERT_OK(LiftedSelect(&*back, "R", pred, "ans"));
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+}
+
+class SerializeRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializeRandom, RoundTripPreservesDistribution) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6121 + 41);
+  testing_util::RandomWsdOptions opt;
+  opt.p_uncertain_cell = 0.5;
+  opt.p_joint = 0.4;
+  WsdDb db = testing_util::RandomWsd(&rng, opt);
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDb(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+  auto a = EnumerateWorlds(db, 1u << 16);
+  auto b = EnumerateWorlds(*back, 1u << 16);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectDistEq(RelationDistribution(*a, "R0"),
+               RelationDistribution(*b, "R0"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRandom, ::testing::Range(0, 15));
+
+TEST(SerializeTest, CorruptedInputsFailCleanly) {
+  auto parse = [](const std::string& text) {
+    std::stringstream ss(text);
+    return ReadWsdDb(ss).status().code();
+  };
+  EXPECT_EQ(parse(""), StatusCode::kParseError);
+  EXPECT_EQ(parse("NOT-A-WSD 1"), StatusCode::kParseError);
+  EXPECT_EQ(parse("MAYBMS-WSD 99"), StatusCode::kUnsupported);
+  EXPECT_EQ(parse("MAYBMS-WSD 1\nOPTIONS x"), StatusCode::kParseError);
+  // Truncated mid-component.
+  WsdDb db = MedicalExample();
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDb(db, ss));
+  std::string full = ss.str();
+  EXPECT_EQ(parse(full.substr(0, full.size() / 2)), StatusCode::kParseError);
+  EXPECT_EQ(LoadWsdDb("/nonexistent/x.wsd").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace maybms

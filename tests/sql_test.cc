@@ -1,0 +1,345 @@
+// Tests for the SQL front-end: lexer, parser, planner, optimizer, and the
+// Session end-to-end (including the paper's query written in the actual
+// query language).
+#include <gtest/gtest.h>
+
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "sql/session.h"
+#include "sql/token.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace sql {
+namespace {
+
+TEST(TokenTest, BasicKinds) {
+  auto tokens = Tokenize("select a.b, 'it''s' 1 2.5 <= <> -> {x: 0.4}");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  const auto& t = *tokens;
+  EXPECT_TRUE(t[0].IsKeyword("SELECT"));
+  EXPECT_EQ(t[1].text, "a.b");
+  EXPECT_EQ(t[3].kind, TokenKind::kString);
+  EXPECT_EQ(t[3].text, "it's");
+  EXPECT_EQ(t[4].int_value, 1);
+  EXPECT_DOUBLE_EQ(t[5].float_value, 2.5);
+  EXPECT_TRUE(t[6].IsSymbol("<="));
+  EXPECT_TRUE(t[7].IsSymbol("<>"));
+  EXPECT_TRUE(t[8].IsSymbol("->"));
+  EXPECT_TRUE(t.back().kind == TokenKind::kEnd);
+}
+
+TEST(TokenTest, CommentsAndErrors) {
+  auto tokens = Tokenize("select -- comment\n 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].int_value, 1);
+  EXPECT_EQ(Tokenize("select 'open").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(Tokenize("select @").status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, CreateInsertSelect) {
+  auto create = ParseStatement(
+      "CREATE TABLE r (a INT, b STRING, c DOUBLE, d BOOL)");
+  ASSERT_TRUE(create.ok()) << create.status().ToString();
+  EXPECT_EQ(create->kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ(create->create_table->schema.size(), 4u);
+
+  auto insert = ParseStatement(
+      "INSERT INTO r VALUES (1, {'x': 0.4, 'y': 0.6}), (2, 'z')");
+  ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+  ASSERT_EQ(insert->insert->rows.size(), 2u);
+  EXPECT_TRUE(insert->insert->rows[0][1].is_orset);
+  EXPECT_EQ(insert->insert->rows[0][1].alternatives.size(), 2u);
+  EXPECT_DOUBLE_EQ(insert->insert->rows[0][1].probs[1], 0.6);
+  EXPECT_FALSE(insert->insert->rows[1][1].is_orset);
+
+  auto select = ParseStatement(
+      "SELECT a, prob() FROM r WHERE b = 'x' AND a >= 1 ORDER BY a DESC");
+  ASSERT_TRUE(select.ok()) << select.status().ToString();
+  const SelectStmt& s = *select->select;
+  EXPECT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].kind, SelectItem::Kind::kProb);
+  ASSERT_TRUE(s.where != nullptr);
+  EXPECT_EQ(s.order_by.size(), 1u);
+  EXPECT_TRUE(s.order_by[0].descending);
+}
+
+TEST(ParserTest, ModesAndCompound) {
+  auto p = ParseStatement("POSSIBLE SELECT a FROM r");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->select->mode, SelectMode::kPossible);
+  auto c = ParseStatement("CERTAIN SELECT a FROM r");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->select->mode, SelectMode::kCertain);
+  auto u = ParseStatement("SELECT a FROM r UNION SELECT a FROM s");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->select->compound, SelectStmt::Compound::kUnion);
+  auto e = ParseStatement("SELECT a FROM r EXCEPT SELECT a FROM s");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->select->compound, SelectStmt::Compound::kExcept);
+}
+
+TEST(ParserTest, EnforceVariants) {
+  auto check = ParseStatement("ENFORCE CHECK (age >= 0) ON census");
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_EQ(check->enforce->kind, EnforceStmt::Kind::kCheck);
+  auto key = ParseStatement("ENFORCE KEY (id) ON census");
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key->enforce->kind, EnforceStmt::Kind::kKey);
+  auto fd = ParseStatement("ENFORCE FD city -> state ON census");
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->enforce->kind, EnforceStmt::Kind::kFd);
+  EXPECT_EQ(fd->enforce->lhs.size(), 1u);
+  EXPECT_EQ(fd->enforce->rhs.size(), 1u);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_EQ(ParseStatement("SELECT FROM r").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseStatement("SELECT a").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseStatement("CREATE TABLE r (a BLOB)").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseStatement("INSERT INTO r VALUES (1").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseStatement("nonsense").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseStatement("SELECT a FROM r; SELECT").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParserTest, ScriptSplitsStatements) {
+  auto script = ParseScript(
+      "CREATE TABLE r (a INT); INSERT INTO r VALUES (1); SELECT a FROM r;");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ(script->size(), 3u);
+}
+
+TEST(OptimizerTest, ProductBecomesJoinWithPushdown) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation(
+      "r", Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}})));
+  MAYBMS_ASSERT_OK(db.CreateRelation(
+      "s", Schema({{"a", ValueType::kInt}, {"c", ValueType::kInt}})));
+  auto stmt = ParseStatement(
+      "SELECT b FROM r, s WHERE r.a = s.a AND b > 1 AND c < 5");
+  // Column names: left table keeps bare names (a, b); right side gets
+  // prefixed on collision (s.a) and keeps c.
+  ASSERT_TRUE(stmt.ok());
+  // Fix the predicate names to the actual concat schema: a, b, s.a, c.
+  auto stmt2 = ParseStatement(
+      "SELECT b FROM r, s WHERE a = s.a AND b > 1 AND c < 5");
+  ASSERT_TRUE(stmt2.ok());
+  auto planned = PlanSelect(*stmt2->select, db);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  auto optimized = Optimize(planned->plan, db);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  std::string text = (*optimized)->ToString();
+  EXPECT_NE(text.find("Join"), std::string::npos) << text;
+  // Pushed selections sit below the join.
+  size_t join_pos = text.find("Join");
+  EXPECT_NE(text.find("Select", join_pos), std::string::npos) << text;
+}
+
+TEST(SessionTest, EndToEndMedicalScenario) {
+  Session session;
+  auto r1 = session.Execute(
+      "CREATE TABLE R (Diagnosis STRING, Test STRING, Symptom STRING)");
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  // The or-set encoding of the medical example (fields independent here).
+  auto r2 = session.Execute(
+      "INSERT INTO R VALUES "
+      "({'pregnancy': 0.4, 'hypothyroidism': 0.6}, "
+      " {'ultrasound': 0.4, 'TSH': 0.6}, "
+      " {'weight gain': 0.7, 'fatigue': 0.3}), "
+      "('obesity', 'BMI', 'weight gain')");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+
+  auto prob = session.Execute(
+      "SELECT Test, prob() FROM R WHERE Diagnosis = 'pregnancy'");
+  ASSERT_TRUE(prob.ok()) << prob.status().ToString();
+  ASSERT_EQ(prob->kind, StatementResult::Kind::kTable);
+  // ultrasound recommended with prob 0.4*0.4 (independent encoding),
+  // TSH with 0.4*0.6.
+  ASSERT_EQ(prob->table.NumRows(), 2u);
+  EXPECT_EQ(prob->table.schema().attr(1).name, "prob");
+  double total = prob->table.row(0)[1].as_double() +
+                 prob->table.row(1)[1].as_double();
+  EXPECT_NEAR(total, 0.4, 1e-9);
+}
+
+TEST(SessionTest, PaperJointExampleViaApiThenSql) {
+  // Build the exact paper WSD via the builder API, then query in SQL.
+  Session session(testing_util::MedicalExample());
+  auto prob = session.Execute(
+      "SELECT Test, prob() FROM R WHERE Diagnosis = 'pregnancy'");
+  ASSERT_TRUE(prob.ok()) << prob.status().ToString();
+  ASSERT_EQ(prob->table.NumRows(), 1u);
+  EXPECT_EQ(prob->table.row(0)[0], Value::String("ultrasound"));
+  EXPECT_NEAR(prob->table.row(0)[1].as_double(), 0.4, 1e-12);
+
+  auto ws = session.Execute(
+      "SELECT Test FROM R WHERE Diagnosis = 'pregnancy'");
+  ASSERT_TRUE(ws.ok());
+  ASSERT_EQ(ws->kind, StatementResult::Kind::kWorldSet);
+  auto worlds = EnumerateWorlds(ws->world_set);
+  ASSERT_TRUE(worlds.ok());
+  auto merged = MergeEqualWorlds(std::move(*worlds));
+  EXPECT_EQ(merged.size(), 2u);  // {ultrasound} and {}
+}
+
+TEST(SessionTest, PossibleAndCertain) {
+  Session session(testing_util::MedicalExample());
+  auto possible = session.Execute("POSSIBLE SELECT Symptom FROM R");
+  ASSERT_TRUE(possible.ok()) << possible.status().ToString();
+  EXPECT_EQ(possible->table.NumRows(), 2u);  // weight gain, fatigue
+  auto certain = session.Execute("CERTAIN SELECT Symptom FROM R");
+  ASSERT_TRUE(certain.ok());
+  ASSERT_EQ(certain->table.NumRows(), 1u);  // r2's weight gain is certain
+  EXPECT_EQ(certain->table.row(0)[0], Value::String("weight gain"));
+}
+
+TEST(SessionTest, EcountAndDistinct) {
+  Session session(testing_util::MedicalExample());
+  auto ec = session.Execute(
+      "SELECT ecount() FROM R WHERE Symptom = 'weight gain'");
+  ASSERT_TRUE(ec.ok()) << ec.status().ToString();
+  ASSERT_EQ(ec->table.NumRows(), 1u);
+  EXPECT_NEAR(ec->table.row(0)[0].as_double(), 1.7, 1e-12);
+
+  auto d = session.Execute("SELECT DISTINCT Symptom FROM R");
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->kind, StatementResult::Kind::kWorldSet);
+}
+
+TEST(SessionTest, EnforceStatement) {
+  Session session;
+  MAYBMS_ASSERT_OK(
+      session.Execute("CREATE TABLE p (id INT, age INT)").status());
+  MAYBMS_ASSERT_OK(session
+                       .Execute("INSERT INTO p VALUES "
+                                "(1, {30: 0.6, -5: 0.4}), (2, 12)")
+                       .status());
+  auto enforce = session.Execute("ENFORCE CHECK (age >= 0) ON p");
+  ASSERT_TRUE(enforce.ok()) << enforce.status().ToString();
+  EXPECT_NE(enforce->message.find("0.4"), std::string::npos)
+      << enforce->message;
+  // Now age is certain 30.
+  auto certain = session.Execute("CERTAIN SELECT age FROM p WHERE id = 1");
+  ASSERT_TRUE(certain.ok());
+  ASSERT_EQ(certain->table.NumRows(), 1u);
+  EXPECT_EQ(certain->table.row(0)[0], Value::Int(30));
+}
+
+TEST(SessionTest, ShowAndExplain) {
+  Session session(testing_util::MedicalExample());
+  auto tables = session.Execute("SHOW TABLES");
+  ASSERT_TRUE(tables.ok());
+  EXPECT_NE(tables->message.find("R"), std::string::npos);
+  auto worlds = session.Execute("SHOW WORLDS");
+  ASSERT_TRUE(worlds.ok());
+  EXPECT_NE(worlds->message.find("4 distinct world"), std::string::npos)
+      << worlds->message;
+  auto explain = session.Execute(
+      "EXPLAIN SELECT Test FROM R WHERE Diagnosis = 'pregnancy'");
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->message.find("Select"), std::string::npos);
+  EXPECT_NE(explain->message.find("Scan R"), std::string::npos);
+}
+
+TEST(SessionTest, JoinAcrossTables) {
+  Session session;
+  MAYBMS_ASSERT_OK(
+      session.Execute("CREATE TABLE person (name STRING, city STRING)")
+          .status());
+  MAYBMS_ASSERT_OK(
+      session.Execute("CREATE TABLE geo (city STRING, country STRING)")
+          .status());
+  MAYBMS_ASSERT_OK(session
+                       .Execute("INSERT INTO person VALUES "
+                                "('ann', {'berlin': 0.8, 'paris': 0.2}), "
+                                "('bob', 'paris')")
+                       .status());
+  MAYBMS_ASSERT_OK(session
+                       .Execute("INSERT INTO geo VALUES "
+                                "('berlin', 'de'), ('paris', 'fr')")
+                       .status());
+  auto prob = session.Execute(
+      "SELECT name, country, prob() FROM person, geo "
+      "WHERE city = geo.city");
+  ASSERT_TRUE(prob.ok()) << prob.status().ToString();
+  ASSERT_EQ(prob->table.NumRows(), 3u);
+  // (bob, fr) certain; (ann, de) 0.8; (ann, fr) 0.2.
+  double p_sum = 0;
+  for (const auto& row : prob->table.rows()) p_sum += row[2].as_double();
+  EXPECT_NEAR(p_sum, 2.0, 1e-9);
+}
+
+TEST(SessionTest, SelfJoinWithAliases) {
+  Session session;
+  MAYBMS_ASSERT_OK(
+      session.Execute("CREATE TABLE r (id INT, v INT)").status());
+  MAYBMS_ASSERT_OK(session
+                       .Execute("INSERT INTO r VALUES "
+                                "(1, {10: 0.5, 20: 0.5}), (2, 10)")
+                       .status());
+  // Pairs of distinct tuples with equal v: only in 50% of worlds.
+  auto prob = session.Execute(
+      "SELECT a.id, b.id, prob() FROM r a, r b "
+      "WHERE a.v = b.v AND a.id < b.id");
+  ASSERT_TRUE(prob.ok()) << prob.status().ToString();
+  ASSERT_EQ(prob->table.NumRows(), 1u);
+  EXPECT_NEAR(prob->table.row(0)[2].as_double(), 0.5, 1e-9);
+}
+
+TEST(SessionTest, ExceptStatement) {
+  Session session;
+  MAYBMS_ASSERT_OK(session.Execute("CREATE TABLE a (x INT)").status());
+  MAYBMS_ASSERT_OK(session.Execute("CREATE TABLE b (x INT)").status());
+  MAYBMS_ASSERT_OK(
+      session.Execute("INSERT INTO a VALUES (1), (2)").status());
+  MAYBMS_ASSERT_OK(
+      session.Execute("INSERT INTO b VALUES ({1: 0.5, 3: 0.5})").status());
+  auto prob =
+      session.Execute("SELECT x FROM a EXCEPT SELECT x FROM b");
+  ASSERT_TRUE(prob.ok()) << prob.status().ToString();
+  auto conf = session.Execute(
+      "POSSIBLE SELECT x FROM a EXCEPT SELECT x FROM b");
+  ASSERT_TRUE(conf.ok()) << conf.status().ToString();
+  // 1 survives in half the worlds, 2 always.
+  ASSERT_EQ(conf->table.NumRows(), 2u);
+}
+
+TEST(SessionTest, ErrorsSurfaceCleanly) {
+  Session session;
+  EXPECT_EQ(session.Execute("SELECT x FROM nope").status().code(),
+            StatusCode::kNotFound);
+  MAYBMS_ASSERT_OK(session.Execute("CREATE TABLE t (x INT)").status());
+  EXPECT_EQ(session.Execute("CREATE TABLE t (x INT)").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(session.Execute("INSERT INTO t VALUES ('str')").status().code(),
+            StatusCode::kTypeMismatch);
+  EXPECT_EQ(
+      session.Execute("INSERT INTO t VALUES ({1: 0.5, 2: 0.6})")
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);  // probs sum to 1.1
+}
+
+TEST(SessionTest, ScriptExecution) {
+  Session session;
+  auto results = session.ExecuteScript(
+      "CREATE TABLE t (x INT);"
+      "INSERT INTO t VALUES ({1: 0.9, 2: 0.1});"
+      "POSSIBLE SELECT x FROM t;");
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_EQ((*results)[2].table.NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace maybms

@@ -1,0 +1,247 @@
+// Unit tests for src/storage: Value semantics (incl. ⊥), Schema, Relation,
+// Catalog, CSV round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/catalog.h"
+#include "storage/csv.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "tests/test_util.h"
+
+namespace maybms {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bottom().is_bottom());
+  EXPECT_TRUE(Value::Bool(true).as_bool());
+  EXPECT_EQ(Value::Int(-3).as_int(), -3);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::String("hi").as_string(), "hi");
+}
+
+TEST(ValueTest, NumericEqualityAcrossIntDouble) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_NE(Value::Int(2), Value::Double(2.5));
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Double(2.0).Hash());
+}
+
+TEST(ValueTest, TotalOrder) {
+  // BOTTOM < NULL < bool < numeric < string
+  EXPECT_LT(Value::Bottom(), Value::Null());
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(3), Value::String(""));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Double(1.5), Value::Int(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Bottom().Compare(Value::Bottom()), 0);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bottom().ToString(), "\xE2\x8A\xA5");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("o'brien").ToString(), "'o''brien'");
+}
+
+TEST(ValueTest, SerializedSizeModel) {
+  EXPECT_EQ(Value::Null().SerializedSize(), 1u);
+  EXPECT_EQ(Value::Bottom().SerializedSize(), 1u);
+  EXPECT_EQ(Value::Bool(true).SerializedSize(), 2u);
+  EXPECT_EQ(Value::Int(1).SerializedSize(), 9u);
+  EXPECT_EQ(Value::Double(1).SerializedSize(), 9u);
+  EXPECT_EQ(Value::String("abc").SerializedSize(), 1u + 4u + 3u);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+  EXPECT_NE(Value::Null().Hash(), Value::Bottom().Hash());
+}
+
+TEST(SchemaTest, LookupIsCaseInsensitive) {
+  Schema s({{"Age", ValueType::kInt}, {"Name", ValueType::kString}});
+  EXPECT_EQ(s.IndexOf("age").value(), 0u);
+  EXPECT_EQ(s.IndexOf("NAME").value(), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+  auto r = s.Resolve("nope");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, AddRejectsDuplicates) {
+  Schema s;
+  MAYBMS_ASSERT_OK(s.Add({"a", ValueType::kInt}));
+  EXPECT_EQ(s.Add({"A", ValueType::kString}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ConcatDisambiguates) {
+  Schema l({{"id", ValueType::kInt}, {"v", ValueType::kString}});
+  Schema r({{"id", ValueType::kInt}, {"w", ValueType::kString}});
+  Schema c = Schema::Concat(l, r, "S");
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.attr(2).name, "S.id");
+  EXPECT_EQ(c.attr(3).name, "w");
+}
+
+TEST(SchemaTest, ProjectKeepsOrderAndRenamesDups) {
+  Schema s({{"a", ValueType::kInt},
+            {"b", ValueType::kString},
+            {"c", ValueType::kDouble}});
+  Schema p = s.Project({2, 0, 0});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.attr(0).name, "c");
+  EXPECT_EQ(p.attr(1).name, "a");
+  EXPECT_EQ(p.attr(2).name, "a_2");
+}
+
+Relation SampleRelation() {
+  Relation r("people", Schema({{"name", ValueType::kString},
+                               {"age", ValueType::kInt}}));
+  EXPECT_TRUE(r.Append({Value::String("ann"), Value::Int(34)}).ok());
+  EXPECT_TRUE(r.Append({Value::String("bob"), Value::Int(25)}).ok());
+  EXPECT_TRUE(r.Append({Value::String("ann"), Value::Int(34)}).ok());
+  return r;
+}
+
+TEST(RelationTest, AppendValidatesArityAndTypes) {
+  Relation r = SampleRelation();
+  EXPECT_EQ(r.Append({Value::Int(1)}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.Append({Value::Int(1), Value::Int(2)}).code(),
+            StatusCode::kTypeMismatch);
+  // NULL fits any type; ⊥ never does.
+  EXPECT_TRUE(r.Append({Value::Null(), Value::Null()}).ok());
+  EXPECT_EQ(r.Append({Value::Bottom(), Value::Int(1)}).code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST(RelationTest, BagEqualsIgnoresOrder) {
+  Relation a = SampleRelation();
+  Relation b("other", a.schema());
+  b.AppendUnchecked({Value::String("ann"), Value::Int(34)});
+  b.AppendUnchecked({Value::String("ann"), Value::Int(34)});
+  b.AppendUnchecked({Value::String("bob"), Value::Int(25)});
+  EXPECT_TRUE(a.BagEquals(b));
+  b.AppendUnchecked({Value::String("zed"), Value::Int(1)});
+  EXPECT_FALSE(a.BagEquals(b));
+}
+
+TEST(RelationTest, BagEqualsIsMultisetSensitive) {
+  Relation a("a", Schema({{"x", ValueType::kInt}}));
+  Relation b("b", a.schema());
+  a.AppendUnchecked({Value::Int(1)});
+  a.AppendUnchecked({Value::Int(1)});
+  a.AppendUnchecked({Value::Int(2)});
+  b.AppendUnchecked({Value::Int(1)});
+  b.AppendUnchecked({Value::Int(2)});
+  b.AppendUnchecked({Value::Int(2)});
+  EXPECT_FALSE(a.BagEquals(b));
+}
+
+TEST(RelationTest, SerializedSizeCountsRows) {
+  Relation r("t", Schema({{"x", ValueType::kInt}}));
+  EXPECT_EQ(r.SerializedSize(), 0u);
+  r.AppendUnchecked({Value::Int(1)});
+  EXPECT_EQ(r.SerializedSize(), 4u + 9u);
+  r.AppendUnchecked({Value::Null()});
+  EXPECT_EQ(r.SerializedSize(), 4u + 9u + 4u + 1u);
+}
+
+TEST(RelationTest, ToStringShowsHeader) {
+  Relation r = SampleRelation();
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("'ann'"), std::string::npos);
+  EXPECT_NE(s.find("(3 rows)"), std::string::npos);
+}
+
+TEST(TupleTest, HashAndCompare) {
+  Tuple a{Value::Int(1), Value::String("x")};
+  Tuple b{Value::Int(1), Value::String("x")};
+  Tuple c{Value::Int(1), Value::String("y")};
+  EXPECT_EQ(TupleHash(a), TupleHash(b));
+  EXPECT_EQ(TupleCompare(a, b), 0);
+  EXPECT_LT(TupleCompare(a, c), 0);
+  EXPECT_GT(TupleCompare(c, a), 0);
+  Tuple shorter{Value::Int(1)};
+  EXPECT_LT(TupleCompare(shorter, a), 0);
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog cat;
+  MAYBMS_ASSERT_OK(cat.Create(SampleRelation()));
+  EXPECT_EQ(cat.Create(SampleRelation()).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(cat.Contains("PEOPLE"));  // case-insensitive
+  auto rel = cat.Get("people");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->NumRows(), 3u);
+  MAYBMS_ASSERT_OK(cat.Drop("people"));
+  EXPECT_EQ(cat.Get("people").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cat.Drop("people").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, EqualsComparesContent) {
+  Catalog a, b;
+  MAYBMS_ASSERT_OK(a.Create(SampleRelation()));
+  MAYBMS_ASSERT_OK(b.Create(SampleRelation()));
+  EXPECT_TRUE(a.Equals(b));
+  Relation* r = *b.GetMutable("people");
+  r->AppendUnchecked({Value::String("eve"), Value::Int(1)});
+  EXPECT_FALSE(a.Equals(b));
+}
+
+TEST(CsvTest, RoundTrip) {
+  Relation r("csv", Schema({{"s", ValueType::kString},
+                            {"i", ValueType::kInt},
+                            {"d", ValueType::kDouble},
+                            {"b", ValueType::kBool}}));
+  r.AppendUnchecked({Value::String("plain"), Value::Int(1),
+                     Value::Double(1.5), Value::Bool(true)});
+  r.AppendUnchecked({Value::String("has,comma \"q\""), Value::Int(-2),
+                     Value::Double(0.25), Value::Bool(false)});
+  r.AppendUnchecked({Value::Null(), Value::Null(), Value::Null(),
+                     Value::Null()});
+  std::string path =
+      (std::filesystem::temp_directory_path() / "maybms_csv_test.csv")
+          .string();
+  MAYBMS_ASSERT_OK(WriteCsv(r, path));
+  auto back = ReadCsv(path, "csv", r.schema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(r.BagEquals(*back));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ParseValueErrors) {
+  EXPECT_EQ(ParseValueAs("abc", ValueType::kInt).status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseValueAs("1.2.3", ValueType::kDouble).status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseValueAs("yes", ValueType::kBool).status().code(),
+            StatusCode::kParseError);
+  auto v = ParseValueAs("", ValueType::kInt);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(CsvTest, ParseCsvLineQuoting) {
+  auto f = ParseCsvLine("a,\"b,c\",\"d\"\"e\"");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b,c");
+  EXPECT_EQ(f[2], "d\"e");
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto r = ReadCsv("/nonexistent/file.csv", "x",
+                   Schema({{"a", ValueType::kInt}}));
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace maybms

@@ -1,0 +1,307 @@
+// Unit tests for the WSD core: components, builder, database invariants,
+// world counting, sizes, existence probabilities, enumeration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/builder.h"
+#include "core/wsd.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace {
+
+using testing_util::MedicalExample;
+
+TEST(ComponentTest, AddSlotAndRows) {
+  Component c;
+  c.AddSlot({1, "x"}, Value::Null());
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(1)}, 0.5}));
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(2)}, 0.5}));
+  EXPECT_EQ(c.NumSlots(), 1u);
+  EXPECT_EQ(c.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(c.TotalMass(), 1.0);
+  EXPECT_EQ(c.AddRow({{Value::Int(1), Value::Int(2)}, 0.1}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(c.AddRow({{Value::Int(1)}, 1.5}).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ComponentTest, DedupRowsSumsProbabilities) {
+  Component c;
+  c.AddSlot({1, "x"}, Value::Null());
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(1)}, 0.3}));
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(2)}, 0.5}));
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(1)}, 0.2}));
+  c.DedupRows();
+  ASSERT_EQ(c.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(c.row(0).prob, 0.5);
+  EXPECT_DOUBLE_EQ(c.row(1).prob, 0.5);
+  EXPECT_EQ(c.row(0).values[0], Value::Int(1));  // first-occurrence order
+}
+
+TEST(ComponentTest, DropSlotsMarginalizes) {
+  Component c;
+  c.AddSlot({1, "x"}, Value::Null());
+  c.AddSlot({2, "y"}, Value::Null());
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(1), Value::Int(10)}, 0.25}));
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(1), Value::Int(20)}, 0.25}));
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(2), Value::Int(10)}, 0.5}));
+  c.DropSlots({1});
+  ASSERT_EQ(c.NumSlots(), 1u);
+  ASSERT_EQ(c.NumRows(), 2u);  // (1) merged, (2) kept
+  EXPECT_DOUBLE_EQ(c.row(0).prob, 0.5);
+  EXPECT_DOUBLE_EQ(c.row(1).prob, 0.5);
+}
+
+TEST(ComponentTest, ProductMultipliesRowsAndProbs) {
+  Component a, b;
+  a.AddSlot({1, "x"}, Value::Null());
+  b.AddSlot({2, "y"}, Value::Null());
+  MAYBMS_ASSERT_OK(a.AddRow({{Value::Int(1)}, 0.4}));
+  MAYBMS_ASSERT_OK(a.AddRow({{Value::Int(2)}, 0.6}));
+  MAYBMS_ASSERT_OK(b.AddRow({{Value::String("u")}, 0.5}));
+  MAYBMS_ASSERT_OK(b.AddRow({{Value::String("v")}, 0.5}));
+  auto p = Component::Product(a, b, 100);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->NumRows(), 4u);
+  EXPECT_EQ(p->NumSlots(), 2u);
+  EXPECT_DOUBLE_EQ(p->row(0).prob, 0.2);
+  EXPECT_DOUBLE_EQ(p->TotalMass(), 1.0);
+  EXPECT_EQ(Component::Product(a, b, 3).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ComponentTest, RenormalizeAfterConditioning) {
+  Component c;
+  c.AddSlot({1, "x"}, Value::Null());
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(1)}, 0.4}));
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(2)}, 0.4}));
+  MAYBMS_ASSERT_OK(c.Renormalize());
+  EXPECT_DOUBLE_EQ(c.row(0).prob, 0.5);
+  Component empty;
+  empty.AddSlot({1, "x"}, Value::Null());
+  EXPECT_EQ(empty.Renormalize().code(), StatusCode::kInconsistent);
+}
+
+TEST(BuilderTest, FromCatalogIsSingleWorld) {
+  Catalog cat;
+  Relation r("r", Schema({{"x", ValueType::kInt}}));
+  r.AppendUnchecked({Value::Int(1)});
+  r.AppendUnchecked({Value::Int(2)});
+  MAYBMS_ASSERT_OK(cat.Create(std::move(r)));
+  WsdDb db = FromCatalog(cat);
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  EXPECT_EQ(db.NumLiveComponents(), 0u);
+  EXPECT_DOUBLE_EQ(db.Log2WorldCount(), 0.0);
+  auto worlds = EnumerateWorlds(db);
+  ASSERT_TRUE(worlds.ok());
+  ASSERT_EQ(worlds->size(), 1u);
+  EXPECT_DOUBLE_EQ((*worlds)[0].prob, 1.0);
+  EXPECT_EQ((*worlds)[0].catalog.Get("r").value()->NumRows(), 2u);
+}
+
+TEST(BuilderTest, OrSetCellCreatesComponent) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(
+      db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  auto h = InsertTuple(&db, "r",
+                       {CellSpec::OrSet({{Value::Int(1), 0.3},
+                                         {Value::Int(2), 0.7}})});
+  ASSERT_TRUE(h.ok());
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  EXPECT_EQ(db.NumLiveComponents(), 1u);
+  auto count = db.WorldCountIfSmall();
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 2u);
+}
+
+TEST(BuilderTest, OrSetValidation) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  EXPECT_EQ(InsertTuple(&db, "r", {CellSpec::OrSet({})}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(InsertTuple(&db, "r",
+                        {CellSpec::OrSet({{Value::Int(1), 0.3},
+                                          {Value::Int(2), 0.3}})})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // sums to 0.6
+  EXPECT_EQ(InsertTuple(&db, "r",
+                        {CellSpec::OrSet({{Value::String("x"), 1.0}})})
+                .status()
+                .code(),
+            StatusCode::kTypeMismatch);
+  EXPECT_EQ(
+      InsertTuple(&db, "r", {CellSpec::Certain(Value::Int(1)),
+                             CellSpec::Certain(Value::Int(2))})
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);  // arity
+}
+
+TEST(BuilderTest, UniformOrSet) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  auto h = InsertTuple(
+      &db, "r",
+      {CellSpec::UniformOrSet({Value::Int(1), Value::Int(2), Value::Int(4)})});
+  ASSERT_TRUE(h.ok());
+  const Component& c = db.component(0);
+  ASSERT_EQ(c.NumRows(), 3u);
+  for (const auto& row : c.rows()) EXPECT_NEAR(row.prob, 1.0 / 3, 1e-12);
+}
+
+TEST(BuilderTest, MakeCellUncertain) {
+  Catalog cat;
+  Relation r("r", Schema({{"x", ValueType::kInt}, {"y", ValueType::kInt}}));
+  r.AppendUnchecked({Value::Int(1), Value::Int(2)});
+  MAYBMS_ASSERT_OK(cat.Create(std::move(r)));
+  WsdDb db = FromCatalog(cat);
+  auto cid = MakeCellUncertain(&db, "r", 0, 1,
+                               {{Value::Int(2), 0.8}, {Value::Int(9), 0.2}});
+  ASSERT_TRUE(cid.ok()) << cid.status().ToString();
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  EXPECT_EQ(db.NumLiveComponents(), 1u);
+  // Cell already uncertain -> error.
+  EXPECT_EQ(MakeCellUncertain(&db, "r", 0, 1, {{Value::Int(1), 1.0}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeCellUncertain(&db, "r", 5, 0, {{Value::Int(1), 1.0}})
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(WsdDbTest, MedicalExampleShape) {
+  WsdDb db = MedicalExample();
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  EXPECT_EQ(db.NumLiveComponents(), 2u);
+  auto count = db.WorldCountIfSmall();
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 4u);
+  EXPECT_NEAR(db.Log2WorldCount(), 2.0, 1e-12);
+}
+
+TEST(WsdDbTest, MedicalExampleWorlds) {
+  WsdDb db = MedicalExample();
+  auto worlds = EnumerateWorlds(db);
+  ASSERT_TRUE(worlds.ok());
+  ASSERT_EQ(worlds->size(), 4u);
+  double total = 0;
+  for (const auto& w : *worlds) {
+    total += w.prob;
+    EXPECT_EQ(w.catalog.Get("R").value()->NumRows(), 2u);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // The paper's example world: hypothyroidism/TSH + weight gain = 0.42.
+  bool found = false;
+  for (const auto& w : *worlds) {
+    const Relation& r = *w.catalog.Get("R").value();
+    for (const auto& row : r.rows()) {
+      if (row[0] == Value::String("hypothyroidism") &&
+          row[2] == Value::String("weight gain")) {
+        EXPECT_NEAR(w.prob, 0.42, 1e-12);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WsdDbTest, ExistenceProbability) {
+  WsdDb db = MedicalExample();
+  const WsdRelation* rel = db.GetRelation("R").value();
+  EXPECT_NEAR(db.ExistenceProbability(rel->tuple(0)), 1.0, 1e-12);
+  EXPECT_NEAR(db.ExistenceProbability(rel->tuple(1)), 1.0, 1e-12);
+}
+
+TEST(WsdDbTest, MergeComponentsRemapsCells) {
+  WsdDb db = MedicalExample();
+  auto live = db.LiveComponents();
+  ASSERT_EQ(live.size(), 2u);
+  auto merged = db.MergeComponents(live, 1000);
+  ASSERT_TRUE(merged.ok());
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+  EXPECT_EQ(db.NumLiveComponents(), 1u);
+  EXPECT_EQ(db.component(*merged).NumRows(), 4u);
+  // Worlds unchanged.
+  auto worlds = EnumerateWorlds(db);
+  ASSERT_TRUE(worlds.ok());
+  EXPECT_EQ(worlds->size(), 4u);
+}
+
+TEST(WsdDbTest, MergeBudget) {
+  WsdDb db = MedicalExample();
+  auto live = db.LiveComponents();
+  EXPECT_EQ(db.MergeComponents(live, 3).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(WsdDbTest, SerializedSizeGrowsWithComponents) {
+  Catalog cat;
+  Relation r("r", Schema({{"x", ValueType::kInt}}));
+  for (int i = 0; i < 10; ++i) r.AppendUnchecked({Value::Int(i)});
+  uint64_t flat = r.SerializedSize();
+  MAYBMS_ASSERT_OK(cat.Create(std::move(r)));
+  WsdDb db = FromCatalog(cat);
+  uint64_t base = db.SerializedSize();
+  EXPECT_EQ(base, flat + 0u * 10);  // inline cells serialize like values
+  auto cid = MakeCellUncertain(&db, "r", 0, 0,
+                               {{Value::Int(0), 0.5}, {Value::Int(5), 0.5}});
+  ASSERT_TRUE(cid.ok());
+  EXPECT_GT(db.SerializedSize(), base);
+}
+
+TEST(WsdDbTest, WorldCountOverflowReturnsNullopt) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  for (int i = 0; i < 80; ++i) {
+    std::vector<CellSpec> cells;
+    cells.push_back(CellSpec::OrSet({{Value::Int(0), 0.5},
+                                     {Value::Int(1), 0.5}}));
+    ASSERT_TRUE(InsertTuple(&db, "r", std::move(cells)).ok());
+  }
+  EXPECT_FALSE(db.WorldCountIfSmall().has_value());
+  EXPECT_NEAR(db.Log2WorldCount(), 80.0, 1e-9);
+  EXPECT_EQ(EnumerateWorlds(db, 1024).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(WsdDbTest, CheckInvariantsCatchesBadMass) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  Component c;
+  c.AddSlot({1, "x"}, Value::Null());
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(1)}, 0.4}));
+  db.AddComponent(std::move(c));
+  EXPECT_EQ(db.CheckInvariants().code(), StatusCode::kInternal);
+}
+
+TEST(WsdDbTest, ToStringMentionsComponents) {
+  WsdDb db = MedicalExample();
+  std::string s = db.ToString();
+  EXPECT_NE(s.find("components:"), std::string::npos);
+  EXPECT_NE(s.find("pregnancy"), std::string::npos);
+  EXPECT_NE(s.find("0.4"), std::string::npos);
+}
+
+TEST(EnumerateTest, MergeEqualWorlds) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  // Two alternatives with the same value: worlds merge to one.
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::OrSet({{Value::Int(1), 0.5},
+                                            {Value::Int(1), 0.5}})})
+                  .ok());
+  auto worlds = EnumerateWorlds(db);
+  ASSERT_TRUE(worlds.ok());
+  EXPECT_EQ(worlds->size(), 2u);
+  auto merged = MergeEqualWorlds(std::move(*worlds));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_NEAR(merged[0].prob, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace maybms
