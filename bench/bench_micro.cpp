@@ -6,6 +6,10 @@
 // confidence computation on the paper's running example.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <unordered_map>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "core/confidence.h"
 #include "core/lifted_executor.h"
@@ -98,6 +102,185 @@ void BM_ComponentProduct(benchmark::State& state) {
                           static_cast<int64_t>(rows * rows));
 }
 BENCHMARK(BM_ComponentProduct)->Arg(8)->Arg(64)->Arg(256);
+
+// --- Row-oriented (AoS) baseline -------------------------------------------
+//
+// The pre-columnar component layout: one std::vector<Value> of tagged
+// variants per row. Product and dedup below are verbatim ports of the old
+// Component implementation, kept here so bench_micro reports the columnar
+// speedup against a faithful baseline.
+
+struct BaselineRow {
+  std::vector<Value> values;
+  double prob = 1.0;
+};
+
+struct BaselineComponent {
+  std::vector<BaselineRow> rows;
+
+  static BaselineComponent Product(const BaselineComponent& a,
+                                   const BaselineComponent& b) {
+    BaselineComponent out;
+    out.rows.reserve(a.rows.size() * b.rows.size());
+    for (const auto& ra : a.rows) {
+      for (const auto& rb : b.rows) {
+        BaselineRow row;
+        row.values.reserve(ra.values.size() + rb.values.size());
+        row.values.insert(row.values.end(), ra.values.begin(),
+                          ra.values.end());
+        row.values.insert(row.values.end(), rb.values.begin(),
+                          rb.values.end());
+        row.prob = ra.prob * rb.prob;
+        out.rows.push_back(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  void Dedup() {
+    std::unordered_map<size_t, std::vector<size_t>> seen;
+    std::vector<BaselineRow> kept;
+    kept.reserve(rows.size());
+    for (auto& row : rows) {
+      size_t h = row.values.size();
+      for (const auto& v : row.values) HashCombine(&h, v.Hash());
+      auto& bucket = seen[h];
+      bool merged = false;
+      for (size_t idx : bucket) {
+        if (kept[idx].values.size() == row.values.size()) {
+          bool eq = true;
+          for (size_t i = 0; i < row.values.size(); ++i) {
+            if (!(kept[idx].values[i] == row.values[i])) {
+              eq = false;
+              break;
+            }
+          }
+          if (eq) {
+            kept[idx].prob += row.prob;
+            merged = true;
+            break;
+          }
+        }
+      }
+      if (!merged) {
+        bucket.push_back(kept.size());
+        kept.push_back(std::move(row));
+      }
+    }
+    rows = std::move(kept);
+  }
+};
+
+Value BenchValue(size_t i, bool strings) {
+  if (strings && i % 2 == 0) {
+    return Value::String("alt-" + std::to_string(i % 8));
+  }
+  return Value::Int(static_cast<int64_t>(i));
+}
+
+void BM_ComponentProductRowBaseline(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  BaselineComponent a, b;
+  for (size_t i = 0; i < rows; ++i) {
+    a.rows.push_back({{Value::Int(static_cast<int64_t>(i))},
+                      1.0 / static_cast<double>(rows)});
+    b.rows.push_back({{Value::Int(static_cast<int64_t>(i))},
+                      1.0 / static_cast<double>(rows)});
+  }
+  for (auto _ : state) {
+    BaselineComponent p = BaselineComponent::Product(a, b);
+    benchmark::DoNotOptimize(p.rows.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows * rows));
+}
+BENCHMARK(BM_ComponentProductRowBaseline)->Arg(8)->Arg(64)->Arg(256);
+
+// Dedup over `rows` rows of 4 slots where each row appears twice; the
+// string variant exercises interning (columnar) vs per-Value string
+// hashing and comparison (baseline). range(0)=rows, range(1)=strings?
+void BM_DedupRowsColumnar(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  bool strings = state.range(1) != 0;
+  Component base;
+  for (int s = 0; s < 4; ++s) {
+    base.AddSlot({static_cast<OwnerId>(s + 1), "s"}, Value::Null());
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    size_t key = i % (rows / 2);
+    Status st = base.AddRow({{BenchValue(key, strings),
+                              BenchValue(key + 1, strings),
+                              BenchValue(key + 2, strings),
+                              BenchValue(key + 3, strings)},
+                             1.0 / static_cast<double>(rows)});
+    MAYBMS_CHECK(st.ok());
+  }
+  for (auto _ : state) {
+    Component c = base;
+    c.DedupRows();
+    benchmark::DoNotOptimize(c.NumRows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_DedupRowsColumnar)
+    ->Args({1024, 0})
+    ->Args({16384, 0})
+    ->Args({1024, 1})
+    ->Args({16384, 1});
+
+void BM_DedupRowsRowBaseline(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  bool strings = state.range(1) != 0;
+  BaselineComponent base;
+  for (size_t i = 0; i < rows; ++i) {
+    size_t key = i % (rows / 2);
+    base.rows.push_back({{BenchValue(key, strings),
+                          BenchValue(key + 1, strings),
+                          BenchValue(key + 2, strings),
+                          BenchValue(key + 3, strings)},
+                         1.0 / static_cast<double>(rows)});
+  }
+  for (auto _ : state) {
+    BaselineComponent c = base;
+    c.Dedup();
+    benchmark::DoNotOptimize(c.rows.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_DedupRowsRowBaseline)
+    ->Args({1024, 0})
+    ->Args({16384, 0})
+    ->Args({1024, 1})
+    ->Args({16384, 1});
+
+// Marginalization: drop half the slots of a wide component. Columnar
+// DropSlots discards whole columns; the baseline rebuilds every row.
+void BM_DropSlotsColumnar(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  Component base;
+  for (int s = 0; s < 8; ++s) {
+    base.AddSlot({static_cast<OwnerId>(s + 1), "s"}, Value::Null());
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    ComponentRow row;
+    for (int s = 0; s < 8; ++s) {
+      row.values.push_back(Value::Int(static_cast<int64_t>(i * 8 + s)));
+    }
+    row.prob = 1.0 / static_cast<double>(rows);
+    Status st = base.AddRow(std::move(row));
+    MAYBMS_CHECK(st.ok());
+  }
+  for (auto _ : state) {
+    Component c = base;
+    c.DropSlots({1, 3, 5, 7});
+    benchmark::DoNotOptimize(c.NumRows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_DropSlotsColumnar)->Arg(1024)->Arg(16384);
 
 void BM_LiftedSelectPerTuple(benchmark::State& state) {
   size_t records = 2000;

@@ -61,19 +61,17 @@ WsdDb DenormalizedInput(size_t records) {
     if (++k % 3 != 0) continue;
     Component& c = db.mutable_component(id);
     if (c.NumRows() < 2 || c.NumSlots() == 0) continue;
-    Value keep = c.row(0).values[0];
+    PackedValue keep = c.packed(0, 0);
     if (keep.is_bottom()) continue;
-    Component rebuilt;
-    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
-      rebuilt.AddSlot(c.slot(s), Value::Null());
-    }
+    std::vector<uint32_t> keep_rows;
     for (size_t r = 0; r < c.NumRows(); ++r) {
-      if (c.row(r).values[0] == keep) {
-        Status add = rebuilt.AddRow(c.row(r));
-        MAYBMS_CHECK(add.ok());
+      if (c.packed(r, 0) == keep) {
+        keep_rows.push_back(static_cast<uint32_t>(r));
       }
     }
-    if (rebuilt.NumRows() == 0 || rebuilt.NumRows() == c.NumRows()) continue;
+    if (keep_rows.empty() || keep_rows.size() == c.NumRows()) continue;
+    Component rebuilt = c;
+    rebuilt.KeepRows(keep_rows);
     Status rn = rebuilt.Renormalize();
     if (!rn.ok()) continue;
     c = std::move(rebuilt);

@@ -18,9 +18,19 @@ using namespace maybms::bench;
 
 int main() {
   size_t records = Scaled(50000);
+  constexpr uint64_t kSeed = 1;
   printf("E1 storage: WSD space overhead vs noise degree "
          "(census %zu records x 50 attributes)\n",
          records);
+  // Interned size of the certain baseline relation; depends only on
+  // (records, seed), so compute it once for every configuration below.
+  uint64_t interned_flat = 0;
+  {
+    Catalog cat;
+    Status st = cat.Create(GenerateCensus({records, kSeed}));
+    MAYBMS_CHECK(st.ok());
+    interned_flat = cat.Get("census").value()->InternedSize();
+  }
   printf("paper reference point: >2^624449 worlds at ~2%% overhead; the\n"
          "paper's degrees correspond to roughly 0.005%%..0.1%% of cells.\n\n");
 
@@ -29,36 +39,54 @@ int main() {
   for (size_t max_alts : {size_t(2), size_t(4)}) {
     printf("or-set size: %zu alternatives%s\n", max_alts,
            max_alts == 2 ? " (binary, as in the paper's world count)" : "");
+    // Two size models per configuration: the paper's logical flat
+    // serialization, and the interned columnar footprint the engine
+    // actually holds in memory (packed 16-byte cells + each distinct
+    // string stored once in the value pool).
     Table table({"noise%", "or-set cells", "log2(worlds)", "flat bytes",
-                 "wsd bytes", "overhead%", "naive worlds x flat"});
+                 "wsd bytes", "overhead%", "interned flat", "interned wsd",
+                 "int-ovh%", "naive worlds x flat"});
     for (double noise : {0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01}) {
       uint64_t flat = 0;
       NoiseStats stats;
       Timer t;
-      WsdDb db = BuildNoisyCensus(records, noise, /*seed=*/1, &flat, &stats,
+      WsdDb db = BuildNoisyCensus(records, noise, kSeed, &flat, &stats,
                                   /*alternatives_max=*/max_alts,
                                   /*wild_fraction=*/0.0);
       (void)t;
       uint64_t wsd = db.SerializedSize();
+      uint64_t interned_wsd = db.InternedSize();
       double overhead =
           100.0 * (static_cast<double>(wsd) / static_cast<double>(flat) - 1.0);
+      double interned_overhead =
+          100.0 * (static_cast<double>(interned_wsd) /
+                       static_cast<double>(interned_flat) -
+                   1.0);
       // A materialized world-set would need |worlds| x flat bytes.
       double naive_log10 =
           stats.log2_worlds * std::log10(2.0) +
           std::log10(static_cast<double>(flat));
-      table.AddRow({StrFormat("%.3f", noise * 100),
-                    StrFormat("%zu", stats.cells_noised),
-                    StrFormat("%.0f", stats.log2_worlds),
-                    StrFormat("%llu", static_cast<unsigned long long>(flat)),
-                    StrFormat("%llu", static_cast<unsigned long long>(wsd)),
-                    StrFormat("%.2f", overhead),
-                    StrFormat("~10^%.0f bytes", naive_log10)});
+      table.AddRow(
+          {StrFormat("%.3f", noise * 100),
+           StrFormat("%zu", stats.cells_noised),
+           StrFormat("%.0f", stats.log2_worlds),
+           StrFormat("%llu", static_cast<unsigned long long>(flat)),
+           StrFormat("%llu", static_cast<unsigned long long>(wsd)),
+           StrFormat("%.2f", overhead),
+           StrFormat("%llu", static_cast<unsigned long long>(interned_flat)),
+           StrFormat("%llu", static_cast<unsigned long long>(interned_wsd)),
+           StrFormat("%.2f", interned_overhead),
+           StrFormat("~10^%.0f bytes", naive_log10)});
     }
     table.Print();
     printf("\n");
   }
   printf("shape check vs paper: overhead grows linearly with the noise\n"
          "degree and stays in the low percent range at the paper's\n"
-         "degrees, while the represented world-set grows exponentially.\n");
+         "degrees, while the represented world-set grows exponentially.\n"
+         "The interned columns show the engine's actual in-memory\n"
+         "footprint (fixed 16-byte packed cells; every distinct string\n"
+         "stored once) — the overhead ratio stays in the same low-percent\n"
+         "band, so compactness survives the columnar representation.\n");
   return 0;
 }

@@ -44,31 +44,24 @@ class Conditioner {
     for (auto& [mid, flags] : bad_) {
       Component& c = db_->mutable_component(mid);
       double kept_mass = 0.0;
-      std::vector<ComponentRow> kept;
-      kept.reserve(c.NumRows());
+      std::vector<uint32_t> keep;
+      keep.reserve(c.NumRows());
       for (size_t r = 0; r < c.NumRows(); ++r) {
         if (!flags[r]) {
-          kept_mass += c.row(r).prob;
-          kept.push_back(std::move(c.mutable_row(r)));
+          kept_mass += c.prob(r);
+          keep.push_back(static_cast<uint32_t>(r));
         } else {
           stats->rows_removed++;
         }
       }
-      if (kept.empty() || kept_mass <= 0.0) {
+      if (keep.empty() || kept_mass <= 0.0) {
         return Status::Inconsistent(
             "constraint removes every world (component " +
             std::to_string(mid) + ")");
       }
       kept_product *= kept_mass;
-      Component rebuilt;
-      for (uint32_t s = 0; s < c.NumSlots(); ++s) {
-        rebuilt.AddSlot(c.slot(s), Value::Null());
-      }
-      for (auto& row : kept) {
-        MAYBMS_RETURN_IF_ERROR(rebuilt.AddRow(std::move(row)));
-      }
-      MAYBMS_RETURN_IF_ERROR(rebuilt.Renormalize());
-      c = std::move(rebuilt);
+      c.KeepRows(keep);
+      MAYBMS_RETURN_IF_ERROR(c.Renormalize());
     }
     stats->removed_mass = 1.0 - kept_product;
     return Status::OK();
@@ -159,10 +152,9 @@ Status EnforceDomain(WsdDb* db, const Constraint& con, EnforceStats* stats) {
       }
     }
     for (size_t r = 0; r < m.NumRows(); ++r) {
-      const ComponentRow& row = m.row(r);
       bool alive = true;
       for (uint32_t s : gating) {
-        if (row.values[s].is_bottom()) {
+        if (m.IsBottomAt(r, s)) {
           alive = false;
           break;
         }
@@ -170,12 +162,12 @@ Status EnforceDomain(WsdDb* db, const Constraint& con, EnforceStats* stats) {
       if (!alive) continue;
       bool dead_value = false;
       for (const auto& [c, slot] : ref_cols) {
-        const Value& v = row.values[slot];
+        const PackedValue& v = m.packed(r, slot);
         if (v.is_bottom()) {
           dead_value = true;
           break;
         }
-        eval_buf[c] = v;
+        eval_buf[c] = v.ToValue();
       }
       if (dead_value) continue;
       MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, eval_buf));
@@ -321,30 +313,37 @@ Status EnforcePairwise(WsdDb* db, const Constraint& con, EnforceStats* stats) {
       return g;
     };
     std::vector<uint32_t> g1 = gating_of(t1), g2 = gating_of(t2);
-    auto value_of = [&](const WsdTuple& t, size_t c,
-                        const ComponentRow& row) -> const Value& {
-      const Cell& cell = t.cells[c];
-      if (cell.is_certain()) return cell.value();
-      return row.values[cell.ref().slot];
+    // Pre-pack certain cells once so the row loop compares PackedValues
+    // only (no per-row materialization or interning).
+    using lifted_internal::MakeCellView;
+    using lifted_internal::PackedCellView;
+    auto view_of = [&](const WsdTuple& t, size_t c) {
+      return MakeCellView(t.cells[c], mid);
     };
+    std::vector<std::pair<PackedCellView, PackedCellView>> lhs_views,
+        rhs_views;
+    for (size_t c : lhs) lhs_views.push_back({view_of(t1, c), view_of(t2, c)});
+    for (size_t c : rhs) rhs_views.push_back({view_of(t1, c), view_of(t2, c)});
     for (size_t r = 0; r < m.NumRows(); ++r) {
-      const ComponentRow& row = m.row(r);
       bool alive = true;
       for (uint32_t s : g1) {
-        if (row.values[s].is_bottom()) {
+        if (m.IsBottomAt(r, s)) {
           alive = false;
           break;
         }
       }
       for (uint32_t s : g2) {
         if (!alive) break;
-        if (row.values[s].is_bottom()) alive = false;
+        if (m.IsBottomAt(r, s)) alive = false;
       }
       if (!alive) continue;
+      auto value_at = [&](const PackedCellView& view) -> const PackedValue& {
+        return view.certain ? view.value : m.packed(r, view.slot);
+      };
       bool lhs_equal = true;
-      for (size_t c : lhs) {
-        const Value& a = value_of(t1, c, row);
-        const Value& b = value_of(t2, c, row);
+      for (const auto& [va, vb] : lhs_views) {
+        const PackedValue& a = value_at(va);
+        const PackedValue& b = value_at(vb);
         if (a.is_bottom() || b.is_bottom() || !(a == b)) {
           lhs_equal = false;
           break;
@@ -356,9 +355,9 @@ Status EnforcePairwise(WsdDb* db, const Constraint& con, EnforceStats* stats) {
         violation = true;  // two distinct tuples agree on the key
       } else {
         violation = false;
-        for (size_t c : rhs) {
-          const Value& a = value_of(t1, c, row);
-          const Value& b = value_of(t2, c, row);
+        for (const auto& [va, vb] : rhs_views) {
+          const PackedValue& a = value_at(va);
+          const PackedValue& b = value_at(vb);
           if (a.is_bottom() || b.is_bottom()) {
             violation = false;  // dead value => tuple dead; caught above
             break;

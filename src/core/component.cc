@@ -2,30 +2,23 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
-
-#include "common/logging.h"
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace maybms {
 
 Value ExistsToken() { return Value::Bool(true); }
 
-uint32_t Component::AddSlot(Slot slot, const Value& fill) {
-  slots_.push_back(std::move(slot));
-  for (auto& row : rows_) row.values.push_back(fill);
-  return static_cast<uint32_t>(slots_.size() - 1);
-}
-
-uint32_t Component::AddSlotWithValues(Slot slot, std::vector<Value> values) {
-  MAYBMS_DCHECK(values.size() == rows_.size());
-  slots_.push_back(std::move(slot));
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    rows_[i].values.push_back(std::move(values[i]));
+ComponentRow Component::GetRow(size_t r) const {
+  ComponentRow row;
+  row.values.reserve(slots_.size());
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    row.values.push_back(cols_[s][r].ToValue());
   }
-  return static_cast<uint32_t>(slots_.size() - 1);
+  row.prob = probs_[r];
+  return row;
 }
 
 Status Component::AddRow(ComponentRow row) {
@@ -38,13 +31,54 @@ Status Component::AddRow(ComponentRow row) {
     return Status::OutOfRange(
         StrFormat("row probability %g outside [0,1]", row.prob));
   }
-  rows_.push_back(std::move(row));
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    cols_[s].push_back(PackedValue::FromValue(row.values[s]));
+  }
+  probs_.push_back(row.prob);
   return Status::OK();
+}
+
+Status Component::AddPackedRow(const std::vector<PackedValue>& values,
+                               double prob) {
+  if (values.size() != slots_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("component row arity %zu != slot count %zu", values.size(),
+                  slots_.size()));
+  }
+  if (prob < 0.0 || prob > 1.0 + 1e-9) {
+    return Status::OutOfRange(
+        StrFormat("row probability %g outside [0,1]", prob));
+  }
+  for (size_t s = 0; s < slots_.size(); ++s) cols_[s].push_back(values[s]);
+  probs_.push_back(prob);
+  return Status::OK();
+}
+
+uint32_t Component::AddSlot(Slot slot, const Value& fill) {
+  slots_.push_back(std::move(slot));
+  cols_.emplace_back(NumRows(), PackedValue::FromValue(fill));
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+uint32_t Component::AddSlotWithValues(Slot slot, std::vector<Value> values) {
+  MAYBMS_DCHECK(values.size() == NumRows());
+  std::vector<PackedValue> column;
+  column.reserve(values.size());
+  for (const Value& v : values) column.push_back(PackedValue::FromValue(v));
+  return AddSlotWithPacked(std::move(slot), std::move(column));
+}
+
+uint32_t Component::AddSlotWithPacked(Slot slot,
+                                      std::vector<PackedValue> column) {
+  MAYBMS_DCHECK(column.size() == NumRows());
+  slots_.push_back(std::move(slot));
+  cols_.push_back(std::move(column));
+  return static_cast<uint32_t>(slots_.size() - 1);
 }
 
 double Component::TotalMass() const {
   double total = 0.0;
-  for (const auto& row : rows_) total += row.prob;
+  for (double p : probs_) total += p;
   return total;
 }
 
@@ -53,79 +87,123 @@ Status Component::Renormalize() {
   if (mass <= 0.0) {
     return Status::Inconsistent("component has zero probability mass");
   }
-  for (auto& row : rows_) row.prob /= mass;
+  double inv = 1.0 / mass;
+  for (double& p : probs_) p *= inv;
   return Status::OK();
 }
 
 void Component::DedupRows() {
-  std::unordered_map<size_t, std::vector<size_t>> seen;  // hash -> kept idx
-  std::vector<ComponentRow> kept;
-  kept.reserve(rows_.size());
-  for (auto& row : rows_) {
-    size_t h = row.values.size();
-    for (const auto& v : row.values) HashCombine(&h, v.Hash());
-    auto& bucket = seen[h];
-    bool merged = false;
-    for (size_t idx : bucket) {
-      if (kept[idx].values.size() == row.values.size()) {
+  const size_t n = NumRows();
+  const size_t k = NumSlots();
+  if (n < 2) return;
+
+  // Row hashes, accumulated column-by-column for cache locality (every
+  // row combines its slots in the same 0..k-1 order).
+  std::vector<size_t> hashes(n, k);
+  for (size_t s = 0; s < k; ++s) {
+    const std::vector<PackedValue>& col = cols_[s];
+    for (size_t r = 0; r < n; ++r) HashCombine(&hashes[r], col[r].Hash());
+  }
+
+  // Open-addressed table of kept-row handles: no per-row heap allocation.
+  size_t cap = 16;
+  while (cap < 2 * n) cap <<= 1;
+  constexpr uint32_t kEmpty = UINT32_MAX;
+  std::vector<uint32_t> table(cap, kEmpty);  // slot -> index into `keep`
+  std::vector<uint32_t> keep;                // kept original row indexes
+  std::vector<double> new_probs;
+  keep.reserve(n);
+  new_probs.reserve(n);
+
+  bool any_dup = false;
+  const size_t mask = cap - 1;
+  for (size_t r = 0; r < n; ++r) {
+    size_t pos = hashes[r] & mask;
+    uint32_t found = kEmpty;
+    while (table[pos] != kEmpty) {
+      uint32_t cand = table[pos];
+      uint32_t orig = keep[cand];
+      if (hashes[orig] == hashes[r]) {
         bool eq = true;
-        for (size_t i = 0; i < row.values.size(); ++i) {
-          if (!(kept[idx].values[i] == row.values[i])) {
+        for (size_t s = 0; s < k; ++s) {
+          if (!(cols_[s][orig] == cols_[s][r])) {
             eq = false;
             break;
           }
         }
         if (eq) {
-          kept[idx].prob += row.prob;
-          merged = true;
+          found = cand;
           break;
         }
       }
+      pos = (pos + 1) & mask;
     }
-    if (!merged) {
-      bucket.push_back(kept.size());
-      kept.push_back(std::move(row));
+    if (found != kEmpty) {
+      new_probs[found] += probs_[r];
+      any_dup = true;
+    } else {
+      table[pos] = static_cast<uint32_t>(keep.size());
+      keep.push_back(static_cast<uint32_t>(r));
+      new_probs.push_back(probs_[r]);
     }
   }
-  rows_ = std::move(kept);
+  if (!any_dup) return;
+
+  // Gather the kept rows in place (keep is strictly ascending), then
+  // install the merged probabilities.
+  KeepRows(keep);
+  probs_ = std::move(new_probs);
 }
 
 void Component::DropSlots(const std::vector<uint32_t>& sorted_slots) {
   if (sorted_slots.empty()) return;
+  // Columnar marginalization: dropping a slot is dropping its column —
+  // no per-row work at all; the dedup afterwards merges the projections.
   std::vector<bool> drop(slots_.size(), false);
   for (uint32_t s : sorted_slots) {
     MAYBMS_DCHECK(s < slots_.size());
     drop[s] = true;
   }
-  std::vector<Slot> new_slots;
-  new_slots.reserve(slots_.size() - sorted_slots.size());
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    if (!drop[i]) new_slots.push_back(std::move(slots_[i]));
-  }
-  slots_ = std::move(new_slots);
-  for (auto& row : rows_) {
-    std::vector<Value> nv;
-    nv.reserve(slots_.size());
-    for (size_t i = 0; i < row.values.size(); ++i) {
-      if (!drop[i]) nv.push_back(std::move(row.values[i]));
+  size_t kept = 0;
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    if (drop[s]) continue;
+    if (kept != s) {
+      slots_[kept] = std::move(slots_[s]);
+      cols_[kept] = std::move(cols_[s]);
     }
-    row.values = std::move(nv);
+    ++kept;
   }
+  slots_.resize(kept);
+  cols_.resize(kept);
   DedupRows();
 }
 
+void Component::KeepRows(const std::vector<uint32_t>& keep) {
+  MAYBMS_DCHECK(std::is_sorted(keep.begin(), keep.end()));
+  if (keep.size() == NumRows()) return;
+  for (size_t s = 0; s < cols_.size(); ++s) {
+    std::vector<PackedValue>& col = cols_[s];
+    for (size_t i = 0; i < keep.size(); ++i) col[i] = col[keep[i]];
+    col.resize(keep.size());
+  }
+  for (size_t i = 0; i < keep.size(); ++i) probs_[i] = probs_[keep[i]];
+  probs_.resize(keep.size());
+}
+
 void Component::DropZeroRows(double eps) {
-  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
-                             [eps](const ComponentRow& r) {
-                               return r.prob <= eps;
-                             }),
-              rows_.end());
+  std::vector<uint32_t> keep;
+  keep.reserve(NumRows());
+  for (size_t r = 0; r < NumRows(); ++r) {
+    if (probs_[r] > eps) keep.push_back(static_cast<uint32_t>(r));
+  }
+  KeepRows(keep);
 }
 
 Result<Component> Component::Product(const Component& a, const Component& b,
                                      size_t max_rows) {
-  size_t n = a.NumRows() * b.NumRows();
-  if (a.NumRows() != 0 && n / a.NumRows() != b.NumRows()) {
+  const size_t an = a.NumRows(), bn = b.NumRows();
+  size_t n = an * bn;
+  if (an != 0 && n / an != bn) {
     return Status::ResourceExhausted("component product row count overflow");
   }
   if (n > max_rows) {
@@ -136,44 +214,92 @@ Result<Component> Component::Product(const Component& a, const Component& b,
   Component out;
   out.slots_ = a.slots_;
   out.slots_.insert(out.slots_.end(), b.slots_.begin(), b.slots_.end());
-  out.rows_.reserve(n);
-  for (const auto& ra : a.rows_) {
-    for (const auto& rb : b.rows_) {
-      ComponentRow row;
-      row.values.reserve(ra.values.size() + rb.values.size());
-      row.values.insert(row.values.end(), ra.values.begin(), ra.values.end());
-      row.values.insert(row.values.end(), rb.values.begin(), rb.values.end());
-      row.prob = ra.prob * rb.prob;
-      out.rows_.push_back(std::move(row));
+  out.cols_.resize(out.slots_.size());
+  // Left columns: each value repeated bn times. Right columns: the whole
+  // column tiled an times. Pure memcpy-able appends, no per-row alloc.
+  for (size_t s = 0; s < a.cols_.size(); ++s) {
+    std::vector<PackedValue>& col = out.cols_[s];
+    col.reserve(n);
+    for (size_t i = 0; i < an; ++i) col.insert(col.end(), bn, a.cols_[s][i]);
+  }
+  for (size_t s = 0; s < b.cols_.size(); ++s) {
+    std::vector<PackedValue>& col = out.cols_[a.cols_.size() + s];
+    col.reserve(n);
+    for (size_t i = 0; i < an; ++i) {
+      col.insert(col.end(), b.cols_[s].begin(), b.cols_[s].end());
     }
+  }
+  out.probs_.reserve(n);
+  for (size_t i = 0; i < an; ++i) {
+    const double pa = a.probs_[i];
+    for (size_t j = 0; j < bn; ++j) out.probs_.push_back(pa * b.probs_[j]);
   }
   return out;
 }
 
+namespace {
+
+// Bytes of one packed cell in the flat serialized model (1 tag byte +
+// payload; strings add a 4-byte length prefix), matching
+// Value::SerializedSize for the same logical value.
+uint64_t FlatCellSize(const PackedValue& v) {
+  switch (v.tag()) {
+    case PackedTag::kNull:
+    case PackedTag::kBottom:
+      return 1;
+    case PackedTag::kBool:
+      return 2;
+    case PackedTag::kInt:
+    case PackedTag::kDouble:
+      return 9;
+    case PackedTag::kString:
+      return 1 + 4 + v.as_string().size();
+  }
+  return 1;
+}
+
+}  // namespace
+
 uint64_t Component::SerializedSize() const {
-  uint64_t total = 0;
-  for (const auto& row : rows_) {
-    total += 4 + 8;  // row header + probability
-    for (const auto& v : row.values) total += v.SerializedSize();
+  uint64_t total = NumRows() * (4ull + 8ull);  // row header + probability
+  for (const auto& col : cols_) {
+    for (const PackedValue& v : col) total += FlatCellSize(v);
   }
   return total;
+}
+
+uint64_t Component::InternedSize() const {
+  uint64_t total = 0;
+  for (const auto& col : cols_) total += col.size() * sizeof(PackedValue);
+  total += probs_.size() * sizeof(double);
+  for (const Slot& s : slots_) total += sizeof(Slot) + s.label.size();
+  return total;
+}
+
+void Component::CollectStrings(
+    std::unordered_set<std::string_view>* out) const {
+  for (const auto& col : cols_) {
+    for (const PackedValue& v : col) {
+      if (v.is_string()) out->insert(v.as_string());
+    }
+  }
 }
 
 std::string Component::ToString() const {
   std::vector<size_t> width(slots_.size());
   for (size_t c = 0; c < slots_.size(); ++c) width[c] = slots_[c].label.size();
-  std::vector<std::vector<std::string>> cells(rows_.size());
-  std::vector<std::string> probs(rows_.size());
+  std::vector<std::vector<std::string>> cells(NumRows());
+  std::vector<std::string> probs(NumRows());
   size_t pwidth = 1;
-  for (size_t r = 0; r < rows_.size(); ++r) {
+  for (size_t r = 0; r < NumRows(); ++r) {
     cells[r].resize(slots_.size());
     for (size_t c = 0; c < slots_.size(); ++c) {
-      cells[r][c] = rows_[r].values[c].ToString();
+      cells[r][c] = cols_[c][r].ToValue().ToString();
       // ⊥ renders as 3 UTF-8 bytes but 1 column; compensate.
       size_t render = cells[r][c] == "\xE2\x8A\xA5" ? 1 : cells[r][c].size();
       width[c] = std::max(width[c], render);
     }
-    probs[r] = StrFormat("%.4g", rows_[r].prob);
+    probs[r] = StrFormat("%.4g", probs_[r]);
     pwidth = std::max(pwidth, probs[r].size());
   }
   std::string out;
@@ -181,7 +307,7 @@ std::string Component::ToString() const {
     out += PadRight(slots_[c].label, width[c]) + "  ";
   }
   out += PadRight("p", pwidth) + "\n";
-  for (size_t r = 0; r < rows_.size(); ++r) {
+  for (size_t r = 0; r < NumRows(); ++r) {
     for (size_t c = 0; c < slots_.size(); ++c) {
       std::string cell = cells[r][c];
       size_t render = cell == "\xE2\x8A\xA5" ? 1 : cell.size();

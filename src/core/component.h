@@ -6,14 +6,22 @@
 // independently across components, yields one possible world; the world's
 // probability is the product of the chosen rows' probabilities. Row
 // probabilities of every component sum to 1.
+//
+// Storage is slot-major (SoA): one contiguous vector of trivially-
+// copyable PackedValues per slot plus one probability vector. The hot
+// operations (Product, DedupRows, DropSlots, TotalMass, Renormalize)
+// run directly on the columns with no per-row heap allocation; strings
+// live once in the global ValuePool and are referenced by id.
 #ifndef MAYBMS_CORE_COMPONENT_H_
 #define MAYBMS_CORE_COMPONENT_H_
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
 #include "core/types.h"
+#include "storage/packed_value.h"
 #include "storage/value.h"
 
 namespace maybms {
@@ -24,7 +32,9 @@ struct Slot {
   std::string label;   ///< for rendering, e.g. "r1.Diagnosis" or "r1.∃"
 };
 
-/// One alternative of a component: a value per slot plus its probability.
+/// Row-major exchange type used by builders and cold paths; the columnar
+/// store materializes/consumes it at the boundary (Component::GetRow /
+/// AddRow).
 struct ComponentRow {
   std::vector<Value> values;
   double prob = 1.0;
@@ -34,22 +44,48 @@ struct ComponentRow {
 /// Only ⊥ vs non-⊥ matters for existence; the concrete token is arbitrary.
 Value ExistsToken();
 
+/// ExistsToken() in packed form, for columnar writers.
+inline PackedValue PackedExistsToken() { return PackedValue::Bool(true); }
+
 /// One independent factor of the decomposition.
 class Component {
  public:
   Component() = default;
 
   size_t NumSlots() const { return slots_.size(); }
-  size_t NumRows() const { return rows_.size(); }
+  size_t NumRows() const { return probs_.size(); }
   bool empty() const { return slots_.empty(); }
 
   const Slot& slot(size_t i) const { return slots_[i]; }
   Slot& mutable_slot(size_t i) { return slots_[i]; }
   const std::vector<Slot>& slots() const { return slots_; }
 
-  const ComponentRow& row(size_t i) const { return rows_[i]; }
-  ComponentRow& mutable_row(size_t i) { return rows_[i]; }
-  const std::vector<ComponentRow>& rows() const { return rows_; }
+  // --- columnar accessors ------------------------------------------------
+  double prob(size_t r) const { return probs_[r]; }
+  void set_prob(size_t r, double p) { probs_[r] = p; }
+  const std::vector<double>& probs() const { return probs_; }
+
+  /// The packed cell at (row r, slot s).
+  const PackedValue& packed(size_t r, size_t s) const { return cols_[s][r]; }
+  bool IsBottomAt(size_t r, size_t s) const { return cols_[s][r].is_bottom(); }
+  /// Materializes the cell as a Value (copies string content).
+  Value ValueAt(size_t r, size_t s) const { return cols_[s][r].ToValue(); }
+  void SetPacked(size_t r, size_t s, PackedValue v) { cols_[s][r] = v; }
+  void SetValue(size_t r, size_t s, const Value& v) {
+    cols_[s][r] = PackedValue::FromValue(v);
+  }
+  /// The whole column of slot s (length NumRows()).
+  const std::vector<PackedValue>& column(size_t s) const { return cols_[s]; }
+
+  // --- row-major adapters ------------------------------------------------
+  /// Materializes row r (values + probability) for cold paths.
+  ComponentRow GetRow(size_t r) const;
+
+  /// Appends a row; arity must equal NumSlots.
+  Status AddRow(ComponentRow row);
+
+  /// Appends an already-packed row; arity must equal NumSlots.
+  Status AddPackedRow(const std::vector<PackedValue>& values, double prob);
 
   /// Appends a slot to every row using `fill` as its value; returns the
   /// new slot index.
@@ -58,9 +94,10 @@ class Component {
   /// Appends a slot whose per-row values are supplied (must match NumRows).
   uint32_t AddSlotWithValues(Slot slot, std::vector<Value> values);
 
-  /// Appends a row; arity must equal NumSlots.
-  Status AddRow(ComponentRow row);
+  /// Appends a slot from an already-packed column (must match NumRows).
+  uint32_t AddSlotWithPacked(Slot slot, std::vector<PackedValue> column);
 
+  // --- operations --------------------------------------------------------
   /// Sum of row probabilities (should be ~1 outside of conditioning).
   double TotalMass() const;
 
@@ -76,6 +113,10 @@ class Component {
   /// projects rows onto the remaining slots and dedups.
   void DropSlots(const std::vector<uint32_t>& sorted_slots);
 
+  /// Keeps exactly the rows whose indexes appear in `keep` (strictly
+  /// ascending), discarding the rest. The conditioning primitive.
+  void KeepRows(const std::vector<uint32_t>& keep);
+
   /// Removes rows with probability below `eps` (mass is renormalized by
   /// the caller when appropriate). Rows of probability exactly 0 carry no
   /// worlds.
@@ -87,9 +128,20 @@ class Component {
   static Result<Component> Product(const Component& a, const Component& b,
                                    size_t max_rows);
 
+  // --- sizes / rendering -------------------------------------------------
   /// Bytes in the flat serialized model (values + 8-byte probability per
-  /// row + 4-byte row header), mirroring Relation::SerializedSize.
+  /// row + 4-byte row header), mirroring Relation::SerializedSize. This
+  /// is the *logical* size used by the paper's storage experiment.
   uint64_t SerializedSize() const;
+
+  /// Bytes the columnar store actually occupies (packed columns +
+  /// probabilities + slot metadata), excluding the shared ValuePool —
+  /// attribute pool bytes via CollectStrings at the database level.
+  uint64_t InternedSize() const;
+
+  /// Inserts the distinct string contents referenced by this component
+  /// (views into the global pool; stable forever).
+  void CollectStrings(std::unordered_set<std::string_view>* out) const;
 
   /// Paper-style rendering: a small table with one column per slot and a
   /// probability column.
@@ -97,7 +149,8 @@ class Component {
 
  private:
   std::vector<Slot> slots_;
-  std::vector<ComponentRow> rows_;
+  std::vector<std::vector<PackedValue>> cols_;  ///< cols_[slot][row]
+  std::vector<double> probs_;                   ///< probs_[row]
 };
 
 }  // namespace maybms

@@ -174,7 +174,7 @@ Result<Relation> ConfTable(const WsdDb& db, const std::string& rel_name,
     for (;;) {
       double p = 1.0;
       for (size_t k = 0; k < comps.size(); ++k) {
-        p *= db.component(comps[k]).row(choice[k]).prob;
+        p *= db.component(comps[k]).prob(choice[k]);
       }
       if (p > 0.0) {
         // Which vectors are present in this state? Dedup within state.
@@ -183,9 +183,9 @@ Result<Relation> ConfTable(const WsdDb& db, const std::string& rel_name,
         for (const auto& m : members) {
           bool alive = true;
           for (size_t k = 0; alive && k < comps.size(); ++k) {
-            const ComponentRow& row = db.component(comps[k]).row(choice[k]);
+            const Component& ck = db.component(comps[k]);
             for (uint32_t s : m.gating[k]) {
-              if (row.values[s].is_bottom()) {
+              if (ck.IsBottomAt(choice[k], s)) {
                 alive = false;
                 break;
               }
@@ -199,12 +199,13 @@ Result<Relation> ConfTable(const WsdDb& db, const std::string& rel_name,
               v[c] = cell.value();
             } else {
               size_t k = comp_pos.at(cell.ref().cid);
-              v[c] = db.component(comps[k]).row(choice[k])
-                         .values[cell.ref().slot];
-              if (v[c].is_bottom()) {
+              const PackedValue& pv =
+                  db.component(comps[k]).packed(choice[k], cell.ref().slot);
+              if (pv.is_bottom()) {
                 dead_value = true;
                 break;
               }
+              v[c] = pv.ToValue();
             }
           }
           if (dead_value) continue;
@@ -376,14 +377,14 @@ Result<double> ExpectedSum(const WsdDb& db, const std::string& rel_name,
     for (;;) {
       double p = 1.0;
       for (size_t k = 0; k < comps.size(); ++k) {
-        p *= db.component(comps[k]).row(choice[k]).prob;
+        p *= db.component(comps[k]).prob(choice[k]);
       }
       if (p > 0.0) {
         bool alive = true;
         for (size_t k = 0; alive && k < comps.size(); ++k) {
-          const ComponentRow& row = db.component(comps[k]).row(choice[k]);
+          const Component& ck = db.component(comps[k]);
           for (uint32_t s : gating[k]) {
-            if (row.values[s].is_bottom()) {
+            if (ck.IsBottomAt(choice[k], s)) {
               alive = false;
               break;
             }
@@ -394,8 +395,8 @@ Result<double> ExpectedSum(const WsdDb& db, const std::string& rel_name,
           Value v = cell.is_certain()
                         ? cell.value()
                         : db.component(comps[comp_pos.at(cell.ref().cid)])
-                              .row(choice[comp_pos.at(cell.ref().cid)])
-                              .values[cell.ref().slot];
+                              .ValueAt(choice[comp_pos.at(cell.ref().cid)],
+                                       cell.ref().slot);
           if (!v.is_null() && !v.is_bottom()) {
             if (!v.is_numeric()) {
               return Status::TypeMismatch("ESUM over non-numeric value " +

@@ -34,7 +34,7 @@ using Marginal = std::map<Value, double>;
 
 Marginal SlotMarginal(const Component& c, uint32_t s) {
   Marginal m;
-  for (const auto& row : c.rows()) m[row.values[s]] += row.prob;
+  for (size_t r = 0; r < c.NumRows(); ++r) m[c.ValueAt(r, s)] += c.prob(r);
   return m;
 }
 
@@ -45,8 +45,8 @@ Marginal SlotMarginal(const Component& c, uint32_t s) {
 bool PairwiseIndependent(const Component& c, uint32_t a, uint32_t b,
                          const Marginal& ma, const Marginal& mb, double eps) {
   std::map<std::pair<Value, Value>, double> joint;
-  for (const auto& row : c.rows()) {
-    joint[{row.values[a], row.values[b]}] += row.prob;
+  for (size_t r = 0; r < c.NumRows(); ++r) {
+    joint[{c.ValueAt(r, a), c.ValueAt(r, b)}] += c.prob(r);
   }
   // Support size check: full independence needs |joint| == |ma| * |mb|.
   if (joint.size() != ma.size() * mb.size()) return false;
@@ -63,11 +63,11 @@ std::vector<ComponentRow> ProjectGroup(const Component& c,
                                        const std::vector<uint32_t>& slots) {
   std::vector<ComponentRow> out;
   std::unordered_map<size_t, std::vector<size_t>> seen;
-  for (const auto& row : c.rows()) {
+  for (size_t r = 0; r < c.NumRows(); ++r) {
     ComponentRow proj;
     proj.values.reserve(slots.size());
-    for (uint32_t s : slots) proj.values.push_back(row.values[s]);
-    proj.prob = row.prob;
+    for (uint32_t s : slots) proj.values.push_back(c.ValueAt(r, s));
+    proj.prob = c.prob(r);
     size_t h = proj.values.size();
     for (const auto& v : proj.values) HashCombine(&h, v.Hash());
     auto& bucket = seen[h];
@@ -116,7 +116,7 @@ bool VerifyProductDecomposition(
   if (product != distinct) return false;
   // Probability check: every row's probability equals the product of its
   // group-projection marginals.
-  for (const auto& row : c.rows()) {
+  for (size_t r = 0; r < c.NumRows(); ++r) {
     double expected = 1.0;
     for (size_t g = 0; g < groups.size(); ++g) {
       // Find the projection entry matching this row.
@@ -124,7 +124,7 @@ bool VerifyProductDecomposition(
       for (const auto& proj_row : projections[g]) {
         bool eq = true;
         for (size_t i = 0; i < groups[g].size(); ++i) {
-          if (!(proj_row.values[i] == row.values[groups[g][i]])) {
+          if (!(proj_row.values[i] == c.ValueAt(r, groups[g][i]))) {
             eq = false;
             break;
           }
@@ -138,17 +138,18 @@ bool VerifyProductDecomposition(
       expected *= pg;
     }
     // Row probability may appear multiple times if c has duplicate rows;
-    // compare against the deduped mass of this row.
+    // compare against the deduped mass of this row (packed compares —
+    // no materialization in the quadratic part).
     double mass = 0.0;
-    for (const auto& other : c.rows()) {
+    for (size_t o = 0; o < c.NumRows(); ++o) {
       bool eq = true;
-      for (size_t i = 0; i < row.values.size(); ++i) {
-        if (!(other.values[i] == row.values[i])) {
+      for (size_t s = 0; s < c.NumSlots(); ++s) {
+        if (!(c.packed(o, s) == c.packed(r, s))) {
           eq = false;
           break;
         }
       }
-      if (eq) mass += other.prob;
+      if (eq) mass += c.prob(o);
     }
     if (std::abs(mass - expected) > eps * std::max(1.0, std::abs(expected))) {
       return false;

@@ -135,15 +135,14 @@ Status LiftedProject(WsdDb* db, const std::string& input,
         std::vector<Value> values;
         values.reserve(m.NumRows());
         for (size_t r = 0; r < m.NumRows(); ++r) {
-          const ComponentRow& row = m.row(r);
           bool dead = false;
           for (const auto& [c, slot] : ref_cols) {
-            const Value& v = row.values[slot];
+            const PackedValue& v = m.packed(r, slot);
             if (v.is_bottom()) {
               dead = true;
               break;
             }
-            eval_buf[c] = v;
+            eval_buf[c] = v.ToValue();
           }
           if (dead) {
             values.push_back(Value::Bottom());

@@ -46,8 +46,8 @@ std::vector<ComponentId> BottomGatingComponents(
                               c.slot(s).owner)) {
         continue;
       }
-      for (const auto& row : c.rows()) {
-        if (row.values[s].is_bottom()) {
+      for (const PackedValue& v : c.column(s)) {
+        if (v.is_bottom()) {
           relevant = true;
           break;
         }
@@ -70,8 +70,8 @@ BottomGatingIndex BuildBottomGatingIndex(const WsdDb& db) {
     for (uint32_t s = 0; s < c.NumSlots(); ++s) {
       OwnerId owner = c.slot(s).owner;
       if (done.count(owner)) continue;
-      for (const auto& row : c.rows()) {
-        if (row.values[s].is_bottom()) {
+      for (const PackedValue& v : c.column(s)) {
+        if (v.is_bottom()) {
           index[owner].push_back(id);
           done.insert(owner);
           break;
@@ -94,6 +94,15 @@ std::vector<ComponentId> LookupBottomGating(
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+PackedCellView MakeCellView(const Cell& cell, ComponentId expect_cid) {
+  if (cell.is_certain()) {
+    return {true, PackedValue::FromValue(cell.value()), 0};
+  }
+  MAYBMS_CHECK(expect_cid == kInvalidComponent ||
+               cell.ref().cid == expect_cid);
+  return {false, PackedValue(), cell.ref().slot};
 }
 
 bool FullyCertain(const WsdTuple& t) {
@@ -263,21 +272,22 @@ Status FilterRelationInPlace(WsdDb* db, const std::string& rel_name,
         if (m.slot(s).owner == fast_owner) owner_slots.push_back(s);
       }
       for (size_t r = 0; r < m.NumRows(); ++r) {
-        ComponentRow& row = m.mutable_row(r);
         bool dead = false;
         for (const auto& [c, slot] : ref_cols) {
-          const Value& v = row.values[slot];
+          const PackedValue& v = m.packed(r, slot);
           if (v.is_bottom()) {
             dead = true;
             break;
           }
-          eval_buf[c] = v;
+          eval_buf[c] = v.ToValue();
         }
         if (dead) continue;  // already absent in these worlds
         MAYBMS_ASSIGN_OR_RETURN(bool pass,
                                 EvalPredicate(*bound_pred, eval_buf));
         if (!pass) {
-          for (uint32_t s : owner_slots) row.values[s] = Value::Bottom();
+          for (uint32_t s : owner_slots) {
+            m.SetPacked(r, s, PackedValue::Bottom());
+          }
         }
       }
     } else {
@@ -286,15 +296,14 @@ Status FilterRelationInPlace(WsdDb* db, const std::string& rel_name,
       exist_values.reserve(m.NumRows());
       bool any_alive = false, any_kill = false;
       for (size_t r = 0; r < m.NumRows(); ++r) {
-        const ComponentRow& row = m.row(r);
         bool dead = false;
         for (const auto& [c, slot] : ref_cols) {
-          const Value& v = row.values[slot];
+          const PackedValue& v = m.packed(r, slot);
           if (v.is_bottom()) {
             dead = true;
             break;
           }
-          eval_buf[c] = v;
+          eval_buf[c] = v.ToValue();
         }
         if (dead) {
           // Tuple already absent in these worlds; ⊥ is redundant but
@@ -339,17 +348,20 @@ std::vector<Value> PossibleCellValues(const WsdDb& db, const Cell& cell) {
   if (cell.is_certain()) return {cell.value()};
   const Component& c = db.component(cell.ref().cid);
   std::vector<Value> out;
-  for (const auto& row : c.rows()) {
-    const Value& v = row.values[cell.ref().slot];
+  std::vector<PackedValue> seen_packed;
+  for (const PackedValue& v : c.column(cell.ref().slot)) {
     if (v.is_bottom()) continue;
     bool seen = false;
-    for (const auto& u : out) {
+    for (const PackedValue& u : seen_packed) {
       if (u == v) {
         seen = true;
         break;
       }
     }
-    if (!seen) out.push_back(v);
+    if (!seen) {
+      seen_packed.push_back(v);
+      out.push_back(v.ToValue());
+    }
   }
   return out;
 }
@@ -592,16 +604,27 @@ Status ApplyMatchKills(WsdDb* db, const std::vector<MatchKillSpec>& specs) {
     ComponentId mid = planner.Resolve(unit.cids[0]);
     Component& m = db->mutable_component(mid);
 
+    auto view_of = [&](const WsdTuple& t) {
+      std::vector<PackedCellView> views;
+      views.reserve(t.cells.size());
+      for (const Cell& cell : t.cells) views.push_back(MakeCellView(cell, mid));
+      return views;
+    };
+    std::vector<PackedCellView> target_view = view_of(target);
+
     struct SourceInfo {
       std::vector<uint32_t> gating_slots;
-      const WsdTuple* tuple = nullptr;
+      std::vector<PackedCellView> cells;
+      size_t arity = 0;
     };
     std::vector<SourceInfo> sources(unit.spec_source_idxs.size());
     for (size_t k = 0; k < unit.spec_source_idxs.size(); ++k) {
       const auto& src = unit.spec->sources[unit.spec_source_idxs[k]];
       MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* srel,
                               db->GetRelation(src.rel));
-      sources[k].tuple = &srel->tuple(src.idx);
+      const WsdTuple& st = srel->tuple(src.idx);
+      sources[k].cells = view_of(st);
+      sources[k].arity = st.cells.size();
       for (uint32_t slot = 0; slot < m.NumSlots(); ++slot) {
         if (std::binary_search(src.deps.begin(), src.deps.end(),
                                m.slot(slot).owner)) {
@@ -609,31 +632,33 @@ Status ApplyMatchKills(WsdDb* db, const std::vector<MatchKillSpec>& specs) {
         }
       }
     }
+    std::vector<std::vector<PackedValue>> killers;
+    killers.reserve(unit.killer_values.size());
+    for (const auto& kv : unit.killer_values) {
+      std::vector<PackedValue> packed;
+      packed.reserve(kv.size());
+      for (const Value& v : kv) packed.push_back(PackedValue::FromValue(v));
+      killers.push_back(std::move(packed));
+    }
 
-    std::vector<Value> exist_values;
+    std::vector<PackedValue> exist_values;
     exist_values.reserve(m.NumRows());
     bool any_alive = false, any_kill = false;
-    std::vector<Value> tvals(target.cells.size());
+    std::vector<PackedValue> tvals(target.cells.size());
     for (size_t r = 0; r < m.NumRows(); ++r) {
-      const ComponentRow& row = m.row(r);
       bool target_dead = false;
-      for (size_t c = 0; c < target.cells.size(); ++c) {
-        const Cell& cell = target.cells[c];
-        if (cell.is_certain()) {
-          tvals[c] = cell.value();
-        } else {
-          MAYBMS_CHECK(cell.ref().cid == mid);
-          tvals[c] = row.values[cell.ref().slot];
-          if (tvals[c].is_bottom()) target_dead = true;
-        }
+      for (size_t c = 0; c < target_view.size(); ++c) {
+        const PackedCellView& view = target_view[c];
+        tvals[c] = view.certain ? view.value : m.packed(r, view.slot);
+        if (!view.certain && tvals[c].is_bottom()) target_dead = true;
       }
       if (target_dead) {
-        exist_values.push_back(Value::Bottom());
+        exist_values.push_back(PackedValue::Bottom());
         continue;
       }
       bool killed = false;
       // Value-only killers: always-alive certain duplicates.
-      for (const auto& kv : unit.killer_values) {
+      for (const auto& kv : killers) {
         bool eq = kv.size() == tvals.size();
         for (size_t c = 0; eq && c < kv.size(); ++c) {
           eq = (kv[c] == tvals[c]);
@@ -646,23 +671,23 @@ Status ApplyMatchKills(WsdDb* db, const std::vector<MatchKillSpec>& specs) {
       for (size_t s = 0; !killed && s < sources.size(); ++s) {
         bool alive = true;
         for (uint32_t slot : sources[s].gating_slots) {
-          if (row.values[slot].is_bottom()) {
+          if (m.IsBottomAt(r, slot)) {
             alive = false;
             break;
           }
         }
         if (!alive) continue;
-        const WsdTuple& st = *sources[s].tuple;
-        bool equal = st.cells.size() == tvals.size();
-        for (size_t c = 0; equal && c < st.cells.size(); ++c) {
-          const Cell& cell = st.cells[c];
-          const Value& sv = cell.is_certain() ? cell.value()
-                                              : row.values[cell.ref().slot];
+        bool equal = sources[s].arity == tvals.size();
+        for (size_t c = 0; equal && c < sources[s].cells.size(); ++c) {
+          const PackedCellView& view = sources[s].cells[c];
+          const PackedValue& sv =
+              view.certain ? view.value : m.packed(r, view.slot);
           if (sv.is_bottom() || !(sv == tvals[c])) equal = false;
         }
         if (equal) killed = true;
       }
-      exist_values.push_back(killed ? Value::Bottom() : ExistsToken());
+      exist_values.push_back(killed ? PackedValue::Bottom()
+                                    : PackedExistsToken());
       (killed ? any_kill : any_alive) = true;
     }
     if (!any_alive) {
@@ -670,7 +695,7 @@ Status ApplyMatchKills(WsdDb* db, const std::vector<MatchKillSpec>& specs) {
       removed_set[unit.target_rel].insert(unit.target_idx);
     } else if (any_kill) {
       OwnerId fresh = db->NextOwner();
-      m.AddSlotWithValues(
+      m.AddSlotWithPacked(
           {fresh, "\xCE\xB4\xE2\x88\x83" + std::to_string(fresh)},
           std::move(exist_values));
       target.AddDep(fresh);

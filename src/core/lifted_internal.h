@@ -43,6 +43,20 @@ BottomGatingIndex BuildBottomGatingIndex(const WsdDb& db);
 std::vector<ComponentId> LookupBottomGating(
     const BottomGatingIndex& index, const std::vector<OwnerId>& deps);
 
+/// A template cell resolved for packed row kernels over one component:
+/// either a pre-packed certain value (strings interned once, not per
+/// row) or the component slot the cell reads. Shared by the FD/key
+/// conditioner and the match-kill backbone.
+struct PackedCellView {
+  bool certain = false;
+  PackedValue value;
+  uint32_t slot = 0;
+};
+
+/// Packs one cell. When `expect_cid` != kInvalidComponent, ref cells
+/// must point into that component (checked).
+PackedCellView MakeCellView(const Cell& cell, ComponentId expect_cid);
+
 /// True when every cell of the tuple is certain.
 bool FullyCertain(const WsdTuple& t);
 

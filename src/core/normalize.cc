@@ -57,20 +57,19 @@ bool PropagateBottom(WsdDb* db) {
     }
     if (!multi) continue;
     for (size_t r = 0; r < c.NumRows(); ++r) {
-      ComponentRow& row = c.mutable_row(r);
       for (const auto& [o, slots] : by_owner) {
         if (slots.size() < 2) continue;
         bool any_bottom = false;
         for (uint32_t s : slots) {
-          if (row.values[s].is_bottom()) {
+          if (c.IsBottomAt(r, s)) {
             any_bottom = true;
             break;
           }
         }
         if (!any_bottom) continue;
         for (uint32_t s : slots) {
-          if (!row.values[s].is_bottom()) {
-            row.values[s] = Value::Bottom();
+          if (!c.IsBottomAt(r, s)) {
+            c.SetPacked(r, s, PackedValue::Bottom());
             changed = true;
           }
         }
@@ -102,16 +101,16 @@ size_t RemoveDeadTuples(WsdDb* db) {
     for (const auto& [owner, slots] : by_owner) {
       bool has_bottom = false;
       double alive = 0.0;
-      for (const auto& row : c.rows()) {
+      for (size_t r = 0; r < c.NumRows(); ++r) {
         bool ok = true;
         for (uint32_t s : slots) {
-          if (row.values[s].is_bottom()) {
+          if (c.IsBottomAt(r, s)) {
             ok = false;
             has_bottom = true;
             break;
           }
         }
-        if (ok) alive += row.prob;
+        if (ok) alive += c.prob(r);
       }
       if (has_bottom) {
         if (alive <= 0.0) {
@@ -151,17 +150,17 @@ size_t RemoveDeadTuples(WsdDb* db) {
           if (hits < 2) continue;
           const Component& c = db->component(cid);
           double alive = 0.0;
-          for (const auto& row : c.rows()) {
+          for (size_t r = 0; r < c.NumRows(); ++r) {
             bool ok = true;
             for (uint32_t s = 0; s < c.NumSlots(); ++s) {
-              if (row.values[s].is_bottom() &&
+              if (c.IsBottomAt(r, s) &&
                   std::binary_search(t.deps.begin(), t.deps.end(),
                                      c.slot(s).owner)) {
                 ok = false;
                 break;
               }
             }
-            if (ok) alive += row.prob;
+            if (ok) alive += c.prob(r);
           }
           if (alive <= 0.0) {
             dead = true;
@@ -199,8 +198,8 @@ void GcSlots(WsdDb* db, const RefIndex& idx, NormalizeStats* stats) {
       OwnerId owner = c.slot(s).owner;
       bool owner_live = idx.live_owners.count(owner) > 0;
       bool has_bottom = false;
-      for (const auto& row : c.rows()) {
-        if (row.values[s].is_bottom()) {
+      for (const PackedValue& v : c.column(s)) {
+        if (v.is_bottom()) {
           has_bottom = true;
           break;
         }
@@ -215,11 +214,12 @@ void GcSlots(WsdDb* db, const RefIndex& idx, NormalizeStats* stats) {
       if (it == exist_slot.end()) {
         exist_slot[owner] = s;
         bool was_data = false;
+        const PackedValue token = PackedExistsToken();
         for (size_t r = 0; r < c.NumRows(); ++r) {
-          Value& v = c.mutable_row(r).values[s];
+          const PackedValue& v = c.packed(r, s);
           if (!v.is_bottom()) {
-            if (!(v == ExistsToken())) was_data = true;
-            v = ExistsToken();
+            if (!(v == token)) was_data = true;
+            c.SetPacked(r, s, token);
           }
         }
         if (was_data) {
@@ -230,8 +230,8 @@ void GcSlots(WsdDb* db, const RefIndex& idx, NormalizeStats* stats) {
         // AND into the canonical existence slot, then drop this one.
         uint32_t keep = it->second;
         for (size_t r = 0; r < c.NumRows(); ++r) {
-          if (c.row(r).values[s].is_bottom()) {
-            c.mutable_row(r).values[keep] = Value::Bottom();
+          if (c.IsBottomAt(r, s)) {
+            c.SetPacked(r, keep, PackedValue::Bottom());
           }
         }
         to_drop.push_back(s);
@@ -298,18 +298,19 @@ size_t InlineCertain(WsdDb* db, NormalizeStats* stats) {
     std::vector<Value> constant_of(c.NumSlots());
     bool any = false;
     for (uint32_t s = 0; s < c.NumSlots(); ++s) {
-      const Value& first = c.row(0).values[s];
+      const std::vector<PackedValue>& col = c.column(s);
+      const PackedValue& first = col[0];
       if (first.is_bottom()) continue;
       bool constant = true;
-      for (size_t r = 1; r < c.NumRows(); ++r) {
-        if (!(c.row(r).values[s] == first)) {
+      for (size_t r = 1; r < col.size(); ++r) {
+        if (!(col[r] == first)) {
           constant = false;
           break;
         }
       }
       if (constant) {
         is_constant[s] = true;
-        constant_of[s] = first;
+        constant_of[s] = first.ToValue();
         any = true;
       }
     }

@@ -189,11 +189,11 @@ Status WriteWsdDb(const WsdDb& db, std::ostream& out) {
       WriteString(out, c.slot(s).label);
       out << "\n";
     }
-    for (const auto& row : c.rows()) {
-      out << "ROW " << StrFormat("%.17g", row.prob);
-      for (const auto& v : row.values) {
+    for (size_t r = 0; r < c.NumRows(); ++r) {
+      out << "ROW " << StrFormat("%.17g", c.prob(r));
+      for (uint32_t s = 0; s < c.NumSlots(); ++s) {
         out << " ";
-        WriteValue(out, v);
+        WriteValue(out, c.ValueAt(r, s));
       }
       out << "\n";
     }

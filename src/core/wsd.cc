@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -108,6 +110,7 @@ Result<std::vector<ComponentId>> WsdDb::MergeComponentGroups(
   // to the templates in one pass.
   std::unordered_map<ComponentId, std::pair<ComponentId, uint32_t>> remap;
   std::vector<ComponentId> to_remove;
+  std::unordered_set<ComponentId> seen;  // overlap detection across groups
   for (size_t g = 0; g < groups.size(); ++g) {
     std::vector<ComponentId> ids = groups[g];
     if (ids.empty()) {
@@ -115,18 +118,18 @@ Result<std::vector<ComponentId>> WsdDb::MergeComponentGroups(
     }
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-    if (ids.size() == 1) {
-      result[g] = ids[0];
-      continue;
-    }
     for (ComponentId id : ids) {
       if (!IsLive(id)) {
         return Status::Internal(StrFormat("merging dead component %u", id));
       }
-      if (remap.count(id)) {
+      if (!seen.insert(id).second) {
         return Status::InvalidArgument(
             "component groups passed to MergeComponentGroups overlap");
       }
+    }
+    if (ids.size() == 1) {
+      result[g] = ids[0];
+      continue;
     }
     // Fold left-to-right; remember where each old component's slots land.
     Component merged = component(ids[0]);
@@ -200,14 +203,41 @@ uint64_t WsdDb::SerializedSize() const {
   return total;
 }
 
+uint64_t WsdDb::InternedSize() const {
+  uint64_t total = 0;
+  std::unordered_set<std::string_view> strings;
+  for (const auto& c : components_) {
+    if (!c.has_value()) continue;
+    total += c->InternedSize();
+    c->CollectStrings(&strings);
+  }
+  for (const auto& [key, rel] : relations_) {
+    for (const auto& t : rel.tuples()) {
+      total += 4;                                      // row header
+      total += t.cells.size() * sizeof(PackedValue);   // packed cell model
+      total += t.deps.size() * sizeof(OwnerId);
+      for (const auto& cell : t.cells) {
+        if (cell.is_certain() && cell.value().is_string()) {
+          strings.insert(cell.value().as_string());
+        }
+      }
+    }
+  }
+  // Each distinct string is stored once: payload + dictionary entry.
+  constexpr uint64_t kPoolEntryOverhead = 24;
+  for (std::string_view s : strings) total += s.size() + kPoolEntryOverhead;
+  return total;
+}
+
 double WsdDb::ExistenceProbability(const WsdTuple& t) const {
   if (t.deps.empty()) return 1.0;
   double p = 1.0;
+  std::vector<uint32_t> gating;
   for (ComponentId id = 0; id < components_.size(); ++id) {
     if (!components_[id].has_value()) continue;
     const Component& c = *components_[id];
     // Slots of this component owned by one of t's deps.
-    std::vector<uint32_t> gating;
+    gating.clear();
     for (uint32_t s = 0; s < c.NumSlots(); ++s) {
       if (std::binary_search(t.deps.begin(), t.deps.end(), c.slot(s).owner)) {
         gating.push_back(s);
@@ -215,15 +245,24 @@ double WsdDb::ExistenceProbability(const WsdTuple& t) const {
     }
     if (gating.empty()) continue;
     double alive = 0.0;
-    for (const auto& row : c.rows()) {
-      bool ok = true;
-      for (uint32_t s : gating) {
-        if (row.values[s].is_bottom()) {
-          ok = false;
-          break;
-        }
+    if (gating.size() == 1) {
+      // Common case: one tight loop over a single packed column.
+      const std::vector<PackedValue>& col = c.column(gating[0]);
+      const std::vector<double>& probs = c.probs();
+      for (size_t r = 0; r < col.size(); ++r) {
+        if (!col[r].is_bottom()) alive += probs[r];
       }
-      if (ok) alive += row.prob;
+    } else {
+      for (size_t r = 0; r < c.NumRows(); ++r) {
+        bool ok = true;
+        for (uint32_t s : gating) {
+          if (c.IsBottomAt(r, s)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) alive += c.prob(r);
+      }
     }
     p *= alive;
     if (p == 0.0) return 0.0;
@@ -244,13 +283,17 @@ Status WsdDb::CheckInvariants() const {
       return Status::Internal(
           StrFormat("component %u mass %.9f != 1", id, mass));
     }
-    for (const auto& row : c.rows()) {
-      if (row.values.size() != c.NumSlots()) {
-        return Status::Internal(StrFormat("component %u row arity", id));
-      }
-      if (row.prob < -kEps || row.prob > 1.0 + kEps) {
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      if (c.column(s).size() != c.NumRows()) {
         return Status::Internal(
-            StrFormat("component %u row prob %g", id, row.prob));
+            StrFormat("component %u column %u length %zu != %zu rows", id, s,
+                      c.column(s).size(), c.NumRows()));
+      }
+    }
+    for (size_t r = 0; r < c.NumRows(); ++r) {
+      if (c.prob(r) < -kEps || c.prob(r) > 1.0 + kEps) {
+        return Status::Internal(
+            StrFormat("component %u row prob %g", id, c.prob(r)));
       }
     }
   }

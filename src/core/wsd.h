@@ -178,6 +178,13 @@ class WsdDb {
   /// cells count their value; ref cells count a 8-byte reference.
   uint64_t SerializedSize() const;
 
+  /// Bytes the decomposition actually occupies in memory with the
+  /// columnar, interned representation: packed component columns +
+  /// probabilities + template cells + the pool bytes of the distinct
+  /// strings this database references. The storage experiment reports
+  /// this next to the logical flat model of SerializedSize().
+  uint64_t InternedSize() const;
+
   /// Probability that `t` exists (product over components of the mass of
   /// rows where no dep-owned slot is ⊥).
   double ExistenceProbability(const WsdTuple& t) const;

@@ -1,0 +1,59 @@
+#include "storage/packed_value.h"
+
+namespace maybms {
+
+PackedValue PackedValue::FromValue(const Value& v) {
+  if (v.is_null()) return Null();
+  if (v.is_bottom()) return Bottom();
+  if (v.is_bool()) return Bool(v.as_bool());
+  if (v.is_int()) return Int(v.as_int());
+  if (v.is_double()) return Double(v.as_double());
+  return String(v.as_string());
+}
+
+Value PackedValue::ToValue() const {
+  switch (tag_) {
+    case PackedTag::kNull:
+      return Value::Null();
+    case PackedTag::kBottom:
+      return Value::Bottom();
+    case PackedTag::kBool:
+      return Value::Bool(as_bool());
+    case PackedTag::kInt:
+      return Value::Int(as_int());
+    case PackedTag::kDouble:
+      return Value::Double(as_double());
+    case PackedTag::kString:
+      return Value::String(as_string());
+  }
+  return Value::Null();
+}
+
+int PackedValue::Compare(const PackedValue& other) const {
+  uint32_t ra = KindRank(), rb = other.KindRank();
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+    case 1:
+      return 0;
+    case 2:
+      return static_cast<int>(as_bool()) - static_cast<int>(other.as_bool());
+    case 3: {
+      if (is_int() && other.is_int()) {
+        int64_t a = as_int(), b = other.as_int();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      double a = NumericValue(), b = other.NumericValue();
+      bool na = std::isnan(a), nb = std::isnan(b);
+      if (na || nb) return na == nb ? 0 : (na ? 1 : -1);  // NaN sorts last
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default: {
+      if (string_id() == other.string_id()) return 0;
+      int c = as_string().compare(other.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+}  // namespace maybms

@@ -1,0 +1,190 @@
+// PackedValue: the trivially-copyable cell representation of the columnar
+// component store. One tag byte plus an 8-byte payload:
+//
+//   kNull/kBottom  payload unused
+//   kBool          payload 0/1
+//   kInt           int64 payload
+//   kDouble        double payload (bit-copied)
+//   kString        32-bit ValuePool id
+//
+// Equality, ordering and hashing agree exactly with Value (mixed int /
+// double numerics compare on the real line; NaN is a single equivalence
+// class ordered after all numbers; +0.0 == -0.0). Strings compare and
+// hash by pool id, which the interning invariant makes equivalent to
+// content comparison — and O(1).
+#ifndef MAYBMS_STORAGE_PACKED_VALUE_H_
+#define MAYBMS_STORAGE_PACKED_VALUE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "common/hash.h"
+#include "storage/value.h"
+#include "storage/value_pool.h"
+
+namespace maybms {
+
+enum class PackedTag : uint8_t {
+  kNull = 0,
+  kBottom = 1,
+  kBool = 2,
+  kInt = 3,
+  kDouble = 4,
+  kString = 5,
+};
+
+class PackedValue {
+ public:
+  constexpr PackedValue() : payload_(0), tag_(PackedTag::kNull) {}
+
+  static constexpr PackedValue Null() { return PackedValue(); }
+  static constexpr PackedValue Bottom() {
+    return PackedValue(PackedTag::kBottom, 0);
+  }
+  static constexpr PackedValue Bool(bool b) {
+    return PackedValue(PackedTag::kBool, b ? 1 : 0);
+  }
+  static constexpr PackedValue Int(int64_t i) {
+    return PackedValue(PackedTag::kInt, static_cast<uint64_t>(i));
+  }
+  static PackedValue Double(double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(d));
+    return PackedValue(PackedTag::kDouble, bits);
+  }
+  /// Interns `s` in the global ValuePool.
+  static PackedValue String(std::string_view s) {
+    return PackedValue(PackedTag::kString, ValuePool::Global().Intern(s));
+  }
+  static constexpr PackedValue StringId(uint32_t id) {
+    return PackedValue(PackedTag::kString, id);
+  }
+
+  /// Packs a Value (interning strings).
+  static PackedValue FromValue(const Value& v);
+
+  /// Unpacks to a Value (materializes string content from the pool).
+  Value ToValue() const;
+
+  PackedTag tag() const { return tag_; }
+  bool is_null() const { return tag_ == PackedTag::kNull; }
+  bool is_bottom() const { return tag_ == PackedTag::kBottom; }
+  bool is_bool() const { return tag_ == PackedTag::kBool; }
+  bool is_int() const { return tag_ == PackedTag::kInt; }
+  bool is_double() const { return tag_ == PackedTag::kDouble; }
+  bool is_string() const { return tag_ == PackedTag::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool as_bool() const { return payload_ != 0; }
+  int64_t as_int() const { return static_cast<int64_t>(payload_); }
+  double as_double() const {
+    double d;
+    std::memcpy(&d, &payload_, sizeof(d));
+    return d;
+  }
+  uint32_t string_id() const { return static_cast<uint32_t>(payload_); }
+  const std::string& as_string() const {
+    return ValuePool::Global().Get(string_id());
+  }
+
+  /// Numeric view: int promoted to double. Pre: is_numeric().
+  double NumericValue() const {
+    return is_int() ? static_cast<double>(as_int()) : as_double();
+  }
+
+  /// Structural equality, consistent with Value::operator==.
+  bool operator==(const PackedValue& other) const {
+    if (tag_ == other.tag_) {
+      if (payload_ == other.payload_) {
+        // Same tag + same bits: equal, except distinct NaN payloads, which
+        // are handled below, and the -0.0/+0.0 pair, which differs in bits.
+        if (tag_ != PackedTag::kDouble) return true;
+      }
+      if (tag_ != PackedTag::kDouble) return false;
+    } else if (!(is_numeric() && other.is_numeric())) {
+      return false;
+    }
+    // Mixed numerics or doubles with differing bits.
+    if (is_int() && other.is_int()) return as_int() == other.as_int();
+    double a = NumericValue(), b = other.NumericValue();
+    if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+    return a == b;
+  }
+  bool operator!=(const PackedValue& other) const { return !(*this == other); }
+
+  /// Hash consistent with operator== (numerics hash by canonicalized
+  /// double image, strings by pool id).
+  size_t Hash() const {
+    size_t seed = KindRank();
+    switch (tag_) {
+      case PackedTag::kNull:
+      case PackedTag::kBottom:
+        break;
+      case PackedTag::kBool:
+        HashCombine(&seed, payload_ != 0 ? 1u : 2u);
+        break;
+      case PackedTag::kInt:
+      case PackedTag::kDouble: {
+        double d = NumericValue();
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(d));
+        if (d == 0.0) bits = 0;                      // +0/-0 collapse
+        if (std::isnan(d)) bits = kCanonicalNanBits;  // NaN payload collapse
+        HashCombine(&seed, static_cast<size_t>(bits));
+        break;
+      }
+      case PackedTag::kString:
+        HashCombine(&seed, static_cast<size_t>(string_id()));
+        break;
+    }
+    return seed;
+  }
+
+  /// -1/0/+1 in the Value total order (strings are compared by content,
+  /// not id — ordering is a cold-path operation).
+  int Compare(const PackedValue& other) const;
+
+  static constexpr uint64_t kCanonicalNanBits = 0x7ff8000000000000ULL;
+
+ private:
+  constexpr PackedValue(PackedTag tag, uint64_t payload)
+      : payload_(payload), tag_(tag) {}
+
+  /// Rank in the total order: BOTTOM < NULL < bool < numeric < string;
+  /// matches Value's KindRank so hashes agree across representations for
+  /// non-string values.
+  uint32_t KindRank() const {
+    switch (tag_) {
+      case PackedTag::kBottom:
+        return 0;
+      case PackedTag::kNull:
+        return 1;
+      case PackedTag::kBool:
+        return 2;
+      case PackedTag::kInt:
+      case PackedTag::kDouble:
+        return 3;
+      case PackedTag::kString:
+        return 4;
+    }
+    return 5;
+  }
+
+  uint64_t payload_;
+  PackedTag tag_;
+};
+
+static_assert(std::is_trivially_copyable_v<PackedValue>,
+              "PackedValue must be memcpy-able for columnar storage");
+static_assert(sizeof(PackedValue) == 16,
+              "tag + 8-byte payload, padded to alignment");
+
+struct PackedValueHash {
+  size_t operator()(const PackedValue& v) const { return v.Hash(); }
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_STORAGE_PACKED_VALUE_H_

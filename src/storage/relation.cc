@@ -1,6 +1,8 @@
 #include "storage/relation.h"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_set>
 
 #include "common/string_util.h"
 
@@ -83,6 +85,21 @@ uint64_t Relation::SerializedSize() const {
     total += 4;  // row header
     for (const auto& v : row) total += v.SerializedSize();
   }
+  return total;
+}
+
+uint64_t Relation::InternedSize() const {
+  uint64_t total = 0;
+  std::unordered_set<std::string_view> strings;
+  for (const auto& row : rows_) {
+    total += 4;                 // row header
+    total += row.size() * 16;   // one packed (tag + 8-byte payload) cell
+    for (const auto& v : row) {
+      if (v.is_string()) strings.insert(v.as_string());
+    }
+  }
+  constexpr uint64_t kPoolEntryOverhead = 24;
+  for (std::string_view s : strings) total += s.size() + kPoolEntryOverhead;
   return total;
 }
 

@@ -61,6 +61,12 @@ class Relation {
   /// original relation and for WSD component tables with the same model.
   uint64_t SerializedSize() const;
 
+  /// Bytes this relation would occupy columnar + interned: one 16-byte
+  /// packed cell per value, each distinct string stored once. The
+  /// counterpart of WsdDb::InternedSize for the certain baseline of the
+  /// storage experiment.
+  uint64_t InternedSize() const;
+
   /// Pretty-printed table (up to `max_rows` rows) for examples/REPL.
   std::string ToString(size_t max_rows = 50) const;
 

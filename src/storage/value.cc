@@ -34,7 +34,12 @@ int KindRank(const Value& v) {
 bool Value::operator==(const Value& other) const {
   if (is_numeric() && other.is_numeric()) {
     if (is_int() && other.is_int()) return as_int() == other.as_int();
-    return NumericValue() == other.NumericValue();
+    double a = NumericValue(), b = other.NumericValue();
+    // NaN is one equivalence class under structural equality (so hashing
+    // and dedup treat all NaNs as the same value); +0.0 == -0.0 already
+    // holds under IEEE compare.
+    if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+    return a == b;
   }
   return rep_ == other.rep_;
 }
@@ -54,6 +59,10 @@ int Value::Compare(const Value& other) const {
         return a < b ? -1 : (a > b ? 1 : 0);
       }
       double a = NumericValue(), b = other.NumericValue();
+      bool na = std::isnan(a), nb = std::isnan(b);
+      // NaN sorts after every number and equals itself, keeping Compare
+      // a total order consistent with operator==.
+      if (na || nb) return na == nb ? 0 : (na ? 1 : -1);
       return a < b ? -1 : (a > b ? 1 : 0);
     }
     default: {
@@ -74,6 +83,8 @@ size_t Value::Hash() const {
     static_assert(sizeof(bits) == sizeof(d));
     __builtin_memcpy(&bits, &d, sizeof(d));
     if (d == 0.0) bits = 0;  // +0/-0 collapse
+    // All NaN payloads hash alike, consistent with NaN == NaN above.
+    if (std::isnan(d)) bits = 0x7ff8000000000000ULL;
     HashCombine(&seed, static_cast<size_t>(bits));
   } else if (is_string()) {
     HashCombine(&seed, static_cast<size_t>(HashString(as_string())));

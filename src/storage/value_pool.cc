@@ -1,0 +1,35 @@
+#include "storage/value_pool.h"
+
+#include "common/logging.h"
+
+namespace maybms {
+
+ValuePool& ValuePool::Global() {
+  static ValuePool* pool = new ValuePool();  // leaked: lives forever
+  return *pool;
+}
+
+uint32_t ValuePool::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  MAYBMS_CHECK(strings_.size() < UINT32_MAX) << "value pool exhausted";
+  strings_.emplace_back(s);
+  uint32_t id = static_cast<uint32_t>(strings_.size() - 1);
+  // The key views the deque-owned string, which never moves.
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+const std::string& ValuePool::Get(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MAYBMS_DCHECK(id < strings_.size());
+  return strings_[id];
+}
+
+size_t ValuePool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strings_.size();
+}
+
+}  // namespace maybms

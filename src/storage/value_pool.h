@@ -1,0 +1,53 @@
+// ValuePool: the string-interning dictionary backing PackedValue.
+//
+// Every distinct string stored in a component is placed in the pool once
+// and referenced by a 32-bit id afterwards. Ids are dense, stable for the
+// lifetime of the process, and never recycled, so two PackedValues hold
+// equal strings iff their ids are equal — string equality in the hot
+// paths (dedup, product, marginalization) is an integer compare.
+//
+// The pool is process-global (`ValuePool::Global()`): WsdDb is a value
+// type with deep-copy semantics, and a shared dictionary means component
+// data can move freely between databases without id remapping. The pool
+// only grows; for the workloads of the paper (census attribute domains)
+// the dictionary is tiny compared to the component store.
+#ifndef MAYBMS_STORAGE_VALUE_POOL_H_
+#define MAYBMS_STORAGE_VALUE_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace maybms {
+
+class ValuePool {
+ public:
+  /// The process-wide pool used by PackedValue.
+  static ValuePool& Global();
+
+  ValuePool() = default;
+  ValuePool(const ValuePool&) = delete;
+  ValuePool& operator=(const ValuePool&) = delete;
+
+  /// Returns the id of `s`, inserting it on first sight. Thread-safe.
+  uint32_t Intern(std::string_view s);
+
+  /// The string behind an id. The reference is stable forever (deque
+  /// storage, entries are never erased). Pre: id came from Intern().
+  const std::string& Get(uint32_t id) const;
+
+  /// Number of distinct strings interned so far.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> strings_;                       // id -> string
+  std::unordered_map<std::string_view, uint32_t> index_;  // string -> id
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_STORAGE_VALUE_POOL_H_

@@ -9,11 +9,9 @@ namespace maybms {
 
 Catalog ResolveWorld(const WsdDb& db, const std::vector<ComponentId>& comps,
                      const std::vector<size_t>& choice) {
-  // component id -> chosen row
-  std::unordered_map<ComponentId, const ComponentRow*> chosen;
-  for (size_t k = 0; k < comps.size(); ++k) {
-    chosen[comps[k]] = &db.component(comps[k]).row(choice[k]);
-  }
+  // component id -> chosen row index
+  std::unordered_map<ComponentId, size_t> chosen;
+  for (size_t k = 0; k < comps.size(); ++k) chosen[comps[k]] = choice[k];
   Catalog catalog;
   for (const auto& [key, wrel] : db.relations()) {
     Relation rel(wrel.name(), wrel.schema());
@@ -22,9 +20,8 @@ Catalog ResolveWorld(const WsdDb& db, const std::vector<ComponentId>& comps,
       bool alive = true;
       for (size_t k = 0; alive && k < comps.size(); ++k) {
         const Component& c = db.component(comps[k]);
-        const ComponentRow& row = *chosen[comps[k]];
         for (uint32_t s = 0; s < c.NumSlots(); ++s) {
-          if (row.values[s].is_bottom() &&
+          if (c.IsBottomAt(choice[k], s) &&
               std::binary_search(t.deps.begin(), t.deps.end(),
                                  c.slot(s).owner)) {
             alive = false;
@@ -40,12 +37,14 @@ Catalog ResolveWorld(const WsdDb& db, const std::vector<ComponentId>& comps,
         if (cell.is_certain()) {
           row.push_back(cell.value());
         } else {
-          const Value& v = chosen[cell.ref().cid]->values[cell.ref().slot];
+          const Component& c = db.component(cell.ref().cid);
+          const PackedValue& v =
+              c.packed(chosen.at(cell.ref().cid), cell.ref().slot);
           if (v.is_bottom()) {
             bottom_value = true;
             break;
           }
-          row.push_back(v);
+          row.push_back(v.ToValue());
         }
       }
       if (bottom_value) continue;  // defensive: gated by deps already
@@ -76,7 +75,7 @@ Status ForEachWorld(const WsdDb& db, size_t max_worlds,
   for (;;) {
     double p = 1.0;
     for (size_t k = 0; k < comps.size(); ++k) {
-      p *= db.component(comps[k]).row(choice[k]).prob;
+      p *= db.component(comps[k]).prob(choice[k]);
     }
     if (p > 0.0) {
       MAYBMS_RETURN_IF_ERROR(fn(ResolveWorld(db, comps, choice), p));

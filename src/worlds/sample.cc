@@ -13,8 +13,9 @@ namespace {
 size_t SampleRow(const Component& c, Rng* rng) {
   double u = rng->NextDouble() * c.TotalMass();
   double acc = 0.0;
-  for (size_t r = 0; r < c.NumRows(); ++r) {
-    acc += c.row(r).prob;
+  const std::vector<double>& probs = c.probs();
+  for (size_t r = 0; r < probs.size(); ++r) {
+    acc += probs[r];
     if (u < acc) return r;
   }
   return c.NumRows() - 1;
@@ -102,10 +103,10 @@ Result<MapWorld> MostProbableWorld(const WsdDb& db) {
     }
     size_t best = 0;
     for (size_t r = 1; r < c.NumRows(); ++r) {
-      if (c.row(r).prob > c.row(best).prob) best = r;
+      if (c.prob(r) > c.prob(best)) best = r;
     }
     choice[k] = best;
-    prob *= c.row(best).prob;
+    prob *= c.prob(best);
   }
   return MapWorld{ResolveWorld(db, comps, choice), prob};
 }

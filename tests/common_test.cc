@@ -1,6 +1,10 @@
-// Unit tests for src/common: Status/Result, Rng, string utilities, hashing.
+// Unit tests for src/common: Status/Result, Rng, string utilities, hashing —
+// plus the Value hash/equality/order consistency contract (mixed numerics,
+// NaN, ±0.0) that dedup and grouping rely on.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/hash.h"
@@ -8,6 +12,8 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "storage/packed_value.h"
+#include "storage/value.h"
 
 namespace maybms {
 namespace {
@@ -241,6 +247,108 @@ TEST(HashTest, CombineChangesSeed) {
 TEST(HashTest, BytesStable) {
   EXPECT_EQ(HashString("abc"), HashString("abc"));
   EXPECT_NE(HashString("abc"), HashString("abd"));
+}
+
+// --- Value consistency contract: a == b implies Hash(a) == Hash(b) and
+// --- Compare(a, b) == 0, across mixed int/double numerics and the IEEE
+// --- edge cases (NaN, ±0.0).
+
+TEST(ValueConsistencyTest, MixedIntDoubleEquality) {
+  Value i = Value::Int(1), d = Value::Double(1.0);
+  EXPECT_TRUE(i == d);
+  EXPECT_EQ(i.Hash(), d.Hash());
+  EXPECT_EQ(i.Compare(d), 0);
+  EXPECT_FALSE(Value::Int(1) == Value::Double(1.5));
+  EXPECT_EQ(Value::Int(1).Compare(Value::Double(1.5)), -1);
+}
+
+TEST(ValueConsistencyTest, SignedZeroCollapses) {
+  Value pz = Value::Double(0.0), nz = Value::Double(-0.0);
+  EXPECT_TRUE(pz == nz);
+  EXPECT_EQ(pz.Hash(), nz.Hash());
+  EXPECT_EQ(pz.Compare(nz), 0);
+  Value iz = Value::Int(0);
+  EXPECT_TRUE(iz == nz);
+  EXPECT_EQ(iz.Hash(), nz.Hash());
+}
+
+TEST(ValueConsistencyTest, NanIsOneEquivalenceClass) {
+  double qnan = std::numeric_limits<double>::quiet_NaN();
+  // A NaN with a different payload/sign still equals the canonical one.
+  double other_nan = -qnan;
+  ASSERT_TRUE(std::isnan(other_nan));
+  Value a = Value::Double(qnan), b = Value::Double(other_nan);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a.Compare(b), 0);
+  // NaN never equals a number, and sorts after every number.
+  Value inf = Value::Double(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(a == inf);
+  EXPECT_EQ(a.Compare(inf), 1);
+  EXPECT_EQ(inf.Compare(a), -1);
+  EXPECT_FALSE(a == Value::Int(0));
+  EXPECT_EQ(Value::Int(0).Compare(a), -1);
+}
+
+TEST(ValueConsistencyTest, NanStillBelowStringsInTotalOrder) {
+  Value nan = Value::Double(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(nan.Compare(Value::String("a")), -1);
+  EXPECT_EQ(nan.Compare(Value::Null()), 1);
+  EXPECT_EQ(nan.Compare(Value::Bottom()), 1);
+}
+
+TEST(PackedValueConsistencyTest, AgreesWithValueSemantics) {
+  double qnan = std::numeric_limits<double>::quiet_NaN();
+  const Value values[] = {
+      Value::Null(),         Value::Bottom(),      Value::Bool(true),
+      Value::Bool(false),    Value::Int(0),        Value::Int(1),
+      Value::Int(-7),        Value::Double(0.0),   Value::Double(-0.0),
+      Value::Double(1.0),    Value::Double(2.5),   Value::Double(qnan),
+      Value::Double(-qnan),  Value::String(""),    Value::String("abc"),
+      Value::String("abd"),
+  };
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      PackedValue pa = PackedValue::FromValue(a);
+      PackedValue pb = PackedValue::FromValue(b);
+      EXPECT_EQ(a == b, pa == pb) << a.ToString() << " vs " << b.ToString();
+      EXPECT_EQ(a.Compare(b) == 0, pa.Compare(pb) == 0)
+          << a.ToString() << " vs " << b.ToString();
+      EXPECT_EQ((a.Compare(b) < 0), (pa.Compare(pb) < 0))
+          << a.ToString() << " vs " << b.ToString();
+      if (pa == pb) {
+        EXPECT_EQ(pa.Hash(), pb.Hash())
+            << a.ToString() << " vs " << b.ToString();
+      }
+      if (a == b) {
+        EXPECT_EQ(a.Hash(), b.Hash())
+            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+TEST(PackedValueConsistencyTest, RoundTripsThroughValue) {
+  double qnan = std::numeric_limits<double>::quiet_NaN();
+  const Value values[] = {
+      Value::Null(),     Value::Bottom(),       Value::Bool(true),
+      Value::Int(42),    Value::Double(2.5),    Value::Double(qnan),
+      Value::String(""), Value::String("abc"),
+  };
+  for (const Value& v : values) {
+    Value back = PackedValue::FromValue(v).ToValue();
+    EXPECT_TRUE(v == back) << v.ToString();
+  }
+}
+
+TEST(ValuePoolTest, InternDeduplicates) {
+  ValuePool& pool = ValuePool::Global();
+  uint32_t a = pool.Intern("common_test_pool_key");
+  uint32_t b = pool.Intern("common_test_pool_key");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.Get(a), "common_test_pool_key");
+  uint32_t c = pool.Intern("common_test_pool_key2");
+  EXPECT_NE(a, c);
 }
 
 }  // namespace

@@ -1,0 +1,224 @@
+// Unit tests for the columnar component store: slot-major layout, packed
+// row operations (Product, DedupRows, KeepRows), and DropSlots
+// marginalization semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/component.h"
+#include "tests/test_util.h"
+
+namespace maybms {
+namespace {
+
+Component TwoSlotComponent() {
+  Component c;
+  c.AddSlot({1, "x"}, Value::Null());
+  c.AddSlot({2, "y"}, Value::Null());
+  EXPECT_TRUE(c.AddRow({{Value::Int(1), Value::String("a")}, 0.25}).ok());
+  EXPECT_TRUE(c.AddRow({{Value::Int(1), Value::String("b")}, 0.25}).ok());
+  EXPECT_TRUE(c.AddRow({{Value::Int(2), Value::String("a")}, 0.5}).ok());
+  return c;
+}
+
+TEST(ColumnarComponentTest, ColumnsAreSlotMajor) {
+  Component c = TwoSlotComponent();
+  ASSERT_EQ(c.NumSlots(), 2u);
+  ASSERT_EQ(c.NumRows(), 3u);
+  const auto& col0 = c.column(0);
+  ASSERT_EQ(col0.size(), 3u);
+  EXPECT_EQ(col0[0], PackedValue::Int(1));
+  EXPECT_EQ(col0[2], PackedValue::Int(2));
+  EXPECT_EQ(c.ValueAt(1, 1), Value::String("b"));
+  EXPECT_DOUBLE_EQ(c.prob(2), 0.5);
+  // Strings are interned: equal contents share a pool id.
+  EXPECT_EQ(c.packed(0, 1).string_id(), c.packed(2, 1).string_id());
+}
+
+TEST(ColumnarComponentTest, GetRowMaterializesRowMajorView) {
+  Component c = TwoSlotComponent();
+  ComponentRow row = c.GetRow(1);
+  ASSERT_EQ(row.values.size(), 2u);
+  EXPECT_EQ(row.values[0], Value::Int(1));
+  EXPECT_EQ(row.values[1], Value::String("b"));
+  EXPECT_DOUBLE_EQ(row.prob, 0.25);
+}
+
+TEST(ColumnarComponentTest, SetPackedAndSetValueWriteThrough) {
+  Component c = TwoSlotComponent();
+  c.SetPacked(0, 0, PackedValue::Bottom());
+  EXPECT_TRUE(c.IsBottomAt(0, 0));
+  c.SetValue(0, 1, Value::String("zz"));
+  EXPECT_EQ(c.ValueAt(0, 1), Value::String("zz"));
+}
+
+TEST(ColumnarComponentTest, AddSlotWithPackedColumn) {
+  Component c = TwoSlotComponent();
+  std::vector<PackedValue> col = {PackedValue::Bool(true),
+                                  PackedValue::Bottom(),
+                                  PackedValue::Bool(true)};
+  uint32_t s = c.AddSlotWithPacked({7, "e"}, std::move(col));
+  EXPECT_EQ(s, 2u);
+  EXPECT_TRUE(c.IsBottomAt(1, 2));
+  EXPECT_EQ(c.packed(0, 2), PackedExistsToken());
+}
+
+TEST(ColumnarComponentTest, DropSlotsMarginalizesAndMergesMass) {
+  Component c = TwoSlotComponent();
+  c.DropSlots({1});  // drop "y": rows (1,*) merge
+  ASSERT_EQ(c.NumSlots(), 1u);
+  ASSERT_EQ(c.NumRows(), 2u);
+  EXPECT_EQ(c.ValueAt(0, 0), Value::Int(1));  // first-occurrence order
+  EXPECT_DOUBLE_EQ(c.prob(0), 0.5);
+  EXPECT_EQ(c.ValueAt(1, 0), Value::Int(2));
+  EXPECT_DOUBLE_EQ(c.prob(1), 0.5);
+  EXPECT_NEAR(c.TotalMass(), 1.0, 1e-12);  // marginalization keeps mass
+}
+
+TEST(ColumnarComponentTest, DropSlotsMiddleSlotKeepsAlignment) {
+  Component c;
+  c.AddSlot({1, "a"}, Value::Null());
+  c.AddSlot({2, "b"}, Value::Null());
+  c.AddSlot({3, "c"}, Value::Null());
+  MAYBMS_ASSERT_OK(
+      c.AddRow({{Value::Int(1), Value::Int(10), Value::Int(100)}, 0.5}));
+  MAYBMS_ASSERT_OK(
+      c.AddRow({{Value::Int(2), Value::Int(20), Value::Int(100)}, 0.5}));
+  c.DropSlots({1});
+  ASSERT_EQ(c.NumSlots(), 2u);
+  EXPECT_EQ(c.slot(0).label, "a");
+  EXPECT_EQ(c.slot(1).label, "c");
+  ASSERT_EQ(c.NumRows(), 2u);
+  EXPECT_EQ(c.ValueAt(0, 0), Value::Int(1));
+  EXPECT_EQ(c.ValueAt(0, 1), Value::Int(100));
+  EXPECT_EQ(c.ValueAt(1, 0), Value::Int(2));
+}
+
+TEST(ColumnarComponentTest, DropAllButOneWithBottomPattern) {
+  // Marginalizing away data slots must preserve the ⊥ existence pattern
+  // of the surviving slot.
+  Component c;
+  c.AddSlot({1, "data"}, Value::Null());
+  c.AddSlot({2, "e"}, Value::Null());
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(1), ExistsToken()}, 0.3}));
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(2), ExistsToken()}, 0.3}));
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(3), Value::Bottom()}, 0.4}));
+  c.DropSlots({0});
+  ASSERT_EQ(c.NumRows(), 2u);
+  double alive = 0, dead = 0;
+  for (size_t r = 0; r < c.NumRows(); ++r) {
+    (c.IsBottomAt(r, 0) ? dead : alive) += c.prob(r);
+  }
+  EXPECT_NEAR(alive, 0.6, 1e-12);
+  EXPECT_NEAR(dead, 0.4, 1e-12);
+}
+
+TEST(ColumnarComponentTest, DedupMergesMixedNumericRepresentations) {
+  // Int(1) and Double(1.0) are the same logical value; dedup must merge
+  // them (hash consistency across packed tags).
+  Component c;
+  c.AddSlot({1, "x"}, Value::Null());
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(1)}, 0.5}));
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Double(1.0)}, 0.5}));
+  c.DedupRows();
+  ASSERT_EQ(c.NumRows(), 1u);
+  EXPECT_DOUBLE_EQ(c.prob(0), 1.0);
+}
+
+TEST(ColumnarComponentTest, DedupLargeNoAlternativesUntouched) {
+  Component c;
+  c.AddSlot({1, "x"}, Value::Null());
+  for (int i = 0; i < 1000; ++i) {
+    MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(i)}, 0.001}));
+  }
+  c.DedupRows();
+  EXPECT_EQ(c.NumRows(), 1000u);
+  EXPECT_EQ(c.ValueAt(999, 0), Value::Int(999));
+}
+
+TEST(ColumnarComponentTest, KeepRowsFiltersInPlace) {
+  Component c = TwoSlotComponent();
+  c.KeepRows({0, 2});
+  ASSERT_EQ(c.NumRows(), 2u);
+  EXPECT_EQ(c.ValueAt(0, 0), Value::Int(1));
+  EXPECT_EQ(c.ValueAt(1, 0), Value::Int(2));
+  EXPECT_EQ(c.ValueAt(1, 1), Value::String("a"));
+  EXPECT_DOUBLE_EQ(c.prob(0), 0.25);
+  EXPECT_DOUBLE_EQ(c.prob(1), 0.5);
+}
+
+TEST(ColumnarComponentTest, DropZeroRowsUsesKeepRows) {
+  Component c;
+  c.AddSlot({1, "x"}, Value::Null());
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(1)}, 0.0}));
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(2)}, 1.0}));
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(3)}, 0.0}));
+  c.DropZeroRows();
+  ASSERT_EQ(c.NumRows(), 1u);
+  EXPECT_EQ(c.ValueAt(0, 0), Value::Int(2));
+}
+
+TEST(ColumnarComponentTest, ProductPairsRowsColumnMajor) {
+  Component a, b;
+  a.AddSlot({1, "x"}, Value::Null());
+  b.AddSlot({2, "y"}, Value::Null());
+  MAYBMS_ASSERT_OK(a.AddRow({{Value::Int(1)}, 0.4}));
+  MAYBMS_ASSERT_OK(a.AddRow({{Value::Int(2)}, 0.6}));
+  MAYBMS_ASSERT_OK(b.AddRow({{Value::String("u")}, 0.5}));
+  MAYBMS_ASSERT_OK(b.AddRow({{Value::String("v")}, 0.5}));
+  auto p = Component::Product(a, b, 100);
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->NumRows(), 4u);
+  ASSERT_EQ(p->NumSlots(), 2u);
+  // Left-major pairing: (1,u), (1,v), (2,u), (2,v).
+  EXPECT_EQ(p->ValueAt(0, 0), Value::Int(1));
+  EXPECT_EQ(p->ValueAt(0, 1), Value::String("u"));
+  EXPECT_EQ(p->ValueAt(1, 1), Value::String("v"));
+  EXPECT_EQ(p->ValueAt(2, 0), Value::Int(2));
+  EXPECT_DOUBLE_EQ(p->prob(0), 0.2);
+  EXPECT_DOUBLE_EQ(p->prob(3), 0.3);
+  EXPECT_NEAR(p->TotalMass(), 1.0, 1e-12);
+}
+
+TEST(ColumnarComponentTest, ProductThenMarginalizeRecoversFactor) {
+  Component a, b;
+  a.AddSlot({1, "x"}, Value::Null());
+  b.AddSlot({2, "y"}, Value::Null());
+  MAYBMS_ASSERT_OK(a.AddRow({{Value::Int(1)}, 0.4}));
+  MAYBMS_ASSERT_OK(a.AddRow({{Value::Int(2)}, 0.6}));
+  MAYBMS_ASSERT_OK(b.AddRow({{Value::Int(7)}, 0.5}));
+  MAYBMS_ASSERT_OK(b.AddRow({{Value::Int(8)}, 0.5}));
+  auto p = Component::Product(a, b, 100);
+  ASSERT_TRUE(p.ok());
+  Component m = *p;
+  m.DropSlots({1});
+  ASSERT_EQ(m.NumRows(), 2u);
+  EXPECT_NEAR(m.prob(0), 0.4, 1e-12);
+  EXPECT_NEAR(m.prob(1), 0.6, 1e-12);
+}
+
+TEST(ColumnarComponentTest, SerializedSizeMatchesFlatModel) {
+  Component c = TwoSlotComponent();
+  // 3 rows x (4 header + 8 prob) + 3 ints (9) + 3 one-char strings (1+4+1).
+  EXPECT_EQ(c.SerializedSize(), 3u * 12 + 3u * 9 + 3u * 6);
+  EXPECT_GT(c.InternedSize(), 0u);
+}
+
+TEST(ColumnarComponentTest, InternedSizeCountsColumnsNotStrings) {
+  Component c;
+  c.AddSlot({1, "s"}, Value::Null());
+  std::string big(1000, 'q');
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::String(big)}, 0.5}));
+  MAYBMS_ASSERT_OK(c.AddRow({{Value::String(big)}, 0.5}));
+  // Flat model pays for the string twice; the interned store holds two
+  // 16-byte ids (string bytes live once in the pool, attributed at the
+  // database level).
+  EXPECT_GT(c.SerializedSize(), 2000u);
+  EXPECT_LT(c.InternedSize(), 200u);
+  std::unordered_set<std::string_view> strings;
+  c.CollectStrings(&strings);
+  EXPECT_EQ(strings.size(), 1u);
+}
+
+}  // namespace
+}  // namespace maybms

@@ -141,9 +141,9 @@ TEST(NoiseTest, ProbabilitiesFavourOriginal) {
   // largest probability.
   for (ComponentId id : db.LiveComponents()) {
     const Component& c = db.component(id);
-    double first = c.row(0).prob;
-    for (const auto& row : c.rows()) {
-      EXPECT_GE(first + 1e-12, row.prob);
+    double first = c.prob(0);
+    for (double p : c.probs()) {
+      EXPECT_GE(first + 1e-12, p);
     }
   }
 }
@@ -159,8 +159,8 @@ TEST(NoiseTest, UniformProbs) {
   ASSERT_TRUE(stats.ok());
   for (ComponentId id : db.LiveComponents()) {
     const Component& c = db.component(id);
-    for (const auto& row : c.rows()) {
-      EXPECT_NEAR(row.prob, 1.0 / c.NumRows(), 1e-12);
+    for (double p : c.probs()) {
+      EXPECT_NEAR(p, 1.0 / c.NumRows(), 1e-12);
     }
   }
 }

@@ -19,7 +19,7 @@ using testing_util::RelationDistribution;
 
 // Sets a component value to ⊥ directly, for crafting denormalized inputs.
 void SetBottom(WsdDb* db, ComponentId cid, size_t row, uint32_t slot) {
-  db->mutable_component(cid).mutable_row(row).values[slot] = Value::Bottom();
+  db->mutable_component(cid).SetPacked(row, slot, PackedValue::Bottom());
 }
 
 TEST(NormalizeTest, IdempotentOnNormalForm) {
@@ -119,7 +119,7 @@ TEST(NormalizeTest, RowDedupMergesProbabilities) {
   EXPECT_EQ(stats->rows_merged, 1u);
   const Component& c = db.component(db.LiveComponents()[0]);
   ASSERT_EQ(c.NumRows(), 2u);
-  EXPECT_NEAR(c.row(0).prob, 0.5, 1e-12);
+  EXPECT_NEAR(c.prob(0), 0.5, 1e-12);
 }
 
 TEST(NormalizeTest, UnreferencedSlotWithBottomBecomesExistenceSlot) {
@@ -165,8 +165,7 @@ TEST_P(NormalizePreservesDistribution, RandomWsds) {
     Component& c = db.mutable_component(id);
     for (size_t r = 0; r < c.NumRows(); ++r) {
       if (rng.NextBernoulli(0.2)) {
-        c.mutable_row(r).values[rng.NextBelow(c.NumSlots())] =
-            Value::Bottom();
+        c.SetPacked(r, rng.NextBelow(c.NumSlots()), PackedValue::Bottom());
       }
     }
   }

@@ -88,13 +88,13 @@ TEST(PaperExample, ProjectionGivesPaperFinalWsd) {
   const Component& c = db.component(db.LiveComponents()[0]);
   ASSERT_EQ(c.NumRows(), 2u);
   double p_ultra = 0, p_bottom = 0;
-  for (const auto& row : c.rows()) {
+  for (size_t r = 0; r < c.NumRows(); ++r) {
     // The surviving tuple's Test slot:
     const Cell& cell = rel->tuple(0).cells[0];
     ASSERT_TRUE(cell.is_ref());
-    const Value& v = row.values[cell.ref().slot];
-    if (v == Value::String("ultrasound")) p_ultra = row.prob;
-    if (v.is_bottom()) p_bottom = row.prob;
+    Value v = c.ValueAt(r, cell.ref().slot);
+    if (v == Value::String("ultrasound")) p_ultra = c.prob(r);
+    if (v.is_bottom()) p_bottom = c.prob(r);
   }
   EXPECT_NEAR(p_ultra, 0.4, 1e-12);
   EXPECT_NEAR(p_bottom, 0.6, 1e-12);

@@ -35,9 +35,9 @@ TEST(ComponentTest, DedupRowsSumsProbabilities) {
   MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(1)}, 0.2}));
   c.DedupRows();
   ASSERT_EQ(c.NumRows(), 2u);
-  EXPECT_DOUBLE_EQ(c.row(0).prob, 0.5);
-  EXPECT_DOUBLE_EQ(c.row(1).prob, 0.5);
-  EXPECT_EQ(c.row(0).values[0], Value::Int(1));  // first-occurrence order
+  EXPECT_DOUBLE_EQ(c.prob(0), 0.5);
+  EXPECT_DOUBLE_EQ(c.prob(1), 0.5);
+  EXPECT_EQ(c.ValueAt(0, 0), Value::Int(1));  // first-occurrence order
 }
 
 TEST(ComponentTest, DropSlotsMarginalizes) {
@@ -50,8 +50,8 @@ TEST(ComponentTest, DropSlotsMarginalizes) {
   c.DropSlots({1});
   ASSERT_EQ(c.NumSlots(), 1u);
   ASSERT_EQ(c.NumRows(), 2u);  // (1) merged, (2) kept
-  EXPECT_DOUBLE_EQ(c.row(0).prob, 0.5);
-  EXPECT_DOUBLE_EQ(c.row(1).prob, 0.5);
+  EXPECT_DOUBLE_EQ(c.prob(0), 0.5);
+  EXPECT_DOUBLE_EQ(c.prob(1), 0.5);
 }
 
 TEST(ComponentTest, ProductMultipliesRowsAndProbs) {
@@ -66,7 +66,7 @@ TEST(ComponentTest, ProductMultipliesRowsAndProbs) {
   ASSERT_TRUE(p.ok());
   EXPECT_EQ(p->NumRows(), 4u);
   EXPECT_EQ(p->NumSlots(), 2u);
-  EXPECT_DOUBLE_EQ(p->row(0).prob, 0.2);
+  EXPECT_DOUBLE_EQ(p->prob(0), 0.2);
   EXPECT_DOUBLE_EQ(p->TotalMass(), 1.0);
   EXPECT_EQ(Component::Product(a, b, 3).status().code(),
             StatusCode::kResourceExhausted);
@@ -78,7 +78,7 @@ TEST(ComponentTest, RenormalizeAfterConditioning) {
   MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(1)}, 0.4}));
   MAYBMS_ASSERT_OK(c.AddRow({{Value::Int(2)}, 0.4}));
   MAYBMS_ASSERT_OK(c.Renormalize());
-  EXPECT_DOUBLE_EQ(c.row(0).prob, 0.5);
+  EXPECT_DOUBLE_EQ(c.prob(0), 0.5);
   Component empty;
   empty.AddSlot({1, "x"}, Value::Null());
   EXPECT_EQ(empty.Renormalize().code(), StatusCode::kInconsistent);
@@ -149,7 +149,7 @@ TEST(BuilderTest, UniformOrSet) {
   ASSERT_TRUE(h.ok());
   const Component& c = db.component(0);
   ASSERT_EQ(c.NumRows(), 3u);
-  for (const auto& row : c.rows()) EXPECT_NEAR(row.prob, 1.0 / 3, 1e-12);
+  for (double p : c.probs()) EXPECT_NEAR(p, 1.0 / 3, 1e-12);
 }
 
 TEST(BuilderTest, MakeCellUncertain) {
@@ -230,6 +230,78 @@ TEST(WsdDbTest, MergeComponentsRemapsCells) {
   auto worlds = EnumerateWorlds(db);
   ASSERT_TRUE(worlds.ok());
   EXPECT_EQ(worlds->size(), 4u);
+}
+
+TEST(WsdDbTest, MergeComponentGroupsRemapsCellsPerGroup) {
+  // Four or-set cells -> four components; merge {c0,c1} and {c2,c3} in one
+  // batch and check every template cell lands on the right merged slot.
+  WsdDb db;
+  Schema schema({{"a", ValueType::kInt},
+                 {"b", ValueType::kInt},
+                 {"c", ValueType::kInt},
+                 {"d", ValueType::kInt}});
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", schema));
+  std::vector<CellSpec> cells;
+  for (int i = 0; i < 4; ++i) {
+    cells.push_back(CellSpec::OrSet({{Value::Int(10 * i), 0.5},
+                                     {Value::Int(10 * i + 1), 0.5}}));
+  }
+  ASSERT_TRUE(InsertTuple(&db, "r", std::move(cells)).ok());
+  auto live = db.LiveComponents();
+  ASSERT_EQ(live.size(), 4u);
+  // Record pre-merge possible values per column.
+  auto worlds_before = EnumerateWorlds(db);
+  ASSERT_TRUE(worlds_before.ok());
+
+  auto merged = db.MergeComponentGroups(
+      {{live[0], live[1]}, {live[2], live[3]}}, 1u << 10);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged->size(), 2u);
+  EXPECT_EQ(db.NumLiveComponents(), 2u);
+  MAYBMS_ASSERT_OK(db.CheckInvariants());
+
+  const WsdRelation* rel = db.GetRelation("r").value();
+  const WsdTuple& t = rel->tuple(0);
+  // Columns 0,1 -> merged group 0 (slots 0,1); columns 2,3 -> group 1.
+  for (int col = 0; col < 4; ++col) {
+    ASSERT_TRUE(t.cells[col].is_ref());
+    ComponentId expect_cid = (*merged)[col / 2];
+    EXPECT_EQ(t.cells[col].ref().cid, expect_cid) << "column " << col;
+    EXPECT_EQ(t.cells[col].ref().slot, static_cast<uint32_t>(col % 2));
+    // The merged column must carry exactly the original alternatives.
+    const Component& m = db.component(expect_cid);
+    for (size_t r = 0; r < m.NumRows(); ++r) {
+      int64_t v = m.ValueAt(r, t.cells[col].ref().slot).as_int();
+      EXPECT_TRUE(v == 10 * col || v == 10 * col + 1);
+    }
+  }
+  // The world-set distribution is unchanged by merging.
+  auto worlds_after = EnumerateWorlds(db);
+  ASSERT_TRUE(worlds_after.ok());
+  testing_util::ExpectDistEq(
+      testing_util::RelationDistribution(*worlds_before, "r"),
+      testing_util::RelationDistribution(*worlds_after, "r"));
+}
+
+TEST(WsdDbTest, MergeComponentGroupsRejectsOverlap) {
+  WsdDb db = MedicalExample();
+  auto live = db.LiveComponents();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(db.MergeComponentGroups({{live[0], live[1]}, {live[1]}}, 1000)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WsdDbTest, InternedSizeTracksComponents) {
+  WsdDb db = MedicalExample();
+  uint64_t interned = db.InternedSize();
+  EXPECT_GT(interned, 0u);
+  // Adding an uncertain cell grows the interned footprint.
+  auto live = db.LiveComponents();
+  auto m = db.MergeComponents(live, 1000);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(db.InternedSize(), interned);  // product has more cells
 }
 
 TEST(WsdDbTest, MergeBudget) {
