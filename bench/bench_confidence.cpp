@@ -12,6 +12,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/confidence.h"
 #include "core/lifted_executor.h"
@@ -21,8 +22,96 @@
 using namespace maybms;
 using namespace maybms::bench;
 
+namespace {
+
+// Multi-cluster workload with shared merged components: `groups`
+// independence clusters, each holding one component merged from
+// `slots_per_group` binary or-sets plus `tuples_per_group` tuples that
+// reference its slots round-robin. Naive enumeration pays
+// 2^slots_per_group states per cluster; the merged component factorizes
+// exactly back into its or-sets, so the factorized path pays
+// slots_per_group clusters of 2 states each.
+WsdDb BuildSharedSlotGroups(size_t groups, size_t slots_per_group,
+                            size_t tuples_per_group) {
+  WsdDb db;
+  Status st = db.CreateRelation(
+      "r", Schema({{"id", ValueType::kInt}, {"v", ValueType::kInt}}));
+  MAYBMS_CHECK(st.ok());
+  WsdRelation* rel = db.GetMutableRelation("r").value();
+  int64_t id = 0;
+  for (size_t g = 0; g < groups; ++g) {
+    int64_t base = static_cast<int64_t>(g) * 1000;
+    std::vector<ComponentId> comps;
+    for (size_t s = 0; s < slots_per_group; ++s) {
+      auto h = InsertTuple(
+          &db, "r",
+          {CellSpec::Certain(Value::Int(id++)),
+           CellSpec::OrSet(
+               {{Value::Int(base + 2 * static_cast<int64_t>(s)), 0.5},
+                {Value::Int(base + 2 * static_cast<int64_t>(s) + 1), 0.5}})});
+      MAYBMS_CHECK(h.ok());
+      comps.push_back(rel->tuple(h->index).cells[1].ref().cid);
+    }
+    auto merged = db.MergeComponents(comps, 1u << 20);
+    MAYBMS_CHECK(merged.ok()) << merged.status().ToString();
+    for (size_t m = slots_per_group; m < tuples_per_group; ++m) {
+      WsdTuple t;
+      t.cells.push_back(Cell::Certain(Value::Int(id++)));
+      t.cells.push_back(
+          Cell::Ref({*merged, static_cast<uint32_t>(m % slots_per_group)}));
+      rel->Add(std::move(t));
+    }
+  }
+  return db;
+}
+
+// Chains of pairwise-correlated tuples: `chains` unfactorizable clusters
+// of 2^len states each — isolates thread scaling from factorization.
+WsdDb BuildChains(size_t chains, size_t len) {
+  WsdDb db;
+  Status st = db.CreateRelation(
+      "r", Schema({{"x", ValueType::kInt}, {"y", ValueType::kInt}}));
+  MAYBMS_CHECK(st.ok());
+  for (size_t c = 0; c < chains; ++c) {
+    int64_t base = static_cast<int64_t>(c) * 1000;
+    auto prev = InsertTuple(&db, "r", {CellSpec::Certain(Value::Int(base)),
+                                       CellSpec::Pending()});
+    MAYBMS_CHECK(prev.ok());
+    TupleHandle chain = *prev;
+    for (size_t i = 0; i < len; ++i) {
+      bool last = (i + 1 == len);
+      auto next = InsertTuple(&db, "r",
+                              {CellSpec::Pending(),
+                               last ? CellSpec::Certain(Value::Int(base + 99))
+                                    : CellSpec::Pending()});
+      MAYBMS_CHECK(next.ok());
+      auto cid = AddJointComponent(
+          &db, {{chain, "y"}, {*next, "x"}},
+          {{{Value::Int(base + static_cast<int64_t>(i)),
+             Value::Int(base + static_cast<int64_t>(i) + 1)},
+            0.5},
+           {{Value::Int(base + static_cast<int64_t>(i) + 1),
+             Value::Int(base + static_cast<int64_t>(i))},
+            0.5}});
+      MAYBMS_CHECK(cid.ok());
+      chain = *next;
+    }
+  }
+  return db;
+}
+
+double TimeConf(const WsdDb& db, const ConfidenceOptions& opt) {
+  Timer t;
+  auto conf = ConfTable(db, "r", opt);
+  MAYBMS_CHECK(conf.ok()) << conf.status().ToString();
+  return t.Seconds();
+}
+
+}  // namespace
+
 int main() {
   printf("E5 confidence: exact prob() computation on query answers\n\n");
+  BenchJson json("confidence");
 
   // (a) census-scale conf() on Q3's answer at varying noise.
   {
@@ -108,9 +197,93 @@ int main() {
                     StrFormat("%.2e", max_delta)});
     }
     table.Print();
+    printf("\n");
   }
+
+  // (c) cluster decomposition: factorized + parallel vs the naive
+  // single-threaded whole-component enumeration (the pre-cluster-subsystem
+  // algorithm) on a multi-cluster workload.
+  {
+    size_t groups = Scaled(24);
+    printf("(c) multi-cluster workload: %zu clusters, merged 12-slot "
+           "components, 96 tuples each\n", groups);
+    WsdDb db = BuildSharedSlotGroups(groups, 12, 96);
+    Table table({"mode", "threads", "time(s)", "speedup vs naive/1t"});
+    double t_naive1 = 0;
+    struct Config {
+      const char* mode;
+      bool factorize;
+      size_t threads;
+    };
+    for (const Config& cfg : std::initializer_list<Config>{
+             {"naive", false, 1},
+             {"naive", false, 4},
+             {"factorized", true, 1},
+             {"factorized", true, 4}}) {
+      ConfidenceOptions opt;
+      opt.factorize_clusters = cfg.factorize;
+      opt.num_threads = cfg.threads;
+      double secs = TimeConf(db, opt);
+      if (cfg.factorize == false && cfg.threads == 1) t_naive1 = secs;
+      double speedup = t_naive1 / secs;
+      table.AddRow({cfg.mode, StrFormat("%zu", cfg.threads),
+                    StrFormat("%.4f", secs), StrFormat("%.2fx", speedup)});
+      json.Add(StrFormat("conf/multicluster/%s/t%zu", cfg.mode, cfg.threads),
+               secs * 1e9, speedup);
+    }
+    table.Print();
+    printf("(hardware threads available: %zu)\n\n", DefaultNumThreads());
+  }
+
+  // (d) thread scaling on unfactorizable chain clusters (factorization
+  // cannot shrink these; any win is pure parallelism).
+  {
+    size_t chains = Scaled(32);
+    printf("(d) chain workload: %zu unfactorizable clusters of 2^10 "
+           "states\n", chains);
+    WsdDb db = BuildChains(chains, 10);
+    Table table({"threads", "time(s)", "speedup"});
+    double t1 = 0;
+    for (size_t threads : {size_t(1), size_t(2), size_t(4)}) {
+      ConfidenceOptions opt;
+      opt.num_threads = threads;
+      double secs = TimeConf(db, opt);
+      if (threads == 1) t1 = secs;
+      table.AddRow({StrFormat("%zu", threads), StrFormat("%.4f", secs),
+                    StrFormat("%.2fx", t1 / secs)});
+      json.Add(StrFormat("conf/chains/t%zu", threads), secs * 1e9, t1 / secs);
+    }
+    table.Print();
+    printf("\n");
+  }
+
+  // (e) enumeration-budget rescue: a factorizable cluster whose naive
+  // state space (2^16) blows a 4096-state budget completes after local
+  // factorization (16 clusters × 2 states).
+  {
+    printf("(e) budget rescue on a merged 16-slot component "
+           "(2^16 naive states, budget 4096)\n");
+    WsdDb db = BuildSharedSlotGroups(1, 16, 32);
+    ConfidenceOptions naive;
+    naive.factorize_clusters = false;
+    naive.max_cluster_states = 4096;
+    auto fail = ConfTable(db, "r", naive);
+    MAYBMS_CHECK(!fail.ok());
+    printf("naive:      %s\n", fail.status().ToString().c_str());
+    ConfidenceOptions factorized;
+    factorized.max_cluster_states = 4096;
+    Timer t;
+    auto conf = ConfTable(db, "r", factorized);
+    double secs = t.Seconds();
+    MAYBMS_CHECK(conf.ok()) << conf.status().ToString();
+    printf("factorized: %zu vectors in %.4fs\n", conf->NumRows(), secs);
+    json.Add("conf/budget-rescue/factorized", secs * 1e9, 0.0);
+  }
+
   printf("\nshape check vs paper: prob() stays exact (Δp ~ 1e-16) while\n"
          "enumeration time doubles per or-set cell; on the census answers\n"
-         "conf() scales with the answer size, not with the world count.\n");
+         "conf() scales with the answer size, not with the world count;\n"
+         "cluster factorization turns product state spaces into sums and\n"
+         "independent clusters parallelize across the thread pool.\n");
   return 0;
 }

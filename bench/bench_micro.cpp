@@ -367,6 +367,112 @@ void BM_EnumerateWorlds(benchmark::State& state) {
 }
 BENCHMARK(BM_EnumerateWorlds)->Arg(4)->Arg(8)->Arg(12);
 
+void BM_ConfMultiCluster(benchmark::State& state) {
+  // 8 independence clusters built from merged (factorizable) components;
+  // range(0) = threads evaluating clusters concurrently.
+  static WsdDb* db = [] {
+    auto* d = new WsdDb;
+    Status st = d->CreateRelation(
+        "r", Schema({{"id", ValueType::kInt}, {"v", ValueType::kInt}}));
+    MAYBMS_CHECK(st.ok());
+    WsdRelation* rel = d->GetMutableRelation("r").value();
+    int64_t id = 0;
+    for (int g = 0; g < 8; ++g) {
+      std::vector<ComponentId> comps;
+      for (int s = 0; s < 8; ++s) {
+        auto h = InsertTuple(
+            d, "r",
+            {CellSpec::Certain(Value::Int(id++)),
+             CellSpec::OrSet({{Value::Int(g * 100 + 2 * s), 0.5},
+                              {Value::Int(g * 100 + 2 * s + 1), 0.5}})});
+        MAYBMS_CHECK(h.ok());
+        comps.push_back(rel->tuple(h->index).cells[1].ref().cid);
+      }
+      auto merged = d->MergeComponents(comps, 1u << 20);
+      MAYBMS_CHECK(merged.ok());
+      for (uint32_t m = 8; m < 48; ++m) {
+        WsdTuple t;
+        t.cells.push_back(Cell::Certain(Value::Int(id++)));
+        t.cells.push_back(Cell::Ref({*merged, m % 8}));
+        rel->Add(std::move(t));
+      }
+    }
+    return d;
+  }();
+  ConfidenceOptions opt;
+  opt.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto conf = ConfTable(*db, "r", opt);
+    MAYBMS_CHECK(conf.ok());
+    benchmark::DoNotOptimize(conf->NumRows());
+  }
+}
+BENCHMARK(BM_ConfMultiCluster)->Arg(1)->Arg(4);
+
+// Console output plus machine-readable BENCH_micro.json: every result's
+// ns/op, with speedup computed against its BM_*RowBaseline counterpart
+// where one exists, so the columnar-vs-row trajectory is tracked across
+// PRs.
+class JsonTrackReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.run_type == Run::RT_Iteration) {
+        results_.emplace_back(r.benchmark_name(), r.GetAdjustedRealTime());
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void WriteJson() {
+    maybms::bench::BenchJson json("micro");
+    std::unordered_map<std::string, double> by_name(results_.begin(),
+                                                    results_.end());
+    for (const auto& [name, ns] : results_) {
+      double speedup = 0.0;
+      if (name.find("RowBaseline") != std::string::npos) {
+        speedup = 1.0;  // the baseline itself, per the BenchJson contract
+      } else if (ns > 0.0) {
+        size_t slash = name.find('/');
+        std::string base =
+            slash == std::string::npos ? name : name.substr(0, slash);
+        std::string args = slash == std::string::npos ? "" : name.substr(slash);
+        // BM_Foo/args pairs with BM_FooRowBaseline/args; a "Columnar"
+        // variant suffix is replaced, not appended (BM_DedupRowsColumnar
+        // pairs with BM_DedupRowsRowBaseline).
+        for (std::string candidate_base : {base, [&] {
+               constexpr const char kVariant[] = "Columnar";
+               size_t len = sizeof(kVariant) - 1;
+               return base.size() > len &&
+                              base.compare(base.size() - len, len, kVariant) ==
+                                  0
+                          ? base.substr(0, base.size() - len)
+                          : base;
+             }()}) {
+          auto it = by_name.find(candidate_base + "RowBaseline" + args);
+          if (it != by_name.end()) {
+            speedup = it->second / ns;
+            break;
+          }
+        }
+      }
+      json.Add(name, ns, speedup);
+    }
+    json.Write();
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTrackReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.WriteJson();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -74,6 +74,65 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Collects benchmark results and writes a machine-readable
+/// BENCH_<name>.json next to the binary's working directory:
+///
+///   [{"name": "...", "ns_per_op": 123.4, "speedup": 2.5}, ...]
+///
+/// `speedup` is relative to whatever baseline the bench chose (1.0 for
+/// the baseline itself, null when no baseline applies), so the perf
+/// trajectory is trackable across PRs by diffing the files.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() { Write(); }
+
+  /// speedup <= 0 means "no baseline"; emitted as null.
+  void Add(const std::string& name, double ns_per_op, double speedup = 0.0) {
+    entries_.push_back({name, ns_per_op, speedup});
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = fopen(path.c_str(), "w");
+    if (!f) return;
+    fprintf(f, "[\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::string escaped;
+      for (char c : e.name) {
+        if (c == '"' || c == '\\') escaped += '\\';
+        escaped += c;
+      }
+      fprintf(f, "  {\"name\": \"%s\", \"ns_per_op\": %.1f, \"speedup\": ",
+              escaped.c_str(), e.ns_per_op);
+      if (e.speedup > 0.0) {
+        fprintf(f, "%.3f}", e.speedup);
+      } else {
+        fprintf(f, "null}");
+      }
+      fprintf(f, "%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    fprintf(f, "]\n");
+    fclose(f);
+    printf("wrote %s (%zu entries)\n", path.c_str(), entries_.size());
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ns_per_op;
+    double speedup;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
+  bool written_ = false;
+};
+
 /// Scale factor from the environment (MAYBMS_BENCH_SCALE, default 1.0):
 /// benches multiply their record counts by it.
 inline double BenchScale() {

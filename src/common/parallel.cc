@@ -1,0 +1,126 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace maybms {
+
+namespace {
+// True while the current thread executes loop bodies; nested ParallelFor
+// calls run inline instead of deadlocking on the single-loop pool.
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+size_t DefaultNumThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(DefaultNumThreads() - 1);
+  return *pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t last_gen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (fn_ != nullptr && generation_ != last_gen &&
+                       allowed_ > 0);
+    });
+    if (stop_) return;
+    last_gen = generation_;
+    --allowed_;
+    ++active_;
+    const std::function<void(size_t)>* fn = fn_;
+    size_t n = n_;
+    lock.unlock();
+    t_in_parallel_region = true;
+    for (;;) {
+      size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      (*fn)(i);
+      done_count_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    t_in_parallel_region = false;
+    lock.lock();
+    // The caller must not tear down the loop (and destroy fn) while any
+    // joined worker is still between the join handshake and this point,
+    // so completion is "all indices done AND no worker inside the loop".
+    --active_;
+    if (active_ == 0 &&
+        done_count_.load(std::memory_order_acquire) >= n) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t max_threads,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (max_threads == 0) max_threads = threads_.size() + 1;
+  size_t helpers = std::min({threads_.size(), max_threads - 1, n - 1});
+  if (helpers == 0 || t_in_parallel_region) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  // One loop at a time; queued callers wait for the active one to clear.
+  done_cv_.wait(lock, [&] { return fn_ == nullptr; });
+  fn_ = &fn;
+  n_ = n;
+  allowed_ = helpers;
+  active_ = 0;
+  next_.store(0, std::memory_order_relaxed);
+  done_count_.store(0, std::memory_order_relaxed);
+  ++generation_;
+  lock.unlock();
+  work_cv_.notify_all();
+  // The caller is a participant too.
+  t_in_parallel_region = true;
+  for (;;) {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    fn(i);
+    done_count_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  t_in_parallel_region = false;
+  lock.lock();
+  done_cv_.wait(lock, [&] {
+    return active_ == 0 &&
+           done_count_.load(std::memory_order_acquire) >= n_;
+  });
+  fn_ = nullptr;
+  allowed_ = 0;
+  lock.unlock();
+  // Wake any queued ParallelFor caller waiting on fn_ == nullptr.
+  done_cv_.notify_all();
+}
+
+void ParallelFor(size_t num_threads, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (num_threads == 0) num_threads = DefaultNumThreads();
+  if (num_threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool::Shared().ParallelFor(n, num_threads, fn);
+}
+
+}  // namespace maybms

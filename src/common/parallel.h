@@ -1,0 +1,82 @@
+// A small fixed thread pool with a ParallelFor over independent work
+// items. The probabilistic aggregates (confidence.cc) evaluate
+// independence clusters concurrently through this: clusters share no
+// components, so per-cluster work is embarrassingly parallel and only
+// reads the (const, thread-safe) WsdDb.
+//
+// Design: one process-wide pool of hardware_concurrency()-1 persistent
+// workers; the calling thread always participates, so `num_threads`
+// bounds the total parallelism including the caller. Indices are claimed
+// dynamically from a shared atomic counter (work items of very uneven
+// cost — cluster state spaces vary by orders of magnitude — would starve
+// a static partition).
+#ifndef MAYBMS_COMMON_PARALLEL_H_
+#define MAYBMS_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace maybms {
+
+/// Threads used when a caller passes num_threads == 0:
+/// std::thread::hardware_concurrency(), at least 1.
+size_t DefaultNumThreads();
+
+/// A fixed pool of persistent worker threads executing index-sharded
+/// loops. One loop runs at a time; concurrent ParallelFor calls queue.
+class ThreadPool {
+ public:
+  /// Spawns `workers` persistent threads. Callers of ParallelFor
+  /// participate too, so a pool of DefaultNumThreads()-1 saturates the
+  /// machine.
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, sized once to the hardware.
+  static ThreadPool& Shared();
+
+  /// Runs fn(i) for every i in [0, n), on at most `max_threads` threads
+  /// (calling thread included; 0 means "all"); blocks until every index
+  /// completed. fn must not throw — report failures through captured
+  /// per-index state (e.g. a Status vector indexed by i). A call made
+  /// from inside a running fn executes inline on the calling thread.
+  void ParallelFor(size_t n, size_t max_threads,
+                   const std::function<void(size_t)>& fn);
+
+  size_t NumWorkers() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< wakes idle workers
+  std::condition_variable done_cv_;  ///< wakes the ParallelFor caller(s)
+  uint64_t generation_ = 0;          ///< bumped per submitted loop
+  const std::function<void(size_t)>* fn_ = nullptr;  ///< current loop
+  size_t n_ = 0;
+  size_t allowed_ = 0;  ///< workers that may still join the current loop
+  size_t active_ = 0;   ///< workers currently inside the current loop
+  std::atomic<size_t> next_{0};
+  std::atomic<size_t> done_count_{0};
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Convenience wrapper over ThreadPool::Shared(): runs fn(i) for i in
+/// [0, n) on up to `num_threads` threads (0 → DefaultNumThreads();
+/// 1 → plain inline loop, no synchronization at all).
+void ParallelFor(size_t num_threads, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_COMMON_PARALLEL_H_

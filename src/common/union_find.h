@@ -1,0 +1,29 @@
+// Dense union-find over [0, n) with path halving — shared by slot
+// grouping (core/factorize.cc) and factor clustering (core/cluster.cc).
+#ifndef MAYBMS_COMMON_UNION_FIND_H_
+#define MAYBMS_COMMON_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace maybms {
+
+struct DenseUnionFind {
+  std::vector<uint32_t> parent;
+  explicit DenseUnionFind(size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) { parent[Find(a)] = Find(b); }
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_COMMON_UNION_FIND_H_

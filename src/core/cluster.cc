@@ -1,0 +1,263 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/union_find.h"
+
+namespace maybms {
+
+ClusterIndex::ClusterIndex(const WsdDb& db, const WsdRelation& rel,
+                           const ClusterIndexOptions& options)
+    : db_(&db), rel_(&rel) {
+  // 1. owner -> components over the whole store (deps can gate through
+  //    any component, not just those referenced by value cells).
+  std::unordered_map<OwnerId, std::vector<ComponentId>> owner_comps;
+  for (ComponentId id : db.LiveComponents()) {
+    const Component& c = db.component(id);
+    std::unordered_set<OwnerId> seen;
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      if (seen.insert(c.slot(s).owner).second) {
+        owner_comps[c.slot(s).owner].push_back(id);
+      }
+    }
+  }
+
+  // 2. Components touched by the relation (union over tuples of ref
+  //    cells — only_col's when restricted — + dep-gating components),
+  //    in deterministic order.
+  MAYBMS_CHECK(!options.only_col.has_value() || !options.build_clusters)
+      << "only_col requires build_clusters == false";
+  std::vector<ComponentId> touched_comps;
+  {
+    std::unordered_set<ComponentId> seen;
+    for (const WsdTuple& t : rel.tuples()) {
+      for (size_t c = 0; c < t.cells.size(); ++c) {
+        if (options.only_col.has_value() && c != *options.only_col) continue;
+        const Cell& cell = t.cells[c];
+        if (cell.is_ref() && seen.insert(cell.ref().cid).second) {
+          touched_comps.push_back(cell.ref().cid);
+        }
+      }
+      for (OwnerId o : t.deps) {
+        auto it = owner_comps.find(o);
+        if (it == owner_comps.end()) continue;
+        for (ComponentId id : it->second) {
+          if (seen.insert(id).second) touched_comps.push_back(id);
+        }
+      }
+    }
+  }
+  std::sort(touched_comps.begin(), touched_comps.end());
+
+  // 3. Factorize each touched component locally. A component that the
+  //    exact test cannot split becomes a single whole-component factor
+  //    aliasing the database's storage (no copy).
+  for (ComponentId id : touched_comps) {
+    const Component& c = db.component(id);
+    SlotFactorization f;
+    if (options.factorize) {
+      f = FactorizeSlots(c, options.factorize_options);
+    } else {
+      f.groups.emplace_back(c.NumSlots());
+      std::iota(f.groups[0].begin(), f.groups[0].end(), 0);
+    }
+    std::vector<std::pair<FactorId, uint32_t>>& smap = slot_map_[id];
+    smap.resize(c.NumSlots());
+    if (f.groups.size() <= 1) {
+      Factor whole;
+      whole.source = id;
+      whole.slots.resize(c.NumSlots());
+      std::iota(whole.slots.begin(), whole.slots.end(), 0);
+      whole.comp = &c;
+      FactorId fid = static_cast<FactorId>(factors_.size());
+      factors_.push_back(std::move(whole));
+      for (uint32_t s = 0; s < c.NumSlots(); ++s) smap[s] = {fid, s};
+      continue;
+    }
+    for (size_t g = 0; g < f.groups.size(); ++g) {
+      const std::vector<uint32_t>& group = f.groups[g];
+      // Materialize the projection the verification already computed.
+      Component proj;
+      for (uint32_t s : group) proj.AddSlot(c.slot(s), Value::Null());
+      for (ComponentRow& row : f.projections[g]) {
+        Status st = proj.AddRow(std::move(row));
+        MAYBMS_CHECK(st.ok()) << st.ToString();
+      }
+      owned_.push_back(std::move(proj));
+      Factor factor;
+      factor.source = id;
+      factor.slots = group;
+      factor.comp = &owned_.back();
+      factor.projected = true;
+      FactorId fid = static_cast<FactorId>(factors_.size());
+      factors_.push_back(std::move(factor));
+      for (uint32_t i = 0; i < group.size(); ++i) smap[group[i]] = {fid, i};
+    }
+  }
+
+  // 4. owner -> factors (for dep-gating resolution at factor granularity).
+  for (FactorId fid = 0; fid < factors_.size(); ++fid) {
+    const Component& c = *factors_[fid].comp;
+    std::unordered_set<OwnerId> seen;
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      if (seen.insert(c.slot(s).owner).second) {
+        owner_factors_[c.slot(s).owner].push_back(fid);
+      }
+    }
+  }
+
+  // 5. Per-tuple touched factors, union-find, clusters. Per-tuple-term
+  //    aggregates resolve lazily via Touched() instead.
+  if (!options.build_clusters) return;
+  size_t n = rel.NumTuples();
+  std::vector<std::vector<FactorId>> tuple_factors(n);
+  DenseUnionFind uf(factors_.size());
+  for (size_t i = 0; i < n; ++i) {
+    tuple_factors[i] = Touched(rel.tuple(i));
+    for (size_t k = 1; k < tuple_factors[i].size(); ++k) {
+      uf.Union(tuple_factors[i][0], tuple_factors[i][k]);
+    }
+  }
+  std::map<FactorId, size_t> root_to_cluster;  // ordered → deterministic
+  for (size_t i = 0; i < n; ++i) {
+    if (tuple_factors[i].empty()) {
+      certain_tuples_.push_back(i);
+      continue;
+    }
+    FactorId root = uf.Find(tuple_factors[i][0]);
+    auto [it, fresh] = root_to_cluster.emplace(root, clusters_.size());
+    if (fresh) clusters_.emplace_back();
+    Cluster& cl = clusters_[it->second];
+    cl.tuple_idxs.push_back(i);
+    cl.factors.insert(cl.factors.end(), tuple_factors[i].begin(),
+                      tuple_factors[i].end());
+  }
+  for (Cluster& cl : clusters_) {
+    std::sort(cl.factors.begin(), cl.factors.end());
+    cl.factors.erase(std::unique(cl.factors.begin(), cl.factors.end()),
+                     cl.factors.end());
+  }
+}
+
+std::pair<FactorId, uint32_t> ClusterIndex::Resolve(const FieldRef& ref) const {
+  auto it = slot_map_.find(ref.cid);
+  MAYBMS_CHECK(it != slot_map_.end())
+      << "component " << ref.cid << " not touched by indexed relation";
+  MAYBMS_CHECK(ref.slot < it->second.size());
+  return it->second[ref.slot];
+}
+
+const std::vector<FactorId>* ClusterIndex::OwnerFactors(OwnerId o) const {
+  auto it = owner_factors_.find(o);
+  return it == owner_factors_.end() ? nullptr : &it->second;
+}
+
+std::vector<FactorId> ClusterIndex::Touched(
+    const WsdTuple& t, std::optional<size_t> only_col) const {
+  std::vector<FactorId> out;
+  if (only_col.has_value()) {
+    const Cell& cell = t.cells[*only_col];
+    if (cell.is_ref()) out.push_back(Resolve(cell.ref()).first);
+  } else {
+    for (const Cell& cell : t.cells) {
+      if (cell.is_ref()) out.push_back(Resolve(cell.ref()).first);
+    }
+  }
+  for (OwnerId o : t.deps) {
+    const std::vector<FactorId>* fs = OwnerFactors(o);
+    if (fs) out.insert(out.end(), fs->begin(), fs->end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+ClusterEnumerator::ClusterEnumerator(const ClusterIndex& index,
+                                     std::vector<FactorId> factors)
+    : index_(&index), factors_(std::move(factors)) {
+  comps_.reserve(factors_.size());
+  for (FactorId f : factors_) comps_.push_back(index.factor(f).comp);
+  choice_.assign(factors_.size(), 0);
+}
+
+Result<size_t> ClusterEnumerator::CheckBudget(size_t budget,
+                                              const char* what) const {
+  size_t states = 1;
+  for (const Component* c : comps_) {
+    size_t rows = c->NumRows();
+    if (rows == 0) return Status::Inconsistent("empty component");
+    if (states > budget / rows) {
+      return Status::ResourceExhausted(
+          StrFormat("%s needs more than %zu states", what, budget));
+    }
+    states *= rows;
+  }
+  return states;
+}
+
+std::vector<std::vector<uint32_t>> ClusterEnumerator::GatingFor(
+    const std::vector<OwnerId>& deps) const {
+  std::vector<std::vector<uint32_t>> gating(comps_.size());
+  for (size_t k = 0; k < comps_.size(); ++k) {
+    const Component& c = *comps_[k];
+    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+      if (std::binary_search(deps.begin(), deps.end(), c.slot(s).owner)) {
+        gating[k].push_back(s);
+      }
+    }
+  }
+  return gating;
+}
+
+uint32_t ClusterEnumerator::PosOf(FactorId f) const {
+  auto it = std::lower_bound(factors_.begin(), factors_.end(), f);
+  MAYBMS_CHECK(it != factors_.end() && *it == f)
+      << "factor " << f << " not part of this enumerator";
+  return static_cast<uint32_t>(it - factors_.begin());
+}
+
+std::pair<uint32_t, uint32_t> ClusterEnumerator::ResolveAt(
+    const FieldRef& ref) const {
+  auto [f, slot] = index_->Resolve(ref);
+  return {PosOf(f), slot};
+}
+
+void ClusterEnumerator::Reset() {
+  std::fill(choice_.begin(), choice_.end(), 0);
+  done_ = false;
+  for (const Component* c : comps_) {
+    if (c->NumRows() == 0) done_ = true;
+  }
+}
+
+void ClusterEnumerator::Advance() {
+  size_t k = 0;
+  for (; k < comps_.size(); ++k) {
+    if (++choice_[k] < comps_[k]->NumRows()) break;
+    choice_[k] = 0;
+  }
+  if (k == comps_.size()) done_ = true;
+}
+
+double ClusterEnumerator::StateProb() const {
+  double p = 1.0;
+  for (size_t k = 0; k < comps_.size(); ++k) p *= comps_[k]->prob(choice_[k]);
+  return p;
+}
+
+bool ClusterEnumerator::Alive(
+    const std::vector<std::vector<uint32_t>>& gating) const {
+  for (size_t k = 0; k < comps_.size(); ++k) {
+    for (uint32_t s : gating[k]) {
+      if (comps_[k]->IsBottomAt(choice_[k], s)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace maybms

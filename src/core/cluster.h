@@ -1,0 +1,203 @@
+// Shared cluster-decomposition subsystem behind the probabilistic
+// aggregates (conf()/prob(), possible/certain answers, ECOUNT/ESUM).
+//
+// Every probability construct of the query language reduces to the same
+// three steps:
+//
+//  1. *Resolution* — determine which components a template tuple touches:
+//     the components behind its value references plus, via an
+//     owner→component index, every component holding a slot owned by one
+//     of the tuple's existence deps.
+//  2. *Clustering* — union tuples that share components into independence
+//     clusters (tuples in different clusters depend on disjoint component
+//     sets, hence are independent).
+//  3. *Enumeration* — walk each cluster's joint states with a budgeted
+//     odometer; across clusters, absence probabilities multiply
+//     (conf(v) = 1 − Π_clusters (1 − P_cluster(v))).
+//
+// Before clustering, every touched component is *locally factorized*
+// with the exact independence test of factorize.cc: when a component's
+// joint distribution is a product over disjoint slot groups, this index
+// replaces it — internally only; the database is never modified — by the
+// per-group projections ("factors"). Tuples then touch factors instead
+// of whole components, clusters get finer, and the enumerated state
+// space drops from Π(component rows) to a sum over finer clusters of
+// Π(factor rows) — the succinctness argument of the follow-up WSD papers
+// ("10^(10^6) Worlds and Beyond") applied to query evaluation.
+//
+// Clusters share no mutable state and only read the (const, thread-safe)
+// WsdDb, so callers evaluate them concurrently via common/parallel.h.
+#ifndef MAYBMS_CORE_CLUSTER_H_
+#define MAYBMS_CORE_CLUSTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/factorize.h"
+#include "core/wsd.h"
+
+namespace maybms {
+
+/// Identifies a factor within one ClusterIndex (dense, index-local).
+using FactorId = uint32_t;
+
+/// One enumerable unit: a live component of the database, or — after
+/// local factorization — its projection onto one independent slot group.
+struct Factor {
+  ComponentId source = kInvalidComponent;  ///< component it came from
+  std::vector<uint32_t> slots;  ///< covered source slots, ascending
+  const Component* comp = nullptr;  ///< rows enumerated (db- or index-owned)
+  bool projected = false;  ///< comp is an index-owned projection
+
+  /// Whole-component factor aliasing the database's storage?
+  bool whole() const { return !projected; }
+};
+
+/// One independence cluster of a template relation.
+struct Cluster {
+  std::vector<FactorId> factors;   ///< sorted, unique
+  std::vector<size_t> tuple_idxs;  ///< member tuples (relation indexes)
+};
+
+struct ClusterIndexOptions {
+  /// Locally factorize touched components before clustering. Turning
+  /// this off reproduces whole-component clustering (used by the
+  /// differential tests and as a naive baseline in benchmarks).
+  bool factorize = true;
+  /// Build the relation-wide clusters (step 5). Per-tuple-term
+  /// aggregates (ESUM) only need resolution + factorization and skip
+  /// the union-find/cluster assembly by turning this off; clusters()
+  /// and certain_tuples() stay empty then.
+  bool build_clusters = true;
+  /// Restrict value-reference resolution to this column: components
+  /// referenced only by other columns are neither indexed nor
+  /// factorized (dep-gating components always are). Requires
+  /// build_clusters == false, and Touched() must then be called with
+  /// the same column.
+  std::optional<size_t> only_col;
+  /// Tolerances of the exact factorization test.
+  FactorizeOptions factorize_options;
+};
+
+/// Owner→component resolution, local factorization, and union-find
+/// clustering for one template relation. Immutable after construction;
+/// safe to share across threads.
+class ClusterIndex {
+ public:
+  /// Builds the index: owner→component map over `db`, local factorization
+  /// of every component touched by `rel`, per-tuple factor resolution,
+  /// and clustering. `db` and `rel` must outlive the index.
+  ClusterIndex(const WsdDb& db, const WsdRelation& rel,
+               const ClusterIndexOptions& options = {});
+
+  ClusterIndex(const ClusterIndex&) = delete;
+  ClusterIndex& operator=(const ClusterIndex&) = delete;
+
+  const WsdDb& db() const { return *db_; }
+  const WsdRelation& rel() const { return *rel_; }
+
+  size_t NumFactors() const { return factors_.size(); }
+  const Factor& factor(FactorId f) const { return factors_[f]; }
+
+  /// The independence clusters of the relation (tuples touching at least
+  /// one component), in deterministic order.
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+
+  /// Tuples touching no component: present in every world.
+  const std::vector<size_t>& certain_tuples() const { return certain_tuples_; }
+
+  /// (factor, local slot) behind a template cell reference. The referenced
+  /// component must be touched by the relation this index was built for.
+  std::pair<FactorId, uint32_t> Resolve(const FieldRef& ref) const;
+
+  /// Factors holding a slot owned by `o`; nullptr when none.
+  const std::vector<FactorId>* OwnerFactors(OwnerId o) const;
+
+  /// Touched factors of `t` (a tuple of the indexed relation), sorted
+  /// unique: the factors behind its ref cells — all cells, or just
+  /// `only_col` when given (ESUM resolves one term per tuple) — plus
+  /// every factor gating one of its deps owners.
+  std::vector<FactorId> Touched(
+      const WsdTuple& t, std::optional<size_t> only_col = std::nullopt) const;
+
+ private:
+  const WsdDb* db_;
+  const WsdRelation* rel_;
+  std::deque<Component> owned_;  ///< projected factor components (stable)
+  std::vector<Factor> factors_;
+  /// component id -> per-source-slot (factor, local slot)
+  std::unordered_map<ComponentId, std::vector<std::pair<FactorId, uint32_t>>>
+      slot_map_;
+  std::unordered_map<OwnerId, std::vector<FactorId>> owner_factors_;
+  std::vector<Cluster> clusters_;
+  std::vector<size_t> certain_tuples_;
+};
+
+/// Budgeted odometer over the joint states of a factor set, with gating
+/// (existence) checks and cell resolution under the current state.
+/// Typical drive:
+///
+///   ClusterEnumerator en(index, cluster.factors);
+///   MAYBMS_RETURN_IF_ERROR(en.CheckBudget(budget, "conf").status());
+///   auto gating = en.GatingFor(t.deps);
+///   for (en.Reset(); !en.Done(); en.Advance()) {
+///     double p = en.StateProb();
+///     if (p <= 0.0 || !en.Alive(gating)) continue;
+///     ...en.PackedAt(pos, slot)...
+///   }
+class ClusterEnumerator {
+ public:
+  ClusterEnumerator(const ClusterIndex& index, std::vector<FactorId> factors);
+
+  size_t NumFactors() const { return comps_.size(); }
+
+  /// Π of factor row counts; ResourceExhausted when it exceeds `budget`
+  /// (`what` names the caller in the message), Inconsistent on an empty
+  /// factor.
+  Result<size_t> CheckBudget(size_t budget, const char* what) const;
+
+  /// Gating slots per factor, aligned with the factor list, for a sorted
+  /// deps vector: the local slots whose owner appears in `deps`.
+  std::vector<std::vector<uint32_t>> GatingFor(
+      const std::vector<OwnerId>& deps) const;
+
+  /// Position of factor f in this enumerator's factor list (pre: present).
+  uint32_t PosOf(FactorId f) const;
+
+  /// (factor position, local slot) for a template cell reference —
+  /// resolve once per tuple, then read with PackedAt per state.
+  std::pair<uint32_t, uint32_t> ResolveAt(const FieldRef& ref) const;
+
+  // --- state iteration ----------------------------------------------------
+  void Reset();
+  bool Done() const { return done_; }
+  void Advance();
+
+  /// Probability of the current joint state (product of chosen rows).
+  double StateProb() const;
+
+  /// Are all gating slots non-⊥ in the current state?
+  bool Alive(const std::vector<std::vector<uint32_t>>& gating) const;
+
+  /// Packed cell of factor position `pos`, local slot `slot`, under the
+  /// current state.
+  const PackedValue& PackedAt(uint32_t pos, uint32_t slot) const {
+    return comps_[pos]->packed(choice_[pos], slot);
+  }
+
+ private:
+  const ClusterIndex* index_;
+  std::vector<FactorId> factors_;
+  std::vector<const Component*> comps_;
+  std::vector<size_t> choice_;
+  bool done_ = true;
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_CLUSTER_H_

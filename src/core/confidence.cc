@@ -1,40 +1,18 @@
 #include "core/confidence.h"
 
 #include <algorithm>
-#include <map>
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
+#include "core/cluster.h"
 
 namespace maybms {
 
 namespace {
-
-// Union-find over component ids for clustering.
-class ComponentUf {
- public:
-  ComponentId Find(ComponentId c) {
-    auto it = parent_.find(c);
-    if (it == parent_.end()) {
-      parent_[c] = c;
-      return c;
-    }
-    ComponentId root = c;
-    while (parent_[root] != root) root = parent_[root];
-    while (parent_[c] != root) {
-      ComponentId next = parent_[c];
-      parent_[c] = root;
-      c = next;
-    }
-    return root;
-  }
-  void Union(ComponentId a, ComponentId b) { parent_[Find(a)] = Find(b); }
-
- private:
-  std::unordered_map<ComponentId, ComponentId> parent_;
-};
 
 struct VectorHash {
   size_t operator()(const Tuple& t) const { return TupleHash(t); }
@@ -46,6 +24,81 @@ struct VectorEq {
 };
 
 using VectorProb = std::unordered_map<Tuple, double, VectorHash, VectorEq>;
+using VectorSet = std::unordered_set<Tuple, VectorHash, VectorEq>;
+
+ClusterIndexOptions IndexOptions(const ConfidenceOptions& options,
+                                 bool build_clusters = true) {
+  ClusterIndexOptions ci;
+  ci.factorize = options.factorize_clusters;
+  ci.build_clusters = build_clusters;
+  return ci;
+}
+
+// P(vector present) for one cluster: enumerate the joint states of the
+// cluster's factors; in each state, collect the distinct value vectors of
+// the alive member tuples and credit the state's probability to each.
+Result<VectorProb> EvalCluster(const ClusterIndex& index,
+                               const Cluster& cluster,
+                               const ConfidenceOptions& options) {
+  const WsdRelation& rel = index.rel();
+  ClusterEnumerator en(index, cluster.factors);
+  MAYBMS_RETURN_IF_ERROR(
+      en.CheckBudget(options.max_cluster_states, "confidence cluster")
+          .status());
+
+  // Per member: gating slots per factor and pre-resolved cell positions.
+  struct Member {
+    const WsdTuple* t;
+    std::vector<std::vector<uint32_t>> gating;
+    /// Per cell: (factor position, local slot); kCertainCell for inline.
+    std::vector<std::pair<uint32_t, uint32_t>> cell_pos;
+  };
+  constexpr uint32_t kCertainCell = UINT32_MAX;
+  std::vector<Member> members;
+  members.reserve(cluster.tuple_idxs.size());
+  for (size_t i : cluster.tuple_idxs) {
+    Member m;
+    m.t = &rel.tuple(i);
+    m.gating = en.GatingFor(m.t->deps);
+    m.cell_pos.reserve(m.t->cells.size());
+    for (const Cell& cell : m.t->cells) {
+      m.cell_pos.push_back(cell.is_certain() ? std::make_pair(kCertainCell, 0u)
+                                             : en.ResolveAt(cell.ref()));
+    }
+    members.push_back(std::move(m));
+  }
+
+  VectorProb vp;
+  Tuple v(rel.schema().size());
+  // Hash-set dedup of the vectors present in one state (a tuple-pair
+  // linear scan here is O(members²) per state).
+  VectorSet present;
+  for (en.Reset(); !en.Done(); en.Advance()) {
+    double p = en.StateProb();
+    if (p <= 0.0) continue;
+    present.clear();
+    for (const Member& m : members) {
+      if (!en.Alive(m.gating)) continue;
+      bool dead_value = false;
+      for (size_t c = 0; c < m.t->cells.size(); ++c) {
+        if (m.cell_pos[c].first == kCertainCell) {
+          v[c] = m.t->cells[c].value();
+          continue;
+        }
+        const PackedValue& pv =
+            en.PackedAt(m.cell_pos[c].first, m.cell_pos[c].second);
+        if (pv.is_bottom()) {
+          dead_value = true;
+          break;
+        }
+        v[c] = pv.ToValue();
+      }
+      if (!dead_value) present.insert(v);
+    }
+    for (const Tuple& u : present) vp[u] += p;
+  }
+  return vp;
+}
 
 }  // namespace
 
@@ -53,188 +106,39 @@ Result<Relation> ConfTable(const WsdDb& db, const std::string& rel_name,
                            const ConfidenceOptions& options) {
   MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db.GetRelation(rel_name));
 
-  // Precompute, per tuple, the touched components; gating-component
-  // discovery is hoisted out of the per-tuple loop via an owner->component
-  // index.
-  std::unordered_map<OwnerId, std::vector<ComponentId>> owner_comps;
-  for (ComponentId id : db.LiveComponents()) {
-    const Component& c = db.component(id);
-    std::unordered_set<OwnerId> seen;
-    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
-      if (seen.insert(c.slot(s).owner).second) {
-        owner_comps[c.slot(s).owner].push_back(id);
-      }
-    }
-  }
-  auto touched = [&](const WsdTuple& t) {
-    std::vector<ComponentId> out;
-    for (const auto& cell : t.cells) {
-      if (cell.is_ref()) out.push_back(cell.ref().cid);
-    }
-    for (OwnerId o : t.deps) {
-      auto it = owner_comps.find(o);
-      if (it != owner_comps.end()) {
-        out.insert(out.end(), it->second.begin(), it->second.end());
-      }
-    }
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
-    return out;
-  };
+  ClusterIndex index(db, *rel, IndexOptions(options));
+  const std::vector<Cluster>& clusters = index.clusters();
 
-  // Cluster tuples through shared components.
-  ComponentUf uf;
-  std::vector<std::vector<ComponentId>> tuple_comps(rel->NumTuples());
-  for (size_t i = 0; i < rel->NumTuples(); ++i) {
-    tuple_comps[i] = touched(rel->tuple(i));
-    for (size_t k = 1; k < tuple_comps[i].size(); ++k) {
-      uf.Union(tuple_comps[i][0], tuple_comps[i][k]);
-    }
-  }
-  // cluster root -> tuple indexes; certain tuples go to the trivial pile.
-  std::map<ComponentId, std::vector<size_t>> clusters;
-  std::vector<size_t> certain_tuples;
-  for (size_t i = 0; i < rel->NumTuples(); ++i) {
-    if (tuple_comps[i].empty()) {
-      certain_tuples.push_back(i);
-    } else {
-      clusters[uf.Find(tuple_comps[i][0])].push_back(i);
-    }
-  }
-
-  // P(vector present) per cluster.
-  std::vector<VectorProb> cluster_probs;
-
-  // Trivial pile: always-present vectors.
-  if (!certain_tuples.empty()) {
-    VectorProb vp;
-    for (size_t i : certain_tuples) {
+  // P(vector present) per cluster; slot 0 is the trivial pile of
+  // always-present vectors (certain tuples).
+  std::vector<VectorProb> cluster_probs(clusters.size() + 1);
+  if (!index.certain_tuples().empty()) {
+    VectorProb& vp = cluster_probs[0];
+    for (size_t i : index.certain_tuples()) {
       Tuple v;
       v.reserve(rel->schema().size());
       for (const auto& cell : rel->tuple(i).cells) v.push_back(cell.value());
       vp[v] = 1.0;
     }
-    cluster_probs.push_back(std::move(vp));
   }
 
-  for (const auto& [root, tuple_idxs] : clusters) {
-    // Collect the cluster's components (union over member tuples).
-    std::vector<ComponentId> comps;
-    for (size_t i : tuple_idxs) {
-      comps.insert(comps.end(), tuple_comps[i].begin(), tuple_comps[i].end());
+  // Clusters share no factors, so they are evaluated concurrently; each
+  // writes only its own output slot. Once one cluster fails, remaining
+  // clusters are skipped (fail-fast — their results would be discarded);
+  // the first recorded error in cluster order is surfaced.
+  std::vector<Status> statuses(clusters.size(), Status::OK());
+  std::atomic<bool> failed{false};
+  ParallelFor(options.num_threads, clusters.size(), [&](size_t ci) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    Result<VectorProb> r = EvalCluster(index, clusters[ci], options);
+    if (r.ok()) {
+      cluster_probs[ci + 1] = std::move(*r);
+    } else {
+      statuses[ci] = r.status();
+      failed.store(true, std::memory_order_relaxed);
     }
-    std::sort(comps.begin(), comps.end());
-    comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
-
-    // Budget check.
-    size_t states = 1;
-    for (ComponentId id : comps) {
-      size_t rows = db.component(id).NumRows();
-      if (rows == 0) return Status::Inconsistent("empty component");
-      if (states > options.max_cluster_states / rows) {
-        return Status::ResourceExhausted(
-            StrFormat("confidence cluster needs more than %zu states",
-                      options.max_cluster_states));
-      }
-      states *= rows;
-    }
-
-    // Per tuple: resolve which slots gate it in each cluster component.
-    struct Member {
-      const WsdTuple* t;
-      // per component (aligned with comps): gating slot indexes
-      std::vector<std::vector<uint32_t>> gating;
-    };
-    std::vector<Member> members;
-    members.reserve(tuple_idxs.size());
-    for (size_t i : tuple_idxs) {
-      Member m;
-      m.t = &rel->tuple(i);
-      m.gating.resize(comps.size());
-      for (size_t k = 0; k < comps.size(); ++k) {
-        const Component& c = db.component(comps[k]);
-        for (uint32_t s = 0; s < c.NumSlots(); ++s) {
-          if (std::binary_search(m.t->deps.begin(), m.t->deps.end(),
-                                 c.slot(s).owner)) {
-            m.gating[k].push_back(s);
-          }
-        }
-      }
-      members.push_back(std::move(m));
-    }
-
-    // Map component id -> position in comps for cell resolution.
-    std::unordered_map<ComponentId, size_t> comp_pos;
-    for (size_t k = 0; k < comps.size(); ++k) comp_pos[comps[k]] = k;
-
-    // Odometer over the cluster's component rows.
-    std::vector<size_t> choice(comps.size(), 0);
-    VectorProb vp;
-    Tuple v(rel->schema().size());
-    for (;;) {
-      double p = 1.0;
-      for (size_t k = 0; k < comps.size(); ++k) {
-        p *= db.component(comps[k]).prob(choice[k]);
-      }
-      if (p > 0.0) {
-        // Which vectors are present in this state? Dedup within state.
-        std::unordered_set<size_t> seen_hashes;
-        std::vector<Tuple> present;
-        for (const auto& m : members) {
-          bool alive = true;
-          for (size_t k = 0; alive && k < comps.size(); ++k) {
-            const Component& ck = db.component(comps[k]);
-            for (uint32_t s : m.gating[k]) {
-              if (ck.IsBottomAt(choice[k], s)) {
-                alive = false;
-                break;
-              }
-            }
-          }
-          if (!alive) continue;
-          bool dead_value = false;
-          for (size_t c = 0; c < m.t->cells.size(); ++c) {
-            const Cell& cell = m.t->cells[c];
-            if (cell.is_certain()) {
-              v[c] = cell.value();
-            } else {
-              size_t k = comp_pos.at(cell.ref().cid);
-              const PackedValue& pv =
-                  db.component(comps[k]).packed(choice[k], cell.ref().slot);
-              if (pv.is_bottom()) {
-                dead_value = true;
-                break;
-              }
-              v[c] = pv.ToValue();
-            }
-          }
-          if (dead_value) continue;
-          bool dup = false;
-          for (const auto& u : present) {
-            if (TupleCompare(u, v) == 0) {
-              dup = true;
-              break;
-            }
-          }
-          if (!dup) present.push_back(v);
-        }
-        for (auto& u : present) vp[u] += p;
-      }
-      // Advance odometer.
-      size_t k = 0;
-      for (; k < comps.size(); ++k) {
-        if (++choice[k] < db.component(comps[k]).NumRows()) break;
-        choice[k] = 0;
-      }
-      if (k == comps.size()) break;
-      if (comps.empty()) break;
-    }
-    if (comps.empty()) {
-      // Cannot happen (cluster implies components), but stay safe.
-      continue;
-    }
-    cluster_probs.push_back(std::move(vp));
-  }
+  });
+  for (const Status& st : statuses) MAYBMS_RETURN_IF_ERROR(st);
 
   // Combine: conf(v) = 1 - Π (1 - P_cluster(v)).
   VectorProb conf;
@@ -276,7 +180,15 @@ Result<Relation> ConfTable(const WsdDb& db, const std::string& rel_name,
 
 Result<Relation> PossibleTuples(const WsdDb& db, const std::string& rel,
                                 const ConfidenceOptions& options) {
-  return ConfTable(db, rel, options);
+  MAYBMS_ASSIGN_OR_RETURN(Relation with_conf, ConfTable(db, rel, options));
+  // Drop zero-confidence vectors: they appear through zero-probability
+  // component rows or rounding and are not possible answers.
+  Relation out(with_conf.name(), with_conf.schema());
+  size_t conf_col = with_conf.schema().size() - 1;
+  for (const auto& row : with_conf.rows()) {
+    if (row[conf_col].as_double() > 0.0) out.AppendUnchecked(row);
+  }
+  return out;
 }
 
 Result<Relation> CertainTuples(const WsdDb& db, const std::string& rel_name,
@@ -298,12 +210,15 @@ Result<Relation> CertainTuples(const WsdDb& db, const std::string& rel_name,
   return out;
 }
 
-Result<double> ExpectedCount(const WsdDb& db, const std::string& rel_name) {
+Result<double> ExpectedCount(const WsdDb& db, const std::string& rel_name,
+                             const ConfidenceOptions& options) {
   MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db.GetRelation(rel_name));
+  std::vector<double> terms(rel->NumTuples(), 0.0);
+  ParallelFor(options.num_threads, rel->NumTuples(), [&](size_t i) {
+    terms[i] = db.ExistenceProbability(rel->tuple(i));
+  });
   double total = 0.0;
-  for (const auto& t : rel->tuples()) {
-    total += db.ExistenceProbability(t);
-  }
+  for (double t : terms) total += t;  // in-order sum: deterministic
   return total;
 }
 
@@ -313,107 +228,67 @@ Result<double> ExpectedSum(const WsdDb& db, const std::string& rel_name,
   MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db.GetRelation(rel_name));
   MAYBMS_ASSIGN_OR_RETURN(size_t col, rel->schema().Resolve(column));
 
-  // owner -> components gating it (built once).
-  std::unordered_map<OwnerId, std::vector<ComponentId>> owner_comps;
-  for (ComponentId id : db.LiveComponents()) {
-    const Component& c = db.component(id);
-    std::unordered_set<OwnerId> seen;
-    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
-      if (seen.insert(c.slot(s).owner).second) {
-        owner_comps[c.slot(s).owner].push_back(id);
-      }
-    }
-  }
+  ClusterIndexOptions ci = IndexOptions(options, /*build_clusters=*/false);
+  ci.only_col = col;  // other columns' components are never enumerated
+  ClusterIndex index(db, *rel, ci);
 
-  double total = 0.0;
-  for (const auto& t : rel->tuples()) {
-    // Components relevant for this tuple's term.
-    std::vector<ComponentId> comps;
-    if (t.cells[col].is_ref()) comps.push_back(t.cells[col].ref().cid);
-    for (OwnerId o : t.deps) {
-      auto it = owner_comps.find(o);
-      if (it != owner_comps.end()) {
-        comps.insert(comps.end(), it->second.begin(), it->second.end());
-      }
-    }
-    std::sort(comps.begin(), comps.end());
-    comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
-
-    if (comps.empty()) {
+  // By linearity each tuple's term E[v_t · alive_t] is computed over its
+  // own touched factors, independently of the other tuples (even when
+  // they share components), so terms parallelize tuple-wise.
+  size_t n = rel->NumTuples();
+  std::vector<double> terms(n, 0.0);
+  std::vector<Status> statuses(n, Status::OK());
+  std::atomic<bool> failed{false};
+  auto fail = [&](size_t i, Status st) {
+    statuses[i] = std::move(st);
+    failed.store(true, std::memory_order_relaxed);
+  };
+  ParallelFor(options.num_threads, n, [&](size_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const WsdTuple& t = rel->tuple(i);
+    std::vector<FactorId> factors = index.Touched(t, col);
+    if (factors.empty()) {
       const Value& v = t.cells[col].value();
-      if (v.is_null()) continue;
+      if (v.is_null()) return;
       if (!v.is_numeric()) {
-        return Status::TypeMismatch("ESUM over non-numeric value " +
-                                    v.ToString());
+        fail(i, Status::TypeMismatch("ESUM over non-numeric value " +
+                                     v.ToString()));
+        return;
       }
-      total += v.NumericValue();
-      continue;
+      terms[i] = v.NumericValue();
+      return;
     }
-    size_t states = 1;
-    for (ComponentId id : comps) {
-      size_t rows = db.component(id).NumRows();
-      if (rows == 0) return Status::Inconsistent("empty component");
-      if (states > options.max_cluster_states / rows) {
-        return Status::ResourceExhausted(
-            "ESUM tuple cluster exceeds enumeration budget");
-      }
-      states *= rows;
+    ClusterEnumerator en(index, std::move(factors));
+    Result<size_t> budget =
+        en.CheckBudget(options.max_cluster_states, "ESUM tuple cluster");
+    if (!budget.ok()) {
+      fail(i, budget.status());
+      return;
     }
-    // Gating slot layout per component.
-    std::vector<std::vector<uint32_t>> gating(comps.size());
-    for (size_t k = 0; k < comps.size(); ++k) {
-      const Component& c = db.component(comps[k]);
-      for (uint32_t s = 0; s < c.NumSlots(); ++s) {
-        if (std::binary_search(t.deps.begin(), t.deps.end(),
-                               c.slot(s).owner)) {
-          gating[k].push_back(s);
-        }
+    std::vector<std::vector<uint32_t>> gating = en.GatingFor(t.deps);
+    const Cell& cell = t.cells[col];
+    std::pair<uint32_t, uint32_t> pos{UINT32_MAX, 0};
+    if (cell.is_ref()) pos = en.ResolveAt(cell.ref());
+    double term = 0.0;
+    for (en.Reset(); !en.Done(); en.Advance()) {
+      double p = en.StateProb();
+      if (p <= 0.0 || !en.Alive(gating)) continue;
+      Value v = cell.is_certain()
+                    ? cell.value()
+                    : en.PackedAt(pos.first, pos.second).ToValue();
+      if (v.is_null() || v.is_bottom()) continue;
+      if (!v.is_numeric()) {
+        fail(i, Status::TypeMismatch("ESUM over non-numeric value " +
+                                     v.ToString()));
+        return;
       }
+      term += p * v.NumericValue();
     }
-    std::unordered_map<ComponentId, size_t> comp_pos;
-    for (size_t k = 0; k < comps.size(); ++k) comp_pos[comps[k]] = k;
-
-    std::vector<size_t> choice(comps.size(), 0);
-    for (;;) {
-      double p = 1.0;
-      for (size_t k = 0; k < comps.size(); ++k) {
-        p *= db.component(comps[k]).prob(choice[k]);
-      }
-      if (p > 0.0) {
-        bool alive = true;
-        for (size_t k = 0; alive && k < comps.size(); ++k) {
-          const Component& ck = db.component(comps[k]);
-          for (uint32_t s : gating[k]) {
-            if (ck.IsBottomAt(choice[k], s)) {
-              alive = false;
-              break;
-            }
-          }
-        }
-        if (alive) {
-          const Cell& cell = t.cells[col];
-          Value v = cell.is_certain()
-                        ? cell.value()
-                        : db.component(comps[comp_pos.at(cell.ref().cid)])
-                              .ValueAt(choice[comp_pos.at(cell.ref().cid)],
-                                       cell.ref().slot);
-          if (!v.is_null() && !v.is_bottom()) {
-            if (!v.is_numeric()) {
-              return Status::TypeMismatch("ESUM over non-numeric value " +
-                                          v.ToString());
-            }
-            total += p * v.NumericValue();
-          }
-        }
-      }
-      size_t k = 0;
-      for (; k < comps.size(); ++k) {
-        if (++choice[k] < db.component(comps[k]).NumRows()) break;
-        choice[k] = 0;
-      }
-      if (k == comps.size()) break;
-    }
-  }
+    terms[i] = term;
+  });
+  for (const Status& st : statuses) MAYBMS_RETURN_IF_ERROR(st);
+  double total = 0.0;
+  for (double t : terms) total += t;  // in-order sum: deterministic
   return total;
 }
 

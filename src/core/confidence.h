@@ -1,17 +1,20 @@
 // Confidence computation: the probability constructs of the query
-// language (prob(), possible, certain answers).
+// language (prob(), possible, certain answers, expected aggregates).
 //
 // conf(v) for a value-vector v over relation R is the probability that
 // some tuple of R carries exactly the values v — the paper's prob()
 // semantics ("computed by summing up the probabilities of this event over
 // all such worlds").
 //
-// Exact algorithm: template tuples are partitioned into independence
-// clusters (tuples connected through shared components); within a cluster
-// the joint distribution is enumerated (budgeted), across clusters the
-// absence probabilities multiply. Confidence computation is #P-hard in
+// Exact algorithm (shared cluster subsystem, core/cluster.h): template
+// tuples are partitioned into independence clusters (tuples connected
+// through shared components, after locally factorizing components into
+// independent factors); within a cluster the joint distribution is
+// enumerated (budgeted), across clusters the absence probabilities
+// multiply. Independent clusters are evaluated concurrently on a fixed
+// thread pool (common/parallel.h). Confidence computation is #P-hard in
 // general; the decomposition keeps typical or-set workloads polynomial
-// because clusters stay small.
+// because factorized clusters stay small.
 #ifndef MAYBMS_CORE_CONFIDENCE_H_
 #define MAYBMS_CORE_CONFIDENCE_H_
 
@@ -27,6 +30,14 @@ struct ConfidenceOptions {
   size_t max_cluster_states = 1u << 20;
   /// Tolerance when classifying certainty (conf >= 1 - eps).
   double eps = 1e-9;
+  /// Threads evaluating independent clusters / per-tuple terms
+  /// concurrently: 0 = hardware concurrency, 1 = fully serial.
+  size_t num_threads = 0;
+  /// Locally factorize components into independent factors before
+  /// enumeration (core/cluster.h): turns Π-sized cluster state spaces
+  /// into sums of per-factor products. Off reproduces naive
+  /// whole-component enumeration (differential tests, benchmarks).
+  bool factorize_clusters = true;
 };
 
 /// Distinct possible value-vectors of `rel` with a trailing "conf" column
@@ -35,7 +46,9 @@ struct ConfidenceOptions {
 Result<Relation> ConfTable(const WsdDb& db, const std::string& rel,
                            const ConfidenceOptions& options = {});
 
-/// Vectors with conf > 0 (all rows of ConfTable) — the possible answers.
+/// Vectors with conf > 0 — the possible answers. Zero-confidence vectors
+/// (possible only through rounding or zero-probability component rows)
+/// are dropped; the conf column is kept.
 Result<Relation> PossibleTuples(const WsdDb& db, const std::string& rel,
                                 const ConfidenceOptions& options = {});
 
@@ -45,13 +58,17 @@ Result<Relation> CertainTuples(const WsdDb& db, const std::string& rel,
                                const ConfidenceOptions& options = {});
 
 /// Expected number of tuples of `rel` (sum of existence probabilities) —
-/// a probabilistic-aggregate extension.
-Result<double> ExpectedCount(const WsdDb& db, const std::string& rel);
+/// a probabilistic-aggregate extension. Terms are computed concurrently
+/// (options.num_threads) and summed in tuple order, so the result is
+/// deterministic across thread counts.
+Result<double> ExpectedCount(const WsdDb& db, const std::string& rel,
+                             const ConfidenceOptions& options = {});
 
 /// Expected value of SUM(column) over the worlds: by linearity,
 /// Σ_t E[v_t · alive_t], each term computed exactly over the tuple's own
-/// component cluster (budgeted by options.max_cluster_states). NULL
-/// values contribute 0 (as SQL SUM ignores them).
+/// factorized component cluster (budgeted by options.max_cluster_states).
+/// NULL values contribute 0 (as SQL SUM ignores them); ⊥ values mean the
+/// tuple is absent in that state and also contribute 0.
 Result<double> ExpectedSum(const WsdDb& db, const std::string& rel,
                            const std::string& column,
                            const ConfidenceOptions& options = {});

@@ -9,34 +9,32 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/union_find.h"
 
 namespace maybms {
 
 namespace {
 
-struct UnionFind {
-  std::vector<uint32_t> parent;
-  explicit UnionFind(size_t n) : parent(n) {
-    std::iota(parent.begin(), parent.end(), 0);
-  }
-  uint32_t Find(uint32_t x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  }
-  void Union(uint32_t a, uint32_t b) { parent[Find(a)] = Find(b); }
-};
-
-// Distribution over the values of one slot.
-using Marginal = std::map<Value, double>;
+// Distribution over the (packed) values of one slot. Packed keys keep
+// the analysis allocation-free and hash-based — this machinery runs on
+// every confidence query now (ClusterIndex factorizes locally), not just
+// in the offline Factorize() pass.
+using Marginal = std::unordered_map<PackedValue, double, PackedValueHash>;
 
 Marginal SlotMarginal(const Component& c, uint32_t s) {
   Marginal m;
-  for (size_t r = 0; r < c.NumRows(); ++r) m[c.ValueAt(r, s)] += c.prob(r);
+  const std::vector<PackedValue>& col = c.column(s);
+  for (size_t r = 0; r < c.NumRows(); ++r) m[col[r]] += c.prob(r);
   return m;
 }
+
+struct PackedPairHash {
+  size_t operator()(const std::pair<PackedValue, PackedValue>& p) const {
+    size_t h = p.first.Hash();
+    HashCombine(&h, p.second.Hash());
+    return h;
+  }
+};
 
 // Tests whether slots a and b are independent: joint == product of
 // marginals for every observed pair (and the joint support is the full
@@ -44,12 +42,25 @@ Marginal SlotMarginal(const Component& c, uint32_t s) {
 // combinations since those would need probability 0 = pa*pb > 0).
 bool PairwiseIndependent(const Component& c, uint32_t a, uint32_t b,
                          const Marginal& ma, const Marginal& mb, double eps) {
-  std::map<std::pair<Value, Value>, double> joint;
+  size_t full = ma.size() * mb.size();
+  // The joint support can never exceed the row count, so a fuller-than-
+  // the-rows product is dependent without building the joint map (this
+  // also keeps the reserve bounded — full can be quadratic in rows).
+  if (full > c.NumRows()) return false;
+  std::unordered_map<std::pair<PackedValue, PackedValue>, double,
+                     PackedPairHash>
+      joint;
+  joint.reserve(full);
+  const std::vector<PackedValue>& ca = c.column(a);
+  const std::vector<PackedValue>& cb = c.column(b);
   for (size_t r = 0; r < c.NumRows(); ++r) {
-    joint[{c.ValueAt(r, a), c.ValueAt(r, b)}] += c.prob(r);
+    joint[{ca[r], cb[r]}] += c.prob(r);
+    // More support pairs than the product ⇒ dependent (cannot happen for
+    // exact marginals, but cheap insurance against eps drift).
+    if (joint.size() > full) return false;
   }
   // Support size check: full independence needs |joint| == |ma| * |mb|.
-  if (joint.size() != ma.size() * mb.size()) return false;
+  if (joint.size() != full) return false;
   for (const auto& [pair, p] : joint) {
     double expected = ma.at(pair.first) * mb.at(pair.second);
     if (std::abs(p - expected) > eps) return false;
@@ -57,10 +68,99 @@ bool PairwiseIndependent(const Component& c, uint32_t a, uint32_t b,
   return true;
 }
 
-// Projects rows onto a slot group, summing probabilities of equal
-// projections. Returns rows in first-occurrence order.
-std::vector<ComponentRow> ProjectGroup(const Component& c,
-                                       const std::vector<uint32_t>& slots) {
+// Hash-indexed lookup from the projection of a component row onto a slot
+// group to the group-projection's aggregated probability. Rows are kept
+// packed so lookups neither allocate nor materialize Values; keeps the
+// verification pass linear in rows instead of rows × projection size.
+class ProjectionIndex {
+ public:
+  explicit ProjectionIndex(const std::vector<ComponentRow>& rows) {
+    packed_.reserve(rows.size());
+    probs_.reserve(rows.size());
+    buckets_.reserve(rows.size() * 2);
+    for (const ComponentRow& row : rows) {
+      std::vector<PackedValue> packed;
+      packed.reserve(row.values.size());
+      for (const Value& v : row.values) packed.push_back(PackedValue::FromValue(v));
+      size_t h = packed.size();
+      for (const PackedValue& v : packed) HashCombine(&h, v.Hash());
+      buckets_[h].push_back(packed_.size());
+      packed_.push_back(std::move(packed));
+      probs_.push_back(row.prob);
+    }
+  }
+
+  /// Probability of the projection of row r of `c` onto `slots`;
+  /// negative when the projection is not among the indexed rows.
+  double Lookup(const Component& c, size_t r,
+                const std::vector<uint32_t>& slots) const {
+    size_t h = slots.size();
+    for (uint32_t s : slots) HashCombine(&h, c.packed(r, s).Hash());
+    auto it = buckets_.find(h);
+    if (it == buckets_.end()) return -1.0;
+    for (size_t idx : it->second) {
+      const std::vector<PackedValue>& vals = packed_[idx];
+      bool eq = vals.size() == slots.size();
+      for (size_t i = 0; eq && i < slots.size(); ++i) {
+        if (vals[i] != c.packed(r, slots[i])) eq = false;
+      }
+      if (eq) return probs_[idx];
+    }
+    return -1.0;
+  }
+
+ private:
+  std::vector<std::vector<PackedValue>> packed_;
+  std::vector<double> probs_;
+  std::unordered_map<size_t, std::vector<size_t>> buckets_;
+};
+
+// Exact verification that the partition yields a product decomposition.
+bool VerifyProductDecomposition(
+    const Component& c, const std::vector<std::vector<uint32_t>>& groups,
+    const std::vector<std::vector<ComponentRow>>& projections, double eps) {
+  // Count check: distinct rows of c must equal the product of group sizes.
+  // (c is expected deduped; dedup happens in normalization. Recompute the
+  // distinct count defensively.)
+  std::vector<uint32_t> all(c.NumSlots());
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<ComponentRow> distinct_rows = ProjectSlotGroup(c, all);
+  size_t distinct = distinct_rows.size();
+  size_t product = 1;
+  for (const auto& proj : projections) {
+    if (proj.empty()) return false;
+    if (product > distinct / proj.size() + 1) return false;
+    product *= proj.size();
+    if (product > distinct) return false;
+  }
+  if (product != distinct) return false;
+  // Probability check: every row's probability equals the product of its
+  // group-projection marginals. Row probability may appear multiple times
+  // if c has duplicate rows; compare against the deduped mass of the row
+  // (hash-indexed, so this pass stays linear in rows).
+  ProjectionIndex mass_index(distinct_rows);
+  std::vector<ProjectionIndex> group_index;
+  group_index.reserve(projections.size());
+  for (const auto& proj : projections) group_index.emplace_back(proj);
+  for (size_t r = 0; r < c.NumRows(); ++r) {
+    double expected = 1.0;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      double pg = group_index[g].Lookup(c, r, groups[g]);
+      if (pg < 0.0) return false;
+      expected *= pg;
+    }
+    double mass = mass_index.Lookup(c, r, all);
+    if (std::abs(mass - expected) > eps * std::max(1.0, std::abs(expected))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ComponentRow> ProjectSlotGroup(const Component& c,
+                                           const std::vector<uint32_t>& slots) {
   std::vector<ComponentRow> out;
   std::unordered_map<size_t, std::vector<size_t>> seen;
   for (size_t r = 0; r < c.NumRows(); ++r) {
@@ -96,69 +196,48 @@ std::vector<ComponentRow> ProjectGroup(const Component& c,
   return out;
 }
 
-// Exact verification that the partition yields a product decomposition.
-bool VerifyProductDecomposition(
-    const Component& c, const std::vector<std::vector<uint32_t>>& groups,
-    const std::vector<std::vector<ComponentRow>>& projections, double eps) {
-  // Count check: distinct rows of c must equal the product of group sizes.
-  // (c is expected deduped; dedup happens in normalization. Recompute the
-  // distinct count defensively.)
-  std::vector<uint32_t> all(c.NumSlots());
-  std::iota(all.begin(), all.end(), 0);
-  size_t distinct = ProjectGroup(c, all).size();
-  size_t product = 1;
-  for (const auto& proj : projections) {
-    if (proj.empty()) return false;
-    if (product > distinct / proj.size() + 1) return false;
-    product *= proj.size();
-    if (product > distinct) return false;
-  }
-  if (product != distinct) return false;
-  // Probability check: every row's probability equals the product of its
-  // group-projection marginals.
-  for (size_t r = 0; r < c.NumRows(); ++r) {
-    double expected = 1.0;
-    for (size_t g = 0; g < groups.size(); ++g) {
-      // Find the projection entry matching this row.
-      double pg = -1.0;
-      for (const auto& proj_row : projections[g]) {
-        bool eq = true;
-        for (size_t i = 0; i < groups[g].size(); ++i) {
-          if (!(proj_row.values[i] == c.ValueAt(r, groups[g][i]))) {
-            eq = false;
-            break;
-          }
-        }
-        if (eq) {
-          pg = proj_row.prob;
-          break;
-        }
-      }
-      if (pg < 0.0) return false;
-      expected *= pg;
-    }
-    // Row probability may appear multiple times if c has duplicate rows;
-    // compare against the deduped mass of this row (packed compares —
-    // no materialization in the quadratic part).
-    double mass = 0.0;
-    for (size_t o = 0; o < c.NumRows(); ++o) {
-      bool eq = true;
-      for (size_t s = 0; s < c.NumSlots(); ++s) {
-        if (!(c.packed(o, s) == c.packed(r, s))) {
-          eq = false;
-          break;
-        }
-      }
-      if (eq) mass += c.prob(o);
-    }
-    if (std::abs(mass - expected) > eps * std::max(1.0, std::abs(expected))) {
-      return false;
-    }
-  }
-  return true;
-}
+SlotFactorization FactorizeSlots(const Component& c,
+                                 const FactorizeOptions& options) {
+  size_t n = c.NumSlots();
+  SlotFactorization whole;
+  whole.groups.resize(1);
+  whole.groups[0].resize(n);
+  std::iota(whole.groups[0].begin(), whole.groups[0].end(), 0);
+  if (n < 2 || c.NumRows() < 2 || n > options.max_slots) return whole;
 
-}  // namespace
+  // Group slots by pairwise dependence; the exact product verification
+  // below makes this sound even across slots of the same owner (the ⊥
+  // existence pattern is part of the joint distribution being checked).
+  DenseUnionFind uf(n);
+  std::vector<Marginal> marginals(n);
+  for (uint32_t s = 0; s < n; ++s) marginals[s] = SlotMarginal(c, s);
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = a + 1; b < n; ++b) {
+      if (uf.Find(a) == uf.Find(b)) continue;
+      if (!PairwiseIndependent(c, a, b, marginals[a], marginals[b],
+                               options.eps)) {
+        uf.Union(a, b);
+      }
+    }
+  }
+  std::map<uint32_t, std::vector<uint32_t>> group_map;
+  for (uint32_t s = 0; s < n; ++s) group_map[uf.Find(s)].push_back(s);
+  if (group_map.size() < 2) return whole;
+  SlotFactorization out;
+  out.groups.reserve(group_map.size());
+  for (auto& [root, slots] : group_map) out.groups.push_back(std::move(slots));
+
+  out.projections.reserve(out.groups.size());
+  for (const auto& g : out.groups) {
+    out.projections.push_back(ProjectSlotGroup(c, g));
+  }
+
+  if (!VerifyProductDecomposition(c, out.groups, out.projections,
+                                  options.eps)) {
+    return whole;
+  }
+  return out;
+}
 
 Result<FactorizeStats> Factorize(WsdDb* db, const FactorizeOptions& options) {
   FactorizeStats stats;
@@ -171,51 +250,23 @@ Result<FactorizeStats> Factorize(WsdDb* db, const FactorizeOptions& options) {
     const Component c = db->component(id);
     stats.rows_before += c.NumRows();
 
-    // Group slots by pairwise dependence; the exact product verification
-    // below makes this sound even across slots of the same owner (the ⊥
-    // existence pattern is part of the joint distribution being checked).
-    size_t n = c.NumSlots();
-    UnionFind uf(n);
-    std::vector<Marginal> marginals(n);
-    for (uint32_t s = 0; s < n; ++s) marginals[s] = SlotMarginal(c, s);
-    for (uint32_t a = 0; a < n; ++a) {
-      for (uint32_t b = a + 1; b < n; ++b) {
-        if (uf.Find(a) == uf.Find(b)) continue;
-        if (!PairwiseIndependent(c, a, b, marginals[a], marginals[b],
-                                 options.eps)) {
-          uf.Union(a, b);
-        }
-      }
-    }
-    std::map<uint32_t, std::vector<uint32_t>> group_map;
-    for (uint32_t s = 0; s < n; ++s) group_map[uf.Find(s)].push_back(s);
-    if (group_map.size() < 2) {
-      stats.rows_after += c.NumRows();
-      continue;
-    }
-    std::vector<std::vector<uint32_t>> groups;
-    groups.reserve(group_map.size());
-    for (auto& [root, slots] : group_map) groups.push_back(std::move(slots));
-
-    std::vector<std::vector<ComponentRow>> projections;
-    projections.reserve(groups.size());
-    for (const auto& g : groups) projections.push_back(ProjectGroup(c, g));
-
-    if (!VerifyProductDecomposition(c, groups, projections, options.eps)) {
+    SlotFactorization f = FactorizeSlots(c, options);
+    if (f.groups.size() < 2) {
       stats.rows_after += c.NumRows();
       continue;
     }
 
     // Materialize the factors and remap template references.
     // old slot -> (new component id, new slot idx)
+    size_t n = c.NumSlots();
     std::vector<std::pair<ComponentId, uint32_t>> remap(n);
-    for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t g = 0; g < f.groups.size(); ++g) {
       Component factor;
-      for (size_t i = 0; i < groups[g].size(); ++i) {
-        factor.AddSlot(c.slot(groups[g][i]), Value::Null());
+      for (size_t i = 0; i < f.groups[g].size(); ++i) {
+        factor.AddSlot(c.slot(f.groups[g][i]), Value::Null());
       }
       // AddSlot on an empty component adds no rows; add them now.
-      for (auto& row : projections[g]) {
+      for (auto& row : f.projections[g]) {
         Status st = factor.AddRow(std::move(row));
         MAYBMS_CHECK(st.ok()) << st.ToString();
       }
@@ -223,8 +274,8 @@ Result<FactorizeStats> Factorize(WsdDb* db, const FactorizeOptions& options) {
       MAYBMS_CHECK(st.ok()) << st.ToString();
       stats.rows_after += factor.NumRows();
       ComponentId fid = db->AddComponent(std::move(factor));
-      for (size_t i = 0; i < groups[g].size(); ++i) {
-        remap[groups[g][i]] = {fid, static_cast<uint32_t>(i)};
+      for (size_t i = 0; i < f.groups[g].size(); ++i) {
+        remap[f.groups[g][i]] = {fid, static_cast<uint32_t>(i)};
       }
       ++stats.factors_produced;
     }

@@ -37,6 +37,29 @@ struct FactorizeStats {
 /// when the product decomposition is exact.
 Result<FactorizeStats> Factorize(WsdDb* db, const FactorizeOptions& options = {});
 
+/// A certified product decomposition of a component's slots: the groups
+/// and, when a split was certified (groups.size() > 1), the per-group
+/// row projections the verification already computed (aligned with
+/// `groups`; empty otherwise) so callers don't recompute them.
+struct SlotFactorization {
+  std::vector<std::vector<uint32_t>> groups;
+  std::vector<std::vector<ComponentRow>> projections;
+};
+
+/// The partition of `c`'s slots into groups whose joint distribution
+/// provably factorizes as the product of the group marginals — the
+/// grouping + exact-verification core of Factorize(), reusable without
+/// mutating a database (cluster.cc factorizes locally before
+/// enumeration). Returns a single group holding all slots when no split
+/// is certified (including trivial components: < 2 slots or < 2 rows).
+SlotFactorization FactorizeSlots(const Component& c,
+                                 const FactorizeOptions& options = {});
+
+/// Projection of `c` onto a slot group: rows restricted to `slots`, equal
+/// projections merged with probabilities summed (first-occurrence order).
+std::vector<ComponentRow> ProjectSlotGroup(const Component& c,
+                                           const std::vector<uint32_t>& slots);
+
 }  // namespace maybms
 
 #endif  // MAYBMS_CORE_FACTORIZE_H_

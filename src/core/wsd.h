@@ -110,6 +110,13 @@ struct WsdOptions {
 ///
 /// Value type with deep-copy semantics; lifted query evaluation operates
 /// on a private copy so inputs stay immutable.
+///
+/// Thread safety: all const methods are safe to call concurrently as
+/// long as no thread mutates the database — there are no mutable members
+/// or lazily-populated caches, and value materialization only reads the
+/// (internally synchronized) global ValuePool. The parallel aggregate
+/// paths (core/confidence.cc) rely on this: worker threads share one
+/// const WsdDb while enumerating independent clusters.
 class WsdDb {
  public:
   WsdDb() = default;

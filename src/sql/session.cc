@@ -146,7 +146,8 @@ Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
   MAYBMS_ASSIGN_OR_RETURN(WsdDb answer, ExecuteLifted(plan, db_));
   StatementResult result;
   if (q.wants_ecount) {
-    MAYBMS_ASSIGN_OR_RETURN(double ec, ExpectedCount(answer, "result"));
+    MAYBMS_ASSIGN_OR_RETURN(double ec,
+                            ExpectedCount(answer, "result", conf_options_));
     Relation table("", Schema({{"ecount", ValueType::kDouble}}));
     table.AppendUnchecked({Value::Double(ec)});
     result.kind = StatementResult::Kind::kTable;
@@ -155,7 +156,8 @@ Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
   }
   if (q.wants_esum) {
     MAYBMS_ASSIGN_OR_RETURN(double es,
-                            ExpectedSum(answer, "result", q.esum_column));
+                            ExpectedSum(answer, "result", q.esum_column,
+                                        conf_options_));
     Relation table("", Schema({{"esum", ValueType::kDouble}}));
     table.AppendUnchecked({Value::Double(es)});
     result.kind = StatementResult::Kind::kTable;
@@ -163,7 +165,8 @@ Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
     return result;
   }
   if (q.wants_prob) {
-    MAYBMS_ASSIGN_OR_RETURN(Relation conf, ConfTable(answer, "result"));
+    MAYBMS_ASSIGN_OR_RETURN(Relation conf,
+                            ConfTable(answer, "result", conf_options_));
     // Rename the trailing conf column to the requested alias.
     Schema s = conf.schema();
     std::vector<Attribute> attrs = s.attrs();
@@ -176,13 +179,15 @@ Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
   }
   switch (q.mode) {
     case SelectMode::kPossible: {
-      MAYBMS_ASSIGN_OR_RETURN(Relation t, PossibleTuples(answer, "result"));
+      MAYBMS_ASSIGN_OR_RETURN(
+          Relation t, PossibleTuples(answer, "result", conf_options_));
       result.kind = StatementResult::Kind::kTable;
       result.table = std::move(t);
       return result;
     }
     case SelectMode::kCertain: {
-      MAYBMS_ASSIGN_OR_RETURN(Relation t, CertainTuples(answer, "result"));
+      MAYBMS_ASSIGN_OR_RETURN(
+          Relation t, CertainTuples(answer, "result", conf_options_));
       result.kind = StatementResult::Kind::kTable;
       result.table = std::move(t);
       return result;

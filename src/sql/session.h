@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/confidence.h"
 #include "core/wsd.h"
 #include "sql/ast.h"
 #include "storage/relation.h"
@@ -41,6 +42,12 @@ class Session {
   WsdDb& db() { return db_; }
   const WsdDb& db() const { return db_; }
 
+  /// Knobs of the probabilistic-aggregate lowering (PROB/POSSIBLE/
+  /// CERTAIN/ECOUNT/ESUM): enumeration budget, cluster factorization,
+  /// and the number of threads evaluating independent clusters.
+  const ConfidenceOptions& conf_options() const { return conf_options_; }
+  ConfidenceOptions& mutable_conf_options() { return conf_options_; }
+
   /// Parses and executes one statement.
   Result<StatementResult> Execute(const std::string& statement);
 
@@ -57,6 +64,7 @@ class Session {
   Result<StatementResult> RunShow(const ShowStmt& stmt);
 
   WsdDb db_;
+  ConfidenceOptions conf_options_;
 };
 
 }  // namespace sql

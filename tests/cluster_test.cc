@@ -1,0 +1,451 @@
+// Tests for the shared cluster-decomposition subsystem (core/cluster.h):
+// index structure, local factorization, the multi-cluster combine
+// formula, enumeration budgets, parallel evaluation, and differential
+// checks of factorized vs naive enumeration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/parallel.h"
+#include "core/builder.h"
+#include "core/cluster.h"
+#include "core/confidence.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace {
+
+using testing_util::MedicalExample;
+using testing_util::RandomWsd;
+using testing_util::RandomWsdOptions;
+
+std::map<std::string, double> TableConf(const Relation& table) {
+  std::map<std::string, double> conf;
+  for (const auto& row : table.rows()) {
+    std::string key;
+    for (size_t c = 0; c + 1 < row.size(); ++c) key += row[c].ToString() + "|";
+    conf[key] = row.back().as_double();
+  }
+  return conf;
+}
+
+// E[SUM(col)] by brute-force world enumeration.
+double OracleExpectedSum(const WsdDb& db, const std::string& rel,
+                         size_t col) {
+  auto worlds = EnumerateWorlds(db, 1u << 18);
+  EXPECT_TRUE(worlds.ok());
+  double total = 0.0;
+  for (const auto& w : *worlds) {
+    const Relation& r = *w.catalog.Get(rel).value();
+    for (const auto& row : r.rows()) {
+      if (!row[col].is_null()) total += w.prob * row[col].NumericValue();
+    }
+  }
+  return total;
+}
+
+// Inserts `n` tuples with one binary or-set each and returns the db.
+WsdDb IndependentOrSets(size_t n, double p_first = 0.5) {
+  WsdDb db;
+  Status st = db.CreateRelation("r", Schema({{"x", ValueType::kInt}}));
+  EXPECT_TRUE(st.ok());
+  for (size_t i = 0; i < n; ++i) {
+    auto h = InsertTuple(
+        &db, "r",
+        {CellSpec::OrSet(
+            {{Value::Int(1), p_first},
+             {Value::Int(static_cast<int64_t>(i + 10)), 1.0 - p_first}})});
+    EXPECT_TRUE(h.ok());
+  }
+  return db;
+}
+
+// Merges all live components of `db` into a single product component.
+void MergeAllComponents(WsdDb* db) {
+  std::vector<ComponentId> live = db->LiveComponents();
+  ASSERT_GE(live.size(), 2u);
+  auto merged = db->MergeComponents(live, 1u << 20);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+}
+
+TEST(ClusterIndexTest, MedicalExampleStructure) {
+  WsdDb db = MedicalExample();
+  const WsdRelation* rel = db.GetRelation("R").value();
+  ClusterIndex index(db, *rel);
+  // r1 touches c1 (Diagnosis+Test, correlated — unsplittable) and c2
+  // (Symptom); r2 is certain.
+  EXPECT_EQ(index.certain_tuples().size(), 1u);
+  ASSERT_EQ(index.clusters().size(), 1u);
+  EXPECT_EQ(index.clusters()[0].tuple_idxs.size(), 1u);
+  EXPECT_EQ(index.clusters()[0].factors.size(), 2u);
+  // The joint (Diagnosis, Test) component must not be split: its two
+  // slots are perfectly correlated.
+  for (FactorId f : index.clusters()[0].factors) {
+    EXPECT_TRUE(index.factor(f).whole());
+  }
+}
+
+TEST(ClusterIndexTest, FactorizesMergedComponent) {
+  // Three independent binary or-sets merged into one 8-row component:
+  // local factorization must split it back into three 2-row factors and
+  // the tuples must land in three separate clusters.
+  WsdDb db = IndependentOrSets(3);
+  MergeAllComponents(&db);
+  EXPECT_EQ(db.NumLiveComponents(), 1u);
+  EXPECT_EQ(db.component(db.LiveComponents()[0]).NumRows(), 8u);
+
+  const WsdRelation* rel = db.GetRelation("r").value();
+  ClusterIndex factorized(db, *rel);
+  EXPECT_EQ(factorized.NumFactors(), 3u);
+  EXPECT_EQ(factorized.clusters().size(), 3u);
+  for (const Cluster& cl : factorized.clusters()) {
+    EXPECT_EQ(cl.factors.size(), 1u);
+    EXPECT_EQ(factorized.factor(cl.factors[0]).comp->NumRows(), 2u);
+  }
+
+  ClusterIndexOptions naive_opt;
+  naive_opt.factorize = false;
+  ClusterIndex naive(db, *rel, naive_opt);
+  EXPECT_EQ(naive.NumFactors(), 1u);
+  EXPECT_EQ(naive.clusters().size(), 1u);
+}
+
+TEST(ClusterIndexTest, TouchedRespectsColumnFilter) {
+  // Tuple with two or-set cells: restricted to one column, only that
+  // column's factor (plus dep-gated factors) is touched.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation(
+      "r", Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}})));
+  auto h = InsertTuple(
+      &db, "r",
+      {CellSpec::OrSet({{Value::Int(1), 0.5}, {Value::Int(2), 0.5}}),
+       CellSpec::Certain(Value::Int(7))});
+  ASSERT_TRUE(h.ok());
+  const WsdRelation* rel = db.GetRelation("r").value();
+  ClusterIndex index(db, *rel);
+  EXPECT_FALSE(index.Touched(rel->tuple(0)).empty());
+  // Column b is certain and the tuple has no deps beyond its or-set
+  // owner; the or-set component still gates existence only if the owner
+  // appears in deps — it does, so the factor remains touched.
+  std::vector<FactorId> col_b = index.Touched(rel->tuple(0), 1);
+  std::vector<FactorId> col_a = index.Touched(rel->tuple(0), 0);
+  EXPECT_EQ(col_a.size(), col_b.size());
+}
+
+TEST(ClusterEnumeratorTest, StatesAndBudget) {
+  WsdDb db = IndependentOrSets(4);
+  MergeAllComponents(&db);
+  const WsdRelation* rel = db.GetRelation("r").value();
+
+  ClusterIndexOptions naive_opt;
+  naive_opt.factorize = false;
+  ClusterIndex naive(db, *rel, naive_opt);
+  ASSERT_EQ(naive.clusters().size(), 1u);
+  ClusterEnumerator en(naive, naive.clusters()[0].factors);
+  auto states = en.CheckBudget(1u << 20, "test");
+  ASSERT_TRUE(states.ok());
+  EXPECT_EQ(*states, 16u);
+  EXPECT_EQ(en.CheckBudget(8, "test").status().code(),
+            StatusCode::kResourceExhausted);
+
+  // Factorized: per-cluster state spaces are 2, not 16.
+  ClusterIndex factorized(db, *rel);
+  ASSERT_EQ(factorized.clusters().size(), 4u);
+  for (const Cluster& cl : factorized.clusters()) {
+    ClusterEnumerator fen(factorized, cl.factors);
+    auto s = fen.CheckBudget(8, "test");
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(*s, 2u);
+  }
+}
+
+TEST(ClusterConfTest, MultiClusterCombineFormula) {
+  // Independent tuples that can each be 1: conf(1) = 1 - Π(1 - p_i).
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  std::vector<double> ps = {0.5, 0.25, 0.125};
+  for (size_t i = 0; i < ps.size(); ++i) {
+    ASSERT_TRUE(
+        InsertTuple(&db, "r",
+                    {CellSpec::OrSet(
+                        {{Value::Int(1), ps[i]},
+                         {Value::Int(static_cast<int64_t>(i + 10)),
+                          1.0 - ps[i]}})})
+            .ok());
+  }
+  auto table = ConfTable(db, "r");
+  ASSERT_TRUE(table.ok());
+  auto conf = TableConf(*table);
+  double absent = 1.0;
+  for (double p : ps) absent *= (1.0 - p);
+  EXPECT_NEAR(conf["1|"], 1.0 - absent, 1e-12);
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_NEAR(conf[std::to_string(i + 10) + "|"], 1.0 - ps[i], 1e-12);
+  }
+}
+
+TEST(ClusterConfTest, FactorizedCompletesWhereNaiveExhaustsBudget) {
+  // The acceptance case: a merged-but-factorizable component whose naive
+  // cluster state space (2^10) blows a small budget that the factorized
+  // decomposition (10 clusters × 2 states) sails through.
+  WsdDb db = IndependentOrSets(10);
+  MergeAllComponents(&db);
+
+  ConfidenceOptions naive;
+  naive.max_cluster_states = 256;
+  naive.factorize_clusters = false;
+  EXPECT_EQ(ConfTable(db, "r", naive).status().code(),
+            StatusCode::kResourceExhausted);
+
+  ConfidenceOptions factorized;
+  factorized.max_cluster_states = 256;
+  auto table = ConfTable(db, "r", factorized);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  auto conf = TableConf(*table);
+  EXPECT_NEAR(conf["1|"], 1.0 - std::pow(0.5, 10), 1e-12);
+
+  // Same for ESUM: the per-tuple term only needs its own factor.
+  ConfidenceOptions esum_naive = naive;
+  EXPECT_EQ(ExpectedSum(db, "r", "x", esum_naive).status().code(),
+            StatusCode::kResourceExhausted);
+  auto es = ExpectedSum(db, "r", "x", factorized);
+  ASSERT_TRUE(es.ok()) << es.status().ToString();
+  EXPECT_NEAR(*es, OracleExpectedSum(db, "r", 0), 1e-9);
+}
+
+TEST(ClusterConfTest, BudgetErrorIsResourceExhausted) {
+  // Correlated chain forming one unfactorizable cluster: both the conf
+  // and the ESUM budget paths must fail with kResourceExhausted.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt},
+                                                  {"y", ValueType::kInt}})));
+  auto prev = InsertTuple(&db, "r", {CellSpec::Certain(Value::Int(0)),
+                                     CellSpec::Pending()});
+  ASSERT_TRUE(prev.ok());
+  TupleHandle chain = *prev;
+  for (int i = 0; i < 10; ++i) {
+    bool last = (i == 9);
+    auto next = InsertTuple(
+        &db, "r",
+        {CellSpec::Pending(), last ? CellSpec::Certain(Value::Int(99))
+                                   : CellSpec::Pending()});
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(AddJointComponent(
+                    &db, {{chain, "y"}, {*next, "x"}},
+                    {{{Value::Int(i), Value::Int(i + 1)}, 0.5},
+                     {{Value::Int(i + 1), Value::Int(i)}, 0.5}})
+                    .ok());
+    chain = *next;
+  }
+  // Each ESUM term only touches the ≤2 components gating its own tuple
+  // (4 joint states), so the tightest budget is needed to trip it; the
+  // conf cluster spans the whole chain and trips any budget below 2^10.
+  ConfidenceOptions opt;
+  opt.max_cluster_states = 2;
+  EXPECT_EQ(ConfTable(db, "r", opt).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(ExpectedSum(db, "r", "y", opt).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ClusterEsumTest, NullBottomAndNonNumeric) {
+  // NULL contributes 0 — certain and or-set alike; ⊥ alternatives mean
+  // the tuple is absent in those worlds and contribute 0.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"v", ValueType::kInt}})));
+  // certain NULL
+  ASSERT_TRUE(InsertTuple(&db, "r", {CellSpec::Certain(Value::Null())}).ok());
+  // or-set {10 w.p. 0.5, NULL w.p. 0.5}: contributes 5
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::OrSet({{Value::Int(10), 0.5},
+                                            {Value::Null(), 0.5}})})
+                  .ok());
+  // maybe-tuple via a joint component with a ⊥ row (or-sets reject ⊥;
+  // lifted selection produces exactly this shape): {20 w.p. 0.25,
+  // ⊥ w.p. 0.75} contributes 5.
+  auto t3 = InsertTuple(&db, "r", {CellSpec::Pending()});
+  ASSERT_TRUE(t3.ok());
+  ASSERT_TRUE(AddJointComponent(&db, {{*t3, "v"}},
+                                {{{Value::Int(20)}, 0.25},
+                                 {{Value::Bottom()}, 0.75}})
+                  .ok());
+  auto es = ExpectedSum(db, "r", "v");
+  ASSERT_TRUE(es.ok()) << es.status().ToString();
+  EXPECT_NEAR(*es, 10.0, 1e-12);
+  EXPECT_NEAR(*es, OracleExpectedSum(db, "r", 0), 1e-12);
+
+  // Non-numeric values are a type error — both on the certain fast path
+  // and inside enumeration.
+  WsdDb certain_str;
+  MAYBMS_ASSERT_OK(
+      certain_str.CreateRelation("s", Schema({{"v", ValueType::kString}})));
+  ASSERT_TRUE(
+      InsertTuple(&certain_str, "s", {CellSpec::Certain(Value::String("x"))})
+          .ok());
+  EXPECT_EQ(ExpectedSum(certain_str, "s", "v").status().code(),
+            StatusCode::kTypeMismatch);
+
+  WsdDb orset_str;
+  MAYBMS_ASSERT_OK(
+      orset_str.CreateRelation("s", Schema({{"v", ValueType::kString}})));
+  ASSERT_TRUE(InsertTuple(&orset_str, "s",
+                          {CellSpec::OrSet({{Value::String("x"), 0.5},
+                                            {Value::String("y"), 0.5}})})
+                  .ok());
+  EXPECT_EQ(ExpectedSum(orset_str, "s", "v").status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST(ClusterEsumTest, SharedComponentTermsStayLinear) {
+  // Two tuples whose values co-vary through one component: linearity of
+  // expectation still sums per-tuple terms correctly.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  auto t1 = InsertTuple(&db, "r", {CellSpec::Pending()});
+  auto t2 = InsertTuple(&db, "r", {CellSpec::Pending()});
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_TRUE(AddJointComponent(
+                  &db, {{*t1, "x"}, {*t2, "x"}},
+                  {{{Value::Int(1), Value::Int(2)}, 0.3},
+                   {{Value::Int(5), Value::Int(5)}, 0.7}})
+                  .ok());
+  auto es = ExpectedSum(db, "r", "x");
+  ASSERT_TRUE(es.ok());
+  EXPECT_NEAR(*es, OracleExpectedSum(db, "r", 0), 1e-12);
+}
+
+TEST(ClusterConfTest, PossibleTuplesDropsZeroConfidence) {
+  // A vector whose presence probability underflows the combine step
+  // (1 - (1 - p) == 0 for p < 2^-53) appears in ConfTable with conf 0;
+  // PossibleTuples must drop it.
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation("r", Schema({{"x", ValueType::kInt}})));
+  ASSERT_TRUE(InsertTuple(&db, "r",
+                          {CellSpec::OrSet({{Value::Int(1), 1e-20},
+                                            {Value::Int(2), 1.0 - 1e-20}})})
+                  .ok());
+  auto table = ConfTable(db, "r");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->NumRows(), 2u);
+  EXPECT_EQ(table->row(1).back().as_double(), 0.0);
+  auto possible = PossibleTuples(db, "r");
+  ASSERT_TRUE(possible.ok());
+  ASSERT_EQ(possible->NumRows(), 1u);
+  EXPECT_EQ(possible->row(0)[0], Value::Int(2));
+  // The conf column is kept for possible answers.
+  EXPECT_EQ(possible->schema().size(), 2u);
+}
+
+TEST(ClusterParallelTest, ParallelMatchesSerial) {
+  // Many independent clusters; 4 threads must produce bit-identical
+  // cluster marginals and the same (deterministically combined) table.
+  WsdDb db = IndependentOrSets(40, 0.3);
+  ConfidenceOptions serial;
+  serial.num_threads = 1;
+  ConfidenceOptions parallel;
+  parallel.num_threads = 4;
+  auto a = ConfTable(db, "r", serial);
+  auto b = ConfTable(db, "r", parallel);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->NumRows(), b->NumRows());
+  for (size_t i = 0; i < a->NumRows(); ++i) {
+    EXPECT_EQ(TupleCompare(a->row(i), b->row(i)), 0) << "row " << i;
+  }
+  auto ec_a = ExpectedCount(db, "r", serial);
+  auto ec_b = ExpectedCount(db, "r", parallel);
+  ASSERT_TRUE(ec_a.ok() && ec_b.ok());
+  EXPECT_EQ(*ec_a, *ec_b);
+  auto es_a = ExpectedSum(db, "r", "x", serial);
+  auto es_b = ExpectedSum(db, "r", "x", parallel);
+  ASSERT_TRUE(es_a.ok() && es_b.ok());
+  EXPECT_EQ(*es_a, *es_b);
+}
+
+TEST(ClusterParallelTest, ParallelForCoversAllIndices) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(4, hits.size(), [&](size_t i) { hits[i]++; });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+  // Nested calls run inline instead of deadlocking.
+  std::vector<int> nested(64, 0);
+  ParallelFor(4, 8, [&](size_t outer) {
+    ParallelFor(4, 8, [&](size_t inner) { nested[outer * 8 + inner]++; });
+  });
+  for (size_t i = 0; i < nested.size(); ++i) EXPECT_EQ(nested[i], 1) << i;
+}
+
+TEST(ClusterParallelTest, ExplicitPoolRunsEveryIndexExactlyOnce) {
+  // A pool with real workers (the shared pool may have none on a 1-core
+  // machine): repeated back-to-back loops stress the generation
+  // handshake — a stale worker crossing loop boundaries would double- or
+  // zero-count indices.
+  ThreadPool pool(3);
+  std::vector<int> hits(5000, 0);
+  for (int round = 1; round <= 5; ++round) {
+    pool.ParallelFor(hits.size(), 4, [&](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i], round) << "index " << i << " round " << round;
+    }
+  }
+  // Tiny loops (fewer indices than workers) complete too.
+  std::vector<int> tiny(2, 0);
+  pool.ParallelFor(tiny.size(), 4, [&](size_t i) { tiny[i]++; });
+  EXPECT_EQ(tiny[0], 1);
+  EXPECT_EQ(tiny[1], 1);
+}
+
+class ClusterDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterDifferential, FactorizedMatchesNaiveOnRandomWsd) {
+  // Random WSDs with random component merges sprinkled in (merged
+  // products are exactly what local factorization undoes): the
+  // factorized and naive enumerations must agree row-for-row, and ESUM
+  // must match too.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 5);
+  RandomWsdOptions opt;
+  opt.p_uncertain_cell = 0.5;
+  opt.p_joint = 0.3;
+  opt.max_tuples = 5;
+  opt.allow_strings = false;
+  WsdDb db = RandomWsd(&rng, opt);
+  std::vector<ComponentId> live = db.LiveComponents();
+  if (live.size() >= 2 && rng.NextBernoulli(0.8)) {
+    // Merge a random subset of components into one product component.
+    std::vector<ComponentId> group;
+    for (ComponentId id : live) {
+      if (rng.NextBernoulli(0.6)) group.push_back(id);
+    }
+    if (group.size() >= 2) {
+      auto merged = db.MergeComponents(group, 1u << 20);
+      ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    }
+  }
+
+  ConfidenceOptions factorized;
+  ConfidenceOptions naive;
+  naive.factorize_clusters = false;
+  auto a = ConfTable(db, "R0", factorized);
+  auto b = ConfTable(db, "R0", naive);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  auto ca = TableConf(*a);
+  auto cb = TableConf(*b);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (const auto& [key, p] : ca) {
+    ASSERT_TRUE(cb.count(key)) << key;
+    EXPECT_NEAR(p, cb[key], 1e-9) << key;
+  }
+
+  auto es_a = ExpectedSum(db, "R0", "a0", factorized);
+  auto es_b = ExpectedSum(db, "R0", "a0", naive);
+  ASSERT_TRUE(es_a.ok() && es_b.ok());
+  EXPECT_NEAR(*es_a, *es_b, 1e-9);
+  EXPECT_NEAR(*es_a, OracleExpectedSum(db, "R0", 0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterDifferential, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace maybms
