@@ -1,7 +1,9 @@
 #include "core/lifted.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -34,11 +36,11 @@ Status RenameRelation(WsdDb* db, const std::string& from,
 }
 
 Status LiftedSelect(WsdDb* db, const std::string& input, const ExprPtr& pred,
-                    const std::string& output) {
+                    const std::string& output, const ExecOptions& opts) {
   MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db->GetRelation(input));
   MAYBMS_ASSIGN_OR_RETURN(ExprPtr bound, pred->BindAgainst(rel->schema()));
   MAYBMS_RETURN_IF_ERROR(RenameRelation(db, input, output));
-  MAYBMS_RETURN_IF_ERROR(FilterRelationInPlace(db, output, bound));
+  MAYBMS_RETURN_IF_ERROR(FilterRelationInPlace(db, output, bound, opts));
   MAYBMS_ASSIGN_OR_RETURN(NormalizeStats stats, Normalize(db));
   (void)stats;
   return Status::OK();
@@ -46,30 +48,38 @@ Status LiftedSelect(WsdDb* db, const std::string& input, const ExprPtr& pred,
 
 Status LiftedProject(WsdDb* db, const std::string& input,
                      const std::vector<ProjectItem>& items,
-                     const std::string& output) {
+                     const std::string& output, const ExecOptions& opts) {
   MAYBMS_ASSIGN_OR_RETURN(WsdRelation * rel, db->GetMutableRelation(input));
   const Schema& in_schema = rel->schema();
 
-  // Bind all expressions; classify pure column refs.
+  // Bind all expressions; classify pure column refs and lower the
+  // computed ones once (reused across tuples and component rows).
   struct Item {
     ExprPtr expr;
     bool is_column = false;
     size_t col = 0;
+    lifted_internal::CompiledEvalPtr ce;
   };
   std::vector<Item> bound(items.size());
   Schema out_schema;
+  // Case-insensitive duplicate-name probing via a set, not repeated
+  // Schema::IndexOf scans (which were quadratic in the item count).
+  std::unordered_set<std::string> used_names;
   for (size_t k = 0; k < items.size(); ++k) {
     MAYBMS_ASSIGN_OR_RETURN(ExprPtr b, items[k].expr->BindAgainst(in_schema));
     bound[k].expr = b;
     if (b->kind() == ExprKind::kColumn) {
       bound[k].is_column = true;
       bound[k].col = b->column_index();
+    } else {
+      bound[k].ce = lifted_internal::TryCompile(*b, opts);
     }
     std::string name = items[k].name;
     int suffix = 2;
-    while (out_schema.IndexOf(name)) {
+    while (used_names.count(ToLower(name))) {
       name = items[k].name + "_" + std::to_string(suffix++);
     }
+    used_names.insert(ToLower(name));
     MAYBMS_RETURN_IF_ERROR(
         out_schema.Add({name, InferExprType(*b, in_schema)}));
   }
@@ -132,27 +142,60 @@ Status LiftedProject(WsdDb* db, const std::string& input,
       } else {
         Component& m = db->mutable_component(cid);
         OwnerId owner = m.slot(ref_cols[0].second).owner;
-        std::vector<Value> values;
-        values.reserve(m.NumRows());
-        for (size_t r = 0; r < m.NumRows(); ++r) {
-          bool dead = false;
-          for (const auto& [c, slot] : ref_cols) {
-            const PackedValue& v = m.packed(r, slot);
-            if (v.is_bottom()) {
-              dead = true;
-              break;
+        const size_t n = m.NumRows();
+        std::vector<PackedValue> out_col(n);
+        if (it.ce) {
+          // Batched packed evaluation over the component columns; dead
+          // rows (a referenced slot holds ⊥) become ⊥, flagged rows are
+          // re-evaluated through the interpreter.
+          lifted_internal::EvalOverComponent(m, ref_cols, eval_buf, opts,
+                                             it.ce.get());
+          out_col.assign(it.ce->results.begin(), it.ce->results.end());
+          for (size_t r = 0; r < n; ++r) {
+            for (const auto& [c, slot] : ref_cols) {
+              (void)c;
+              if (m.packed(r, slot).is_bottom()) {
+                out_col[r] = PackedValue::Bottom();
+                break;
+              }
             }
-            eval_buf[c] = v.ToValue();
           }
-          if (dead) {
-            values.push_back(Value::Bottom());
-            continue;
+          for (size_t r : it.ce->fallback) {
+            bool dead = false;
+            for (const auto& [c, slot] : ref_cols) {
+              const PackedValue& v = m.packed(r, slot);
+              if (v.is_bottom()) {
+                dead = true;
+                break;
+              }
+              eval_buf[c] = v.ToValue();
+            }
+            if (dead) continue;  // already ⊥; the interpreter never
+                                 // evaluates dead rows
+            MAYBMS_ASSIGN_OR_RETURN(Value v, it.expr->Eval(eval_buf));
+            out_col[r] = PackedValue::FromValue(v);
           }
-          MAYBMS_ASSIGN_OR_RETURN(Value v, it.expr->Eval(eval_buf));
-          values.push_back(std::move(v));
+        } else {
+          for (size_t r = 0; r < n; ++r) {
+            bool dead = false;
+            for (const auto& [c, slot] : ref_cols) {
+              const PackedValue& v = m.packed(r, slot);
+              if (v.is_bottom()) {
+                dead = true;
+                break;
+              }
+              eval_buf[c] = v.ToValue();
+            }
+            if (dead) {
+              out_col[r] = PackedValue::Bottom();
+              continue;
+            }
+            MAYBMS_ASSIGN_OR_RETURN(Value v, it.expr->Eval(eval_buf));
+            out_col[r] = PackedValue::FromValue(v);
+          }
         }
-        uint32_t slot = m.AddSlotWithValues(
-            {owner, "\xCF\x80(" + items[k].name + ")"}, std::move(values));
+        uint32_t slot = m.AddSlotWithPacked(
+            {owner, "\xCF\x80(" + items[k].name + ")"}, std::move(out_col));
         new_cells[k] = Cell::Ref({cid, slot});
       }
       for (size_t c : cols) eval_buf[c] = Value::Null();
@@ -291,7 +334,8 @@ bool KeyCellsEqual(const WsdTuple& a, const std::vector<size_t>& ca,
 }  // namespace
 
 Status LiftedJoin(WsdDb* db, const std::string& left, const std::string& right,
-                  const ExprPtr& pred, const std::string& output) {
+                  const ExprPtr& pred, const std::string& output,
+                  const ExecOptions& opts) {
   if (EqualsIgnoreCase(left, right)) {
     return Status::InvalidArgument(
         "lifted operators consume their inputs; pass two scan copies "
@@ -391,7 +435,7 @@ Status LiftedJoin(WsdDb* db, const std::string& left, const std::string& right,
       bound != nullptr && (!keys.all_equi || keys.left_cols.empty() ||
                            emitted_uncertain_keys);
   if (needs_filter) {
-    MAYBMS_RETURN_IF_ERROR(FilterRelationInPlace(db, tmp, bound));
+    MAYBMS_RETURN_IF_ERROR(FilterRelationInPlace(db, tmp, bound, opts));
   }
   MAYBMS_RETURN_IF_ERROR(RenameRelation(db, tmp, output));
   MAYBMS_ASSIGN_OR_RETURN(NormalizeStats stats, Normalize(db));

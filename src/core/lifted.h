@@ -19,29 +19,37 @@
 
 #include "common/result.h"
 #include "core/wsd.h"
+#include "ra/expr_compile.h"
 #include "ra/plan.h"
 
 namespace maybms {
 
-/// σ: keeps input tuples only in the worlds where `pred` holds.
+/// σ: keeps input tuples only in the worlds where `pred` holds. The
+/// per-world predicate loops run on the compiled vectorized evaluator
+/// over packed component columns (see ra/expr_compile.h), governed by
+/// `opts`; rows/predicates the compiler cannot decide fall back to the
+/// interpreter, so both modes agree by construction.
 Status LiftedSelect(WsdDb* db, const std::string& input, const ExprPtr& pred,
-                    const std::string& output);
+                    const std::string& output, const ExecOptions& opts = {});
 
 /// π (bag semantics): projects onto the given expressions. Column
 /// references are free; computed expressions over uncertain fields add
-/// slots to (merged) components.
+/// slots to (merged) components, evaluated batched over packed columns
+/// under `opts` with the same interpreter-fallback contract as σ.
 Status LiftedProject(WsdDb* db, const std::string& input,
                      const std::vector<ProjectItem>& items,
-                     const std::string& output);
+                     const std::string& output, const ExecOptions& opts = {});
 
 /// ×: pairs tuples within each world; pair existence = both exist.
 Status LiftedProduct(WsdDb* db, const std::string& left,
                      const std::string& right, const std::string& output);
 
 /// ⋈: product restricted by `pred`, with a hash fast path for equi-join
-/// conjuncts whose key cells are certain.
+/// conjuncts whose key cells are certain. The predicate application runs
+/// on the compiled evaluator under `opts`, like σ.
 Status LiftedJoin(WsdDb* db, const std::string& left, const std::string& right,
-                  const ExprPtr& pred, const std::string& output);
+                  const ExprPtr& pred, const std::string& output,
+                  const ExecOptions& opts = {});
 
 /// ∪ (bag): concatenation; schemas must have equal arity and types.
 Status LiftedUnion(WsdDb* db, const std::string& left,

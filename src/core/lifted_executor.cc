@@ -23,7 +23,8 @@ void CountScans(const PlanPtr& plan,
 
 class LiftedRunner {
  public:
-  explicit LiftedRunner(WsdDb* db) : db_(db) {}
+  LiftedRunner(WsdDb* db, const ExecOptions& eval_opts)
+      : db_(db), eval_opts_(eval_opts) {}
 
   // Pre-instantiates `count` independent scan copies of each base
   // relation, then drops every base relation so that ownership statistics
@@ -75,14 +76,14 @@ class LiftedRunner {
         MAYBMS_ASSIGN_OR_RETURN(std::string in, Run(plan->input()));
         std::string out = NextTemp();
         MAYBMS_RETURN_IF_ERROR(
-            LiftedSelect(db_, in, plan->predicate(), out));
+            LiftedSelect(db_, in, plan->predicate(), out, eval_opts_));
         return out;
       }
       case PlanKind::kProject: {
         MAYBMS_ASSIGN_OR_RETURN(std::string in, Run(plan->input()));
         std::string out = NextTemp();
         MAYBMS_RETURN_IF_ERROR(
-            LiftedProject(db_, in, plan->project_items(), out));
+            LiftedProject(db_, in, plan->project_items(), out, eval_opts_));
         return out;
       }
       case PlanKind::kProduct: {
@@ -97,7 +98,7 @@ class LiftedRunner {
         MAYBMS_ASSIGN_OR_RETURN(std::string r, Run(plan->right()));
         std::string out = NextTemp();
         MAYBMS_RETURN_IF_ERROR(
-            LiftedJoin(db_, l, r, plan->predicate(), out));
+            LiftedJoin(db_, l, r, plan->predicate(), out, eval_opts_));
         return out;
       }
       case PlanKind::kUnion: {
@@ -175,6 +176,7 @@ class LiftedRunner {
   }
 
   WsdDb* db_;
+  ExecOptions eval_opts_;
   std::map<std::string, std::vector<std::string>> scan_queue_;
   size_t temp_counter_ = 0;
 };
@@ -186,7 +188,7 @@ Result<WsdDb> ExecuteLifted(const PlanPtr& plan, const WsdDb& input,
   WsdDb working = input;  // deep copy; the input stays immutable
   std::map<std::string, size_t> counts;
   CountScans(plan, &counts);
-  LiftedRunner runner(&working);
+  LiftedRunner runner(&working, options.eval);
   MAYBMS_RETURN_IF_ERROR(runner.PrepareScans(counts));
   // Normalize once: dropping unscanned base relations frees components.
   MAYBMS_ASSIGN_OR_RETURN(NormalizeStats st0, Normalize(&working));

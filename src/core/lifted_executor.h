@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "core/wsd.h"
+#include "ra/expr_compile.h"
 #include "ra/plan.h"
 
 namespace maybms {
@@ -18,6 +19,10 @@ struct LiftedExecOptions {
   /// Run factorization after the final normalization (re-splits merged
   /// components when they decompose).
   bool factorize_result = false;
+  /// Expression-evaluation knobs (compiled vectorized programs vs the
+  /// row-at-a-time interpreter, batch parallelism) forwarded to every
+  /// lifted operator.
+  ExecOptions eval;
 };
 
 /// Evaluates `plan` over `input`, returning a new world-set database that

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace maybms {
@@ -197,8 +198,170 @@ ComponentId MergePlanner::Resolve(ComponentId cid) const {
   return mit == merged_.end() ? cid : mit->second;
 }
 
+void BindComponentInputs(
+    const Component& m, const CompiledExpr& prog,
+    const std::vector<std::pair<size_t, uint32_t>>& ref_cols,
+    const Tuple& eval_buf, std::vector<ExprInput>* inputs,
+    std::vector<PackedValue>* broadcast) {
+  inputs->assign(prog.columns().size(), ExprInput{});
+  broadcast->clear();
+  broadcast->reserve(prog.columns().size());
+  for (size_t s = 0; s < prog.columns().size(); ++s) {
+    const size_t c = prog.columns()[s];
+    const std::pair<size_t, uint32_t>* ref = nullptr;
+    for (const auto& rc : ref_cols) {
+      if (rc.first == c) {
+        ref = &rc;
+        break;
+      }
+    }
+    if (ref) {
+      (*inputs)[s] = {m.column(ref->second).data(), false};
+    } else {
+      broadcast->push_back(PackedValue::FromValue(eval_buf[c]));
+      (*inputs)[s] = {&broadcast->back(), true};
+    }
+  }
+}
+
+CompiledEvalPtr TryCompile(const Expr& e, const ExecOptions& opts) {
+  if (!opts.compile_expressions) return nullptr;
+  auto prog = CompiledExpr::Compile(e);
+  if (!prog) return nullptr;
+  return std::make_unique<CompiledEval>(std::move(*prog));
+}
+
+void EvalOverComponent(
+    const Component& m,
+    const std::vector<std::pair<size_t, uint32_t>>& ref_cols,
+    const Tuple& eval_buf, const ExecOptions& opts, CompiledEval* ce) {
+  const size_t n = m.NumRows();
+  BindComponentInputs(m, ce->prog, ref_cols, eval_buf, &ce->inputs,
+                      &ce->broadcast);
+  ce->results.resize(n);
+  ce->fallback.clear();
+  const size_t threads =
+      opts.num_threads ? opts.num_threads : DefaultNumThreads();
+  if (n >= opts.parallel_row_threshold && threads > 1) {
+    EvalBatchAuto(ce->prog, ce->inputs.data(), n, ce->results.data(),
+                  &ce->fallback, opts);
+  } else {
+    ce->eval.Eval(ce->inputs.data(), 0, n, ce->results.data(),
+                  &ce->fallback);
+  }
+}
+
+namespace {
+
+// Per-component-row outcome of a tuple's predicate: the tuple is absent
+// in the row's worlds (a referenced slot holds ⊥), satisfies the
+// predicate, or fails it.
+enum class RowVerdict : uint8_t { kDead = 0, kPass = 1, kFail = 2 };
+
+// Interpreted reference kernel: evaluates the predicate row by row via
+// Expr::Eval, gathering referenced slots into `eval_buf` (whose certain
+// predicate inputs are already loaded). Kept as the single source of
+// truth; the compiled kernel below must agree with it.
+Status RowVerdictsInterpreted(
+    const Component& m, const ExprPtr& pred,
+    const std::vector<std::pair<size_t, uint32_t>>& ref_cols,
+    Tuple* eval_buf, std::vector<RowVerdict>* verdicts) {
+  for (size_t r = 0; r < m.NumRows(); ++r) {
+    bool dead = false;
+    for (const auto& [c, slot] : ref_cols) {
+      const PackedValue& v = m.packed(r, slot);
+      if (v.is_bottom()) {
+        dead = true;
+        break;
+      }
+      (*eval_buf)[c] = v.ToValue();
+    }
+    if (dead) {
+      (*verdicts)[r] = RowVerdict::kDead;
+      continue;
+    }
+    MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, *eval_buf));
+    (*verdicts)[r] = pass ? RowVerdict::kPass : RowVerdict::kFail;
+  }
+  return Status::OK();
+}
+
+// Compiled kernel: one vectorized pass directly over the component's
+// packed columns (certain predicate inputs broadcast), optionally sharded
+// over the thread pool. Rows the program flags are re-evaluated through
+// the interpreter, which also reproduces its error behavior: the first
+// erroring live row is the same in both modes because every row on which
+// Expr::Eval errors is flagged by the program, and flagged rows are
+// re-run in ascending order.
+Status RowVerdictsCompiled(
+    const Component& m, const ExprPtr& pred, CompiledEval* ce,
+    const std::vector<std::pair<size_t, uint32_t>>& ref_cols,
+    Tuple* eval_buf, const ExecOptions& opts,
+    std::vector<RowVerdict>* verdicts) {
+  const size_t n = m.NumRows();
+  if (n == 0) return Status::OK();
+
+  EvalOverComponent(m, ref_cols, *eval_buf, opts, ce);
+  std::vector<PackedValue>& results = ce->results;
+  std::vector<size_t>& fallback = ce->fallback;
+
+  // Non-bool results (e.g. a bare integer predicate) are errors in
+  // EvalPredicate too, so they join the program-flagged rows.
+  for (size_t r = 0; r < n; ++r) {
+    bool dead = false;
+    for (const auto& [c, slot] : ref_cols) {
+      if (m.packed(r, slot).is_bottom()) {
+        dead = true;
+        break;
+      }
+    }
+    if (dead) {
+      (*verdicts)[r] = RowVerdict::kDead;
+      continue;
+    }
+    bool needs_fallback = false;
+    const bool pass = PackedPredicate(results[r], &needs_fallback);
+    if (needs_fallback) fallback.push_back(r);
+    (*verdicts)[r] = pass ? RowVerdict::kPass : RowVerdict::kFail;
+  }
+  std::sort(fallback.begin(), fallback.end());
+  fallback.erase(std::unique(fallback.begin(), fallback.end()),
+                 fallback.end());
+  for (size_t r : fallback) {
+    bool dead = false;
+    for (const auto& [c, slot] : ref_cols) {
+      const PackedValue& v = m.packed(r, slot);
+      if (v.is_bottom()) {
+        dead = true;
+        break;
+      }
+      (*eval_buf)[c] = v.ToValue();
+    }
+    if (dead) continue;  // the interpreter never evaluates dead rows
+    MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, *eval_buf));
+    (*verdicts)[r] = pass ? RowVerdict::kPass : RowVerdict::kFail;
+  }
+  return Status::OK();
+}
+
+Status ComputeRowVerdicts(
+    const Component& m, const ExprPtr& pred, CompiledEval* ce,
+    const std::vector<std::pair<size_t, uint32_t>>& ref_cols,
+    Tuple* eval_buf, const ExecOptions& opts,
+    std::vector<RowVerdict>* verdicts) {
+  verdicts->assign(m.NumRows(), RowVerdict::kDead);
+  if (ce != nullptr) {
+    return RowVerdictsCompiled(m, pred, ce, ref_cols, eval_buf, opts,
+                               verdicts);
+  }
+  return RowVerdictsInterpreted(m, pred, ref_cols, eval_buf, verdicts);
+}
+
+}  // namespace
+
 Status FilterRelationInPlace(WsdDb* db, const std::string& rel_name,
-                             const ExprPtr& bound_pred) {
+                             const ExprPtr& bound_pred,
+                             const ExecOptions& opts) {
   MAYBMS_ASSIGN_OR_RETURN(WsdRelation * rel, db->GetMutableRelation(rel_name));
   std::vector<size_t> cols;
   bound_pred->CollectColumns(&cols);
@@ -225,9 +388,14 @@ Status FilterRelationInPlace(WsdDb* db, const std::string& rel_name,
 
   auto usage = CountOwnerUsage(*db);
 
+  // Lower the predicate once; every tuple's per-world loop reuses the
+  // program and its scratch (component columns are rebound per tuple).
+  CompiledEvalPtr ce = TryCompile(*bound_pred, opts);
+
   // Pass 2: evaluate per tuple.
   std::vector<bool> drop(rel->NumTuples(), false);
   Tuple eval_buf(rel->schema().size(), Value::Null());
+  std::vector<RowVerdict> verdicts;
   for (size_t i = 0; i < rel->NumTuples(); ++i) {
     WsdTuple& t = rel->mutable_tuple(i);
     // Gather involved cells.
@@ -253,6 +421,8 @@ Status FilterRelationInPlace(WsdDb* db, const std::string& rel_name,
       continue;
     }
     Component& m = db->mutable_component(cid);
+    MAYBMS_RETURN_IF_ERROR(ComputeRowVerdicts(
+        m, bound_pred, ce.get(), ref_cols, &eval_buf, opts, &verdicts));
     // Fast path: an owner gating only this tuple lets us mark ⊥ in place
     // (the paper's algorithm). Any referenced slot's owner is in t.deps.
     OwnerId fast_owner = 0;
@@ -272,55 +442,39 @@ Status FilterRelationInPlace(WsdDb* db, const std::string& rel_name,
         if (m.slot(s).owner == fast_owner) owner_slots.push_back(s);
       }
       for (size_t r = 0; r < m.NumRows(); ++r) {
-        bool dead = false;
-        for (const auto& [c, slot] : ref_cols) {
-          const PackedValue& v = m.packed(r, slot);
-          if (v.is_bottom()) {
-            dead = true;
-            break;
-          }
-          eval_buf[c] = v.ToValue();
-        }
-        if (dead) continue;  // already absent in these worlds
-        MAYBMS_ASSIGN_OR_RETURN(bool pass,
-                                EvalPredicate(*bound_pred, eval_buf));
-        if (!pass) {
-          for (uint32_t s : owner_slots) {
-            m.SetPacked(r, s, PackedValue::Bottom());
-          }
+        // Dead rows are already absent in these worlds; kept as-is.
+        if (verdicts[r] != RowVerdict::kFail) continue;
+        for (uint32_t s : owner_slots) {
+          m.SetPacked(r, s, PackedValue::Bottom());
         }
       }
     } else {
-      // Existence-slot path: a fresh owner encodes survival.
-      std::vector<Value> exist_values;
+      // Existence-slot path: a fresh owner encodes survival. ⊥ on dead
+      // rows is redundant but compact and does not trigger slot creation
+      // by itself.
+      std::vector<PackedValue> exist_values;
       exist_values.reserve(m.NumRows());
       bool any_alive = false, any_kill = false;
       for (size_t r = 0; r < m.NumRows(); ++r) {
-        bool dead = false;
-        for (const auto& [c, slot] : ref_cols) {
-          const PackedValue& v = m.packed(r, slot);
-          if (v.is_bottom()) {
-            dead = true;
+        switch (verdicts[r]) {
+          case RowVerdict::kDead:
+            exist_values.push_back(PackedValue::Bottom());
             break;
-          }
-          eval_buf[c] = v.ToValue();
+          case RowVerdict::kPass:
+            exist_values.push_back(PackedExistsToken());
+            any_alive = true;
+            break;
+          case RowVerdict::kFail:
+            exist_values.push_back(PackedValue::Bottom());
+            any_kill = true;
+            break;
         }
-        if (dead) {
-          // Tuple already absent in these worlds; ⊥ is redundant but
-          // compact and does not trigger slot creation by itself.
-          exist_values.push_back(Value::Bottom());
-          continue;
-        }
-        MAYBMS_ASSIGN_OR_RETURN(bool pass,
-                                EvalPredicate(*bound_pred, eval_buf));
-        exist_values.push_back(pass ? ExistsToken() : Value::Bottom());
-        (pass ? any_alive : any_kill) = true;
       }
       if (!any_alive) {
         drop[i] = true;
       } else if (any_kill) {
         OwnerId fresh = db->NextOwner();
-        m.AddSlotWithValues(
+        m.AddSlotWithPacked(
             {fresh, "\xCF\x83\xE2\x88\x83" + std::to_string(fresh)},
             std::move(exist_values));
         t.AddDep(fresh);
@@ -348,20 +502,11 @@ std::vector<Value> PossibleCellValues(const WsdDb& db, const Cell& cell) {
   if (cell.is_certain()) return {cell.value()};
   const Component& c = db.component(cell.ref().cid);
   std::vector<Value> out;
-  std::vector<PackedValue> seen_packed;
+  std::unordered_set<PackedValue, PackedValueHash> seen;
+  seen.reserve(c.NumRows());
   for (const PackedValue& v : c.column(cell.ref().slot)) {
     if (v.is_bottom()) continue;
-    bool seen = false;
-    for (const PackedValue& u : seen_packed) {
-      if (u == v) {
-        seen = true;
-        break;
-      }
-    }
-    if (!seen) {
-      seen_packed.push_back(v);
-      out.push_back(v.ToValue());
-    }
+    if (seen.insert(v).second) out.push_back(v.ToValue());
   }
   return out;
 }

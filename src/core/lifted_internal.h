@@ -3,6 +3,7 @@
 #ifndef MAYBMS_CORE_LIFTED_INTERNAL_H_
 #define MAYBMS_CORE_LIFTED_INTERNAL_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/result.h"
 #include "core/wsd.h"
 #include "ra/expr.h"
+#include "ra/expr_compile.h"
 
 namespace maybms {
 namespace lifted_internal {
@@ -57,6 +59,47 @@ struct PackedCellView {
 /// must point into that component (checked).
 PackedCellView MakeCellView(const Cell& cell, ComponentId expect_cid);
 
+/// Binds a compiled program's input slots against one component: inputs
+/// listed in `ref_cols` (bound column -> component slot) read the packed
+/// component column in place, all other (certain) inputs are packed from
+/// `eval_buf` once and broadcast. `broadcast` is the stable backing store
+/// for the packed certains; it must outlive the evaluation.
+void BindComponentInputs(
+    const Component& m, const CompiledExpr& prog,
+    const std::vector<std::pair<size_t, uint32_t>>& ref_cols,
+    const Tuple& eval_buf, std::vector<ExprInput>* inputs,
+    std::vector<PackedValue>* broadcast);
+
+/// A lowered expression with reusable evaluation scratch (registers,
+/// result/fallback buffers): one instance is shared across the per-tuple
+/// batches of an operator so the hot loop never reallocates. Heap-pinned
+/// (unique_ptr, non-movable) because the evaluator points into `prog`.
+struct CompiledEval {
+  explicit CompiledEval(CompiledExpr p) : prog(std::move(p)), eval(&prog) {}
+  CompiledEval(const CompiledEval&) = delete;
+  CompiledEval& operator=(const CompiledEval&) = delete;
+
+  CompiledExpr prog;
+  ExprBatchEvaluator eval;
+  std::vector<ExprInput> inputs;
+  std::vector<PackedValue> broadcast;
+  std::vector<PackedValue> results;
+  std::vector<size_t> fallback;
+};
+using CompiledEvalPtr = std::unique_ptr<CompiledEval>;
+
+/// Lowers `e` when compilation is enabled and possible; nullptr otherwise.
+CompiledEvalPtr TryCompile(const Expr& e, const ExecOptions& opts);
+
+/// Evaluates ce->prog over every row of `m` (ref_cols/eval_buf as in
+/// BindComponentInputs), sharding over the thread pool for batches at or
+/// above opts.parallel_row_threshold. Fills ce->results (NumRows entries)
+/// and ce->fallback (ascending row indexes needing Expr::Eval).
+void EvalOverComponent(const Component& m,
+                       const std::vector<std::pair<size_t, uint32_t>>& ref_cols,
+                       const Tuple& eval_buf, const ExecOptions& opts,
+                       CompiledEval* ce);
+
 /// True when every cell of the tuple is certain.
 bool FullyCertain(const WsdTuple& t);
 
@@ -91,8 +134,16 @@ class MergePlanner {
 /// against the relation's schema: tuples are kept exactly in the worlds
 /// where the predicate evaluates to true. Implements the paper's
 /// selection, including component merging for multi-component predicates.
+///
+/// The per-world evaluation loops run on the compiled vectorized
+/// evaluator (ra/expr_compile.h) directly over the component's packed
+/// columns when `opts.compile_expressions` is set and the predicate
+/// compiles; otherwise (and for rows the compiled program cannot decide)
+/// they fall back to Expr::Eval row by row, so the two modes agree by
+/// construction.
 Status FilterRelationInPlace(WsdDb* db, const std::string& rel_name,
-                             const ExprPtr& bound_pred);
+                             const ExprPtr& bound_pred,
+                             const ExecOptions& opts = {});
 
 /// The distinct non-⊥ values a cell can take (single value for certain
 /// cells, slot values otherwise).

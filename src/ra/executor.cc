@@ -1,7 +1,9 @@
 #include "ra/executor.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -71,40 +73,262 @@ EquiJoinKeys AnalyzeJoinPredicate(const ExprPtr& bound_pred,
   return keys;
 }
 
-Result<Relation> ExecSelect(const Plan& plan, const Catalog& catalog);
+Result<Relation> ExecNode(const PlanPtr& plan, const Catalog& catalog,
+                          const ExecOptions& opts);
 
-Result<Relation> ExecNode(const PlanPtr& plan, const Catalog& catalog);
+/// Rows per packed evaluation chunk in the row-major (Relation) paths.
+constexpr size_t kRowBatch = 1024;
 
-Result<Relation> ExecProject(const Plan& plan, const Catalog& catalog) {
-  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog));
-  std::vector<ExprPtr> bound;
+// Packs column `c` of rows [base, base+n) into `out`. Strings are
+// interned into the process-global ValuePool (required for compare-by-id
+// in the compiled programs); pool entries are never evicted, so distinct
+// string contents seen by compiled conventional queries are retained for
+// the process lifetime — the intended trade for the census-style,
+// bounded-domain workloads this engine targets.
+void PackColumn(const Relation& rel, size_t c, size_t base, size_t n,
+                PackedValue* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = PackedValue::FromValue(rel.row(base + i)[c]);
+  }
+}
+
+Result<Relation> ExecProject(const Plan& plan, const Catalog& catalog,
+                             const ExecOptions& opts) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog, opts));
+  struct Item {
+    ExprPtr expr;
+    bool is_column = false;
+    size_t col = 0;
+    std::optional<CompiledExpr> prog;
+  };
+  std::vector<Item> items;
+  items.reserve(plan.project_items().size());
   Schema out_schema;
+  // Probe duplicate output names against a set of lower-cased names in
+  // O(1) instead of a Schema::IndexOf scan per candidate (which made the
+  // loop quadratic in the item count).
+  std::unordered_set<std::string> used_names;
   for (const auto& item : plan.project_items()) {
     MAYBMS_ASSIGN_OR_RETURN(ExprPtr b, item.expr->BindAgainst(in.schema()));
     ValueType t = InferType(*b, in.schema());
     std::string name = item.name;
     int k = 2;
-    while (out_schema.IndexOf(name)) name = item.name + "_" + std::to_string(k++);
+    while (used_names.count(ToLower(name))) {
+      name = item.name + "_" + std::to_string(k++);
+    }
+    used_names.insert(ToLower(name));
     MAYBMS_RETURN_IF_ERROR(out_schema.Add({name, t}));
-    bound.push_back(std::move(b));
+    Item it;
+    it.expr = std::move(b);
+    if (it.expr->kind() == ExprKind::kColumn) {
+      it.is_column = true;
+      it.col = it.expr->column_index();
+    } else if (opts.compile_expressions) {
+      it.prog = CompiledExpr::Compile(*it.expr);
+    }
+    items.push_back(std::move(it));
   }
   Relation out("", out_schema);
   out.Reserve(in.NumRows());
-  for (const auto& row : in.rows()) {
-    Tuple t;
-    t.reserve(bound.size());
-    for (const auto& e : bound) {
-      MAYBMS_ASSIGN_OR_RETURN(Value v, e->Eval(row));
-      t.push_back(std::move(v));
+
+  // Union of input columns the compiled items read; they are packed once
+  // per chunk and shared across items.
+  std::vector<size_t> needed;
+  for (const auto& it : items) {
+    if (it.prog) {
+      needed.insert(needed.end(), it.prog->columns().begin(),
+                    it.prog->columns().end());
     }
-    out.AppendUnchecked(std::move(t));
+  }
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+
+  if (needed.empty()) {
+    // Pure column/const projections (or compilation off): row at a time.
+    for (const auto& row : in.rows()) {
+      Tuple t;
+      t.reserve(items.size());
+      for (const auto& it : items) {
+        if (it.is_column) {
+          t.push_back(row[it.col]);
+        } else {
+          MAYBMS_ASSIGN_OR_RETURN(Value v, it.expr->Eval(row));
+          t.push_back(std::move(v));
+        }
+      }
+      out.AppendUnchecked(std::move(t));
+    }
+    return out;
+  }
+
+  std::unordered_map<size_t, size_t> slot_of;
+  for (size_t s = 0; s < needed.size(); ++s) slot_of[needed[s]] = s;
+  std::vector<std::vector<PackedValue>> packed(
+      needed.size(), std::vector<PackedValue>(kRowBatch));
+  struct ItemState {
+    std::vector<ExprInput> inputs;
+    std::vector<PackedValue> results;
+    std::vector<size_t> fallback;
+    size_t fi = 0;  // cursor into fallback during row-major consumption
+    std::optional<ExprBatchEvaluator> eval;
+  };
+  std::vector<ItemState> st(items.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (!items[k].prog) continue;
+    const auto& cols = items[k].prog->columns();
+    st[k].inputs.resize(cols.size());
+    for (size_t s = 0; s < cols.size(); ++s) {
+      st[k].inputs[s] = {packed[slot_of[cols[s]]].data(), false};
+    }
+    st[k].results.resize(kRowBatch);
+    st[k].eval.emplace(&*items[k].prog);
+  }
+  for (size_t base = 0; base < in.NumRows(); base += kRowBatch) {
+    const size_t n = std::min(kRowBatch, in.NumRows() - base);
+    for (size_t s = 0; s < needed.size(); ++s) {
+      PackColumn(in, needed[s], base, n, packed[s].data());
+    }
+    for (size_t k = 0; k < items.size(); ++k) {
+      if (!items[k].prog) continue;
+      st[k].fallback.clear();
+      st[k].fi = 0;
+      st[k].eval->Eval(st[k].inputs.data(), 0, n, st[k].results.data(),
+                       &st[k].fallback);
+    }
+    // Consume row-major so errors surface in the interpreter's order.
+    for (size_t i = 0; i < n; ++i) {
+      const Tuple& row = in.row(base + i);
+      Tuple t;
+      t.reserve(items.size());
+      for (size_t k = 0; k < items.size(); ++k) {
+        const Item& it = items[k];
+        if (it.is_column) {
+          t.push_back(row[it.col]);
+          continue;
+        }
+        if (it.prog) {
+          ItemState& is = st[k];
+          if (is.fi < is.fallback.size() && is.fallback[is.fi] == i) {
+            ++is.fi;
+            MAYBMS_ASSIGN_OR_RETURN(Value v, it.expr->Eval(row));
+            t.push_back(std::move(v));
+          } else {
+            t.push_back(is.results[i].ToValue());
+          }
+          continue;
+        }
+        MAYBMS_ASSIGN_OR_RETURN(Value v, it.expr->Eval(row));
+        t.push_back(std::move(v));
+      }
+      out.AppendUnchecked(std::move(t));
+    }
   }
   return out;
 }
 
-Result<Relation> ExecProductOrJoin(const Plan& plan, const Catalog& catalog) {
-  MAYBMS_ASSIGN_OR_RETURN(Relation l, ExecNode(plan.left(), catalog));
-  MAYBMS_ASSIGN_OR_RETURN(Relation r, ExecNode(plan.right(), catalog));
+// Buffers (left row, right row) pairs and applies a predicate over the
+// concatenated tuple. With a compiled program, pairs are packed into
+// column chunks and evaluated in one pass — the output tuple is only
+// materialized for passing pairs. Pairs are flushed in arrival order, so
+// emission and error order match the per-pair interpreted loop.
+class PairFilter {
+ public:
+  PairFilter(const Relation& l, const Relation& r, const Expr* pred,
+             const CompiledExpr* prog, Relation* out)
+      : l_(l), r_(r), pred_(pred), prog_(prog), out_(out) {
+    if (prog_ == nullptr) return;
+    const auto& cols = prog_->columns();
+    packed_.assign(cols.size(), std::vector<PackedValue>(kRowBatch));
+    inputs_.resize(cols.size());
+    for (size_t s = 0; s < cols.size(); ++s) {
+      inputs_[s] = {packed_[s].data(), false};
+    }
+    results_.resize(kRowBatch);
+    eval_.emplace(prog_);
+    pairs_.reserve(kRowBatch);
+  }
+
+  Status Add(size_t i, size_t j) {
+    if (prog_ == nullptr) {
+      Tuple t = Concat(i, j);
+      if (pred_ != nullptr) {
+        MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred_, t));
+        if (!pass) return Status::OK();
+      }
+      out_->AppendUnchecked(std::move(t));
+      return Status::OK();
+    }
+    pairs_.emplace_back(i, j);
+    if (pairs_.size() == kRowBatch) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (prog_ == nullptr || pairs_.empty()) return Status::OK();
+    const auto& cols = prog_->columns();
+    const size_t n = pairs_.size();
+    const size_t left_arity = l_.schema().size();
+    for (size_t s = 0; s < cols.size(); ++s) {
+      const size_t c = cols[s];
+      PackedValue* dst = packed_[s].data();
+      if (c < left_arity) {
+        for (size_t k = 0; k < n; ++k) {
+          dst[k] = PackedValue::FromValue(l_.row(pairs_[k].first)[c]);
+        }
+      } else {
+        for (size_t k = 0; k < n; ++k) {
+          dst[k] =
+              PackedValue::FromValue(r_.row(pairs_[k].second)[c - left_arity]);
+        }
+      }
+    }
+    fallback_.clear();
+    eval_->Eval(inputs_.data(), 0, n, results_.data(), &fallback_);
+    size_t fi = 0;
+    for (size_t k = 0; k < n; ++k) {
+      bool need_interp = fi < fallback_.size() && fallback_[fi] == k;
+      if (need_interp) ++fi;
+      bool pass = false;
+      if (!need_interp) {
+        pass = PackedPredicate(results_[k], &need_interp);
+      }
+      if (need_interp) {
+        Tuple t = Concat(pairs_[k].first, pairs_[k].second);
+        MAYBMS_ASSIGN_OR_RETURN(pass, EvalPredicate(*pred_, t));
+        if (pass) out_->AppendUnchecked(std::move(t));
+      } else if (pass) {
+        out_->AppendUnchecked(Concat(pairs_[k].first, pairs_[k].second));
+      }
+    }
+    pairs_.clear();
+    return Status::OK();
+  }
+
+ private:
+  Tuple Concat(size_t i, size_t j) const {
+    Tuple t = l_.row(i);
+    const Tuple& right = r_.row(j);
+    t.insert(t.end(), right.begin(), right.end());
+    return t;
+  }
+
+  const Relation& l_;
+  const Relation& r_;
+  const Expr* pred_;
+  const CompiledExpr* prog_;
+  Relation* out_;
+  std::vector<std::pair<size_t, size_t>> pairs_;
+  std::vector<std::vector<PackedValue>> packed_;
+  std::vector<ExprInput> inputs_;
+  std::vector<PackedValue> results_;
+  std::vector<size_t> fallback_;
+  std::optional<ExprBatchEvaluator> eval_;
+};
+
+Result<Relation> ExecProductOrJoin(const Plan& plan, const Catalog& catalog,
+                                   const ExecOptions& opts) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation l, ExecNode(plan.left(), catalog, opts));
+  MAYBMS_ASSIGN_OR_RETURN(Relation r, ExecNode(plan.right(), catalog, opts));
   Schema out_schema = Schema::Concat(
       l.schema(), r.schema(), r.name().empty() ? "r" : r.name());
   Relation out("", out_schema);
@@ -117,6 +341,12 @@ Result<Relation> ExecProductOrJoin(const Plan& plan, const Catalog& catalog) {
 
   EquiJoinKeys keys = AnalyzeJoinPredicate(bound_pred, l.schema().size());
   if (!keys.left_cols.empty()) {
+    std::optional<CompiledExpr> residual_prog;
+    if (keys.residual && opts.compile_expressions) {
+      residual_prog = CompiledExpr::Compile(*keys.residual);
+    }
+    PairFilter filter(l, r, keys.residual.get(),
+                      residual_prog ? &*residual_prog : nullptr, &out);
     // Hash join on the equality keys.
     std::unordered_map<size_t, std::vector<size_t>> table;
     table.reserve(r.NumRows() * 2);
@@ -141,36 +371,32 @@ Result<Relation> ExecProductOrJoin(const Plan& plan, const Catalog& catalog) {
           }
         }
         if (!match) continue;
-        Tuple t = l.row(i);
-        t.insert(t.end(), r.row(j).begin(), r.row(j).end());
-        if (keys.residual) {
-          MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*keys.residual, t));
-          if (!pass) continue;
-        }
-        out.AppendUnchecked(std::move(t));
+        MAYBMS_RETURN_IF_ERROR(filter.Add(i, j));
       }
     }
+    MAYBMS_RETURN_IF_ERROR(filter.Flush());
     return out;
   }
 
   // Nested-loop product with optional predicate.
+  std::optional<CompiledExpr> prog;
+  if (bound_pred && opts.compile_expressions) {
+    prog = CompiledExpr::Compile(*bound_pred);
+  }
+  PairFilter filter(l, r, bound_pred.get(), prog ? &*prog : nullptr, &out);
   for (size_t i = 0; i < l.NumRows(); ++i) {
     for (size_t j = 0; j < r.NumRows(); ++j) {
-      Tuple t = l.row(i);
-      t.insert(t.end(), r.row(j).begin(), r.row(j).end());
-      if (bound_pred) {
-        MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*bound_pred, t));
-        if (!pass) continue;
-      }
-      out.AppendUnchecked(std::move(t));
+      MAYBMS_RETURN_IF_ERROR(filter.Add(i, j));
     }
   }
+  MAYBMS_RETURN_IF_ERROR(filter.Flush());
   return out;
 }
 
-Result<Relation> ExecUnion(const Plan& plan, const Catalog& catalog) {
-  MAYBMS_ASSIGN_OR_RETURN(Relation l, ExecNode(plan.left(), catalog));
-  MAYBMS_ASSIGN_OR_RETURN(Relation r, ExecNode(plan.right(), catalog));
+Result<Relation> ExecUnion(const Plan& plan, const Catalog& catalog,
+                      const ExecOptions& opts) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation l, ExecNode(plan.left(), catalog, opts));
+  MAYBMS_ASSIGN_OR_RETURN(Relation r, ExecNode(plan.right(), catalog, opts));
   if (l.schema().size() != r.schema().size()) {
     return Status::InvalidArgument(
         StrFormat("UNION arity mismatch: %zu vs %zu", l.schema().size(),
@@ -183,9 +409,10 @@ Result<Relation> ExecUnion(const Plan& plan, const Catalog& catalog) {
   return out;
 }
 
-Result<Relation> ExecDifference(const Plan& plan, const Catalog& catalog) {
-  MAYBMS_ASSIGN_OR_RETURN(Relation l, ExecNode(plan.left(), catalog));
-  MAYBMS_ASSIGN_OR_RETURN(Relation r, ExecNode(plan.right(), catalog));
+Result<Relation> ExecDifference(const Plan& plan, const Catalog& catalog,
+                      const ExecOptions& opts) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation l, ExecNode(plan.left(), catalog, opts));
+  MAYBMS_ASSIGN_OR_RETURN(Relation r, ExecNode(plan.right(), catalog, opts));
   if (l.schema().size() != r.schema().size()) {
     return Status::InvalidArgument(
         StrFormat("EXCEPT arity mismatch: %zu vs %zu", l.schema().size(),
@@ -223,8 +450,9 @@ Result<Relation> ExecDifference(const Plan& plan, const Catalog& catalog) {
   return out;
 }
 
-Result<Relation> ExecDistinct(const Plan& plan, const Catalog& catalog) {
-  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog));
+Result<Relation> ExecDistinct(const Plan& plan, const Catalog& catalog,
+                      const ExecOptions& opts) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog, opts));
   Relation out("", in.schema());
   std::unordered_map<size_t, std::vector<size_t>> seen;
   for (const auto& row : in.rows()) {
@@ -245,8 +473,9 @@ Result<Relation> ExecDistinct(const Plan& plan, const Catalog& catalog) {
   return out;
 }
 
-Result<Relation> ExecSort(const Plan& plan, const Catalog& catalog) {
-  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog));
+Result<Relation> ExecSort(const Plan& plan, const Catalog& catalog,
+                      const ExecOptions& opts) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog, opts));
   std::vector<size_t> idxs;
   for (const auto& name : plan.sort_columns()) {
     MAYBMS_ASSIGN_OR_RETURN(size_t i, in.schema().Resolve(name));
@@ -269,8 +498,9 @@ Result<Relation> ExecSort(const Plan& plan, const Catalog& catalog) {
   return sorted;
 }
 
-Result<Relation> ExecAggregate(const Plan& plan, const Catalog& catalog) {
-  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog));
+Result<Relation> ExecAggregate(const Plan& plan, const Catalog& catalog,
+                      const ExecOptions& opts) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog, opts));
   std::vector<size_t> group_idx;
   Schema out_schema;
   for (const auto& name : plan.group_by()) {
@@ -411,41 +641,78 @@ Result<Relation> ExecAggregate(const Plan& plan, const Catalog& catalog) {
   return out;
 }
 
-Result<Relation> ExecSelect(const Plan& plan, const Catalog& catalog) {
-  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog));
+Result<Relation> ExecSelect(const Plan& plan, const Catalog& catalog,
+                            const ExecOptions& opts) {
+  MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan.input(), catalog, opts));
   MAYBMS_ASSIGN_OR_RETURN(ExprPtr pred,
                           plan.predicate()->BindAgainst(in.schema()));
   Relation out("", in.schema());
-  for (const auto& row : in.rows()) {
-    MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, row));
-    if (pass) out.AppendUnchecked(row);
+  std::optional<CompiledExpr> prog;
+  if (opts.compile_expressions) prog = CompiledExpr::Compile(*pred);
+  if (!prog) {
+    for (const auto& row : in.rows()) {
+      MAYBMS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, row));
+      if (pass) out.AppendUnchecked(row);
+    }
+    return out;
+  }
+  const auto& cols = prog->columns();
+  std::vector<std::vector<PackedValue>> packed(
+      cols.size(), std::vector<PackedValue>(kRowBatch));
+  std::vector<ExprInput> inputs(cols.size());
+  for (size_t s = 0; s < cols.size(); ++s) {
+    inputs[s] = {packed[s].data(), false};
+  }
+  std::vector<PackedValue> results(kRowBatch);
+  std::vector<size_t> fallback;
+  ExprBatchEvaluator eval(&*prog);
+  for (size_t base = 0; base < in.NumRows(); base += kRowBatch) {
+    const size_t n = std::min(kRowBatch, in.NumRows() - base);
+    for (size_t s = 0; s < cols.size(); ++s) {
+      PackColumn(in, cols[s], base, n, packed[s].data());
+    }
+    fallback.clear();
+    eval.Eval(inputs.data(), 0, n, results.data(), &fallback);
+    size_t fi = 0;
+    for (size_t i = 0; i < n; ++i) {
+      bool need_interp = fi < fallback.size() && fallback[fi] == i;
+      if (need_interp) ++fi;
+      bool pass = false;
+      if (!need_interp) pass = PackedPredicate(results[i], &need_interp);
+      if (need_interp) {
+        MAYBMS_ASSIGN_OR_RETURN(pass, EvalPredicate(*pred, in.row(base + i)));
+      }
+      if (pass) out.AppendUnchecked(in.row(base + i));
+    }
   }
   return out;
 }
 
-Result<Relation> ExecNode(const PlanPtr& plan, const Catalog& catalog) {
+Result<Relation> ExecNode(const PlanPtr& plan, const Catalog& catalog,
+                          const ExecOptions& opts) {
   switch (plan->kind()) {
     case PlanKind::kScan: {
       MAYBMS_ASSIGN_OR_RETURN(const Relation* rel, catalog.Get(plan->relation()));
       return *rel;
     }
     case PlanKind::kSelect:
-      return ExecSelect(*plan, catalog);
+      return ExecSelect(*plan, catalog, opts);
     case PlanKind::kProject:
-      return ExecProject(*plan, catalog);
+      return ExecProject(*plan, catalog, opts);
     case PlanKind::kProduct:
     case PlanKind::kJoin:
-      return ExecProductOrJoin(*plan, catalog);
+      return ExecProductOrJoin(*plan, catalog, opts);
     case PlanKind::kUnion:
-      return ExecUnion(*plan, catalog);
+      return ExecUnion(*plan, catalog, opts);
     case PlanKind::kDifference:
-      return ExecDifference(*plan, catalog);
+      return ExecDifference(*plan, catalog, opts);
     case PlanKind::kDistinct:
-      return ExecDistinct(*plan, catalog);
+      return ExecDistinct(*plan, catalog, opts);
     case PlanKind::kSort:
-      return ExecSort(*plan, catalog);
+      return ExecSort(*plan, catalog, opts);
     case PlanKind::kLimit: {
-      MAYBMS_ASSIGN_OR_RETURN(Relation in, ExecNode(plan->input(), catalog));
+      MAYBMS_ASSIGN_OR_RETURN(Relation in,
+                              ExecNode(plan->input(), catalog, opts));
       Relation out("", in.schema());
       for (size_t i = 0; i < std::min(plan->limit(), in.NumRows()); ++i) {
         out.AppendUnchecked(in.row(i));
@@ -453,15 +720,16 @@ Result<Relation> ExecNode(const PlanPtr& plan, const Catalog& catalog) {
       return out;
     }
     case PlanKind::kAggregate:
-      return ExecAggregate(*plan, catalog);
+      return ExecAggregate(*plan, catalog, opts);
   }
   return Status::Internal("unreachable plan kind");
 }
 
 }  // namespace
 
-Result<Relation> Execute(const PlanPtr& plan, const Catalog& catalog) {
-  return ExecNode(plan, catalog);
+Result<Relation> Execute(const PlanPtr& plan, const Catalog& catalog,
+                         const ExecOptions& opts) {
+  return ExecNode(plan, catalog, opts);
 }
 
 Result<Schema> OutputSchema(const PlanPtr& plan, const Catalog& catalog) {
@@ -481,7 +749,7 @@ Result<Schema> OutputSchema(const PlanPtr& plan, const Catalog& catalog) {
     }
     for (const auto& c : p->children()) stack.push_back(c.get());
   }
-  MAYBMS_ASSIGN_OR_RETURN(Relation r, ExecNode(plan, empty));
+  MAYBMS_ASSIGN_OR_RETURN(Relation r, ExecNode(plan, empty, ExecOptions{}));
   return r.schema();
 }
 

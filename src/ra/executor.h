@@ -6,6 +6,7 @@
 #define MAYBMS_RA_EXECUTOR_H_
 
 #include "common/result.h"
+#include "ra/expr_compile.h"
 #include "ra/plan.h"
 #include "storage/catalog.h"
 
@@ -13,7 +14,12 @@ namespace maybms {
 
 /// Evaluates `plan` over `catalog`, materializing every intermediate.
 /// Equi-joins use a hash table; other joins fall back to nested loops.
-Result<Relation> Execute(const PlanPtr& plan, const Catalog& catalog);
+/// Predicates and computed projections run as compiled vectorized
+/// programs over packed row chunks when `opts.compile_expressions` is set
+/// (the default), with per-row interpreter fallback where the program
+/// cannot decide — results are identical in both modes by construction.
+Result<Relation> Execute(const PlanPtr& plan, const Catalog& catalog,
+                         const ExecOptions& opts = {});
 
 /// Computes the output schema of `plan` without executing it.
 Result<Schema> OutputSchema(const PlanPtr& plan, const Catalog& catalog);

@@ -193,16 +193,21 @@ Result<Value> EvalArith(ArithOp op, const Value& l, const Value& r) {
                   r.ToString().c_str()));
   }
   if (l.is_int() && r.is_int()) {
+    // Two's-complement wrap-around (no signed-overflow UB); the compiled
+    // evaluator (ra/expr_compile.cc) implements the same semantics.
     int64_t a = l.as_int(), b = r.as_int();
+    auto wrap = [](uint64_t u) { return Value::Int(static_cast<int64_t>(u)); };
     switch (op) {
       case ArithOp::kAdd:
-        return Value::Int(a + b);
+        return wrap(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
       case ArithOp::kSub:
-        return Value::Int(a - b);
+        return wrap(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
       case ArithOp::kMul:
-        return Value::Int(a * b);
+        return wrap(static_cast<uint64_t>(a) * static_cast<uint64_t>(b));
       case ArithOp::kDiv:
-        if (b == 0) return Value::Null();  // SQL: division by zero -> NULL here
+        // SQL: division by zero -> NULL; INT64_MIN / -1 overflows and is
+        // folded into the same NULL.
+        if (b == 0 || (a == INT64_MIN && b == -1)) return Value::Null();
         return Value::Int(a / b);
     }
   }

@@ -1,0 +1,421 @@
+#include "ra/expr_compile.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/parallel.h"
+
+namespace maybms {
+
+namespace {
+
+// Wrapping int64 ops: two's-complement semantics without signed-overflow
+// UB. The interpreter uses the same helpers so both paths agree bit for
+// bit on the whole input range.
+inline int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapMul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                              static_cast<uint64_t>(b));
+}
+
+}  // namespace
+
+// Named (rather than file-local) so CompiledExpr can befriend it.
+class ExprCompiler {
+ public:
+  std::optional<CompiledExpr> Run(const Expr& root) {
+    // Input slots first: distinct bound columns, ascending, so consumers
+    // can bind component columns / packed chunks positionally.
+    std::vector<size_t> cols;
+    root.CollectColumns(&cols);
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    out_.cols_ = cols;
+    for (size_t s = 0; s < cols.size(); ++s) slot_of_[cols[s]] = s;
+    if (!Lower(root)) return std::nullopt;
+    return std::move(out_);
+  }
+
+ private:
+  // Emits instructions for `e` and returns the register holding its
+  // value; nullopt when the node is not compilable.
+  std::optional<uint16_t> Lower(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::kConst: {
+        ExprInstr ins{ExprOpCode::kLoadConst, 0, 0, 0,
+                      static_cast<uint32_t>(out_.consts_.size())};
+        out_.consts_.push_back(PackedValue::FromValue(e.const_value()));
+        return Emit(ins);
+      }
+      case ExprKind::kColumn: {
+        if (!e.is_bound()) return std::nullopt;
+        auto it = slot_of_.find(e.column_index());
+        if (it == slot_of_.end()) return std::nullopt;
+        return Emit({ExprOpCode::kLoadCol, 0, 0, 0,
+                     static_cast<uint32_t>(it->second)});
+      }
+      case ExprKind::kCompare: {
+        auto l = Lower(*e.left()), r = l ? Lower(*e.right()) : std::nullopt;
+        if (!r) return std::nullopt;
+        return Emit({ExprOpCode::kCompare,
+                     static_cast<uint8_t>(e.compare_op()), *l, *r, 0});
+      }
+      case ExprKind::kArith: {
+        auto l = Lower(*e.left()), r = l ? Lower(*e.right()) : std::nullopt;
+        if (!r) return std::nullopt;
+        return Emit({ExprOpCode::kArith, static_cast<uint8_t>(e.arith_op()),
+                     *l, *r, 0});
+      }
+      case ExprKind::kAnd:
+      case ExprKind::kOr: {
+        auto l = Lower(*e.left()), r = l ? Lower(*e.right()) : std::nullopt;
+        if (!r) return std::nullopt;
+        return Emit({e.kind() == ExprKind::kAnd ? ExprOpCode::kAnd
+                                                : ExprOpCode::kOr,
+                     0, *l, *r, 0});
+      }
+      case ExprKind::kNot: {
+        auto c = Lower(*e.left());
+        if (!c) return std::nullopt;
+        return Emit({ExprOpCode::kNot, 0, *c, 0, 0});
+      }
+      case ExprKind::kIsNull: {
+        auto c = Lower(*e.left());
+        if (!c) return std::nullopt;
+        return Emit({ExprOpCode::kIsNull,
+                     static_cast<uint8_t>(e.is_null_negated() ? 1 : 0), *c,
+                     0, 0});
+      }
+      case ExprKind::kIn: {
+        auto c = Lower(*e.left());
+        if (!c) return std::nullopt;
+        // NULL candidates can never match (the interpreter skips them);
+        // drop them at compile time.
+        std::vector<PackedValue> set;
+        set.reserve(e.in_set().size());
+        for (const Value& v : e.in_set()) {
+          if (!v.is_null()) set.push_back(PackedValue::FromValue(v));
+        }
+        ExprInstr ins{ExprOpCode::kIn, 0, *c, 0,
+                      static_cast<uint32_t>(out_.in_sets_.size())};
+        out_.in_sets_.push_back(std::move(set));
+        return Emit(ins);
+      }
+    }
+    return std::nullopt;  // unknown future node kind -> interpreter
+  }
+
+  std::optional<uint16_t> Emit(ExprInstr ins) {
+    if (out_.instrs_.size() >= UINT16_MAX) return std::nullopt;
+    out_.instrs_.push_back(ins);
+    return static_cast<uint16_t>(out_.instrs_.size() - 1);
+  }
+
+  CompiledExpr out_;
+  std::unordered_map<size_t, size_t> slot_of_;
+};
+
+std::optional<CompiledExpr> CompiledExpr::Compile(const Expr& e) {
+  return ExprCompiler().Run(e);
+}
+
+void ExprBatchEvaluator::Eval(const ExprInput* inputs, size_t begin,
+                              size_t end, PackedValue* out,
+                              std::vector<size_t>* needs_fallback) {
+  const auto& instrs = prog_->instrs_;
+  if (instrs.empty() || begin >= end) return;
+  regs_.resize(instrs.size() * kChunk);
+  err_.resize(kChunk);
+  for (size_t c0 = begin; c0 < end; c0 += kChunk) {
+    const size_t n = std::min(kChunk, end - c0);
+    std::memset(err_.data(), 0, n);
+    bool any_err = false;
+    for (size_t i = 0; i < instrs.size(); ++i) {
+      const ExprInstr& ins = instrs[i];
+      PackedValue* dst = &regs_[i * kChunk];
+      const PackedValue* A = &regs_[ins.a * kChunk];
+      const PackedValue* B = &regs_[ins.b * kChunk];
+      switch (ins.op) {
+        case ExprOpCode::kLoadConst: {
+          const PackedValue v = prog_->consts_[ins.imm];
+          for (size_t k = 0; k < n; ++k) dst[k] = v;
+          break;
+        }
+        case ExprOpCode::kLoadCol: {
+          const ExprInput& in = inputs[ins.imm];
+          if (in.broadcast) {
+            const PackedValue v = in.data[0];
+            for (size_t k = 0; k < n; ++k) dst[k] = v;
+          } else {
+            std::memcpy(dst, in.data + c0, n * sizeof(PackedValue));
+          }
+          break;
+        }
+        case ExprOpCode::kCompare: {
+          const CompareOp op = static_cast<CompareOp>(ins.aux);
+          for (size_t k = 0; k < n; ++k) {
+            const PackedValue& l = A[k];
+            const PackedValue& r = B[k];
+            if (l.is_bottom() || r.is_bottom()) {
+              dst[k] = PackedValue::Bottom();
+              continue;
+            }
+            if (l.is_null() || r.is_null()) {
+              dst[k] = PackedValue::Null();
+              continue;
+            }
+            const bool comparable = (l.is_numeric() && r.is_numeric()) ||
+                                    (l.is_string() && r.is_string()) ||
+                                    (l.is_bool() && r.is_bool());
+            if (!comparable) {
+              err_[k] = 1;
+              any_err = true;
+              dst[k] = PackedValue::Null();
+              continue;
+            }
+            bool res;
+            switch (op) {
+              case CompareOp::kEq:
+                res = (l == r);
+                break;
+              case CompareOp::kNe:
+                res = !(l == r);
+                break;
+              default: {
+                const int c = l.Compare(r);
+                res = (op == CompareOp::kLt)   ? c < 0
+                      : (op == CompareOp::kLe) ? c <= 0
+                      : (op == CompareOp::kGt) ? c > 0
+                                               : c >= 0;
+                break;
+              }
+            }
+            dst[k] = PackedValue::Bool(res);
+          }
+          break;
+        }
+        case ExprOpCode::kArith: {
+          const ArithOp op = static_cast<ArithOp>(ins.aux);
+          for (size_t k = 0; k < n; ++k) {
+            const PackedValue& l = A[k];
+            const PackedValue& r = B[k];
+            if (l.is_bottom() || r.is_bottom()) {
+              dst[k] = PackedValue::Bottom();
+              continue;
+            }
+            if (l.is_null() || r.is_null()) {
+              dst[k] = PackedValue::Null();
+              continue;
+            }
+            if (!l.is_numeric() || !r.is_numeric()) {
+              err_[k] = 1;
+              any_err = true;
+              dst[k] = PackedValue::Null();
+              continue;
+            }
+            if (l.is_int() && r.is_int()) {
+              const int64_t a = l.as_int(), b = r.as_int();
+              switch (op) {
+                case ArithOp::kAdd:
+                  dst[k] = PackedValue::Int(WrapAdd(a, b));
+                  break;
+                case ArithOp::kSub:
+                  dst[k] = PackedValue::Int(WrapSub(a, b));
+                  break;
+                case ArithOp::kMul:
+                  dst[k] = PackedValue::Int(WrapMul(a, b));
+                  break;
+                case ArithOp::kDiv:
+                  // b == 0 -> NULL (SQL); INT64_MIN / -1 overflows and is
+                  // folded into the same NULL, matching the interpreter.
+                  dst[k] = (b == 0 || (a == INT64_MIN && b == -1))
+                               ? PackedValue::Null()
+                               : PackedValue::Int(a / b);
+                  break;
+              }
+              continue;
+            }
+            const double a = l.NumericValue(), b = r.NumericValue();
+            switch (op) {
+              case ArithOp::kAdd:
+                dst[k] = PackedValue::Double(a + b);
+                break;
+              case ArithOp::kSub:
+                dst[k] = PackedValue::Double(a - b);
+                break;
+              case ArithOp::kMul:
+                dst[k] = PackedValue::Double(a * b);
+                break;
+              case ArithOp::kDiv:
+                dst[k] = (b == 0.0) ? PackedValue::Null()
+                                    : PackedValue::Double(a / b);
+                break;
+            }
+          }
+          break;
+        }
+        case ExprOpCode::kAnd: {
+          // Matches the interpreter's short-circuit outcomes when neither
+          // operand errored; lanes where an operand already errored are
+          // re-run through the interpreter anyway, which restores the
+          // exact lazy-evaluation semantics.
+          for (size_t k = 0; k < n; ++k) {
+            const PackedValue& l = A[k];
+            const PackedValue& r = B[k];
+            if (l.is_bottom()) {
+              dst[k] = PackedValue::Bottom();
+            } else if (l.is_bool() && !l.as_bool()) {
+              dst[k] = PackedValue::Bool(false);
+            } else if (r.is_bottom()) {
+              dst[k] = PackedValue::Bottom();
+            } else if (r.is_bool() && !r.as_bool()) {
+              dst[k] = PackedValue::Bool(false);
+            } else if (l.is_null() || r.is_null()) {
+              dst[k] = PackedValue::Null();
+            } else if (!l.is_bool() || !r.is_bool()) {
+              err_[k] = 1;
+              any_err = true;
+              dst[k] = PackedValue::Null();
+            } else {
+              dst[k] = PackedValue::Bool(true);
+            }
+          }
+          break;
+        }
+        case ExprOpCode::kOr: {
+          for (size_t k = 0; k < n; ++k) {
+            const PackedValue& l = A[k];
+            const PackedValue& r = B[k];
+            if (l.is_bottom()) {
+              dst[k] = PackedValue::Bottom();
+            } else if (l.is_bool() && l.as_bool()) {
+              dst[k] = PackedValue::Bool(true);
+            } else if (r.is_bottom()) {
+              dst[k] = PackedValue::Bottom();
+            } else if (r.is_bool() && r.as_bool()) {
+              dst[k] = PackedValue::Bool(true);
+            } else if (l.is_null() || r.is_null()) {
+              dst[k] = PackedValue::Null();
+            } else if (!l.is_bool() || !r.is_bool()) {
+              err_[k] = 1;
+              any_err = true;
+              dst[k] = PackedValue::Null();
+            } else {
+              dst[k] = PackedValue::Bool(false);
+            }
+          }
+          break;
+        }
+        case ExprOpCode::kNot: {
+          for (size_t k = 0; k < n; ++k) {
+            const PackedValue& v = A[k];
+            if (v.is_bottom()) {
+              dst[k] = PackedValue::Bottom();
+            } else if (v.is_null()) {
+              dst[k] = PackedValue::Null();
+            } else if (!v.is_bool()) {
+              err_[k] = 1;
+              any_err = true;
+              dst[k] = PackedValue::Null();
+            } else {
+              dst[k] = PackedValue::Bool(!v.as_bool());
+            }
+          }
+          break;
+        }
+        case ExprOpCode::kIsNull: {
+          const bool negated = ins.aux != 0;
+          for (size_t k = 0; k < n; ++k) {
+            const PackedValue& v = A[k];
+            if (v.is_bottom()) {
+              dst[k] = PackedValue::Bottom();
+            } else {
+              dst[k] = PackedValue::Bool(negated ? !v.is_null()
+                                                 : v.is_null());
+            }
+          }
+          break;
+        }
+        case ExprOpCode::kIn: {
+          const std::vector<PackedValue>& set = prog_->in_sets_[ins.imm];
+          for (size_t k = 0; k < n; ++k) {
+            const PackedValue& v = A[k];
+            if (v.is_bottom()) {
+              dst[k] = PackedValue::Bottom();
+              continue;
+            }
+            if (v.is_null()) {
+              dst[k] = PackedValue::Null();
+              continue;
+            }
+            bool found = false;
+            for (const PackedValue& cand : set) {
+              if (v == cand) {
+                found = true;
+                break;
+              }
+            }
+            dst[k] = PackedValue::Bool(found);
+          }
+          break;
+        }
+      }
+    }
+    const PackedValue* result = &regs_[(instrs.size() - 1) * kChunk];
+    PackedValue* chunk_out = out + (c0 - begin);
+    std::memcpy(chunk_out, result, n * sizeof(PackedValue));
+    if (any_err) {
+      // Error lanes must never surface a downstream-computed value (an
+      // instruction after the error ran on the placeholder NULL), even
+      // for callers that don't collect fallback rows.
+      for (size_t k = 0; k < n; ++k) {
+        if (err_[k]) {
+          chunk_out[k] = PackedValue::Null();
+          if (needs_fallback) needs_fallback->push_back(c0 + k);
+        }
+      }
+    }
+  }
+}
+
+void EvalBatchAuto(const CompiledExpr& prog, const ExprInput* inputs,
+                   size_t n, PackedValue* out,
+                   std::vector<size_t>* needs_fallback,
+                   const ExecOptions& opts) {
+  if (n == 0) return;
+  const size_t threads =
+      opts.num_threads ? opts.num_threads : DefaultNumThreads();
+  if (n < opts.parallel_row_threshold || threads <= 1) {
+    ExprBatchEvaluator eval(&prog);
+    eval.Eval(inputs, 0, n, out, needs_fallback);
+    return;
+  }
+  // One contiguous range per shard keeps fallback rows ordered after a
+  // simple in-order concatenation.
+  const size_t shards = std::min(
+      threads, (n + ExprBatchEvaluator::kChunk - 1) /
+                   ExprBatchEvaluator::kChunk);
+  const size_t per = (n + shards - 1) / shards;
+  std::vector<std::vector<size_t>> shard_fallback(shards);
+  ParallelFor(threads, shards, [&](size_t s) {
+    const size_t begin = s * per, end = std::min(n, begin + per);
+    if (begin >= end) return;
+    ExprBatchEvaluator eval(&prog);
+    eval.Eval(inputs, begin, end, out + begin, &shard_fallback[s]);
+  });
+  if (needs_fallback) {
+    for (auto& f : shard_fallback) {
+      needs_fallback->insert(needs_fallback->end(), f.begin(), f.end());
+    }
+  }
+}
+
+}  // namespace maybms

@@ -1,0 +1,151 @@
+// Compiled, vectorized expression evaluation.
+//
+// CompiledExpr lowers a bound Expr tree into a flat register program whose
+// instructions evaluate directly on PackedValue operands: string equality
+// is an interned-id compare, no Value is materialized, and there is no
+// per-node shared_ptr traversal. ExprBatchEvaluator runs a program over a
+// whole column span (e.g. one component column range, or a packed chunk of
+// relation rows) in one pass, chunk by chunk, keeping the working set of
+// registers cache-resident.
+//
+// Semantics contract: for every row, the compiled result equals
+// Expr::Eval on the same inputs — except that rows on which evaluation
+// would raise an error (type mismatches), or on which the straight-line
+// program cannot reproduce the interpreter's short-circuit behavior, are
+// reported in `needs_fallback` and MUST be re-evaluated by the caller
+// through Expr::Eval. This makes the interpreter the single source of
+// truth: the compiler covering a node is a pure optimization, never a
+// semantic fork. Compile() itself returns nullopt for trees it does not
+// cover (unbound columns, oversized programs, future node kinds), in
+// which case callers keep the interpreted path entirely.
+#ifndef MAYBMS_RA_EXPR_COMPILE_H_
+#define MAYBMS_RA_EXPR_COMPILE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ra/expr.h"
+#include "storage/packed_value.h"
+
+namespace maybms {
+
+/// Execution knobs shared by the conventional executor and the lifted
+/// operators. Off switches exist so benchmarks (and bug hunts) can compare
+/// compiled and interpreted evaluation on identical inputs.
+struct ExecOptions {
+  /// Lower predicates and computed projections to CompiledExpr programs;
+  /// falls back to Expr::Eval per row when compilation is not possible.
+  bool compile_expressions = true;
+  /// Minimum rows in one batch before evaluation is sharded over the
+  /// shared ThreadPool (only batches with pre-packed columnar inputs are
+  /// sharded; packing itself stays on the caller's thread).
+  size_t parallel_row_threshold = 8192;
+  /// Threads for sharded batches: 0 = DefaultNumThreads().
+  size_t num_threads = 0;
+};
+
+/// Instruction opcodes of the compiled form. Each instruction writes the
+/// register with its own index (SSA-style: one register per node).
+enum class ExprOpCode : uint8_t {
+  kLoadConst,  ///< reg[dst] = consts[imm]           (broadcast)
+  kLoadCol,    ///< reg[dst] = input column imm
+  kCompare,    ///< aux = CompareOp; reg[a] vs reg[b]
+  kArith,      ///< aux = ArithOp;   reg[a] op reg[b]
+  kAnd,        ///< three-valued AND of reg[a], reg[b]
+  kOr,         ///< three-valued OR of reg[a], reg[b]
+  kNot,        ///< three-valued NOT of reg[a]
+  kIsNull,     ///< aux = negated;   reg[a] IS [NOT] NULL
+  kIn,         ///< reg[a] IN in_sets[imm]
+};
+
+struct ExprInstr {
+  ExprOpCode op;
+  uint8_t aux = 0;    // CompareOp / ArithOp / negated flag
+  uint16_t a = 0;     // left operand register
+  uint16_t b = 0;     // right operand register
+  uint32_t imm = 0;   // const index / input slot / IN-set index
+};
+
+/// One input column of a batch: `data[i]` for row i, or `data[0]` for
+/// every row when `broadcast` is set (a certain cell of the enclosing
+/// tuple, packed once).
+struct ExprInput {
+  const PackedValue* data = nullptr;
+  bool broadcast = false;
+};
+
+/// A bound expression lowered to a flat typed register program.
+class CompiledExpr {
+ public:
+  /// Lowers `e`; nullopt when the tree is not compilable (unbound column,
+  /// register overflow, unknown node kind).
+  static std::optional<CompiledExpr> Compile(const Expr& e);
+
+  /// Distinct bound column indexes read by the program, ascending. The
+  /// caller supplies one ExprInput per entry, in this order.
+  const std::vector<size_t>& columns() const { return cols_; }
+
+  size_t num_instrs() const { return instrs_.size(); }
+
+ private:
+  friend class ExprBatchEvaluator;
+  friend class ExprCompiler;
+  CompiledExpr() = default;
+
+  std::vector<ExprInstr> instrs_;
+  std::vector<PackedValue> consts_;
+  std::vector<std::vector<PackedValue>> in_sets_;  // non-null candidates
+  std::vector<size_t> cols_;
+};
+
+/// Maps a packed expression result to SQL WHERE semantics (the packed
+/// counterpart of EvalPredicate): Bool(true) passes; false, NULL and ⊥
+/// reject. Any other kind is an interpreter-visible type error — the
+/// caller must re-evaluate the row through EvalPredicate.
+inline bool PackedPredicate(const PackedValue& v, bool* needs_fallback) {
+  if (v.is_bool()) return v.as_bool();
+  if (!v.is_null() && !v.is_bottom()) *needs_fallback = true;
+  return false;
+}
+
+/// Reusable evaluation state (registers) for one program. Not
+/// thread-safe; parallel shards use one evaluator each.
+class ExprBatchEvaluator {
+ public:
+  explicit ExprBatchEvaluator(const CompiledExpr* prog) : prog_(prog) {}
+
+  /// Evaluates rows [begin, end). `inputs` has prog->columns().size()
+  /// entries; non-broadcast inputs are indexed by the absolute row.
+  /// Results land in out[i - begin]. Rows whose evaluation tripped an
+  /// error condition are appended (ascending, absolute) to
+  /// `needs_fallback` and hold NULL in `out`; the caller re-evaluates
+  /// them through Expr::Eval for authoritative results/errors.
+  void Eval(const ExprInput* inputs, size_t begin, size_t end,
+            PackedValue* out, std::vector<size_t>* needs_fallback);
+
+  const CompiledExpr* program() const { return prog_; }
+
+  /// Rows per internal chunk; registers occupy
+  /// num_instrs * kChunk * sizeof(PackedValue) bytes.
+  static constexpr size_t kChunk = 256;
+
+ private:
+  const CompiledExpr* prog_;
+  std::vector<PackedValue> regs_;  // [instr][lane], kChunk lanes per instr
+  std::vector<uint8_t> err_;       // per-lane error flags
+};
+
+/// Evaluates `prog` over rows [0, n) into out[0..n), sharding the batch
+/// over the shared ThreadPool when it reaches opts.parallel_row_threshold
+/// (inputs must then be pre-packed — no interning happens during
+/// evaluation, so shards are data-parallel). Flagged rows are appended to
+/// `needs_fallback` in ascending order.
+void EvalBatchAuto(const CompiledExpr& prog, const ExprInput* inputs,
+                   size_t n, PackedValue* out,
+                   std::vector<size_t>* needs_fallback,
+                   const ExecOptions& opts);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_RA_EXPR_COMPILE_H_

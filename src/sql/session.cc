@@ -143,7 +143,9 @@ Result<StatementResult> Session::RunInsert(const InsertStmt& stmt) {
 Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
   MAYBMS_ASSIGN_OR_RETURN(PlannedQuery q, PlanSelect(stmt, db_));
   MAYBMS_ASSIGN_OR_RETURN(PlanPtr plan, Optimize(q.plan, db_));
-  MAYBMS_ASSIGN_OR_RETURN(WsdDb answer, ExecuteLifted(plan, db_));
+  LiftedExecOptions lifted_opts;
+  lifted_opts.eval = exec_options_;
+  MAYBMS_ASSIGN_OR_RETURN(WsdDb answer, ExecuteLifted(plan, db_, lifted_opts));
   StatementResult result;
   if (q.wants_ecount) {
     MAYBMS_ASSIGN_OR_RETURN(double ec,

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "core/confidence.h"
 #include "core/wsd.h"
+#include "ra/expr_compile.h"
 #include "sql/ast.h"
 #include "storage/relation.h"
 
@@ -48,6 +49,11 @@ class Session {
   const ConfidenceOptions& conf_options() const { return conf_options_; }
   ConfidenceOptions& mutable_conf_options() { return conf_options_; }
 
+  /// Knobs of lifted query evaluation: compiled vectorized expression
+  /// programs vs the row-at-a-time interpreter, and batch parallelism.
+  const ExecOptions& exec_options() const { return exec_options_; }
+  ExecOptions& mutable_exec_options() { return exec_options_; }
+
   /// Parses and executes one statement.
   Result<StatementResult> Execute(const std::string& statement);
 
@@ -65,6 +71,7 @@ class Session {
 
   WsdDb db_;
   ConfidenceOptions conf_options_;
+  ExecOptions exec_options_;
 };
 
 }  // namespace sql

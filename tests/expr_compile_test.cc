@@ -1,0 +1,476 @@
+// Differential tests for compiled vectorized expression evaluation
+// (ra/expr_compile.h): random expression trees over random typed inputs
+// (including NULL, ⊥, string-interning edge cases and mixed-type
+// columns) must agree with Expr::Eval on every row, with rows the
+// program cannot decide reported for interpreter fallback; plus
+// fallback-path coverage for uncompilable trees and end-to-end
+// compiled-vs-interpreted equivalence of the lifted operators.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "core/lifted.h"
+#include "core/lifted_executor.h"
+#include "ra/executor.h"
+#include "ra/expr_compile.h"
+#include "tests/test_util.h"
+#include "worlds/enumerate.h"
+
+namespace maybms {
+namespace {
+
+using testing_util::RandomWsd;
+using testing_util::RandomWsdOptions;
+
+// Distribution over canonical contents of `rel` across enumerated worlds.
+std::map<std::string, double> WsdDistribution(const WsdDb& db,
+                                              const std::string& rel) {
+  auto worlds = EnumerateWorlds(db, 1u << 18);
+  EXPECT_TRUE(worlds.ok()) << worlds.status().ToString();
+  if (!worlds.ok()) return {};
+  return testing_util::RelationDistribution(*worlds, rel);
+}
+
+ExprPtr Col(size_t idx) { return Expr::ColumnIdx(idx); }
+ExprPtr Lit(Value v) { return Expr::Const(std::move(v)); }
+
+// Strict agreement: same representation kind and equal content. (Plain
+// Value equality would let Int 1 pass for Double 1.0.)
+bool SameValue(const Value& a, const Value& b) {
+  if (a.is_int() != b.is_int() || a.is_double() != b.is_double() ||
+      a.is_string() != b.is_string() || a.is_bool() != b.is_bool() ||
+      a.is_null() != b.is_null() || a.is_bottom() != b.is_bottom()) {
+    return false;
+  }
+  return a == b;
+}
+
+// ---------------------------------------------------------------------------
+// Random program generation.
+// ---------------------------------------------------------------------------
+
+Value RandomLeafValue(Rng* rng) {
+  switch (rng->NextBelow(6)) {
+    case 0:
+      return Value::Int(rng->NextInt(-4, 4));
+    case 1: {
+      static const double kDoubles[] = {0.0,  -0.0, 1.5,  -2.25,
+                                        3.0, 1e9,  -0.5, 2.0};
+      return Value::Double(kDoubles[rng->NextBelow(std::size(kDoubles))]);
+    }
+    case 2: {
+      static const char* kStrings[] = {"a", "b", "weight gain",
+                                       "\xCF\x83-token", ""};
+      return Value::String(kStrings[rng->NextBelow(std::size(kStrings))]);
+    }
+    case 3:
+      return Value::Bool(rng->NextBelow(2) == 0);
+    case 4:
+      return Value::Null();
+    default:
+      return Value::Int(rng->NextInt(0, 2));
+  }
+}
+
+ExprPtr RandomExpr(Rng* rng, size_t ncols, int depth) {
+  if (depth <= 0 || rng->NextBernoulli(0.3)) {
+    return rng->NextBernoulli(0.55) ? Col(rng->NextBelow(ncols))
+                                    : Lit(RandomLeafValue(rng));
+  }
+  switch (rng->NextBelow(8)) {
+    case 0:
+      return Expr::Compare(
+          static_cast<CompareOp>(rng->NextBelow(6)),
+          RandomExpr(rng, ncols, depth - 1), RandomExpr(rng, ncols, depth - 1));
+    case 1:
+      return Expr::Arith(
+          static_cast<ArithOp>(rng->NextBelow(4)),
+          RandomExpr(rng, ncols, depth - 1), RandomExpr(rng, ncols, depth - 1));
+    case 2:
+      return Expr::And(RandomExpr(rng, ncols, depth - 1),
+                       RandomExpr(rng, ncols, depth - 1));
+    case 3:
+      return Expr::Or(RandomExpr(rng, ncols, depth - 1),
+                      RandomExpr(rng, ncols, depth - 1));
+    case 4:
+      return Expr::Not(RandomExpr(rng, ncols, depth - 1));
+    case 5:
+      return Expr::IsNull(RandomExpr(rng, ncols, depth - 1),
+                          rng->NextBelow(2) == 0);
+    case 6: {
+      std::vector<Value> set;
+      size_t n = rng->NextBelow(4);
+      for (size_t i = 0; i < n; ++i) set.push_back(RandomLeafValue(rng));
+      return Expr::In(RandomExpr(rng, ncols, depth - 1), std::move(set));
+    }
+    default:
+      return Expr::Compare(CompareOp::kEq, Col(rng->NextBelow(ncols)),
+                           Col(rng->NextBelow(ncols)));
+  }
+}
+
+// Random input cell: any kind, independent of any declared column type —
+// exactly the situation inside components, where or-sets can mix kinds.
+// ⊥ included: lifted evaluation feeds ⊥ through predicates.
+PackedValue RandomCell(Rng* rng, bool allow_bottom) {
+  if (allow_bottom && rng->NextBernoulli(0.08)) return PackedValue::Bottom();
+  return PackedValue::FromValue(RandomLeafValue(rng));
+}
+
+// Evaluates `expr` compiled over columnar inputs and checks every row
+// against the interpreter. Returns the number of fallback rows.
+size_t CheckAgainstInterpreter(const ExprPtr& expr,
+                               const std::vector<std::vector<PackedValue>>& cols,
+                               size_t nrows) {
+  auto prog = CompiledExpr::Compile(*expr);
+  EXPECT_TRUE(prog.has_value()) << expr->ToString();
+  if (!prog) return 0;
+  std::vector<ExprInput> inputs;
+  inputs.reserve(prog->columns().size());
+  for (size_t c : prog->columns()) {
+    if (c >= cols.size()) {
+      ADD_FAILURE() << "column out of range in " << expr->ToString();
+      return 0;
+    }
+    inputs.push_back({cols[c].data(), false});
+  }
+  std::vector<PackedValue> out(nrows);
+  std::vector<size_t> fallback;
+  ExprBatchEvaluator eval(&*prog);
+  eval.Eval(inputs.data(), 0, nrows, out.data(), &fallback);
+  std::set<size_t> fb(fallback.begin(), fallback.end());
+
+  Tuple row(cols.size(), Value::Null());
+  for (size_t r = 0; r < nrows; ++r) {
+    for (size_t c = 0; c < cols.size(); ++c) row[c] = cols[c][r].ToValue();
+    Result<Value> interp = expr->Eval(row);
+    if (!interp.ok()) {
+      // Interpreter errors must be flagged for fallback.
+      EXPECT_TRUE(fb.count(r))
+          << expr->ToString() << " row " << r
+          << ": interpreter error not flagged: " << interp.status().ToString();
+      continue;
+    }
+    if (fb.count(r)) continue;  // flagged rows defer to the interpreter
+    EXPECT_TRUE(SameValue(out[r].ToValue(), *interp))
+        << expr->ToString() << " row " << r << ": compiled "
+        << out[r].ToValue().ToString() << " vs interpreted "
+        << interp->ToString();
+  }
+  return fallback.size();
+}
+
+TEST(ExprCompileDifferential, RandomTreesOverRandomTypedInputs) {
+  Rng rng(20260730);
+  const size_t kCols = 4;
+  // 700 rows crosses chunk boundaries (kChunk = 256) twice.
+  const size_t kRows = 700;
+  size_t total_fallback = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<std::vector<PackedValue>> cols(kCols);
+    for (auto& col : cols) {
+      col.reserve(kRows);
+      for (size_t r = 0; r < kRows; ++r) {
+        col.push_back(RandomCell(&rng, /*allow_bottom=*/true));
+      }
+    }
+    ExprPtr expr = RandomExpr(&rng, kCols, 4);
+    total_fallback += CheckAgainstInterpreter(expr, cols, kRows);
+  }
+  // Random mixed-kind inputs must trip type errors somewhere; otherwise
+  // the fallback machinery is untested.
+  EXPECT_GT(total_fallback, 0u);
+}
+
+TEST(ExprCompileDifferential, StringInterningEdgeCases) {
+  // Equal content built from distinct Value instances (fresh heap
+  // strings, never interned by the caller) must compare equal through
+  // pool ids; distinct content must not.
+  const size_t kRows = 600;
+  std::vector<std::vector<PackedValue>> cols(2);
+  for (size_t r = 0; r < kRows; ++r) {
+    std::string fresh = "payload_" + std::to_string(r % 7);
+    std::string other = "payload_" + std::to_string((r + (r % 3)) % 7);
+    cols[0].push_back(PackedValue::FromValue(Value::String(fresh)));
+    cols[1].push_back(PackedValue::FromValue(Value::String(other)));
+  }
+  CheckAgainstInterpreter(Expr::Compare(CompareOp::kEq, Col(0), Col(1)), cols,
+                          kRows);
+  CheckAgainstInterpreter(Expr::Compare(CompareOp::kLt, Col(0), Col(1)), cols,
+                          kRows);
+  CheckAgainstInterpreter(
+      Expr::Compare(CompareOp::kEq, Col(0), Lit(Value::String("payload_3"))),
+      cols, kRows);
+  CheckAgainstInterpreter(
+      Expr::In(Col(1), {Value::String("payload_1"), Value::Null(),
+                        Value::String("nowhere")}),
+      cols, kRows);
+}
+
+TEST(ExprCompileDifferential, MixedKindColumnFlagsOnlyErrorRows) {
+  // A column that mixes ints and strings: `col < 3` errors exactly on
+  // the string rows; numeric rows must be decided by the program.
+  std::vector<std::vector<PackedValue>> cols(1);
+  for (size_t r = 0; r < 500; ++r) {
+    cols[0].push_back(r % 5 == 0 ? PackedValue::String("oops")
+                                 : PackedValue::Int(static_cast<int64_t>(r)));
+  }
+  ExprPtr pred = Expr::Compare(CompareOp::kLt, Col(0), Lit(Value::Int(3)));
+  auto prog = CompiledExpr::Compile(*pred);
+  ASSERT_TRUE(prog.has_value());
+  std::vector<ExprInput> inputs = {{cols[0].data(), false}};
+  std::vector<PackedValue> out(500);
+  std::vector<size_t> fallback;
+  ExprBatchEvaluator eval(&*prog);
+  eval.Eval(inputs.data(), 0, 500, out.data(), &fallback);
+  ASSERT_EQ(fallback.size(), 100u);
+  for (size_t r : fallback) EXPECT_EQ(r % 5, 0u);
+  for (size_t r = 0; r < 500; ++r) {
+    if (r % 5 == 0) continue;
+    ASSERT_TRUE(out[r].is_bool());
+    EXPECT_EQ(out[r].as_bool(), r < 3);
+  }
+}
+
+TEST(ExprCompileDifferential, BottomAndNullPropagation) {
+  std::vector<std::vector<PackedValue>> cols(2);
+  const PackedValue kinds[] = {PackedValue::Bottom(), PackedValue::Null(),
+                               PackedValue::Int(1), PackedValue::Bool(false),
+                               PackedValue::Bool(true)};
+  for (const PackedValue& a : kinds) {
+    for (const PackedValue& b : kinds) {
+      cols[0].push_back(a);
+      cols[1].push_back(b);
+    }
+  }
+  const size_t n = cols[0].size();
+  CheckAgainstInterpreter(Expr::And(Col(0), Col(1)), cols, n);
+  CheckAgainstInterpreter(Expr::Or(Col(0), Col(1)), cols, n);
+  CheckAgainstInterpreter(Expr::Not(Col(0)), cols, n);
+  CheckAgainstInterpreter(Expr::IsNull(Col(0), false), cols, n);
+  CheckAgainstInterpreter(Expr::IsNull(Col(0), true), cols, n);
+  CheckAgainstInterpreter(
+      Expr::Compare(CompareOp::kLe, Col(0), Col(1)), cols, n);
+  CheckAgainstInterpreter(Expr::Arith(ArithOp::kDiv, Col(0), Col(1)), cols, n);
+  CheckAgainstInterpreter(Expr::In(Col(0), {Value::Int(1), Value::Null()}),
+                          cols, n);
+}
+
+TEST(ExprCompileDifferential, IntegerDivisionEdgeCases) {
+  std::vector<std::vector<PackedValue>> cols(2);
+  const int64_t kInts[] = {0, 1, -1, 7, INT64_MIN, INT64_MAX};
+  for (int64_t a : kInts) {
+    for (int64_t b : kInts) {
+      cols[0].push_back(PackedValue::Int(a));
+      cols[1].push_back(PackedValue::Int(b));
+    }
+  }
+  const size_t n = cols[0].size();
+  // Division by zero and INT64_MIN / -1 both yield NULL in both modes;
+  // +, -, * wrap in both modes.
+  for (ArithOp op :
+       {ArithOp::kDiv, ArithOp::kAdd, ArithOp::kSub, ArithOp::kMul}) {
+    CheckAgainstInterpreter(Expr::Arith(op, Col(0), Col(1)), cols, n);
+  }
+}
+
+TEST(ExprCompileFallback, UncompilableTreesFallBackEntirely) {
+  // An unbound column reference cannot be lowered; Compile must refuse
+  // so callers keep the interpreted path.
+  ExprPtr unbound = Expr::Compare(CompareOp::kEq, Expr::Column("name"),
+                                  Lit(Value::Int(1)));
+  EXPECT_FALSE(CompiledExpr::Compile(*unbound).has_value());
+  // Bound trees of every node kind compile.
+  ExprPtr all_kinds = Expr::And(
+      Expr::Or(Expr::Not(Expr::IsNull(Col(0), true)),
+               Expr::In(Col(1), {Value::Int(1)})),
+      Expr::Compare(CompareOp::kGe, Expr::Arith(ArithOp::kMul, Col(0), Col(1)),
+                    Lit(Value::Int(0))));
+  EXPECT_TRUE(CompiledExpr::Compile(*all_kinds).has_value());
+}
+
+TEST(ExprCompileParallel, ShardedBatchMatchesSerial) {
+  Rng rng(99);
+  const size_t kRows = 50000;
+  std::vector<std::vector<PackedValue>> cols(3);
+  for (auto& col : cols) {
+    col.reserve(kRows);
+    for (size_t r = 0; r < kRows; ++r) {
+      col.push_back(RandomCell(&rng, /*allow_bottom=*/true));
+    }
+  }
+  ExprPtr expr = Expr::And(
+      Expr::Compare(CompareOp::kLe, Col(0), Col(1)),
+      Expr::Or(Expr::IsNull(Col(2), false),
+               Expr::Compare(CompareOp::kNe, Col(2), Lit(Value::Int(2)))));
+  auto prog = CompiledExpr::Compile(*expr);
+  ASSERT_TRUE(prog.has_value());
+  std::vector<ExprInput> inputs;
+  for (size_t c : prog->columns()) inputs.push_back({cols[c].data(), false});
+
+  ExecOptions serial;
+  serial.num_threads = 1;
+  std::vector<PackedValue> out_serial(kRows);
+  std::vector<size_t> fb_serial;
+  EvalBatchAuto(*prog, inputs.data(), kRows, out_serial.data(), &fb_serial,
+                serial);
+
+  ExecOptions parallel;
+  parallel.num_threads = 4;
+  parallel.parallel_row_threshold = 1;
+  std::vector<PackedValue> out_parallel(kRows);
+  std::vector<size_t> fb_parallel;
+  EvalBatchAuto(*prog, inputs.data(), kRows, out_parallel.data(),
+                &fb_parallel, parallel);
+
+  EXPECT_EQ(fb_serial, fb_parallel);
+  for (size_t r = 0; r < kRows; ++r) {
+    EXPECT_TRUE(SameValue(out_serial[r].ToValue(), out_parallel[r].ToValue()))
+        << "row " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: lifted operators compiled vs interpreted.
+// ---------------------------------------------------------------------------
+
+// Runs a lifted selection; returns nullopt when it errored (a legal
+// outcome for type-mismatched random predicates — both modes must then
+// error identically).
+std::optional<std::map<std::string, double>> SelectDistribution(
+    const WsdDb& db, const ExprPtr& pred, const ExecOptions& opts,
+    std::string* error) {
+  WsdDb working = db;
+  Status st = LiftedSelect(&working, "R0", pred, "out", opts);
+  if (!st.ok()) {
+    *error = st.ToString();
+    return std::nullopt;
+  }
+  return WsdDistribution(working, "out");
+}
+
+TEST(LiftedCompiledVsInterpreted, RandomSelections) {
+  Rng rng(1234);
+  ExecOptions compiled;       // default: compile on
+  ExecOptions interpreted;
+  interpreted.compile_expressions = false;
+  for (int iter = 0; iter < 40; ++iter) {
+    RandomWsdOptions opt;
+    opt.max_tuples = 6;
+    WsdDb db = RandomWsd(&rng, opt);
+    const WsdRelation* rel = db.GetRelation("R0").value();
+    size_t ncols = rel->schema().size();
+    // Predicates over the relation's schema; random trees plus a plain
+    // int comparison so a good fraction evaluates without type errors.
+    ExprPtr pred;
+    if (rng.NextBernoulli(0.5)) {
+      pred = Expr::Compare(static_cast<CompareOp>(rng.NextBelow(6)),
+                           Col(rng.NextBelow(ncols)),
+                           Lit(Value::Int(rng.NextInt(0, 3))));
+    } else {
+      pred = Expr::IsNull(Col(rng.NextBelow(ncols)), rng.NextBelow(2) == 0);
+    }
+    SCOPED_TRACE(pred->ToString());
+    std::string err_a, err_b;
+    auto a = SelectDistribution(db, pred, compiled, &err_a);
+    auto b = SelectDistribution(db, pred, interpreted, &err_b);
+    ASSERT_EQ(a.has_value(), b.has_value()) << err_a << " vs " << err_b;
+    if (!a) {
+      // Both modes errored; they must report the same error.
+      EXPECT_EQ(err_a, err_b);
+      continue;
+    }
+    testing_util::ExpectDistEq(*b, *a, 1e-9);
+  }
+}
+
+TEST(LiftedCompiledVsInterpreted, ComputedProjections) {
+  Rng rng(5678);
+  ExecOptions compiled;
+  ExecOptions interpreted;
+  interpreted.compile_expressions = false;
+  for (int iter = 0; iter < 30; ++iter) {
+    RandomWsdOptions opt;
+    opt.allow_strings = false;  // arithmetic projections need numbers
+    opt.max_tuples = 5;
+    WsdDb db = RandomWsd(&rng, opt);
+    const WsdRelation* rel = db.GetRelation("R0").value();
+    size_t ncols = rel->schema().size();
+    std::vector<ProjectItem> items;
+    items.push_back(
+        {Expr::Arith(static_cast<ArithOp>(rng.NextBelow(4)),
+                     Col(rng.NextBelow(ncols)), Col(rng.NextBelow(ncols))),
+         "e"});
+    items.push_back({Col(rng.NextBelow(ncols)), "c"});
+
+    WsdDb a = db, b = db;
+    Status sa = LiftedProject(&a, "R0", items, "out", compiled);
+    Status sb = LiftedProject(&b, "R0", items, "out", interpreted);
+    ASSERT_EQ(sa.ok(), sb.ok()) << sa.ToString() << " vs " << sb.ToString();
+    if (!sa.ok()) continue;
+    testing_util::ExpectDistEq(WsdDistribution(b, "out"),
+                               WsdDistribution(a, "out"), 1e-9);
+  }
+}
+
+TEST(ConventionalCompiledVsInterpreted, QueriesOverCatalog) {
+  // The conventional executor's scan/filter/project/join paths, compiled
+  // vs interpreted, over a small catalog with strings and numbers.
+  Catalog cat;
+  Schema s1({{"id", ValueType::kInt},
+             {"name", ValueType::kString},
+             {"score", ValueType::kDouble}});
+  Relation r1("t", s1);
+  Rng rng(31);
+  for (int i = 0; i < 2500; ++i) {
+    MAYBMS_EXPECT_OK(r1.Append({Value::Int(i % 97),
+                                Value::String("n" + std::to_string(i % 13)),
+                                Value::Double((i % 7) * 0.5)}));
+  }
+  MAYBMS_EXPECT_OK(cat.Create(std::move(r1)));
+  Schema s2({{"id2", ValueType::kInt}, {"tag", ValueType::kString}});
+  Relation r2("u", s2);
+  for (int i = 0; i < 300; ++i) {
+    MAYBMS_EXPECT_OK(r2.Append(
+        {Value::Int(i % 97), Value::String("n" + std::to_string(i % 17))}));
+  }
+  MAYBMS_EXPECT_OK(cat.Create(std::move(r2)));
+
+  ExprPtr pred = Expr::And(
+      Expr::Compare(CompareOp::kLt, Expr::Column("score"),
+                    Lit(Value::Double(2.5))),
+      Expr::In(Expr::Column("name"),
+               {Value::String("n1"), Value::String("n5")}));
+  std::vector<PlanPtr> plans;
+  plans.push_back(Plan::Select(Plan::Scan("t"), pred));
+  plans.push_back(Plan::Project(
+      Plan::Select(Plan::Scan("t"), pred),
+      {{Expr::Arith(ArithOp::kAdd, Expr::Column("id"), Expr::Column("score")),
+        "x"},
+       {Expr::Column("name"), "name"},
+       {Expr::Column("name"), "name"}}));  // duplicate output name probing
+  plans.push_back(Plan::Join(
+      Plan::Scan("t"), Plan::Scan("u"),
+      Expr::And(Expr::Compare(CompareOp::kEq, Expr::Column("id"),
+                              Expr::Column("id2")),
+                Expr::Compare(CompareOp::kNe, Expr::Column("name"),
+                              Expr::Column("tag")))));
+
+  ExecOptions compiled;
+  ExecOptions interpreted;
+  interpreted.compile_expressions = false;
+  for (const auto& plan : plans) {
+    SCOPED_TRACE(plan->ToString());
+    auto a = Execute(plan, cat, compiled);
+    auto b = Execute(plan, cat, interpreted);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->schema().ToString(), b->schema().ToString());
+    EXPECT_TRUE(a->BagEquals(*b));
+  }
+}
+
+}  // namespace
+}  // namespace maybms
