@@ -62,6 +62,9 @@ constexpr const char* kHelp = R"(statements:
   ENFORCE CHECK (a >= 0) ON r;                      -- clean by conditioning
   ENFORCE KEY (a) ON r;   ENFORCE FD a -> b ON r;
   EXPLAIN SELECT ...;   SHOW TABLES;   SHOW WORLDS;  SHOW RELATION r;
+    -- EXPLAIN prints the plan before and after the cost-based rewrite
+    -- (pushdown, join reorder, pruning, folding), each node annotated
+    -- with its estimated cardinality [~N rows]
   DROP TABLE r;
 meta: \h (help)  \q (quit)  \save <file>  \load <file>
 )";

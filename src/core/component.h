@@ -15,6 +15,7 @@
 #ifndef MAYBMS_CORE_COMPONENT_H_
 #define MAYBMS_CORE_COMPONENT_H_
 
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -47,6 +48,15 @@ Value ExistsToken();
 /// ExistsToken() in packed form, for columnar writers.
 inline PackedValue PackedExistsToken() { return PackedValue::Bool(true); }
 
+/// Component statistics: row count plus one distinct-value count per
+/// slot (distinct packed cells; interning makes this exact for strings).
+/// The optimizer's cardinality estimator reads these to bound how many
+/// distinct values an uncertain column can take across worlds.
+struct ComponentStats {
+  uint64_t rows = 0;
+  std::vector<uint64_t> distinct;  ///< aligned with slots
+};
+
 /// One independent factor of the decomposition.
 class Component {
  public:
@@ -70,8 +80,12 @@ class Component {
   bool IsBottomAt(size_t r, size_t s) const { return cols_[s][r].is_bottom(); }
   /// Materializes the cell as a Value (copies string content).
   Value ValueAt(size_t r, size_t s) const { return cols_[s][r].ToValue(); }
-  void SetPacked(size_t r, size_t s, PackedValue v) { cols_[s][r] = v; }
+  void SetPacked(size_t r, size_t s, PackedValue v) {
+    stats_.reset();
+    cols_[s][r] = v;
+  }
   void SetValue(size_t r, size_t s, const Value& v) {
+    stats_.reset();
     cols_[s][r] = PackedValue::FromValue(v);
   }
   /// The whole column of slot s (length NumRows()).
@@ -128,6 +142,15 @@ class Component {
   static Result<Component> Product(const Component& a, const Component& b,
                                    size_t max_rows);
 
+  // --- statistics --------------------------------------------------------
+  /// Row/per-slot-distinct statistics, computed on first access and
+  /// cached until the next mutation of rows or cells (probability-only
+  /// updates keep the cache).
+  const ComponentStats& GetStats() const;
+
+  /// True when GetStats() would return a cached result (for tests).
+  bool HasCachedStats() const { return stats_.has_value(); }
+
   // --- sizes / rendering -------------------------------------------------
   /// Bytes in the flat serialized model (values + 8-byte probability per
   /// row + 4-byte row header), mirroring Relation::SerializedSize. This
@@ -151,6 +174,8 @@ class Component {
   std::vector<Slot> slots_;
   std::vector<std::vector<PackedValue>> cols_;  ///< cols_[slot][row]
   std::vector<double> probs_;                   ///< probs_[row]
+  /// Lazily-computed statistics; reset by every cell/row mutation.
+  mutable std::optional<ComponentStats> stats_;
 };
 
 }  // namespace maybms

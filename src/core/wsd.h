@@ -112,11 +112,14 @@ struct WsdOptions {
 /// on a private copy so inputs stay immutable.
 ///
 /// Thread safety: all const methods are safe to call concurrently as
-/// long as no thread mutates the database — there are no mutable members
-/// or lazily-populated caches, and value materialization only reads the
-/// (internally synchronized) global ValuePool. The parallel aggregate
-/// paths (core/confidence.cc) rely on this: worker threads share one
-/// const WsdDb while enumerating independent clusters.
+/// long as no thread mutates the database — value materialization only
+/// reads the (internally synchronized) global ValuePool. The parallel
+/// aggregate paths (core/confidence.cc) rely on this: worker threads
+/// share one const WsdDb while enumerating independent clusters. One
+/// carve-out: Component::GetStats() populates a per-component cache on
+/// first call, so it must not race with other accessors — only the
+/// single-threaded plan optimizer calls it; the parallel confidence
+/// paths do not.
 class WsdDb {
  public:
   WsdDb() = default;

@@ -61,6 +61,207 @@ std::vector<WorkloadQuery> CensusQueries() {
   return out;
 }
 
+namespace {
+
+/// Mutable state of one random query derivation. The structural choices
+/// (FROM chain, projection shape, DISTINCT) live in QuerySpec so a
+/// compound twin can share them — UNION/EXCEPT operands must agree on
+/// arity and types — while predicates are drawn fresh per operand.
+struct QuerySpec {
+  std::vector<size_t> from;        ///< indexes into the table list
+  bool project = false;
+  std::vector<size_t> proj_cols;   ///< flat concat columns (dups allowed)
+  std::vector<bool> proj_computed; ///< wrap the int column in arithmetic
+  bool distinct = false;
+};
+
+class QueryGen {
+ public:
+  QueryGen(Rng* rng, const std::vector<GenTable>& tables,
+           const RandomQueryOptions& opt)
+      : rng_(rng), tables_(tables), opt_(opt) {}
+
+  QuerySpec RandomSpec() {
+    QuerySpec spec;
+    size_t nfrom = 1 + rng_->NextBelow(opt_.max_from);
+    for (size_t i = 0; i < nfrom; ++i) {
+      spec.from.push_back(rng_->NextBelow(tables_.size()));
+    }
+    std::vector<ValueType> types = ConcatTypes(spec);
+    spec.project = rng_->NextBernoulli(opt_.p_project);
+    if (spec.project) {
+      size_t keep = 1 + rng_->NextBelow(types.size());
+      for (size_t i = 0; i < keep; ++i) {
+        size_t c = rng_->NextBelow(types.size());
+        spec.proj_cols.push_back(c);
+        spec.proj_computed.push_back(types[c] == ValueType::kInt &&
+                                     rng_->NextBernoulli(opt_.p_computed));
+      }
+    }
+    spec.distinct = rng_->NextBernoulli(opt_.p_distinct);
+    return spec;
+  }
+
+  PlanPtr Build(const QuerySpec& spec) {
+    std::vector<ValueType> types = ConcatTypes(spec);
+    PlanPtr plan = Plan::Scan(tables_[spec.from[0]].name);
+    for (size_t i = 1; i < spec.from.size(); ++i) {
+      plan = Plan::Product(plan, Plan::Scan(tables_[spec.from[i]].name));
+    }
+    ExprPtr pred = RandomPredicate(types);
+    if (pred) plan = Plan::Select(plan, pred);
+    if (spec.project) {
+      std::vector<ProjectItem> items;
+      for (size_t i = 0; i < spec.proj_cols.size(); ++i) {
+        size_t c = spec.proj_cols[i];
+        ExprPtr e = spec.proj_computed[i] ? IntArith(c) : ColIdx(c);
+        items.push_back({std::move(e), "p" + std::to_string(i)});
+      }
+      plan = Plan::Project(plan, std::move(items));
+    }
+    if (spec.distinct) plan = Plan::Distinct(plan);
+    return plan;
+  }
+
+ private:
+  std::vector<ValueType> ConcatTypes(const QuerySpec& spec) const {
+    std::vector<ValueType> types;
+    for (size_t t : spec.from) {
+      for (const auto& attr : tables_[t].schema.attrs()) {
+        types.push_back(attr.type);
+      }
+    }
+    return types;
+  }
+
+  static ExprPtr ColIdx(size_t i) { return Expr::ColumnIdx(i, ""); }
+
+  ExprPtr RandomLit(ValueType t) {
+    switch (t) {
+      case ValueType::kString:
+        return Expr::Const(Value::String(std::string(
+            1, static_cast<char>(
+                   'a' + rng_->NextBelow(
+                             static_cast<uint64_t>(opt_.str_domain))))));
+      case ValueType::kBool:
+        return Expr::Const(Value::Bool(rng_->NextBernoulli(0.5)));
+      case ValueType::kDouble:
+        return Expr::Const(Value::Double(static_cast<double>(
+            rng_->NextBelow(static_cast<uint64_t>(opt_.int_domain)))));
+      case ValueType::kInt:
+        break;
+    }
+    return Expr::Const(Value::Int(static_cast<int64_t>(
+        rng_->NextBelow(static_cast<uint64_t>(opt_.int_domain)))));
+  }
+
+  CompareOp RandomCmpOp() {
+    static constexpr CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                         CompareOp::kLt, CompareOp::kLe,
+                                         CompareOp::kGt, CompareOp::kGe};
+    return kOps[rng_->NextBelow(6)];
+  }
+
+  /// Arithmetic over an int column: total by construction (int ops wrap,
+  /// division by zero yields NULL — never an error).
+  ExprPtr IntArith(size_t col) {
+    int64_t lit = 1 + static_cast<int64_t>(rng_->NextBelow(3));
+    switch (rng_->NextBelow(4)) {
+      case 0:
+        return Expr::Arith(ArithOp::kAdd, ColIdx(col),
+                           Expr::Const(Value::Int(lit)));
+      case 1:
+        return Expr::Arith(ArithOp::kSub, ColIdx(col),
+                           Expr::Const(Value::Int(lit)));
+      case 2:
+        return Expr::Arith(ArithOp::kMul, ColIdx(col),
+                           Expr::Const(Value::Int(lit)));
+      default:
+        return Expr::Arith(ArithOp::kDiv, ColIdx(col),
+                           Expr::Const(Value::Int(lit)));
+    }
+  }
+
+  ExprPtr SimpleConjunct(const std::vector<ValueType>& types) {
+    size_t i = rng_->NextBelow(types.size());
+    switch (rng_->NextBelow(6)) {
+      case 0:
+        return Expr::Compare(RandomCmpOp(), ColIdx(i), RandomLit(types[i]));
+      case 1: {  // column-column comparison, types matched
+        std::vector<size_t> same;
+        for (size_t j = 0; j < types.size(); ++j) {
+          if (j != i && types[j] == types[i]) same.push_back(j);
+        }
+        if (same.empty()) {
+          return Expr::Compare(RandomCmpOp(), ColIdx(i), RandomLit(types[i]));
+        }
+        size_t j = same[rng_->NextBelow(same.size())];
+        // Bias toward equality: that is the shape pushdown turns into
+        // hash joins.
+        CompareOp op = rng_->NextBernoulli(0.6) ? CompareOp::kEq
+                                                : RandomCmpOp();
+        return Expr::Compare(op, ColIdx(i), ColIdx(j));
+      }
+      case 2: {  // IN list
+        size_t k = 1 + rng_->NextBelow(3);
+        std::vector<Value> set;
+        for (size_t a = 0; a < k; ++a) {
+          set.push_back(RandomLit(types[i])->const_value());
+        }
+        return Expr::In(ColIdx(i), std::move(set));
+      }
+      case 3:
+        return Expr::IsNull(ColIdx(i), rng_->NextBernoulli(0.5));
+      case 4:
+        return Expr::Not(
+            Expr::Compare(RandomCmpOp(), ColIdx(i), RandomLit(types[i])));
+      default: {  // arithmetic comparison (ints only)
+        if (types[i] != ValueType::kInt) {
+          return Expr::Compare(RandomCmpOp(), ColIdx(i), RandomLit(types[i]));
+        }
+        return Expr::Compare(RandomCmpOp(), IntArith(i),
+                             Expr::Const(Value::Int(static_cast<int64_t>(
+                                 rng_->NextBelow(static_cast<uint64_t>(
+                                     opt_.int_domain * 3))))));
+      }
+    }
+  }
+
+  ExprPtr RandomPredicate(const std::vector<ValueType>& types) {
+    size_t n = rng_->NextBelow(opt_.max_conjuncts + 1);
+    ExprPtr pred;
+    for (size_t c = 0; c < n; ++c) {
+      ExprPtr conj = SimpleConjunct(types);
+      if (rng_->NextBernoulli(0.25)) {
+        conj = Expr::Or(conj, SimpleConjunct(types));
+      }
+      pred = pred ? Expr::And(pred, conj) : conj;
+    }
+    return pred;
+  }
+
+  Rng* rng_;
+  const std::vector<GenTable>& tables_;
+  const RandomQueryOptions& opt_;
+};
+
+}  // namespace
+
+PlanPtr RandomQueryPlan(Rng* rng, const std::vector<GenTable>& tables,
+                        const RandomQueryOptions& options) {
+  QueryGen gen(rng, tables, options);
+  QuerySpec spec = gen.RandomSpec();
+  PlanPtr plan = gen.Build(spec);
+  if (rng->NextBernoulli(options.p_compound)) {
+    // The twin shares the structural spec (same arity and types) but
+    // draws fresh predicates.
+    PlanPtr twin = gen.Build(spec);
+    plan = rng->NextBernoulli(0.5) ? Plan::Union(plan, twin)
+                                   : Plan::Difference(plan, twin);
+  }
+  return plan;
+}
+
 std::vector<Constraint> CensusConstraints() {
   std::vector<Constraint> out;
   out.push_back(Constraint::Domain(

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "chase/constraint.h"
+#include "common/rng.h"
 #include "ra/plan.h"
 
 namespace maybms {
@@ -35,6 +36,37 @@ std::vector<WorkloadQuery> CensusQueries();
 ///   C4  key: PERNUM unique
 ///   C5  FD: CITY determines STATEFIP
 std::vector<Constraint> CensusConstraints();
+
+/// A table visible to the random query generator.
+struct GenTable {
+  std::string name;
+  Schema schema;
+};
+
+/// Tuning knobs of RandomQueryPlan.
+struct RandomQueryOptions {
+  size_t max_from = 3;       ///< tables in the FROM chain (with repeats)
+  size_t max_conjuncts = 3;  ///< WHERE conjuncts
+  double p_project = 0.6;    ///< chance of a projection
+  double p_computed = 0.25;  ///< chance a projected int column is computed
+  double p_distinct = 0.2;   ///< chance of DISTINCT
+  double p_compound = 0.15;  ///< chance of UNION/EXCEPT with a twin query
+  int int_domain = 4;        ///< int literals drawn from [0, int_domain)
+  int str_domain = 4;        ///< string literals 'a'..'a'+str_domain-1
+};
+
+/// Generates a random, *type-correct* query plan over `tables`: a FROM
+/// chain of products (tables drawn with replacement, so self-joins
+/// appear), a WHERE conjunction of comparisons / IN / IS NULL / NOT / OR
+/// shapes over matching column types, an optional projection (column
+/// permutations, duplicates, computed int expressions), DISTINCT, and
+/// UNION/EXCEPT against a structurally identical twin — the same shapes
+/// the SQL planner emits. Every generated expression is total (no type
+/// errors at runtime), so the optimized plan, the unoptimized plan and
+/// the per-world enumeration oracle must agree exactly; the differential
+/// plan fuzzer (tests/plan_fuzz_test.cc) relies on this.
+PlanPtr RandomQueryPlan(Rng* rng, const std::vector<GenTable>& tables,
+                        const RandomQueryOptions& options = {});
 
 }  // namespace maybms
 

@@ -109,7 +109,15 @@ PlanPtr Plan::Aggregate(PlanPtr input, std::vector<std::string> group_by,
 
 std::string Plan::ToString(int indent) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  std::string out = pad;
+  std::string out = pad + NodeString();
+  for (const auto& c : children_) {
+    out += "\n" + c->ToString(indent + 1);
+  }
+  return out;
+}
+
+std::string Plan::NodeString() const {
+  std::string out;
   switch (kind_) {
     case PlanKind::kScan:
       out += "Scan " + relation_;
@@ -168,9 +176,6 @@ std::string Plan::ToString(int indent) const {
       out += "]";
       break;
     }
-  }
-  for (const auto& c : children_) {
-    out += "\n" + c->ToString(indent + 1);
   }
   return out;
 }

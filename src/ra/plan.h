@@ -80,6 +80,11 @@ class Plan {
   const PlanPtr& input() const { return children_[0]; }
   const std::vector<PlanPtr>& children() const { return children_; }
 
+  /// Single-line rendering of this node alone (no children), e.g.
+  /// "Select (a = 1)". Shared by ToString and the optimizer's annotated
+  /// EXPLAIN rendering.
+  std::string NodeString() const;
+
   /// Multi-line indented rendering (EXPLAIN output).
   std::string ToString(int indent = 0) const;
 

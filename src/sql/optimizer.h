@@ -1,12 +1,34 @@
-// Logical plan optimizer: predicate pushdown and product-to-join
-// conversion ("MayBMS rewrites and optimizes user queries into a sequence
-// of relational queries on world-set decompositions" — these rewrites keep
-// the per-tuple component merging of lifted selection small and let joins
-// use the certain-key hash path).
+// Cost-based logical plan optimizer ("MayBMS rewrites and optimizes user
+// queries into a sequence of relational queries on world-set
+// decompositions" — the rewrites shrink the decomposition *before* the
+// expensive product/join steps run).
+//
+// Rule-driven rewrite engine over ra/plan.h:
+//   1. constant folding — constant subexpressions are evaluated once at
+//      plan time (via the same Expr::Eval the executor uses, so folding
+//      is a pure optimization: trees that would error stay unfolded);
+//   2. predicate pushdown — WHERE conjuncts are split and pushed below
+//      products/joins/unions/distincts and through pure-column
+//      projections into per-relation selections; Select-over-Product
+//      with cross-side conjuncts becomes Join (hash-join eligible);
+//   3. join reordering — chains of products/joins are re-ordered
+//      greedily by estimated cardinality, and each join's smaller input
+//      is placed on the right (the hash-join build side); a compensating
+//      projection restores the original column order;
+//   4. projection pruning — join inputs are narrowed to the columns the
+//      query actually references, so the lifted operators marginalize
+//      unused component slots before pairing tuples.
+//
+// Cardinalities come from the statistics layer of the columnar store:
+// template-tuple counts plus per-column distinct counts (certain cells
+// counted directly, uncertain cells through the cached per-slot distinct
+// counts of their components — see RelationStats / ComponentStats).
+//
+// The rewritten predicates are column-index-bound, so they stay valid
+// regardless of later name disambiguation.
 #ifndef MAYBMS_SQL_OPTIMIZER_H_
 #define MAYBMS_SQL_OPTIMIZER_H_
 
-#include <map>
 #include <string>
 
 #include "common/result.h"
@@ -16,17 +38,33 @@
 namespace maybms {
 namespace sql {
 
-/// Rewrites `plan`:
-///   1. WHERE conjuncts are split and pushed below products/joins/unions
-///      to the deepest input whose schema covers their columns;
-///   2. Select-over-Product with cross-side conjuncts becomes Join.
-/// The rewritten predicates are column-index-bound, so they stay valid
-/// regardless of later name disambiguation.
-Result<PlanPtr> Optimize(const PlanPtr& plan, const WsdDb& db);
+/// Knobs of the plan optimizer. Every rewrite rule has its own switch,
+/// and `enable` turns the whole optimizer off (the differential fuzz
+/// harness runs each plan both ways and compares distributions).
+struct OptimizerOptions {
+  bool enable = true;             ///< master switch: off = plan unchanged
+  bool fold_constants = true;     ///< evaluate constant subexpressions
+  bool push_predicates = true;    ///< split + push conjuncts below ×/⋈/∪/π/δ
+  bool reorder_joins = true;      ///< cost-based join order + build side
+  bool prune_projections = true;  ///< narrow join inputs to used columns
+};
+
+/// Rewrites `plan` under `options`; with default options all rules run.
+Result<PlanPtr> Optimize(const PlanPtr& plan, const WsdDb& db,
+                         const OptimizerOptions& options = {});
 
 /// Output schema of a plan against the WSD catalog (mirrors
 /// ra::OutputSchema, which works over certain catalogs).
 Result<Schema> PlanSchema(const PlanPtr& plan, const WsdDb& db);
+
+/// Estimated output cardinality of `plan` under the optimizer's cost
+/// model (template tuples; exposed for EXPLAIN and tests).
+Result<double> EstimateRows(const PlanPtr& plan, const WsdDb& db);
+
+/// Multi-line plan rendering with the cost model's estimated
+/// cardinality appended to every node ("Join (...)  [~12 rows]") — the
+/// EXPLAIN form.
+Result<std::string> ExplainPlan(const PlanPtr& plan, const WsdDb& db);
 
 }  // namespace sql
 }  // namespace maybms

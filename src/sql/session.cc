@@ -72,8 +72,11 @@ Result<StatementResult> Session::ExecuteParsed(const Statement& stmt) {
     case Statement::Kind::kExplain: {
       MAYBMS_ASSIGN_OR_RETURN(PlannedQuery q,
                               PlanSelect(*stmt.explain->select, db_));
-      MAYBMS_ASSIGN_OR_RETURN(PlanPtr optimized, Optimize(q.plan, db_));
-      result.message = "plan (optimized):\n" + optimized->ToString();
+      MAYBMS_ASSIGN_OR_RETURN(PlanPtr optimized,
+                              Optimize(q.plan, db_, optimizer_options_));
+      MAYBMS_ASSIGN_OR_RETURN(std::string before, ExplainPlan(q.plan, db_));
+      MAYBMS_ASSIGN_OR_RETURN(std::string after, ExplainPlan(optimized, db_));
+      result.message = "plan:\n" + before + "\n\nplan (optimized):\n" + after;
       if (q.wants_prob) result.message += "\n→ PROB() via conf computation";
       if (q.wants_ecount) result.message += "\n→ ECOUNT() via existence sums";
       if (q.wants_esum) {
@@ -142,7 +145,8 @@ Result<StatementResult> Session::RunInsert(const InsertStmt& stmt) {
 
 Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
   MAYBMS_ASSIGN_OR_RETURN(PlannedQuery q, PlanSelect(stmt, db_));
-  MAYBMS_ASSIGN_OR_RETURN(PlanPtr plan, Optimize(q.plan, db_));
+  MAYBMS_ASSIGN_OR_RETURN(PlanPtr plan,
+                          Optimize(q.plan, db_, optimizer_options_));
   LiftedExecOptions lifted_opts;
   lifted_opts.eval = exec_options_;
   MAYBMS_ASSIGN_OR_RETURN(WsdDb answer, ExecuteLifted(plan, db_, lifted_opts));

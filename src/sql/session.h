@@ -12,6 +12,7 @@
 #include "core/wsd.h"
 #include "ra/expr_compile.h"
 #include "sql/ast.h"
+#include "sql/optimizer.h"
 #include "storage/relation.h"
 
 namespace maybms {
@@ -54,6 +55,13 @@ class Session {
   const ExecOptions& exec_options() const { return exec_options_; }
   ExecOptions& mutable_exec_options() { return exec_options_; }
 
+  /// Knobs of the cost-based plan optimizer (per-rule switches and a
+  /// master off switch); applied to every SELECT and EXPLAIN.
+  const OptimizerOptions& optimizer_options() const {
+    return optimizer_options_;
+  }
+  OptimizerOptions& mutable_optimizer_options() { return optimizer_options_; }
+
   /// Parses and executes one statement.
   Result<StatementResult> Execute(const std::string& statement);
 
@@ -72,6 +80,7 @@ class Session {
   WsdDb db_;
   ConfidenceOptions conf_options_;
   ExecOptions exec_options_;
+  OptimizerOptions optimizer_options_;
 };
 
 }  // namespace sql

@@ -47,6 +47,11 @@ Result<Relation*> Catalog::GetMutable(const std::string& name) {
   return &it->second;
 }
 
+Result<const RelationStats*> Catalog::GetStats(const std::string& name) const {
+  MAYBMS_ASSIGN_OR_RETURN(const Relation* rel, Get(name));
+  return &rel->GetStats();
+}
+
 std::vector<std::string> Catalog::Names() const {
   std::vector<std::string> out;
   out.reserve(relations_.size());

@@ -28,6 +28,10 @@ class Catalog {
   Result<const Relation*> Get(const std::string& name) const;
   Result<Relation*> GetMutable(const std::string& name);
 
+  /// Row/distinct statistics of one relation (computed lazily and cached
+  /// on the relation itself; see RelationStats).
+  Result<const RelationStats*> GetStats(const std::string& name) const;
+
   std::vector<std::string> Names() const;
   size_t size() const { return relations_.size(); }
 

@@ -55,8 +55,33 @@ Status Relation::Append(Tuple t) {
                         .c_str()));
     }
   }
+  stats_.reset();
   rows_.push_back(std::move(t));
   return Status::OK();
+}
+
+const RelationStats& Relation::GetStats() const {
+  if (stats_.has_value()) return *stats_;
+  RelationStats s;
+  s.rows = rows_.size();
+  s.distinct.assign(schema_.size(), 0);
+  // Sort column pointers in the Value total order and count runs; the
+  // order is consistent with Value equality (NaN class, ±0 collapse), so
+  // the count is exact, not a sketch.
+  std::vector<const Value*> col(rows_.size());
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    for (size_t r = 0; r < rows_.size(); ++r) col[r] = &rows_[r][c];
+    std::sort(col.begin(), col.end(), [](const Value* a, const Value* b) {
+      return a->Compare(*b) < 0;
+    });
+    uint64_t distinct = 0;
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (r == 0 || col[r]->Compare(*col[r - 1]) != 0) ++distinct;
+    }
+    s.distinct[c] = distinct;
+  }
+  stats_ = std::move(s);
+  return *stats_;
 }
 
 void Relation::SortRows() {

@@ -4,6 +4,7 @@
 #ifndef MAYBMS_STORAGE_RELATION_H_
 #define MAYBMS_STORAGE_RELATION_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,18 @@ namespace maybms {
 
 /// A row: values aligned with a Schema.
 using Tuple = std::vector<Value>;
+
+/// Table statistics: row count plus one distinct-value count per column
+/// (NULL counts as one distinct value; equality is Value equality, so
+/// mixed int/double numerics and ±0 collapse as everywhere else). The
+/// certain-relation half of the statistics layer, exposed through
+/// Catalog::GetStats; the plan optimizer's cost model estimates WSD
+/// scans from template tuples plus the Component-level counterpart
+/// (ComponentStats), which shares these semantics.
+struct RelationStats {
+  uint64_t rows = 0;
+  std::vector<uint64_t> distinct;  ///< aligned with the schema
+};
 
 /// Hash of a whole tuple, consistent with Value equality.
 size_t TupleHash(const Tuple& t);
@@ -37,7 +50,10 @@ class Relation {
   bool empty() const { return rows_.empty(); }
 
   const Tuple& row(size_t i) const { return rows_[i]; }
-  Tuple& mutable_row(size_t i) { return rows_[i]; }
+  Tuple& mutable_row(size_t i) {
+    stats_.reset();
+    return rows_[i];
+  }
   const std::vector<Tuple>& rows() const { return rows_; }
 
   /// Appends after checking arity and types (NULL fits any type).
@@ -45,10 +61,24 @@ class Relation {
 
   /// Appends without validation; used by operators that construct
   /// well-typed tuples internally.
-  void AppendUnchecked(Tuple t) { rows_.push_back(std::move(t)); }
+  void AppendUnchecked(Tuple t) {
+    stats_.reset();
+    rows_.push_back(std::move(t));
+  }
 
   void Reserve(size_t n) { rows_.reserve(n); }
-  void Clear() { rows_.clear(); }
+  void Clear() {
+    stats_.reset();
+    rows_.clear();
+  }
+
+  /// Row/distinct-count statistics, computed on first access and cached
+  /// until the next mutation (Append/AppendUnchecked/mutable_row/Clear).
+  const RelationStats& GetStats() const;
+
+  /// True when GetStats() would return a cached result without
+  /// recomputing (exposed so tests can assert invalidation).
+  bool HasCachedStats() const { return stats_.has_value(); }
 
   /// Sorts rows lexicographically; canonical form for comparisons in tests.
   void SortRows();
@@ -74,6 +104,9 @@ class Relation {
   std::string name_;
   Schema schema_;
   std::vector<Tuple> rows_;
+  /// Lazily-computed statistics; reset by every mutating accessor. Not
+  /// synchronized — follows the same single-writer contract as rows_.
+  mutable std::optional<RelationStats> stats_;
 };
 
 /// Checks a value against an attribute type; NULL always fits, BOTTOM never

@@ -1,0 +1,207 @@
+// Tests for the statistics layer of the columnar store: row counts and
+// per-column/per-slot distinct counts cached on Relation and Component,
+// exposed through the catalog, invalidated on mutation — the inputs of
+// the plan optimizer's cost model.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/component.h"
+#include "storage/catalog.h"
+#include "storage/csv.h"
+#include "storage/relation.h"
+#include "tests/test_util.h"
+
+namespace maybms {
+namespace {
+
+Relation SampleRelation() {
+  Relation rel("t", Schema({{"a", ValueType::kInt},
+                            {"b", ValueType::kString},
+                            {"c", ValueType::kDouble}}));
+  rel.AppendUnchecked({Value::Int(1), Value::String("x"), Value::Double(0.5)});
+  rel.AppendUnchecked({Value::Int(1), Value::String("y"), Value::Double(1.0)});
+  rel.AppendUnchecked({Value::Int(2), Value::String("x"), Value::Null()});
+  rel.AppendUnchecked({Value::Int(3), Value::String("x"), Value::Double(0.5)});
+  return rel;
+}
+
+TEST(RelationStatsTest, RowAndDistinctCounts) {
+  Relation rel = SampleRelation();
+  EXPECT_FALSE(rel.HasCachedStats());
+  const RelationStats& s = rel.GetStats();
+  EXPECT_EQ(s.rows, 4u);
+  ASSERT_EQ(s.distinct.size(), 3u);
+  EXPECT_EQ(s.distinct[0], 3u);  // 1, 2, 3
+  EXPECT_EQ(s.distinct[1], 2u);  // x, y
+  EXPECT_EQ(s.distinct[2], 3u);  // 0.5, 1.0, NULL
+  EXPECT_TRUE(rel.HasCachedStats());
+}
+
+TEST(RelationStatsTest, MixedNumericsCollapse) {
+  Relation rel("t", Schema({{"a", ValueType::kDouble}}));
+  rel.AppendUnchecked({Value::Int(1)});
+  rel.AppendUnchecked({Value::Double(1.0)});  // == Int(1) on the real line
+  rel.AppendUnchecked({Value::Double(-0.0)});
+  rel.AppendUnchecked({Value::Double(0.0)});  // ±0 collapse
+  EXPECT_EQ(rel.GetStats().distinct[0], 2u);
+}
+
+TEST(RelationStatsTest, MutationInvalidates) {
+  Relation rel = SampleRelation();
+  (void)rel.GetStats();
+  ASSERT_TRUE(rel.HasCachedStats());
+  rel.AppendUnchecked({Value::Int(9), Value::String("z"), Value::Double(2.0)});
+  EXPECT_FALSE(rel.HasCachedStats());
+  EXPECT_EQ(rel.GetStats().rows, 5u);
+  EXPECT_EQ(rel.GetStats().distinct[0], 4u);
+
+  (void)rel.GetStats();
+  MAYBMS_ASSERT_OK(
+      rel.Append({Value::Int(9), Value::String("w"), Value::Double(2.0)}));
+  EXPECT_FALSE(rel.HasCachedStats());
+  EXPECT_EQ(rel.GetStats().rows, 6u);
+
+  // In-place row mutation invalidates too.
+  rel.mutable_row(0)[0] = Value::Int(100);
+  EXPECT_FALSE(rel.HasCachedStats());
+  EXPECT_EQ(rel.GetStats().distinct[0], 5u);  // 100, 1, 2, 3, 9
+
+  rel.Clear();
+  EXPECT_FALSE(rel.HasCachedStats());
+  EXPECT_EQ(rel.GetStats().rows, 0u);
+  EXPECT_EQ(rel.GetStats().distinct[0], 0u);
+}
+
+TEST(RelationStatsTest, SortKeepsStatsValid) {
+  Relation rel = SampleRelation();
+  const RelationStats& before = rel.GetStats();
+  uint64_t d0 = before.distinct[0];
+  rel.SortRows();  // a permutation: stats unchanged
+  EXPECT_EQ(rel.GetStats().rows, 4u);
+  EXPECT_EQ(rel.GetStats().distinct[0], d0);
+}
+
+TEST(RelationStatsTest, CorrectAfterCsvLoad) {
+  Relation rel = SampleRelation();
+  std::string path = ::testing::TempDir() + "/maybms_stats_test.csv";
+  MAYBMS_ASSERT_OK(WriteCsv(rel, path));
+  auto loaded = ReadCsv(path, "t", rel.schema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+  const RelationStats& s = loaded->GetStats();
+  EXPECT_EQ(s.rows, 4u);
+  EXPECT_EQ(s.distinct[0], 3u);
+  EXPECT_EQ(s.distinct[1], 2u);
+  EXPECT_EQ(s.distinct[2], 3u);  // NULL round-trips as empty field
+}
+
+TEST(RelationStatsTest, ExposedThroughCatalog) {
+  Catalog catalog;
+  MAYBMS_ASSERT_OK(catalog.Create(SampleRelation()));
+  auto stats = catalog.GetStats("t");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ((*stats)->rows, 4u);
+  EXPECT_EQ((*stats)->distinct[1], 2u);
+  EXPECT_FALSE(catalog.GetStats("missing").ok());
+}
+
+// --- Component statistics --------------------------------------------------
+
+Component SampleComponent() {
+  Component c;
+  c.AddSlot({1, "f1"}, Value::Null());
+  c.AddSlot({1, "f2"}, Value::Null());
+  EXPECT_TRUE(c.AddRow({{Value::Int(1), Value::String("x")}, 0.25}).ok());
+  EXPECT_TRUE(c.AddRow({{Value::Int(1), Value::String("y")}, 0.25}).ok());
+  EXPECT_TRUE(c.AddRow({{Value::Int(2), Value::String("x")}, 0.5}).ok());
+  return c;
+}
+
+TEST(ComponentStatsTest, RowAndDistinctCounts) {
+  Component c = SampleComponent();
+  EXPECT_FALSE(c.HasCachedStats());
+  const ComponentStats& s = c.GetStats();
+  EXPECT_EQ(s.rows, 3u);
+  ASSERT_EQ(s.distinct.size(), 2u);
+  EXPECT_EQ(s.distinct[0], 2u);  // 1, 2
+  EXPECT_EQ(s.distinct[1], 2u);  // x, y
+  EXPECT_TRUE(c.HasCachedStats());
+}
+
+TEST(ComponentStatsTest, CorrectAfterProduct) {
+  Component a = SampleComponent();
+  Component b;
+  b.AddSlot({2, "g"}, Value::Null());
+  EXPECT_TRUE(b.AddRow({{Value::Int(7)}, 0.5}).ok());
+  EXPECT_TRUE(b.AddRow({{Value::Int(8)}, 0.5}).ok());
+  auto prod = Component::Product(a, b, 1u << 20);
+  ASSERT_TRUE(prod.ok()) << prod.status().ToString();
+  const ComponentStats& s = prod->GetStats();
+  EXPECT_EQ(s.rows, 6u);
+  ASSERT_EQ(s.distinct.size(), 3u);
+  EXPECT_EQ(s.distinct[0], 2u);
+  EXPECT_EQ(s.distinct[1], 2u);
+  EXPECT_EQ(s.distinct[2], 2u);
+}
+
+TEST(ComponentStatsTest, CorrectAfterDedupRows) {
+  Component c = SampleComponent();
+  // Add an exact duplicate of row 0; dedup must merge it and stats must
+  // reflect the post-dedup state.
+  EXPECT_TRUE(c.AddRow({{Value::Int(1), Value::String("x")}, 0.0}).ok());
+  (void)c.GetStats();
+  ASSERT_TRUE(c.HasCachedStats());
+  c.DedupRows();
+  EXPECT_FALSE(c.HasCachedStats());
+  const ComponentStats& s = c.GetStats();
+  EXPECT_EQ(s.rows, 3u);
+  EXPECT_EQ(s.distinct[0], 2u);
+  EXPECT_EQ(s.distinct[1], 2u);
+}
+
+TEST(ComponentStatsTest, CorrectAfterKeepRows) {
+  Component c = SampleComponent();
+  (void)c.GetStats();
+  c.KeepRows({0u, 1u});  // drop the Int(2) row
+  EXPECT_FALSE(c.HasCachedStats());
+  const ComponentStats& s = c.GetStats();
+  EXPECT_EQ(s.rows, 2u);
+  EXPECT_EQ(s.distinct[0], 1u);  // only Int(1) left
+  EXPECT_EQ(s.distinct[1], 2u);
+}
+
+TEST(ComponentStatsTest, CorrectAfterDropSlots) {
+  Component c = SampleComponent();
+  (void)c.GetStats();
+  c.DropSlots({1u});  // marginalize the string slot; rows dedup to 2
+  EXPECT_FALSE(c.HasCachedStats());
+  const ComponentStats& s = c.GetStats();
+  EXPECT_EQ(s.rows, 2u);
+  ASSERT_EQ(s.distinct.size(), 1u);
+  EXPECT_EQ(s.distinct[0], 2u);
+}
+
+TEST(ComponentStatsTest, CellMutationInvalidates) {
+  Component c = SampleComponent();
+  (void)c.GetStats();
+  c.SetValue(0, 0, Value::Int(3));
+  EXPECT_FALSE(c.HasCachedStats());
+  EXPECT_EQ(c.GetStats().distinct[0], 3u);  // 3, 1, 2
+  c.SetPacked(1, 0, PackedValue::Int(3));
+  EXPECT_FALSE(c.HasCachedStats());
+  EXPECT_EQ(c.GetStats().distinct[0], 2u);  // 3, 2
+}
+
+TEST(ComponentStatsTest, ProbabilityOnlyUpdatesKeepCache) {
+  Component c = SampleComponent();
+  (void)c.GetStats();
+  c.set_prob(0, 0.3);
+  c.set_prob(1, 0.2);
+  EXPECT_TRUE(c.HasCachedStats());  // value stats unaffected
+  MAYBMS_ASSERT_OK(c.Renormalize());
+  EXPECT_TRUE(c.HasCachedStats());
+}
+
+}  // namespace
+}  // namespace maybms
