@@ -10,13 +10,176 @@
 // the decomposition, and the overhead — plus, for contrast, the utterly
 // infeasible size a materialized world-set would need.
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/serialize.h"
 
 using namespace maybms;
 using namespace maybms::bench;
 
+namespace {
+
+// A world-set database in the *decomposition-heavy* regime: most cells
+// live in joint components (the state WSDs take after or-set insertion
+// on correlated fields, REPAIR KEY, and lifted operations — the
+// paper's 10^(10^6)-worlds shape), with only a small template on top.
+// `tuples` tuples of 4 fields each are covered by one `rows_per_comp`-row
+// joint component apiece.
+WsdDb BuildJointDb(size_t tuples, size_t rows_per_comp) {
+  WsdDb db;
+  Schema schema({{"site", ValueType::kString},
+                 {"sensor", ValueType::kInt},
+                 {"reading", ValueType::kDouble},
+                 {"status", ValueType::kString}});
+  Status st = db.CreateRelation("readings", schema);
+  MAYBMS_CHECK(st.ok()) << st.ToString();
+  Rng rng(271828);
+  const char* kStatus[] = {"ok", "drift", "noisy", "dead"};
+  const double uniform = 1.0 / static_cast<double>(rows_per_comp);
+  for (size_t i = 0; i < tuples; ++i) {
+    auto h = InsertTuple(&db, "readings",
+                         {CellSpec::Pending(), CellSpec::Pending(),
+                          CellSpec::Pending(), CellSpec::Pending()});
+    MAYBMS_CHECK(h.ok()) << h.status().ToString();
+    std::vector<std::pair<std::vector<Value>, double>> rows;
+    rows.reserve(rows_per_comp);
+    for (size_t r = 0; r < rows_per_comp; ++r) {
+      rows.push_back(
+          {{Value::String(StrFormat("site-%llu",
+                                    static_cast<unsigned long long>(
+                                        rng.NextBelow(64)))),
+            Value::Int(static_cast<int64_t>(rng.NextBelow(1000))),
+            Value::Double(static_cast<double>(rng.NextBelow(1u << 20)) / 7.0),
+            Value::String(kStatus[rng.NextBelow(4)])},
+           uniform});
+    }
+    auto cid = AddJointComponent(&db,
+                                 {{*h, "site"},
+                                  {*h, "sensor"},
+                                  {*h, "reading"},
+                                  {*h, "status"}},
+                                 rows);
+    MAYBMS_CHECK(cid.ok()) << cid.status().ToString();
+  }
+  return db;
+}
+
+struct SnapshotCase {
+  std::string label;
+  WsdDb db;
+  std::string check_relation;
+  size_t check_tuples;
+};
+
+// E1b: snapshot persistence — text ("MAYBMS-WSD 1") vs the binary
+// columnar format ("MAYBMS-WSD 2"). Two regimes, several scales each:
+//
+//   census/N  — template-heavy: N census records, or-set noise 0.001.
+//               Load cost is dominated by materializing the certain
+//               template cells, which both formats must do; binary wins
+//               by skipping tokenization (~3-4x).
+//   joint/TxR — decomposition-heavy: T joint components of R rows × 4
+//               slots over a small template. Component columns load as
+//               raw slot-major arrays, so binary approaches memcpy
+//               speed while text still parses every cell (>10x).
+//
+// JSON entries feed the CI benchmark regression gate.
+void SnapshotBench(BenchJson* json) {
+  printf("E1b snapshot persistence: text vs binary save/load\n");
+  Table table({"world-set", "format", "bytes", "save ms", "load ms",
+               "load speedup"});
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "maybms_bench_snapshot")
+          .string();
+  std::filesystem::create_directories(dir);
+  std::vector<SnapshotCase> cases;
+  for (size_t base : {size_t(2000), size_t(10000)}) {
+    size_t records = Scaled(base);
+    if (records == 0) continue;
+    cases.push_back({StrFormat("census/%zu", records),
+                     BuildNoisyCensus(records, /*noise_fraction=*/0.001,
+                                      /*seed=*/7),
+                     "census", records});
+  }
+  for (size_t base : {size_t(500), size_t(2500)}) {
+    size_t tuples = Scaled(base);
+    if (tuples == 0) continue;
+    // 256 rows x 4 slots per component: the largest configuration holds
+    // ~2.5M packed component cells — the biggest world-set in this bench.
+    cases.push_back({StrFormat("joint/%zux256", tuples),
+                     BuildJointDb(tuples, 256), "readings", tuples});
+  }
+  for (SnapshotCase& c : cases) {
+    double save_s[2], load_s[2];
+    uint64_t bytes[2];
+    for (int fmt = 0; fmt < 2; ++fmt) {
+      SnapshotFormat format =
+          fmt == 0 ? SnapshotFormat::kText : SnapshotFormat::kBinary;
+      std::string path =
+          dir + (fmt == 0 ? "/snap.v1.wsd" : "/snap.v2.wsd");
+      // Best of 5 for both directions: first-touch page faults for the
+      // freshly allocated database are paid once per process region,
+      // scheduler noise hits single shots, and the regression gate
+      // wants the steady-state cost of the format, not the allocator's.
+      Timer t;
+      save_s[fmt] = 1e300;
+      for (int rep = 0; rep < 5; ++rep) {
+        t.Reset();
+        Status st = SaveWsdDb(c.db, path, format);
+        double s = t.Seconds();
+        MAYBMS_CHECK(st.ok()) << st.ToString();
+        if (s < save_s[fmt]) save_s[fmt] = s;
+      }
+      bytes[fmt] = std::filesystem::file_size(path);
+      load_s[fmt] = 1e300;
+      for (int rep = 0; rep < 5; ++rep) {
+        t.Reset();
+        auto loaded = LoadWsdDb(path);
+        double s = t.Seconds();
+        MAYBMS_CHECK(loaded.ok()) << loaded.status().ToString();
+        MAYBMS_CHECK(loaded->GetRelation(c.check_relation)
+                         .value()
+                         ->NumTuples() == c.check_tuples);
+        if (s < load_s[fmt]) load_s[fmt] = s;
+      }
+      std::filesystem::remove(path);
+    }
+    for (int fmt = 0; fmt < 2; ++fmt) {
+      const char* name = fmt == 0 ? "text" : "binary";
+      table.AddRow({c.label, name,
+                    StrFormat("%llu", static_cast<unsigned long long>(
+                                          bytes[fmt])),
+                    StrFormat("%.1f", save_s[fmt] * 1e3),
+                    StrFormat("%.1f", load_s[fmt] * 1e3),
+                    fmt == 0 ? std::string("1.00")
+                             : StrFormat("%.2f", load_s[0] / load_s[1])});
+      json->Add(StrFormat("snapshot_save_%s_%s", name, c.label.c_str()),
+                save_s[fmt] * 1e9,
+                fmt == 0 ? 1.0 : save_s[0] / save_s[1]);
+      json->Add(StrFormat("snapshot_load_%s_%s", name, c.label.c_str()),
+                load_s[fmt] * 1e9,
+                fmt == 0 ? 1.0 : load_s[0] / load_s[1]);
+    }
+  }
+  std::filesystem::remove_all(dir);
+  table.Print();
+  printf("binary load reads sections as raw slot-major arrays: no\n"
+         "per-cell parsing, one re-intern per distinct string (see\n"
+         "docs/SNAPSHOT_FORMAT.md). The joint regime is where the\n"
+         "decomposition itself carries the data and the columnar format\n"
+         "pays off most.\n\n");
+}
+
+}  // namespace
+
 int main() {
+  BenchJson json("storage");
   size_t records = Scaled(50000);
   constexpr uint64_t kSeed = 1;
   printf("E1 storage: WSD space overhead vs noise degree "
@@ -87,6 +250,7 @@ int main() {
          "The interned columns show the engine's actual in-memory\n"
          "footprint (fixed 16-byte packed cells; every distinct string\n"
          "stored once) — the overhead ratio stays in the same low-percent\n"
-         "band, so compactness survives the columnar representation.\n");
+         "band, so compactness survives the columnar representation.\n\n");
+  SnapshotBench(&json);
   return 0;
 }

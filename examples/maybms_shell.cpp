@@ -65,8 +65,13 @@ constexpr const char* kHelp = R"(statements:
     -- EXPLAIN prints the plan before and after the cost-based rewrite
     -- (pushdown, join reorder, pruning, folding), each node annotated
     -- with its estimated cardinality [~N rows]
+  SAVE DATABASE 'file.wsd' [FORMAT TEXT|BINARY];
+    -- snapshots the whole world-set database; BINARY (the default) is
+    -- the columnar fast-load format, TEXT is human-inspectable
+  LOAD DATABASE 'file.wsd';
+    -- replaces the session database (format auto-detected from header)
   DROP TABLE r;
-meta: \h (help)  \q (quit)  \save <file>  \load <file>
+meta: \h (help)  \q (quit)  \save <file> [text|binary]  \load <file>
 )";
 
 }  // namespace
@@ -103,8 +108,19 @@ int main(int argc, char** argv) {
       continue;
     }
     if (buffer.empty() && StartsWith(trimmed, "\\save ")) {
-      Status st = SaveWsdDb(session.db(),
-                            std::string(Trim(trimmed.substr(6))));
+      std::string args(Trim(trimmed.substr(6)));
+      SnapshotFormat format = SnapshotFormat::kBinary;
+      size_t space = args.find_last_of(" \t");
+      if (space != std::string::npos) {
+        std::string_view fmt = Trim(args.substr(space + 1));
+        if (EqualsIgnoreCase(fmt, "text")) {
+          format = SnapshotFormat::kText;
+          args = std::string(Trim(args.substr(0, space)));
+        } else if (EqualsIgnoreCase(fmt, "binary")) {
+          args = std::string(Trim(args.substr(0, space)));
+        }
+      }
+      Status st = SaveWsdDb(session.db(), args, format);
       printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
       continue;
     }

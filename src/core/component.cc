@@ -81,6 +81,34 @@ uint32_t Component::AddSlotWithPacked(Slot slot,
   return static_cast<uint32_t>(slots_.size() - 1);
 }
 
+Result<Component> Component::FromColumns(
+    std::vector<Slot> slots, std::vector<std::vector<PackedValue>> cols,
+    std::vector<double> probs) {
+  if (cols.size() != slots.size()) {
+    return Status::InvalidArgument(
+        StrFormat("component column count %zu != slot count %zu", cols.size(),
+                  slots.size()));
+  }
+  for (const auto& col : cols) {
+    if (col.size() != probs.size()) {
+      return Status::InvalidArgument(
+          StrFormat("component column length %zu != row count %zu",
+                    col.size(), probs.size()));
+    }
+  }
+  for (double p : probs) {
+    if (!(p >= 0.0 && p <= 1.0 + 1e-9)) {
+      return Status::OutOfRange(
+          StrFormat("row probability %g outside [0,1]", p));
+    }
+  }
+  Component c;
+  c.slots_ = std::move(slots);
+  c.cols_ = std::move(cols);
+  c.probs_ = std::move(probs);
+  return c;
+}
+
 double Component::TotalMass() const {
   double total = 0.0;
   for (double p : probs_) total += p;

@@ -111,6 +111,14 @@ class Component {
   /// Appends a slot from an already-packed column (must match NumRows).
   uint32_t AddSlotWithPacked(Slot slot, std::vector<PackedValue> column);
 
+  /// Builds a component directly from columnar storage: slot metadata,
+  /// one packed column per slot, and the probability vector — the bulk
+  /// restore path of the binary snapshot loader. Validates column
+  /// lengths and that every probability is finite and in [0,1].
+  static Result<Component> FromColumns(
+      std::vector<Slot> slots, std::vector<std::vector<PackedValue>> cols,
+      std::vector<double> probs);
+
   // --- operations --------------------------------------------------------
   /// Sum of row probabilities (should be ~1 outside of conditioning).
   double TotalMass() const;

@@ -1,19 +1,24 @@
 #include "core/serialize.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
+#include "storage/snapshot_io.h"
 
 namespace maybms {
 
 namespace {
 
 constexpr const char* kMagic = "MAYBMS-WSD";
-constexpr int kVersion = 1;
+constexpr int kTextVersion = 1;
+constexpr int kBinaryVersion = 2;
 
-// --- writing ---------------------------------------------------------------
+// --- text writing ----------------------------------------------------------
 
 void WriteString(std::ostream& out, const std::string& s) {
   out << "s" << s.size() << ":" << s;
@@ -49,7 +54,7 @@ const char* TypeTag(ValueType t) {
   return "?";
 }
 
-// --- reading ---------------------------------------------------------------
+// --- text reading ----------------------------------------------------------
 
 class Reader {
  public:
@@ -172,10 +177,563 @@ Result<ValueType> ParseType(const std::string& tag) {
   return Status::ParseError("unknown type tag " + tag);
 }
 
+// Dead-id gaps a single snapshot may ask the loader to materialize.
+// Component ids are preserved across save/load (template cells reference
+// them), so files legitimately contain gaps from removed components —
+// but each gap costs a dead slot in the component store, and a crafted
+// file must not be able to demand billions of them. The cap bounds
+// loader memory at ~the live data plus 2^20 slots; it matches the
+// engine's own practical ceiling for dead-slot bookkeeping.
+constexpr size_t kMaxComponentIdGaps = 1u << 20;
+
+// Places component `c` at exactly the stored `id` (cells reference it);
+// ids arrive ascending, gaps become dead slots. `placed` is the number
+// of components placed before this one, bounding the gap budget.
+Status PlaceComponentAt(WsdDb* db, size_t id, size_t placed, Component c) {
+  if (id > placed + kMaxComponentIdGaps) {
+    return Status::ParseError(
+        StrFormat("component id %zu implies more than %zu dead-id gaps",
+                  id, kMaxComponentIdGaps));
+  }
+  for (;;) {
+    ComponentId got = db->AddComponent(Component());
+    if (got == id) {
+      db->mutable_component(got) = std::move(c);
+      return Status::OK();
+    }
+    if (got > id) return Status::ParseError("component ids out of order");
+    db->RemoveComponent(got);  // filler for a gap in the id space
+  }
+}
+
+// Reads the text body (everything after "MAYBMS-WSD 1").
+Result<WsdDb> ReadWsdDbText(std::istream& in) {
+  Reader r(in);
+  WsdDb db;
+  MAYBMS_RETURN_IF_ERROR(r.Expect("OPTIONS"));
+  MAYBMS_ASSIGN_OR_RETURN(size_t max_rows, r.ReadSize());
+  db.mutable_options().max_component_rows = max_rows;
+
+  MAYBMS_RETURN_IF_ERROR(r.Expect("COMPONENTS"));
+  MAYBMS_ASSIGN_OR_RETURN(size_t n_comps, r.ReadSize());
+  OwnerId max_owner = 0;
+  for (size_t k = 0; k < n_comps; ++k) {
+    MAYBMS_RETURN_IF_ERROR(r.Expect("COMPONENT"));
+    MAYBMS_ASSIGN_OR_RETURN(size_t id, r.ReadSize());
+    MAYBMS_ASSIGN_OR_RETURN(size_t n_slots, r.ReadSize());
+    MAYBMS_ASSIGN_OR_RETURN(size_t n_rows, r.ReadSize());
+    Component c;
+    for (size_t s = 0; s < n_slots; ++s) {
+      MAYBMS_RETURN_IF_ERROR(r.Expect("SLOT"));
+      MAYBMS_ASSIGN_OR_RETURN(int64_t owner, r.ReadInt());
+      MAYBMS_ASSIGN_OR_RETURN(std::string label, r.ReadString());
+      c.AddSlot({static_cast<OwnerId>(owner), std::move(label)},
+                Value::Null());
+      max_owner = std::max(max_owner, static_cast<OwnerId>(owner));
+    }
+    // AddSlot added no rows (component empty); now read the rows.
+    for (size_t row_i = 0; row_i < n_rows; ++row_i) {
+      MAYBMS_RETURN_IF_ERROR(r.Expect("ROW"));
+      ComponentRow row;
+      MAYBMS_ASSIGN_OR_RETURN(row.prob, r.ReadDouble());
+      row.values.reserve(n_slots);
+      for (size_t s = 0; s < n_slots; ++s) {
+        MAYBMS_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+        row.values.push_back(std::move(v));
+      }
+      MAYBMS_RETURN_IF_ERROR(c.AddRow(std::move(row)));
+    }
+    MAYBMS_RETURN_IF_ERROR(PlaceComponentAt(&db, id, k, std::move(c)));
+  }
+
+  MAYBMS_RETURN_IF_ERROR(r.Expect("RELATIONS"));
+  MAYBMS_ASSIGN_OR_RETURN(size_t n_rels, r.ReadSize());
+  for (size_t k = 0; k < n_rels; ++k) {
+    MAYBMS_RETURN_IF_ERROR(r.Expect("RELATION"));
+    MAYBMS_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    MAYBMS_ASSIGN_OR_RETURN(std::string display, r.ReadString());
+    MAYBMS_ASSIGN_OR_RETURN(size_t n_cols, r.ReadSize());
+    MAYBMS_ASSIGN_OR_RETURN(size_t n_tuples, r.ReadSize());
+    Schema schema;
+    for (size_t c = 0; c < n_cols; ++c) {
+      MAYBMS_RETURN_IF_ERROR(r.Expect("COL"));
+      MAYBMS_ASSIGN_OR_RETURN(std::string col, r.ReadString());
+      MAYBMS_ASSIGN_OR_RETURN(std::string tag, r.ReadToken());
+      MAYBMS_ASSIGN_OR_RETURN(ValueType type, ParseType(tag));
+      MAYBMS_RETURN_IF_ERROR(schema.Add({std::move(col), type}));
+    }
+    MAYBMS_RETURN_IF_ERROR(db.CreateRelation(name, schema));
+    WsdRelation* rel = db.GetMutableRelation(name).value();
+    rel->set_display_name(display);
+    rel->Reserve(n_tuples);
+    for (size_t i = 0; i < n_tuples; ++i) {
+      MAYBMS_RETURN_IF_ERROR(r.Expect("TUPLE"));
+      MAYBMS_ASSIGN_OR_RETURN(size_t n_deps, r.ReadSize());
+      WsdTuple t;
+      for (size_t d = 0; d < n_deps; ++d) {
+        MAYBMS_ASSIGN_OR_RETURN(int64_t o, r.ReadInt());
+        t.AddDep(static_cast<OwnerId>(o));
+        max_owner = std::max(max_owner, static_cast<OwnerId>(o));
+      }
+      MAYBMS_RETURN_IF_ERROR(r.Expect("|"));
+      t.cells.reserve(n_cols);
+      for (size_t c = 0; c < n_cols; ++c) {
+        MAYBMS_ASSIGN_OR_RETURN(std::string tag, r.ReadToken());
+        if (tag == "C") {
+          MAYBMS_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+          t.cells.push_back(Cell::Certain(std::move(v)));
+        } else if (tag == "R") {
+          MAYBMS_ASSIGN_OR_RETURN(size_t cid, r.ReadSize());
+          MAYBMS_ASSIGN_OR_RETURN(size_t slot, r.ReadSize());
+          t.cells.push_back(Cell::Ref({static_cast<ComponentId>(cid),
+                                       static_cast<uint32_t>(slot)}));
+        } else {
+          return Status::ParseError("expected cell tag C or R, got " + tag);
+        }
+      }
+      rel->Add(std::move(t));
+    }
+  }
+  MAYBMS_RETURN_IF_ERROR(r.Expect("END"));
+  db.BumpOwner(max_owner);
+  MAYBMS_RETURN_IF_ERROR(db.CheckInvariants());
+  return db;
+}
+
+// --- binary format ---------------------------------------------------------
+//
+// Layout after the "MAYBMS-WSD 2\n" header line (see
+// docs/SNAPSHOT_FORMAT.md for the full spec): a fixed sequence of
+// checksummed sections META, STRS, COMP, RELS, END. All cell data is
+// written as raw tag/payload arrays; string payloads are snapshot-local
+// ids into the STRS table, remapped to the process ValuePool on load.
+
+constexpr uint32_t kSecMeta = SnapshotFourCC('M', 'E', 'T', 'A');
+constexpr uint32_t kSecStrings = SnapshotFourCC('S', 'T', 'R', 'S');
+constexpr uint32_t kSecComponents = SnapshotFourCC('C', 'O', 'M', 'P');
+constexpr uint32_t kSecRelations = SnapshotFourCC('R', 'E', 'L', 'S');
+constexpr uint32_t kSecEnd = SnapshotFourCC('E', 'N', 'D', '.');
+
+/// Written to META and verified on load, so a snapshot moved to a
+/// machine with a different byte order fails loudly instead of
+/// misreading every array.
+constexpr uint32_t kEndianMark = 0x32445357;  // "WSD2" on little-endian
+
+/// Wire tag of a template cell that references a component slot; tags
+/// 0..5 are PackedTag values for inline (certain) cells.
+constexpr uint8_t kCellRef = 6;
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(d));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+/// (tag, payload) wire image of a packed cell; strings go through the
+/// snapshot-local table.
+std::pair<uint8_t, uint64_t> PackedToWire(const PackedValue& v,
+                                          SnapshotStringTable* strings) {
+  switch (v.tag()) {
+    case PackedTag::kNull:
+    case PackedTag::kBottom:
+      return {static_cast<uint8_t>(v.tag()), 0};
+    case PackedTag::kBool:
+      return {static_cast<uint8_t>(v.tag()), v.as_bool() ? 1u : 0u};
+    case PackedTag::kInt:
+      return {static_cast<uint8_t>(v.tag()),
+              static_cast<uint64_t>(v.as_int())};
+    case PackedTag::kDouble:
+      return {static_cast<uint8_t>(v.tag()), DoubleBits(v.as_double())};
+    case PackedTag::kString:
+      return {static_cast<uint8_t>(v.tag()),
+              strings->IdForGlobal(v.string_id())};
+  }
+  return {0, 0};
+}
+
+std::string BuildMetaPayload(const WsdDb& db) {
+  std::string meta;
+  PutPod(&meta, kEndianMark);
+  PutPod(&meta, static_cast<uint64_t>(db.options().max_component_rows));
+  PutPod(&meta, static_cast<uint64_t>(db.owner_counter()));
+  return meta;
+}
+
+std::string BuildComponentsPayload(const WsdDb& db,
+                                   SnapshotStringTable* strings) {
+  std::string comp;
+  auto live = db.LiveComponents();
+  PutPod(&comp, static_cast<uint32_t>(live.size()));
+  std::vector<uint8_t> tags;
+  std::vector<uint64_t> payloads;
+  for (ComponentId id : live) {
+    const Component& c = db.component(id);
+    const size_t n_rows = c.NumRows();
+    PutPod(&comp, static_cast<uint32_t>(id));
+    PutPod(&comp, static_cast<uint32_t>(c.NumSlots()));
+    PutPod(&comp, static_cast<uint64_t>(n_rows));
+    for (const Slot& s : c.slots()) {
+      PutPod(&comp, static_cast<uint64_t>(s.owner));
+      PutLenString(&comp, s.label);
+    }
+    PutArray(&comp, c.probs());
+    for (size_t s = 0; s < c.NumSlots(); ++s) {
+      const std::vector<PackedValue>& col = c.column(s);
+      tags.resize(n_rows);
+      payloads.resize(n_rows);
+      for (size_t r = 0; r < n_rows; ++r) {
+        std::tie(tags[r], payloads[r]) = PackedToWire(col[r], strings);
+      }
+      PutArray(&comp, tags);
+      PutArray(&comp, payloads);
+    }
+  }
+  return comp;
+}
+
+std::string BuildRelationsPayload(const WsdDb& db,
+                                  SnapshotStringTable* strings) {
+  std::string rels;
+  PutPod(&rels, static_cast<uint32_t>(db.relations().size()));
+  for (const auto& [key, rel] : db.relations()) {
+    const size_t n_cols = rel.schema().size();
+    const size_t n_tuples = rel.NumTuples();
+    PutLenString(&rels, rel.name());
+    PutLenString(&rels, rel.display_name());
+    PutPod(&rels, static_cast<uint32_t>(n_cols));
+    PutPod(&rels, static_cast<uint64_t>(n_tuples));
+    for (size_t c = 0; c < n_cols; ++c) {
+      PutLenString(&rels, rel.schema().attr(c).name);
+      PutPod(&rels, static_cast<uint8_t>(rel.schema().attr(c).type));
+    }
+    std::vector<uint32_t> dep_counts;
+    std::vector<uint64_t> deps_flat;
+    dep_counts.reserve(n_tuples);
+    for (const auto& t : rel.tuples()) {
+      dep_counts.push_back(static_cast<uint32_t>(t.deps.size()));
+      for (OwnerId o : t.deps) deps_flat.push_back(static_cast<uint64_t>(o));
+    }
+    PutArray(&rels, dep_counts);
+    PutPod(&rels, static_cast<uint64_t>(deps_flat.size()));
+    PutArray(&rels, deps_flat);
+    std::vector<uint8_t> tags(n_tuples * n_cols);
+    std::vector<uint64_t> payloads(n_tuples * n_cols);
+    size_t i = 0;
+    for (const auto& t : rel.tuples()) {
+      for (const Cell& cell : t.cells) {
+        if (cell.is_ref()) {
+          tags[i] = kCellRef;
+          payloads[i] = static_cast<uint64_t>(cell.ref().cid) |
+                        (static_cast<uint64_t>(cell.ref().slot) << 32);
+        } else {
+          const Value& v = cell.value();
+          if (v.is_string()) {
+            // Certain cells hold inline Values; key the table by content
+            // so they share entries with pooled component strings.
+            tags[i] = static_cast<uint8_t>(PackedTag::kString);
+            payloads[i] = strings->IdForContent(v.as_string());
+          } else {
+            std::tie(tags[i], payloads[i]) =
+                PackedToWire(PackedValue::FromValue(v), strings);
+          }
+        }
+        ++i;
+      }
+    }
+    PutArray(&rels, tags);
+    PutArray(&rels, payloads);
+  }
+  return rels;
+}
+
+Result<SnapshotSection> ReadSectionExpecting(std::istream& in, uint32_t tag) {
+  MAYBMS_ASSIGN_OR_RETURN(SnapshotSection s, ReadSnapshotSection(in));
+  if (s.tag != tag) {
+    return Status::ParseError(
+        StrFormat("expected snapshot section %s, got %s",
+                  SnapshotTagName(tag).c_str(),
+                  SnapshotTagName(s.tag).c_str()));
+  }
+  return s;
+}
+
+Status ParseComponentsSection(const SnapshotSection& section,
+                              const std::vector<uint32_t>& local_to_global,
+                              WsdDb* db) {
+  SnapshotCursor cur(section.payload);
+  MAYBMS_ASSIGN_OR_RETURN(uint32_t n_comps, cur.Read<uint32_t>());
+  std::vector<uint8_t> tags;
+  std::vector<uint64_t> payloads;
+  for (uint32_t k = 0; k < n_comps; ++k) {
+    MAYBMS_ASSIGN_OR_RETURN(uint32_t id, cur.Read<uint32_t>());
+    MAYBMS_ASSIGN_OR_RETURN(uint32_t n_slots, cur.Read<uint32_t>());
+    MAYBMS_ASSIGN_OR_RETURN(uint64_t n_rows64, cur.Read<uint64_t>());
+    const size_t n_rows = static_cast<size_t>(n_rows64);
+    // Every slot record occupies at least 12 payload bytes (owner +
+    // label length), so a slot count beyond that bound is corrupt;
+    // checking before the reserve keeps a crafted count from forcing a
+    // huge allocation.
+    if (n_slots > cur.remaining() / 12) {
+      return Status::ParseError("snapshot slot count exceeds payload");
+    }
+    std::vector<Slot> slots;
+    slots.reserve(n_slots);
+    for (uint32_t s = 0; s < n_slots; ++s) {
+      MAYBMS_ASSIGN_OR_RETURN(uint64_t owner, cur.Read<uint64_t>());
+      MAYBMS_ASSIGN_OR_RETURN(std::string label, cur.ReadLenString());
+      slots.push_back({static_cast<OwnerId>(owner), std::move(label)});
+    }
+    std::vector<double> probs;
+    MAYBMS_RETURN_IF_ERROR(cur.ReadArray(n_rows, &probs));
+    std::vector<std::vector<PackedValue>> cols(n_slots);
+    for (uint32_t s = 0; s < n_slots; ++s) {
+      MAYBMS_RETURN_IF_ERROR(cur.ReadArray(n_rows, &tags));
+      MAYBMS_RETURN_IF_ERROR(cur.ReadArray(n_rows, &payloads));
+      std::vector<PackedValue>& col = cols[s];
+      col.resize(n_rows);
+      // The hot loop of a load: one direct switch per packed cell, no
+      // temporaries — a column deserializes at near-memcpy speed.
+      for (size_t r = 0; r < n_rows; ++r) {
+        const uint64_t payload = payloads[r];
+        switch (tags[r]) {
+          case static_cast<uint8_t>(PackedTag::kNull):
+            col[r] = PackedValue::Null();
+            break;
+          case static_cast<uint8_t>(PackedTag::kBottom):
+            col[r] = PackedValue::Bottom();
+            break;
+          case static_cast<uint8_t>(PackedTag::kBool):
+            col[r] = PackedValue::Bool(payload != 0);
+            break;
+          case static_cast<uint8_t>(PackedTag::kInt):
+            col[r] = PackedValue::Int(static_cast<int64_t>(payload));
+            break;
+          case static_cast<uint8_t>(PackedTag::kDouble):
+            col[r] = PackedValue::Double(BitsToDouble(payload));
+            break;
+          case static_cast<uint8_t>(PackedTag::kString):
+            if (payload >= local_to_global.size()) {
+              return Status::ParseError("snapshot string id out of range");
+            }
+            col[r] = PackedValue::StringId(
+                local_to_global[static_cast<size_t>(payload)]);
+            break;
+          default:
+            return Status::ParseError(
+                "component cell tag out of range in snapshot");
+        }
+      }
+    }
+    MAYBMS_ASSIGN_OR_RETURN(
+        Component c, Component::FromColumns(std::move(slots), std::move(cols),
+                                            std::move(probs)));
+    MAYBMS_RETURN_IF_ERROR(PlaceComponentAt(db, id, k, std::move(c)));
+  }
+  if (!cur.AtEnd()) {
+    return Status::ParseError("trailing bytes in snapshot COMP section");
+  }
+  return Status::OK();
+}
+
+/// Builds the tuples [begin, end) of one relation from the bulk arrays.
+/// Each tuple's dependency range starts at dep_offsets[t]; cells for
+/// tuple t occupy tags/payloads[t*n_cols ... t*n_cols+n_cols). Runs on
+/// worker threads — inputs are shared read-only, each index writes only
+/// its own tuple slot.
+Status BuildTupleRange(std::vector<WsdTuple>* tuples, size_t begin,
+                       size_t end, uint32_t n_cols,
+                       const std::vector<uint32_t>& dep_counts,
+                       const std::vector<uint64_t>& dep_offsets,
+                       const std::vector<uint64_t>& deps_flat,
+                       const std::vector<uint8_t>& tags,
+                       const std::vector<uint64_t>& payloads,
+                       const std::vector<const std::string*>& local_strings) {
+  for (size_t t_i = begin; t_i < end; ++t_i) {
+    WsdTuple& t = (*tuples)[t_i];
+    size_t dep_pos = static_cast<size_t>(dep_offsets[t_i]);
+    t.deps.reserve(dep_counts[t_i]);
+    for (uint32_t d = 0; d < dep_counts[t_i]; ++d) {
+      // Written sorted and unique; CheckInvariants re-verifies after the
+      // load, so a corrupted snapshot cannot smuggle unsorted deps in.
+      t.deps.push_back(static_cast<OwnerId>(deps_flat[dep_pos + d]));
+    }
+    t.cells.reserve(n_cols);
+    size_t i = static_cast<size_t>(t_i) * n_cols;
+    for (uint32_t c = 0; c < n_cols; ++c, ++i) {
+      const uint64_t payload = payloads[i];
+      switch (tags[i]) {
+        case kCellRef:
+          t.cells.push_back(
+              Cell::Ref({static_cast<ComponentId>(payload & 0xffffffffu),
+                         static_cast<uint32_t>(payload >> 32)}));
+          break;
+        case static_cast<uint8_t>(PackedTag::kNull):
+          t.cells.push_back(Cell::Certain(Value::Null()));
+          break;
+        case static_cast<uint8_t>(PackedTag::kBottom):
+          // Invalid as an inline cell; constructed anyway so the final
+          // CheckInvariants reports it as the structured error it is.
+          t.cells.push_back(Cell::Certain(Value::Bottom()));
+          break;
+        case static_cast<uint8_t>(PackedTag::kBool):
+          t.cells.push_back(Cell::Certain(Value::Bool(payload != 0)));
+          break;
+        case static_cast<uint8_t>(PackedTag::kInt):
+          t.cells.push_back(
+              Cell::Certain(Value::Int(static_cast<int64_t>(payload))));
+          break;
+        case static_cast<uint8_t>(PackedTag::kDouble):
+          t.cells.push_back(Cell::Certain(Value::Double(
+              BitsToDouble(payload))));
+          break;
+        case static_cast<uint8_t>(PackedTag::kString): {
+          if (payload >= local_strings.size()) {
+            return Status::ParseError("snapshot string id out of range");
+          }
+          t.cells.push_back(Cell::Certain(
+              Value::String(*local_strings[static_cast<size_t>(payload)])));
+          break;
+        }
+        default:
+          return Status::ParseError(
+              StrFormat("unknown snapshot cell tag %u", tags[i]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseRelationsSection(const SnapshotSection& section,
+                             const std::vector<uint32_t>& local_to_global,
+                             WsdDb* db) {
+  SnapshotCursor cur(section.payload);
+  MAYBMS_ASSIGN_OR_RETURN(uint32_t n_rels, cur.Read<uint32_t>());
+  // Materialize pool references once per distinct string: tuple builders
+  // then read them without touching the pool's mutex per cell.
+  std::vector<const std::string*> local_strings;
+  local_strings.reserve(local_to_global.size());
+  {
+    ValuePool& pool = ValuePool::Global();
+    for (uint32_t gid : local_to_global) local_strings.push_back(&pool.Get(gid));
+  }
+  for (uint32_t k = 0; k < n_rels; ++k) {
+    MAYBMS_ASSIGN_OR_RETURN(std::string name, cur.ReadLenString());
+    MAYBMS_ASSIGN_OR_RETURN(std::string display, cur.ReadLenString());
+    MAYBMS_ASSIGN_OR_RETURN(uint32_t n_cols, cur.Read<uint32_t>());
+    MAYBMS_ASSIGN_OR_RETURN(uint64_t n_tuples64, cur.Read<uint64_t>());
+    const size_t n_tuples = static_cast<size_t>(n_tuples64);
+    Schema schema;
+    for (uint32_t c = 0; c < n_cols; ++c) {
+      MAYBMS_ASSIGN_OR_RETURN(std::string col, cur.ReadLenString());
+      MAYBMS_ASSIGN_OR_RETURN(uint8_t type, cur.Read<uint8_t>());
+      if (type > static_cast<uint8_t>(ValueType::kString)) {
+        return Status::ParseError("attribute type out of range in snapshot");
+      }
+      MAYBMS_RETURN_IF_ERROR(
+          schema.Add({std::move(col), static_cast<ValueType>(type)}));
+    }
+    MAYBMS_RETURN_IF_ERROR(db->CreateRelation(name, schema));
+    WsdRelation* rel = db->GetMutableRelation(name).value();
+    rel->set_display_name(display);
+    std::vector<uint32_t> dep_counts;
+    MAYBMS_RETURN_IF_ERROR(cur.ReadArray(n_tuples, &dep_counts));
+    MAYBMS_ASSIGN_OR_RETURN(uint64_t n_deps, cur.Read<uint64_t>());
+    std::vector<uint64_t> deps_flat;
+    MAYBMS_RETURN_IF_ERROR(cur.ReadArray(static_cast<size_t>(n_deps),
+                                         &deps_flat));
+    std::vector<uint64_t> dep_offsets(n_tuples);
+    uint64_t dep_pos = 0;
+    for (size_t t_i = 0; t_i < n_tuples; ++t_i) {
+      dep_offsets[t_i] = dep_pos;
+      dep_pos += dep_counts[t_i];
+    }
+    if (dep_pos != deps_flat.size()) {
+      return Status::ParseError("snapshot dependency list inconsistent");
+    }
+    if (n_cols != 0 && n_tuples > cur.remaining() / n_cols) {
+      return Status::ParseError("snapshot cell array exceeds payload");
+    }
+    std::vector<uint8_t> tags;
+    std::vector<uint64_t> payloads;
+    MAYBMS_RETURN_IF_ERROR(cur.ReadArray(n_tuples * n_cols, &tags));
+    MAYBMS_RETURN_IF_ERROR(cur.ReadArray(n_tuples * n_cols, &payloads));
+    // Tuple construction dominates large loads, and unlike the token
+    // stream of the text format the bulk arrays are random-access —
+    // shard it over the pool. Each chunk owns a disjoint tuple range.
+    std::vector<WsdTuple>& tuples = rel->mutable_tuples();
+    tuples.resize(n_tuples);
+    constexpr size_t kTuplesPerChunk = 4096;
+    const size_t n_chunks =
+        n_tuples == 0 ? 0 : (n_tuples + kTuplesPerChunk - 1) / kTuplesPerChunk;
+    std::vector<Status> chunk_status(n_chunks);
+    ParallelFor(n_chunks <= 1 ? 1 : 0, n_chunks, [&](size_t chunk) {
+      size_t begin = chunk * kTuplesPerChunk;
+      size_t end = std::min(begin + kTuplesPerChunk, n_tuples);
+      chunk_status[chunk] =
+          BuildTupleRange(&tuples, begin, end, n_cols, dep_counts,
+                          dep_offsets, deps_flat, tags, payloads,
+                          local_strings);
+    });
+    for (const Status& st : chunk_status) MAYBMS_RETURN_IF_ERROR(st);
+  }
+  if (!cur.AtEnd()) {
+    return Status::ParseError("trailing bytes in snapshot RELS section");
+  }
+  return Status::OK();
+}
+
+// Reads the binary body (everything after "MAYBMS-WSD 2").
+Result<WsdDb> ReadWsdDbBinaryBody(std::istream& in) {
+  if (in.get() != '\n') {
+    return Status::ParseError("expected newline after binary snapshot header");
+  }
+  MAYBMS_ASSIGN_OR_RETURN(SnapshotSection meta,
+                          ReadSectionExpecting(in, kSecMeta));
+  SnapshotCursor mc(meta.payload);
+  MAYBMS_ASSIGN_OR_RETURN(uint32_t endian, mc.Read<uint32_t>());
+  if (endian != kEndianMark) {
+    return Status::Unsupported(
+        "snapshot was written on a machine with a different byte order");
+  }
+  MAYBMS_ASSIGN_OR_RETURN(uint64_t max_rows, mc.Read<uint64_t>());
+  MAYBMS_ASSIGN_OR_RETURN(uint64_t owner_counter, mc.Read<uint64_t>());
+  if (!mc.AtEnd()) {
+    return Status::ParseError("trailing bytes in snapshot META section");
+  }
+
+  MAYBMS_ASSIGN_OR_RETURN(SnapshotSection strs,
+                          ReadSectionExpecting(in, kSecStrings));
+  MAYBMS_ASSIGN_OR_RETURN(std::vector<uint32_t> local_to_global,
+                          SnapshotStringTable::Restore(strs.payload));
+
+  WsdDb db;
+  db.mutable_options().max_component_rows = static_cast<size_t>(max_rows);
+  MAYBMS_ASSIGN_OR_RETURN(SnapshotSection comp,
+                          ReadSectionExpecting(in, kSecComponents));
+  MAYBMS_RETURN_IF_ERROR(ParseComponentsSection(comp, local_to_global, &db));
+  MAYBMS_ASSIGN_OR_RETURN(SnapshotSection rels,
+                          ReadSectionExpecting(in, kSecRelations));
+  MAYBMS_RETURN_IF_ERROR(ParseRelationsSection(rels, local_to_global, &db));
+  MAYBMS_ASSIGN_OR_RETURN(SnapshotSection end,
+                          ReadSectionExpecting(in, kSecEnd));
+  if (!end.payload.empty()) {
+    return Status::ParseError("snapshot END section carries payload");
+  }
+  if (owner_counter > 0) db.BumpOwner(static_cast<OwnerId>(owner_counter - 1));
+  MAYBMS_RETURN_IF_ERROR(db.CheckInvariants());
+  return db;
+}
+
 }  // namespace
 
 Status WriteWsdDb(const WsdDb& db, std::ostream& out) {
-  out << kMagic << " " << kVersion << "\n";
+  out << kMagic << " " << kTextVersion << "\n";
   out << "OPTIONS " << db.options().max_component_rows << "\n";
 
   auto live = db.LiveComponents();
@@ -231,120 +789,48 @@ Status WriteWsdDb(const WsdDb& db, std::ostream& out) {
   return Status::OK();
 }
 
-Status SaveWsdDb(const WsdDb& db, const std::string& path) {
+Status WriteWsdDbBinary(const WsdDb& db, std::ostream& out) {
+  out << kMagic << " " << kBinaryVersion << "\n";
+  // COMP and RELS are built first so they populate the string table; the
+  // sections are then emitted in reader order with STRS ahead of both.
+  SnapshotStringTable strings;
+  std::string comp = BuildComponentsPayload(db, &strings);
+  std::string rels = BuildRelationsPayload(db, &strings);
+  MAYBMS_RETURN_IF_ERROR(
+      WriteSnapshotSection(out, kSecMeta, BuildMetaPayload(db)));
+  MAYBMS_RETURN_IF_ERROR(
+      WriteSnapshotSection(out, kSecStrings, strings.Serialize()));
+  MAYBMS_RETURN_IF_ERROR(WriteSnapshotSection(out, kSecComponents, comp));
+  MAYBMS_RETURN_IF_ERROR(WriteSnapshotSection(out, kSecRelations, rels));
+  MAYBMS_RETURN_IF_ERROR(WriteSnapshotSection(out, kSecEnd, ""));
+  if (!out.good()) return Status::Internal("stream write failure");
+  return Status::OK();
+}
+
+Status SaveWsdDb(const WsdDb& db, const std::string& path,
+                 SnapshotFormat format) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::InvalidArgument("cannot open for write: " + path);
-  return WriteWsdDb(db, out);
+  return format == SnapshotFormat::kBinary ? WriteWsdDbBinary(db, out)
+                                           : WriteWsdDb(db, out);
 }
 
 Result<WsdDb> ReadWsdDb(std::istream& in) {
-  Reader r(in);
-  MAYBMS_RETURN_IF_ERROR(r.Expect(kMagic));
-  MAYBMS_ASSIGN_OR_RETURN(int64_t version, r.ReadInt());
-  if (version != kVersion) {
-    return Status::Unsupported(
-        StrFormat("unsupported WSD format version %lld",
-                  static_cast<long long>(version)));
+  // Both formats share the "MAYBMS-WSD <version>" header line; negotiate
+  // the body reader from the version number.
+  std::string magic;
+  if (!(in >> magic) || magic != kMagic) {
+    return Status::ParseError("expected token '" + std::string(kMagic) +
+                              "', got '" + magic + "'");
   }
-  WsdDb db;
-  MAYBMS_RETURN_IF_ERROR(r.Expect("OPTIONS"));
-  MAYBMS_ASSIGN_OR_RETURN(size_t max_rows, r.ReadSize());
-  db.mutable_options().max_component_rows = max_rows;
-
-  MAYBMS_RETURN_IF_ERROR(r.Expect("COMPONENTS"));
-  MAYBMS_ASSIGN_OR_RETURN(size_t n_comps, r.ReadSize());
-  OwnerId max_owner = 0;
-  for (size_t k = 0; k < n_comps; ++k) {
-    MAYBMS_RETURN_IF_ERROR(r.Expect("COMPONENT"));
-    MAYBMS_ASSIGN_OR_RETURN(size_t id, r.ReadSize());
-    MAYBMS_ASSIGN_OR_RETURN(size_t n_slots, r.ReadSize());
-    MAYBMS_ASSIGN_OR_RETURN(size_t n_rows, r.ReadSize());
-    Component c;
-    for (size_t s = 0; s < n_slots; ++s) {
-      MAYBMS_RETURN_IF_ERROR(r.Expect("SLOT"));
-      MAYBMS_ASSIGN_OR_RETURN(int64_t owner, r.ReadInt());
-      MAYBMS_ASSIGN_OR_RETURN(std::string label, r.ReadString());
-      c.AddSlot({static_cast<OwnerId>(owner), std::move(label)},
-                Value::Null());
-      max_owner = std::max(max_owner, static_cast<OwnerId>(owner));
-    }
-    // AddSlot added no rows (component empty); now read the rows.
-    for (size_t row_i = 0; row_i < n_rows; ++row_i) {
-      MAYBMS_RETURN_IF_ERROR(r.Expect("ROW"));
-      ComponentRow row;
-      MAYBMS_ASSIGN_OR_RETURN(row.prob, r.ReadDouble());
-      row.values.reserve(n_slots);
-      for (size_t s = 0; s < n_slots; ++s) {
-        MAYBMS_ASSIGN_OR_RETURN(Value v, r.ReadValue());
-        row.values.push_back(std::move(v));
-      }
-      MAYBMS_RETURN_IF_ERROR(c.AddRow(std::move(row)));
-    }
-    // Place the component at exactly the stored id (cells reference it);
-    // ids were written ascending, gaps become dead slots.
-    for (;;) {
-      ComponentId got = db.AddComponent(Component());
-      if (got == id) {
-        db.mutable_component(got) = std::move(c);
-        break;
-      }
-      if (got > id) return Status::ParseError("component ids out of order");
-      db.RemoveComponent(got);  // filler for a gap in the id space
-    }
+  long long version;
+  if (!(in >> version)) {
+    return Status::ParseError("expected snapshot version number");
   }
-
-  MAYBMS_RETURN_IF_ERROR(r.Expect("RELATIONS"));
-  MAYBMS_ASSIGN_OR_RETURN(size_t n_rels, r.ReadSize());
-  for (size_t k = 0; k < n_rels; ++k) {
-    MAYBMS_RETURN_IF_ERROR(r.Expect("RELATION"));
-    MAYBMS_ASSIGN_OR_RETURN(std::string name, r.ReadString());
-    MAYBMS_ASSIGN_OR_RETURN(std::string display, r.ReadString());
-    MAYBMS_ASSIGN_OR_RETURN(size_t n_cols, r.ReadSize());
-    MAYBMS_ASSIGN_OR_RETURN(size_t n_tuples, r.ReadSize());
-    Schema schema;
-    for (size_t c = 0; c < n_cols; ++c) {
-      MAYBMS_RETURN_IF_ERROR(r.Expect("COL"));
-      MAYBMS_ASSIGN_OR_RETURN(std::string col, r.ReadString());
-      MAYBMS_ASSIGN_OR_RETURN(std::string tag, r.ReadToken());
-      MAYBMS_ASSIGN_OR_RETURN(ValueType type, ParseType(tag));
-      MAYBMS_RETURN_IF_ERROR(schema.Add({std::move(col), type}));
-    }
-    MAYBMS_RETURN_IF_ERROR(db.CreateRelation(name, schema));
-    WsdRelation* rel = db.GetMutableRelation(name).value();
-    rel->set_display_name(display);
-    rel->Reserve(n_tuples);
-    for (size_t i = 0; i < n_tuples; ++i) {
-      MAYBMS_RETURN_IF_ERROR(r.Expect("TUPLE"));
-      MAYBMS_ASSIGN_OR_RETURN(size_t n_deps, r.ReadSize());
-      WsdTuple t;
-      for (size_t d = 0; d < n_deps; ++d) {
-        MAYBMS_ASSIGN_OR_RETURN(int64_t o, r.ReadInt());
-        t.AddDep(static_cast<OwnerId>(o));
-        max_owner = std::max(max_owner, static_cast<OwnerId>(o));
-      }
-      MAYBMS_RETURN_IF_ERROR(r.Expect("|"));
-      t.cells.reserve(n_cols);
-      for (size_t c = 0; c < n_cols; ++c) {
-        MAYBMS_ASSIGN_OR_RETURN(std::string tag, r.ReadToken());
-        if (tag == "C") {
-          MAYBMS_ASSIGN_OR_RETURN(Value v, r.ReadValue());
-          t.cells.push_back(Cell::Certain(std::move(v)));
-        } else if (tag == "R") {
-          MAYBMS_ASSIGN_OR_RETURN(size_t cid, r.ReadSize());
-          MAYBMS_ASSIGN_OR_RETURN(size_t slot, r.ReadSize());
-          t.cells.push_back(Cell::Ref({static_cast<ComponentId>(cid),
-                                       static_cast<uint32_t>(slot)}));
-        } else {
-          return Status::ParseError("expected cell tag C or R, got " + tag);
-        }
-      }
-      rel->Add(std::move(t));
-    }
-  }
-  MAYBMS_RETURN_IF_ERROR(r.Expect("END"));
-  db.BumpOwner(max_owner);
-  MAYBMS_RETURN_IF_ERROR(db.CheckInvariants());
-  return db;
+  if (version == kTextVersion) return ReadWsdDbText(in);
+  if (version == kBinaryVersion) return ReadWsdDbBinaryBody(in);
+  return Status::Unsupported(
+      StrFormat("unsupported WSD format version %lld", version));
 }
 
 Result<WsdDb> LoadWsdDb(const std::string& path) {

@@ -1,7 +1,17 @@
-// Persistence for world-set databases: a versioned, token-based text
-// format that round-trips templates, components, probabilities, owners
-// and options exactly. Strings are length-prefixed, so arbitrary content
-// (including newlines and the ⊥ glyph) survives.
+// Persistence for world-set databases. Two formats share the
+// "MAYBMS-WSD <version>" header line and are negotiated on read:
+//
+//   - Version 1: a token-based text format that round-trips templates,
+//     components, probabilities, owners and options exactly. Strings are
+//     length-prefixed, so arbitrary content (including newlines and the
+//     ⊥ glyph) survives. Human-inspectable; v1 files remain readable
+//     forever.
+//   - Version 2: a binary columnar snapshot — the distinct strings the
+//     database references are dumped once (deduplicated blob + offset
+//     table), and each component/relation is written as raw slot-major
+//     tag/payload/probability arrays with per-section lengths and
+//     checksums. Loading is sequential bulk reads plus a per-string
+//     re-intern; no per-cell parsing. See docs/SNAPSHOT_FORMAT.md.
 #ifndef MAYBMS_CORE_SERIALIZE_H_
 #define MAYBMS_CORE_SERIALIZE_H_
 
@@ -13,12 +23,27 @@
 
 namespace maybms {
 
-/// Writes `db` to a stream / file. The format is stable across versions
-/// of this library (header "MAYBMS-WSD 1").
-Status WriteWsdDb(const WsdDb& db, std::ostream& out);
-Status SaveWsdDb(const WsdDb& db, const std::string& path);
+/// On-disk snapshot encodings.
+enum class SnapshotFormat {
+  kText,    ///< "MAYBMS-WSD 1": tokenized text
+  kBinary,  ///< "MAYBMS-WSD 2": columnar binary sections
+};
 
-/// Reads a database written by WriteWsdDb; validates invariants.
+/// Writes `db` to a stream in the text format (header "MAYBMS-WSD 1").
+Status WriteWsdDb(const WsdDb& db, std::ostream& out);
+
+/// Writes `db` to a stream in the binary columnar snapshot format
+/// (header "MAYBMS-WSD 2").
+Status WriteWsdDbBinary(const WsdDb& db, std::ostream& out);
+
+/// Writes `db` to a file in the chosen format. The default stays text so
+/// existing call sites keep producing human-inspectable files; the SQL
+/// SAVE DATABASE statement defaults to binary.
+Status SaveWsdDb(const WsdDb& db, const std::string& path,
+                 SnapshotFormat format = SnapshotFormat::kText);
+
+/// Reads a database written by WriteWsdDb or WriteWsdDbBinary — the
+/// format is negotiated from the header line — and validates invariants.
 Result<WsdDb> ReadWsdDb(std::istream& in);
 Result<WsdDb> LoadWsdDb(const std::string& path);
 

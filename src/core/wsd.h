@@ -171,6 +171,10 @@ class WsdDb {
   void BumpOwner(OwnerId used) {
     if (used >= next_owner_) next_owner_ = used + 1;
   }
+  /// The next owner id NextOwner() would hand out (persisted by the
+  /// binary snapshot so a reloaded database allocates from where the
+  /// saved one stopped).
+  OwnerId owner_counter() const { return next_owner_; }
 
   const WsdOptions& options() const { return options_; }
   WsdOptions& mutable_options() { return options_; }

@@ -118,6 +118,19 @@ struct RepairStmt {
   std::string weight;  ///< empty = uniform
 };
 
+/// SAVE DATABASE '<path>' [FORMAT TEXT|BINARY]: snapshots the whole
+/// world-set database. Defaults to the binary columnar format.
+struct SaveDbStmt {
+  std::string path;
+  bool binary = true;
+};
+
+/// LOAD DATABASE '<path>': replaces the session's database with the
+/// snapshot at `path` (format negotiated from the file header).
+struct LoadDbStmt {
+  std::string path;
+};
+
 /// A parsed statement (exactly one member is set).
 struct Statement {
   enum class Kind {
@@ -129,6 +142,8 @@ struct Statement {
     kShow,
     kEnforce,
     kRepair,
+    kSaveDb,
+    kLoadDb,
   };
   Kind kind = Kind::kSelect;
   std::optional<CreateTableStmt> create_table;
@@ -139,6 +154,8 @@ struct Statement {
   std::optional<ShowStmt> show;
   std::optional<EnforceStmt> enforce;
   std::optional<RepairStmt> repair;
+  std::optional<SaveDbStmt> save_db;
+  std::optional<LoadDbStmt> load_db;
 };
 
 }  // namespace sql

@@ -93,6 +93,8 @@ class Parser {
     if (AtKeyword("show")) return ParseShow();
     if (AtKeyword("enforce")) return ParseEnforce();
     if (AtKeyword("repair")) return ParseRepair();
+    if (AtKeyword("save")) return ParseSaveDb();
+    if (AtKeyword("load")) return ParseLoadDb();
     if (AtKeyword("select") || AtKeyword("possible") || AtKeyword("certain")) {
       Statement s;
       s.kind = Statement::Kind::kSelect;
@@ -100,6 +102,47 @@ class Parser {
       return s;
     }
     return Error("expected a statement");
+  }
+
+  Result<std::string> ExpectPathLiteral() {
+    if (!At(TokenKind::kString)) {
+      return Error("expected a quoted file path");
+    }
+    std::string path = Cur().text;
+    Advance();
+    if (path.empty()) return Error("file path must not be empty");
+    return path;
+  }
+
+  Result<Statement> ParseSaveDb() {
+    MAYBMS_RETURN_IF_ERROR(ExpectKeyword("save"));
+    MAYBMS_RETURN_IF_ERROR(ExpectKeyword("database"));
+    Statement s;
+    s.kind = Statement::Kind::kSaveDb;
+    SaveDbStmt stmt;
+    MAYBMS_ASSIGN_OR_RETURN(stmt.path, ExpectPathLiteral());
+    if (AcceptKeyword("format")) {
+      if (AcceptKeyword("text")) {
+        stmt.binary = false;
+      } else if (AcceptKeyword("binary")) {
+        stmt.binary = true;
+      } else {
+        return Error("expected TEXT or BINARY after FORMAT");
+      }
+    }
+    s.save_db = std::move(stmt);
+    return s;
+  }
+
+  Result<Statement> ParseLoadDb() {
+    MAYBMS_RETURN_IF_ERROR(ExpectKeyword("load"));
+    MAYBMS_RETURN_IF_ERROR(ExpectKeyword("database"));
+    Statement s;
+    s.kind = Statement::Kind::kLoadDb;
+    LoadDbStmt stmt;
+    MAYBMS_ASSIGN_OR_RETURN(stmt.path, ExpectPathLiteral());
+    s.load_db = std::move(stmt);
+    return s;
   }
 
   Result<Statement> ParseRepair() {

@@ -1,6 +1,7 @@
 #include "sql/session.h"
 
 #include <cmath>
+#include <filesystem>
 
 #include "chase/enforce.h"
 #include "common/string_util.h"
@@ -8,6 +9,7 @@
 #include "core/repair.h"
 #include "core/confidence.h"
 #include "core/lifted_executor.h"
+#include "core/serialize.h"
 #include "sql/optimizer.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
@@ -104,6 +106,31 @@ Result<StatementResult> Session::ExecuteParsed(const Statement& stmt) {
           "world count x 2^%.4g",
           Join(stmt.repair->key, ",").c_str(), stmt.repair->table.c_str(),
           stats.groups, stats.conflicting_groups, stats.log2_worlds_added);
+      return result;
+    }
+    case Statement::Kind::kSaveDb: {
+      const SaveDbStmt& s = *stmt.save_db;
+      SnapshotFormat format =
+          s.binary ? SnapshotFormat::kBinary : SnapshotFormat::kText;
+      MAYBMS_RETURN_IF_ERROR(SaveWsdDb(db_, s.path, format));
+      std::error_code ec;
+      uintmax_t bytes = std::filesystem::file_size(s.path, ec);
+      result.message = StrFormat(
+          "saved database to '%s' (%s format%s)", s.path.c_str(),
+          s.binary ? "binary" : "text",
+          ec ? "" : StrFormat(", %s", FormatBytes(bytes).c_str()).c_str());
+      return result;
+    }
+    case Statement::Kind::kLoadDb: {
+      MAYBMS_ASSIGN_OR_RETURN(WsdDb loaded, LoadWsdDb(stmt.load_db->path));
+      // Swap the session catalog only after a fully validated load, so a
+      // failed LOAD DATABASE leaves the current database untouched.
+      db_ = std::move(loaded);
+      result.message = StrFormat(
+          "loaded database from '%s': %zu relation(s), %zu component(s), "
+          "2^%.4g choice combinations",
+          stmt.load_db->path.c_str(), db_.relations().size(),
+          db_.NumLiveComponents(), db_.Log2WorldCount());
       return result;
     }
   }

@@ -1,0 +1,164 @@
+#include "storage/snapshot_io.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "storage/value_pool.h"
+
+namespace maybms {
+
+namespace {
+
+constexpr uint32_t kUnsetLocalId = UINT32_MAX;
+
+}  // namespace
+
+std::string SnapshotTagName(uint32_t tag) {
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    char c = static_cast<char>((tag >> (8 * i)) & 0xff);
+    out += (c >= 0x20 && c < 0x7f) ? c : '?';
+  }
+  return out;
+}
+
+void PutLenString(std::string* out, std::string_view s) {
+  PutPod(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+Status WriteSnapshotSection(std::ostream& out, uint32_t tag,
+                            std::string_view payload) {
+  std::string header;
+  header.reserve(4 + 8 + 8);
+  PutPod(&header, tag);
+  PutPod(&header, static_cast<uint64_t>(payload.size()));
+  PutPod(&header, HashBytes(payload.data(), payload.size()));
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out.good()) return Status::Internal("stream write failure");
+  return Status::OK();
+}
+
+Result<std::string_view> SnapshotCursor::ReadBytes(size_t len) {
+  if (len > remaining()) {
+    return Status::ParseError("snapshot payload truncated");
+  }
+  std::string_view v = p_.substr(pos_, len);
+  pos_ += len;
+  return v;
+}
+
+Result<std::string> SnapshotCursor::ReadLenString() {
+  MAYBMS_ASSIGN_OR_RETURN(uint32_t len, Read<uint32_t>());
+  MAYBMS_ASSIGN_OR_RETURN(std::string_view bytes, ReadBytes(len));
+  return std::string(bytes);
+}
+
+uint32_t SnapshotStringTable::IdForContent(std::string_view s) {
+  auto [it, inserted] =
+      by_content_.try_emplace(s, static_cast<uint32_t>(entries_.size()));
+  if (inserted) entries_.push_back(s);
+  return it->second;
+}
+
+uint32_t SnapshotStringTable::IdForGlobal(uint32_t global_id) {
+  if (global_id < by_global_.size() &&
+      by_global_[global_id] != kUnsetLocalId) {
+    return by_global_[global_id];
+  }
+  uint32_t local = IdForContent(ValuePool::Global().Get(global_id));
+  if (global_id >= by_global_.size()) {
+    by_global_.resize(global_id + 1, kUnsetLocalId);
+  }
+  by_global_[global_id] = local;
+  return local;
+}
+
+std::string SnapshotStringTable::Serialize() const {
+  std::string out;
+  PutPod(&out, static_cast<uint32_t>(entries_.size()));
+  uint64_t blob_len = 0;
+  for (std::string_view s : entries_) blob_len += s.size();
+  PutPod(&out, blob_len);
+  uint64_t off = 0;
+  for (std::string_view s : entries_) {
+    PutPod(&out, off);
+    off += s.size();
+  }
+  PutPod(&out, off);  // final sentinel offset == blob_len
+  for (std::string_view s : entries_) out.append(s.data(), s.size());
+  return out;
+}
+
+Result<std::vector<uint32_t>> SnapshotStringTable::Restore(
+    std::string_view payload) {
+  SnapshotCursor cur(payload);
+  MAYBMS_ASSIGN_OR_RETURN(uint32_t count, cur.Read<uint32_t>());
+  MAYBMS_ASSIGN_OR_RETURN(uint64_t blob_len, cur.Read<uint64_t>());
+  std::vector<uint64_t> offsets;
+  MAYBMS_RETURN_IF_ERROR(cur.ReadArray(static_cast<size_t>(count) + 1,
+                                       &offsets));
+  MAYBMS_ASSIGN_OR_RETURN(std::string_view blob,
+                          cur.ReadBytes(static_cast<size_t>(blob_len)));
+  if (!cur.AtEnd()) {
+    return Status::ParseError("trailing bytes after snapshot string table");
+  }
+  if (offsets.back() != blob_len) {
+    return Status::ParseError("snapshot string table offsets inconsistent");
+  }
+  std::vector<uint32_t> local_to_global(count);
+  ValuePool& pool = ValuePool::Global();
+  for (uint32_t i = 0; i < count; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::ParseError("snapshot string table offsets not sorted");
+    }
+    local_to_global[i] = pool.Intern(blob.substr(
+        static_cast<size_t>(offsets[i]),
+        static_cast<size_t>(offsets[i + 1] - offsets[i])));
+  }
+  return local_to_global;
+}
+
+Result<SnapshotSection> ReadSnapshotSection(std::istream& in) {
+  char header[4 + 8 + 8];
+  in.read(header, sizeof(header));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    return Status::ParseError("truncated snapshot section header");
+  }
+  SnapshotSection section;
+  uint64_t len = 0, checksum = 0;
+  std::memcpy(&section.tag, header, 4);
+  std::memcpy(&len, header + 4, 8);
+  std::memcpy(&checksum, header + 12, 8);
+  // Chunked read: allocation tracks the bytes actually present, so a
+  // corrupted length cannot request terabytes up front.
+  constexpr uint64_t kChunk = 1 << 20;
+  uint64_t got = 0;
+  std::string& payload = section.payload;
+  while (got < len) {
+    size_t want = static_cast<size_t>(std::min(kChunk, len - got));
+    size_t old = payload.size();
+    payload.resize(old + want);
+    in.read(payload.data() + old, static_cast<std::streamsize>(want));
+    size_t n = static_cast<size_t>(in.gcount());
+    if (n < want) {
+      return Status::ParseError(StrFormat(
+          "truncated snapshot section %s: expected %llu payload bytes",
+          SnapshotTagName(section.tag).c_str(),
+          static_cast<unsigned long long>(len)));
+    }
+    got += n;
+  }
+  if (HashBytes(payload.data(), payload.size()) != checksum) {
+    return Status::ParseError(
+        StrFormat("snapshot section %s failed checksum verification",
+                  SnapshotTagName(section.tag).c_str()));
+  }
+  return section;
+}
+
+}  // namespace maybms

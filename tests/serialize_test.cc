@@ -4,11 +4,13 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "core/builder.h"
 #include "core/lifted.h"
 #include "core/serialize.h"
+#include "storage/snapshot_io.h"
 #include "tests/test_util.h"
 #include "worlds/enumerate.h"
 
@@ -141,6 +143,296 @@ TEST_P(SerializeRandom, RoundTripPreservesDistribution) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRandom, ::testing::Range(0, 15));
+
+// --- binary columnar snapshot format ("MAYBMS-WSD 2") ----------------------
+
+TEST(SerializeBinaryTest, MedicalExampleExactRoundTrip) {
+  WsdDb db = MedicalExample();
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDbBinary(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+  testing_util::ExpectDbsExactlyEqual(db, *back);
+  auto a = EnumerateWorlds(db);
+  auto b = EnumerateWorlds(*back);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectDistEq(RelationDistribution(*a, "R"), RelationDistribution(*b, "R"));
+}
+
+TEST(SerializeBinaryTest, FileRoundTripWithFormatNegotiation) {
+  WsdDb db = MedicalExample();
+  std::string bin_path = TempPath("maybms_roundtrip_v2.wsd");
+  std::string text_path = TempPath("maybms_roundtrip_v1.wsd");
+  MAYBMS_ASSERT_OK(SaveWsdDb(db, bin_path, SnapshotFormat::kBinary));
+  MAYBMS_ASSERT_OK(SaveWsdDb(db, text_path, SnapshotFormat::kText));
+  // LoadWsdDb negotiates the format from the header line of each file.
+  auto from_bin = LoadWsdDb(bin_path);
+  auto from_text = LoadWsdDb(text_path);
+  ASSERT_TRUE(from_bin.ok()) << from_bin.status().ToString();
+  ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+  testing_util::ExpectDbsExactlyEqual(*from_text, *from_bin);
+  std::remove(bin_path.c_str());
+  std::remove(text_path.c_str());
+}
+
+TEST(SerializeBinaryTest, TrickyValuesSurvive) {
+  WsdDb db;
+  MAYBMS_ASSERT_OK(db.CreateRelation(
+      "t", Schema({{"s", ValueType::kString},
+                   {"d", ValueType::kDouble},
+                   {"b", ValueType::kBool},
+                   {"i", ValueType::kInt}})));
+  std::string with_nul = "nul";
+  with_nul += '\0';
+  with_nul += "inside";
+  ASSERT_TRUE(
+      InsertTuple(&db, "t",
+                  {CellSpec::OrSet({{Value::String("with space\nand\n"
+                                                   "newlines: s5:x"),
+                                     0.5},
+                                    {Value::String(with_nul), 0.25},
+                                    {Value::String(""), 0.25}}),
+                   CellSpec::Certain(Value::Double(-0.0)),
+                   CellSpec::Certain(Value::Bool(false)),
+                   CellSpec::Certain(Value::Int(-9223372036854775807LL))})
+          .ok());
+  ASSERT_TRUE(InsertTuple(&db, "t",
+                          {CellSpec::Certain(Value::Null()),
+                           CellSpec::Certain(Value::Double(1e-300)),
+                           CellSpec::Certain(Value::Null()),
+                           CellSpec::Certain(Value::Null())})
+                  .ok());
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDbBinary(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  testing_util::ExpectDbsExactlyEqual(db, *back);
+}
+
+TEST(SerializeBinaryTest, EmptyAndDegenerateDbsRoundTrip) {
+  // Fully empty database.
+  {
+    WsdDb db;
+    std::stringstream ss;
+    MAYBMS_ASSERT_OK(WriteWsdDbBinary(db, ss));
+    auto back = ReadWsdDb(ss);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    testing_util::ExpectDbsExactlyEqual(db, *back);
+  }
+  // A relation with no tuples, next to a populated one.
+  {
+    WsdDb db = MedicalExample();
+    MAYBMS_ASSERT_OK(
+        db.CreateRelation("empty", Schema({{"x", ValueType::kInt}})));
+    std::stringstream ss;
+    MAYBMS_ASSERT_OK(WriteWsdDbBinary(db, ss));
+    auto back = ReadWsdDb(ss);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    testing_util::ExpectDbsExactlyEqual(db, *back);
+  }
+}
+
+TEST(SerializeBinaryTest, GapsInComponentIdsSurvive) {
+  WsdDb db = MedicalExample();
+  auto merged = db.MergeComponents(db.LiveComponents(), 1u << 12);
+  ASSERT_TRUE(merged.ok());
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDbBinary(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+  testing_util::ExpectDbsExactlyEqual(db, *back);
+}
+
+TEST(SerializeBinaryTest, LoadedDbSupportsFurtherOperations) {
+  WsdDb db = MedicalExample();
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDbBinary(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok());
+  // The owner counter was persisted: new inserts must not collide with
+  // loaded owners.
+  auto h = InsertTuple(&*back, "R",
+                       {CellSpec::UniformOrSet({Value::String("x"),
+                                                Value::String("y")}),
+                        CellSpec::Certain(Value::String("t")),
+                        CellSpec::Certain(Value::String("s"))});
+  ASSERT_TRUE(h.ok());
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+  auto pred = Expr::Compare(CompareOp::kEq, Expr::Column("Diagnosis"),
+                            Expr::Const(Value::String("pregnancy")));
+  MAYBMS_ASSERT_OK(LiftedSelect(&*back, "R", pred, "ans"));
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+}
+
+TEST(SerializeBinaryTest, EveryTruncationFailsCleanly) {
+  WsdDb db = MedicalExample();
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDbBinary(db, ss));
+  std::string full = ss.str();
+  for (size_t len = 0; len < full.size(); ++len) {
+    std::stringstream cut(full.substr(0, len));
+    auto r = ReadWsdDb(cut);
+    EXPECT_FALSE(r.ok()) << "prefix of length " << len << " parsed";
+  }
+}
+
+TEST(SerializeBinaryTest, EveryByteFlipFailsCleanly) {
+  WsdDb db = MedicalExample();
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDbBinary(db, ss));
+  std::string full = ss.str();
+  // Flipping any single byte must yield a clean Status — the section
+  // checksums catch payload damage, the framing catches the rest. (A
+  // flip inside the header line may instead select the text reader or
+  // an unsupported version; those also fail cleanly.)
+  for (size_t i = 0; i < full.size(); ++i) {
+    std::string bad = full;
+    bad[i] = static_cast<char>(bad[i] ^ 0x20);
+    std::stringstream in(bad);
+    auto r = ReadWsdDb(in);
+    EXPECT_FALSE(r.ok()) << "byte flip at offset " << i << " parsed";
+  }
+}
+
+TEST(SerializeBinaryTest, ChecksumMismatchIsReported) {
+  WsdDb db = MedicalExample();
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDbBinary(db, ss));
+  std::string full = ss.str();
+  // Corrupt one byte inside the last section payload (RELS), ahead of
+  // the empty END section's 20-byte framing.
+  size_t off = full.size() - 30;
+  full[off] = static_cast<char>(full[off] ^ 0xff);
+  std::stringstream in(full);
+  auto r = ReadWsdDb(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(SerializeBinaryTest, HugeComponentIdIsRejectedNotAllocated) {
+  // A checksummed-but-hostile snapshot demanding a component id with
+  // ~2^28 dead-id gaps must fail fast instead of materializing them.
+  std::stringstream out;
+  out << "MAYBMS-WSD 2\n";
+  std::string meta;
+  PutPod(&meta, static_cast<uint32_t>(0x32445357));  // endian mark
+  PutPod(&meta, static_cast<uint64_t>(1u << 20));    // max_component_rows
+  PutPod(&meta, static_cast<uint64_t>(1));           // owner counter
+  MAYBMS_ASSERT_OK(WriteSnapshotSection(
+      out, SnapshotFourCC('M', 'E', 'T', 'A'), meta));
+  std::string strs;
+  PutPod(&strs, static_cast<uint32_t>(0));  // no strings
+  PutPod(&strs, static_cast<uint64_t>(0));  // blob length
+  PutPod(&strs, static_cast<uint64_t>(0));  // sentinel offset
+  MAYBMS_ASSERT_OK(WriteSnapshotSection(
+      out, SnapshotFourCC('S', 'T', 'R', 'S'), strs));
+  std::string comp;
+  PutPod(&comp, static_cast<uint32_t>(1));           // one component...
+  PutPod(&comp, static_cast<uint32_t>(0x0fffffff));  // ...at a huge id
+  PutPod(&comp, static_cast<uint32_t>(1));           // n_slots
+  PutPod(&comp, static_cast<uint64_t>(1));           // n_rows
+  PutPod(&comp, static_cast<uint64_t>(1));           // slot owner
+  PutLenString(&comp, "x");                          // slot label
+  PutPod(&comp, 1.0);                                // prob column
+  PutPod(&comp, static_cast<uint8_t>(2));            // tag: bool
+  PutPod(&comp, static_cast<uint64_t>(1));           // payload
+  MAYBMS_ASSERT_OK(WriteSnapshotSection(
+      out, SnapshotFourCC('C', 'O', 'M', 'P'), comp));
+  auto r = ReadWsdDb(out);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("dead-id gaps"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(SerializeBinaryTest, HugeSlotCountIsRejectedNotAllocated) {
+  // A checksummed COMP section declaring 2^32-1 slots in a tiny payload
+  // must fail on the count bound, not attempt a ~100GB reserve.
+  std::stringstream out;
+  out << "MAYBMS-WSD 2\n";
+  std::string meta;
+  PutPod(&meta, static_cast<uint32_t>(0x32445357));
+  PutPod(&meta, static_cast<uint64_t>(1u << 20));
+  PutPod(&meta, static_cast<uint64_t>(1));
+  MAYBMS_ASSERT_OK(WriteSnapshotSection(
+      out, SnapshotFourCC('M', 'E', 'T', 'A'), meta));
+  std::string strs;
+  PutPod(&strs, static_cast<uint32_t>(0));
+  PutPod(&strs, static_cast<uint64_t>(0));
+  PutPod(&strs, static_cast<uint64_t>(0));
+  MAYBMS_ASSERT_OK(WriteSnapshotSection(
+      out, SnapshotFourCC('S', 'T', 'R', 'S'), strs));
+  std::string comp;
+  PutPod(&comp, static_cast<uint32_t>(1));           // one component
+  PutPod(&comp, static_cast<uint32_t>(0));           // id 0
+  PutPod(&comp, static_cast<uint32_t>(0xffffffff));  // hostile n_slots
+  PutPod(&comp, static_cast<uint64_t>(1));           // n_rows
+  MAYBMS_ASSERT_OK(WriteSnapshotSection(
+      out, SnapshotFourCC('C', 'O', 'M', 'P'), comp));
+  auto r = ReadWsdDb(out);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("slot count"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(SerializeTest, HugeComponentIdIsRejectedNotAllocated) {
+  std::stringstream in(
+      "MAYBMS-WSD 1\nOPTIONS 16\nCOMPONENTS 1\n"
+      "COMPONENT 999999999 1 1\nSLOT 1 s1:x\nROW 1 T\nRELATIONS 0\nEND\n");
+  auto r = ReadWsdDb(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("dead-id gaps"), std::string::npos)
+      << r.status().ToString();
+}
+
+class SerializeBinaryRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializeBinaryRandom, ExactRoundTrip) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7121 + 13);
+  testing_util::RandomWsdOptions opt;
+  opt.p_uncertain_cell = 0.5;
+  opt.p_joint = 0.4;
+  WsdDb db = testing_util::RandomWsd(&rng, opt);
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDbBinary(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+  testing_util::ExpectDbsExactlyEqual(db, *back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeBinaryRandom,
+                         ::testing::Range(0, 15));
+
+// --- v1 compatibility pin ---------------------------------------------------
+//
+// tests/data/medical_v1.wsd is a checked-in text snapshot of the
+// paper's medical example, written by the v1 writer when the binary
+// format landed. v1 files must stay readable forever, and the v1
+// writer must keep producing byte-identical output for the same
+// database — both are asserted against the fixture.
+
+TEST(SerializeCompatTest, V1FixtureLoadsAndRewritesBitIdentically) {
+  std::string path = std::string(MAYBMS_TEST_DATA_DIR) + "/medical_v1.wsd";
+  std::ifstream fixture(path, std::ios::binary);
+  ASSERT_TRUE(fixture.good()) << "missing fixture " << path;
+  std::stringstream raw;
+  raw << fixture.rdbuf();
+
+  auto loaded = LoadWsdDb(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  MAYBMS_ASSERT_OK(loaded->CheckInvariants());
+  testing_util::ExpectDbsExactlyEqual(MedicalExample(), *loaded);
+
+  std::stringstream rewritten;
+  MAYBMS_ASSERT_OK(WriteWsdDb(*loaded, rewritten));
+  EXPECT_EQ(raw.str(), rewritten.str())
+      << "v1 writer output drifted from the checked-in fixture";
+}
 
 TEST(SerializeTest, CorruptedInputsFailCleanly) {
   auto parse = [](const std::string& text) {

@@ -3,6 +3,9 @@
 // query language).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+
 #include "sql/optimizer.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
@@ -338,6 +341,56 @@ TEST(SessionTest, ScriptExecution) {
   ASSERT_TRUE(results.ok()) << results.status().ToString();
   ASSERT_EQ(results->size(), 3u);
   EXPECT_EQ((*results)[2].table.NumRows(), 2u);
+}
+
+TEST(SessionTest, SaveLoadDatabaseRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "maybms_sql_save.wsd")
+          .string();
+  for (const char* format : {"", " FORMAT BINARY", " FORMAT TEXT"}) {
+    Session session;
+    MAYBMS_ASSERT_OK(session
+                         .ExecuteScript(
+                             "CREATE TABLE t (x INT, s STRING);"
+                             "INSERT INTO t VALUES ({1: 0.25, 2: 0.75}, 'a');"
+                             "INSERT INTO t VALUES (3, {'b': 0.5, 'c': 0.5});")
+                         .status());
+    auto saved = session.Execute("SAVE DATABASE '" + path + "'" + format);
+    ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+    EXPECT_NE(saved->message.find("saved database"), std::string::npos);
+
+    // Load into a *fresh* session: the catalog swap must reproduce the
+    // answer distribution exactly.
+    Session other;
+    auto loaded = other.Execute("LOAD DATABASE '" + path + "'");
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    testing_util::ExpectDbsExactlyEqual(session.db(), other.db());
+    auto conf = other.Execute("SELECT s, PROB() FROM t WHERE x = 1");
+    ASSERT_TRUE(conf.ok()) << conf.status().ToString();
+    ASSERT_EQ(conf->table.NumRows(), 1u);
+    EXPECT_NEAR(conf->table.row(0)[1].as_double(), 0.25, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SessionTest, SaveLoadDatabaseErrors) {
+  Session session;
+  // Parse errors.
+  EXPECT_EQ(session.Execute("SAVE DATABASE").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(session.Execute("SAVE DATABASE missing_quotes").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(
+      session.Execute("SAVE DATABASE '/tmp/x' FORMAT XML").status().code(),
+      StatusCode::kParseError);
+  EXPECT_EQ(session.Execute("LOAD DATABASE ''").status().code(),
+            StatusCode::kParseError);
+  // A failed load leaves the session database untouched.
+  MAYBMS_ASSERT_OK(session.Execute("CREATE TABLE keepme (x INT)").status());
+  EXPECT_EQ(
+      session.Execute("LOAD DATABASE '/nonexistent/nope.wsd'").status().code(),
+      StatusCode::kNotFound);
+  EXPECT_TRUE(session.db().HasRelation("keepme"));
 }
 
 }  // namespace

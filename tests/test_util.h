@@ -4,6 +4,7 @@
 #ifndef MAYBMS_TESTS_TEST_UTIL_H_
 #define MAYBMS_TESTS_TEST_UTIL_H_
 
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -108,6 +109,68 @@ inline void ExpectDistEq(const std::map<std::string, double>& expected,
   for (const auto& [key, p] : actual) {
     EXPECT_TRUE(expected.count(key) > 0 || p < eps)
         << "unexpected world content: [" << key << "] p=" << p;
+  }
+}
+
+/// Asserts exact structural equality of two world-set databases:
+/// options, relation names/schemas, template tuples (deps and cells,
+/// with certain values compared by Value equality and refs by id), and
+/// components (same live ids, slots, bit-exact probabilities, packed
+/// cells). Used by the snapshot round-trip tests, where lossless
+/// persistence — not just distribution equality — is the contract.
+inline void ExpectDbsExactlyEqual(const WsdDb& a, const WsdDb& b) {
+  EXPECT_EQ(a.options().max_component_rows, b.options().max_component_rows);
+
+  ASSERT_EQ(a.LiveComponents(), b.LiveComponents());
+  for (ComponentId id : a.LiveComponents()) {
+    const Component& ca = a.component(id);
+    const Component& cb = b.component(id);
+    ASSERT_EQ(ca.NumSlots(), cb.NumSlots()) << "component " << id;
+    ASSERT_EQ(ca.NumRows(), cb.NumRows()) << "component " << id;
+    for (size_t s = 0; s < ca.NumSlots(); ++s) {
+      EXPECT_EQ(ca.slot(s).owner, cb.slot(s).owner);
+      EXPECT_EQ(ca.slot(s).label, cb.slot(s).label);
+    }
+    for (size_t r = 0; r < ca.NumRows(); ++r) {
+      // Bit-exact probabilities: memcmp, so -0.0 vs 0.0 or NaN payload
+      // changes would be caught.
+      double pa = ca.prob(r), pb = cb.prob(r);
+      EXPECT_EQ(0, std::memcmp(&pa, &pb, sizeof(double)))
+          << "component " << id << " row " << r << ": " << pa << " vs " << pb;
+      for (size_t s = 0; s < ca.NumSlots(); ++s) {
+        const PackedValue& va = ca.packed(r, s);
+        const PackedValue& vb = cb.packed(r, s);
+        EXPECT_TRUE(va == vb && va.tag() == vb.tag())
+            << "component " << id << " cell (" << r << "," << s << "): "
+            << va.ToValue().ToString() << " vs " << vb.ToValue().ToString();
+      }
+    }
+  }
+
+  ASSERT_EQ(a.RelationNames(), b.RelationNames());
+  for (const std::string& name : a.RelationNames()) {
+    const WsdRelation* ra = a.GetRelation(name).value();
+    const WsdRelation* rb = b.GetRelation(name).value();
+    EXPECT_EQ(ra->display_name(), rb->display_name());
+    ASSERT_TRUE(ra->schema() == rb->schema()) << name;
+    ASSERT_EQ(ra->NumTuples(), rb->NumTuples()) << name;
+    for (size_t i = 0; i < ra->NumTuples(); ++i) {
+      const WsdTuple& ta = ra->tuple(i);
+      const WsdTuple& tb = rb->tuple(i);
+      EXPECT_EQ(ta.deps, tb.deps) << name << " tuple " << i;
+      ASSERT_EQ(ta.cells.size(), tb.cells.size());
+      for (size_t c = 0; c < ta.cells.size(); ++c) {
+        ASSERT_EQ(ta.cells[c].is_certain(), tb.cells[c].is_certain())
+            << name << " tuple " << i << " cell " << c;
+        if (ta.cells[c].is_certain()) {
+          EXPECT_TRUE(ta.cells[c].value() == tb.cells[c].value())
+              << name << " tuple " << i << " cell " << c;
+        } else {
+          EXPECT_TRUE(ta.cells[c].ref() == tb.cells[c].ref())
+              << name << " tuple " << i << " cell " << c;
+        }
+      }
+    }
   }
 }
 
