@@ -100,11 +100,18 @@ WsdDb BuildChains(size_t chains, size_t len) {
   return db;
 }
 
+// Best of 3: the thread-scaling rows feed the regression gate, and a
+// single shot is at the mercy of one bad scheduling decision.
 double TimeConf(const WsdDb& db, const ConfidenceOptions& opt) {
-  Timer t;
-  auto conf = ConfTable(db, "r", opt);
-  MAYBMS_CHECK(conf.ok()) << conf.status().ToString();
-  return t.Seconds();
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer t;
+    auto conf = ConfTable(db, "r", opt);
+    MAYBMS_CHECK(conf.ok()) << conf.status().ToString();
+    double s = t.Seconds();
+    if (s < best) best = s;
+  }
+  return best;
 }
 
 }  // namespace
@@ -239,6 +246,10 @@ int main() {
   // cannot shrink these; any win is pure parallelism).
   {
     size_t chains = Scaled(32);
+    // Below ~2 clusters per worker there is nothing to schedule and the
+    // sweep only measures pool spawn overhead; keep the smoke scales
+    // meaningful.
+    if (chains < 8) chains = 8;
     printf("(d) chain workload: %zu unfactorizable clusters of 2^10 "
            "states\n", chains);
     WsdDb db = BuildChains(chains, 10);

@@ -123,19 +123,34 @@ Result<Relation> ConfTable(const WsdDb& db, const std::string& rel_name,
   }
 
   // Clusters share no factors, so they are evaluated concurrently; each
-  // writes only its own output slot. Once one cluster fails, remaining
-  // clusters are skipped (fail-fast — their results would be discarded);
-  // the first recorded error in cluster order is surfaced.
-  std::vector<Status> statuses(clusters.size(), Status::OK());
+  // writes only its own output slot. Clusters are typically small and
+  // numerous, so contiguous runs are batched into one task per batch
+  // (a handful per thread for load balancing) rather than paying the
+  // pool's per-task dispatch cost once per cluster. Once one cluster
+  // fails, remaining clusters are skipped (fail-fast — their results
+  // would be discarded); the first recorded error in cluster order is
+  // surfaced.
+  const size_t n_clusters = clusters.size();
+  const size_t threads =
+      options.num_threads ? options.num_threads : DefaultNumThreads();
+  const size_t n_batches =
+      std::min(n_clusters, std::max<size_t>(1, threads * 8));
+  const size_t per_batch =
+      n_batches ? (n_clusters + n_batches - 1) / n_batches : 0;
+  std::vector<Status> statuses(n_clusters, Status::OK());
   std::atomic<bool> failed{false};
-  ParallelFor(options.num_threads, clusters.size(), [&](size_t ci) {
-    if (failed.load(std::memory_order_relaxed)) return;
-    Result<VectorProb> r = EvalCluster(index, clusters[ci], options);
-    if (r.ok()) {
-      cluster_probs[ci + 1] = std::move(*r);
-    } else {
-      statuses[ci] = r.status();
-      failed.store(true, std::memory_order_relaxed);
+  ParallelFor(options.num_threads, n_batches, [&](size_t b) {
+    const size_t begin = b * per_batch;
+    const size_t end = std::min(n_clusters, begin + per_batch);
+    for (size_t ci = begin; ci < end; ++ci) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      Result<VectorProb> r = EvalCluster(index, clusters[ci], options);
+      if (r.ok()) {
+        cluster_probs[ci + 1] = std::move(*r);
+      } else {
+        statuses[ci] = r.status();
+        failed.store(true, std::memory_order_relaxed);
+      }
     }
   });
   for (const Status& st : statuses) MAYBMS_RETURN_IF_ERROR(st);
@@ -213,9 +228,20 @@ Result<Relation> CertainTuples(const WsdDb& db, const std::string& rel_name,
 Result<double> ExpectedCount(const WsdDb& db, const std::string& rel_name,
                              const ConfidenceOptions& options) {
   MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db.GetRelation(rel_name));
-  std::vector<double> terms(rel->NumTuples(), 0.0);
-  ParallelFor(options.num_threads, rel->NumTuples(), [&](size_t i) {
-    terms[i] = db.ExistenceProbability(rel->tuple(i));
+  // Tuple terms are tiny; batch contiguous runs per pool task (same
+  // rationale as the cluster batching in ConfTable).
+  const size_t n = rel->NumTuples();
+  const size_t threads =
+      options.num_threads ? options.num_threads : DefaultNumThreads();
+  const size_t n_batches = std::min(n, std::max<size_t>(1, threads * 8));
+  const size_t per_batch = n_batches ? (n + n_batches - 1) / n_batches : 0;
+  std::vector<double> terms(n, 0.0);
+  ParallelFor(options.num_threads, n_batches, [&](size_t b) {
+    const size_t begin = b * per_batch;
+    const size_t end = std::min(n, begin + per_batch);
+    for (size_t i = begin; i < end; ++i) {
+      terms[i] = db.ExistenceProbability(rel->tuple(i));
+    }
   });
   double total = 0.0;
   for (double t : terms) total += t;  // in-order sum: deterministic
@@ -243,8 +269,7 @@ Result<double> ExpectedSum(const WsdDb& db, const std::string& rel_name,
     statuses[i] = std::move(st);
     failed.store(true, std::memory_order_relaxed);
   };
-  ParallelFor(options.num_threads, n, [&](size_t i) {
-    if (failed.load(std::memory_order_relaxed)) return;
+  auto eval_tuple = [&](size_t i) {
     const WsdTuple& t = rel->tuple(i);
     std::vector<FactorId> factors = index.Touched(t, col);
     if (factors.empty()) {
@@ -285,6 +310,20 @@ Result<double> ExpectedSum(const WsdDb& db, const std::string& rel_name,
       term += p * v.NumericValue();
     }
     terms[i] = term;
+  };
+  // Contiguous batches per pool task (most terms are trivial; the rare
+  // enumerating ones still balance across ~8 batches per thread).
+  const size_t threads =
+      options.num_threads ? options.num_threads : DefaultNumThreads();
+  const size_t n_batches = std::min(n, std::max<size_t>(1, threads * 8));
+  const size_t per_batch = n_batches ? (n + n_batches - 1) / n_batches : 0;
+  ParallelFor(options.num_threads, n_batches, [&](size_t b) {
+    const size_t begin = b * per_batch;
+    const size_t end = std::min(n, begin + per_batch);
+    for (size_t i = begin; i < end; ++i) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      eval_tuple(i);
+    }
   });
   for (const Status& st : statuses) MAYBMS_RETURN_IF_ERROR(st);
   double total = 0.0;

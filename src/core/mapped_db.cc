@@ -1,0 +1,423 @@
+#include "core/mapped_db.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "storage/value_pool.h"
+
+namespace maybms {
+
+namespace {
+
+namespace sv3 = snapshotv3;
+
+constexpr char kHeaderV3[] = "MAYBMS-WSD 3\n";
+
+size_t ResolveResidentCap(size_t requested) {
+  if (requested != 0) return requested;
+  const char* env = std::getenv("MAYBMS_MAX_RESIDENT_BYTES");
+  if (env == nullptr || *env == '\0') {
+    return std::numeric_limits<size_t>::max();
+  }
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || v == 0) return std::numeric_limits<size_t>::max();
+  return static_cast<size_t>(v);
+}
+
+Status CheckBlockBounds(std::string_view payload, uint64_t offset,
+                        uint64_t length, const char* what) {
+  if (offset % 8 != 0) {
+    return Status::ParseError(
+        StrFormat("snapshot %s block offset not 8-aligned", what));
+  }
+  if (offset > payload.size() || length > payload.size() - offset) {
+    return Status::ParseError(
+        StrFormat("snapshot %s block out of bounds", what));
+  }
+  return Status::OK();
+}
+
+/// Scans of one relation collected from a plan: each Select chain
+/// directly above a Scan contributes one conjunctive bound set; a bare
+/// Scan (or one under operators we do not analyze) keeps every shard.
+struct ScanUse {
+  bool keep_all = false;
+  std::vector<std::vector<ColumnBound>> bound_sets;
+};
+
+void IntersectInto(std::vector<ColumnBound>* acc,
+                   const std::vector<ColumnBound>& b) {
+  for (size_t c = 0; c < acc->size(); ++c) {
+    if (!b[c].active) continue;
+    (*acc)[c].active = true;
+    (*acc)[c].lo = std::max((*acc)[c].lo, b[c].lo);
+    (*acc)[c].hi = std::min((*acc)[c].hi, b[c].hi);
+  }
+}
+
+void CollectScans(const Plan& p, const WsdDb& skeleton,
+                  std::map<std::string, ScanUse>* uses) {
+  if (p.kind() == PlanKind::kScan) {
+    (*uses)[p.relation()].keep_all = true;
+    return;
+  }
+  if (p.kind() == PlanKind::kSelect) {
+    // Follow the Select chain down; if it bottoms out at a Scan, the
+    // conjunction of every predicate on the chain bounds that scan.
+    std::vector<ExprPtr> preds;
+    const Plan* n = &p;
+    while (n->kind() == PlanKind::kSelect) {
+      preds.push_back(n->predicate());
+      n = n->input().get();
+    }
+    if (n->kind() == PlanKind::kScan) {
+      ScanUse& u = (*uses)[n->relation()];
+      Result<const WsdRelation*> rel = skeleton.GetRelation(n->relation());
+      if (!rel.ok()) {
+        // Unknown relation: nothing to materialize; the executor
+        // reports the NotFound with full context.
+        u.keep_all = true;
+        return;
+      }
+      const Schema& schema = (*rel)->schema();
+      std::vector<ColumnBound> acc(schema.size());
+      for (const ExprPtr& pred : preds) {
+        // Plans carry unbound predicates; bind a copy to resolve column
+        // indexes. A predicate that fails to bind prunes nothing — the
+        // executor surfaces the binding error on the scratch database.
+        Result<ExprPtr> bound = pred->BindAgainst(schema);
+        if (!bound.ok()) continue;
+        IntersectInto(&acc, ExtractColumnBounds(**bound, schema.size()));
+      }
+      u.bound_sets.push_back(std::move(acc));
+      return;
+    }
+    // Select over something else: analyze the subtree as usual.
+  }
+  for (const PlanPtr& c : p.children()) CollectScans(*c, skeleton, uses);
+}
+
+}  // namespace
+
+Result<MappedWsdDb> MappedWsdDb::Open(const std::string& path,
+                                      MappedDbOptions options) {
+  MappedWsdDb m;
+  MAYBMS_ASSIGN_OR_RETURN(m.file_, MmapFile::Open(path));
+  m.max_resident_bytes_ = ResolveResidentCap(options.max_resident_bytes);
+
+  std::string_view bytes = m.file_.bytes();
+  constexpr size_t kHeaderLen = sizeof(kHeaderV3) - 1;
+  if (bytes.substr(0, kHeaderLen) != kHeaderV3) {
+    if (bytes.substr(0, 10) == "MAYBMS-WSD") {
+      return Status::Unsupported(
+          "only \"MAYBMS-WSD 3\" snapshots support mapped loading; "
+          "load v1/v2 files eagerly and re-save");
+    }
+    return Status::ParseError("not a MAYBMS-WSD snapshot: " + path);
+  }
+
+  MAYBMS_ASSIGN_OR_RETURN(std::vector<sv3::SectionView> sections,
+                          sv3::WalkSnapshotSections(bytes.substr(kHeaderLen)));
+  constexpr uint32_t kExpected[] = {sv3::kSecMeta,       sv3::kSecStrings,
+                                    sv3::kSecShardDir,   sv3::kSecComponents,
+                                    sv3::kSecRelations,  sv3::kSecEnd};
+  if (sections.size() != 6) {
+    return Status::ParseError("v3 snapshot must contain exactly 6 sections");
+  }
+  for (size_t i = 0; i < 6; ++i) {
+    if (sections[i].tag != kExpected[i]) {
+      return Status::ParseError(
+          StrFormat("expected snapshot section %s, got %s",
+                    SnapshotTagName(kExpected[i]).c_str(),
+                    SnapshotTagName(sections[i].tag).c_str()));
+    }
+  }
+  // The eager head (META, STRS, SDIR, END) is checksum-verified now;
+  // COMP/RELS blocks verify individually on first materialization.
+  for (size_t i : {size_t{0}, size_t{1}, size_t{2}, size_t{5}}) {
+    const sv3::SectionView& s = sections[i];
+    if (HashBytes(s.payload.data(), s.payload.size()) != s.checksum) {
+      return Status::ParseError(
+          StrFormat("snapshot section %s failed checksum verification",
+                    SnapshotTagName(s.tag).c_str()));
+    }
+  }
+  if (!sections[5].payload.empty()) {
+    return Status::ParseError("snapshot END section carries payload");
+  }
+
+  MAYBMS_ASSIGN_OR_RETURN(m.meta_, sv3::ParseMetaV3(sections[0].payload));
+  MAYBMS_ASSIGN_OR_RETURN(m.local_to_global_,
+                          SnapshotStringTable::Restore(sections[1].payload));
+  MAYBMS_ASSIGN_OR_RETURN(m.dir_, sv3::ParseDirectory(sections[2].payload));
+  m.comp_payload_ = sections[3].payload;
+  m.rels_payload_ = sections[4].payload;
+
+  // Directory offsets are validated against the mapped payload sizes
+  // here, so materialization never slices out of bounds.
+  for (size_t k = 0; k < m.dir_.components.size(); ++k) {
+    const sv3::DirComponent& dc = m.dir_.components[k];
+    MAYBMS_RETURN_IF_ERROR(
+        CheckBlockBounds(m.comp_payload_, dc.offset, dc.length, "component"));
+    m.comp_index_of_id_.emplace(dc.id, k);
+  }
+  for (const sv3::DirRelation& dr : m.dir_.relations) {
+    for (const sv3::DirShard& ds : dr.shards) {
+      MAYBMS_RETURN_IF_ERROR(
+          CheckBlockBounds(m.rels_payload_, ds.offset, ds.length, "shard"));
+      for (ComponentId id : ds.ref_components) {
+        if (m.comp_index_of_id_.find(id) == m.comp_index_of_id_.end()) {
+          return Status::ParseError(
+              StrFormat("snapshot shard references unknown component %u", id));
+        }
+      }
+    }
+  }
+
+  {
+    ValuePool& pool = ValuePool::Global();
+    m.local_strings_.reserve(m.local_to_global_.size());
+    for (uint32_t gid : m.local_to_global_) {
+      m.local_strings_.push_back(&pool.Get(gid));
+    }
+  }
+
+  m.partitions_.reserve(m.dir_.relations.size());
+  for (const sv3::DirRelation& dr : m.dir_.relations) {
+    ShardPartition part;
+    part.rows_per_shard =
+        m.meta_.rows_per_shard == 0
+            ? std::max<size_t>(static_cast<size_t>(dr.n_tuples), 1)
+            : static_cast<size_t>(m.meta_.rows_per_shard);
+    part.shards.reserve(dr.shards.size());
+    for (const sv3::DirShard& ds : dr.shards) {
+      ShardInfo info;
+      info.row_begin = static_cast<size_t>(ds.row_begin);
+      info.row_end = static_cast<size_t>(ds.row_end);
+      info.ranges = ds.ranges;
+      info.ref_components = ds.ref_components;
+      part.shards.push_back(std::move(info));
+    }
+    m.partitions_.push_back(std::move(part));
+  }
+
+  m.skeleton_.mutable_options().max_component_rows =
+      static_cast<size_t>(m.meta_.max_component_rows);
+  m.skeleton_.mutable_options().rows_per_shard =
+      static_cast<size_t>(m.meta_.rows_per_shard);
+  for (const sv3::DirRelation& dr : m.dir_.relations) {
+    MAYBMS_RETURN_IF_ERROR(m.skeleton_.CreateRelation(dr.name, dr.schema));
+    m.skeleton_.GetMutableRelation(dr.name).value()->set_display_name(
+        dr.display);
+  }
+  if (m.meta_.owner_counter > 0) {
+    m.skeleton_.BumpOwner(static_cast<OwnerId>(m.meta_.owner_counter - 1));
+  }
+  return m;
+}
+
+void MappedWsdDb::Account(size_t bytes) {
+  resident_bytes_ += bytes;
+  peak_resident_bytes_ = std::max(peak_resident_bytes_, resident_bytes_);
+}
+
+void MappedWsdDb::EvictToCap() {
+  while (resident_bytes_ > max_resident_bytes_ &&
+         (!comp_cache_.empty() || !shard_cache_.empty())) {
+    // Linear LRU scan: entry counts are one per touched shard/component,
+    // small next to the decode work that created them.
+    uint64_t best_use = std::numeric_limits<uint64_t>::max();
+    uint64_t best_key = 0;
+    bool best_is_comp = false;
+    for (const auto& [key, e] : comp_cache_) {
+      if (e.last_use < best_use) {
+        best_use = e.last_use;
+        best_key = key;
+        best_is_comp = true;
+      }
+    }
+    for (const auto& [key, e] : shard_cache_) {
+      if (e.last_use < best_use) {
+        best_use = e.last_use;
+        best_key = key;
+        best_is_comp = false;
+      }
+    }
+    if (best_is_comp) {
+      resident_bytes_ -= comp_cache_[best_key].bytes;
+      comp_cache_.erase(best_key);
+    } else {
+      resident_bytes_ -= shard_cache_[best_key].bytes;
+      shard_cache_.erase(best_key);
+    }
+  }
+}
+
+Result<const Component*> MappedWsdDb::DecodeComponent(
+    size_t k, bool use_cache, MaterializeStats* stats) {
+  if (use_cache) {
+    auto it = comp_cache_.find(k);
+    if (it != comp_cache_.end()) {
+      it->second.last_use = ++use_clock_;
+      return &it->second.comp;
+    }
+  }
+  const sv3::DirComponent& dc = dir_.components[k];
+  MAYBMS_ASSIGN_OR_RETURN(
+      std::string_view block,
+      sv3::SliceBlock(comp_payload_, dc.offset, dc.length, dc.checksum,
+                      "component"));
+  SnapshotCursor cur(block);
+  MAYBMS_ASSIGN_OR_RETURN(auto decoded,
+                          sv3::DecodeComponentRecord(&cur, local_to_global_));
+  if (!cur.AtEnd()) {
+    return Status::ParseError("trailing bytes in snapshot component block");
+  }
+  if (decoded.first != dc.id || decoded.second.NumSlots() != dc.n_slots ||
+      decoded.second.NumRows() != dc.n_rows) {
+    return Status::ParseError(
+        "snapshot component block disagrees with its directory entry");
+  }
+  stats->components_loaded++;
+  stats->bytes_decoded += static_cast<size_t>(dc.length);
+  CachedComponent entry;
+  entry.comp = std::move(decoded.second);
+  entry.bytes = static_cast<size_t>(dc.length);
+  entry.last_use = ++use_clock_;
+  CachedComponent& slot = use_cache ? comp_cache_[k] : scratch_comp_;
+  slot = std::move(entry);
+  if (use_cache) Account(slot.bytes);
+  return &slot.comp;
+}
+
+Result<const std::vector<WsdTuple>*> MappedWsdDb::DecodeShard(
+    size_t r, size_t s, bool use_cache, MaterializeStats* stats) {
+  const uint64_t key = (static_cast<uint64_t>(r) << 32) | s;
+  if (use_cache) {
+    auto it = shard_cache_.find(key);
+    if (it != shard_cache_.end()) {
+      it->second.last_use = ++use_clock_;
+      return &it->second.tuples;
+    }
+  }
+  const sv3::DirRelation& dr = dir_.relations[r];
+  const sv3::DirShard& ds = dr.shards[s];
+  MAYBMS_ASSIGN_OR_RETURN(
+      std::string_view block,
+      sv3::SliceBlock(rels_payload_, ds.offset, ds.length, ds.checksum,
+                      "shard"));
+  const size_t n = static_cast<size_t>(ds.row_end - ds.row_begin);
+  std::vector<WsdTuple> tuples(n);
+  MAYBMS_RETURN_IF_ERROR(sv3::DecodeShardRecord(
+      block, static_cast<uint32_t>(dr.schema.size()), 0, n, local_strings_,
+      &tuples));
+  stats->bytes_decoded += static_cast<size_t>(ds.length);
+  CachedShard entry;
+  entry.tuples = std::move(tuples);
+  entry.bytes = static_cast<size_t>(ds.length);
+  entry.last_use = ++use_clock_;
+  CachedShard& slot = use_cache ? shard_cache_[key] : scratch_shard_;
+  slot = std::move(entry);
+  if (use_cache) Account(slot.bytes);
+  return &slot.tuples;
+}
+
+Result<WsdDb> MappedWsdDb::Materialize(
+    const std::vector<std::vector<char>>& keep, bool use_cache) {
+  MaterializeStats stats;
+  std::vector<char> comp_needed(dir_.components.size(), 0);
+  for (size_t r = 0; r < dir_.relations.size(); ++r) {
+    stats.shards_total += dir_.relations[r].shards.size();
+    for (size_t s = 0; s < dir_.relations[r].shards.size(); ++s) {
+      if (!keep[r][s]) continue;
+      stats.shards_kept++;
+      for (ComponentId id : partitions_[r].shards[s].ref_components) {
+        comp_needed[comp_index_of_id_.at(id)] = 1;
+      }
+    }
+  }
+
+  WsdDb db;
+  db.mutable_options().max_component_rows =
+      static_cast<size_t>(meta_.max_component_rows);
+  db.mutable_options().rows_per_shard =
+      static_cast<size_t>(meta_.rows_per_shard);
+  // Components place at their original ids (kept tuples reference them);
+  // skipped ids become dead slots, covered by the same gap budget the
+  // directory was validated against.
+  for (size_t k = 0; k < dir_.components.size(); ++k) {
+    if (!comp_needed[k]) continue;
+    MAYBMS_ASSIGN_OR_RETURN(const Component* comp,
+                            DecodeComponent(k, use_cache, &stats));
+    MAYBMS_RETURN_IF_ERROR(sv3::PlaceComponentAt(&db, dir_.components[k].id,
+                                                 k, Component(*comp)));
+  }
+  for (size_t r = 0; r < dir_.relations.size(); ++r) {
+    const sv3::DirRelation& dr = dir_.relations[r];
+    MAYBMS_RETURN_IF_ERROR(db.CreateRelation(dr.name, dr.schema));
+    WsdRelation* rel = db.GetMutableRelation(dr.name).value();
+    rel->set_display_name(dr.display);
+    size_t rows = 0;
+    for (size_t s = 0; s < dr.shards.size(); ++s) {
+      if (keep[r][s]) {
+        rows += static_cast<size_t>(dr.shards[s].row_end -
+                                    dr.shards[s].row_begin);
+      }
+    }
+    std::vector<WsdTuple>& tuples = rel->mutable_tuples();
+    tuples.reserve(rows);
+    for (size_t s = 0; s < dr.shards.size(); ++s) {
+      if (!keep[r][s]) continue;
+      MAYBMS_ASSIGN_OR_RETURN(const std::vector<WsdTuple>* shard,
+                              DecodeShard(r, s, use_cache, &stats));
+      tuples.insert(tuples.end(), shard->begin(), shard->end());
+    }
+  }
+  if (meta_.owner_counter > 0) {
+    db.BumpOwner(static_cast<OwnerId>(meta_.owner_counter - 1));
+  }
+  MAYBMS_RETURN_IF_ERROR(db.CheckInvariants());
+  if (use_cache) EvictToCap();
+  last_stats_ = stats;
+  return db;
+}
+
+Result<WsdDb> MappedWsdDb::MaterializeForPlan(const Plan& plan) {
+  std::map<std::string, ScanUse> uses;
+  CollectScans(plan, skeleton_, &uses);
+  std::vector<std::vector<char>> keep(dir_.relations.size());
+  for (size_t r = 0; r < dir_.relations.size(); ++r) {
+    const size_t n_shards = dir_.relations[r].shards.size();
+    auto it = uses.find(dir_.relations[r].name);
+    if (it == uses.end()) {
+      keep[r].assign(n_shards, 0);  // never scanned: stays empty
+      continue;
+    }
+    const ScanUse& u = it->second;
+    if (u.keep_all) {
+      keep[r].assign(n_shards, 1);
+      continue;
+    }
+    keep[r].assign(n_shards, 0);
+    for (const std::vector<ColumnBound>& bounds : u.bound_sets) {
+      std::vector<char> mask = PruneShards(partitions_[r], bounds);
+      for (size_t s = 0; s < n_shards; ++s) keep[r][s] |= mask[s];
+    }
+  }
+  return Materialize(keep, /*use_cache=*/true);
+}
+
+Result<WsdDb> MappedWsdDb::MaterializeAll() {
+  std::vector<std::vector<char>> keep(dir_.relations.size());
+  for (size_t r = 0; r < dir_.relations.size(); ++r) {
+    keep[r].assign(dir_.relations[r].shards.size(), 1);
+  }
+  return Materialize(keep, /*use_cache=*/false);
+}
+
+}  // namespace maybms

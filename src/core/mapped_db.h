@@ -1,0 +1,169 @@
+// Out-of-core world-set databases: a v3 snapshot opened as a memory map
+// whose component and shard blocks are materialized lazily.
+//
+// MappedWsdDb::Open verifies the snapshot's eager head (META, STRS and
+// the SDIR shard directory — a few KB) and maps the COMP/RELS payloads
+// without reading them. Queries then call MaterializeForPlan, which
+// prunes relation shards against the plan's Select predicates using the
+// per-shard column ranges persisted in SDIR, and decodes only the
+// surviving shards plus the components they reference — each block
+// checksum-verified on first touch. A selective query over a large
+// database reads a handful of pages instead of the whole file.
+//
+// Decoded blocks are cached under an LRU byte budget
+// (MappedDbOptions::max_resident_bytes, or the MAYBMS_MAX_RESIDENT_BYTES
+// environment variable), so repeated queries over a database much larger
+// than memory keep a bounded resident set. The WsdDb a materialization
+// returns is an owned scratch copy — it lives for one query and is not
+// counted against the budget.
+//
+// Not thread-safe: one MappedWsdDb serves one session at a time (the
+// same carve-out as the optimizer's relation-level stats caches).
+#ifndef MAYBMS_CORE_MAPPED_DB_H_
+#define MAYBMS_CORE_MAPPED_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/shard.h"
+#include "core/snapshot_v3.h"
+#include "core/wsd.h"
+#include "ra/plan.h"
+#include "storage/mmap_file.h"
+
+namespace maybms {
+
+/// How a snapshot becomes a queryable database.
+enum class LoadMode {
+  kEager,   ///< decode the whole file up front (LoadWsdDb)
+  kMapped,  ///< mmap + lazy per-shard materialization (MappedWsdDb)
+};
+
+struct MappedDbOptions {
+  /// Cap on bytes of decoded blocks kept cached across queries. 0 reads
+  /// the MAYBMS_MAX_RESIDENT_BYTES environment variable; unset or 0
+  /// there means unlimited.
+  size_t max_resident_bytes = 0;
+};
+
+/// What the last MaterializeForPlan call actually touched.
+struct MaterializeStats {
+  size_t shards_total = 0;   ///< shards in the snapshot (all relations)
+  size_t shards_kept = 0;    ///< shards decoded for the plan
+  size_t components_loaded = 0;
+  size_t bytes_decoded = 0;  ///< on-disk bytes of blocks decoded this call
+};
+
+class MappedWsdDb {
+ public:
+  /// Maps `path` and verifies the eager head. The file must be a
+  /// "MAYBMS-WSD 3" snapshot; v1/v2 files are rejected (load those
+  /// eagerly via LoadWsdDb).
+  static Result<MappedWsdDb> Open(const std::string& path,
+                                  MappedDbOptions options = {});
+
+  MappedWsdDb(MappedWsdDb&&) = default;
+  MappedWsdDb& operator=(MappedWsdDb&&) = default;
+
+  const std::string& path() const { return file_.path(); }
+
+  /// Schemas, display names and options — no tuples, no components.
+  /// Enough for planning, binding and catalog statements.
+  const WsdDb& skeleton() const { return skeleton_; }
+
+  /// Materializes the subset of the database the plan can touch: for
+  /// every Select(...(Select(Scan rel))) chain the conjunctive column
+  /// bounds prune shards via the persisted SDIR ranges; bare scans keep
+  /// every shard; relations the plan never scans stay empty. Returns an
+  /// owned scratch database that answers the plan exactly as the eagerly
+  /// loaded database would (shard pruning only drops tuples that fail
+  /// the predicate in every world).
+  Result<WsdDb> MaterializeForPlan(const Plan& plan);
+
+  /// Decodes everything (bypassing the cache budget) — the escape hatch
+  /// for statements that need the whole database resident.
+  Result<WsdDb> MaterializeAll();
+
+  /// Per-relation shard partitions reconstructed from SDIR (ranges and
+  /// referenced components per shard), in directory order.
+  const std::vector<ShardPartition>& partitions() const { return partitions_; }
+  /// Components stored in the snapshot.
+  size_t num_components() const { return dir_.components.size(); }
+
+  /// Bytes of decoded blocks currently cached.
+  size_t resident_bytes() const { return resident_bytes_; }
+  /// High-water mark of resident_bytes() since Open.
+  size_t peak_resident_bytes() const { return peak_resident_bytes_; }
+  size_t max_resident_bytes() const { return max_resident_bytes_; }
+  /// Size of the snapshot file on disk.
+  size_t snapshot_bytes() const { return file_.size(); }
+
+  const MaterializeStats& last_stats() const { return last_stats_; }
+
+ private:
+  MappedWsdDb() = default;
+
+  struct CachedComponent {
+    Component comp;
+    size_t bytes = 0;
+    uint64_t last_use = 0;
+  };
+  struct CachedShard {
+    std::vector<WsdTuple> tuples;
+    size_t bytes = 0;
+    uint64_t last_use = 0;
+  };
+
+  /// Decoded component for dir index `k`, via the cache. The reference
+  /// is invalidated by the next eviction — copy out before evicting.
+  Result<const Component*> DecodeComponent(size_t k, bool use_cache,
+                                           MaterializeStats* stats);
+  /// Decoded tuples of shard `s` of dir relation `r`, via the cache.
+  Result<const std::vector<WsdTuple>*> DecodeShard(size_t r, size_t s,
+                                                   bool use_cache,
+                                                   MaterializeStats* stats);
+  /// Builds a scratch database holding, per dir relation, the tuples of
+  /// the shards with keep[r][s] != 0 plus every component they
+  /// reference.
+  Result<WsdDb> Materialize(const std::vector<std::vector<char>>& keep,
+                            bool use_cache);
+  void EvictToCap();
+  void Account(size_t bytes);
+
+  MmapFile file_;
+  snapshotv3::MetaV3 meta_;
+  snapshotv3::SnapshotDirectory dir_;
+  /// Per dir relation, the persisted partition (ranges + referenced
+  /// components per shard) reconstructed from SDIR.
+  std::vector<ShardPartition> partitions_;
+  /// Component id -> index into dir_.components.
+  std::unordered_map<ComponentId, size_t> comp_index_of_id_;
+  std::vector<uint32_t> local_to_global_;
+  /// Pool-stable pointers for the snapshot's string table, materialized
+  /// once at Open (the table is part of the eager head).
+  std::vector<const std::string*> local_strings_;
+  std::string_view comp_payload_;
+  std::string_view rels_payload_;
+  WsdDb skeleton_;
+
+  size_t max_resident_bytes_ = 0;  ///< resolved; SIZE_MAX = unlimited
+  size_t resident_bytes_ = 0;
+  size_t peak_resident_bytes_ = 0;
+  uint64_t use_clock_ = 0;
+  std::unordered_map<uint64_t, CachedComponent> comp_cache_;
+  /// Key: rel_index << 32 | shard_index.
+  std::unordered_map<uint64_t, CachedShard> shard_cache_;
+  /// Landing slots for cache-bypassing decodes (MaterializeAll); valid
+  /// until the next Decode* call.
+  CachedComponent scratch_comp_;
+  CachedShard scratch_shard_;
+  MaterializeStats last_stats_;
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_MAPPED_DB_H_

@@ -8,6 +8,7 @@
 
 #include "common/parallel.h"
 #include "common/string_util.h"
+#include "core/snapshot_v3.h"
 #include "storage/snapshot_io.h"
 
 namespace maybms {
@@ -17,6 +18,20 @@ namespace {
 constexpr const char* kMagic = "MAYBMS-WSD";
 constexpr int kTextVersion = 1;
 constexpr int kBinaryVersion = 2;
+constexpr int kBinaryVersionV3 = 3;
+
+// The wire codecs shared with the v3 sharded format (constants, cell
+// encode/decode, component/tuple record layouts) live in
+// core/snapshot_v3.h; the v2 reader/writer below delegates to them, so
+// both versions stay byte-compatible at the record level by
+// construction.
+using snapshotv3::kCellRef;
+using snapshotv3::kEndianMark;
+using snapshotv3::kSecComponents;
+using snapshotv3::kSecEnd;
+using snapshotv3::kSecMeta;
+using snapshotv3::kSecRelations;
+using snapshotv3::kSecStrings;
 
 // --- text writing ----------------------------------------------------------
 
@@ -177,35 +192,6 @@ Result<ValueType> ParseType(const std::string& tag) {
   return Status::ParseError("unknown type tag " + tag);
 }
 
-// Dead-id gaps a single snapshot may ask the loader to materialize.
-// Component ids are preserved across save/load (template cells reference
-// them), so files legitimately contain gaps from removed components —
-// but each gap costs a dead slot in the component store, and a crafted
-// file must not be able to demand billions of them. The cap bounds
-// loader memory at ~the live data plus 2^20 slots; it matches the
-// engine's own practical ceiling for dead-slot bookkeeping.
-constexpr size_t kMaxComponentIdGaps = 1u << 20;
-
-// Places component `c` at exactly the stored `id` (cells reference it);
-// ids arrive ascending, gaps become dead slots. `placed` is the number
-// of components placed before this one, bounding the gap budget.
-Status PlaceComponentAt(WsdDb* db, size_t id, size_t placed, Component c) {
-  if (id > placed + kMaxComponentIdGaps) {
-    return Status::ParseError(
-        StrFormat("component id %zu implies more than %zu dead-id gaps",
-                  id, kMaxComponentIdGaps));
-  }
-  for (;;) {
-    ComponentId got = db->AddComponent(Component());
-    if (got == id) {
-      db->mutable_component(got) = std::move(c);
-      return Status::OK();
-    }
-    if (got > id) return Status::ParseError("component ids out of order");
-    db->RemoveComponent(got);  // filler for a gap in the id space
-  }
-}
-
 // Reads the text body (everything after "MAYBMS-WSD 1").
 Result<WsdDb> ReadWsdDbText(std::istream& in) {
   Reader r(in);
@@ -243,7 +229,8 @@ Result<WsdDb> ReadWsdDbText(std::istream& in) {
       }
       MAYBMS_RETURN_IF_ERROR(c.AddRow(std::move(row)));
     }
-    MAYBMS_RETURN_IF_ERROR(PlaceComponentAt(&db, id, k, std::move(c)));
+    MAYBMS_RETURN_IF_ERROR(
+        snapshotv3::PlaceComponentAt(&db, id, k, std::move(c)));
   }
 
   MAYBMS_RETURN_IF_ERROR(r.Expect("RELATIONS"));
@@ -308,55 +295,6 @@ Result<WsdDb> ReadWsdDbText(std::istream& in) {
 // written as raw tag/payload arrays; string payloads are snapshot-local
 // ids into the STRS table, remapped to the process ValuePool on load.
 
-constexpr uint32_t kSecMeta = SnapshotFourCC('M', 'E', 'T', 'A');
-constexpr uint32_t kSecStrings = SnapshotFourCC('S', 'T', 'R', 'S');
-constexpr uint32_t kSecComponents = SnapshotFourCC('C', 'O', 'M', 'P');
-constexpr uint32_t kSecRelations = SnapshotFourCC('R', 'E', 'L', 'S');
-constexpr uint32_t kSecEnd = SnapshotFourCC('E', 'N', 'D', '.');
-
-/// Written to META and verified on load, so a snapshot moved to a
-/// machine with a different byte order fails loudly instead of
-/// misreading every array.
-constexpr uint32_t kEndianMark = 0x32445357;  // "WSD2" on little-endian
-
-/// Wire tag of a template cell that references a component slot; tags
-/// 0..5 are PackedTag values for inline (certain) cells.
-constexpr uint8_t kCellRef = 6;
-
-uint64_t DoubleBits(double d) {
-  uint64_t bits;
-  std::memcpy(&bits, &d, sizeof(d));
-  return bits;
-}
-
-double BitsToDouble(uint64_t bits) {
-  double d;
-  std::memcpy(&d, &bits, sizeof(d));
-  return d;
-}
-
-/// (tag, payload) wire image of a packed cell; strings go through the
-/// snapshot-local table.
-std::pair<uint8_t, uint64_t> PackedToWire(const PackedValue& v,
-                                          SnapshotStringTable* strings) {
-  switch (v.tag()) {
-    case PackedTag::kNull:
-    case PackedTag::kBottom:
-      return {static_cast<uint8_t>(v.tag()), 0};
-    case PackedTag::kBool:
-      return {static_cast<uint8_t>(v.tag()), v.as_bool() ? 1u : 0u};
-    case PackedTag::kInt:
-      return {static_cast<uint8_t>(v.tag()),
-              static_cast<uint64_t>(v.as_int())};
-    case PackedTag::kDouble:
-      return {static_cast<uint8_t>(v.tag()), DoubleBits(v.as_double())};
-    case PackedTag::kString:
-      return {static_cast<uint8_t>(v.tag()),
-              strings->IdForGlobal(v.string_id())};
-  }
-  return {0, 0};
-}
-
 std::string BuildMetaPayload(const WsdDb& db) {
   std::string meta;
   PutPod(&meta, kEndianMark);
@@ -370,29 +308,8 @@ std::string BuildComponentsPayload(const WsdDb& db,
   std::string comp;
   auto live = db.LiveComponents();
   PutPod(&comp, static_cast<uint32_t>(live.size()));
-  std::vector<uint8_t> tags;
-  std::vector<uint64_t> payloads;
   for (ComponentId id : live) {
-    const Component& c = db.component(id);
-    const size_t n_rows = c.NumRows();
-    PutPod(&comp, static_cast<uint32_t>(id));
-    PutPod(&comp, static_cast<uint32_t>(c.NumSlots()));
-    PutPod(&comp, static_cast<uint64_t>(n_rows));
-    for (const Slot& s : c.slots()) {
-      PutPod(&comp, static_cast<uint64_t>(s.owner));
-      PutLenString(&comp, s.label);
-    }
-    PutArray(&comp, c.probs());
-    for (size_t s = 0; s < c.NumSlots(); ++s) {
-      const std::vector<PackedValue>& col = c.column(s);
-      tags.resize(n_rows);
-      payloads.resize(n_rows);
-      for (size_t r = 0; r < n_rows; ++r) {
-        std::tie(tags[r], payloads[r]) = PackedToWire(col[r], strings);
-      }
-      PutArray(&comp, tags);
-      PutArray(&comp, payloads);
-    }
+    snapshotv3::AppendComponentRecord(db, id, strings, &comp);
   }
   return comp;
 }
@@ -412,42 +329,9 @@ std::string BuildRelationsPayload(const WsdDb& db,
       PutLenString(&rels, rel.schema().attr(c).name);
       PutPod(&rels, static_cast<uint8_t>(rel.schema().attr(c).type));
     }
-    std::vector<uint32_t> dep_counts;
-    std::vector<uint64_t> deps_flat;
-    dep_counts.reserve(n_tuples);
-    for (const auto& t : rel.tuples()) {
-      dep_counts.push_back(static_cast<uint32_t>(t.deps.size()));
-      for (OwnerId o : t.deps) deps_flat.push_back(static_cast<uint64_t>(o));
-    }
-    PutArray(&rels, dep_counts);
-    PutPod(&rels, static_cast<uint64_t>(deps_flat.size()));
-    PutArray(&rels, deps_flat);
-    std::vector<uint8_t> tags(n_tuples * n_cols);
-    std::vector<uint64_t> payloads(n_tuples * n_cols);
-    size_t i = 0;
-    for (const auto& t : rel.tuples()) {
-      for (const Cell& cell : t.cells) {
-        if (cell.is_ref()) {
-          tags[i] = kCellRef;
-          payloads[i] = static_cast<uint64_t>(cell.ref().cid) |
-                        (static_cast<uint64_t>(cell.ref().slot) << 32);
-        } else {
-          const Value& v = cell.value();
-          if (v.is_string()) {
-            // Certain cells hold inline Values; key the table by content
-            // so they share entries with pooled component strings.
-            tags[i] = static_cast<uint8_t>(PackedTag::kString);
-            payloads[i] = strings->IdForContent(v.as_string());
-          } else {
-            std::tie(tags[i], payloads[i]) =
-                PackedToWire(PackedValue::FromValue(v), strings);
-          }
-        }
-        ++i;
-      }
-    }
-    PutArray(&rels, tags);
-    PutArray(&rels, payloads);
+    // A v2 relation body is exactly one shard record spanning every
+    // tuple; v3 splits the same record layout into multiple blocks.
+    snapshotv3::AppendShardRecord(rel, 0, n_tuples, strings, &rels);
   }
   return rels;
 }
@@ -468,143 +352,14 @@ Status ParseComponentsSection(const SnapshotSection& section,
                               WsdDb* db) {
   SnapshotCursor cur(section.payload);
   MAYBMS_ASSIGN_OR_RETURN(uint32_t n_comps, cur.Read<uint32_t>());
-  std::vector<uint8_t> tags;
-  std::vector<uint64_t> payloads;
   for (uint32_t k = 0; k < n_comps; ++k) {
-    MAYBMS_ASSIGN_OR_RETURN(uint32_t id, cur.Read<uint32_t>());
-    MAYBMS_ASSIGN_OR_RETURN(uint32_t n_slots, cur.Read<uint32_t>());
-    MAYBMS_ASSIGN_OR_RETURN(uint64_t n_rows64, cur.Read<uint64_t>());
-    const size_t n_rows = static_cast<size_t>(n_rows64);
-    // Every slot record occupies at least 12 payload bytes (owner +
-    // label length), so a slot count beyond that bound is corrupt;
-    // checking before the reserve keeps a crafted count from forcing a
-    // huge allocation.
-    if (n_slots > cur.remaining() / 12) {
-      return Status::ParseError("snapshot slot count exceeds payload");
-    }
-    std::vector<Slot> slots;
-    slots.reserve(n_slots);
-    for (uint32_t s = 0; s < n_slots; ++s) {
-      MAYBMS_ASSIGN_OR_RETURN(uint64_t owner, cur.Read<uint64_t>());
-      MAYBMS_ASSIGN_OR_RETURN(std::string label, cur.ReadLenString());
-      slots.push_back({static_cast<OwnerId>(owner), std::move(label)});
-    }
-    std::vector<double> probs;
-    MAYBMS_RETURN_IF_ERROR(cur.ReadArray(n_rows, &probs));
-    std::vector<std::vector<PackedValue>> cols(n_slots);
-    for (uint32_t s = 0; s < n_slots; ++s) {
-      MAYBMS_RETURN_IF_ERROR(cur.ReadArray(n_rows, &tags));
-      MAYBMS_RETURN_IF_ERROR(cur.ReadArray(n_rows, &payloads));
-      std::vector<PackedValue>& col = cols[s];
-      col.resize(n_rows);
-      // The hot loop of a load: one direct switch per packed cell, no
-      // temporaries — a column deserializes at near-memcpy speed.
-      for (size_t r = 0; r < n_rows; ++r) {
-        const uint64_t payload = payloads[r];
-        switch (tags[r]) {
-          case static_cast<uint8_t>(PackedTag::kNull):
-            col[r] = PackedValue::Null();
-            break;
-          case static_cast<uint8_t>(PackedTag::kBottom):
-            col[r] = PackedValue::Bottom();
-            break;
-          case static_cast<uint8_t>(PackedTag::kBool):
-            col[r] = PackedValue::Bool(payload != 0);
-            break;
-          case static_cast<uint8_t>(PackedTag::kInt):
-            col[r] = PackedValue::Int(static_cast<int64_t>(payload));
-            break;
-          case static_cast<uint8_t>(PackedTag::kDouble):
-            col[r] = PackedValue::Double(BitsToDouble(payload));
-            break;
-          case static_cast<uint8_t>(PackedTag::kString):
-            if (payload >= local_to_global.size()) {
-              return Status::ParseError("snapshot string id out of range");
-            }
-            col[r] = PackedValue::StringId(
-                local_to_global[static_cast<size_t>(payload)]);
-            break;
-          default:
-            return Status::ParseError(
-                "component cell tag out of range in snapshot");
-        }
-      }
-    }
     MAYBMS_ASSIGN_OR_RETURN(
-        Component c, Component::FromColumns(std::move(slots), std::move(cols),
-                                            std::move(probs)));
-    MAYBMS_RETURN_IF_ERROR(PlaceComponentAt(db, id, k, std::move(c)));
+        auto decoded, snapshotv3::DecodeComponentRecord(&cur, local_to_global));
+    MAYBMS_RETURN_IF_ERROR(snapshotv3::PlaceComponentAt(
+        db, decoded.first, k, std::move(decoded.second)));
   }
   if (!cur.AtEnd()) {
     return Status::ParseError("trailing bytes in snapshot COMP section");
-  }
-  return Status::OK();
-}
-
-/// Builds the tuples [begin, end) of one relation from the bulk arrays.
-/// Each tuple's dependency range starts at dep_offsets[t]; cells for
-/// tuple t occupy tags/payloads[t*n_cols ... t*n_cols+n_cols). Runs on
-/// worker threads — inputs are shared read-only, each index writes only
-/// its own tuple slot.
-Status BuildTupleRange(std::vector<WsdTuple>* tuples, size_t begin,
-                       size_t end, uint32_t n_cols,
-                       const std::vector<uint32_t>& dep_counts,
-                       const std::vector<uint64_t>& dep_offsets,
-                       const std::vector<uint64_t>& deps_flat,
-                       const std::vector<uint8_t>& tags,
-                       const std::vector<uint64_t>& payloads,
-                       const std::vector<const std::string*>& local_strings) {
-  for (size_t t_i = begin; t_i < end; ++t_i) {
-    WsdTuple& t = (*tuples)[t_i];
-    size_t dep_pos = static_cast<size_t>(dep_offsets[t_i]);
-    t.deps.reserve(dep_counts[t_i]);
-    for (uint32_t d = 0; d < dep_counts[t_i]; ++d) {
-      // Written sorted and unique; CheckInvariants re-verifies after the
-      // load, so a corrupted snapshot cannot smuggle unsorted deps in.
-      t.deps.push_back(static_cast<OwnerId>(deps_flat[dep_pos + d]));
-    }
-    t.cells.reserve(n_cols);
-    size_t i = static_cast<size_t>(t_i) * n_cols;
-    for (uint32_t c = 0; c < n_cols; ++c, ++i) {
-      const uint64_t payload = payloads[i];
-      switch (tags[i]) {
-        case kCellRef:
-          t.cells.push_back(
-              Cell::Ref({static_cast<ComponentId>(payload & 0xffffffffu),
-                         static_cast<uint32_t>(payload >> 32)}));
-          break;
-        case static_cast<uint8_t>(PackedTag::kNull):
-          t.cells.push_back(Cell::Certain(Value::Null()));
-          break;
-        case static_cast<uint8_t>(PackedTag::kBottom):
-          // Invalid as an inline cell; constructed anyway so the final
-          // CheckInvariants reports it as the structured error it is.
-          t.cells.push_back(Cell::Certain(Value::Bottom()));
-          break;
-        case static_cast<uint8_t>(PackedTag::kBool):
-          t.cells.push_back(Cell::Certain(Value::Bool(payload != 0)));
-          break;
-        case static_cast<uint8_t>(PackedTag::kInt):
-          t.cells.push_back(
-              Cell::Certain(Value::Int(static_cast<int64_t>(payload))));
-          break;
-        case static_cast<uint8_t>(PackedTag::kDouble):
-          t.cells.push_back(Cell::Certain(Value::Double(
-              BitsToDouble(payload))));
-          break;
-        case static_cast<uint8_t>(PackedTag::kString): {
-          if (payload >= local_strings.size()) {
-            return Status::ParseError("snapshot string id out of range");
-          }
-          t.cells.push_back(Cell::Certain(
-              Value::String(*local_strings[static_cast<size_t>(payload)])));
-          break;
-        }
-        default:
-          return Status::ParseError(
-              StrFormat("unknown snapshot cell tag %u", tags[i]));
-      }
-    }
   }
   return Status::OK();
 }
@@ -676,9 +431,9 @@ Status ParseRelationsSection(const SnapshotSection& section,
       size_t begin = chunk * kTuplesPerChunk;
       size_t end = std::min(begin + kTuplesPerChunk, n_tuples);
       chunk_status[chunk] =
-          BuildTupleRange(&tuples, begin, end, n_cols, dep_counts,
-                          dep_offsets, deps_flat, tags, payloads,
-                          local_strings);
+          snapshotv3::BuildTupleRange(&tuples, begin, end, n_cols, dep_counts,
+                                      dep_offsets, deps_flat, tags, payloads,
+                                      local_strings);
     });
     for (const Status& st : chunk_status) MAYBMS_RETURN_IF_ERROR(st);
   }
@@ -811,8 +566,15 @@ Status SaveWsdDb(const WsdDb& db, const std::string& path,
                  SnapshotFormat format) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::InvalidArgument("cannot open for write: " + path);
-  return format == SnapshotFormat::kBinary ? WriteWsdDbBinary(db, out)
-                                           : WriteWsdDb(db, out);
+  switch (format) {
+    case SnapshotFormat::kBinary:
+      return WriteWsdDbBinaryV3(db, out);
+    case SnapshotFormat::kBinaryV2:
+      return WriteWsdDbBinary(db, out);
+    case SnapshotFormat::kText:
+      break;
+  }
+  return WriteWsdDb(db, out);
 }
 
 Result<WsdDb> ReadWsdDb(std::istream& in) {
@@ -829,6 +591,7 @@ Result<WsdDb> ReadWsdDb(std::istream& in) {
   }
   if (version == kTextVersion) return ReadWsdDbText(in);
   if (version == kBinaryVersion) return ReadWsdDbBinaryBody(in);
+  if (version == kBinaryVersionV3) return snapshotv3::ReadWsdDbV3Body(in);
   return Status::Unsupported(
       StrFormat("unsupported WSD format version %lld", version));
 }

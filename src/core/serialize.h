@@ -12,6 +12,12 @@
 //     tag/payload/probability arrays with per-section lengths and
 //     checksums. Loading is sequential bulk reads plus a per-string
 //     re-intern; no per-cell parsing. See docs/SNAPSHOT_FORMAT.md.
+//   - Version 3: the binary format with a shard directory — components
+//     and horizontal relation shards become self-contained, individually
+//     checksummed blocks whose offsets (plus per-shard pruning stats) are
+//     recorded up front, so a memory-mapped reader (core/mapped_db) can
+//     materialize only the blocks a query touches. Codecs live in
+//     core/snapshot_v3.h.
 #ifndef MAYBMS_CORE_SERIALIZE_H_
 #define MAYBMS_CORE_SERIALIZE_H_
 
@@ -25,16 +31,23 @@ namespace maybms {
 
 /// On-disk snapshot encodings.
 enum class SnapshotFormat {
-  kText,    ///< "MAYBMS-WSD 1": tokenized text
-  kBinary,  ///< "MAYBMS-WSD 2": columnar binary sections
+  kText,      ///< "MAYBMS-WSD 1": tokenized text
+  kBinary,    ///< "MAYBMS-WSD 3": sharded columnar binary sections
+  kBinaryV2,  ///< "MAYBMS-WSD 2": monolithic columnar binary sections
 };
 
 /// Writes `db` to a stream in the text format (header "MAYBMS-WSD 1").
 Status WriteWsdDb(const WsdDb& db, std::ostream& out);
 
-/// Writes `db` to a stream in the binary columnar snapshot format
-/// (header "MAYBMS-WSD 2").
+/// Writes `db` to a stream in the legacy monolithic binary snapshot
+/// format (header "MAYBMS-WSD 2").
 Status WriteWsdDbBinary(const WsdDb& db, std::ostream& out);
+
+/// Writes `db` to a stream in the sharded binary snapshot format
+/// (header "MAYBMS-WSD 3"). Relations are split into horizontal shards
+/// of options().rows_per_shard rows; each component and shard is a
+/// self-contained checksummed block indexed by the SDIR section.
+Status WriteWsdDbBinaryV3(const WsdDb& db, std::ostream& out);
 
 /// Writes `db` to a file in the chosen format. The default stays text so
 /// existing call sites keep producing human-inspectable files; the SQL

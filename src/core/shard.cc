@@ -1,0 +1,301 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <utility>
+
+namespace maybms {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Largest magnitude at which every int64 is exactly representable as a
+// double; beyond it conversions round and ranges must be widened.
+constexpr int64_t kExactInt = int64_t{1} << 53;
+
+void ExtendDouble(ShardColumnRange* r, double d) {
+  if (std::isnan(d)) {
+    // NaN compares false with everything; a range cannot capture it.
+    r->valid = false;
+    return;
+  }
+  r->lo = std::min(r->lo, d);
+  r->hi = std::max(r->hi, d);
+}
+
+void ExtendInt(ShardColumnRange* r, int64_t v) {
+  double d = static_cast<double>(v);
+  if (v > kExactInt || v < -kExactInt) {
+    // The conversion may have rounded either way; widen one ulp outward
+    // so the range still covers the true value.
+    r->lo = std::min(r->lo, std::nextafter(d, -kInf));
+    r->hi = std::max(r->hi, std::nextafter(d, kInf));
+  } else {
+    ExtendDouble(r, d);
+  }
+}
+
+void ExtendValue(ShardColumnRange* r, const Value& v) {
+  if (!r->valid) return;
+  if (v.is_int()) {
+    ExtendInt(r, v.as_int());
+  } else if (v.is_double()) {
+    ExtendDouble(r, v.as_double());
+  } else {
+    r->valid = false;
+  }
+}
+
+void ExtendPacked(ShardColumnRange* r, const PackedValue& v) {
+  if (!r->valid) return;
+  switch (v.tag()) {
+    case PackedTag::kInt:
+      ExtendInt(r, v.as_int());
+      break;
+    case PackedTag::kDouble:
+      ExtendDouble(r, v.as_double());
+      break;
+    default:
+      r->valid = false;
+      break;
+  }
+}
+
+// Merges `from` into `into` (union of possible values).
+void MergeRange(ShardColumnRange* into, const ShardColumnRange& from) {
+  if (!from.valid) {
+    into->valid = false;
+    return;
+  }
+  if (!into->valid) return;
+  into->lo = std::min(into->lo, from.lo);
+  into->hi = std::max(into->hi, from.hi);
+}
+
+void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind() == ExprKind::kAnd) {
+    CollectConjuncts(*e.left(), out);
+    CollectConjuncts(*e.right(), out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+// Conservative outward-widened double image of a numeric literal used as
+// a bound endpoint: `as_lo` endpoints may only move down, `hi` only up.
+double BoundEndpoint(const Value& v, bool as_lo) {
+  if (v.is_double()) return v.as_double();
+  int64_t i = v.as_int();
+  double d = static_cast<double>(i);
+  if (i > kExactInt || i < -kExactInt) {
+    return std::nextafter(d, as_lo ? -kInf : kInf);
+  }
+  return d;
+}
+
+void ApplyBound(ColumnBound* b, CompareOp op, const Value& c) {
+  if (c.is_double() && std::isnan(c.as_double())) return;
+  switch (op) {
+    case CompareOp::kEq:
+      b->lo = std::max(b->lo, BoundEndpoint(c, /*as_lo=*/true));
+      b->hi = std::min(b->hi, BoundEndpoint(c, /*as_lo=*/false));
+      b->active = true;
+      break;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      b->hi = std::min(b->hi, BoundEndpoint(c, /*as_lo=*/false));
+      b->active = true;
+      break;
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      b->lo = std::max(b->lo, BoundEndpoint(c, /*as_lo=*/true));
+      b->active = true;
+      break;
+    case CompareOp::kNe:
+      break;  // excludes one point; useless for interval pruning
+  }
+}
+
+CompareOp FlipOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return CompareOp::kGt;
+    case CompareOp::kLe: return CompareOp::kGe;
+    case CompareOp::kGt: return CompareOp::kLt;
+    case CompareOp::kGe: return CompareOp::kLe;
+    default: return op;  // kEq/kNe are symmetric
+  }
+}
+
+}  // namespace
+
+ShardPartition ComputeShardPartition(const WsdDb& db, const WsdRelation& rel,
+                                     size_t rows_per_shard) {
+  ShardPartition part;
+  const size_t n = rel.NumTuples();
+  const size_t per = rows_per_shard == 0 ? std::max<size_t>(n, 1)
+                                         : rows_per_shard;
+  part.rows_per_shard = per;
+  if (n == 0) return part;
+
+  // Owner -> components holding a slot of that owner (dep gating).
+  std::map<OwnerId, std::vector<ComponentId>> owner_components;
+  for (ComponentId id : db.LiveComponents()) {
+    const Component& c = db.component(id);
+    for (size_t s = 0; s < c.NumSlots(); ++s) {
+      std::vector<ComponentId>& v = owner_components[c.slot(s).owner];
+      if (v.empty() || v.back() != id) v.push_back(id);
+    }
+  }
+
+  // Possible-value range of a component slot, memoized: many tuples in a
+  // shard (and many shards) typically reference the same or-set column.
+  std::map<std::pair<ComponentId, uint32_t>, ShardColumnRange> slot_ranges;
+  auto slot_range = [&](const FieldRef& ref) -> const ShardColumnRange& {
+    auto it = slot_ranges.find({ref.cid, ref.slot});
+    if (it != slot_ranges.end()) return it->second;
+    ShardColumnRange r;
+    r.valid = true;
+    const Component& c = db.component(ref.cid);
+    for (size_t row = 0; row < c.NumRows(); ++row) {
+      const PackedValue& pv = c.packed(row, ref.slot);
+      if (pv.is_bottom()) continue;  // absent, not a possible value
+      ExtendPacked(&r, pv);
+      if (!r.valid) break;
+    }
+    return slot_ranges.emplace(std::make_pair(ref.cid, ref.slot), r)
+        .first->second;
+  };
+
+  const size_t n_cols = rel.schema().size();
+  const size_t n_shards = (n + per - 1) / per;
+  part.shards.reserve(n_shards);
+  for (size_t s = 0; s < n_shards; ++s) {
+    ShardInfo shard;
+    shard.row_begin = s * per;
+    shard.row_end = std::min(n, shard.row_begin + per);
+    shard.ranges.assign(n_cols, ShardColumnRange{});
+    for (ShardColumnRange& r : shard.ranges) r.valid = true;
+
+    for (size_t i = shard.row_begin; i < shard.row_end; ++i) {
+      const WsdTuple& t = rel.tuple(i);
+      for (size_t c = 0; c < t.cells.size() && c < n_cols; ++c) {
+        ShardColumnRange& r = shard.ranges[c];
+        if (!r.valid) continue;
+        const Cell& cell = t.cells[c];
+        if (cell.is_certain()) {
+          ExtendValue(&r, cell.value());
+        } else {
+          if (db.IsLive(cell.ref().cid)) {
+            MergeRange(&r, slot_range(cell.ref()));
+          } else {
+            r.valid = false;  // dangling ref: never prune on it
+          }
+          shard.ref_components.push_back(cell.ref().cid);
+        }
+      }
+      for (OwnerId dep : t.deps) {
+        auto it = owner_components.find(dep);
+        if (it == owner_components.end()) continue;
+        shard.ref_components.insert(shard.ref_components.end(),
+                                    it->second.begin(), it->second.end());
+      }
+    }
+    std::sort(shard.ref_components.begin(), shard.ref_components.end());
+    shard.ref_components.erase(
+        std::unique(shard.ref_components.begin(), shard.ref_components.end()),
+        shard.ref_components.end());
+    part.shards.push_back(std::move(shard));
+  }
+  return part;
+}
+
+const ShardPartition& GetShardPartition(const WsdDb& db,
+                                        const WsdRelation& rel) {
+  const size_t want = db.options().rows_per_shard;
+  // Compute stores a normalized rows_per_shard (0 → whole relation);
+  // compare against the same normalization so the cache hits.
+  const size_t norm = want == 0 ? std::max<size_t>(rel.NumTuples(), 1) : want;
+  const std::shared_ptr<const ShardPartition>& cached = rel.cached_shards();
+  if (cached != nullptr && cached->rows_per_shard == norm) return *cached;
+  auto fresh = std::make_shared<const ShardPartition>(
+      ComputeShardPartition(db, rel, want));
+  rel.set_cached_shards(fresh);
+  return *rel.cached_shards();
+}
+
+std::vector<ColumnBound> ExtractColumnBounds(const Expr& pred,
+                                             size_t num_cols) {
+  std::vector<ColumnBound> bounds(num_cols);
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(pred, &conjuncts);
+  for (const Expr* e : conjuncts) {
+    if (e->kind() == ExprKind::kCompare) {
+      const Expr* col = e->left().get();
+      const Expr* lit = e->right().get();
+      CompareOp op = e->compare_op();
+      if (col->kind() == ExprKind::kConst &&
+          lit->kind() == ExprKind::kColumn) {
+        std::swap(col, lit);
+        op = FlipOp(op);
+      }
+      if (col->kind() != ExprKind::kColumn || !col->is_bound()) continue;
+      if (lit->kind() != ExprKind::kConst ||
+          !lit->const_value().is_numeric()) {
+        continue;
+      }
+      if (col->column_index() >= num_cols) continue;
+      ApplyBound(&bounds[col->column_index()], op, lit->const_value());
+    } else if (e->kind() == ExprKind::kIn) {
+      const Expr* col = e->left().get();
+      if (col->kind() != ExprKind::kColumn || !col->is_bound()) continue;
+      if (col->column_index() >= num_cols) continue;
+      if (e->in_set().empty()) continue;
+      bool all_numeric = true;
+      ColumnBound set_bound;
+      set_bound.lo = kInf;
+      set_bound.hi = -kInf;
+      for (const Value& v : e->in_set()) {
+        if (!v.is_numeric() ||
+            (v.is_double() && std::isnan(v.as_double()))) {
+          all_numeric = false;
+          break;
+        }
+        set_bound.lo = std::min(set_bound.lo, BoundEndpoint(v, true));
+        set_bound.hi = std::max(set_bound.hi, BoundEndpoint(v, false));
+      }
+      if (!all_numeric) continue;
+      ColumnBound& b = bounds[col->column_index()];
+      b.lo = std::max(b.lo, set_bound.lo);
+      b.hi = std::min(b.hi, set_bound.hi);
+      b.active = true;
+    }
+  }
+  return bounds;
+}
+
+bool ShardMayMatch(const ShardInfo& shard,
+                   const std::vector<ColumnBound>& bounds) {
+  const size_t n = std::min(shard.ranges.size(), bounds.size());
+  for (size_t c = 0; c < n; ++c) {
+    const ColumnBound& b = bounds[c];
+    if (!b.active) continue;
+    const ShardColumnRange& r = shard.ranges[c];
+    if (!r.valid) continue;
+    if (r.lo > b.hi || r.hi < b.lo) return false;
+  }
+  return true;
+}
+
+std::vector<char> PruneShards(const ShardPartition& partition,
+                              const std::vector<ColumnBound>& bounds) {
+  std::vector<char> keep(partition.shards.size(), 1);
+  for (size_t i = 0; i < partition.shards.size(); ++i) {
+    keep[i] = ShardMayMatch(partition.shards[i], bounds) ? 1 : 0;
+  }
+  return keep;
+}
+
+}  // namespace maybms

@@ -1,0 +1,99 @@
+// Horizontal shards of a template relation: contiguous row ranges with
+// per-column ranges over the *possible* values of every tuple in the
+// range (certain cells plus all non-⊥ alternatives of referenced
+// component slots) and the set of components the range references.
+//
+// The ranges power shard pruning: when a conjunctive predicate bounds a
+// column to an interval disjoint from a shard's possible-value range,
+// no tuple of that shard can satisfy the predicate in *any* world, so
+// the whole shard can be skipped — by the optimizer for cardinality
+// estimates and EXPLAIN, and by the mapped snapshot loader to avoid
+// materializing the shard at all (the per-shard stats are persisted in
+// the v3 snapshot's SDIR section; see docs/SNAPSHOT_FORMAT.md).
+#ifndef MAYBMS_CORE_SHARD_H_
+#define MAYBMS_CORE_SHARD_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/types.h"
+#include "core/wsd.h"
+#include "ra/expr.h"
+
+namespace maybms {
+
+/// Range over the possible numeric values of one column within a shard.
+///
+/// `valid` is false when the column's possible values include anything
+/// non-numeric (string, bool, NULL) — such a column can never prune.
+/// A valid range with lo > hi means "no possible value at all" (every
+/// tuple in the shard is dead on this column in every world); it is
+/// disjoint from every bound.
+struct ShardColumnRange {
+  bool valid = false;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+};
+
+/// One horizontal shard: template rows [row_begin, row_end).
+struct ShardInfo {
+  size_t row_begin = 0;
+  size_t row_end = 0;
+  /// Per schema column, aligned with the relation's schema.
+  std::vector<ShardColumnRange> ranges;
+  /// Sorted, deduplicated ids of every component referenced by a cell or
+  /// gating a dep of any tuple in the range (the components a mapped
+  /// loader must materialize alongside the shard).
+  std::vector<ComponentId> ref_components;
+};
+
+/// A relation partitioned into fixed-size horizontal shards.
+struct ShardPartition {
+  size_t rows_per_shard = 0;
+  std::vector<ShardInfo> shards;
+};
+
+/// Conjunctive per-column interval extracted from a predicate. Bounds
+/// are closed and conservative: `col < 10` records hi = 10, which keeps
+/// slightly more shards than strictly needed but never prunes wrongly.
+struct ColumnBound {
+  bool active = false;  ///< at least one conjunct constrains this column
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+};
+
+/// Partitions `rel` into shards of `rows_per_shard` rows (the last shard
+/// may be short) and computes per-shard column ranges and referenced
+/// components. rows_per_shard == 0 is treated as one shard for all rows.
+ShardPartition ComputeShardPartition(const WsdDb& db, const WsdRelation& rel,
+                                     size_t rows_per_shard);
+
+/// Cached variant: computes on first call with the database's configured
+/// options().rows_per_shard and memoizes the partition on the relation.
+/// Single-threaded callers only (the plan optimizer) — same carve-out as
+/// Component::GetStats().
+const ShardPartition& GetShardPartition(const WsdDb& db,
+                                        const WsdRelation& rel);
+
+/// Extracts conservative per-column numeric bounds from the top-level
+/// AND-conjuncts of a bound predicate (Compare against numeric literals
+/// and IN over numeric literal lists). Columns not constrained stay
+/// inactive. Never wrong, often inactive: anything it cannot prove is
+/// simply not recorded.
+std::vector<ColumnBound> ExtractColumnBounds(const Expr& pred,
+                                             size_t num_cols);
+
+/// True when the shard may contain a satisfying tuple in some world
+/// (i.e. must be kept); false when every column bound is provably
+/// disjoint from the shard's possible values.
+bool ShardMayMatch(const ShardInfo& shard,
+                   const std::vector<ColumnBound>& bounds);
+
+/// Keep-mask over `partition.shards` under `bounds`.
+std::vector<char> PruneShards(const ShardPartition& partition,
+                              const std::vector<ColumnBound>& bounds);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_SHARD_H_

@@ -16,6 +16,7 @@
 #define MAYBMS_CORE_WSD_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <variant>
@@ -29,6 +30,8 @@
 #include "storage/schema.h"
 
 namespace maybms {
+
+struct ShardPartition;  // core/shard.h
 
 /// A template cell: inline certain value or reference to a component slot.
 class Cell {
@@ -85,18 +88,41 @@ class WsdRelation {
 
   size_t NumTuples() const { return tuples_.size(); }
   const WsdTuple& tuple(size_t i) const { return tuples_[i]; }
-  WsdTuple& mutable_tuple(size_t i) { return tuples_[i]; }
+  WsdTuple& mutable_tuple(size_t i) {
+    shards_.reset();
+    return tuples_[i];
+  }
   const std::vector<WsdTuple>& tuples() const { return tuples_; }
-  std::vector<WsdTuple>& mutable_tuples() { return tuples_; }
+  std::vector<WsdTuple>& mutable_tuples() {
+    shards_.reset();
+    return tuples_;
+  }
 
-  void Add(WsdTuple t) { tuples_.push_back(std::move(t)); }
+  void Add(WsdTuple t) {
+    shards_.reset();
+    tuples_.push_back(std::move(t));
+  }
   void Reserve(size_t n) { tuples_.reserve(n); }
+
+  /// Cached shard partition (see core/shard.h). Invalidated by the tuple
+  /// mutators above; component mutations do NOT invalidate it, which is
+  /// benign for the resident engine (the cache only feeds optimizer
+  /// estimates and EXPLAIN, never execution). Same single-threaded
+  /// carve-out as Component::GetStats(): only the plan optimizer
+  /// populates it.
+  const std::shared_ptr<const ShardPartition>& cached_shards() const {
+    return shards_;
+  }
+  void set_cached_shards(std::shared_ptr<const ShardPartition> p) const {
+    shards_ = std::move(p);
+  }
 
  private:
   std::string name_;
   std::string display_name_;
   Schema schema_;
   std::vector<WsdTuple> tuples_;
+  mutable std::shared_ptr<const ShardPartition> shards_;
 };
 
 /// Tuning knobs for lifted evaluation.
@@ -104,6 +130,11 @@ struct WsdOptions {
   /// Hard cap on the row count of any merged component. Lifted operators
   /// return ResourceExhausted instead of exceeding it.
   size_t max_component_rows = 1u << 20;
+
+  /// Target template rows per horizontal shard (core/shard.h); 0 keeps
+  /// each relation in a single shard. Persisted by v3 snapshots so a
+  /// mapped reader sees the same partition the writer used.
+  size_t rows_per_shard = 4096;
 };
 
 /// A world-set database: template relations + component store.

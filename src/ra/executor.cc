@@ -1,11 +1,13 @@
 #include "ra/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace maybms {
@@ -657,22 +659,70 @@ Result<Relation> ExecSelect(const Plan& plan, const Catalog& catalog,
     return out;
   }
   const auto& cols = prog->columns();
-  std::vector<std::vector<PackedValue>> packed(
-      cols.size(), std::vector<PackedValue>(kRowBatch));
-  std::vector<ExprInput> inputs(cols.size());
-  for (size_t s = 0; s < cols.size(); ++s) {
-    inputs[s] = {packed[s].data(), false};
+  const size_t n_rows = in.NumRows();
+  const size_t threads =
+      opts.num_threads ? opts.num_threads : DefaultNumThreads();
+  if (n_rows < opts.parallel_row_threshold || threads <= 1) {
+    // Small input: one reusable set of buffers, serial batches.
+    std::vector<std::vector<PackedValue>> packed(
+        cols.size(), std::vector<PackedValue>(kRowBatch));
+    std::vector<ExprInput> inputs(cols.size());
+    for (size_t s = 0; s < cols.size(); ++s) {
+      inputs[s] = {packed[s].data(), false};
+    }
+    std::vector<PackedValue> results(kRowBatch);
+    std::vector<size_t> fallback;
+    ExprBatchEvaluator eval(&*prog);
+    for (size_t base = 0; base < n_rows; base += kRowBatch) {
+      const size_t n = std::min(kRowBatch, n_rows - base);
+      for (size_t s = 0; s < cols.size(); ++s) {
+        PackColumn(in, cols[s], base, n, packed[s].data());
+      }
+      fallback.clear();
+      eval.Eval(inputs.data(), 0, n, results.data(), &fallback);
+      size_t fi = 0;
+      for (size_t i = 0; i < n; ++i) {
+        bool need_interp = fi < fallback.size() && fallback[fi] == i;
+        if (need_interp) ++fi;
+        bool pass = false;
+        if (!need_interp) pass = PackedPredicate(results[i], &need_interp);
+        if (need_interp) {
+          MAYBMS_ASSIGN_OR_RETURN(pass,
+                                  EvalPredicate(*pred, in.row(base + i)));
+        }
+        if (pass) out.AppendUnchecked(in.row(base + i));
+      }
+    }
+    return out;
   }
-  std::vector<PackedValue> results(kRowBatch);
-  std::vector<size_t> fallback;
-  ExprBatchEvaluator eval(&*prog);
-  for (size_t base = 0; base < in.NumRows(); base += kRowBatch) {
-    const size_t n = std::min(kRowBatch, in.NumRows() - base);
+
+  // Morsel-driven scan: fixed-size morsels pulled from the pool's shared
+  // cursor. Each morsel packs, evaluates and filters its own row range
+  // (PackColumn interning goes through the ValuePool mutex, which is the
+  // only shared mutable state). Survivor lists are concatenated in
+  // morsel order, so output order and the first surfaced error match the
+  // serial path exactly; once one morsel fails, later morsels are
+  // skipped (their survivors would be discarded anyway).
+  const size_t n_morsels = (n_rows + kRowBatch - 1) / kRowBatch;
+  std::vector<std::vector<size_t>> pass_rows(n_morsels);
+  std::vector<Status> morsel_status(n_morsels, Status::OK());
+  std::atomic<bool> failed{false};
+  ParallelFor(threads, n_morsels, [&](size_t m) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const size_t base = m * kRowBatch;
+    const size_t n = std::min(kRowBatch, n_rows - base);
+    std::vector<std::vector<PackedValue>> packed(
+        cols.size(), std::vector<PackedValue>(n));
+    std::vector<ExprInput> inputs(cols.size());
     for (size_t s = 0; s < cols.size(); ++s) {
       PackColumn(in, cols[s], base, n, packed[s].data());
+      inputs[s] = {packed[s].data(), false};
     }
-    fallback.clear();
+    std::vector<PackedValue> results(n);
+    std::vector<size_t> fallback;
+    ExprBatchEvaluator eval(&*prog);
     eval.Eval(inputs.data(), 0, n, results.data(), &fallback);
+    std::vector<size_t>& survivors = pass_rows[m];
     size_t fi = 0;
     for (size_t i = 0; i < n; ++i) {
       bool need_interp = fi < fallback.size() && fallback[fi] == i;
@@ -680,10 +730,25 @@ Result<Relation> ExecSelect(const Plan& plan, const Catalog& catalog,
       bool pass = false;
       if (!need_interp) pass = PackedPredicate(results[i], &need_interp);
       if (need_interp) {
-        MAYBMS_ASSIGN_OR_RETURN(pass, EvalPredicate(*pred, in.row(base + i)));
+        Result<bool> r = EvalPredicate(*pred, in.row(base + i));
+        if (!r.ok()) {
+          morsel_status[m] = r.status();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        pass = *r;
       }
-      if (pass) out.AppendUnchecked(in.row(base + i));
+      if (pass) survivors.push_back(base + i);
     }
+  });
+  size_t total = 0;
+  for (size_t m = 0; m < n_morsels; ++m) {
+    MAYBMS_RETURN_IF_ERROR(morsel_status[m]);
+    total += pass_rows[m].size();
+  }
+  out.Reserve(total);
+  for (const std::vector<size_t>& survivors : pass_rows) {
+    for (size_t i : survivors) out.AppendUnchecked(in.row(i));
   }
   return out;
 }

@@ -398,21 +398,21 @@ void EvalBatchAuto(const CompiledExpr& prog, const ExprInput* inputs,
     eval.Eval(inputs, 0, n, out, needs_fallback);
     return;
   }
-  // One contiguous range per shard keeps fallback rows ordered after a
-  // simple in-order concatenation.
-  const size_t shards = std::min(
-      threads, (n + ExprBatchEvaluator::kChunk - 1) /
-                   ExprBatchEvaluator::kChunk);
-  const size_t per = (n + shards - 1) / shards;
-  std::vector<std::vector<size_t>> shard_fallback(shards);
-  ParallelFor(threads, shards, [&](size_t s) {
-    const size_t begin = s * per, end = std::min(n, begin + per);
-    if (begin >= end) return;
+  // Morsel-driven: fixed-size morsels claimed from the pool's shared
+  // atomic cursor (ParallelFor hands out indices dynamically), so a
+  // skewed or stalled morsel never idles the other workers the way
+  // equal static ranges would. Morsels are contiguous and claimed in
+  // ascending order, so concatenating per-morsel fallback lists in
+  // morsel order keeps the result ascending.
+  const size_t n_morsels = (n + kMorselRows - 1) / kMorselRows;
+  std::vector<std::vector<size_t>> morsel_fallback(n_morsels);
+  ParallelFor(threads, n_morsels, [&](size_t m) {
+    const size_t begin = m * kMorselRows, end = std::min(n, begin + kMorselRows);
     ExprBatchEvaluator eval(&prog);
-    eval.Eval(inputs, begin, end, out + begin, &shard_fallback[s]);
+    eval.Eval(inputs, begin, end, out + begin, &morsel_fallback[m]);
   });
   if (needs_fallback) {
-    for (auto& f : shard_fallback) {
+    for (auto& f : morsel_fallback) {
       needs_fallback->insert(needs_fallback->end(), f.begin(), f.end());
     }
   }

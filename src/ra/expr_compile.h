@@ -136,11 +136,17 @@ class ExprBatchEvaluator {
   std::vector<uint8_t> err_;       // per-lane error flags
 };
 
-/// Evaluates `prog` over rows [0, n) into out[0..n), sharding the batch
-/// over the shared ThreadPool when it reaches opts.parallel_row_threshold
-/// (inputs must then be pre-packed — no interning happens during
-/// evaluation, so shards are data-parallel). Flagged rows are appended to
-/// `needs_fallback` in ascending order.
+/// Rows per morsel of the parallel batch paths: fixed-size work units
+/// pulled from the pool's shared cursor instead of equal static ranges,
+/// so stragglers re-balance onto idle workers.
+constexpr size_t kMorselRows = 8 * ExprBatchEvaluator::kChunk;
+
+/// Evaluates `prog` over rows [0, n) into out[0..n), splitting the batch
+/// into kMorselRows-sized morsels over the shared ThreadPool when it
+/// reaches opts.parallel_row_threshold (inputs must then be pre-packed —
+/// no interning happens during evaluation, so morsels are
+/// data-parallel). Flagged rows are appended to `needs_fallback` in
+/// ascending order.
 void EvalBatchAuto(const CompiledExpr& prog, const ExprInput* inputs,
                    size_t n, PackedValue* out,
                    std::vector<size_t>* needs_fallback,

@@ -125,10 +125,13 @@ struct SaveDbStmt {
   bool binary = true;
 };
 
-/// LOAD DATABASE '<path>': replaces the session's database with the
-/// snapshot at `path` (format negotiated from the file header).
+/// LOAD DATABASE '<path>' [MAPPED]: replaces the session's database with
+/// the snapshot at `path` (format negotiated from the file header).
+/// MAPPED memory-maps a v3 snapshot instead of decoding it: queries
+/// materialize only the relation shards and components they touch.
 struct LoadDbStmt {
   std::string path;
+  bool mapped = false;
 };
 
 /// A parsed statement (exactly one member is set).

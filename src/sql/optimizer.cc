@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "core/shard.h"
 #include "storage/packed_value.h"
 
 namespace maybms {
@@ -349,6 +350,25 @@ class Optimizer {
         auto bound = plan->predicate()->BindAgainst(s);
         if (bound.ok()) sel = Selectivity(**bound, in);
         e.rows = in.rows * sel;
+        // Directly above a Scan, the per-shard column ranges give a hard
+        // upper bound: shards whose possible values are disjoint from
+        // the predicate's bounds contribute no rows in any world.
+        if (bound.ok() && plan->input()->kind() == PlanKind::kScan) {
+          auto rel = db_.GetRelation(plan->input()->relation());
+          if (rel.ok()) {
+            const ShardPartition& part = GetShardPartition(db_, **rel);
+            std::vector<char> mask =
+                PruneShards(part, ExtractColumnBounds(**bound, s.size()));
+            double surviving = 0;
+            for (size_t i = 0; i < part.shards.size(); ++i) {
+              if (mask[i]) {
+                surviving += static_cast<double>(part.shards[i].row_end -
+                                                 part.shards[i].row_begin);
+              }
+            }
+            e.rows = std::min(e.rows, surviving);
+          }
+        }
         e.distinct = std::move(in.distinct);
         break;
       }
@@ -446,11 +466,55 @@ class Optimizer {
   }
 
   Result<std::string> Annotate(const PlanPtr& plan, int indent) {
+    return AnnotateWithBounds(plan, indent, nullptr);
+  }
+
+  /// `bounds`, when set, is the conjunctive column interval accumulated
+  /// from the Select chain above this node (schema-aligned with it).
+  /// Scan lines report how many shards survive it as [shards k/N].
+  Result<std::string> AnnotateWithBounds(
+      const PlanPtr& plan, int indent,
+      const std::vector<ColumnBound>* bounds) {
     MAYBMS_ASSIGN_OR_RETURN(PlanEst est, Estimate(plan));
     std::string out(static_cast<size_t>(indent) * 2, ' ');
     out += plan->NodeString() + StrFormat("  [~%.3g rows]", est.rows);
+    if (plan->kind() == PlanKind::kScan) {
+      auto rel = db_.GetRelation(plan->relation());
+      if (rel.ok()) {
+        const ShardPartition& part = GetShardPartition(db_, **rel);
+        size_t kept = part.shards.size();
+        if (bounds != nullptr) {
+          std::vector<char> mask = PruneShards(part, *bounds);
+          kept = static_cast<size_t>(
+              std::count(mask.begin(), mask.end(), char{1}));
+        }
+        out += StrFormat("  [shards %zu/%zu]", kept, part.shards.size());
+      }
+    }
+    // Accumulate bounds down Select chains; anything else resets them.
+    std::vector<ColumnBound> child_bounds;
+    const std::vector<ColumnBound>* pass = nullptr;
+    if (plan->kind() == PlanKind::kSelect) {
+      MAYBMS_ASSIGN_OR_RETURN(Schema s, SchemaOf(plan->input()));
+      child_bounds.assign(s.size(), ColumnBound{});
+      if (bounds != nullptr && bounds->size() == s.size()) {
+        child_bounds = *bounds;
+      }
+      auto bound = plan->predicate()->BindAgainst(s);
+      if (bound.ok()) {
+        std::vector<ColumnBound> own = ExtractColumnBounds(**bound, s.size());
+        for (size_t c = 0; c < s.size(); ++c) {
+          if (!own[c].active) continue;
+          child_bounds[c].active = true;
+          child_bounds[c].lo = std::max(child_bounds[c].lo, own[c].lo);
+          child_bounds[c].hi = std::min(child_bounds[c].hi, own[c].hi);
+        }
+      }
+      pass = &child_bounds;
+    }
     for (const auto& c : plan->children()) {
-      MAYBMS_ASSIGN_OR_RETURN(std::string sub, Annotate(c, indent + 1));
+      MAYBMS_ASSIGN_OR_RETURN(std::string sub,
+                              AnnotateWithBounds(c, indent + 1, pass));
       out += "\n" + sub;
     }
     return out;

@@ -141,6 +141,7 @@ class Parser {
     s.kind = Statement::Kind::kLoadDb;
     LoadDbStmt stmt;
     MAYBMS_ASSIGN_OR_RETURN(stmt.path, ExpectPathLiteral());
+    stmt.mapped = AcceptKeyword("mapped");
     s.load_db = std::move(stmt);
     return s;
   }

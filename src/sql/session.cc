@@ -51,7 +51,31 @@ Result<std::vector<StatementResult>> Session::ExecuteScript(
   return out;
 }
 
+Status Session::EnsureResident() {
+  if (!mapped_) return Status::OK();
+  MAYBMS_ASSIGN_OR_RETURN(WsdDb full, mapped_->MaterializeAll());
+  db_ = std::move(full);
+  mapped_.reset();
+  return Status::OK();
+}
+
 Result<StatementResult> Session::ExecuteParsed(const Statement& stmt) {
+  // SELECT and EXPLAIN run against the mapped snapshot directly (that is
+  // the point of MAPPED); everything else mutates or fully reads the
+  // catalog, so it first forces the snapshot resident.
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+    case Statement::Kind::kExplain:
+    case Statement::Kind::kLoadDb:
+      break;
+    case Statement::Kind::kShow:
+      if (stmt.show->what == ShowStmt::What::kTables) break;
+      MAYBMS_RETURN_IF_ERROR(EnsureResident());
+      break;
+    default:
+      MAYBMS_RETURN_IF_ERROR(EnsureResident());
+      break;
+  }
   StatementResult result;
   switch (stmt.kind) {
     case Statement::Kind::kCreateTable: {
@@ -122,10 +146,30 @@ Result<StatementResult> Session::ExecuteParsed(const Statement& stmt) {
       return result;
     }
     case Statement::Kind::kLoadDb: {
+      if (stmt.load_db->mapped) {
+        MAYBMS_ASSIGN_OR_RETURN(MappedWsdDb mapped,
+                                MappedWsdDb::Open(stmt.load_db->path));
+        size_t shards = 0;
+        for (const auto& part : mapped.partitions()) {
+          shards += part.shards.size();
+        }
+        // The resident catalog becomes the schema-only skeleton so that
+        // SHOW TABLES / planning keep working without touching data.
+        db_ = mapped.skeleton();
+        result.message = StrFormat(
+            "mapped database from '%s': %zu relation(s), %zu shard(s), "
+            "%zu component(s), %s on disk",
+            stmt.load_db->path.c_str(), db_.relations().size(), shards,
+            mapped.num_components(),
+            FormatBytes(mapped.snapshot_bytes()).c_str());
+        mapped_.emplace(std::move(mapped));
+        return result;
+      }
       MAYBMS_ASSIGN_OR_RETURN(WsdDb loaded, LoadWsdDb(stmt.load_db->path));
       // Swap the session catalog only after a fully validated load, so a
       // failed LOAD DATABASE leaves the current database untouched.
       db_ = std::move(loaded);
+      mapped_.reset();
       result.message = StrFormat(
           "loaded database from '%s': %zu relation(s), %zu component(s), "
           "2^%.4g choice combinations",
@@ -176,7 +220,16 @@ Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
                           Optimize(q.plan, db_, optimizer_options_));
   LiftedExecOptions lifted_opts;
   lifted_opts.eval = exec_options_;
-  MAYBMS_ASSIGN_OR_RETURN(WsdDb answer, ExecuteLifted(plan, db_, lifted_opts));
+  WsdDb answer;
+  if (mapped_) {
+    // Materialize only the shards/components the optimized plan can
+    // touch, then run the lifted pipeline over that scratch database.
+    MAYBMS_ASSIGN_OR_RETURN(WsdDb scratch, mapped_->MaterializeForPlan(*plan));
+    MAYBMS_ASSIGN_OR_RETURN(answer,
+                            ExecuteLifted(plan, scratch, lifted_opts));
+  } else {
+    MAYBMS_ASSIGN_OR_RETURN(answer, ExecuteLifted(plan, db_, lifted_opts));
+  }
   StatementResult result;
   if (q.wants_ecount) {
     MAYBMS_ASSIGN_OR_RETURN(double ec,

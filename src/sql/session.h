@@ -4,11 +4,13 @@
 #ifndef MAYBMS_SQL_SESSION_H_
 #define MAYBMS_SQL_SESSION_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "core/confidence.h"
+#include "core/mapped_db.h"
 #include "core/wsd.h"
 #include "ra/expr_compile.h"
 #include "sql/ast.h"
@@ -62,6 +64,15 @@ class Session {
   }
   OptimizerOptions& mutable_optimizer_options() { return optimizer_options_; }
 
+  /// True while the session serves queries from a mapped snapshot
+  /// (LOAD DATABASE ... MAPPED) instead of the resident database.
+  bool is_mapped() const { return mapped_.has_value(); }
+  /// The mapped snapshot, for resident-byte accounting and
+  /// materialization stats; nullptr when not mapped.
+  const MappedWsdDb* mapped_db() const {
+    return mapped_ ? &*mapped_ : nullptr;
+  }
+
   /// Parses and executes one statement.
   Result<StatementResult> Execute(const std::string& statement);
 
@@ -76,8 +87,15 @@ class Session {
   Result<StatementResult> RunInsert(const InsertStmt& stmt);
   Result<StatementResult> RunEnforce(const EnforceStmt& stmt);
   Result<StatementResult> RunShow(const ShowStmt& stmt);
+  /// Statements that mutate or read the whole catalog force the mapped
+  /// snapshot fully resident (into db_) and drop the mapping.
+  Status EnsureResident();
 
   WsdDb db_;
+  /// Engaged after LOAD DATABASE ... MAPPED; db_ then holds the
+  /// snapshot's schema-only skeleton for catalog statements while
+  /// SELECTs materialize per-query scratch databases from the map.
+  std::optional<MappedWsdDb> mapped_;
   ConfidenceOptions conf_options_;
   ExecOptions exec_options_;
   OptimizerOptions optimizer_options_;

@@ -1,0 +1,84 @@
+#include "storage/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+
+namespace maybms {
+
+MmapFile::~MmapFile() { Reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) {
+    munmap(data_, size_);
+    data_ = nullptr;
+  }
+  size_ = 0;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    int err = errno;
+    std::string msg =
+        StrFormat("mmap open '%s': %s", path.c_str(), std::strerror(err));
+    if (err == ENOENT) return Status::NotFound(std::move(msg));
+    return Status::InvalidArgument(std::move(msg));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("mmap stat '%s': %s", path.c_str(), std::strerror(err)));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("mmap '%s': not a regular file", path.c_str()));
+  }
+  MmapFile f;
+  f.path_ = path;
+  f.size_ = static_cast<size_t>(st.st_size);
+  if (f.size_ > 0) {
+    void* p = mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      return Status::InvalidArgument(
+          StrFormat("mmap map '%s': %s", path.c_str(), std::strerror(err)));
+    }
+    f.data_ = p;
+  }
+  // The mapping holds its own reference to the file; the descriptor is
+  // no longer needed.
+  ::close(fd);
+  return f;
+}
+
+}  // namespace maybms

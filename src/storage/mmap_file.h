@@ -1,0 +1,54 @@
+// Read-only memory-mapped file: the byte-level substrate of mapped
+// snapshot loading. Opens a file, maps it PROT_READ/MAP_PRIVATE, and
+// exposes the bytes as a string_view whose lifetime is tied to the
+// object. Move-only RAII; all failures surface as Status (no
+// exceptions, no crashes on missing/empty files).
+#ifndef MAYBMS_STORAGE_MMAP_FILE_H_
+#define MAYBMS_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace maybms {
+
+/// A read-only mmap of an entire file.
+///
+/// The mapping stays valid for the lifetime of the object (moves
+/// included); views handed out by `bytes()` dangle once the object is
+/// destroyed. Empty files map to an empty view without calling mmap.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  /// Maps `path` read-only. Fails with NotFound when the file does not
+  /// exist and InvalidArgument for other OS-level errors.
+  static Result<MmapFile> Open(const std::string& path);
+
+  /// The mapped bytes; empty when nothing is mapped.
+  std::string_view bytes() const {
+    return std::string_view(static_cast<const char*>(data_), size_);
+  }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void Reset();
+
+  void* data_ = nullptr;  // nullptr for empty or unopened files
+  size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_STORAGE_MMAP_FILE_H_

@@ -354,10 +354,38 @@ TEST(OptimizerGolden, ExplainCarriesCardinalities) {
   ASSERT_TRUE(text.ok()) << text.status().ToString();
   EXPECT_EQ(*text,
             "Select (g = 1)  [~2 rows]\n"
-            "  Scan big  [~6 rows]");
+            "  Scan big  [~6 rows]  [shards 1/1]");
   auto rows = EstimateRows(plan, db);
   ASSERT_TRUE(rows.ok());
   EXPECT_NEAR(*rows, 2.0, 1e-9);  // 6 rows / 3 distinct g values
+}
+
+TEST(OptimizerGolden, ExplainReportsShardPruning) {
+  WsdDb db;
+  db.mutable_options().rows_per_shard = 2;
+  MAYBMS_EXPECT_OK(db.CreateRelation(
+      "t", Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}})));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(InsertTuple(&db, "t",
+                            {CellSpec::Certain(Value::Int(i)),
+                             CellSpec::Certain(Value::Int(-i))})
+                    .ok());
+  }
+  // a is 0..7 in insertion order: shard ranges are [0,1],[2,3],[4,5],[6,7].
+  auto plan = Plan::Select(Plan::Scan("t"),
+                           Cmp(CompareOp::kGe, Col("a"), IntLit(6)));
+  auto text = ExplainPlan(plan, db);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("[shards 1/4]"), std::string::npos) << *text;
+  // The estimate is capped by the surviving shards' row count.
+  auto rows = EstimateRows(plan, db);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_LE(*rows, 2.0 + 1e-9);
+
+  // A bare scan keeps everything.
+  auto scan_text = ExplainPlan(Plan::Scan("t"), db);
+  ASSERT_TRUE(scan_text.ok());
+  EXPECT_NE(scan_text->find("[shards 4/4]"), std::string::npos) << *scan_text;
 }
 
 // Property: optimization preserves the answer distribution exactly.

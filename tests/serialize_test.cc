@@ -434,6 +434,101 @@ TEST(SerializeCompatTest, V1FixtureLoadsAndRewritesBitIdentically) {
       << "v1 writer output drifted from the checked-in fixture";
 }
 
+// --- v2 compatibility pin ---------------------------------------------------
+//
+// tests/data/medical_v2.wsd is the same database written by the v2
+// binary writer when v3 (sharded, mmap-able) became the default. Like
+// v1, old v2 snapshots must stay readable, and WriteWsdDbBinary must
+// keep producing byte-identical v2 output.
+
+TEST(SerializeCompatTest, V2FixtureLoadsAndRewritesBitIdentically) {
+  std::string path = std::string(MAYBMS_TEST_DATA_DIR) + "/medical_v2.wsd";
+  std::ifstream fixture(path, std::ios::binary);
+  ASSERT_TRUE(fixture.good()) << "missing fixture " << path;
+  std::stringstream raw;
+  raw << fixture.rdbuf();
+
+  auto loaded = LoadWsdDb(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  MAYBMS_ASSERT_OK(loaded->CheckInvariants());
+  testing_util::ExpectDbsExactlyEqual(MedicalExample(), *loaded);
+
+  std::stringstream rewritten;
+  MAYBMS_ASSERT_OK(WriteWsdDbBinary(*loaded, rewritten));
+  EXPECT_EQ(raw.str(), rewritten.str())
+      << "v2 writer output drifted from the checked-in fixture";
+}
+
+// --- v3 (sharded) round trips -----------------------------------------------
+
+TEST(SerializeV3Test, MedicalRoundTrip) {
+  WsdDb db = MedicalExample();
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDbBinaryV3(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+  testing_util::ExpectDbsExactlyEqual(db, *back);
+}
+
+TEST(SerializeV3Test, MultiShardRoundTripPreservesTupleOrder) {
+  Rng rng(991);
+  testing_util::RandomWsdOptions opt;
+  opt.p_uncertain_cell = 0.5;
+  opt.p_joint = 0.4;
+  WsdDb db = testing_util::RandomWsd(&rng, opt);
+  // Tiny shards: every relation splits into many blocks.
+  db.mutable_options().rows_per_shard = 3;
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDbBinaryV3(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+  testing_util::ExpectDbsExactlyEqual(db, *back);
+}
+
+class SerializeV3Random : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializeV3Random, ExactRoundTrip) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 40127 + 7);
+  testing_util::RandomWsdOptions opt;
+  opt.p_uncertain_cell = 0.5;
+  opt.p_joint = 0.4;
+  WsdDb db = testing_util::RandomWsd(&rng, opt);
+  db.mutable_options().rows_per_shard = 1 + GetParam() % 5;
+  std::stringstream ss;
+  MAYBMS_ASSERT_OK(WriteWsdDbBinaryV3(db, ss));
+  auto back = ReadWsdDb(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  MAYBMS_ASSERT_OK(back->CheckInvariants());
+  testing_util::ExpectDbsExactlyEqual(db, *back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeV3Random, ::testing::Range(0, 15));
+
+TEST(SerializeV3Test, SaveDefaultsToV3AndKeepsV2Selectable) {
+  WsdDb db = MedicalExample();
+  std::string dir = ::testing::TempDir();
+  std::string v3_path = dir + "/medical_default.wsd";
+  std::string v2_path = dir + "/medical_v2_explicit.wsd";
+  MAYBMS_ASSERT_OK(SaveWsdDb(db, v3_path, SnapshotFormat::kBinary));
+  MAYBMS_ASSERT_OK(SaveWsdDb(db, v2_path, SnapshotFormat::kBinaryV2));
+
+  auto header = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::string line;
+    std::getline(in, line);
+    return line;
+  };
+  EXPECT_EQ(header(v3_path), "MAYBMS-WSD 3");
+  EXPECT_EQ(header(v2_path), "MAYBMS-WSD 2");
+  for (const auto& p : {v3_path, v2_path}) {
+    auto back = LoadWsdDb(p);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    testing_util::ExpectDbsExactlyEqual(db, *back);
+  }
+}
+
 TEST(SerializeTest, CorruptedInputsFailCleanly) {
   auto parse = [](const std::string& text) {
     std::stringstream ss(text);

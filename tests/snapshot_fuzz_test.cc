@@ -10,11 +10,14 @@
 // sanitizer matrix.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "common/rng.h"
+#include "core/mapped_db.h"
 #include "core/serialize.h"
 #include "tests/test_util.h"
 
@@ -116,6 +119,79 @@ TEST(SnapshotFuzzTest, CorruptedBinaryInputsNeverCrash) {
       }
     }
   }
+}
+
+// The same corruption hammer against the v3 sharded format, through
+// both readers: the eager stream reader and MappedWsdDb::Open (which
+// trusts block checksums lazily, so corruption it does not catch at
+// open time must surface as an error — or an invariant-clean database —
+// when the blocks are materialized). The mutation windows are biased
+// toward the file head, where the shard directory and its offset
+// tables live.
+TEST(SnapshotFuzzTest, CorruptedV3InputsNeverCrashEitherReader) {
+  const size_t iters = FuzzIters();
+  char tmpl[] = "/tmp/maybms_v3_fuzz_XXXXXX";
+  int fd = mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  const std::string path = tmpl;
+
+  for (size_t i = 0; i < iters; ++i) {
+    Rng rng(i * 7829 + 271);
+    WsdDb db = RandomDb(&rng, i);
+    // Small shards so SDIR carries several offset-table entries.
+    db.mutable_options().rows_per_shard = 1 + rng.NextBelow(4);
+    std::stringstream ss;
+    MAYBMS_ASSERT_OK(WriteWsdDbBinaryV3(db, ss));
+    const std::string full = ss.str();
+    ASSERT_FALSE(full.empty());
+
+    for (int mutation = 0; mutation < 24; ++mutation) {
+      std::string bad = full;
+      // Half the mutations target the first quarter of the file — the
+      // headers, string table and shard directory.
+      size_t window =
+          mutation % 2 == 0 ? std::max<size_t>(1, bad.size() / 4) : bad.size();
+      switch (rng.NextBelow(3)) {
+        case 0:
+          bad.resize(rng.NextBelow(bad.size()));
+          break;
+        case 1: {
+          size_t pos = rng.NextBelow(window);
+          bad[pos] = static_cast<char>(
+              bad[pos] ^ static_cast<char>(1 + rng.NextBelow(255)));
+          break;
+        }
+        default: {
+          size_t pos = rng.NextBelow(window);
+          for (size_t k = pos; k < bad.size() && k < pos + 8; ++k) {
+            bad[k] = static_cast<char>(rng.NextBelow(256));
+          }
+          break;
+        }
+      }
+      if (bad == full) continue;
+
+      std::stringstream in(bad);
+      auto r = ReadWsdDb(in);
+      if (r.ok()) {
+        MAYBMS_EXPECT_OK(r->CheckInvariants());
+      }
+
+      {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+      }
+      auto mapped = MappedWsdDb::Open(path);
+      if (mapped.ok()) {
+        auto all = mapped->MaterializeAll();
+        if (all.ok()) {
+          MAYBMS_EXPECT_OK(all->CheckInvariants());
+        }
+      }
+    }
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
