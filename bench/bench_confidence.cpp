@@ -10,10 +10,12 @@
 // and (b) the or-set fan-out, and verifies against brute-force world
 // enumeration where that is feasible.
 #include <map>
+#include <optional>
 
 #include "bench/bench_util.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "core/approx_conf.h"
 #include "core/confidence.h"
 #include "core/lifted_executor.h"
 #include "gen/workload.h"
@@ -289,6 +291,93 @@ int main() {
     MAYBMS_CHECK(conf.ok()) << conf.status().ToString();
     printf("factorized: %zu vectors in %.4fs\n", conf->NumRows(), secs);
     json.Add("conf/budget-rescue/factorized", secs * 1e9, 0.0);
+  }
+
+  // (f) anytime approximation on the same budget-rescue workload:
+  // APPROX CONF(ε, δ) sidesteps both the blown naive budget and the
+  // factorization pass — deterministic per-cluster mass brackets plus
+  // Monte-Carlo sampling with Hoeffding bounds stop once the half-width
+  // drops under ε, so cost tracks 1/ε², not the cluster state space.
+  {
+    printf("(f) approx confidence on the budget-rescue workload: "
+           "APPROX CONF(eps, 0.05) vs exact factorized\n");
+    WsdDb db = BuildSharedSlotGroups(1, 16, 32);
+    ConfidenceOptions factorized;
+    factorized.max_cluster_states = 4096;
+    double t_exact = TimeConf(db, factorized);
+    auto exact = ConfTable(db, "r", factorized);
+    MAYBMS_CHECK(exact.ok()) << exact.status().ToString();
+    std::map<std::string, double> exact_map;
+    for (const auto& row : exact->rows()) {
+      std::string key;
+      for (size_t c = 0; c + 1 < row.size(); ++c) {
+        key += row[c].ToString() + "|";
+      }
+      exact_map[key] = row.back().as_double();
+    }
+    Table table({"epsilon", "time(s)", "speedup vs exact", "samples",
+                 "max |est-exact|", "exact in [lo,hi]"});
+    for (double eps : {0.05, 0.01, 0.001}) {
+      ApproxOptions opt;
+      opt.epsilon = eps;
+      double best = 1e300;
+      ApproxConfStats stats;
+      std::optional<Relation> out;
+      for (int rep = 0; rep < 3; ++rep) {
+        Timer t;
+        auto r = ApproxConfTable(db, "r", opt, &stats);
+        MAYBMS_CHECK(r.ok()) << r.status().ToString();
+        double s = t.Seconds();
+        if (s < best) {
+          best = s;
+          out = std::move(*r);
+        }
+      }
+      double max_delta = 0;
+      bool covered = true;
+      for (const auto& row : out->rows()) {
+        std::string key;
+        for (size_t c = 0; c + 3 < row.size(); ++c) {
+          key += row[c].ToString() + "|";
+        }
+        double p = exact_map.count(key) ? exact_map[key] : 0.0;
+        double est = row[row.size() - 3].as_double();
+        double lo = row[row.size() - 2].as_double();
+        double hi = row[row.size() - 1].as_double();
+        max_delta = std::max(max_delta, std::abs(est - p));
+        if (p < lo - 1e-9 || p > hi + 1e-9) covered = false;
+      }
+      MAYBMS_CHECK(covered) << "exact escaped the reported interval";
+      table.AddRow({StrFormat("%g", eps), StrFormat("%.4f", best),
+                    StrFormat("%.1fx", t_exact / best),
+                    StrFormat("%zu", stats.total_samples),
+                    StrFormat("%.2e", max_delta), "yes"});
+      json.Add(StrFormat("conf/budget-rescue/approx-eps%g", eps), best * 1e9,
+               t_exact / best);
+    }
+    table.Print();
+
+    // Sampler-throughput micro: the streaming per-cluster sampler alone
+    // (fixed sample budget; stopping rules and enumeration disabled).
+    ApproxOptions raw;
+    raw.sampling_only = true;
+    raw.fixed_samples = size_t(1) << 19;
+    raw.exact_state_limit = 1;
+    double best = 1e300;
+    ApproxConfStats stats;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer t;
+      auto r = ApproxConfTable(db, "r", raw, &stats);
+      MAYBMS_CHECK(r.ok()) << r.status().ToString();
+      best = std::min(best, t.Seconds());
+    }
+    double ns_per_sample =
+        best * 1e9 / static_cast<double>(stats.total_samples);
+    printf("sampler throughput: %zu samples in %.4fs (%.0f ns/sample, "
+           "%.1fM samples/s)\n\n",
+           stats.total_samples, best, ns_per_sample,
+           static_cast<double>(stats.total_samples) / best / 1e6);
+    json.Add("conf/sampler/ns-per-sample", ns_per_sample, 0.0);
   }
 
   printf("\nshape check vs paper: prob() stays exact (Δp ~ 1e-16) while\n"

@@ -54,6 +54,9 @@ constexpr const char* kHelp = R"(statements:
   INSERT INTO r VALUES (1, {'x': 0.4, 'y': 0.6});   -- or-set cell
   SELECT b FROM r WHERE a = 1;                      -- world-set answer
   SELECT b, PROB() FROM r WHERE a = 1;              -- probabilities
+  SELECT b, APPROX CONF(0.01, 0.05) FROM r;         -- anytime approximation
+    -- per-vector estimate plus [conf_lo, conf_hi]: half-width ≤ ε with
+    -- probability ≥ 1 − δ (δ defaults to 0.05); same seed → same result
   POSSIBLE SELECT b FROM r;   CERTAIN SELECT b FROM r;
   SELECT ECOUNT() FROM r WHERE a = 1;               -- expected count
   SELECT ESUM(a) FROM r;                            -- expected sum

@@ -73,6 +73,42 @@ std::vector<double> Rng::NextProbabilities(int n) {
   return out;
 }
 
+Rng Rng::Split(uint64_t stream) const {
+  // Digest the four state words and the stream id into one 64-bit seed
+  // via splitmix chaining; Rng(seed) then re-expands it. Chaining (as
+  // opposed to XOR-folding) keeps permuted states from colliding.
+  uint64_t chain = 0x9e3779b97f4a7c15ULL;
+  for (uint64_t w : s_) {
+    uint64_t t = chain ^ w;
+    chain = SplitMix64(&t);
+  }
+  uint64_t t = chain ^ stream;
+  return Rng(SplitMix64(&t));
+}
+
+void Rng::Jump() {
+  // Official xoshiro256** jump polynomial (advances by 2^128 steps).
+  static constexpr uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      Next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
 uint64_t Rng::NextZipf(uint64_t n, double s) {
   assert(n > 0);
   if (s <= 0.0) return NextBelow(n);

@@ -39,6 +39,22 @@ class Rng {
   /// Used to give generated census attributes realistic skew.
   uint64_t NextZipf(uint64_t n, double s);
 
+  // --- deterministic substreams (parallel sampling) ----------------------
+  /// A derived generator for substream `stream`: its state is a hash of
+  /// this generator's current state and the stream id, so distinct
+  /// stream ids yield statistically independent sequences and equal
+  /// (state, stream) pairs yield equal sequences. Split() does not
+  /// advance this generator — parallel workers can each take
+  /// `base.Split(i)` for their work-item index i and produce results
+  /// that are bit-identical for a fixed seed regardless of how items
+  /// are scheduled onto threads.
+  Rng Split(uint64_t stream) const;
+
+  /// Advances this generator by 2^128 steps of Next() (the xoshiro256**
+  /// jump polynomial): partitions one seed's stream into 2^128
+  /// non-overlapping blocks for long-lived parallel consumers.
+  void Jump();
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void Shuffle(std::vector<T>* v) {

@@ -1,0 +1,138 @@
+// Anytime approximate confidence computation with (ε, δ) guarantees.
+//
+// Exact confidence (core/confidence.h) enumerates every joint state of
+// each independence cluster — exponential in the cluster's factor count.
+// This engine keeps the same cluster decomposition (clusters are
+// independent, so conf(v) = 1 − Π_c (1 − p_c(v)) and per-cluster errors
+// add through the 1-Lipschitz combine) but bounds each cluster's
+// per-vector probability p_c(v) by two interleaved anytime methods:
+//
+//  *Deterministic brackets.* The budgeted odometer visits states in a
+//  fixed order; after visiting mass m(v) for vector v with unvisited
+//  state mass U, soundly p_c(v) ∈ [m(v), m(v) + U]. Exhausting the
+//  cluster collapses the bracket to the exact value.
+//
+//  *Member marginals (exact fast path).* A member tuple's presence and
+//  value vector in a joint state depend only on the rows chosen for the
+//  factors it touches, and factors draw independently — so the exact
+//  distribution of its vector is the cross product, over its touched
+//  factors, of one-pass marginals of its referenced slots (gating
+//  applied), scaled by the total mass of the untouched factors. When no
+//  value vector is producible by two different members of the cluster,
+//  the per-vector cluster probability IS that member marginal: an exact
+//  answer in O(Σ touched-factor rows), with no enumeration of the joint
+//  state space and no sampling. Clusters whose structure does not
+//  cooperate (colliding members, large signature domains) fall back to
+//  the two anytime methods below.
+//
+//  *Monte-Carlo estimation.* Joint states are drawn directly from the
+//  product of the factor row distributions (Karp–Luby-style importance
+//  sampling normalized by W = Π factor masses, so sub-normalized
+//  components stay unbiased: E[W·hits(v)/n] = p_c(v)). A Hoeffding
+//  interval of half-width hw = W·sqrt(ln(2·V_c/δ_c) / 2n) covers all
+//  V_c producible vectors of the cluster simultaneously with
+//  probability ≥ 1 − δ_c (union bound; V_c is itself bounded by the
+//  per-member product of referenced-slot distinct counts).
+//
+// Each cluster stops as soon as either half-width (U/2 or hw) is ≤ ε_c,
+// where ε_c = ε/K and δ_c = δ/K over the K non-exact clusters; tiny
+// clusters (state space ≤ exact_state_limit) are enumerated exactly up
+// front. The reported per-vector interval [conf_lo, conf_hi] therefore
+// contains the exact confidence with probability ≥ 1 − δ and has
+// half-width ≤ ε whenever the sample/state budgets were not exhausted
+// (anytime: on budget exhaustion the interval is still sound, just
+// wider).
+//
+// Determinism contract: for a fixed seed the result is bit-identical
+// regardless of thread count. Sampling is performed in fixed-size
+// batches whose RNGs derive from Rng::Split of a per-cluster base
+// stream by global batch index; hit counts are integers (merging is
+// order-independent); enumeration advances in a single task; stopping
+// rules are evaluated only at round barriers on fully merged state.
+#ifndef MAYBMS_CORE_APPROX_CONF_H_
+#define MAYBMS_CORE_APPROX_CONF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/wsd.h"
+
+namespace maybms {
+
+/// Tuning knobs of the approximate confidence engine (the ε/δ pair is
+/// the user-facing contract; the rest are resource budgets).
+struct ApproxOptions {
+  /// Target half-width of the reported confidence interval.
+  double epsilon = 0.01;
+  /// Probability that some reported interval misses the exact value.
+  double delta = 0.05;
+  /// Seed of the deterministic sampling streams.
+  uint64_t seed = 42;
+  /// Worker threads (0 = hardware default). Never affects results.
+  size_t num_threads = 0;
+  /// Clusters whose joint state space is at most this many states are
+  /// enumerated exactly (they contribute zero error).
+  size_t exact_state_limit = 4096;
+  /// States enumerated per anytime round (bracket refinement).
+  size_t enum_chunk = 1024;
+  /// Samples drawn per anytime round (across parallel batches).
+  size_t sample_chunk = 8192;
+  /// Per-cluster sample budget; reaching it widens the interval
+  /// honestly instead of failing.
+  size_t max_samples = size_t{1} << 22;
+  /// Per-cluster enumeration budget (states).
+  size_t max_enum_states = size_t{1} << 20;
+  /// Locally factorize components first (see ClusterIndexOptions).
+  /// Off by default: sampling does not need factorization, and the
+  /// factorization pass itself dominates exactly the regimes this
+  /// engine exists to rescue.
+  bool factorize_clusters = false;
+  /// Exact per-member marginal fast path (see the header comment): try
+  /// to resolve each non-tiny cluster exactly from one-pass factor
+  /// marginals before falling back to enumeration + sampling. Disable
+  /// to force the anytime machinery (tests, diagnostics).
+  bool member_marginals = true;
+  /// Pure-frequency mode: skip enumeration and brackets, estimate every
+  /// cluster by sampling alone and report the raw unclamped estimator
+  /// (whose product combine is exactly unbiased). Used by the
+  /// statistical tests and the worlds/sample streaming estimator.
+  bool sampling_only = false;
+  /// When nonzero, draw exactly this many samples per non-exact cluster
+  /// instead of deriving the count from ε/δ.
+  size_t fixed_samples = 0;
+};
+
+/// How a cluster's probabilities were obtained.
+enum class ClusterPath {
+  kExact,    ///< full enumeration (tiny cluster or bracket collapsed)
+  kBracket,  ///< partial enumeration; bracket reached ε_c first
+  kSampled,  ///< Monte-Carlo CI reached ε_c first (or budgets ran out)
+};
+
+/// Execution telemetry of one ApproxConfTable call.
+struct ApproxConfStats {
+  size_t clusters = 0;          ///< independence clusters evaluated
+  size_t exact_clusters = 0;    ///< resolved on ClusterPath::kExact
+  size_t bracket_clusters = 0;  ///< resolved on ClusterPath::kBracket
+  size_t sampled_clusters = 0;  ///< resolved on ClusterPath::kSampled
+  uint64_t total_samples = 0;   ///< Monte-Carlo states drawn
+  uint64_t total_states = 0;    ///< joint states enumerated
+  /// Largest per-cluster half-width at stop (> ε/K means some budget
+  /// was exhausted before the target precision).
+  double max_half_width = 0.0;
+};
+
+/// Approximate confidence table of template relation `rel_name`:
+/// the relation's columns plus `conf` (point estimate), `conf_lo` and
+/// `conf_hi` (interval bounds; see the determinism and coverage
+/// contract above), sorted by conf descending then by value vector.
+/// Column names are suffixed on collision, mirroring ConfTable.
+Result<Relation> ApproxConfTable(const WsdDb& db, const std::string& rel_name,
+                                 const ApproxOptions& options = {},
+                                 ApproxConfStats* stats = nullptr);
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_APPROX_CONF_H_

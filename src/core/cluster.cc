@@ -260,4 +260,70 @@ bool ClusterEnumerator::Alive(
   return true;
 }
 
+std::vector<ClusterMember> ResolveClusterMembers(const ClusterIndex& index,
+                                                 const Cluster& cluster,
+                                                 const ClusterEnumerator& en) {
+  const WsdRelation& rel = index.rel();
+  std::vector<ClusterMember> members;
+  members.reserve(cluster.tuple_idxs.size());
+  for (size_t i : cluster.tuple_idxs) {
+    ClusterMember m;
+    m.t = &rel.tuple(i);
+    m.gating = en.GatingFor(m.t->deps);
+    m.cell_pos.reserve(m.t->cells.size());
+    for (const Cell& cell : m.t->cells) {
+      m.cell_pos.push_back(cell.is_certain()
+                               ? std::make_pair(ClusterMember::kCertainCell, 0u)
+                               : en.ResolveAt(cell.ref()));
+    }
+    members.push_back(std::move(m));
+  }
+  return members;
+}
+
+bool MemberVectorAt(const ClusterEnumerator& en, const ClusterMember& m,
+                    Tuple* v) {
+  if (!en.Alive(m.gating)) return false;
+  for (size_t c = 0; c < m.t->cells.size(); ++c) {
+    if (m.cell_pos[c].first == ClusterMember::kCertainCell) {
+      (*v)[c] = m.t->cells[c].value();
+      continue;
+    }
+    const PackedValue& pv = en.PackedAt(m.cell_pos[c].first, m.cell_pos[c].second);
+    if (pv.is_bottom()) return false;
+    (*v)[c] = pv.ToValue();
+  }
+  return true;
+}
+
+ClusterMassScan::ClusterMassScan(const ClusterIndex& index,
+                                 const Cluster& cluster)
+    : en_(index, cluster.factors),
+      arity_(index.rel().schema().size()) {
+  members_ = ResolveClusterMembers(index, cluster, en_);
+  for (uint32_t k = 0; k < en_.NumFactors(); ++k) {
+    total_mass_ *= en_.component(k)->TotalMass();
+  }
+  en_.Reset();
+  done_ = en_.Done();
+}
+
+bool ClusterMassScan::Run(size_t max_states) {
+  Tuple v(arity_);
+  std::unordered_set<Tuple, TupleValueHash, TupleValueEq> present;
+  for (size_t n = 0; n < max_states && !en_.Done(); ++n, en_.Advance()) {
+    ++states_visited_;
+    double p = en_.StateProb();
+    if (p <= 0.0) continue;
+    visited_mass_ += p;
+    present.clear();
+    for (const ClusterMember& m : members_) {
+      if (MemberVectorAt(en_, m, &v)) present.insert(v);
+    }
+    for (const Tuple& u : present) mass_[u] += p;
+  }
+  done_ = en_.Done();
+  return done_;
+}
+
 }  // namespace maybms

@@ -190,12 +190,110 @@ class ClusterEnumerator {
     return comps_[pos]->packed(choice_[pos], slot);
   }
 
+  /// The component enumerated at factor position `pos`.
+  const Component* component(uint32_t pos) const { return comps_[pos]; }
+
+  /// Row currently chosen at factor position `pos`.
+  size_t ChoiceAt(uint32_t pos) const { return choice_[pos]; }
+
+  /// Sets the joint state directly instead of odometer-stepping to it —
+  /// sampling drivers draw one row per factor and then read the state
+  /// through StateProb/Alive/PackedAt as usual.
+  void SetChoice(uint32_t pos, size_t row) {
+    choice_[pos] = row;
+    done_ = false;
+  }
+
  private:
   const ClusterIndex* index_;
   std::vector<FactorId> factors_;
   std::vector<const Component*> comps_;
   std::vector<size_t> choice_;
   bool done_ = true;
+};
+
+/// Value-semantic hashing/equality over value vectors (int/double and
+/// ±0 collapse, consistent with TupleCompare) — the key type of every
+/// per-vector probability map in the confidence subsystem.
+struct TupleValueHash {
+  size_t operator()(const Tuple& t) const { return TupleHash(t); }
+};
+struct TupleValueEq {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return TupleCompare(a, b) == 0;
+  }
+};
+/// Per distinct value vector: accumulated probability mass.
+using TupleProbMap =
+    std::unordered_map<Tuple, double, TupleValueHash, TupleValueEq>;
+
+/// One member tuple of a cluster, pre-resolved against an enumerator:
+/// gating slots per factor and per-cell (factor position, local slot)
+/// coordinates, so per-state evaluation is pure array reads.
+struct ClusterMember {
+  /// cell_pos entry for certain (inline-value) cells.
+  static constexpr uint32_t kCertainCell = UINT32_MAX;
+
+  const WsdTuple* t = nullptr;
+  std::vector<std::vector<uint32_t>> gating;
+  std::vector<std::pair<uint32_t, uint32_t>> cell_pos;
+};
+
+/// Resolves every member tuple of `cluster` against `en` (an enumerator
+/// over the cluster's factors).
+std::vector<ClusterMember> ResolveClusterMembers(const ClusterIndex& index,
+                                                 const Cluster& cluster,
+                                                 const ClusterEnumerator& en);
+
+/// Fills `v` (pre-sized to the relation's arity) with the member's value
+/// vector under the enumerator's current state. Returns false when the
+/// member is absent in that state (a gating slot or a referenced cell
+/// resolves to ⊥).
+bool MemberVectorAt(const ClusterEnumerator& en, const ClusterMember& m,
+                    Tuple* v);
+
+/// Budgeted partial enumeration of a cluster's joint states with
+/// per-vector mass accounting — the shared substrate of the exact
+/// confidence path (scan to completion) and the approximate engine's
+/// deterministic bounds (scan a prefix; the mass not yet visited brackets
+/// every vector's probability as [mass(v), mass(v) + unvisited_mass()]).
+class ClusterMassScan {
+ public:
+  ClusterMassScan(const ClusterIndex& index, const Cluster& cluster);
+
+  const ClusterEnumerator& enumerator() const { return en_; }
+
+  /// Enumerates up to `max_states` further joint states in odometer
+  /// order, crediting each state's probability to the value vectors of
+  /// its alive members. Returns true when the cluster is exhausted.
+  bool Run(size_t max_states);
+
+  bool done() const { return done_; }
+  size_t states_visited() const { return states_visited_; }
+  /// Σ StateProb over the visited states.
+  double visited_mass() const { return visited_mass_; }
+  /// Π of factor total masses — the mass of the entire state space
+  /// (1 for normalized components).
+  double total_mass() const { return total_mass_; }
+  /// Mass of the states not yet visited, floored at 0.
+  double unvisited_mass() const {
+    double u = total_mass_ - visited_mass_;
+    return u > 0.0 ? u : 0.0;
+  }
+  /// Visited probability mass per distinct value vector.
+  const TupleProbMap& mass() const { return mass_; }
+  /// Moves the mass map out of a finished scan.
+  TupleProbMap TakeMass() && { return std::move(mass_); }
+
+ private:
+  ClusterEnumerator en_;
+  std::vector<ClusterMember> members_;
+  size_t arity_;
+  TupleProbMap mass_;
+  double visited_mass_ = 0.0;
+  double total_mass_ = 1.0;
+  size_t states_visited_ = 0;
+  bool done_ = false;
 };
 
 }  // namespace maybms

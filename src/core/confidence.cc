@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -14,17 +13,7 @@ namespace maybms {
 
 namespace {
 
-struct VectorHash {
-  size_t operator()(const Tuple& t) const { return TupleHash(t); }
-};
-struct VectorEq {
-  bool operator()(const Tuple& a, const Tuple& b) const {
-    return TupleCompare(a, b) == 0;
-  }
-};
-
-using VectorProb = std::unordered_map<Tuple, double, VectorHash, VectorEq>;
-using VectorSet = std::unordered_set<Tuple, VectorHash, VectorEq>;
+using VectorProb = TupleProbMap;
 
 ClusterIndexOptions IndexOptions(const ConfidenceOptions& options,
                                  bool build_clusters = true) {
@@ -35,69 +24,19 @@ ClusterIndexOptions IndexOptions(const ConfidenceOptions& options,
 }
 
 // P(vector present) for one cluster: enumerate the joint states of the
-// cluster's factors; in each state, collect the distinct value vectors of
-// the alive member tuples and credit the state's probability to each.
+// cluster's factors to completion; each state credits its probability to
+// the distinct value vectors of its alive member tuples.
 Result<VectorProb> EvalCluster(const ClusterIndex& index,
                                const Cluster& cluster,
                                const ConfidenceOptions& options) {
-  const WsdRelation& rel = index.rel();
-  ClusterEnumerator en(index, cluster.factors);
+  ClusterMassScan scan(index, cluster);
   MAYBMS_RETURN_IF_ERROR(
-      en.CheckBudget(options.max_cluster_states, "confidence cluster")
+      scan.enumerator()
+          .CheckBudget(options.max_cluster_states, "confidence cluster")
           .status());
-
-  // Per member: gating slots per factor and pre-resolved cell positions.
-  struct Member {
-    const WsdTuple* t;
-    std::vector<std::vector<uint32_t>> gating;
-    /// Per cell: (factor position, local slot); kCertainCell for inline.
-    std::vector<std::pair<uint32_t, uint32_t>> cell_pos;
-  };
-  constexpr uint32_t kCertainCell = UINT32_MAX;
-  std::vector<Member> members;
-  members.reserve(cluster.tuple_idxs.size());
-  for (size_t i : cluster.tuple_idxs) {
-    Member m;
-    m.t = &rel.tuple(i);
-    m.gating = en.GatingFor(m.t->deps);
-    m.cell_pos.reserve(m.t->cells.size());
-    for (const Cell& cell : m.t->cells) {
-      m.cell_pos.push_back(cell.is_certain() ? std::make_pair(kCertainCell, 0u)
-                                             : en.ResolveAt(cell.ref()));
-    }
-    members.push_back(std::move(m));
-  }
-
-  VectorProb vp;
-  Tuple v(rel.schema().size());
-  // Hash-set dedup of the vectors present in one state (a tuple-pair
-  // linear scan here is O(members²) per state).
-  VectorSet present;
-  for (en.Reset(); !en.Done(); en.Advance()) {
-    double p = en.StateProb();
-    if (p <= 0.0) continue;
-    present.clear();
-    for (const Member& m : members) {
-      if (!en.Alive(m.gating)) continue;
-      bool dead_value = false;
-      for (size_t c = 0; c < m.t->cells.size(); ++c) {
-        if (m.cell_pos[c].first == kCertainCell) {
-          v[c] = m.t->cells[c].value();
-          continue;
-        }
-        const PackedValue& pv =
-            en.PackedAt(m.cell_pos[c].first, m.cell_pos[c].second);
-        if (pv.is_bottom()) {
-          dead_value = true;
-          break;
-        }
-        v[c] = pv.ToValue();
-      }
-      if (!dead_value) present.insert(v);
-    }
-    for (const Tuple& u : present) vp[u] += p;
-  }
-  return vp;
+  // Budget admitted the full state space, so one Run exhausts it.
+  scan.Run(options.max_cluster_states);
+  return std::move(scan).TakeMass();
 }
 
 }  // namespace

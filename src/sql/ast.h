@@ -48,12 +48,15 @@ struct DropTableStmt {
   std::string name;
 };
 
-/// SELECT item: an expression, '*', PROB(), ECOUNT() or ESUM(col).
+/// SELECT item: an expression, '*', PROB(), ECOUNT(), ESUM(col) or
+/// APPROX CONF(ε[, δ]).
 struct SelectItem {
-  enum class Kind { kExpr, kStar, kProb, kEcount, kEsum };
+  enum class Kind { kExpr, kStar, kProb, kEcount, kEsum, kApproxConf };
   Kind kind = Kind::kExpr;
   ExprPtr expr;  ///< also the argument of ESUM (a column reference)
   std::string alias;
+  double approx_eps = 0.01;    ///< APPROX CONF interval half-width target
+  double approx_delta = 0.05;  ///< APPROX CONF coverage failure probability
 };
 
 struct TableRef {

@@ -77,6 +77,19 @@ class Parser {
     Advance();
     return name;
   }
+  Result<double> ExpectNumber(const char* what) {
+    if (At(TokenKind::kFloat)) {
+      double v = Cur().float_value;
+      Advance();
+      return v;
+    }
+    if (At(TokenKind::kInt)) {
+      double v = static_cast<double>(Cur().int_value);
+      Advance();
+      return v;
+    }
+    return Error(std::string("expected ") + what);
+  }
   // Returns a Status that converts implicitly into any Result<T>.
   Status Error(const std::string& msg) const {
     return Status::ParseError(
@@ -410,6 +423,17 @@ class Parser {
         item.kind = SelectItem::Kind::kEsum;
         item.expr = Expr::Column(col);
         item.alias = "esum";
+      } else if (AtKeyword("approx")) {
+        Advance();
+        MAYBMS_RETURN_IF_ERROR(ExpectKeyword("conf"));
+        MAYBMS_RETURN_IF_ERROR(Expect("("));
+        MAYBMS_ASSIGN_OR_RETURN(item.approx_eps, ExpectNumber("epsilon"));
+        if (Accept(",")) {
+          MAYBMS_ASSIGN_OR_RETURN(item.approx_delta, ExpectNumber("delta"));
+        }
+        MAYBMS_RETURN_IF_ERROR(Expect(")"));
+        item.kind = SelectItem::Kind::kApproxConf;
+        item.alias = "conf";
       } else {
         MAYBMS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
         if (item.expr->kind() == ExprKind::kColumn) {

@@ -41,7 +41,7 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt, const WsdDb& db) {
 
   // Select list.
   bool has_star = false;
-  size_t n_prob = 0, n_ecount = 0, n_esum = 0;
+  size_t n_prob = 0, n_ecount = 0, n_esum = 0, n_approx = 0;
   std::vector<ProjectItem> items;
   for (const auto& item : stmt.items) {
     switch (item.kind) {
@@ -50,6 +50,12 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt, const WsdDb& db) {
         break;
       case SelectItem::Kind::kProb:
         ++n_prob;
+        if (!item.alias.empty()) out.prob_alias = item.alias;
+        break;
+      case SelectItem::Kind::kApproxConf:
+        ++n_approx;
+        out.approx_eps = item.approx_eps;
+        out.approx_delta = item.approx_delta;
         if (!item.alias.empty()) out.prob_alias = item.alias;
         break;
       case SelectItem::Kind::kEcount:
@@ -64,12 +70,17 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt, const WsdDb& db) {
         break;
     }
   }
-  if (n_prob > 1 || n_ecount > 1 || n_esum > 1) {
+  if (n_prob > 1 || n_ecount > 1 || n_esum > 1 || n_approx > 1) {
     return Status::ParseError(
-        "PROB()/ECOUNT()/ESUM() may appear at most once");
+        "PROB()/ECOUNT()/ESUM()/APPROX CONF() may appear at most once");
+  }
+  if (n_prob > 0 && n_approx > 0) {
+    return Status::ParseError(
+        "PROB() and APPROX CONF() cannot be combined");
   }
   if ((n_ecount > 0 || n_esum > 0) &&
-      (n_prob > 0 || has_star || !items.empty() || n_ecount + n_esum > 1)) {
+      (n_prob > 0 || n_approx > 0 || has_star || !items.empty() ||
+       n_ecount + n_esum > 1)) {
     return Status::ParseError(
         "ECOUNT()/ESUM() must be the only select item");
   }
@@ -79,10 +90,11 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt, const WsdDb& db) {
   out.wants_prob = n_prob > 0;
   out.wants_ecount = n_ecount > 0;
   out.wants_esum = n_esum > 0;
+  out.wants_approx = n_approx > 0;
 
   if (!items.empty()) {
     plan = Plan::Project(plan, std::move(items));
-  } else if (out.wants_prob && !has_star) {
+  } else if ((out.wants_prob || out.wants_approx) && !has_star) {
     // "SELECT PROB() FROM ... WHERE ..." asks for the probability that
     // the answer is non-empty: project onto zero columns, so the only
     // possible answer vector is the empty tuple and its confidence is
@@ -102,9 +114,10 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt, const WsdDb& db) {
 
   if (stmt.compound != SelectStmt::Compound::kNone) {
     MAYBMS_ASSIGN_OR_RETURN(PlannedQuery rhs, PlanSelect(*stmt.rhs, db));
-    if (rhs.wants_prob || rhs.wants_ecount) {
+    if (rhs.wants_prob || rhs.wants_ecount || rhs.wants_approx) {
       return Status::ParseError(
-          "PROB()/ECOUNT() are not allowed inside compound operands");
+          "PROB()/ECOUNT()/APPROX CONF() are not allowed inside compound "
+          "operands");
     }
     plan = stmt.compound == SelectStmt::Compound::kUnion
                ? Plan::Union(plan, rhs.plan)

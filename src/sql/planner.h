@@ -19,7 +19,10 @@ struct PlannedQuery {
   bool wants_prob = false;    ///< PROB() in the select list
   bool wants_ecount = false;  ///< ECOUNT() as the only select item
   bool wants_esum = false;    ///< ESUM(col) as the only select item
-  std::string prob_alias = "prob";
+  bool wants_approx = false;  ///< APPROX CONF(ε, δ) in the select list
+  double approx_eps = 0.01;   ///< APPROX CONF half-width target
+  double approx_delta = 0.05; ///< APPROX CONF coverage failure probability
+  std::string prob_alias = "prob";  ///< also names APPROX CONF's estimate
   std::string esum_column;    ///< output column ESUM aggregates over
 };
 

@@ -104,6 +104,12 @@ Result<StatementResult> Session::ExecuteParsed(const Statement& stmt) {
       MAYBMS_ASSIGN_OR_RETURN(std::string after, ExplainPlan(optimized, db_));
       result.message = "plan:\n" + before + "\n\nplan (optimized):\n" + after;
       if (q.wants_prob) result.message += "\n→ PROB() via conf computation";
+      if (q.wants_approx) {
+        result.message += StrFormat(
+            "\n→ APPROX CONF(ε=%g, δ=%g) via anytime per-cluster "
+            "estimation (exact ≤ %zu states, else bracket/sample to ε/K)",
+            q.approx_eps, q.approx_delta, approx_options_.exact_state_limit);
+      }
       if (q.wants_ecount) result.message += "\n→ ECOUNT() via existence sums";
       if (q.wants_esum) {
         result.message +=
@@ -248,6 +254,34 @@ Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
     table.AppendUnchecked({Value::Double(es)});
     result.kind = StatementResult::Kind::kTable;
     result.table = std::move(table);
+    return result;
+  }
+  if (q.wants_approx) {
+    ApproxOptions opts = approx_options_;
+    opts.epsilon = q.approx_eps;
+    opts.delta = q.approx_delta;
+    ApproxConfStats stats;
+    MAYBMS_ASSIGN_OR_RETURN(Relation conf,
+                            ApproxConfTable(answer, "result", opts, &stats));
+    // Rename the trailing estimate/interval columns to the alias.
+    Schema s = conf.schema();
+    std::vector<Attribute> attrs = s.attrs();
+    const size_t n = attrs.size();
+    attrs[n - 3].name = q.prob_alias;
+    attrs[n - 2].name = q.prob_alias + "_lo";
+    attrs[n - 1].name = q.prob_alias + "_hi";
+    Relation renamed(conf.name(), Schema(attrs));
+    for (const auto& row : conf.rows()) renamed.AppendUnchecked(row);
+    result.kind = StatementResult::Kind::kTable;
+    result.table = std::move(renamed);
+    result.message = StrFormat(
+        "approx conf(ε=%g, δ=%g): %zu cluster(s) — %zu exact, %zu bracket, "
+        "%zu sampled; %llu sample(s), %llu state(s), max half-width %.4g",
+        opts.epsilon, opts.delta, stats.clusters, stats.exact_clusters,
+        stats.bracket_clusters, stats.sampled_clusters,
+        static_cast<unsigned long long>(stats.total_samples),
+        static_cast<unsigned long long>(stats.total_states),
+        stats.max_half_width);
     return result;
   }
   if (q.wants_prob) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/approx_conf.h"
 #include "core/confidence.h"
 #include "core/mapped_db.h"
 #include "core/wsd.h"
@@ -51,6 +52,13 @@ class Session {
   /// and the number of threads evaluating independent clusters.
   const ConfidenceOptions& conf_options() const { return conf_options_; }
   ConfidenceOptions& mutable_conf_options() { return conf_options_; }
+
+  /// Knobs of the anytime approximate-confidence engine behind
+  /// APPROX CONF(ε, δ): sampling seed, per-cluster budgets, thread
+  /// count. The ε/δ pair itself comes from the query; seed and budgets
+  /// from here.
+  const ApproxOptions& approx_options() const { return approx_options_; }
+  ApproxOptions& mutable_approx_options() { return approx_options_; }
 
   /// Knobs of lifted query evaluation: compiled vectorized expression
   /// programs vs the row-at-a-time interpreter, and batch parallelism.
@@ -97,6 +105,7 @@ class Session {
   /// SELECTs materialize per-query scratch databases from the map.
   std::optional<MappedWsdDb> mapped_;
   ConfidenceOptions conf_options_;
+  ApproxOptions approx_options_;
   ExecOptions exec_options_;
   OptimizerOptions optimizer_options_;
 };

@@ -1,8 +1,10 @@
 #include "worlds/sample.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "core/approx_conf.h"
 #include "worlds/enumerate.h"
 
 namespace maybms {
@@ -40,9 +42,56 @@ Status SampleWorlds(const WsdDb& db, size_t n, Rng* rng,
   return Status::OK();
 }
 
+Result<Relation> EstimateConfidenceBySampling(const WsdDb& db,
+                                              const std::string& rel_name,
+                                              const SampleConfOptions& options) {
+  if (options.samples == 0) {
+    return Status::InvalidArgument("need at least one sample");
+  }
+  ApproxOptions ao;
+  ao.seed = options.seed;
+  ao.num_threads = options.num_threads;
+  ao.exact_state_limit = options.exact_state_limit;
+  ao.sampling_only = true;
+  ao.fixed_samples = options.samples;
+  MAYBMS_ASSIGN_OR_RETURN(Relation full, ApproxConfTable(db, rel_name, ao));
+  // Match the historical schema: drop the interval columns, keep the
+  // point estimate (clamped — the raw estimator may overshoot [0, 1]).
+  const Schema& s = full.schema();
+  std::vector<size_t> keep;
+  for (size_t i = 0; i + 2 < s.size(); ++i) keep.push_back(i);
+  Relation out(rel_name + "_conf_approx", s.Project(keep));
+  const size_t conf_col = s.size() - 3;
+  std::vector<Tuple> rows;
+  rows.reserve(full.rows().size());
+  for (const auto& row : full.rows()) {
+    Tuple t(row.begin(), row.begin() + conf_col);
+    t.push_back(Value::Double(std::clamp(row[conf_col].as_double(), 0.0, 1.0)));
+    rows.push_back(std::move(t));
+  }
+  // Re-sort: clamping can merge estimates that differed before.
+  std::sort(rows.begin(), rows.end(), [&](const Tuple& a, const Tuple& b) {
+    if (a[conf_col].as_double() != b[conf_col].as_double()) {
+      return a[conf_col].as_double() > b[conf_col].as_double();
+    }
+    return TupleCompare(a, b) < 0;
+  });
+  for (Tuple& t : rows) out.AppendUnchecked(std::move(t));
+  return out;
+}
+
 Result<Relation> ApproximateConfTable(const WsdDb& db,
                                       const std::string& rel_name,
                                       size_t samples, uint64_t seed) {
+  SampleConfOptions options;
+  options.samples = samples;
+  options.seed = seed;
+  return EstimateConfidenceBySampling(db, rel_name, options);
+}
+
+Result<Relation> ApproximateConfTableByWorlds(const WsdDb& db,
+                                              const std::string& rel_name,
+                                              size_t samples, uint64_t seed) {
   MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db.GetRelation(rel_name));
   if (samples == 0) {
     return Status::InvalidArgument("need at least one sample");

@@ -24,11 +24,41 @@ Catalog SampleWorld(const WsdDb& db, Rng* rng);
 Status SampleWorlds(const WsdDb& db, size_t n, Rng* rng,
                     const std::function<Status(const Catalog&)>& fn);
 
+struct SampleConfOptions {
+  /// Monte-Carlo draws per independence cluster.
+  size_t samples = 10000;
+  /// Seed of the deterministic sampling streams.
+  uint64_t seed = 42;
+  /// Worker threads (0 = hardware default). Never affects results.
+  size_t num_threads = 0;
+  /// Clusters at most this many joint states are computed exactly.
+  size_t exact_state_limit = 4096;
+};
+
 /// Monte-Carlo estimate of the confidence table of `rel` (same schema as
 /// ConfTable: the relation's columns plus a trailing "conf" DOUBLE).
-/// Standard error of each estimate is ≤ 0.5/sqrt(samples).
+/// Streams per-cluster samples through the core/approx_conf engine —
+/// worlds are never materialized, cluster estimates combine by the
+/// independence product, and results are bit-identical for a fixed seed
+/// regardless of thread count. Standard error of each estimate is
+/// ≤ 0.5/sqrt(samples).
+Result<Relation> EstimateConfidenceBySampling(
+    const WsdDb& db, const std::string& rel,
+    const SampleConfOptions& options = {});
+
+/// Back-compat wrapper around EstimateConfidenceBySampling.
 Result<Relation> ApproximateConfTable(const WsdDb& db, const std::string& rel,
                                       size_t samples, uint64_t seed = 42);
+
+/// The original estimator: materializes `samples` full worlds as
+/// `Catalog`s and counts per-world vector frequencies. Quadratically
+/// more expensive than the streaming path (every sample resolves every
+/// component of the database); kept as the differential test oracle for
+/// EstimateConfidenceBySampling.
+Result<Relation> ApproximateConfTableByWorlds(const WsdDb& db,
+                                              const std::string& rel,
+                                              size_t samples,
+                                              uint64_t seed = 42);
 
 /// The most probable world: picks the highest-probability row of every
 /// component (exact for WSDs, since components are independent). Returns

@@ -149,6 +149,53 @@ TEST(RngTest, NextIntInclusiveBounds) {
   EXPECT_TRUE(saw_hi);
 }
 
+TEST(RngTest, SplitIsDeterministicAndStreamDependent) {
+  Rng base(42);
+  Rng a = base.Split(0), b = Rng(42).Split(0), c = base.Split(1);
+  // Split does not advance the parent, so equal (state, stream) pairs
+  // yield equal substreams.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  int differing = 0;
+  Rng a2 = Rng(42).Split(0);
+  for (int i = 0; i < 10; ++i) {
+    if (a2.Next() != c.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 5);
+}
+
+TEST(RngTest, SplitDoesNotAdvanceParent) {
+  Rng a(7), b(7);
+  (void)a.Split(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SplitSubstreamsLookIndependent) {
+  // Means of distinct substreams behave like independent uniforms.
+  Rng base(1234);
+  for (uint64_t s = 0; s < 8; ++s) {
+    Rng sub = base.Split(s);
+    double mean = 0.0;
+    for (int i = 0; i < 4000; ++i) mean += sub.NextDouble();
+    mean /= 4000.0;
+    EXPECT_NEAR(mean, 0.5, 0.03);
+  }
+}
+
+TEST(RngTest, JumpChangesStreamDeterministically) {
+  Rng a(5), b(5), c(5);
+  a.Jump();
+  b.Jump();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  // The jumped stream is a different block of the sequence.
+  Rng a2(5);
+  a2.Jump();
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a2.Next() != c.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 5);
+}
+
 TEST(RngTest, NextDoubleInUnitInterval) {
   Rng rng(11);
   for (int i = 0; i < 1000; ++i) {

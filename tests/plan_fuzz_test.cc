@@ -20,6 +20,7 @@
 #include <map>
 #include <string>
 
+#include "core/approx_conf.h"
 #include "core/confidence.h"
 #include "core/lifted_executor.h"
 #include "gen/workload.h"
@@ -228,6 +229,174 @@ TEST(PlanFuzz, ThreeWayAgreement) {
     }
   }
   // Skips (enumeration budget) must stay the rare exception.
+  EXPECT_GE(executed * 10, iters * 8)
+      << executed << " executed vs " << skipped << " skipped";
+  SUCCEED() << executed << " queries fuzzed, " << skipped << " skipped";
+}
+
+size_t ApproxFuzzIterations() {
+  const char* env = std::getenv("MAYBMS_APPROX_FUZZ_ITERS");
+  if (env != nullptr) {
+    size_t n = std::strtoul(env, nullptr, 10);
+    if (n > 0) return n;
+  }
+  return 300;  // bounded CI default
+}
+
+struct ApproxRow {
+  double conf = 0, lo = 0, hi = 0;
+};
+
+// APPROX CONF's view of a lifted answer: value vector → (estimate,
+// interval), read off the trailing conf/conf_lo/conf_hi columns.
+bool ApproxView(const WsdDb& db, const ApproxOptions& opts,
+                std::map<std::string, ApproxRow>* out, bool* failed) {
+  auto table = ApproxConfTable(db, "result", opts);
+  if (!table.ok()) {
+    if (table.status().code() == StatusCode::kResourceExhausted) return false;
+    ADD_FAILURE() << "ApproxConfTable failed: " << table.status().ToString();
+    *failed = true;
+    return false;
+  }
+  for (const auto& row : table->rows()) {
+    if (row.size() < 3) {
+      ADD_FAILURE() << "approx table too narrow: " << row.size() << " cols";
+      *failed = true;
+      return false;
+    }
+    Tuple vals(row.begin(), row.end() - 3);
+    ApproxRow a;
+    a.conf = row[row.size() - 3].as_double();
+    a.lo = row[row.size() - 2].as_double();
+    a.hi = row[row.size() - 1].as_double();
+    (*out)[RowKey(vals)] = a;
+  }
+  return true;
+}
+
+// Differential APPROX CONF vs exact CONF over the same random-plan
+// corpus: for every lifted answer the exact per-vector confidence must
+// lie inside the reported [conf_lo, conf_hi] interval, and any vector
+// the approx pass did not surface must have exact confidence below the
+// engine's unseen bound (≤ 2ε after the per-cluster ε/K split). Three
+// configurations are exercised: production defaults (exact path
+// dominates on these tiny clusters), a forced anytime path
+// (exact_state_limit=2, so bracket + sampling carry the answer), and a
+// pure-sampling path (enumeration disabled, Hoeffding CI only).
+TEST(PlanFuzz, ApproxConfIntervalsCoverExact) {
+  const size_t iters = ApproxFuzzIterations();
+  constexpr size_t kQueriesPerDb = 8;
+  constexpr double kSlack = 1e-9;
+  size_t executed = 0, skipped = 0;
+  uint64_t db_seed = 1u << 20;  // disjoint seed stream from ThreeWayAgreement
+  while (executed + skipped < iters) {
+    ++db_seed;
+    Rng rng(db_seed * 2654435761u + 29);
+    RandomWsdOptions wopt;
+    wopt.num_relations = 1 + rng.NextBelow(2);
+    wopt.min_tuples = 1;
+    wopt.max_tuples = 3;
+    wopt.min_cols = 2;
+    wopt.max_cols = 3;
+    wopt.p_uncertain_cell = 0.3;
+    wopt.p_joint = 0.25;
+    WsdDb db = RandomWsd(&rng, wopt);
+    Status inv = db.CheckInvariants();
+    ASSERT_TRUE(inv.ok()) << inv.ToString();
+
+    std::vector<GenTable> tables;
+    for (const auto& name : db.RelationNames()) {
+      tables.push_back({name, db.GetRelation(name).value()->schema()});
+    }
+
+    for (size_t q = 0; q < kQueriesPerDb && executed + skipped < iters; ++q) {
+      PlanPtr plan = RandomQueryPlan(&rng, tables);
+      SCOPED_TRACE("db_seed=" + std::to_string(db_seed) + " query=" +
+                   std::to_string(q) + "\n" + plan->ToString());
+
+      auto result = ExecuteLifted(plan, db);
+      if (!result.ok()) {
+        ASSERT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+            << result.status().ToString();
+        ++skipped;
+        continue;
+      }
+      auto exact = ConfTable(*result, "result");
+      if (!exact.ok()) {
+        ASSERT_EQ(exact.status().code(), StatusCode::kResourceExhausted)
+            << exact.status().ToString();
+        ++skipped;
+        continue;
+      }
+      std::map<std::string, double> exact_marg;
+      for (const auto& row : exact->rows()) {
+        Tuple vals(row.begin(), row.end() - 1);
+        exact_marg[RowKey(vals)] = row.back().as_double();
+      }
+
+      ApproxOptions defaults;
+      ApproxOptions forced;
+      forced.member_marginals = false;
+      forced.epsilon = 0.05;
+      forced.delta = 0.01;
+      forced.exact_state_limit = 2;
+      forced.enum_chunk = 4;
+      forced.sample_chunk = 512;
+      ApproxOptions pure;
+      pure.member_marginals = false;
+      pure.epsilon = 0.05;
+      pure.delta = 0.01;
+      pure.exact_state_limit = 2;
+      pure.max_enum_states = 0;
+      pure.sample_chunk = 1024;
+      struct NamedConfig {
+        const char* label;
+        ApproxOptions opts;
+      };
+      NamedConfig configs[] = {
+          {"defaults", defaults}, {"forced-anytime", forced},
+          {"pure-sampling", pure}};
+      for (auto& cfg : configs) {
+        cfg.opts.seed = db_seed * 977 + q;
+        SCOPED_TRACE(cfg.label);
+        bool failed = false;
+        std::map<std::string, ApproxRow> approx;
+        if (!ApproxView(*result, cfg.opts, &approx, &failed)) {
+          ASSERT_FALSE(failed);
+          continue;  // budget skip: other configs still checked
+        }
+        for (const auto& [key, p] : exact_marg) {
+          auto it = approx.find(key);
+          if (it == approx.end()) {
+            // Unreported vectors are covered by the unseen bound.
+            EXPECT_LE(p, 2 * cfg.opts.epsilon + 1e-6)
+                << "missing tuple [" << key << "] with exact conf " << p;
+            continue;
+          }
+          EXPECT_LE(it->second.lo, p + kSlack)
+              << "tuple [" << key << "]: exact below interval";
+          EXPECT_GE(it->second.hi, p - kSlack)
+              << "tuple [" << key << "]: exact above interval";
+          EXPECT_LE(it->second.lo, it->second.conf + kSlack)
+              << "tuple [" << key << "]: estimate below its own interval";
+          EXPECT_GE(it->second.hi, it->second.conf - kSlack)
+              << "tuple [" << key << "]: estimate above its own interval";
+        }
+        for (const auto& [key, a] : approx) {
+          if (exact_marg.count(key) == 0) {
+            // Phantom vectors must admit confidence zero.
+            EXPECT_LE(a.lo, kSlack)
+                << "tuple [" << key << "] reported with lower bound " << a.lo
+                << " but exact confidence 0";
+          }
+        }
+      }
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "approx/exact mismatch (see traces above)";
+      }
+      ++executed;
+    }
+  }
   EXPECT_GE(executed * 10, iters * 8)
       << executed << " executed vs " << skipped << " skipped";
   SUCCEED() << executed << " queries fuzzed, " << skipped << " skipped";

@@ -73,6 +73,73 @@ TEST(SampleTest, ApproximateConfCloseToExact) {
   }
 }
 
+// The streaming per-cluster sampler and the kept per-world oracle are
+// independent estimators of the same confidences: both must land within
+// sampling tolerance of the exact answer on the paper's running example.
+TEST(SampleTest, StreamingSamplerAgreesWithWorldOracle) {
+  WsdDb db = MedicalExample();
+  auto exact = ConfTable(db, "R");
+  ASSERT_TRUE(exact.ok());
+  SampleConfOptions opts;
+  opts.samples = 20000;
+  opts.seed = 11;
+  opts.exact_state_limit = 1;  // force the sampling path on every cluster
+  auto streaming = EstimateConfidenceBySampling(db, "R", opts);
+  ASSERT_TRUE(streaming.ok());
+  auto oracle = ApproximateConfTableByWorlds(db, "R", 20000, /*seed=*/11);
+  ASSERT_TRUE(oracle.ok());
+  auto to_map = [](const Relation& r) {
+    std::map<std::string, double> m;
+    for (const auto& row : r.rows()) {
+      std::string key;
+      for (size_t c = 0; c + 1 < row.size(); ++c) {
+        key += row[c].ToString() + "|";
+      }
+      m[key] = row.back().as_double();
+    }
+    return m;
+  };
+  auto exact_map = to_map(*exact);
+  auto streaming_map = to_map(*streaming);
+  auto oracle_map = to_map(*oracle);
+  for (const auto& [key, p] : exact_map) {
+    ASSERT_TRUE(streaming_map.count(key)) << "streaming missing " << key;
+    ASSERT_TRUE(oracle_map.count(key)) << "oracle missing " << key;
+    EXPECT_NEAR(streaming_map[key], p, 0.02) << key;
+    EXPECT_NEAR(oracle_map[key], p, 0.02) << key;
+  }
+}
+
+// Fixed seed → bit-identical confidences regardless of thread count.
+TEST(SampleTest, StreamingSamplerDeterministicAcrossThreads) {
+  Rng rng(23);
+  testing_util::RandomWsdOptions opt;
+  opt.p_uncertain_cell = 0.5;
+  opt.max_tuples = 8;
+  WsdDb db = testing_util::RandomWsd(&rng, opt);
+  const std::string rel = db.RelationNames().front();
+  SampleConfOptions o1;
+  o1.samples = 5000;
+  o1.seed = 99;
+  o1.exact_state_limit = 1;
+  o1.num_threads = 1;
+  SampleConfOptions o4 = o1;
+  o4.num_threads = 4;
+  auto r1 = EstimateConfidenceBySampling(db, rel, o1);
+  auto r4 = EstimateConfidenceBySampling(db, rel, o4);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r4.ok()) << r4.status().ToString();
+  ASSERT_EQ(r1->rows().size(), r4->rows().size());
+  for (size_t i = 0; i < r1->rows().size(); ++i) {
+    const Tuple& a = r1->rows()[i];
+    const Tuple& b = r4->rows()[i];
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t c = 0; c < a.size(); ++c) {
+      EXPECT_EQ(a[c], b[c]) << "row " << i << " col " << c;
+    }
+  }
+}
+
 TEST(SampleTest, ApproximateConfValidatesInput) {
   WsdDb db = MedicalExample();
   EXPECT_EQ(ApproximateConfTable(db, "R", 0).status().code(),

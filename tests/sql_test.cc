@@ -316,6 +316,76 @@ TEST(SessionTest, ExceptStatement) {
   ASSERT_EQ(conf->table.NumRows(), 2u);
 }
 
+TEST(SessionTest, ApproxConfStatement) {
+  Session session(testing_util::MedicalExample());
+  // Tiny clusters resolve exactly, so the estimate must match PROB().
+  auto exact = session.Execute("SELECT Symptom, PROB() FROM R");
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  auto approx =
+      session.Execute("SELECT Symptom, APPROX CONF(0.01, 0.05) FROM R");
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  // Columns: Symptom, conf, conf_lo, conf_hi.
+  ASSERT_EQ(approx->table.schema().size(), 4u);
+  EXPECT_EQ(approx->table.schema().attr(1).name, "conf");
+  EXPECT_EQ(approx->table.schema().attr(2).name, "conf_lo");
+  EXPECT_EQ(approx->table.schema().attr(3).name, "conf_hi");
+  ASSERT_EQ(approx->table.NumRows(), exact->table.NumRows());
+  for (size_t i = 0; i < approx->table.NumRows(); ++i) {
+    const Tuple& a = approx->table.row(i);
+    const Tuple& e = exact->table.row(i);
+    EXPECT_EQ(a[0], e[0]);
+    EXPECT_NEAR(a[1].as_double(), e[1].as_double(), 1e-9);
+    EXPECT_LE(a[2].as_double(), a[1].as_double() + 1e-12);
+    EXPECT_GE(a[3].as_double(), a[1].as_double() - 1e-12);
+  }
+  EXPECT_NE(approx->message.find("approx conf"), std::string::npos)
+      << approx->message;
+
+  // AS alias renames the estimate and its bound columns together; the
+  // δ argument is optional (defaults to 0.05).
+  auto aliased =
+      session.Execute("SELECT Symptom, APPROX CONF(0.02) AS p FROM R");
+  ASSERT_TRUE(aliased.ok()) << aliased.status().ToString();
+  ASSERT_EQ(aliased->table.schema().size(), 4u);
+  EXPECT_EQ(aliased->table.schema().attr(1).name, "p");
+  EXPECT_EQ(aliased->table.schema().attr(2).name, "p_lo");
+  EXPECT_EQ(aliased->table.schema().attr(3).name, "p_hi");
+
+  auto explain =
+      session.Execute("EXPLAIN SELECT Symptom, APPROX CONF(0.01, 0.05) FROM R");
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_NE(explain->message.find("APPROX CONF"), std::string::npos)
+      << explain->message;
+}
+
+TEST(SessionTest, ApproxConfErrors) {
+  Session session(testing_util::MedicalExample());
+  // ε and δ must lie in (0, 1).
+  EXPECT_EQ(session.Execute("SELECT Symptom, APPROX CONF(0, 0.05) FROM R")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.Execute("SELECT Symptom, APPROX CONF(0.01, 1.5) FROM R")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Malformed argument lists are parse errors.
+  EXPECT_EQ(session.Execute("SELECT Symptom, APPROX CONF() FROM R")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(session.Execute("SELECT Symptom, APPROX CONF(0.01 FROM R")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+  // PROB() and APPROX CONF() in one select list is rejected.
+  EXPECT_EQ(
+      session.Execute("SELECT Symptom, PROB(), APPROX CONF(0.01) FROM R")
+          .status()
+          .code(),
+      StatusCode::kParseError);
+}
+
 TEST(SessionTest, ErrorsSurfaceCleanly) {
   Session session;
   EXPECT_EQ(session.Execute("SELECT x FROM nope").status().code(),
