@@ -21,6 +21,7 @@
 #include "core/lifted_executor.h"
 #include "core/mapped_db.h"
 #include "core/serialize.h"
+#include "sql/session.h"
 
 using namespace maybms;
 using namespace maybms::bench;
@@ -133,7 +134,10 @@ void SnapshotBench(BenchJson* json) {
       save_s[fmt] = 1e300;
       for (int rep = 0; rep < 5; ++rep) {
         t.Reset();
-        Status st = SaveWsdDb(c.db, path, format);
+        // sync=false: these keys gate the serialization cost; durability
+        // (fsync + rename) is measured separately in E1d.
+        Status st = SaveWsdDb(c.db, path, format,
+                              SaveFileOptions{nullptr, /*sync=*/false});
         double s = t.Seconds();
         MAYBMS_CHECK(st.ok()) << st.ToString();
         if (s < save_s[fmt]) save_s[fmt] = s;
@@ -293,6 +297,86 @@ void OutOfCoreBench(BenchJson* json) {
   std::filesystem::remove_all(dir);
 }
 
+// E1d: durability — what crash safety costs. Three numbers:
+//
+//   wal_append_statement       — per-statement latency of a logged
+//                                INSERT (WAL frame + fsync before apply).
+//   durability_recover_replay  — LOAD DATABASE replaying a K-statement
+//                                log over the last snapshot.
+//   durability_recover_clean   — LOAD DATABASE of the checkpointed
+//                                snapshot (empty log), same final state.
+//
+// The replay/clean pair brackets the recovery-time trade the checkpoint
+// threshold tunes: a longer log amortizes snapshot writes but pays at
+// recovery.
+void DurabilityBench(BenchJson* json) {
+  printf("E1d durability: WAL append latency and recovery replay\n");
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "maybms_bench_wal").string();
+  std::filesystem::create_directories(dir);
+  const std::string db_path = dir + "/bench.wsd";
+  size_t k = Scaled(200);
+  if (k < 16) k = 16;
+
+  sql::Session s;
+  // No auto-checkpoint: the log must hold all K statements below.
+  s.mutable_durability_options().auto_checkpoint_records = 0;
+  MAYBMS_CHECK(s.Execute("CREATE TABLE t (x INT, w DOUBLE)").ok());
+  auto saved = s.Execute("SAVE DATABASE '" + db_path + "'");
+  MAYBMS_CHECK(saved.ok()) << saved.status().ToString();
+
+  Timer t;
+  for (size_t i = 0; i < k; ++i) {
+    auto r = s.Execute(
+        StrFormat("INSERT INTO t VALUES (%zu, 1.5)", i));
+    MAYBMS_CHECK(r.ok()) << r.status().ToString();
+  }
+  const double append_s = t.Seconds();
+
+  // Recovery with a K-statement log to replay, best of 3 (LOAD leaves
+  // the snapshot + log untouched, so repeats see the same work).
+  double replay_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    sql::Session r;
+    t.Reset();
+    auto loaded = r.Execute("LOAD DATABASE '" + db_path + "'");
+    double sec = t.Seconds();
+    MAYBMS_CHECK(loaded.ok()) << loaded.status().ToString();
+    MAYBMS_CHECK(r.wal_record_count() == k);
+    if (sec < replay_s) replay_s = sec;
+  }
+
+  // Checkpoint folds the log; recovery is now a pure snapshot load.
+  MAYBMS_CHECK(s.Execute("CHECKPOINT").ok());
+  double clean_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    sql::Session r;
+    t.Reset();
+    auto loaded = r.Execute("LOAD DATABASE '" + db_path + "'");
+    double sec = t.Seconds();
+    MAYBMS_CHECK(loaded.ok()) << loaded.status().ToString();
+    MAYBMS_CHECK(r.wal_record_count() == 0);
+    if (sec < clean_s) clean_s = sec;
+  }
+
+  Table table({"metric", "value"});
+  table.AddRow({"logged INSERT (frame+fsync+apply)",
+                StrFormat("%.1f us/stmt", append_s / k * 1e6)});
+  table.AddRow({StrFormat("recover: replay %zu-stmt log", k),
+                StrFormat("%.2f ms", replay_s * 1e3)});
+  table.AddRow({"recover: checkpointed snapshot",
+                StrFormat("%.2f ms", clean_s * 1e3)});
+  table.Print();
+  printf("every logged statement is fsynced before it applies; CHECKPOINT\n"
+         "trades one snapshot rewrite for replay-free recovery.\n\n");
+
+  json->Add("wal_append_statement", append_s / k * 1e9, 1.0);
+  json->Add("durability_recover_replay", replay_s * 1e9, 1.0);
+  json->Add("durability_recover_clean", clean_s * 1e9,
+            replay_s / clean_s);
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 
 int main() {
@@ -370,5 +454,6 @@ int main() {
          "band, so compactness survives the columnar representation.\n\n");
   SnapshotBench(&json);
   OutOfCoreBench(&json);
+  DurabilityBench(&json);
   return 0;
 }

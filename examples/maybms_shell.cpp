@@ -70,9 +70,16 @@ constexpr const char* kHelp = R"(statements:
     -- with its estimated cardinality [~N rows]
   SAVE DATABASE 'file.wsd' [FORMAT TEXT|BINARY];
     -- snapshots the whole world-set database; BINARY (the default) is
-    -- the columnar fast-load format, TEXT is human-inspectable
-  LOAD DATABASE 'file.wsd';
-    -- replaces the session database (format auto-detected from header)
+    -- the columnar fast-load format, TEXT is human-inspectable; also
+    -- attaches a write-ahead log ('file.wsd.wal') so later mutating
+    -- statements are durable before they are acknowledged
+  LOAD DATABASE 'file.wsd' [MAPPED];
+    -- replaces the session database (format auto-detected from header),
+    -- replaying any pending log records; MAPPED keeps the snapshot on
+    -- disk and materializes only what queries touch
+  CHECKPOINT;
+    -- folds the write-ahead log into a fresh snapshot (also happens
+    -- automatically every auto_checkpoint_records logged statements)
   DROP TABLE r;
 meta: \h (help)  \q (quit)  \save <file> [text|binary]  \load <file>
 )";

@@ -26,6 +26,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kInconsistent:
       return "Inconsistent";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

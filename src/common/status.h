@@ -23,6 +23,8 @@ enum class StatusCode {
   kResourceExhausted, ///< enumeration/merge budget exceeded
   kInternal,          ///< invariant violation (a bug)
   kInconsistent,      ///< world-set became empty (e.g. cleaning removed all)
+  kIOError,           ///< operating-system I/O failure (errno in message)
+  kUnavailable,       ///< transient I/O failure; safe to retry with backoff
 };
 
 /// Human-readable name of a StatusCode ("InvalidArgument", ...).
@@ -74,6 +76,12 @@ class Status {
   }
   static Status Inconsistent(std::string msg) {
     return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

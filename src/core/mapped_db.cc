@@ -105,12 +105,13 @@ void CollectScans(const Plan& p, const WsdDb& skeleton,
 }  // namespace
 
 Result<MappedWsdDb> MappedWsdDb::Open(const std::string& path,
-                                      MappedDbOptions options) {
+                                      MappedDbOptions options, Env* env) {
+  if (env == nullptr) env = Env::Default();
   MappedWsdDb m;
-  MAYBMS_ASSIGN_OR_RETURN(m.file_, MmapFile::Open(path));
+  MAYBMS_ASSIGN_OR_RETURN(m.file_, env->MapFile(path));
   m.max_resident_bytes_ = ResolveResidentCap(options.max_resident_bytes);
 
-  std::string_view bytes = m.file_.bytes();
+  std::string_view bytes = m.file_->bytes();
   constexpr size_t kHeaderLen = sizeof(kHeaderV3) - 1;
   if (bytes.substr(0, kHeaderLen) != kHeaderV3) {
     if (bytes.substr(0, 10) == "MAYBMS-WSD") {
@@ -155,6 +156,18 @@ Result<MappedWsdDb> MappedWsdDb::Open(const std::string& path,
   MAYBMS_ASSIGN_OR_RETURN(m.local_to_global_,
                           SnapshotStringTable::Restore(sections[1].payload));
   MAYBMS_ASSIGN_OR_RETURN(m.dir_, sv3::ParseDirectory(sections[2].payload));
+  if (m.meta_.component_counter > 0) {
+    // Validate the allocation counter against the directory once, so
+    // Materialize can pad slot vectors without re-checking per call.
+    const uint64_t min_counter =
+        m.dir_.components.empty() ? 0 : m.dir_.components.back().id + 1;
+    if (m.meta_.component_counter < min_counter ||
+        m.meta_.component_counter > min_counter + sv3::kMaxComponentIdGaps) {
+      return Status::ParseError(
+          StrFormat("snapshot component counter %llu out of range",
+                    static_cast<unsigned long long>(m.meta_.component_counter)));
+    }
+  }
   m.comp_payload_ = sections[3].payload;
   m.rels_payload_ = sections[4].payload;
 
@@ -381,6 +394,9 @@ Result<WsdDb> MappedWsdDb::Materialize(
   if (meta_.owner_counter > 0) {
     db.BumpOwner(static_cast<OwnerId>(meta_.owner_counter - 1));
   }
+  // Restore the component-id allocation point (validated in Open), so a
+  // full materialization replays the WAL exactly like the eager loader.
+  db.PadComponentSlots(static_cast<size_t>(meta_.component_counter));
   MAYBMS_RETURN_IF_ERROR(db.CheckInvariants());
   if (use_cache) EvictToCap();
   last_stats_ = stats;

@@ -28,12 +28,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "common/result.h"
 #include "core/shard.h"
 #include "core/snapshot_v3.h"
 #include "core/wsd.h"
 #include "ra/plan.h"
-#include "storage/mmap_file.h"
+#include "storage/io_env.h"
 
 namespace maybms {
 
@@ -62,14 +64,16 @@ class MappedWsdDb {
  public:
   /// Maps `path` and verifies the eager head. The file must be a
   /// "MAYBMS-WSD 3" snapshot; v1/v2 files are rejected (load those
-  /// eagerly via LoadWsdDb).
+  /// eagerly via LoadWsdDb). `env` (null = Env::Default()) supplies the
+  /// mapping — the seam the fault-injection tests use.
   static Result<MappedWsdDb> Open(const std::string& path,
-                                  MappedDbOptions options = {});
+                                  MappedDbOptions options = {},
+                                  Env* env = nullptr);
 
   MappedWsdDb(MappedWsdDb&&) = default;
   MappedWsdDb& operator=(MappedWsdDb&&) = default;
 
-  const std::string& path() const { return file_.path(); }
+  const std::string& path() const { return file_->path(); }
 
   /// Schemas, display names and options — no tuples, no components.
   /// Enough for planning, binding and catalog statements.
@@ -100,7 +104,10 @@ class MappedWsdDb {
   size_t peak_resident_bytes() const { return peak_resident_bytes_; }
   size_t max_resident_bytes() const { return max_resident_bytes_; }
   /// Size of the snapshot file on disk.
-  size_t snapshot_bytes() const { return file_.size(); }
+  size_t snapshot_bytes() const { return file_->bytes().size(); }
+  /// The raw mapped snapshot bytes (the durable session fingerprints
+  /// them to match a WAL against the snapshot without an extra read).
+  std::string_view snapshot_view() const { return file_->bytes(); }
 
   const MaterializeStats& last_stats() const { return last_stats_; }
 
@@ -134,7 +141,7 @@ class MappedWsdDb {
   void EvictToCap();
   void Account(size_t bytes);
 
-  MmapFile file_;
+  std::unique_ptr<RandomAccessImage> file_;
   snapshotv3::MetaV3 meta_;
   snapshotv3::SnapshotDirectory dir_;
   /// Per dir relation, the persisted partition (ranges + referenced

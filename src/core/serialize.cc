@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "core/snapshot_v3.h"
 #include "storage/snapshot_io.h"
+#include "storage/wal.h"
 
 namespace maybms {
 
@@ -562,19 +563,62 @@ Status WriteWsdDbBinary(const WsdDb& db, std::ostream& out) {
   return Status::OK();
 }
 
-Status SaveWsdDb(const WsdDb& db, const std::string& path,
-                 SnapshotFormat format) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::InvalidArgument("cannot open for write: " + path);
+Result<std::string> SerializeWsdDb(const WsdDb& db, SnapshotFormat format) {
+  std::ostringstream out;
+  Status st;
   switch (format) {
     case SnapshotFormat::kBinary:
-      return WriteWsdDbBinaryV3(db, out);
+      st = WriteWsdDbBinaryV3(db, out);
+      break;
     case SnapshotFormat::kBinaryV2:
-      return WriteWsdDbBinary(db, out);
+      st = WriteWsdDbBinary(db, out);
+      break;
     case SnapshotFormat::kText:
+      st = WriteWsdDb(db, out);
       break;
   }
-  return WriteWsdDb(db, out);
+  MAYBMS_RETURN_IF_ERROR(st);
+  return std::move(out).str();
+}
+
+namespace {
+
+// A freshly written snapshot starts a new log generation: any sibling
+// `.wal` belongs to the previous snapshot and must not survive, even
+// when the new bytes happen to coincide with the old ones (re-saving an
+// unchanged database must not revalidate the old log's statements —
+// the fingerprint alone cannot tell those generations apart). Runs
+// after the snapshot rename: a crash before the removal leaves
+// new-snapshot + old-log, which the fingerprint check resolves.
+Status DropStaleWal(Env* env, const std::string& path) {
+  Status rm = WithRetry(
+      env, 4, [&]() -> Status { return env->RemoveFile(wal::WalPathFor(path)); });
+  if (rm.code() == StatusCode::kNotFound) return Status::OK();
+  return rm;
+}
+
+}  // namespace
+
+Status SaveWsdDb(const WsdDb& db, const std::string& path,
+                 SnapshotFormat format, const SaveFileOptions& opts) {
+  MAYBMS_ASSIGN_OR_RETURN(std::string bytes, SerializeWsdDb(db, format));
+  Env* env = opts.env ? opts.env : Env::Default();
+  if (opts.sync) {
+    MAYBMS_RETURN_IF_ERROR(AtomicWriteFile(env, path, bytes));
+    return DropStaleWal(env, path);
+  }
+  // No-sync path still goes through a temp + rename, so readers (and a
+  // plain process crash) never observe a half-written snapshot; it only
+  // skips the fsyncs that defend against power loss.
+  const std::string tmp = path + ".tmp";
+  MAYBMS_RETURN_IF_ERROR(WithRetry(env, 4, [&]() -> Status {
+    MAYBMS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                            env->NewWritableFile(tmp, /*truncate=*/true));
+    MAYBMS_RETURN_IF_ERROR(file->Append(bytes));
+    MAYBMS_RETURN_IF_ERROR(file->Close());
+    return env->RenameFile(tmp, path);
+  }));
+  return DropStaleWal(env, path);
 }
 
 Result<WsdDb> ReadWsdDb(std::istream& in) {
@@ -596,9 +640,16 @@ Result<WsdDb> ReadWsdDb(std::istream& in) {
       StrFormat("unsupported WSD format version %lld", version));
 }
 
-Result<WsdDb> LoadWsdDb(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open: " + path);
+Result<WsdDb> LoadWsdDb(const std::string& path, Env* env) {
+  if (env == nullptr || env == Env::Default()) {
+    // Fast path for the real filesystem: stream straight from the file
+    // instead of staging the whole snapshot in memory first.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open: " + path);
+    return ReadWsdDb(in);
+  }
+  MAYBMS_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(path));
+  std::istringstream in(std::move(bytes));
   return ReadWsdDb(in);
 }
 

@@ -26,6 +26,7 @@
 
 #include "common/result.h"
 #include "core/wsd.h"
+#include "storage/io_env.h"
 
 namespace maybms {
 
@@ -49,16 +50,37 @@ Status WriteWsdDbBinary(const WsdDb& db, std::ostream& out);
 /// self-contained checksummed block indexed by the SDIR section.
 Status WriteWsdDbBinaryV3(const WsdDb& db, std::ostream& out);
 
-/// Writes `db` to a file in the chosen format. The default stays text so
-/// existing call sites keep producing human-inspectable files; the SQL
-/// SAVE DATABASE statement defaults to binary.
+/// Serializes `db` in the chosen format into a byte string (what
+/// SaveWsdDb writes to disk). Exposed so callers that need the bytes —
+/// the durable session fingerprints them to bind the WAL to the
+/// snapshot — serialize exactly once.
+Result<std::string> SerializeWsdDb(const WsdDb& db, SnapshotFormat format);
+
+struct SaveFileOptions {
+  /// File-I/O environment; null = Env::Default().
+  Env* env = nullptr;
+  /// fsync the temp file and the parent directory around the rename, so
+  /// the save survives power loss. Disable only for scratch files where
+  /// process-crash atomicity (the rename) is enough.
+  bool sync = true;
+};
+
+/// Writes `db` to a file in the chosen format — atomically, in every
+/// format: the bytes go to `path`.tmp which is renamed over `path`, so a
+/// crash mid-save never leaves a torn snapshot over a good one. The
+/// default format stays text so existing call sites keep producing
+/// human-inspectable files; the SQL SAVE DATABASE statement defaults to
+/// binary.
 Status SaveWsdDb(const WsdDb& db, const std::string& path,
-                 SnapshotFormat format = SnapshotFormat::kText);
+                 SnapshotFormat format = SnapshotFormat::kText,
+                 const SaveFileOptions& opts = {});
 
 /// Reads a database written by WriteWsdDb or WriteWsdDbBinary — the
 /// format is negotiated from the header line — and validates invariants.
 Result<WsdDb> ReadWsdDb(std::istream& in);
-Result<WsdDb> LoadWsdDb(const std::string& path);
+/// Loads from a file; `env` (null = Env::Default()) is the seam the
+/// fault-injection tests use.
+Result<WsdDb> LoadWsdDb(const std::string& path, Env* env = nullptr);
 
 }  // namespace maybms
 

@@ -428,6 +428,7 @@ std::string BuildMetaPayloadV3(const WsdDb& db) {
   PutPod(&meta, static_cast<uint64_t>(db.options().max_component_rows));
   PutPod(&meta, static_cast<uint64_t>(db.owner_counter()));
   PutPod(&meta, static_cast<uint64_t>(db.options().rows_per_shard));
+  PutPod(&meta, static_cast<uint64_t>(db.component_slot_count()));
   return meta;
 }
 
@@ -442,6 +443,10 @@ Result<MetaV3> ParseMetaV3(std::string_view payload) {
   MAYBMS_ASSIGN_OR_RETURN(meta.max_component_rows, cur.Read<uint64_t>());
   MAYBMS_ASSIGN_OR_RETURN(meta.owner_counter, cur.Read<uint64_t>());
   MAYBMS_ASSIGN_OR_RETURN(meta.rows_per_shard, cur.Read<uint64_t>());
+  if (!cur.AtEnd()) {
+    // Optional trailing field (snapshots written since the WAL landed).
+    MAYBMS_ASSIGN_OR_RETURN(meta.component_counter, cur.Read<uint64_t>());
+  }
   if (!cur.AtEnd()) {
     return Status::ParseError("trailing bytes in snapshot META section");
   }
@@ -630,6 +635,20 @@ Result<WsdDb> ReadWsdDbV3Body(std::istream& in) {
   }
   if (meta.owner_counter > 0) {
     db.BumpOwner(static_cast<OwnerId>(meta.owner_counter - 1));
+  }
+  // Restore the component-id allocation point (trailing dead slots carry
+  // no payload, only the counter). Older snapshots have 0 here and keep
+  // the "highest id present + 1" behavior.
+  if (meta.component_counter > 0) {
+    if (meta.component_counter <
+            db.component_slot_count() ||
+        meta.component_counter >
+            db.component_slot_count() + kMaxComponentIdGaps) {
+      return Status::ParseError(
+          StrFormat("snapshot component counter %llu out of range",
+                    static_cast<unsigned long long>(meta.component_counter)));
+    }
+    db.PadComponentSlots(static_cast<size_t>(meta.component_counter));
   }
   MAYBMS_RETURN_IF_ERROR(db.CheckInvariants());
   return db;

@@ -175,11 +175,15 @@ std::string SerializeDirectory(const SnapshotDirectory& dir);
 /// sizes by the caller.
 Result<SnapshotDirectory> ParseDirectory(std::string_view payload);
 
-/// META payload of a v3 snapshot.
+/// META payload of a v3 snapshot. `component_counter` (the slot count
+/// AddComponent allocates from) is an optional trailing field: snapshots
+/// written before it existed parse with 0, and the reader falls back to
+/// "highest component id present + 1".
 struct MetaV3 {
   uint64_t max_component_rows = 0;
   uint64_t owner_counter = 0;
   uint64_t rows_per_shard = 0;
+  uint64_t component_counter = 0;
 };
 
 std::string BuildMetaPayloadV3(const WsdDb& db);

@@ -182,6 +182,18 @@ class WsdDb {
   /// Ids of all live components.
   std::vector<ComponentId> LiveComponents() const;
   size_t NumLiveComponents() const;
+  /// Number of component slots ever allocated (live + dead). AddComponent
+  /// hands out id component_slot_count(), so two databases only allocate
+  /// the same ids going forward when their slot counts match — the binary
+  /// snapshot persists this so WAL replay after a reload is
+  /// deterministic.
+  size_t component_slot_count() const { return components_.size(); }
+  /// Grows the slot vector to `n` with trailing dead slots (no-op when
+  /// already that large). Used by snapshot loading to restore the
+  /// allocation point recorded at save time.
+  void PadComponentSlots(size_t n) {
+    if (n > components_.size()) components_.resize(n);
+  }
 
   /// Merges the given components (≥1) into a single product component.
   /// All template cells referencing the old components are remapped to the

@@ -137,6 +137,11 @@ struct LoadDbStmt {
   bool mapped = false;
 };
 
+/// CHECKPOINT: rewrites the attached snapshot from current state and
+/// resets its write-ahead log (also triggered automatically every
+/// DurabilityOptions::auto_checkpoint_records logged statements).
+struct CheckpointStmt {};
+
 /// A parsed statement (exactly one member is set).
 struct Statement {
   enum class Kind {
@@ -150,6 +155,7 @@ struct Statement {
     kRepair,
     kSaveDb,
     kLoadDb,
+    kCheckpoint,
   };
   Kind kind = Kind::kSelect;
   std::optional<CreateTableStmt> create_table;
@@ -162,6 +168,10 @@ struct Statement {
   std::optional<RepairStmt> repair;
   std::optional<SaveDbStmt> save_db;
   std::optional<LoadDbStmt> load_db;
+  std::optional<CheckpointStmt> checkpoint;
+  /// The statement's own SQL text (trimmed; no trailing ';'), captured by
+  /// the parser — what the session writes to the write-ahead log.
+  std::string source_text;
 };
 
 }  // namespace sql

@@ -1,7 +1,7 @@
 #include "sql/session.h"
 
 #include <cmath>
-#include <filesystem>
+#include <sstream>
 
 #include "chase/enforce.h"
 #include "common/string_util.h"
@@ -59,7 +59,105 @@ Status Session::EnsureResident() {
   return Status::OK();
 }
 
+bool Session::IsLoggedKind(Statement::Kind kind) {
+  switch (kind) {
+    case Statement::Kind::kCreateTable:
+    case Statement::Kind::kDropTable:
+    case Statement::Kind::kInsert:
+    case Statement::Kind::kEnforce:
+    case Statement::Kind::kRepair:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<uint64_t> Session::WriteSnapshot(const std::string& path,
+                                        SnapshotFormat format,
+                                        uint64_t* out_bytes) {
+  MAYBMS_ASSIGN_OR_RETURN(std::string bytes, SerializeWsdDb(db_, format));
+  MAYBMS_RETURN_IF_ERROR(AtomicWriteFile(env(), path, bytes));
+  if (out_bytes != nullptr) *out_bytes = bytes.size();
+  return wal::SnapshotFingerprint(bytes);
+}
+
+Status Session::Checkpoint() {
+  if (!attach_) {
+    return Status::InvalidArgument(
+        "CHECKPOINT requires a durable attachment (SAVE DATABASE or "
+        "LOAD DATABASE first)");
+  }
+  MAYBMS_RETURN_IF_ERROR(EnsureResident());
+  // Snapshot first, log reset second. A crash between the two leaves the
+  // new snapshot next to the old log; the fingerprint mismatch on the
+  // next load discards that log instead of double-applying it.
+  MAYBMS_ASSIGN_OR_RETURN(
+      uint64_t fingerprint,
+      WriteSnapshot(attach_->db_path, attach_->format, nullptr));
+  attach_->writer.reset();
+  MAYBMS_ASSIGN_OR_RETURN(
+      wal::WalWriter writer,
+      wal::WalWriter::Create(env(), attach_->wal_path, fingerprint,
+                             /*base_lsn=*/1));
+  attach_->writer.emplace(std::move(writer));
+  return Status::OK();
+}
+
+size_t Session::ReplayWal(const std::vector<wal::WalRecord>& records) {
+  replaying_ = true;
+  size_t applied = 0;
+  for (const wal::WalRecord& rec : records) {
+    // Errors are deliberately dropped: a statement that failed (or
+    // half-applied, e.g. a multi-row INSERT hitting a type error on its
+    // second row) when first executed does the same on replay — the
+    // engine applies row-level mutations deterministically in statement
+    // order, so the recovered state matches the crashed one.
+    Result<StatementResult> r = Execute(rec.payload);
+    if (r.ok()) ++applied;
+  }
+  replaying_ = false;
+  return applied;
+}
+
 Result<StatementResult> Session::ExecuteParsed(const Statement& stmt) {
+  const bool log_it =
+      !replaying_ && attach_.has_value() && IsLoggedKind(stmt.kind);
+  if (log_it) {
+    if (!attach_->writer) {
+      return Status::Internal("durable attachment has no WAL writer");
+    }
+    if (stmt.source_text.empty()) {
+      // Statements built by hand (not through the parser) carry no SQL
+      // text and therefore cannot be replayed; refusing is safer than
+      // silently leaving a hole in the log.
+      return Status::InvalidArgument(
+          "cannot log a statement without source text to the WAL; "
+          "detach (checkpoint) or execute through the parser");
+    }
+    // Append + fsync BEFORE applying: once the statement acknowledges,
+    // it is durable; if the append fails nothing was applied.
+    MAYBMS_ASSIGN_OR_RETURN(
+        uint64_t lsn,
+        attach_->writer->Append(wal::RecordType::kStatement,
+                                stmt.source_text));
+    (void)lsn;
+  }
+  MAYBMS_ASSIGN_OR_RETURN(StatementResult result, ExecuteParsedImpl(stmt));
+  if (log_it && durability_.auto_checkpoint_records > 0 &&
+      attach_ && attach_->writer &&
+      attach_->writer->record_count() >= durability_.auto_checkpoint_records) {
+    Status st = Checkpoint();
+    if (!st.ok()) {
+      // Non-fatal: the statement itself is durable in the log; the
+      // checkpoint retries on the next threshold crossing.
+      result.message +=
+          "\n(warning: auto-checkpoint failed: " + st.ToString() + ")";
+    }
+  }
+  return result;
+}
+
+Result<StatementResult> Session::ExecuteParsedImpl(const Statement& stmt) {
   // SELECT and EXPLAIN run against the mapped snapshot directly (that is
   // the point of MAPPED); everything else mutates or fully reads the
   // catalog, so it first forces the snapshot resident.
@@ -138,53 +236,217 @@ Result<StatementResult> Session::ExecuteParsed(const Statement& stmt) {
           stats.groups, stats.conflicting_groups, stats.log2_worlds_added);
       return result;
     }
-    case Statement::Kind::kSaveDb: {
-      const SaveDbStmt& s = *stmt.save_db;
-      SnapshotFormat format =
-          s.binary ? SnapshotFormat::kBinary : SnapshotFormat::kText;
-      MAYBMS_RETURN_IF_ERROR(SaveWsdDb(db_, s.path, format));
-      std::error_code ec;
-      uintmax_t bytes = std::filesystem::file_size(s.path, ec);
-      result.message = StrFormat(
-          "saved database to '%s' (%s format%s)", s.path.c_str(),
-          s.binary ? "binary" : "text",
-          ec ? "" : StrFormat(", %s", FormatBytes(bytes).c_str()).c_str());
-      return result;
-    }
-    case Statement::Kind::kLoadDb: {
-      if (stmt.load_db->mapped) {
-        MAYBMS_ASSIGN_OR_RETURN(MappedWsdDb mapped,
-                                MappedWsdDb::Open(stmt.load_db->path));
-        size_t shards = 0;
-        for (const auto& part : mapped.partitions()) {
-          shards += part.shards.size();
-        }
-        // The resident catalog becomes the schema-only skeleton so that
-        // SHOW TABLES / planning keep working without touching data.
-        db_ = mapped.skeleton();
-        result.message = StrFormat(
-            "mapped database from '%s': %zu relation(s), %zu shard(s), "
-            "%zu component(s), %s on disk",
-            stmt.load_db->path.c_str(), db_.relations().size(), shards,
-            mapped.num_components(),
-            FormatBytes(mapped.snapshot_bytes()).c_str());
-        mapped_.emplace(std::move(mapped));
-        return result;
-      }
-      MAYBMS_ASSIGN_OR_RETURN(WsdDb loaded, LoadWsdDb(stmt.load_db->path));
-      // Swap the session catalog only after a fully validated load, so a
-      // failed LOAD DATABASE leaves the current database untouched.
-      db_ = std::move(loaded);
-      mapped_.reset();
-      result.message = StrFormat(
-          "loaded database from '%s': %zu relation(s), %zu component(s), "
-          "2^%.4g choice combinations",
-          stmt.load_db->path.c_str(), db_.relations().size(),
-          db_.NumLiveComponents(), db_.Log2WorldCount());
+    case Statement::Kind::kSaveDb:
+      return RunSaveDb(*stmt.save_db);
+    case Statement::Kind::kLoadDb:
+      return RunLoadDb(*stmt.load_db);
+    case Statement::Kind::kCheckpoint: {
+      MAYBMS_RETURN_IF_ERROR(Checkpoint());
+      result.message = StrFormat("checkpointed to '%s' (log reset)",
+                                 attach_->db_path.c_str());
       return result;
     }
   }
   return Status::Internal("unreachable statement kind");
+}
+
+Result<StatementResult> Session::RunSaveDb(const SaveDbStmt& stmt) {
+  SnapshotFormat format =
+      stmt.binary ? SnapshotFormat::kBinary : SnapshotFormat::kText;
+  // Saving to a new path supersedes any previous attachment; drop it
+  // first so a failed save cannot leave a half-configured binding.
+  attach_.reset();
+  uint64_t bytes = 0;
+  MAYBMS_ASSIGN_OR_RETURN(uint64_t fingerprint,
+                          WriteSnapshot(stmt.path, format, &bytes));
+  StatementResult result;
+  result.message = StrFormat(
+      "saved database to '%s' (%s format, %s)", stmt.path.c_str(),
+      stmt.binary ? "binary" : "text", FormatBytes(bytes).c_str());
+  if (durability_.wal_enabled) {
+    DurableAttachment a;
+    a.db_path = stmt.path;
+    a.wal_path = wal::WalPathFor(stmt.path);
+    a.format = format;
+    MAYBMS_ASSIGN_OR_RETURN(
+        wal::WalWriter writer,
+        wal::WalWriter::Create(env(), a.wal_path, fingerprint,
+                               /*base_lsn=*/1));
+    a.writer.emplace(std::move(writer));
+    attach_.emplace(std::move(a));
+    result.message += StrFormat("; logging to '%s'",
+                                attach_->wal_path.c_str());
+  }
+  return result;
+}
+
+Result<StatementResult> Session::RunLoadDb(const LoadDbStmt& stmt) {
+  StatementResult result;
+  const std::string wal_path = wal::WalPathFor(stmt.path);
+
+  if (stmt.mapped) {
+    MAYBMS_ASSIGN_OR_RETURN(MappedWsdDb mapped,
+                            MappedWsdDb::Open(stmt.path, {}, env()));
+    size_t pending_records = 0;
+    if (durability_.wal_enabled) {
+      const uint64_t fingerprint =
+          wal::SnapshotFingerprint(mapped.snapshot_view());
+      Result<wal::WalContents> contents = wal::ReadWal(env(), wal_path);
+      if (contents.ok() && contents->usable &&
+          contents->snapshot_fingerprint == fingerprint &&
+          !contents->records.empty()) {
+        // The log is newer than the snapshot: a mapped open cannot apply
+        // it lazily, so materialize, replay, checkpoint (folding the log
+        // into the snapshot) and re-map the now-current file.
+        MAYBMS_ASSIGN_OR_RETURN(WsdDb full, mapped.MaterializeAll());
+        pending_records = contents->records.size();
+        WsdDb saved_db = std::move(db_);
+        auto saved_mapped = std::move(mapped_);
+        db_ = std::move(full);
+        mapped_.reset();
+        ReplayWal(contents->records);
+        attach_.reset();
+        uint64_t bytes = 0;
+        Result<uint64_t> fp2 =
+            WriteSnapshot(stmt.path, SnapshotFormat::kBinary, &bytes);
+        Result<MappedWsdDb> remapped =
+            fp2.ok() ? MappedWsdDb::Open(stmt.path, {}, env())
+                     : Result<MappedWsdDb>(fp2.status());
+        Result<wal::WalWriter> writer =
+            remapped.ok() ? wal::WalWriter::Create(env(), wal_path, *fp2,
+                                                   /*base_lsn=*/1)
+                          : Result<wal::WalWriter>(remapped.status());
+        if (!writer.ok()) {
+          // Roll the catalog back so a failed LOAD leaves the session
+          // untouched (the replayed snapshot may be half-written; its
+          // stale log is ignored by the fingerprint check next time).
+          db_ = std::move(saved_db);
+          mapped_ = std::move(saved_mapped);
+          return writer.status();
+        }
+        mapped = std::move(*remapped);
+        DurableAttachment a;
+        a.db_path = stmt.path;
+        a.wal_path = wal_path;
+        a.format = SnapshotFormat::kBinary;
+        a.writer.emplace(std::move(*writer));
+        attach_.emplace(std::move(a));
+      } else {
+        MAYBMS_RETURN_IF_ERROR(AttachForLoad(stmt.path, wal_path, fingerprint,
+                                             SnapshotFormat::kBinary,
+                                             contents));
+      }
+    }
+    size_t shards = 0;
+    for (const auto& part : mapped.partitions()) {
+      shards += part.shards.size();
+    }
+    // The resident catalog becomes the schema-only skeleton so that
+    // SHOW TABLES / planning keep working without touching data.
+    db_ = mapped.skeleton();
+    result.message = StrFormat(
+        "mapped database from '%s': %zu relation(s), %zu shard(s), "
+        "%zu component(s), %s on disk",
+        stmt.path.c_str(), db_.relations().size(), shards,
+        mapped.num_components(), FormatBytes(mapped.snapshot_bytes()).c_str());
+    if (pending_records > 0) {
+      result.message += StrFormat("; recovered %zu statement(s) from '%s'",
+                                  pending_records, wal_path.c_str());
+    }
+    mapped_.emplace(std::move(mapped));
+    return result;
+  }
+
+  if (!durability_.wal_enabled) {
+    MAYBMS_ASSIGN_OR_RETURN(WsdDb loaded, LoadWsdDb(stmt.path, env()));
+    // Swap the session catalog only after a fully validated load, so a
+    // failed LOAD DATABASE leaves the current database untouched.
+    db_ = std::move(loaded);
+    mapped_.reset();
+    attach_.reset();
+    result.message = StrFormat(
+        "loaded database from '%s': %zu relation(s), %zu component(s), "
+        "2^%.4g choice combinations",
+        stmt.path.c_str(), db_.relations().size(), db_.NumLiveComponents(),
+        db_.Log2WorldCount());
+    return result;
+  }
+
+  // Durable eager load: snapshot bytes are read once and reused for both
+  // decoding and the WAL fingerprint; all fallible I/O (snapshot read,
+  // log scan, torn-tail repair, log reset) happens before the catalog
+  // swap, so a failed LOAD leaves the session untouched.
+  MAYBMS_ASSIGN_OR_RETURN(std::string bytes,
+                          env()->ReadFileToString(stmt.path));
+  const uint64_t fingerprint = wal::SnapshotFingerprint(bytes);
+  // Future checkpoints rewrite the snapshot in the format it holds now.
+  SnapshotFormat format = SnapshotFormat::kBinary;
+  if (bytes.rfind("MAYBMS-WSD 1", 0) == 0) format = SnapshotFormat::kText;
+  if (bytes.rfind("MAYBMS-WSD 2", 0) == 0) format = SnapshotFormat::kBinaryV2;
+  WsdDb loaded;
+  {
+    std::istringstream in(std::move(bytes));
+    MAYBMS_ASSIGN_OR_RETURN(loaded, ReadWsdDb(in));
+  }
+  Result<wal::WalContents> contents = wal::ReadWal(env(), wal_path);
+  std::vector<wal::WalRecord> to_replay;
+  if (contents.ok() && contents->usable &&
+      contents->snapshot_fingerprint == fingerprint) {
+    // Copied, not moved: AttachForLoad still needs the record count to
+    // continue the log at the right LSN.
+    to_replay = contents->records;
+  }
+  attach_.reset();
+  MAYBMS_RETURN_IF_ERROR(
+      AttachForLoad(stmt.path, wal_path, fingerprint, format, contents));
+
+  db_ = std::move(loaded);
+  mapped_.reset();
+  if (!to_replay.empty()) ReplayWal(to_replay);
+
+  result.message = StrFormat(
+      "loaded database from '%s': %zu relation(s), %zu component(s), "
+      "2^%.4g choice combinations",
+      stmt.path.c_str(), db_.relations().size(), db_.NumLiveComponents(),
+      db_.Log2WorldCount());
+  if (!to_replay.empty()) {
+    result.message += StrFormat("; recovered %zu statement(s) from '%s'",
+                                to_replay.size(), wal_path.c_str());
+  }
+  return result;
+}
+
+Status Session::AttachForLoad(const std::string& db_path,
+                              const std::string& wal_path,
+                              uint64_t fingerprint, SnapshotFormat format,
+                              const Result<wal::WalContents>& contents) {
+  DurableAttachment a;
+  a.db_path = db_path;
+  a.wal_path = wal_path;
+  a.format = format;
+  if (contents.ok() && contents->usable &&
+      contents->snapshot_fingerprint == fingerprint) {
+    // Continue the existing log (repairing any torn tail) so replayed
+    // records stay durable until the next checkpoint folds them in.
+    MAYBMS_ASSIGN_OR_RETURN(
+        wal::WalWriter writer,
+        wal::WalWriter::OpenForAppend(env(), wal_path, *contents));
+    a.writer.emplace(std::move(writer));
+  } else if (contents.ok() ||
+             contents.status().code() == StatusCode::kNotFound) {
+    // Missing, corrupt, or bound to a different snapshot generation:
+    // start a fresh log for this snapshot.
+    MAYBMS_ASSIGN_OR_RETURN(
+        wal::WalWriter writer,
+        wal::WalWriter::Create(env(), wal_path, fingerprint, /*base_lsn=*/1));
+    a.writer.emplace(std::move(writer));
+  } else {
+    // A hard I/O error scanning the log: without it durability cannot be
+    // promised, so fail the load rather than run half-protected.
+    return contents.status();
+  }
+  attach_.emplace(std::move(a));
+  return Status::OK();
 }
 
 Result<StatementResult> Session::RunInsert(const InsertStmt& stmt) {

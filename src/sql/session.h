@@ -12,14 +12,33 @@
 #include "core/approx_conf.h"
 #include "core/confidence.h"
 #include "core/mapped_db.h"
+#include "core/serialize.h"
 #include "core/wsd.h"
 #include "ra/expr_compile.h"
 #include "sql/ast.h"
 #include "sql/optimizer.h"
+#include "storage/io_env.h"
 #include "storage/relation.h"
+#include "storage/wal.h"
 
 namespace maybms {
 namespace sql {
+
+/// Durability knobs. When the WAL is enabled, SAVE DATABASE (and LOAD
+/// DATABASE of a saved snapshot) attaches the session to the snapshot
+/// file: every subsequent mutating statement is appended to
+/// `<snapshot>.wal` and fsynced *before* it is applied, so a crash loses
+/// at most the statement that never acknowledged. LOAD DATABASE replays
+/// any log newer than the snapshot; CHECKPOINT (or the automatic
+/// threshold) rewrites the snapshot and resets the log.
+struct DurabilityOptions {
+  /// Master switch; when false SAVE/LOAD never attach a log.
+  bool wal_enabled = true;
+  /// Checkpoint automatically once the log holds this many statements
+  /// (0 = only on explicit CHECKPOINT). A failed auto-checkpoint is a
+  /// warning, not a statement failure — the log keeps the data safe.
+  size_t auto_checkpoint_records = 256;
+};
 
 /// What a statement produced.
 struct StatementResult {
@@ -72,6 +91,32 @@ class Session {
   }
   OptimizerOptions& mutable_optimizer_options() { return optimizer_options_; }
 
+  /// Durability knobs (WAL attachment and auto-checkpoint threshold).
+  const DurabilityOptions& durability_options() const { return durability_; }
+  DurabilityOptions& mutable_durability_options() { return durability_; }
+
+  /// File-I/O environment for snapshots, mapped loads and the WAL; null
+  /// resets to Env::Default(). Set before SAVE/LOAD — existing
+  /// attachments keep the env they were opened with.
+  void set_env(Env* env) { env_ = env; }
+  Env* env() const { return env_ ? env_ : Env::Default(); }
+
+  /// True when the session is bound to a snapshot + WAL pair.
+  bool has_durable_attachment() const { return attach_.has_value(); }
+  /// The attached snapshot path (empty when none).
+  std::string attached_path() const {
+    return attach_ ? attach_->db_path : std::string();
+  }
+  /// Statements currently in the attached log (0 when none).
+  uint64_t wal_record_count() const {
+    return attach_ && attach_->writer ? attach_->writer->record_count() : 0;
+  }
+
+  /// Rewrites the attached snapshot from current state and resets its
+  /// log — the SQL CHECKPOINT statement's engine. Fails without an
+  /// attachment.
+  Status Checkpoint();
+
   /// True while the session serves queries from a mapped snapshot
   /// (LOAD DATABASE ... MAPPED) instead of the resident database.
   bool is_mapped() const { return mapped_.has_value(); }
@@ -91,13 +136,39 @@ class Session {
   Result<StatementResult> ExecuteParsed(const Statement& stmt);
 
  private:
+  /// The snapshot + WAL pair the session is bound to.
+  struct DurableAttachment {
+    std::string db_path;
+    std::string wal_path;
+    SnapshotFormat format = SnapshotFormat::kBinary;
+    std::optional<wal::WalWriter> writer;
+  };
+
+  Result<StatementResult> ExecuteParsedImpl(const Statement& stmt);
   Result<StatementResult> RunSelect(const SelectStmt& stmt);
   Result<StatementResult> RunInsert(const InsertStmt& stmt);
   Result<StatementResult> RunEnforce(const EnforceStmt& stmt);
   Result<StatementResult> RunShow(const ShowStmt& stmt);
+  Result<StatementResult> RunSaveDb(const SaveDbStmt& stmt);
+  Result<StatementResult> RunLoadDb(const LoadDbStmt& stmt);
   /// Statements that mutate or read the whole catalog force the mapped
   /// snapshot fully resident (into db_) and drop the mapping.
   Status EnsureResident();
+  /// True for statement kinds whose effects must reach the WAL.
+  static bool IsLoggedKind(Statement::Kind kind);
+  /// Serializes db_ to `path` atomically; returns the bytes' fingerprint.
+  Result<uint64_t> WriteSnapshot(const std::string& path,
+                                 SnapshotFormat format, uint64_t* out_bytes);
+  /// Binds the session to `db_path` + `wal_path` after a load: continues
+  /// a matching log (tail-repaired), or starts a fresh one when the log
+  /// is missing, corrupt, or from another snapshot generation.
+  Status AttachForLoad(const std::string& db_path, const std::string& wal_path,
+                       uint64_t fingerprint, SnapshotFormat format,
+                       const Result<wal::WalContents>& contents);
+  /// Applies WAL records to db_ (errors per record are deliberately
+  /// ignored: a statement that failed when first executed fails — or
+  /// half-applies — identically on replay). Returns records applied.
+  size_t ReplayWal(const std::vector<wal::WalRecord>& records);
 
   WsdDb db_;
   /// Engaged after LOAD DATABASE ... MAPPED; db_ then holds the
@@ -108,6 +179,11 @@ class Session {
   ApproxOptions approx_options_;
   ExecOptions exec_options_;
   OptimizerOptions optimizer_options_;
+  DurabilityOptions durability_;
+  Env* env_ = nullptr;
+  std::optional<DurableAttachment> attach_;
+  /// True while replaying a WAL: suppresses re-logging.
+  bool replaying_ = false;
 };
 
 }  // namespace sql

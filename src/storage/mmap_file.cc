@@ -42,20 +42,28 @@ void MmapFile::Reset() {
 }
 
 Result<MmapFile> MmapFile::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     int err = errno;
-    std::string msg =
-        StrFormat("mmap open '%s': %s", path.c_str(), std::strerror(err));
+    std::string msg = StrFormat("mmap open '%s': %s (errno %d)", path.c_str(),
+                                std::strerror(err), err);
     if (err == ENOENT) return Status::NotFound(std::move(msg));
     return Status::InvalidArgument(std::move(msg));
   }
   struct stat st;
-  if (fstat(fd, &st) != 0) {
+  int rc;
+  do {
+    rc = fstat(fd, &st);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
     int err = errno;
     ::close(fd);
     return Status::InvalidArgument(
-        StrFormat("mmap stat '%s': %s", path.c_str(), std::strerror(err)));
+        StrFormat("mmap stat '%s': %s (errno %d)", path.c_str(),
+                  std::strerror(err), err));
   }
   if (!S_ISREG(st.st_mode)) {
     ::close(fd);
@@ -71,7 +79,8 @@ Result<MmapFile> MmapFile::Open(const std::string& path) {
       int err = errno;
       ::close(fd);
       return Status::InvalidArgument(
-          StrFormat("mmap map '%s': %s", path.c_str(), std::strerror(err)));
+          StrFormat("mmap map '%s': %s (errno %d)", path.c_str(),
+                    std::strerror(err), err));
     }
     f.data_ = p;
   }

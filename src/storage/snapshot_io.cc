@@ -1,6 +1,8 @@
 #include "storage/snapshot_io.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <istream>
 #include <ostream>
 
@@ -13,6 +15,18 @@ namespace maybms {
 namespace {
 
 constexpr uint32_t kUnsetLocalId = UINT32_MAX;
+
+/// A short read is either honest truncation (EOF: a torn file — a parse
+/// error) or an operating-system read failure (badbit: surface errno so
+/// the operator sees the disk problem, not a "corrupt snapshot").
+Status ShortReadStatus(const std::istream& in, const std::string& what) {
+  if (in.bad()) {
+    const int err = errno;
+    return Status::IOError(StrFormat("read failure in %s: %s (errno %d)",
+                                     what.c_str(), std::strerror(err), err));
+  }
+  return Status::ParseError("truncated " + what);
+}
 
 }  // namespace
 
@@ -127,7 +141,7 @@ Result<SnapshotSection> ReadSnapshotSection(std::istream& in) {
   char header[4 + 8 + 8];
   in.read(header, sizeof(header));
   if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
-    return Status::ParseError("truncated snapshot section header");
+    return ShortReadStatus(in, "snapshot section header");
   }
   SnapshotSection section;
   uint64_t len = 0, checksum = 0;
@@ -146,10 +160,10 @@ Result<SnapshotSection> ReadSnapshotSection(std::istream& in) {
     in.read(payload.data() + old, static_cast<std::streamsize>(want));
     size_t n = static_cast<size_t>(in.gcount());
     if (n < want) {
-      return Status::ParseError(StrFormat(
-          "truncated snapshot section %s: expected %llu payload bytes",
-          SnapshotTagName(section.tag).c_str(),
-          static_cast<unsigned long long>(len)));
+      return ShortReadStatus(
+          in, StrFormat("snapshot section %s: expected %llu payload bytes",
+                        SnapshotTagName(section.tag).c_str(),
+                        static_cast<unsigned long long>(len)));
     }
     got += n;
   }

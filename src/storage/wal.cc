@@ -1,0 +1,190 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "storage/snapshot_io.h"
+
+namespace maybms {
+namespace wal {
+
+namespace {
+
+constexpr size_t kMagicLen = sizeof(kWalMagic) - 1;  // no NUL on disk
+constexpr uint32_t kWalEndianMark = 0x4c415757;      // "WWAL" little-endian
+
+// Header after the magic line: endian(4) reserved(4) fingerprint(8)
+// base_lsn(8) crc(8), crc over the preceding 24 bytes.
+constexpr size_t kHeaderBody = 4 + 4 + 8 + 8;
+constexpr size_t kHeaderLen = kMagicLen + kHeaderBody + 8;
+
+// Record frame: crc(8) lsn(8) type(1) len(4), then len payload bytes;
+// crc over everything after itself.
+constexpr size_t kRecordFrame = 8 + 8 + 1 + 4;
+
+uint64_t Fnv1aContinue(uint64_t h, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t RecordChecksum(uint64_t lsn, uint8_t type, uint32_t len,
+                        std::string_view payload) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = Fnv1aContinue(h, &lsn, sizeof(lsn));
+  h = Fnv1aContinue(h, &type, sizeof(type));
+  h = Fnv1aContinue(h, &len, sizeof(len));
+  h = Fnv1aContinue(h, payload.data(), payload.size());
+  return h;
+}
+
+std::string BuildHeader(uint64_t fingerprint, uint64_t base_lsn) {
+  std::string out(kWalMagic, kMagicLen);
+  std::string body;
+  PutPod(&body, kWalEndianMark);
+  PutPod(&body, static_cast<uint32_t>(0));
+  PutPod(&body, fingerprint);
+  PutPod(&body, base_lsn);
+  out += body;
+  PutPod(&out, HashBytes(body.data(), body.size()));
+  return out;
+}
+
+}  // namespace
+
+uint64_t SnapshotFingerprint(std::string_view bytes) {
+  constexpr size_t kFullLimit = 1u << 20;   // hash everything up to 1 MiB
+  constexpr size_t kStripe = 64u << 10;     // else sample 64 KiB stripes
+  constexpr size_t kStripes = 16;
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const uint64_t size = bytes.size();
+  h = Fnv1aContinue(h, &size, sizeof(size));
+  if (bytes.size() <= kFullLimit) {
+    return Fnv1aContinue(h, bytes.data(), bytes.size());
+  }
+  // kStripes evenly spaced windows; the first starts at 0 and the last
+  // ends exactly at the end of the file, so header and tail (the bytes
+  // most likely to differ between saves) are always covered.
+  const size_t span = bytes.size() - kStripe;
+  for (size_t i = 0; i < kStripes; ++i) {
+    size_t offset = span * i / (kStripes - 1);
+    h = Fnv1aContinue(h, bytes.data() + offset, kStripe);
+  }
+  return h;
+}
+
+Result<WalContents> ReadWal(Env* env, const std::string& path) {
+  MAYBMS_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(path));
+  WalContents out;
+  if (bytes.size() < kHeaderLen ||
+      std::memcmp(bytes.data(), kWalMagic, kMagicLen) != 0) {
+    return out;  // usable=false: not a WAL (or header torn)
+  }
+  const char* body = bytes.data() + kMagicLen;
+  uint64_t stored_crc;
+  std::memcpy(&stored_crc, body + kHeaderBody, sizeof(stored_crc));
+  if (HashBytes(body, kHeaderBody) != stored_crc) {
+    return out;  // header corrupt
+  }
+  uint32_t endian;
+  std::memcpy(&endian, body, sizeof(endian));
+  if (endian != kWalEndianMark) return out;
+  std::memcpy(&out.snapshot_fingerprint, body + 8, sizeof(uint64_t));
+  std::memcpy(&out.base_lsn, body + 16, sizeof(uint64_t));
+  out.usable = true;
+  out.valid_bytes = kHeaderLen;
+
+  size_t pos = kHeaderLen;
+  uint64_t expect_lsn = out.base_lsn;
+  while (bytes.size() - pos >= kRecordFrame) {
+    uint64_t crc, lsn;
+    uint8_t type;
+    uint32_t len;
+    std::memcpy(&crc, bytes.data() + pos, 8);
+    std::memcpy(&lsn, bytes.data() + pos + 8, 8);
+    std::memcpy(&type, bytes.data() + pos + 16, 1);
+    std::memcpy(&len, bytes.data() + pos + 17, 4);
+    if (len > bytes.size() - pos - kRecordFrame) break;  // torn length
+    std::string_view payload(bytes.data() + pos + kRecordFrame, len);
+    if (RecordChecksum(lsn, type, len, payload) != crc) break;
+    if (lsn != expect_lsn) break;  // out-of-sequence: stale bytes
+    if (type != static_cast<uint8_t>(RecordType::kStatement)) break;
+    out.records.push_back(
+        {lsn, static_cast<RecordType>(type), std::string(payload)});
+    pos += kRecordFrame + len;
+    out.valid_bytes = pos;
+    ++expect_lsn;
+  }
+  out.torn_tail = out.valid_bytes < bytes.size();
+  return out;
+}
+
+Result<WalWriter> WalWriter::Create(Env* env, const std::string& path,
+                                    uint64_t snapshot_fingerprint,
+                                    uint64_t base_lsn) {
+  // Atomic header install (tmp + fsync + rename + dir sync): a crash
+  // mid-reset leaves either the old log — discarded later by the
+  // fingerprint check — or a complete empty log, never a torn header
+  // shadowing durable records.
+  MAYBMS_RETURN_IF_ERROR(
+      AtomicWriteFile(env, path, BuildHeader(snapshot_fingerprint, base_lsn)));
+  MAYBMS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                          env->NewWritableFile(path, /*truncate=*/false));
+  return WalWriter(env, path, std::move(file), base_lsn, base_lsn);
+}
+
+Result<WalWriter> WalWriter::OpenForAppend(Env* env, const std::string& path,
+                                           const WalContents& contents) {
+  if (!contents.usable) {
+    return Status::InvalidArgument("cannot append to an unusable WAL: " +
+                                   path);
+  }
+  if (contents.torn_tail) {
+    MAYBMS_RETURN_IF_ERROR(env->TruncateFile(path, contents.valid_bytes));
+  }
+  MAYBMS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                          env->NewWritableFile(path, /*truncate=*/false));
+  return WalWriter(env, path, std::move(file), contents.base_lsn,
+                   contents.base_lsn + contents.records.size());
+}
+
+Result<uint64_t> WalWriter::Append(RecordType type, std::string_view payload) {
+  if (poisoned_) {
+    return Status::IOError(
+        StrFormat("WAL '%s' had an append failure; checkpoint to recreate it",
+                  path_.c_str()));
+  }
+  const uint64_t lsn = next_lsn_;
+  const auto type_byte = static_cast<uint8_t>(type);
+  const auto len = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kRecordFrame + payload.size());
+  PutPod(&frame, RecordChecksum(lsn, type_byte, len, payload));
+  PutPod(&frame, lsn);
+  PutPod(&frame, type_byte);
+  PutPod(&frame, len);
+  frame.append(payload.data(), payload.size());
+  Status st = file_->Append(frame);
+  if (!st.ok()) {
+    // The on-disk tail is now unknown — a later append could land after
+    // garbage and become unreachable for recovery. Refuse to continue.
+    poisoned_ = true;
+    return st;
+  }
+  // Sync is idempotent, so transient failures are safe to retry here
+  // (unlike the append itself).
+  st = WithRetry(env_, 4, [&] { return file_->Sync(); });
+  if (!st.ok()) {
+    poisoned_ = true;
+    return st;
+  }
+  ++next_lsn_;
+  return lsn;
+}
+
+}  // namespace wal
+}  // namespace maybms

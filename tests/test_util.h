@@ -174,6 +174,64 @@ inline void ExpectDbsExactlyEqual(const WsdDb& a, const WsdDb& b) {
   }
 }
 
+/// Bool-returning variant of ExpectDbsExactlyEqual for callers that need
+/// to *test* equality (e.g. "is the recovered state one of the two
+/// admissible oracle states?") rather than assert it.
+inline bool DbsExactlyEqual(const WsdDb& a, const WsdDb& b) {
+  if (a.options().max_component_rows != b.options().max_component_rows) {
+    return false;
+  }
+  if (a.LiveComponents() != b.LiveComponents()) return false;
+  for (ComponentId id : a.LiveComponents()) {
+    const Component& ca = a.component(id);
+    const Component& cb = b.component(id);
+    if (ca.NumSlots() != cb.NumSlots() || ca.NumRows() != cb.NumRows()) {
+      return false;
+    }
+    for (size_t s = 0; s < ca.NumSlots(); ++s) {
+      if (ca.slot(s).owner != cb.slot(s).owner ||
+          ca.slot(s).label != cb.slot(s).label) {
+        return false;
+      }
+    }
+    for (size_t r = 0; r < ca.NumRows(); ++r) {
+      double pa = ca.prob(r), pb = cb.prob(r);
+      if (std::memcmp(&pa, &pb, sizeof(double)) != 0) return false;
+      for (size_t s = 0; s < ca.NumSlots(); ++s) {
+        const PackedValue& va = ca.packed(r, s);
+        const PackedValue& vb = cb.packed(r, s);
+        if (!(va == vb) || va.tag() != vb.tag()) return false;
+      }
+    }
+  }
+  if (a.RelationNames() != b.RelationNames()) return false;
+  for (const std::string& name : a.RelationNames()) {
+    const WsdRelation* ra = a.GetRelation(name).value();
+    const WsdRelation* rb = b.GetRelation(name).value();
+    if (ra->display_name() != rb->display_name()) return false;
+    if (!(ra->schema() == rb->schema())) return false;
+    if (ra->NumTuples() != rb->NumTuples()) return false;
+    for (size_t i = 0; i < ra->NumTuples(); ++i) {
+      const WsdTuple& ta = ra->tuple(i);
+      const WsdTuple& tb = rb->tuple(i);
+      if (ta.deps != tb.deps || ta.cells.size() != tb.cells.size()) {
+        return false;
+      }
+      for (size_t c = 0; c < ta.cells.size(); ++c) {
+        if (ta.cells[c].is_certain() != tb.cells[c].is_certain()) {
+          return false;
+        }
+        if (ta.cells[c].is_certain()) {
+          if (!(ta.cells[c].value() == tb.cells[c].value())) return false;
+        } else if (!(ta.cells[c].ref() == tb.cells[c].ref())) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
 /// Options for RandomWsd.
 struct RandomWsdOptions {
   size_t num_relations = 1;

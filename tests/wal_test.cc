@@ -1,0 +1,216 @@
+// Unit tests for the write-ahead log: framing round-trips, torn-tail
+// detection and repair, corruption cut-off, fingerprint binding, and the
+// poisoned-writer contract. The FaultInjectingEnv doubles as a cheap
+// in-memory filesystem here.
+#include "storage/wal.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/io_env.h"
+#include "tests/test_util.h"
+
+namespace maybms {
+namespace wal {
+namespace {
+
+TEST(WalTest, CreateAppendReadRoundTrip) {
+  FaultInjectingEnv env;
+  auto w = WalWriter::Create(&env, "db.wal", /*snapshot_fingerprint=*/42,
+                             /*base_lsn=*/1);
+  MAYBMS_ASSERT_OK(w.status());
+  auto l1 = w->Append(RecordType::kStatement, "insert into r ...");
+  auto l2 = w->Append(RecordType::kStatement, "repair key ...");
+  auto l3 = w->Append(RecordType::kStatement, "");
+  MAYBMS_ASSERT_OK(l1.status());
+  EXPECT_EQ(*l1, 1u);
+  EXPECT_EQ(*l2, 2u);
+  EXPECT_EQ(*l3, 3u);
+  EXPECT_EQ(w->record_count(), 3u);
+  EXPECT_EQ(w->next_lsn(), 4u);
+
+  auto contents = ReadWal(&env, "db.wal");
+  MAYBMS_ASSERT_OK(contents.status());
+  EXPECT_TRUE(contents->usable);
+  EXPECT_FALSE(contents->torn_tail);
+  EXPECT_EQ(contents->snapshot_fingerprint, 42u);
+  EXPECT_EQ(contents->base_lsn, 1u);
+  ASSERT_EQ(contents->records.size(), 3u);
+  EXPECT_EQ(contents->records[0].lsn, 1u);
+  EXPECT_EQ(contents->records[0].payload, "insert into r ...");
+  EXPECT_EQ(contents->records[2].payload, "");
+}
+
+TEST(WalTest, ReadMissingFileIsNotFound) {
+  FaultInjectingEnv env;
+  auto contents = ReadWal(&env, "absent.wal");
+  EXPECT_EQ(contents.status().code(), StatusCode::kNotFound);
+}
+
+TEST(WalTest, CreateReplacesExistingLog) {
+  FaultInjectingEnv env;
+  {
+    auto w = WalWriter::Create(&env, "db.wal", 1, 1);
+    MAYBMS_ASSERT_OK(w.status());
+    MAYBMS_ASSERT_OK(w->Append(RecordType::kStatement, "old").status());
+  }
+  auto w = WalWriter::Create(&env, "db.wal", 2, 5);
+  MAYBMS_ASSERT_OK(w.status());
+  auto contents = ReadWal(&env, "db.wal");
+  MAYBMS_ASSERT_OK(contents.status());
+  EXPECT_TRUE(contents->usable);
+  EXPECT_EQ(contents->snapshot_fingerprint, 2u);
+  EXPECT_EQ(contents->base_lsn, 5u);
+  EXPECT_TRUE(contents->records.empty());
+}
+
+TEST(WalTest, OpenForAppendContinuesLsns) {
+  FaultInjectingEnv env;
+  {
+    auto w = WalWriter::Create(&env, "db.wal", 7, 1);
+    MAYBMS_ASSERT_OK(w.status());
+    MAYBMS_ASSERT_OK(w->Append(RecordType::kStatement, "a").status());
+    MAYBMS_ASSERT_OK(w->Append(RecordType::kStatement, "b").status());
+  }
+  auto contents = ReadWal(&env, "db.wal");
+  MAYBMS_ASSERT_OK(contents.status());
+  auto w = WalWriter::OpenForAppend(&env, "db.wal", *contents);
+  MAYBMS_ASSERT_OK(w.status());
+  EXPECT_EQ(w->record_count(), 2u);
+  auto lsn = w->Append(RecordType::kStatement, "c");
+  MAYBMS_ASSERT_OK(lsn.status());
+  EXPECT_EQ(*lsn, 3u);
+  auto again = ReadWal(&env, "db.wal");
+  MAYBMS_ASSERT_OK(again.status());
+  ASSERT_EQ(again->records.size(), 3u);
+  EXPECT_EQ(again->records[2].payload, "c");
+}
+
+TEST(WalTest, TornTailIsDetectedAndRepaired) {
+  FaultInjectingEnv env;
+  {
+    auto w = WalWriter::Create(&env, "db.wal", 7, 1);
+    MAYBMS_ASSERT_OK(w.status());
+    MAYBMS_ASSERT_OK(w->Append(RecordType::kStatement, "keep me").status());
+  }
+  // Simulate a torn final write: garbage bytes past the last full record.
+  {
+    auto f = env.NewWritableFile("db.wal", /*truncate=*/false);
+    MAYBMS_ASSERT_OK(f.status());
+    MAYBMS_ASSERT_OK((*f)->Append("\x01\x02partial rec"));
+    MAYBMS_ASSERT_OK((*f)->Sync());
+  }
+  auto contents = ReadWal(&env, "db.wal");
+  MAYBMS_ASSERT_OK(contents.status());
+  EXPECT_TRUE(contents->usable);
+  EXPECT_TRUE(contents->torn_tail);
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0].payload, "keep me");
+
+  // OpenForAppend truncates the junk; appending then re-reading yields a
+  // clean log with the old prefix plus the new record.
+  auto w = WalWriter::OpenForAppend(&env, "db.wal", *contents);
+  MAYBMS_ASSERT_OK(w.status());
+  MAYBMS_ASSERT_OK(w->Append(RecordType::kStatement, "after repair").status());
+  auto again = ReadWal(&env, "db.wal");
+  MAYBMS_ASSERT_OK(again.status());
+  EXPECT_FALSE(again->torn_tail);
+  ASSERT_EQ(again->records.size(), 2u);
+  EXPECT_EQ(again->records[0].payload, "keep me");
+  EXPECT_EQ(again->records[1].payload, "after repair");
+  EXPECT_EQ(again->records[1].lsn, 2u);
+}
+
+TEST(WalTest, CorruptRecordCutsTheLogAtLongestValidPrefix) {
+  FaultInjectingEnv env;
+  auto w = WalWriter::Create(&env, "db.wal", 7, 1);
+  MAYBMS_ASSERT_OK(w.status());
+  MAYBMS_ASSERT_OK(w->Append(RecordType::kStatement, "first").status());
+  auto after_one = ReadWal(&env, "db.wal");
+  MAYBMS_ASSERT_OK(after_one.status());
+  MAYBMS_ASSERT_OK(w->Append(RecordType::kStatement, "second").status());
+  MAYBMS_ASSERT_OK(w->Append(RecordType::kStatement, "third").status());
+  // Flip a byte inside the second record's frame: the scan must stop
+  // after the first record even though the third is intact.
+  MAYBMS_ASSERT_OK(env.MutateFileByte("db.wal", after_one->valid_bytes + 10));
+  auto contents = ReadWal(&env, "db.wal");
+  MAYBMS_ASSERT_OK(contents.status());
+  EXPECT_TRUE(contents->usable);
+  EXPECT_TRUE(contents->torn_tail);
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0].payload, "first");
+  EXPECT_EQ(contents->valid_bytes, after_one->valid_bytes);
+}
+
+TEST(WalTest, CorruptHeaderMakesLogUnusable) {
+  FaultInjectingEnv env;
+  {
+    auto w = WalWriter::Create(&env, "db.wal", 7, 1);
+    MAYBMS_ASSERT_OK(w.status());
+    MAYBMS_ASSERT_OK(w->Append(RecordType::kStatement, "x").status());
+  }
+  MAYBMS_ASSERT_OK(env.MutateFileByte("db.wal", 2));  // inside the magic
+  auto contents = ReadWal(&env, "db.wal");
+  MAYBMS_ASSERT_OK(contents.status());
+  EXPECT_FALSE(contents->usable);
+  EXPECT_TRUE(contents->records.empty());
+}
+
+TEST(WalTest, AppendFailurePoisonsTheWriter) {
+  FaultInjectingEnv env;
+  auto w = WalWriter::Create(&env, "db.wal", 7, 1);
+  MAYBMS_ASSERT_OK(w.status());
+  MAYBMS_ASSERT_OK(w->Append(RecordType::kStatement, "fine").status());
+  FaultPlan plan;
+  plan.fail_at_op = env.op_count();  // the very next op: the frame write
+  env.set_plan(plan);
+  auto bad = w->Append(RecordType::kStatement, "doomed");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(w->poisoned());
+  // The env is healthy again, but the writer must refuse: its on-disk
+  // tail is suspect until the next checkpoint recreates the log.
+  auto refused = w->Append(RecordType::kStatement, "too late");
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kIOError);
+}
+
+TEST(WalTest, TransientSyncFailureIsRetried) {
+  FaultInjectingEnv env;
+  auto w = WalWriter::Create(&env, "db.wal", 7, 1);
+  MAYBMS_ASSERT_OK(w.status());
+  FaultPlan plan;
+  plan.fail_at_op = env.op_count() + 1;  // frame write, then this Sync
+  plan.fail_transient = true;
+  env.set_plan(plan);
+  auto lsn = w->Append(RecordType::kStatement, "persists anyway");
+  MAYBMS_ASSERT_OK(lsn.status());
+  EXPECT_FALSE(w->poisoned());
+  EXPECT_GE(env.transient_retries_observed(), 1);
+  auto contents = ReadWal(&env, "db.wal");
+  MAYBMS_ASSERT_OK(contents.status());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0].payload, "persists anyway");
+}
+
+TEST(WalTest, SnapshotFingerprintSeparatesContents) {
+  EXPECT_EQ(SnapshotFingerprint("abc"), SnapshotFingerprint("abc"));
+  EXPECT_NE(SnapshotFingerprint("abc"), SnapshotFingerprint("abd"));
+  EXPECT_NE(SnapshotFingerprint("abc"), SnapshotFingerprint("abcd"));
+  EXPECT_NE(SnapshotFingerprint(""), SnapshotFingerprint(std::string(1, 0)));
+  // Large inputs are stripe-sampled; size and first-stripe changes must
+  // still register.
+  std::string big(2u << 20, 'x');
+  const uint64_t base = SnapshotFingerprint(big);
+  EXPECT_EQ(base, SnapshotFingerprint(big));
+  std::string bigger = big + "y";
+  EXPECT_NE(base, SnapshotFingerprint(bigger));
+  std::string flipped = big;
+  flipped[0] ^= 1;
+  EXPECT_NE(base, SnapshotFingerprint(flipped));
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace maybms
