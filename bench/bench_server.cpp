@@ -1,0 +1,176 @@
+// Server experiment: sustained throughput and tail latency of the
+// concurrent multi-session query server under a mixed read/write
+// workload.
+//
+// Setup: a noisy census WSD published through a SharedCatalog and
+// served over TCP. 8 concurrent clients each run a closed loop for a
+// fixed wall-time window: 90% reads (rotating over confidence,
+// possible/certain and world-set queries on the census relation) and
+// 10% writes (INSERTs into a side relation, WAL-ordering path without a
+// durable attachment). Results must be correct, not just fast: every
+// response is checked for protocol-level success, and a final ECOUNT is
+// differentially verified against the number of acknowledged writes.
+//
+// Emits BENCH_server.json: sustained queries/second (as ns_per_op) and
+// p99 latency per statement class, gated by scripts/bench_compare.py.
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/shared_catalog.h"
+
+using namespace maybms;
+using namespace maybms::bench;
+
+namespace {
+
+struct ClientStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t errors = 0;
+  std::vector<double> read_s;   ///< per-request wall seconds
+  std::vector<double> write_s;
+};
+
+double Percentile(std::vector<double>* xs, double p) {
+  if (xs->empty()) return 0.0;
+  std::sort(xs->begin(), xs->end());
+  const size_t idx = static_cast<size_t>(p * (xs->size() - 1) + 0.5);
+  return (*xs)[idx];
+}
+
+}  // namespace
+
+int main() {
+  const size_t records = std::max<size_t>(Scaled(2000), 64);
+  const double window_s = std::max(0.25, 2.0 * BenchScale());
+  constexpr int kClients = 8;
+
+  printf("MayBMS server benchmark: %d clients, %zu census records, "
+         "%.2fs window\n\n",
+         kClients, records, window_s);
+
+  WsdDb db = BuildNoisyCensus(records, /*noise_fraction=*/0.001, /*seed=*/7);
+  server::SharedCatalog catalog(std::move(db));
+  Status setup = catalog.setup_session()
+                     ->Execute("CREATE TABLE audit (who INT, what INT)")
+                     .status();
+  MAYBMS_CHECK(setup.ok()) << setup.ToString();
+  catalog.Publish();
+
+  server::ServerOptions options;
+  options.workers = kClients;
+  auto started = server::Server::Start(&catalog, options);
+  MAYBMS_CHECK(started.ok()) << started.status().ToString();
+  server::Server& srv = **started;
+
+  const std::string read_queries[] = {
+      "SELECT ECOUNT() FROM census WHERE AGE > 50",
+      "POSSIBLE SELECT MARST FROM census WHERE PERNUM < 40",
+      "CERTAIN SELECT SEX FROM census WHERE PERNUM < 40",
+      "SELECT MARST, PROB() FROM census WHERE PERNUM = 17",
+      "SELECT ECOUNT() FROM audit",
+  };
+
+  std::vector<ClientStats> stats(kClients);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = server::Client::Connect(srv.port());
+      if (!client.ok()) {
+        stats[c].errors++;
+        return;
+      }
+      uint64_t seq = 0;
+      Timer t;
+      while (!stop.load(std::memory_order_acquire)) {
+        const bool is_write = seq % 10 == 9;  // 90/10 read/write mix
+        std::string stmt =
+            is_write ? "INSERT INTO audit VALUES (" + std::to_string(c) +
+                           ", " + std::to_string(seq) + ")"
+                     : std::string(read_queries[(seq + c) % 5]);
+        Timer req;
+        auto resp = client->Execute(stmt);
+        const double s = req.Seconds();
+        ++seq;
+        if (!resp.ok() || !resp->ok) {
+          stats[c].errors++;
+          continue;
+        }
+        if (is_write) {
+          stats[c].writes++;
+          stats[c].write_s.push_back(s);
+        } else {
+          stats[c].reads++;
+          stats[c].read_s.push_back(s);
+        }
+      }
+    });
+  }
+
+  Timer window;
+  while (window.Seconds() < window_s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const double elapsed = window.Seconds();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+
+  uint64_t reads = 0, writes = 0, errors = 0;
+  std::vector<double> read_s, write_s;
+  for (const ClientStats& s : stats) {
+    reads += s.reads;
+    writes += s.writes;
+    errors += s.errors;
+    read_s.insert(read_s.end(), s.read_s.begin(), s.read_s.end());
+    write_s.insert(write_s.end(), s.write_s.begin(), s.write_s.end());
+  }
+  MAYBMS_CHECK(errors == 0) << errors << " client-visible errors";
+  MAYBMS_CHECK(reads + writes > 0) << "no requests completed";
+
+  // Differential check: the catalog must have exactly the acknowledged
+  // writes — concurrency may reorder them but never lose or duplicate.
+  {
+    auto verify = server::Client::Connect(srv.port());
+    MAYBMS_CHECK(verify.ok()) << verify.status().ToString();
+    auto count = verify->Execute("SELECT ECOUNT() FROM audit");
+    MAYBMS_CHECK(count.ok() && count->ok);
+    std::string joined;
+    for (const std::string& l : count->lines) joined += l + "\n";
+    MAYBMS_CHECK(joined.find(std::to_string(writes)) != std::string::npos)
+        << "acknowledged " << writes << " writes but catalog says: " << joined;
+  }
+
+  const double qps = static_cast<double>(reads + writes) / elapsed;
+  const double read_p99_s = Percentile(&read_s, 0.99);
+  const double write_p99_s = Percentile(&write_s, 0.99);
+
+  Table table({"metric", "value"});
+  table.AddRow({"clients", std::to_string(kClients)});
+  table.AddRow({"requests", std::to_string(reads + writes)});
+  table.AddRow({"  reads", std::to_string(reads)});
+  table.AddRow({"  writes", std::to_string(writes)});
+  table.AddRow({"sustained QPS", StrFormat("%.0f", qps)});
+  table.AddRow({"read p99", StrFormat("%.2f ms", read_p99_s * 1e3)});
+  table.AddRow({"write p99", StrFormat("%.2f ms", write_p99_s * 1e3)});
+  table.AddRow({"catalog versions", std::to_string(catalog.version())});
+  const server::ServerCounters counters = srv.counters();
+  table.AddRow({"served", std::to_string(counters.requests_served)});
+  table.Print();
+
+  srv.Stop();
+
+  BenchJson json("server");
+  // QPS expressed as mean ns per statement so the bench_compare gate's
+  // "lower is better" convention applies unchanged.
+  json.Add("server_mixed_ns_per_stmt", 1e9 / std::max(qps, 1e-9));
+  json.Add("server_read_p99_ns", read_p99_s * 1e9);
+  json.Add("server_write_p99_ns", write_p99_s * 1e9);
+  return 0;
+}

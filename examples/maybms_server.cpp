@@ -1,0 +1,102 @@
+// maybms_server: the concurrent multi-session query server as a
+// standalone binary.
+//
+//   maybms_server [--port N] [--workers N] [--load path.wsd]
+//                 [--rate-qps Q] [--max-in-flight N]
+//
+// Serves the MayBMS SQL dialect over a newline-framed TCP protocol on
+// 127.0.0.1 — try it with `nc 127.0.0.1 <port>`:
+//
+//   CREATE TABLE md (name STRING, diag STRING)
+//   INSERT INTO md VALUES ('smith', {'flu': 0.7, 'cold': 0.3})
+//   SELECT name, PROB() FROM md WHERE diag = 'flu'
+//   .stats
+//
+// Responses are "OK <n>" followed by n lines, or "ERR <message>".
+// Reads run snapshot-isolated against the latest published catalog
+// version; writes serialize through the shared write-ahead-log path.
+// With --load the database (and, for WAL-enabled snapshots, its log)
+// is loaded before serving, so inserts are durable across restarts.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.h"
+#include "server/shared_catalog.h"
+
+using namespace maybms;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerOptions options;
+  std::string load_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v) options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v) options.workers = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--rate-qps") {
+      const char* v = next();
+      if (v) options.rate_qps = std::atof(v);
+    } else if (arg == "--max-in-flight") {
+      const char* v = next();
+      if (v) options.max_in_flight = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--load") {
+      const char* v = next();
+      if (v) load_path = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--workers N] [--load path.wsd] "
+                   "[--rate-qps Q] [--max-in-flight N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  server::SharedCatalog catalog;
+  if (!load_path.empty()) {
+    auto loaded = catalog.setup_session()->Execute("LOAD DATABASE '" +
+                                                   load_path + "'");
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", loaded->message.c_str());
+    catalog.Publish();
+  }
+
+  auto started = server::Server::Start(&catalog, options);
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 started.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("maybms_server listening on 127.0.0.1:%u (%zu workers)\n",
+              (*started)->port(), options.workers);
+  std::printf("connect with: nc 127.0.0.1 %u\n", (*started)->port());
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  sigset_t mask;
+  sigemptyset(&mask);
+  while (!g_stop) sigsuspend(&mask);
+
+  std::printf("shutting down\n");
+  (*started)->Stop();
+  return 0;
+}

@@ -82,6 +82,9 @@ constexpr const char* kHelp = R"(statements:
     -- automatically every auto_checkpoint_records logged statements)
   DROP TABLE r;
 meta: \h (help)  \q (quit)  \save <file> [text|binary]  \load <file>
+multi-client access: this shell is single-session; run maybms_server to
+serve the same dialect over TCP to concurrent clients (see `nc`-able
+line protocol in examples/maybms_server.cpp)
 )";
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -76,6 +77,45 @@ class ThreadPool {
 /// 1 → plain inline loop, no synchronization at all).
 void ParallelFor(size_t num_threads, size_t n,
                  const std::function<void(size_t)>& fn);
+
+/// A task-queue pool for independent, long-lived jobs — the server's
+/// worker threads. Unlike ThreadPool (one index-sharded loop at a time,
+/// caller participates), TaskPool runs arbitrary submitted closures on
+/// its own threads and the submitter never blocks; that makes it safe
+/// for tasks that themselves call ThreadPool::ParallelFor.
+class TaskPool {
+ public:
+  /// Spawns `workers` threads (0 → DefaultNumThreads()).
+  explicit TaskPool(size_t workers);
+  /// Drains: waits for queued + running tasks, then joins the threads.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Tasks must not
+  /// throw. Returns false when the pool is shutting down (the task is
+  /// dropped — the server checks this on its accept path).
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Drain();
+
+  size_t NumWorkers() const { return threads_.size(); }
+  /// Tasks queued but not yet picked up (snapshot; for admission tests).
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< wakes idle workers
+  std::condition_variable idle_cv_;  ///< wakes Drain callers
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace maybms
 

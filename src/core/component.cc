@@ -32,7 +32,7 @@ Status Component::AddRow(ComponentRow row) {
     return Status::OutOfRange(
         StrFormat("row probability %g outside [0,1]", row.prob));
   }
-  stats_.reset();
+  InvalidateStats();
   for (size_t s = 0; s < slots_.size(); ++s) {
     cols_[s].push_back(PackedValue::FromValue(row.values[s]));
   }
@@ -51,14 +51,14 @@ Status Component::AddPackedRow(const std::vector<PackedValue>& values,
     return Status::OutOfRange(
         StrFormat("row probability %g outside [0,1]", prob));
   }
-  stats_.reset();
+  InvalidateStats();
   for (size_t s = 0; s < slots_.size(); ++s) cols_[s].push_back(values[s]);
   probs_.push_back(prob);
   return Status::OK();
 }
 
 uint32_t Component::AddSlot(Slot slot, const Value& fill) {
-  stats_.reset();
+  InvalidateStats();
   slots_.push_back(std::move(slot));
   cols_.emplace_back(NumRows(), PackedValue::FromValue(fill));
   return static_cast<uint32_t>(slots_.size() - 1);
@@ -75,7 +75,7 @@ uint32_t Component::AddSlotWithValues(Slot slot, std::vector<Value> values) {
 uint32_t Component::AddSlotWithPacked(Slot slot,
                                       std::vector<PackedValue> column) {
   MAYBMS_DCHECK(column.size() == NumRows());
-  stats_.reset();
+  InvalidateStats();
   slots_.push_back(std::move(slot));
   cols_.push_back(std::move(column));
   return static_cast<uint32_t>(slots_.size() - 1);
@@ -190,7 +190,7 @@ void Component::DedupRows() {
 
 void Component::DropSlots(const std::vector<uint32_t>& sorted_slots) {
   if (sorted_slots.empty()) return;
-  stats_.reset();
+  InvalidateStats();
   // Columnar marginalization: dropping a slot is dropping its column —
   // no per-row work at all; the dedup afterwards merges the projections.
   std::vector<bool> drop(slots_.size(), false);
@@ -215,7 +215,7 @@ void Component::DropSlots(const std::vector<uint32_t>& sorted_slots) {
 void Component::KeepRows(const std::vector<uint32_t>& keep) {
   MAYBMS_DCHECK(std::is_sorted(keep.begin(), keep.end()));
   if (keep.size() == NumRows()) return;
-  stats_.reset();
+  InvalidateStats();
   for (size_t s = 0; s < cols_.size(); ++s) {
     std::vector<PackedValue>& col = cols_[s];
     for (size_t i = 0; i < keep.size(); ++i) col[i] = col[keep[i]];
@@ -273,18 +273,26 @@ Result<Component> Component::Product(const Component& a, const Component& b,
 }
 
 const ComponentStats& Component::GetStats() const {
-  if (stats_.has_value()) return *stats_;
-  ComponentStats s;
-  s.rows = NumRows();
-  s.distinct.assign(slots_.size(), 0);
+  std::shared_ptr<const ComponentStats> cached = std::atomic_load(&stats_);
+  if (cached != nullptr) return *cached;
+  auto s = std::make_shared<ComponentStats>();
+  s->rows = NumRows();
+  s->distinct.assign(slots_.size(), 0);
   std::unordered_set<PackedValue, PackedValueHash> seen;
   for (size_t c = 0; c < cols_.size(); ++c) {
     seen.clear();
     seen.insert(cols_[c].begin(), cols_[c].end());
-    s.distinct[c] = seen.size();
+    s->distinct[c] = seen.size();
   }
-  stats_ = std::move(s);
-  return *stats_;
+  // Install-if-absent: racing readers compute identical stats, the first
+  // CAS wins and everyone returns the winning object. The reference stays
+  // valid because only mutation (exclusive by contract) clears stats_.
+  std::shared_ptr<const ComponentStats> expected;
+  std::shared_ptr<const ComponentStats> fresh = std::move(s);
+  if (std::atomic_compare_exchange_strong(&stats_, &expected, fresh)) {
+    return *fresh;
+  }
+  return *expected;
 }
 
 namespace {

@@ -15,6 +15,7 @@
 #ifndef MAYBMS_CORE_COMPONENT_H_
 #define MAYBMS_CORE_COMPONENT_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_set>
@@ -62,6 +63,25 @@ class Component {
  public:
   Component() = default;
 
+  // Copies read the stats cache atomically: a concurrent reader may be
+  // CAS-installing stats on the source (GetStats is const and
+  // thread-safe). Moves require exclusive access, like mutation.
+  Component(const Component& o)
+      : slots_(o.slots_),
+        cols_(o.cols_),
+        probs_(o.probs_),
+        stats_(std::atomic_load(&o.stats_)) {}
+  Component& operator=(const Component& o) {
+    if (this == &o) return *this;
+    slots_ = o.slots_;
+    cols_ = o.cols_;
+    probs_ = o.probs_;
+    stats_ = std::atomic_load(&o.stats_);
+    return *this;
+  }
+  Component(Component&&) = default;
+  Component& operator=(Component&&) = default;
+
   size_t NumSlots() const { return slots_.size(); }
   size_t NumRows() const { return probs_.size(); }
   bool empty() const { return slots_.empty(); }
@@ -81,11 +101,11 @@ class Component {
   /// Materializes the cell as a Value (copies string content).
   Value ValueAt(size_t r, size_t s) const { return cols_[s][r].ToValue(); }
   void SetPacked(size_t r, size_t s, PackedValue v) {
-    stats_.reset();
+    InvalidateStats();
     cols_[s][r] = v;
   }
   void SetValue(size_t r, size_t s, const Value& v) {
-    stats_.reset();
+    InvalidateStats();
     cols_[s][r] = PackedValue::FromValue(v);
   }
   /// The whole column of slot s (length NumRows()).
@@ -153,11 +173,14 @@ class Component {
   // --- statistics --------------------------------------------------------
   /// Row/per-slot-distinct statistics, computed on first access and
   /// cached until the next mutation of rows or cells (probability-only
-  /// updates keep the cache).
+  /// updates keep the cache). Safe to call from concurrent readers: the
+  /// cache is published with an atomic compare-and-swap, so racing
+  /// callers agree on one result object. Mutators (which invalidate)
+  /// still require exclusive access, like every non-const method.
   const ComponentStats& GetStats() const;
 
   /// True when GetStats() would return a cached result (for tests).
-  bool HasCachedStats() const { return stats_.has_value(); }
+  bool HasCachedStats() const { return std::atomic_load(&stats_) != nullptr; }
 
   // --- sizes / rendering -------------------------------------------------
   /// Bytes in the flat serialized model (values + 8-byte probability per
@@ -179,11 +202,18 @@ class Component {
   std::string ToString() const;
 
  private:
+  /// Drops the cached statistics (atomically, so a reader that raced a
+  /// handed-out mutable reference sees either the old stats or none).
+  void InvalidateStats() {
+    std::atomic_store(&stats_, std::shared_ptr<const ComponentStats>());
+  }
+
   std::vector<Slot> slots_;
   std::vector<std::vector<PackedValue>> cols_;  ///< cols_[slot][row]
   std::vector<double> probs_;                   ///< probs_[row]
-  /// Lazily-computed statistics; reset by every cell/row mutation.
-  mutable std::optional<ComponentStats> stats_;
+  /// Lazily-computed statistics; reset by every cell/row mutation and
+  /// published by CAS so concurrent const readers never race.
+  mutable std::shared_ptr<const ComponentStats> stats_;
 };
 
 }  // namespace maybms

@@ -234,11 +234,15 @@ Result<MappedWsdDb> MappedWsdDb::Open(const std::string& path,
   return m;
 }
 
+// Requires mu_ held.
 void MappedWsdDb::Account(size_t bytes) {
   resident_bytes_ += bytes;
   peak_resident_bytes_ = std::max(peak_resident_bytes_, resident_bytes_);
 }
 
+// Requires mu_ held. Dropping an entry only releases the cache's
+// reference; a concurrent materialization holding the shared_ptr keeps
+// using the block safely.
 void MappedWsdDb::EvictToCap() {
   while (resident_bytes_ > max_resident_bytes_ &&
          (!comp_cache_.empty() || !shard_cache_.empty())) {
@@ -271,15 +275,19 @@ void MappedWsdDb::EvictToCap() {
   }
 }
 
-Result<const Component*> MappedWsdDb::DecodeComponent(
+Result<std::shared_ptr<const Component>> MappedWsdDb::DecodeComponent(
     size_t k, bool use_cache, MaterializeStats* stats) {
   if (use_cache) {
+    std::lock_guard<std::mutex> lock(*mu_);
     auto it = comp_cache_.find(k);
     if (it != comp_cache_.end()) {
       it->second.last_use = ++use_clock_;
-      return &it->second.comp;
+      return it->second.comp;
     }
   }
+  // Decode outside the lock: the mapped payload is immutable, and the
+  // checksum + parse work dominates. Two threads racing on a cold block
+  // both decode; the second install below adopts the first one's copy.
   const sv3::DirComponent& dc = dir_.components[k];
   MAYBMS_ASSIGN_OR_RETURN(
       std::string_view block,
@@ -298,24 +306,28 @@ Result<const Component*> MappedWsdDb::DecodeComponent(
   }
   stats->components_loaded++;
   stats->bytes_decoded += static_cast<size_t>(dc.length);
-  CachedComponent entry;
-  entry.comp = std::move(decoded.second);
-  entry.bytes = static_cast<size_t>(dc.length);
-  entry.last_use = ++use_clock_;
-  CachedComponent& slot = use_cache ? comp_cache_[k] : scratch_comp_;
-  slot = std::move(entry);
-  if (use_cache) Account(slot.bytes);
-  return &slot.comp;
+  auto comp = std::make_shared<const Component>(std::move(decoded.second));
+  if (!use_cache) return comp;
+  std::lock_guard<std::mutex> lock(*mu_);
+  CachedComponent& slot = comp_cache_[k];
+  if (slot.comp == nullptr) {
+    slot.comp = std::move(comp);
+    slot.bytes = static_cast<size_t>(dc.length);
+    Account(slot.bytes);
+  }
+  slot.last_use = ++use_clock_;
+  return slot.comp;
 }
 
-Result<const std::vector<WsdTuple>*> MappedWsdDb::DecodeShard(
+Result<std::shared_ptr<const std::vector<WsdTuple>>> MappedWsdDb::DecodeShard(
     size_t r, size_t s, bool use_cache, MaterializeStats* stats) {
   const uint64_t key = (static_cast<uint64_t>(r) << 32) | s;
   if (use_cache) {
+    std::lock_guard<std::mutex> lock(*mu_);
     auto it = shard_cache_.find(key);
     if (it != shard_cache_.end()) {
       it->second.last_use = ++use_clock_;
-      return &it->second.tuples;
+      return it->second.tuples;
     }
   }
   const sv3::DirRelation& dr = dir_.relations[r];
@@ -330,14 +342,18 @@ Result<const std::vector<WsdTuple>*> MappedWsdDb::DecodeShard(
       block, static_cast<uint32_t>(dr.schema.size()), 0, n, local_strings_,
       &tuples));
   stats->bytes_decoded += static_cast<size_t>(ds.length);
-  CachedShard entry;
-  entry.tuples = std::move(tuples);
-  entry.bytes = static_cast<size_t>(ds.length);
-  entry.last_use = ++use_clock_;
-  CachedShard& slot = use_cache ? shard_cache_[key] : scratch_shard_;
-  slot = std::move(entry);
-  if (use_cache) Account(slot.bytes);
-  return &slot.tuples;
+  auto decoded =
+      std::make_shared<const std::vector<WsdTuple>>(std::move(tuples));
+  if (!use_cache) return decoded;
+  std::lock_guard<std::mutex> lock(*mu_);
+  CachedShard& slot = shard_cache_[key];
+  if (slot.tuples == nullptr) {
+    slot.tuples = std::move(decoded);
+    slot.bytes = static_cast<size_t>(ds.length);
+    Account(slot.bytes);
+  }
+  slot.last_use = ++use_clock_;
+  return slot.tuples;
 }
 
 Result<WsdDb> MappedWsdDb::Materialize(
@@ -365,7 +381,7 @@ Result<WsdDb> MappedWsdDb::Materialize(
   // directory was validated against.
   for (size_t k = 0; k < dir_.components.size(); ++k) {
     if (!comp_needed[k]) continue;
-    MAYBMS_ASSIGN_OR_RETURN(const Component* comp,
+    MAYBMS_ASSIGN_OR_RETURN(std::shared_ptr<const Component> comp,
                             DecodeComponent(k, use_cache, &stats));
     MAYBMS_RETURN_IF_ERROR(sv3::PlaceComponentAt(&db, dir_.components[k].id,
                                                  k, Component(*comp)));
@@ -386,9 +402,9 @@ Result<WsdDb> MappedWsdDb::Materialize(
     tuples.reserve(rows);
     for (size_t s = 0; s < dr.shards.size(); ++s) {
       if (!keep[r][s]) continue;
-      MAYBMS_ASSIGN_OR_RETURN(const std::vector<WsdTuple>* shard,
+      MAYBMS_ASSIGN_OR_RETURN(std::shared_ptr<const std::vector<WsdTuple>> sh,
                               DecodeShard(r, s, use_cache, &stats));
-      tuples.insert(tuples.end(), shard->begin(), shard->end());
+      tuples.insert(tuples.end(), sh->begin(), sh->end());
     }
   }
   if (meta_.owner_counter > 0) {
@@ -398,8 +414,11 @@ Result<WsdDb> MappedWsdDb::Materialize(
   // full materialization replays the WAL exactly like the eager loader.
   db.PadComponentSlots(static_cast<size_t>(meta_.component_counter));
   MAYBMS_RETURN_IF_ERROR(db.CheckInvariants());
-  if (use_cache) EvictToCap();
-  last_stats_ = stats;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (use_cache) EvictToCap();
+    last_stats_ = stats;
+  }
   return db;
 }
 

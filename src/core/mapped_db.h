@@ -17,18 +17,23 @@
 // returns is an owned scratch copy — it lives for one query and is not
 // counted against the budget.
 //
-// Not thread-safe: one MappedWsdDb serves one session at a time (the
-// same carve-out as the optimizer's relation-level stats caches).
+// Thread-safe for concurrent materialization: the decoded-block cache,
+// its LRU residency accounting and the materialization statistics are
+// guarded by an internal mutex, and blocks are handed out as shared_ptr
+// so an eviction never invalidates a reader mid-decode. Block decoding
+// itself (the expensive part, including the deferred per-block checksum
+// verification) runs outside the lock; when two readers race on the
+// same cold block, one decode wins the install and the other adopts it.
 #ifndef MAYBMS_CORE_MAPPED_DB_H_
 #define MAYBMS_CORE_MAPPED_DB_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
-
-#include <memory>
 
 #include "common/result.h"
 #include "core/shard.h"
@@ -99,9 +104,15 @@ class MappedWsdDb {
   size_t num_components() const { return dir_.components.size(); }
 
   /// Bytes of decoded blocks currently cached.
-  size_t resident_bytes() const { return resident_bytes_; }
+  size_t resident_bytes() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return resident_bytes_;
+  }
   /// High-water mark of resident_bytes() since Open.
-  size_t peak_resident_bytes() const { return peak_resident_bytes_; }
+  size_t peak_resident_bytes() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return peak_resident_bytes_;
+  }
   size_t max_resident_bytes() const { return max_resident_bytes_; }
   /// Size of the snapshot file on disk.
   size_t snapshot_bytes() const { return file_->bytes().size(); }
@@ -109,30 +120,33 @@ class MappedWsdDb {
   /// them to match a WAL against the snapshot without an extra read).
   std::string_view snapshot_view() const { return file_->bytes(); }
 
-  const MaterializeStats& last_stats() const { return last_stats_; }
+  /// Statistics of the most recent Materialize* call (by any thread).
+  MaterializeStats last_stats() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return last_stats_;
+  }
 
  private:
-  MappedWsdDb() = default;
+  MappedWsdDb() : mu_(std::make_unique<std::mutex>()) {}
 
   struct CachedComponent {
-    Component comp;
+    std::shared_ptr<const Component> comp;
     size_t bytes = 0;
     uint64_t last_use = 0;
   };
   struct CachedShard {
-    std::vector<WsdTuple> tuples;
+    std::shared_ptr<const std::vector<WsdTuple>> tuples;
     size_t bytes = 0;
     uint64_t last_use = 0;
   };
 
-  /// Decoded component for dir index `k`, via the cache. The reference
-  /// is invalidated by the next eviction — copy out before evicting.
-  Result<const Component*> DecodeComponent(size_t k, bool use_cache,
-                                           MaterializeStats* stats);
+  /// Decoded component for dir index `k`, via the cache. The returned
+  /// shared_ptr keeps the block alive across evictions.
+  Result<std::shared_ptr<const Component>> DecodeComponent(
+      size_t k, bool use_cache, MaterializeStats* stats);
   /// Decoded tuples of shard `s` of dir relation `r`, via the cache.
-  Result<const std::vector<WsdTuple>*> DecodeShard(size_t r, size_t s,
-                                                   bool use_cache,
-                                                   MaterializeStats* stats);
+  Result<std::shared_ptr<const std::vector<WsdTuple>>> DecodeShard(
+      size_t r, size_t s, bool use_cache, MaterializeStats* stats);
   /// Builds a scratch database holding, per dir relation, the tuples of
   /// the shards with keep[r][s] != 0 plus every component they
   /// reference.
@@ -158,16 +172,17 @@ class MappedWsdDb {
   WsdDb skeleton_;
 
   size_t max_resident_bytes_ = 0;  ///< resolved; SIZE_MAX = unlimited
+
+  /// Guards the cache maps, residency accounting and last_stats_.
+  /// Heap-allocated so the object stays movable (moves still require
+  /// exclusive access, like every non-const single-object operation).
+  std::unique_ptr<std::mutex> mu_;
   size_t resident_bytes_ = 0;
   size_t peak_resident_bytes_ = 0;
   uint64_t use_clock_ = 0;
   std::unordered_map<uint64_t, CachedComponent> comp_cache_;
   /// Key: rel_index << 32 | shard_index.
   std::unordered_map<uint64_t, CachedShard> shard_cache_;
-  /// Landing slots for cache-bypassing decodes (MaterializeAll); valid
-  /// until the next Decode* call.
-  CachedComponent scratch_comp_;
-  CachedShard scratch_shard_;
   MaterializeStats last_stats_;
 };
 

@@ -218,12 +218,19 @@ const ShardPartition& GetShardPartition(const WsdDb& db,
   // Compute stores a normalized rows_per_shard (0 → whole relation);
   // compare against the same normalization so the cache hits.
   const size_t norm = want == 0 ? std::max<size_t>(rel.NumTuples(), 1) : want;
-  const std::shared_ptr<const ShardPartition>& cached = rel.cached_shards();
+  std::shared_ptr<const ShardPartition> cached = rel.cached_shards();
   if (cached != nullptr && cached->rows_per_shard == norm) return *cached;
   auto fresh = std::make_shared<const ShardPartition>(
       ComputeShardPartition(db, rel, want));
-  rel.set_cached_shards(fresh);
-  return *rel.cached_shards();
+  // Install-if-absent: concurrent readers share one database version, so
+  // they compute against the same options and the same rows; whichever
+  // CAS lands first wins and everyone adopts that object. A cached entry
+  // with a *different* rows_per_shard can only exist across exclusive
+  // phases (the options changed), so replacing it is safe too.
+  while (!rel.cas_cached_shards(&cached, fresh)) {
+    if (cached != nullptr && cached->rows_per_shard == norm) return *cached;
+  }
+  return *fresh;
 }
 
 std::vector<ColumnBound> ExtractColumnBounds(const Expr& pred,

@@ -71,8 +71,9 @@ ShardPartition ComputeShardPartition(const WsdDb& db, const WsdRelation& rel,
 
 /// Cached variant: computes on first call with the database's configured
 /// options().rows_per_shard and memoizes the partition on the relation.
-/// Single-threaded callers only (the plan optimizer) — same carve-out as
-/// Component::GetStats().
+/// Safe under concurrent readers: the cache is published with an atomic
+/// compare-and-swap, so racing callers agree on one partition object.
+/// Mutators invalidate it (component edits included), like GetStats().
 const ShardPartition& GetShardPartition(const WsdDb& db,
                                         const WsdRelation& rel);
 

@@ -61,7 +61,10 @@ std::vector<std::string> WsdDb::RelationNames() const {
 }
 
 ComponentId WsdDb::AddComponent(Component c) {
-  components_.emplace_back(std::move(c));
+  // A fresh component is referenced by no template tuple yet, so the
+  // cached shard partitions (ranges over *referenced* components) stay
+  // valid — no invalidation here.
+  components_.push_back(std::make_shared<Component>(std::move(c)));
   return static_cast<ComponentId>(components_.size() - 1);
 }
 
@@ -72,18 +75,29 @@ const Component& WsdDb::component(ComponentId id) const {
 
 Component& WsdDb::mutable_component(ComponentId id) {
   MAYBMS_CHECK(IsLive(id)) << "dead component " << id;
-  return *components_[id];
+  InvalidateShardCaches();
+  std::shared_ptr<Component>& p = components_[id];
+  // use_count() == 1 proves uniqueness: another thread can only bump the
+  // count through a database copy that already shares this component,
+  // which would make the count >= 2 to begin with.
+  if (p.use_count() > 1) p = std::make_shared<Component>(*p);
+  return *p;
 }
 
 void WsdDb::RemoveComponent(ComponentId id) {
   MAYBMS_CHECK(id < components_.size());
+  InvalidateShardCaches();
   components_[id].reset();
+}
+
+void WsdDb::InvalidateShardCaches() {
+  for (auto& [key, rel] : relations_) rel.set_cached_shards(nullptr);
 }
 
 std::vector<ComponentId> WsdDb::LiveComponents() const {
   std::vector<ComponentId> out;
   for (ComponentId i = 0; i < components_.size(); ++i) {
-    if (components_[i].has_value()) out.push_back(i);
+    if (components_[i] != nullptr) out.push_back(i);
   }
   return out;
 }
@@ -91,7 +105,7 @@ std::vector<ComponentId> WsdDb::LiveComponents() const {
 size_t WsdDb::NumLiveComponents() const {
   size_t n = 0;
   for (const auto& c : components_) {
-    if (c.has_value()) ++n;
+    if (c != nullptr) ++n;
   }
   return n;
 }
@@ -168,7 +182,7 @@ Result<std::vector<ComponentId>> WsdDb::MergeComponentGroups(
 double WsdDb::Log2WorldCount() const {
   double log2 = 0.0;
   for (const auto& c : components_) {
-    if (c.has_value() && c->NumRows() > 0) {
+    if (c != nullptr && c->NumRows() > 0) {
       log2 += std::log2(static_cast<double>(c->NumRows()));
     }
   }
@@ -178,7 +192,7 @@ double WsdDb::Log2WorldCount() const {
 std::optional<uint64_t> WsdDb::WorldCountIfSmall(uint64_t limit) const {
   uint64_t count = 1;
   for (const auto& c : components_) {
-    if (!c.has_value()) continue;
+    if (c == nullptr) continue;
     uint64_t rows = c->NumRows();
     if (rows == 0) return 0;
     if (count > limit / rows) return std::nullopt;
@@ -198,7 +212,7 @@ uint64_t WsdDb::SerializedSize() const {
     }
   }
   for (const auto& c : components_) {
-    if (c.has_value()) total += c->SerializedSize();
+    if (c != nullptr) total += c->SerializedSize();
   }
   return total;
 }
@@ -207,7 +221,7 @@ uint64_t WsdDb::InternedSize() const {
   uint64_t total = 0;
   std::unordered_set<std::string_view> strings;
   for (const auto& c : components_) {
-    if (!c.has_value()) continue;
+    if (c == nullptr) continue;
     total += c->InternedSize();
     c->CollectStrings(&strings);
   }
@@ -234,7 +248,7 @@ double WsdDb::ExistenceProbability(const WsdTuple& t) const {
   double p = 1.0;
   std::vector<uint32_t> gating;
   for (ComponentId id = 0; id < components_.size(); ++id) {
-    if (!components_[id].has_value()) continue;
+    if (components_[id] == nullptr) continue;
     const Component& c = *components_[id];
     // Slots of this component owned by one of t's deps.
     gating.clear();
@@ -273,7 +287,7 @@ double WsdDb::ExistenceProbability(const WsdTuple& t) const {
 Status WsdDb::CheckInvariants() const {
   constexpr double kEps = 1e-6;
   for (ComponentId id = 0; id < components_.size(); ++id) {
-    if (!components_[id].has_value()) continue;
+    if (components_[id] == nullptr) continue;
     const Component& c = *components_[id];
     if (c.NumRows() == 0) {
       return Status::Internal(StrFormat("component %u has no rows", id));
@@ -359,7 +373,7 @@ std::string WsdDb::ToString() const {
   }
   bool first = true;
   for (ComponentId id = 0; id < components_.size(); ++id) {
-    if (!components_[id].has_value()) continue;
+    if (components_[id] == nullptr) continue;
     out += first ? "components:\n" : "  ×\n";
     first = false;
     std::string body = components_[id]->ToString();

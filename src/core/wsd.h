@@ -69,11 +69,40 @@ struct WsdTuple {
 };
 
 /// A template relation: schema plus world-dependent tuples.
+///
+/// Copy-on-write: copying a WsdRelation shares the tuple vector (an
+/// O(1) pointer copy); the mutable accessors detach — clone the shared
+/// vector — when it is shared. Catalog snapshots published to concurrent
+/// readers (server/shared_catalog.h) rely on this: a writer's detach
+/// never disturbs the tuples a reader's snapshot still references.
 class WsdRelation {
  public:
-  WsdRelation() = default;
+  WsdRelation() : tuples_(std::make_shared<std::vector<WsdTuple>>()) {}
   WsdRelation(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        tuples_(std::make_shared<std::vector<WsdTuple>>()) {}
+
+  // Copies share the tuple vector and read the shard cache atomically (a
+  // concurrent reader may be CAS-installing a partition on the source at
+  // the same moment). Moves require exclusive access, like mutation.
+  WsdRelation(const WsdRelation& o)
+      : name_(o.name_),
+        display_name_(o.display_name_),
+        schema_(o.schema_),
+        tuples_(o.tuples_),
+        shards_(std::atomic_load(&o.shards_)) {}
+  WsdRelation& operator=(const WsdRelation& o) {
+    if (this == &o) return *this;
+    name_ = o.name_;
+    display_name_ = o.display_name_;
+    schema_ = o.schema_;
+    tuples_ = o.tuples_;
+    shards_ = std::atomic_load(&o.shards_);
+    return *this;
+  }
+  WsdRelation(WsdRelation&&) = default;
+  WsdRelation& operator=(WsdRelation&&) = default;
 
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
@@ -86,42 +115,72 @@ class WsdRelation {
   const Schema& schema() const { return schema_; }
   void set_schema(Schema s) { schema_ = std::move(s); }
 
-  size_t NumTuples() const { return tuples_.size(); }
-  const WsdTuple& tuple(size_t i) const { return tuples_[i]; }
+  size_t NumTuples() const { return tuples_->size(); }
+  const WsdTuple& tuple(size_t i) const { return (*tuples_)[i]; }
   WsdTuple& mutable_tuple(size_t i) {
-    shards_.reset();
-    return tuples_[i];
+    Detach();
+    return (*tuples_)[i];
   }
-  const std::vector<WsdTuple>& tuples() const { return tuples_; }
+  const std::vector<WsdTuple>& tuples() const { return *tuples_; }
+  /// Note: the returned reference is invalidated by copying this
+  /// relation (or its database) — the next mutable access re-detaches.
   std::vector<WsdTuple>& mutable_tuples() {
-    shards_.reset();
-    return tuples_;
+    Detach();
+    return *tuples_;
   }
 
   void Add(WsdTuple t) {
-    shards_.reset();
-    tuples_.push_back(std::move(t));
+    Detach();
+    tuples_->push_back(std::move(t));
   }
-  void Reserve(size_t n) { tuples_.reserve(n); }
+  void Reserve(size_t n) {
+    Detach();
+    tuples_->reserve(n);
+  }
 
   /// Cached shard partition (see core/shard.h). Invalidated by the tuple
-  /// mutators above; component mutations do NOT invalidate it, which is
-  /// benign for the resident engine (the cache only feeds optimizer
-  /// estimates and EXPLAIN, never execution). Same single-threaded
-  /// carve-out as Component::GetStats(): only the plan optimizer
-  /// populates it.
-  const std::shared_ptr<const ShardPartition>& cached_shards() const {
-    return shards_;
+  /// mutators above and by component mutation through the owning
+  /// database (WsdDb::mutable_component and friends), since the
+  /// partition records per-shard possible-value ranges read from the
+  /// components. Accessed atomically: concurrent readers optimizing
+  /// plans against a shared catalog may populate it simultaneously —
+  /// GetShardPartition installs with compare-and-swap so one partition
+  /// wins.
+  std::shared_ptr<const ShardPartition> cached_shards() const {
+    return std::atomic_load(&shards_);
   }
   void set_cached_shards(std::shared_ptr<const ShardPartition> p) const {
-    shards_ = std::move(p);
+    std::atomic_store(&shards_, std::move(p));
+  }
+  /// CAS-installs `desired` if the cache still holds `*expected`
+  /// (updating *expected to the current value on failure). Returns true
+  /// when installed.
+  bool cas_cached_shards(std::shared_ptr<const ShardPartition>* expected,
+                         std::shared_ptr<const ShardPartition> desired) const {
+    return std::atomic_compare_exchange_strong(&shards_, expected,
+                                               std::move(desired));
   }
 
  private:
+  /// Clones the tuple vector when it is shared with another relation
+  /// (i.e. with another catalog version), so mutation stays private.
+  /// use_count() == 1 proves uniqueness: other threads can only bump the
+  /// count through a WsdRelation that already shares the vector, which
+  /// would make the count >= 2 to begin with.
+  void Detach() {
+    set_cached_shards(nullptr);
+    if (!tuples_) {
+      tuples_ = std::make_shared<std::vector<WsdTuple>>();
+    } else if (tuples_.use_count() > 1) {
+      tuples_ = std::make_shared<std::vector<WsdTuple>>(*tuples_);
+    }
+  }
+
   std::string name_;
   std::string display_name_;
   Schema schema_;
-  std::vector<WsdTuple> tuples_;
+  /// Never null; shared across copies until a mutable accessor detaches.
+  std::shared_ptr<std::vector<WsdTuple>> tuples_;
   mutable std::shared_ptr<const ShardPartition> shards_;
 };
 
@@ -139,18 +198,23 @@ struct WsdOptions {
 
 /// A world-set database: template relations + component store.
 ///
-/// Value type with deep-copy semantics; lifted query evaluation operates
-/// on a private copy so inputs stay immutable.
+/// Value type with copy-on-write semantics: copying a WsdDb copies the
+/// relation map (whose relations share their tuple vectors) and a vector
+/// of shared_ptrs to components — O(#relations + #components), not
+/// O(data). The first mutation of a shared relation or component clones
+/// just that object, so copies stay logically independent. This is what
+/// makes snapshot-isolated catalog versions cheap to publish
+/// (server/shared_catalog.h) and lifted evaluation's private input
+/// copies nearly free.
 ///
 /// Thread safety: all const methods are safe to call concurrently as
-/// long as no thread mutates the database — value materialization only
-/// reads the (internally synchronized) global ValuePool. The parallel
-/// aggregate paths (core/confidence.cc) rely on this: worker threads
-/// share one const WsdDb while enumerating independent clusters. One
-/// carve-out: Component::GetStats() populates a per-component cache on
-/// first call, so it must not race with other accessors — only the
-/// single-threaded plan optimizer calls it; the parallel confidence
-/// paths do not.
+/// long as no thread mutates this database object — value
+/// materialization only reads the (internally synchronized) global
+/// ValuePool, and the lazy caches (Component/Relation::GetStats, the
+/// shard-partition cache) publish atomically. The parallel aggregate
+/// paths (core/confidence.cc) and concurrent server sessions rely on
+/// this. Distinct WsdDb copies sharing inner objects may be used from
+/// different threads freely: mutators detach before writing.
 class WsdDb {
  public:
   WsdDb() = default;
@@ -174,9 +238,13 @@ class WsdDb {
   ComponentId AddComponent(Component c);
   /// Component access; the id must be live.
   const Component& component(ComponentId id) const;
+  /// Mutable component access: detaches the component if it is shared
+  /// with another database copy, and invalidates every relation's shard
+  /// cache (the cached partitions carry per-shard possible-value ranges
+  /// read from the components).
   Component& mutable_component(ComponentId id);
   bool IsLive(ComponentId id) const {
-    return id < components_.size() && components_[id].has_value();
+    return id < components_.size() && components_[id] != nullptr;
   }
   void RemoveComponent(ComponentId id);
   /// Ids of all live components.
@@ -257,8 +325,16 @@ class WsdDb {
   std::string ToString() const;
 
  private:
+  /// Clears every relation's cached shard partition. Called by the
+  /// component mutators: partitions persist per-shard possible-value
+  /// ranges, so a component edit (e.g. ENFORCE removing rows) must not
+  /// leave a reader pruning shards against stale ranges.
+  void InvalidateShardCaches();
+
   std::map<std::string, WsdRelation> relations_;
-  std::vector<std::optional<Component>> components_;
+  /// null = dead slot. Shared across database copies until
+  /// mutable_component detaches (copy-on-write).
+  std::vector<std::shared_ptr<Component>> components_;
   OwnerId next_owner_ = 1;
   WsdOptions options_;
 };

@@ -1,0 +1,112 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace maybms {
+namespace server {
+
+Result<Client> Client::Connect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError(std::string("connect: ") + std::strerror(errno));
+  }
+  return Client(fd);
+}
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    buf_ = std::move(o.buf_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Result<std::string> Client::ReadLine() {
+  for (;;) {
+    const size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::IOError("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<Response> Client::Execute(const std::string& statement) {
+  if (fd_ < 0) return Status::IOError("client closed");
+  std::string req = statement;
+  req += '\n';
+  size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n =
+        ::send(fd_, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  MAYBMS_ASSIGN_OR_RETURN(std::string head, ReadLine());
+  Response resp;
+  if (head.rfind("ERR ", 0) == 0) {
+    resp.ok = false;
+    resp.error = head.substr(4);
+    return resp;
+  }
+  if (head.rfind("OK ", 0) != 0) {
+    return Status::ParseError("malformed response header: " + head);
+  }
+  char* end = nullptr;
+  const unsigned long n_lines = std::strtoul(head.c_str() + 3, &end, 10);
+  if (end == head.c_str() + 3 || *end != '\0') {
+    return Status::ParseError("malformed response count: " + head);
+  }
+  resp.ok = true;
+  resp.lines.reserve(n_lines);
+  for (unsigned long i = 0; i < n_lines; ++i) {
+    MAYBMS_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    resp.lines.push_back(std::move(line));
+  }
+  return resp;
+}
+
+}  // namespace server
+}  // namespace maybms

@@ -1,0 +1,50 @@
+// A small blocking client for the server's line protocol — what the
+// integration tests and bench_server use; interactive exploration works
+// just as well over `nc 127.0.0.1 <port>`.
+#ifndef MAYBMS_SERVER_CLIENT_H_
+#define MAYBMS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace maybms {
+namespace server {
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:port.
+  static Result<Client> Connect(uint16_t port);
+
+  Client(Client&& o) noexcept : fd_(o.fd_), buf_(std::move(o.buf_)) {
+    o.fd_ = -1;
+  }
+  Client& operator=(Client&& o) noexcept;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one statement line and blocks for its response. The
+  /// outer Result is transport failure (connection lost, malformed
+  /// frame); a server-side "ERR ..." comes back as Response::ok=false.
+  Result<Response> Execute(const std::string& statement);
+
+  /// Closes the socket early (Execute afterwards fails).
+  void Close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  /// Next '\n'-terminated line off the socket.
+  Result<std::string> ReadLine();
+
+  int fd_ = -1;
+  std::string buf_;  ///< bytes read past the last returned line
+};
+
+}  // namespace server
+}  // namespace maybms
+
+#endif  // MAYBMS_SERVER_CLIENT_H_

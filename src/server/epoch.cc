@@ -1,0 +1,69 @@
+#include "server/epoch.h"
+
+#include <thread>
+
+namespace maybms {
+namespace server {
+
+size_t EpochManager::Enter() {
+  // Start probing at a per-thread hint so distinct threads land on
+  // distinct slots without coordination; collisions just probe onward.
+  const size_t hint =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kSlots;
+  for (;;) {
+    for (size_t i = 0; i < kSlots; ++i) {
+      const size_t s = (hint + i) % kSlots;
+      uint64_t expected = kIdle;
+      // The CAS both claims the slot and publishes the epoch stamp. The
+      // stamp may be stale by the time it lands (global_epoch_ advanced
+      // in between) — stale stamps only make reclamation *more*
+      // conservative, never less.
+      if (slots_[s].epoch.compare_exchange_strong(
+              expected, global_epoch_.load(std::memory_order_seq_cst),
+              std::memory_order_seq_cst)) {
+        return s;
+      }
+    }
+    // All slots busy: more concurrent readers than kSlots. Yield and
+    // retry — readers hold slots only for a pointer load + COW copy.
+    std::this_thread::yield();
+  }
+}
+
+void EpochManager::Exit(size_t slot) {
+  slots_[slot].epoch.store(kIdle, std::memory_order_seq_cst);
+}
+
+void EpochManager::Retire(std::shared_ptr<const void> obj) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t e = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  limbo_.emplace_back(e, std::move(obj));
+  ReclaimLocked();
+}
+
+void EpochManager::ReclaimLocked() {
+  // A reader that could still hold a retired pointer entered before the
+  // corresponding publish+Retire, so its slot stamp is <= that entry's
+  // epoch and the entry survives the min-scan. Idle slots do not bound.
+  uint64_t min_active = ~uint64_t{0};
+  for (const Slot& s : slots_) {
+    const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e < min_active) min_active = e;
+  }
+  size_t keep = 0;
+  for (size_t i = 0; i < limbo_.size(); ++i) {
+    if (limbo_[i].first >= min_active) {
+      if (keep != i) limbo_[keep] = std::move(limbo_[i]);
+      ++keep;
+    }
+  }
+  limbo_.resize(keep);
+}
+
+size_t EpochManager::LimboSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limbo_.size();
+}
+
+}  // namespace server
+}  // namespace maybms

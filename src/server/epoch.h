@@ -1,0 +1,81 @@
+// Epoch-based reclamation for the server's versioned catalog.
+//
+// Readers enter an epoch (claiming one slot of a fixed array), load the
+// currently published catalog version, copy what they need, and exit.
+// Writers publish a replacement version, then Retire() the old one: it
+// parks on a limbo list stamped with the current global epoch and is
+// destroyed only once every active reader entered at a later epoch —
+// i.e. after every reader that could still dereference it has exited.
+//
+// This trades a tiny grace-period delay for pointer loads on the read
+// path with no reference-count contention: a reader's whole critical
+// section is one atomic slot store, one pointer load, and a slot clear.
+#ifndef MAYBMS_SERVER_EPOCH_H_
+#define MAYBMS_SERVER_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace maybms {
+namespace server {
+
+class EpochManager {
+ public:
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII reader critical section: while alive, no object retired after
+  /// entry is destroyed.
+  class Guard {
+   public:
+    explicit Guard(EpochManager* m) : m_(m), slot_(m->Enter()) {}
+    ~Guard() { m_->Exit(slot_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager* m_;
+    size_t slot_;
+  };
+
+  /// Parks `obj` until every currently-active reader exits, then drops
+  /// the reference (destroying the object if this was the last owner).
+  /// Type-erased so one manager serves any payload.
+  void Retire(std::shared_ptr<const void> obj);
+
+  /// Objects currently parked (for tests: proves deferred destruction).
+  size_t LimboSize() const;
+
+ private:
+  static constexpr size_t kSlots = 256;
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+  };
+
+  /// Claims a slot and stamps it with the current global epoch
+  /// (sequentially consistent, so a concurrent Retire either sees the
+  /// stamp or is ordered entirely before the reader's pointer load).
+  size_t Enter();
+  void Exit(size_t slot);
+  /// Destroys limbo entries older than every active slot. mu_ held.
+  void ReclaimLocked();
+
+  std::atomic<uint64_t> global_epoch_{0};
+  std::array<Slot, kSlots> slots_;
+  mutable std::mutex mu_;  ///< guards limbo_
+  std::vector<std::pair<uint64_t, std::shared_ptr<const void>>> limbo_;
+};
+
+}  // namespace server
+}  // namespace maybms
+
+#endif  // MAYBMS_SERVER_EPOCH_H_

@@ -1,0 +1,38 @@
+#include "server/protocol.h"
+
+namespace maybms {
+namespace server {
+
+std::string EncodeOk(const std::vector<std::string>& lines) {
+  std::string out = "OK " + std::to_string(lines.size()) + "\n";
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string EncodeErr(const std::string& message) {
+  std::string flat;
+  flat.reserve(message.size());
+  for (char c : message) flat += (c == '\n' || c == '\r') ? ' ' : c;
+  return "ERR " + flat + "\n";
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+}  // namespace server
+}  // namespace maybms

@@ -1,0 +1,40 @@
+// The server's line protocol. Text-based and newline-framed so `nc`
+// works as a client:
+//
+//   request:   one SQL statement (or dot-command) per line
+//   response:  "OK <n>\n" followed by n payload lines, or
+//              "ERR <message>\n"
+//
+// Payload lines are the statement result rendered line by line
+// (ToDisplayString split on '\n'); embedded newlines cannot occur and
+// '\r' is stripped on both sides. Dot-commands (".ping", ".stats",
+// ".quit") bypass SQL parsing for health checks and monitoring.
+#ifndef MAYBMS_SERVER_PROTOCOL_H_
+#define MAYBMS_SERVER_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+namespace maybms {
+namespace server {
+
+/// Renders a success response: "OK <n>" + the payload lines.
+std::string EncodeOk(const std::vector<std::string>& lines);
+
+/// Renders an error response; the message is flattened to one line.
+std::string EncodeErr(const std::string& message);
+
+/// Splits `text` into lines for EncodeOk (trailing newline ignored).
+std::vector<std::string> SplitLines(const std::string& text);
+
+/// Parsed response, the client side of the framing.
+struct Response {
+  bool ok = false;
+  std::string error;               ///< when !ok
+  std::vector<std::string> lines;  ///< when ok
+};
+
+}  // namespace server
+}  // namespace maybms
+
+#endif  // MAYBMS_SERVER_PROTOCOL_H_

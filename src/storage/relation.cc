@@ -55,16 +55,17 @@ Status Relation::Append(Tuple t) {
                         .c_str()));
     }
   }
-  stats_.reset();
+  InvalidateStats();
   rows_.push_back(std::move(t));
   return Status::OK();
 }
 
 const RelationStats& Relation::GetStats() const {
-  if (stats_.has_value()) return *stats_;
-  RelationStats s;
-  s.rows = rows_.size();
-  s.distinct.assign(schema_.size(), 0);
+  std::shared_ptr<const RelationStats> cached = std::atomic_load(&stats_);
+  if (cached != nullptr) return *cached;
+  auto s = std::make_shared<RelationStats>();
+  s->rows = rows_.size();
+  s->distinct.assign(schema_.size(), 0);
   // Sort column pointers in the Value total order and count runs; the
   // order is consistent with Value equality (NaN class, ±0 collapse), so
   // the count is exact, not a sketch.
@@ -78,10 +79,15 @@ const RelationStats& Relation::GetStats() const {
     for (size_t r = 0; r < col.size(); ++r) {
       if (r == 0 || col[r]->Compare(*col[r - 1]) != 0) ++distinct;
     }
-    s.distinct[c] = distinct;
+    s->distinct[c] = distinct;
   }
-  stats_ = std::move(s);
-  return *stats_;
+  // Install-if-absent; see Component::GetStats for the race argument.
+  std::shared_ptr<const RelationStats> expected;
+  std::shared_ptr<const RelationStats> fresh = std::move(s);
+  if (std::atomic_compare_exchange_strong(&stats_, &expected, fresh)) {
+    return *fresh;
+  }
+  return *expected;
 }
 
 void Relation::SortRows() {

@@ -4,6 +4,7 @@
 #ifndef MAYBMS_STORAGE_RELATION_H_
 #define MAYBMS_STORAGE_RELATION_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,6 +43,25 @@ class Relation {
   Relation(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
 
+  // Copies read the stats cache atomically: a concurrent reader may be
+  // CAS-installing stats on the source (GetStats is const and
+  // thread-safe). Moves require exclusive access, like mutation.
+  Relation(const Relation& o)
+      : name_(o.name_),
+        schema_(o.schema_),
+        rows_(o.rows_),
+        stats_(std::atomic_load(&o.stats_)) {}
+  Relation& operator=(const Relation& o) {
+    if (this == &o) return *this;
+    name_ = o.name_;
+    schema_ = o.schema_;
+    rows_ = o.rows_;
+    stats_ = std::atomic_load(&o.stats_);
+    return *this;
+  }
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   const Schema& schema() const { return schema_; }
@@ -51,7 +71,7 @@ class Relation {
 
   const Tuple& row(size_t i) const { return rows_[i]; }
   Tuple& mutable_row(size_t i) {
-    stats_.reset();
+    InvalidateStats();
     return rows_[i];
   }
   const std::vector<Tuple>& rows() const { return rows_; }
@@ -62,23 +82,27 @@ class Relation {
   /// Appends without validation; used by operators that construct
   /// well-typed tuples internally.
   void AppendUnchecked(Tuple t) {
-    stats_.reset();
+    InvalidateStats();
     rows_.push_back(std::move(t));
   }
 
   void Reserve(size_t n) { rows_.reserve(n); }
   void Clear() {
-    stats_.reset();
+    InvalidateStats();
     rows_.clear();
   }
 
   /// Row/distinct-count statistics, computed on first access and cached
   /// until the next mutation (Append/AppendUnchecked/mutable_row/Clear).
+  /// Safe to call from concurrent readers: the cache is published by
+  /// compare-and-swap, so racing callers agree on one result object.
+  /// Mutation still requires exclusive access, like every non-const
+  /// method.
   const RelationStats& GetStats() const;
 
   /// True when GetStats() would return a cached result without
   /// recomputing (exposed so tests can assert invalidation).
-  bool HasCachedStats() const { return stats_.has_value(); }
+  bool HasCachedStats() const { return std::atomic_load(&stats_) != nullptr; }
 
   /// Sorts rows lexicographically; canonical form for comparisons in tests.
   void SortRows();
@@ -101,12 +125,16 @@ class Relation {
   std::string ToString(size_t max_rows = 50) const;
 
  private:
+  void InvalidateStats() {
+    std::atomic_store(&stats_, std::shared_ptr<const RelationStats>());
+  }
+
   std::string name_;
   Schema schema_;
   std::vector<Tuple> rows_;
-  /// Lazily-computed statistics; reset by every mutating accessor. Not
-  /// synchronized — follows the same single-writer contract as rows_.
-  mutable std::optional<RelationStats> stats_;
+  /// Lazily-computed statistics; reset by every mutating accessor and
+  /// published by CAS so concurrent const readers never race.
+  mutable std::shared_ptr<const RelationStats> stats_;
 };
 
 /// Checks a value against an attribute type; NULL always fits, BOTTOM never
