@@ -80,6 +80,13 @@ constexpr const char* kHelp = R"(statements:
   CHECKPOINT;
     -- folds the write-ahead log into a fresh snapshot (also happens
     -- automatically every auto_checkpoint_records logged statements)
+  DELETE FROM r OLDEST 10;
+    -- retires the 10 oldest tuples (sliding-window streaming); unused
+    -- components are garbage-collected with them
+  SET conf.num_threads = 4;   SET materialize_conf = true;
+    -- session-local knobs over every engine tunable (confidence,
+    -- approximation, optimizer, durability, exec); values read back via
+  SHOW SETTINGS;
   DROP TABLE r;
 meta: \h (help)  \q (quit)  \save <file> [text|binary]  \load <file>
 multi-client access: this shell is single-session; run maybms_server to

@@ -14,10 +14,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "core/cluster.h"
 #include "core/component.h"
+#include "core/materialized_conf.h"
 
 namespace maybms {
 
@@ -665,23 +667,42 @@ Result<Relation> ApproxConfTable(const WsdDb& db, const std::string& rel_name,
       n_batches ? (n_exact + n_batches - 1) / n_batches : 0;
   std::vector<Status> statuses(n_exact, Status::OK());
   std::atomic<bool> failed{false};
+  // Exact-phase cache salt: the exact result depends on which clusters
+  // qualify as tiny (state limit) and on the factor decomposition.
+  uint64_t approx_salt = 0;
+  if (options.cache != nullptr) {
+    size_t seed = static_cast<size_t>(conf_cache_salt::kApprox);
+    HashCombine(&seed, options.exact_state_limit);
+    HashCombine(&seed, options.factorize_clusters ? 1 : 2);
+    approx_salt = static_cast<uint64_t>(seed);
+  }
   ParallelFor(options.num_threads, n_batches, [&](size_t b) {
     const size_t begin = b * per_batch;
     const size_t end = std::min(n_exact, begin + per_batch);
     for (size_t e = begin; e < end; ++e) {
       if (failed.load(std::memory_order_relaxed)) return;
       const size_t cidx = exact_idx[e];
-      Result<TupleProbMap> r =
-          EvalExact(index, clusters[cidx], options.exact_state_limit);
-      if (!r.ok()) {
-        statuses[e] = r.status();
-        failed.store(true, std::memory_order_relaxed);
-        return;
+      std::shared_ptr<const TupleProbMap> mass;
+      uint64_t key = 0;
+      if (options.cache != nullptr) {
+        key = index.ClusterKey(clusters[cidx], approx_salt);
+        mass = options.cache->FindMass(key);
+      }
+      if (mass == nullptr) {
+        Result<TupleProbMap> r =
+            EvalExact(index, clusters[cidx], options.exact_state_limit);
+        if (!r.ok()) {
+          statuses[e] = r.status();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        mass = std::make_shared<const TupleProbMap>(*std::move(r));
+        if (options.cache != nullptr) options.cache->InsertMass(key, mass);
       }
       ClusterOutcome& out = outcomes[cidx + 1];
       out.path = ClusterPath::kExact;
-      out.iv.reserve(r->size());
-      for (const auto& [t, p] : *r) {
+      out.iv.reserve(mass->size());
+      for (const auto& [t, p] : *mass) {
         const double pc = std::min(1.0, p);
         out.iv[intern.Intern(t)] = Interval{pc, pc, pc};
       }

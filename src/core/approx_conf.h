@@ -61,6 +61,8 @@
 
 namespace maybms {
 
+class MaterializedConf;  // core/materialized_conf.h
+
 /// Tuning knobs of the approximate confidence engine (the ε/δ pair is
 /// the user-facing contract; the rest are resource budgets).
 struct ApproxOptions {
@@ -102,6 +104,12 @@ struct ApproxOptions {
   /// When nonzero, draw exactly this many samples per non-exact cluster
   /// instead of deriving the count from ε/δ.
   size_t fixed_samples = 0;
+  /// Optional content-keyed cache (core/materialized_conf.h) of the
+  /// tiny clusters' exact mass maps. Only the exact phase consults it —
+  /// anytime clusters depend on the ε/δ split and the seed-derived
+  /// sample streams, so their intervals are not pure functions of
+  /// content. Results are bit-identical with and without. Not owned.
+  MaterializedConf* cache = nullptr;
 };
 
 /// How a cluster's probabilities were obtained.

@@ -5,11 +5,60 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/union_find.h"
 
 namespace maybms {
+
+namespace {
+
+/// Folds one member tuple into a content key: cells (certain values by
+/// packed content + tag, refs as position-in-sources + source slot) and
+/// the deps owner list. `sources` must be sorted ascending and contain
+/// every component the tuple's hashed ref cells point at.
+void HashTupleForKey(const WsdTuple& t, std::optional<size_t> only_col,
+                     const std::vector<ComponentId>& sources, size_t* seed) {
+  auto hash_cell = [&](const Cell& cell) {
+    if (cell.is_certain()) {
+      const PackedValue pv = PackedValue::FromValue(cell.value());
+      HashCombine(seed, 0x9e3779b97f4a7c15ull);
+      // Tag included on top of the value hash: int 2 and double 2.0
+      // hash equal (numeric canonicalization) but render differently
+      // in query output, so they must not share a key.
+      HashCombine(seed, static_cast<size_t>(pv.tag()));
+      HashCombine(seed, pv.Hash());
+    } else {
+      auto it =
+          std::lower_bound(sources.begin(), sources.end(), cell.ref().cid);
+      MAYBMS_DCHECK(it != sources.end() && *it == cell.ref().cid);
+      HashCombine(seed, 0x517cc1b727220a95ull);
+      HashCombine(seed, static_cast<size_t>(it - sources.begin()));
+      HashCombine(seed, cell.ref().slot);
+    }
+  };
+  if (only_col.has_value()) {
+    hash_cell(t.cells[*only_col]);
+  } else {
+    for (const Cell& cell : t.cells) hash_cell(cell);
+  }
+  HashCombine(seed, t.deps.size());
+  for (OwnerId o : t.deps) HashCombine(seed, static_cast<size_t>(o));
+}
+
+/// Sorted unique source components behind a factor list.
+std::vector<ComponentId> SourcesOf(const std::vector<Factor>& factors,
+                                   const std::vector<FactorId>& ids) {
+  std::vector<ComponentId> sources;
+  sources.reserve(ids.size());
+  for (FactorId f : ids) sources.push_back(factors[f].source);
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  return sources;
+}
+
+}  // namespace
 
 ClusterIndex::ClusterIndex(const WsdDb& db, const WsdRelation& rel,
                            const ClusterIndexOptions& options)
@@ -175,6 +224,41 @@ std::vector<FactorId> ClusterIndex::Touched(
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+uint64_t ClusterIndex::ClusterKey(const Cluster& cluster,
+                                  uint64_t salt) const {
+  const std::vector<ComponentId> sources = SourcesOf(factors_, cluster.factors);
+  size_t seed = static_cast<size_t>(salt);
+  HashCombine(&seed, rel_->schema().size());
+  HashCombine(&seed, sources.size());
+  // Ascending-cid order bakes the factor enumeration order into the key:
+  // cluster factors are sorted FactorId = (source order, group index),
+  // and groups are a deterministic function of source content.
+  for (ComponentId cid : sources) {
+    HashCombine(&seed, static_cast<size_t>(db_->component(cid).ContentHash()));
+  }
+  HashCombine(&seed, cluster.tuple_idxs.size());
+  for (size_t i : cluster.tuple_idxs) {
+    HashTupleForKey(rel_->tuple(i), std::nullopt, sources, &seed);
+  }
+  const uint64_t h = static_cast<uint64_t>(seed);
+  return h == 0 ? 1 : h;
+}
+
+uint64_t ClusterIndex::TupleTermKey(const WsdTuple& t,
+                                    std::optional<size_t> only_col,
+                                    uint64_t salt) const {
+  const std::vector<ComponentId> sources =
+      SourcesOf(factors_, Touched(t, only_col));
+  size_t seed = static_cast<size_t>(salt);
+  HashCombine(&seed, sources.size());
+  for (ComponentId cid : sources) {
+    HashCombine(&seed, static_cast<size_t>(db_->component(cid).ContentHash()));
+  }
+  HashTupleForKey(t, only_col, sources, &seed);
+  const uint64_t h = static_cast<uint64_t>(seed);
+  return h == 0 ? 1 : h;
 }
 
 ClusterEnumerator::ClusterEnumerator(const ClusterIndex& index,

@@ -125,6 +125,26 @@ class ClusterIndex {
   std::vector<FactorId> Touched(
       const WsdTuple& t, std::optional<size_t> only_col = std::nullopt) const;
 
+  /// Content key of one cluster, for the materialized-confidence cache
+  /// (core/materialized_conf.h): a 64-bit hash over everything the
+  /// cluster's exact scan result is a function of — the source
+  /// components' ContentHash()es in ascending-cid order (factorization
+  /// is deterministic from content, so factor structure is covered),
+  /// each member tuple's cells (certain values by content, refs as
+  /// source-position + source slot) and deps owners, and the relation
+  /// arity. `salt` distinguishes caller namespaces and option
+  /// fingerprints. Two clusters with equal keys run the identical
+  /// float-op sequence and produce bit-identical mass maps; a delta
+  /// that dirties any touched component changes the key, so stale
+  /// entries are never hit (they just age out of the cache). Never 0.
+  uint64_t ClusterKey(const Cluster& cluster, uint64_t salt) const;
+
+  /// Content key of a single tuple's aggregate term (the ESUM path,
+  /// which touches Touched(t, only_col) factors instead of a cluster).
+  /// Same construction and guarantees as ClusterKey.
+  uint64_t TupleTermKey(const WsdTuple& t, std::optional<size_t> only_col,
+                        uint64_t salt) const;
+
  private:
   const WsdDb* db_;
   const WsdRelation* rel_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <unordered_set>
 
 #include "common/hash.h"
@@ -120,6 +121,7 @@ Status Component::Renormalize() {
   if (mass <= 0.0) {
     return Status::Inconsistent("component has zero probability mass");
   }
+  InvalidateContentHash();  // stats survive: row/distinct counts unchanged
   double inv = 1.0 / mass;
   for (double& p : probs_) p *= inv;
   return Status::OK();
@@ -293,6 +295,29 @@ const ComponentStats& Component::GetStats() const {
     return *fresh;
   }
   return *expected;
+}
+
+uint64_t Component::ContentHash() const {
+  uint64_t cached = content_hash_.load(std::memory_order_acquire);
+  if (cached != 0) return cached;
+  size_t seed = slots_.size();
+  HashCombine(&seed, probs_.size());
+  for (const Slot& s : slots_) {
+    HashCombine(&seed, static_cast<size_t>(s.owner));
+  }
+  for (const auto& col : cols_) {
+    for (const PackedValue& v : col) HashCombine(&seed, v.Hash());
+  }
+  for (double p : probs_) {
+    uint64_t bits;
+    std::memcpy(&bits, &p, sizeof(bits));
+    HashCombine(&seed, static_cast<size_t>(bits));
+  }
+  uint64_t h = static_cast<uint64_t>(seed);
+  if (h == 0) h = 1;  // 0 is the "unset" sentinel
+  // Racing readers compute the same value; last store wins, harmlessly.
+  content_hash_.store(h, std::memory_order_release);
+  return h;
 }
 
 namespace {

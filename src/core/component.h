@@ -15,6 +15,8 @@
 #ifndef MAYBMS_CORE_COMPONENT_H_
 #define MAYBMS_CORE_COMPONENT_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -70,17 +72,34 @@ class Component {
       : slots_(o.slots_),
         cols_(o.cols_),
         probs_(o.probs_),
-        stats_(std::atomic_load(&o.stats_)) {}
+        stats_(std::atomic_load(&o.stats_)),
+        content_hash_(o.content_hash_.load(std::memory_order_relaxed)) {}
   Component& operator=(const Component& o) {
     if (this == &o) return *this;
     slots_ = o.slots_;
     cols_ = o.cols_;
     probs_ = o.probs_;
     stats_ = std::atomic_load(&o.stats_);
+    content_hash_.store(o.content_hash_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
     return *this;
   }
-  Component(Component&&) = default;
-  Component& operator=(Component&&) = default;
+  Component(Component&& o) noexcept
+      : slots_(std::move(o.slots_)),
+        cols_(std::move(o.cols_)),
+        probs_(std::move(o.probs_)),
+        stats_(std::move(o.stats_)),
+        content_hash_(o.content_hash_.load(std::memory_order_relaxed)) {}
+  Component& operator=(Component&& o) noexcept {
+    if (this == &o) return *this;
+    slots_ = std::move(o.slots_);
+    cols_ = std::move(o.cols_);
+    probs_ = std::move(o.probs_);
+    stats_ = std::move(o.stats_);
+    content_hash_.store(o.content_hash_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
 
   size_t NumSlots() const { return slots_.size(); }
   size_t NumRows() const { return probs_.size(); }
@@ -92,7 +111,12 @@ class Component {
 
   // --- columnar accessors ------------------------------------------------
   double prob(size_t r) const { return probs_[r]; }
-  void set_prob(size_t r, double p) { probs_[r] = p; }
+  void set_prob(size_t r, double p) {
+    // Probability-only updates keep the stats cache (row/distinct counts
+    // don't change) but do change the content hash.
+    InvalidateContentHash();
+    probs_[r] = p;
+  }
   const std::vector<double>& probs() const { return probs_; }
 
   /// The packed cell at (row r, slot s).
@@ -182,6 +206,23 @@ class Component {
   /// True when GetStats() would return a cached result (for tests).
   bool HasCachedStats() const { return std::atomic_load(&stats_) != nullptr; }
 
+  /// A 64-bit hash of the component's full content: slot owners, packed
+  /// cells and probability bits (labels are excluded — they are pure
+  /// rendering metadata). Equal content always hashes equal, so the
+  /// materialized-confidence cache (core/materialized_conf.h) can key
+  /// cluster results by content and have a component edit re-key —
+  /// rather than explicitly invalidate — every cluster it touches.
+  /// Never returns 0. Computed lazily, cached until the next mutation
+  /// (including probability-only updates), safe under concurrent
+  /// readers: racing callers compute the same value and publish it with
+  /// relaxed atomic stores.
+  uint64_t ContentHash() const;
+
+  /// True when ContentHash() would return a cached result (for tests).
+  bool HasCachedContentHash() const {
+    return content_hash_.load(std::memory_order_relaxed) != 0;
+  }
+
   // --- sizes / rendering -------------------------------------------------
   /// Bytes in the flat serialized model (values + 8-byte probability per
   /// row + 4-byte row header), mirroring Relation::SerializedSize. This
@@ -204,8 +245,14 @@ class Component {
  private:
   /// Drops the cached statistics (atomically, so a reader that raced a
   /// handed-out mutable reference sees either the old stats or none).
+  /// Any mutation that changes stats also changes content.
   void InvalidateStats() {
     std::atomic_store(&stats_, std::shared_ptr<const ComponentStats>());
+    InvalidateContentHash();
+  }
+
+  void InvalidateContentHash() {
+    content_hash_.store(0, std::memory_order_relaxed);
   }
 
   std::vector<Slot> slots_;
@@ -214,6 +261,8 @@ class Component {
   /// Lazily-computed statistics; reset by every cell/row mutation and
   /// published by CAS so concurrent const readers never race.
   mutable std::shared_ptr<const ComponentStats> stats_;
+  /// Lazily-computed content hash; 0 = unset. Reset by every mutation.
+  mutable std::atomic<uint64_t> content_hash_{0};
 };
 
 }  // namespace maybms

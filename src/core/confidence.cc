@@ -4,10 +4,12 @@
 #include <atomic>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/cluster.h"
+#include "core/materialized_conf.h"
 
 namespace maybms {
 
@@ -21,6 +23,16 @@ ClusterIndexOptions IndexOptions(const ConfidenceOptions& options,
   ci.factorize = options.factorize_clusters;
   ci.build_clusters = build_clusters;
   return ci;
+}
+
+/// Folds the options that change a cluster's evaluation outcome into the
+/// cache-key salt: the state budget decides whether a scan errors, and
+/// factorization decides the factor structure enumerated.
+uint64_t SaltFor(uint64_t base, const ConfidenceOptions& options) {
+  size_t seed = static_cast<size_t>(base);
+  HashCombine(&seed, options.max_cluster_states);
+  HashCombine(&seed, options.factorize_clusters ? 1u : 2u);
+  return static_cast<uint64_t>(seed);
 }
 
 // P(vector present) for one cluster: enumerate the joint states of the
@@ -39,6 +51,27 @@ Result<VectorProb> EvalCluster(const ClusterIndex& index,
   return std::move(scan).TakeMass();
 }
 
+// EvalCluster behind the materialized-confidence cache: a content-key
+// hit returns the cached mass map (bit-identical to a fresh scan by
+// ClusterKey's contract); a miss scans and publishes.
+Result<std::shared_ptr<const VectorProb>> EvalClusterCached(
+    const ClusterIndex& index, const Cluster& cluster,
+    const ConfidenceOptions& options, uint64_t salt) {
+  if (options.cache == nullptr) {
+    MAYBMS_ASSIGN_OR_RETURN(VectorProb vp,
+                            EvalCluster(index, cluster, options));
+    return std::make_shared<const VectorProb>(std::move(vp));
+  }
+  const uint64_t key = index.ClusterKey(cluster, salt);
+  if (std::shared_ptr<const VectorProb> hit = options.cache->FindMass(key)) {
+    return hit;
+  }
+  MAYBMS_ASSIGN_OR_RETURN(VectorProb vp, EvalCluster(index, cluster, options));
+  auto fresh = std::make_shared<const VectorProb>(std::move(vp));
+  options.cache->InsertMass(key, fresh);
+  return fresh;
+}
+
 }  // namespace
 
 Result<Relation> ConfTable(const WsdDb& db, const std::string& rel_name,
@@ -50,16 +83,19 @@ Result<Relation> ConfTable(const WsdDb& db, const std::string& rel_name,
 
   // P(vector present) per cluster; slot 0 is the trivial pile of
   // always-present vectors (certain tuples).
-  std::vector<VectorProb> cluster_probs(clusters.size() + 1);
-  if (!index.certain_tuples().empty()) {
-    VectorProb& vp = cluster_probs[0];
+  std::vector<std::shared_ptr<const VectorProb>> cluster_probs(
+      clusters.size() + 1);
+  {
+    auto certain = std::make_shared<VectorProb>();
     for (size_t i : index.certain_tuples()) {
       Tuple v;
       v.reserve(rel->schema().size());
       for (const auto& cell : rel->tuple(i).cells) v.push_back(cell.value());
-      vp[v] = 1.0;
+      (*certain)[v] = 1.0;
     }
+    cluster_probs[0] = std::move(certain);
   }
+  const uint64_t salt = SaltFor(conf_cache_salt::kConf, options);
 
   // Clusters share no factors, so they are evaluated concurrently; each
   // writes only its own output slot. Clusters are typically small and
@@ -83,7 +119,8 @@ Result<Relation> ConfTable(const WsdDb& db, const std::string& rel_name,
     const size_t end = std::min(n_clusters, begin + per_batch);
     for (size_t ci = begin; ci < end; ++ci) {
       if (failed.load(std::memory_order_relaxed)) return;
-      Result<VectorProb> r = EvalCluster(index, clusters[ci], options);
+      Result<std::shared_ptr<const VectorProb>> r =
+          EvalClusterCached(index, clusters[ci], options, salt);
       if (r.ok()) {
         cluster_probs[ci + 1] = std::move(*r);
       } else {
@@ -94,21 +131,19 @@ Result<Relation> ConfTable(const WsdDb& db, const std::string& rel_name,
   });
   for (const Status& st : statuses) MAYBMS_RETURN_IF_ERROR(st);
 
-  // Combine: conf(v) = 1 - Π (1 - P_cluster(v)).
+  // Combine: conf(v) = 1 - Π (1 - P_cluster(v)). One pass over cluster
+  // entries — O(Σ map sizes), not O(distinct vectors × clusters) — so
+  // the combine stays cheap relative to the scans it summarizes (the
+  // incremental path replays exactly this loop over cached maps). Each
+  // vector's factors multiply in ascending cluster order, the identical
+  // float sequence the per-vector probe produced.
   VectorProb conf;
   for (const auto& vp : cluster_probs) {
-    for (const auto& [v, p] : vp) {
-      conf.emplace(v, 0.0);
+    for (const auto& [v, p] : *vp) {
+      conf.emplace(v, 1.0).first->second *= (1.0 - std::min(1.0, p));
     }
   }
-  for (auto& [v, total] : conf) {
-    double absent = 1.0;
-    for (const auto& vp : cluster_probs) {
-      auto it = vp.find(v);
-      if (it != vp.end()) absent *= (1.0 - std::min(1.0, it->second));
-    }
-    total = 1.0 - absent;
-  }
+  for (auto& [v, absent] : conf) absent = 1.0 - absent;
 
   // Materialize sorted output.
   Schema out_schema = rel->schema();
@@ -164,9 +199,74 @@ Result<Relation> CertainTuples(const WsdDb& db, const std::string& rel_name,
   return out;
 }
 
+namespace {
+
+/// Memoized existence probability: resolves the tuple's gating
+/// components through an owner index, keys on their content + the deps
+/// list, and on a miss multiplies WsdDb::GatedAliveMass over exactly
+/// the gating components in ascending-cid order — the identical float
+/// sequence WsdDb::ExistenceProbability runs (it skips non-gating
+/// components), so cached and scratch ECOUNT agree bit for bit.
+double CachedExistenceTerm(
+    const WsdDb& db,
+    const std::unordered_map<OwnerId, std::vector<ComponentId>>& owner_comps,
+    const WsdTuple& t, MaterializedConf* cache, uint64_t salt) {
+  if (t.deps.empty()) return 1.0;
+  std::vector<ComponentId> comps;
+  for (OwnerId o : t.deps) {
+    auto it = owner_comps.find(o);
+    if (it == owner_comps.end()) continue;
+    comps.insert(comps.end(), it->second.begin(), it->second.end());
+  }
+  if (comps.empty()) return 1.0;
+  std::sort(comps.begin(), comps.end());
+  comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
+  size_t seed = static_cast<size_t>(salt);
+  HashCombine(&seed, t.deps.size());
+  for (OwnerId o : t.deps) HashCombine(&seed, static_cast<size_t>(o));
+  HashCombine(&seed, comps.size());
+  for (ComponentId id : comps) {
+    HashCombine(&seed, static_cast<size_t>(db.component(id).ContentHash()));
+  }
+  const uint64_t key = seed == 0 ? 1 : static_cast<uint64_t>(seed);
+  if (std::optional<double> hit = cache->FindTerm(key)) return *hit;
+  double p = 1.0;
+  for (ComponentId id : comps) {
+    bool gates = false;
+    const double alive = WsdDb::GatedAliveMass(db.component(id), t.deps,
+                                               &gates);
+    if (!gates) continue;
+    p *= alive;
+    if (p == 0.0) break;
+  }
+  cache->InsertTerm(key, p);
+  return p;
+}
+
+}  // namespace
+
 Result<double> ExpectedCount(const WsdDb& db, const std::string& rel_name,
                              const ConfidenceOptions& options) {
   MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db.GetRelation(rel_name));
+  // The memoized path resolves each tuple's gating components through
+  // this owner index instead of scanning the whole store per tuple.
+  std::unordered_map<OwnerId, std::vector<ComponentId>> owner_comps;
+  if (options.cache != nullptr) {
+    for (ComponentId id : db.LiveComponents()) {
+      const Component& c = db.component(id);
+      OwnerId last = 0;
+      bool have_last = false;
+      for (uint32_t s = 0; s < c.NumSlots(); ++s) {
+        const OwnerId o = c.slot(s).owner;
+        if (have_last && o == last) continue;  // runs of one owner
+        std::vector<ComponentId>& v = owner_comps[o];
+        if (v.empty() || v.back() != id) v.push_back(id);
+        last = o;
+        have_last = true;
+      }
+    }
+  }
+  const uint64_t salt = SaltFor(conf_cache_salt::kEcount, options);
   // Tuple terms are tiny; batch contiguous runs per pool task (same
   // rationale as the cluster batching in ConfTable).
   const size_t n = rel->NumTuples();
@@ -179,7 +279,10 @@ Result<double> ExpectedCount(const WsdDb& db, const std::string& rel_name,
     const size_t begin = b * per_batch;
     const size_t end = std::min(n, begin + per_batch);
     for (size_t i = begin; i < end; ++i) {
-      terms[i] = db.ExistenceProbability(rel->tuple(i));
+      terms[i] = options.cache != nullptr
+                     ? CachedExistenceTerm(db, owner_comps, rel->tuple(i),
+                                           options.cache, salt)
+                     : db.ExistenceProbability(rel->tuple(i));
     }
   });
   double total = 0.0;
@@ -208,6 +311,7 @@ Result<double> ExpectedSum(const WsdDb& db, const std::string& rel_name,
     statuses[i] = std::move(st);
     failed.store(true, std::memory_order_relaxed);
   };
+  const uint64_t salt = SaltFor(conf_cache_salt::kEsum, options);
   auto eval_tuple = [&](size_t i) {
     const WsdTuple& t = rel->tuple(i);
     std::vector<FactorId> factors = index.Touched(t, col);
@@ -221,6 +325,14 @@ Result<double> ExpectedSum(const WsdDb& db, const std::string& rel_name,
       }
       terms[i] = v.NumericValue();
       return;
+    }
+    uint64_t key = 0;
+    if (options.cache != nullptr) {
+      key = index.TupleTermKey(t, col, salt);
+      if (std::optional<double> hit = options.cache->FindTerm(key)) {
+        terms[i] = *hit;
+        return;
+      }
     }
     ClusterEnumerator en(index, std::move(factors));
     Result<size_t> budget =
@@ -249,6 +361,7 @@ Result<double> ExpectedSum(const WsdDb& db, const std::string& rel_name,
       term += p * v.NumericValue();
     }
     terms[i] = term;
+    if (options.cache != nullptr) options.cache->InsertTerm(key, term);
   };
   // Contiguous batches per pool task (most terms are trivial; the rare
   // enumerating ones still balance across ~8 batches per thread).

@@ -25,6 +25,8 @@
 
 namespace maybms {
 
+class MaterializedConf;  // core/materialized_conf.h
+
 struct ConfidenceOptions {
   /// Budget on the number of joint states enumerated per cluster.
   size_t max_cluster_states = 1u << 20;
@@ -38,6 +40,13 @@ struct ConfidenceOptions {
   /// into sums of per-factor products. Off reproduces naive
   /// whole-component enumeration (differential tests, benchmarks).
   bool factorize_clusters = true;
+  /// Optional content-keyed cache of per-cluster results
+  /// (core/materialized_conf.h). When set, CONF re-scans only clusters
+  /// whose components changed since they were last evaluated and
+  /// replays the cheap 1-Lipschitz combine over cached mass maps for
+  /// the rest; ECOUNT/ESUM memoize their per-tuple terms the same way.
+  /// Results are bit-identical with and without the cache. Not owned.
+  MaterializedConf* cache = nullptr;
 };
 
 /// Distinct possible value-vectors of `rel` with a trailing "conf" column

@@ -1,0 +1,83 @@
+#include "core/materialized_conf.h"
+
+#include <utility>
+
+namespace maybms {
+
+template <typename V>
+V* MaterializedConf::FindLocked(Store<V>* store, uint64_t key) {
+  auto it = store->map.find(key);
+  if (it == store->map.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  store->lru.splice(store->lru.begin(), store->lru, it->second.lru_it);
+  return &it->second.value;
+}
+
+template <typename V>
+void MaterializedConf::InsertLocked(Store<V>* store, uint64_t key, V value) {
+  auto it = store->map.find(key);
+  if (it != store->map.end()) {
+    // Content keys collide only for identical results; keep the entry
+    // fresh either way.
+    it->second.value = std::move(value);
+    store->lru.splice(store->lru.begin(), store->lru, it->second.lru_it);
+    return;
+  }
+  store->lru.push_front(key);
+  typename Store<V>::Entry entry{std::move(value), store->lru.begin()};
+  store->map.emplace(key, std::move(entry));
+  // Each store evicts its own least-recent entry once the *combined*
+  // count passes capacity, so the total stays bounded while an idle
+  // store's entries survive a busy one's churn.
+  while (TotalEntriesLocked() > capacity_ && !store->lru.empty()) {
+    ++evictions_;
+    store->map.erase(store->lru.back());
+    store->lru.pop_back();
+  }
+}
+
+std::shared_ptr<const TupleProbMap> MaterializedConf::FindMass(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto* found = FindLocked(&mass_, key);
+  return found == nullptr ? nullptr : *found;
+}
+
+void MaterializedConf::InsertMass(uint64_t key,
+                                  std::shared_ptr<const TupleProbMap> map) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(&mass_, key, std::move(map));
+}
+
+std::optional<double> MaterializedConf::FindTerm(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto* found = FindLocked(&term_, key);
+  return found == nullptr ? std::nullopt : std::make_optional(*found);
+}
+
+void MaterializedConf::InsertTerm(uint64_t key, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(&term_, key, value);
+}
+
+MaterializedConf::Stats MaterializedConf::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = TotalEntriesLocked();
+  return s;
+}
+
+void MaterializedConf::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  mass_.map.clear();
+  mass_.lru.clear();
+  term_.map.clear();
+  term_.lru.clear();
+}
+
+}  // namespace maybms

@@ -1,0 +1,109 @@
+// MaterializedConf: a content-keyed cache of per-cluster confidence
+// results, the incremental-maintenance half of the delta API.
+//
+// The confidence aggregates all decompose into independent clusters
+// (core/cluster.h) whose exact results are pure functions of the
+// touched components' *content* plus the member tuples. This cache
+// stores those per-cluster results keyed by ClusterIndex::ClusterKey /
+// TupleTermKey — 64-bit content hashes — so a re-issued CONF /
+// APPROX CONF / ESUM / ECOUNT after a DeltaBatch re-scans only the
+// clusters whose components the delta dirtied (their content hash, and
+// hence their key, changed) and replays the cheap 1-Lipschitz combine
+// over the cached mass maps for everything else.
+//
+// Invalidation is therefore structural, not imperative: a delta never
+// has to find and clear affected entries — dirty clusters simply stop
+// matching, and their superseded entries age out of the LRU. Cached
+// results are bit-identical to fresh scans (same float-op sequence; see
+// ClusterKey's contract), which the differential fuzzer asserts.
+//
+// Thread safety: all methods are safe under concurrent callers (one
+// mutex; entries are immutable shared_ptrs), because the exact CONF
+// path evaluates clusters in parallel.
+#ifndef MAYBMS_CORE_MATERIALIZED_CONF_H_
+#define MAYBMS_CORE_MATERIALIZED_CONF_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "core/cluster.h"
+
+namespace maybms {
+
+/// Key-namespace salts: the same cluster evaluated by different
+/// aggregates (or under different option fingerprints, which callers
+/// fold in on top) must not share entries.
+namespace conf_cache_salt {
+inline constexpr uint64_t kConf = 0x636f6e66u;      // exact CONF mass maps
+inline constexpr uint64_t kApprox = 0x61707278u;    // APPROX CONF exact-path
+inline constexpr uint64_t kEcount = 0x65636e74u;    // ECOUNT existence terms
+inline constexpr uint64_t kEsum = 0x6573756du;      // ESUM per-tuple terms
+}  // namespace conf_cache_salt
+
+class MaterializedConf {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+
+  /// `capacity` bounds the total entry count across both stores (mass
+  /// maps and scalar terms); least-recently-used entries evict first.
+  explicit MaterializedConf(size_t capacity = 8192)
+      : capacity_(capacity < 2 ? 2 : capacity) {}
+
+  MaterializedConf(const MaterializedConf&) = delete;
+  MaterializedConf& operator=(const MaterializedConf&) = delete;
+
+  /// Cluster mass maps (exact CONF scans; APPROX CONF's exact phase).
+  std::shared_ptr<const TupleProbMap> FindMass(uint64_t key);
+  void InsertMass(uint64_t key, std::shared_ptr<const TupleProbMap> map);
+
+  /// Scalar per-tuple terms (ECOUNT existence products, ESUM terms).
+  std::optional<double> FindTerm(uint64_t key);
+  void InsertTerm(uint64_t key, double value);
+
+  Stats GetStats() const;
+  void Clear();
+
+ private:
+  template <typename V>
+  struct Store {
+    struct Entry {
+      V value;
+      std::list<uint64_t>::iterator lru_it;
+    };
+    std::unordered_map<uint64_t, Entry> map;
+    std::list<uint64_t> lru;  ///< front = most recent
+  };
+
+  /// Bumps `key` to the LRU front and returns its entry, or nullptr.
+  /// Counts the hit/miss. mu_ held.
+  template <typename V>
+  V* FindLocked(Store<V>* store, uint64_t key);
+  /// Inserts/overwrites and evicts past capacity. mu_ held.
+  template <typename V>
+  void InsertLocked(Store<V>* store, uint64_t key, V value);
+
+  size_t TotalEntriesLocked() const {
+    return mass_.map.size() + term_.map.size();
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  Store<std::shared_ptr<const TupleProbMap>> mass_;
+  Store<double> term_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace maybms
+
+#endif  // MAYBMS_CORE_MATERIALIZED_CONF_H_

@@ -65,7 +65,15 @@ ComponentId WsdDb::AddComponent(Component c) {
   // cached shard partitions (ranges over *referenced* components) stay
   // valid — no invalidation here.
   components_.push_back(std::make_shared<Component>(std::move(c)));
-  return static_cast<ComponentId>(components_.size() - 1);
+  const auto id = static_cast<ComponentId>(components_.size() - 1);
+  if (delta_scope_ != nullptr) {
+    // Created counts as dirty: the delta's caller has never seen it.
+    delta_scope_->dirty.push_back(id);
+    for (const Slot& s : components_.back()->slots()) {
+      delta_scope_->touched_owners.push_back(s.owner);
+    }
+  }
+  return id;
 }
 
 const Component& WsdDb::component(ComponentId id) const {
@@ -75,7 +83,16 @@ const Component& WsdDb::component(ComponentId id) const {
 
 Component& WsdDb::mutable_component(ComponentId id) {
   MAYBMS_CHECK(IsLive(id)) << "dead component " << id;
-  InvalidateShardCaches();
+  if (delta_scope_ != nullptr) {
+    // Inside ApplyDelta: record the dirty id; the delta epilogue
+    // invalidates only the shard caches of relations that reference it.
+    delta_scope_->dirty.push_back(id);
+    for (const Slot& s : components_[id]->slots()) {
+      delta_scope_->touched_owners.push_back(s.owner);
+    }
+  } else {
+    InvalidateShardCaches();
+  }
   std::shared_ptr<Component>& p = components_[id];
   // use_count() == 1 proves uniqueness: another thread can only bump the
   // count through a database copy that already shares this component,
@@ -86,7 +103,16 @@ Component& WsdDb::mutable_component(ComponentId id) {
 
 void WsdDb::RemoveComponent(ComponentId id) {
   MAYBMS_CHECK(id < components_.size());
-  InvalidateShardCaches();
+  if (delta_scope_ != nullptr) {
+    delta_scope_->removed.push_back(id);
+    if (components_[id] != nullptr) {
+      for (const Slot& s : components_[id]->slots()) {
+        delta_scope_->touched_owners.push_back(s.owner);
+      }
+    }
+  } else {
+    InvalidateShardCaches();
+  }
   components_[id].reset();
 }
 
@@ -243,41 +269,57 @@ uint64_t WsdDb::InternedSize() const {
   return total;
 }
 
+double WsdDb::GatedAliveMass(const Component& c,
+                             const std::vector<OwnerId>& deps, bool* gates) {
+  // Slots of this component owned by one of the (sorted) deps.
+  uint32_t first_gate = 0;
+  size_t n_gates = 0;
+  const uint32_t nslots = static_cast<uint32_t>(c.NumSlots());
+  for (uint32_t s = 0; s < nslots; ++s) {
+    if (std::binary_search(deps.begin(), deps.end(), c.slot(s).owner)) {
+      if (n_gates == 0) first_gate = s;
+      ++n_gates;
+    }
+  }
+  if (n_gates == 0) {
+    *gates = false;
+    return 1.0;
+  }
+  *gates = true;
+  double alive = 0.0;
+  if (n_gates == 1) {
+    // Common case: one tight loop over a single packed column.
+    const std::vector<PackedValue>& col = c.column(first_gate);
+    const std::vector<double>& probs = c.probs();
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (!col[r].is_bottom()) alive += probs[r];
+    }
+  } else {
+    for (size_t r = 0; r < c.NumRows(); ++r) {
+      bool ok = true;
+      for (uint32_t s = 0; s < nslots; ++s) {
+        if (!std::binary_search(deps.begin(), deps.end(), c.slot(s).owner)) {
+          continue;
+        }
+        if (c.IsBottomAt(r, s)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) alive += c.prob(r);
+    }
+  }
+  return alive;
+}
+
 double WsdDb::ExistenceProbability(const WsdTuple& t) const {
   if (t.deps.empty()) return 1.0;
   double p = 1.0;
-  std::vector<uint32_t> gating;
   for (ComponentId id = 0; id < components_.size(); ++id) {
     if (components_[id] == nullptr) continue;
-    const Component& c = *components_[id];
-    // Slots of this component owned by one of t's deps.
-    gating.clear();
-    for (uint32_t s = 0; s < c.NumSlots(); ++s) {
-      if (std::binary_search(t.deps.begin(), t.deps.end(), c.slot(s).owner)) {
-        gating.push_back(s);
-      }
-    }
-    if (gating.empty()) continue;
-    double alive = 0.0;
-    if (gating.size() == 1) {
-      // Common case: one tight loop over a single packed column.
-      const std::vector<PackedValue>& col = c.column(gating[0]);
-      const std::vector<double>& probs = c.probs();
-      for (size_t r = 0; r < col.size(); ++r) {
-        if (!col[r].is_bottom()) alive += probs[r];
-      }
-    } else {
-      for (size_t r = 0; r < c.NumRows(); ++r) {
-        bool ok = true;
-        for (uint32_t s : gating) {
-          if (c.IsBottomAt(r, s)) {
-            ok = false;
-            break;
-          }
-        }
-        if (ok) alive += c.prob(r);
-      }
-    }
+    bool gates = false;
+    const double alive = GatedAliveMass(*components_[id], t.deps, &gates);
+    if (!gates) continue;
     p *= alive;
     if (p == 0.0) return 0.0;
   }

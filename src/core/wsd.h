@@ -19,6 +19,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -32,6 +33,34 @@
 namespace maybms {
 
 struct ShardPartition;  // core/shard.h
+class DeltaBatch;       // core/delta.h
+
+/// What a DeltaBatch touched: the invalidation unit handed to callers so
+/// caches can be maintained delta-scoped instead of wholesale. Clusters
+/// are keyed by component *content* (see ClusterIndex::ClusterKey), so a
+/// dirty component automatically re-keys every cluster it participates
+/// in — the effects report which components those are.
+struct DeltaEffects {
+  /// Components whose content changed (edited in place or created).
+  std::vector<ComponentId> dirty_components;
+  /// Components garbage-collected because no surviving tuple references
+  /// or is gated by them.
+  std::vector<ComponentId> removed_components;
+  /// Storage keys (lowercased names) of relations whose tuple vectors
+  /// changed or that reference a dirty component.
+  std::vector<std::string> dirty_relations;
+  size_t tuples_inserted = 0;
+  size_t tuples_evicted = 0;
+  /// Aggregated statistics of the batch's REPAIR KEY ops.
+  size_t repair_groups = 0;
+  size_t repair_conflicting_groups = 0;
+  double repair_log2_worlds_added = 0.0;
+  /// Aggregated statistics of the batch's ENFORCE ops.
+  double enforce_removed_mass = 0.0;
+  size_t enforce_rows_removed = 0;
+  /// The database's mutation epoch after this batch applied.
+  uint64_t epoch = 0;
+};
 
 /// A template cell: inline certain value or reference to a component slot.
 class Cell {
@@ -219,6 +248,41 @@ class WsdDb {
  public:
   WsdDb() = default;
 
+  // Copies and moves never inherit an active delta scope: the scope is a
+  // frame-local recording hook owned by an in-flight ApplyDelta.
+  WsdDb(const WsdDb& o)
+      : relations_(o.relations_),
+        components_(o.components_),
+        next_owner_(o.next_owner_),
+        options_(o.options_),
+        mutation_epoch_(o.mutation_epoch_) {}
+  WsdDb& operator=(const WsdDb& o) {
+    if (this == &o) return *this;
+    relations_ = o.relations_;
+    components_ = o.components_;
+    next_owner_ = o.next_owner_;
+    options_ = o.options_;
+    mutation_epoch_ = o.mutation_epoch_;
+    delta_scope_ = nullptr;
+    return *this;
+  }
+  WsdDb(WsdDb&& o) noexcept
+      : relations_(std::move(o.relations_)),
+        components_(std::move(o.components_)),
+        next_owner_(o.next_owner_),
+        options_(o.options_),
+        mutation_epoch_(o.mutation_epoch_) {}
+  WsdDb& operator=(WsdDb&& o) noexcept {
+    if (this == &o) return *this;
+    relations_ = std::move(o.relations_);
+    components_ = std::move(o.components_);
+    next_owner_ = o.next_owner_;
+    options_ = o.options_;
+    mutation_epoch_ = o.mutation_epoch_;
+    delta_scope_ = nullptr;
+    return *this;
+  }
+
   // --- relations ---------------------------------------------------------
   Status CreateRelation(std::string name, Schema schema);
   bool HasRelation(const std::string& name) const;
@@ -314,6 +378,27 @@ class WsdDb {
   /// rows where no dep-owned slot is ⊥).
   double ExistenceProbability(const WsdTuple& t) const;
 
+  /// Mass of `c`'s rows where no slot owned by one of `deps` (sorted) is
+  /// ⊥. Sets *gates to false (returning 1.0) when no slot of `c` is
+  /// owned by a dep. Shared between ExistenceProbability and the
+  /// memoized per-tuple existence path (core/confidence.cc) so both
+  /// produce bit-identical products.
+  static double GatedAliveMass(const Component& c,
+                               const std::vector<OwnerId>& deps, bool* gates);
+
+  // --- deltas ------------------------------------------------------------
+  /// Applies a batch of mutations (the single mutation funnel: SQL
+  /// INSERT/REPAIR/ENFORCE/DELETE, the server commit path and streaming
+  /// ingest all come through here; see core/delta.h). Ops apply in order
+  /// and stop at the first error — already-applied ops stay applied, so
+  /// WAL replay of the same batch reproduces the same partial state.
+  /// Defined in core/delta.cc.
+  Result<DeltaEffects> ApplyDelta(const DeltaBatch& batch);
+
+  /// Monotone counter bumped by every ApplyDelta (used by tests and by
+  /// callers that want a cheap "did anything change" signal).
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
   // --- invariants / rendering -------------------------------------------
   /// Validates structural invariants: refs point at live components/slots,
   /// component masses ≈ 1, deps sorted, no ⊥ in inline cells. Returns the
@@ -325,6 +410,20 @@ class WsdDb {
   std::string ToString() const;
 
  private:
+  /// Recording hook installed by an in-flight ApplyDelta: while active,
+  /// the component mutators append touched ids here instead of clearing
+  /// every relation's shard cache wholesale; the delta epilogue then
+  /// invalidates only the relations that reference a touched component.
+  struct DeltaScope {
+    std::vector<ComponentId> dirty;
+    std::vector<ComponentId> removed;
+    /// Slot owners of every touched component (captured before removal,
+    /// while the slots are still readable): the epilogue marks relations
+    /// whose tuples are *gated* by a touched component dirty, not just
+    /// relations whose cells reference one.
+    std::vector<OwnerId> touched_owners;
+  };
+
   /// Clears every relation's cached shard partition. Called by the
   /// component mutators: partitions persist per-shard possible-value
   /// ranges, so a component edit (e.g. ENFORCE removing rows) must not
@@ -337,6 +436,9 @@ class WsdDb {
   std::vector<std::shared_ptr<Component>> components_;
   OwnerId next_owner_ = 1;
   WsdOptions options_;
+  uint64_t mutation_epoch_ = 0;
+  /// Non-null only inside ApplyDelta; never propagated by copy/move.
+  DeltaScope* delta_scope_ = nullptr;
 };
 
 }  // namespace maybms

@@ -129,7 +129,34 @@ ServerCounters Server::counters() const {
   c.sql_errors = sql_errors_.load();
   c.rejected_rate_limit = rejected_rate_limit_.load();
   c.rejected_overload = rejected_overload_.load();
+  c.result_cache_hits = cache_hits_.load();
+  c.result_cache_misses = cache_misses_.load();
   return c;
+}
+
+std::optional<std::string> Server::CacheLookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return std::nullopt;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+  return it->second.response;
+}
+
+void Server::CacheInsert(const std::string& key, std::string response) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // A concurrent worker raced us to the same (version, settings,
+    // statement) key; both computed the same deterministic response.
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_it);
+    return;
+  }
+  cache_lru_.push_front(key);
+  cache_.emplace(key, CacheEntry{std::move(response), cache_lru_.begin()});
+  while (cache_.size() > options_.result_cache_entries) {
+    cache_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+  }
 }
 
 void Server::IoLoop() {
@@ -315,6 +342,8 @@ bool Server::ServeDotCommand(const std::shared_ptr<Conn>& conn,
         "rejected_overload " + std::to_string(c.rejected_overload),
         "catalog_version " + std::to_string(catalog_->version()),
         "workers " + std::to_string(options_.workers),
+        "result_cache_hits " + std::to_string(c.result_cache_hits),
+        "result_cache_misses " + std::to_string(c.result_cache_misses),
     };
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     SendAll(conn, EncodeOk(out));
@@ -343,26 +372,70 @@ void Server::ServeLine(const std::shared_ptr<Conn>& conn, std::string line) {
       sql_errors_.fetch_add(1, std::memory_order_relaxed);
       SendAll(conn, EncodeErr(stmt.status().ToString()));
     } else {
-      Result<sql::StatementResult> result = [&] {
-        if (IsReadStatement(*stmt)) {
-          // Snapshot isolation: the whole statement runs against one
-          // published version, however many writes commit meanwhile.
-          conn->session.db() = catalog_->SnapshotCopy();
-          return conn->session.ExecuteParsed(*stmt);
-        }
-        return catalog_->ExecuteWrite(*stmt);
-      }();
-      if (!result.ok()) {
-        sql_errors_.fetch_add(1, std::memory_order_relaxed);
-        SendAll(conn, EncodeErr(result.status().ToString()));
-      } else {
-        requests_served_.fetch_add(1, std::memory_order_relaxed);
-        SendAll(conn, EncodeOk(SplitLines(result->ToDisplayString())));
-      }
+      ServeStatement(conn, *stmt, line);
     }
   }
   in_flight_.fetch_sub(1, std::memory_order_acq_rel);
   FinishStatement(conn);
+}
+
+void Server::ServeStatement(const std::shared_ptr<Conn>& conn,
+                            const sql::Statement& stmt,
+                            const std::string& line) {
+  // SET is session-local: it tunes this connection's own session and
+  // must never reach the shared writer (whose settings are global).
+  if (stmt.kind == sql::Statement::Kind::kSet) {
+    Result<sql::StatementResult> result = conn->session.ExecuteParsed(stmt);
+    if (!result.ok()) {
+      sql_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(conn, EncodeErr(result.status().ToString()));
+    } else {
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(conn, EncodeOk(SplitLines(result->ToDisplayString())));
+    }
+    return;
+  }
+  if (IsReadStatement(stmt)) {
+    // Read statements are pure functions of (published version, session
+    // settings, statement text) — exactly the result-cache key. The
+    // version is read before the snapshot, so a racing publish can only
+    // cache a fresher answer under the older key, never a staler one.
+    std::string key;
+    const bool use_cache = options_.result_cache_entries > 0;
+    if (use_cache) {
+      key = std::to_string(catalog_->version()) + '|' +
+            std::to_string(conn->session.SettingsFingerprint()) + '|' + line;
+      if (std::optional<std::string> hit = CacheLookup(key)) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        requests_served_.fetch_add(1, std::memory_order_relaxed);
+        SendAll(conn, *hit);
+        return;
+      }
+      cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Snapshot isolation: the whole statement runs against one
+    // published version, however many writes commit meanwhile.
+    conn->session.db() = catalog_->SnapshotCopy();
+    Result<sql::StatementResult> result = conn->session.ExecuteParsed(stmt);
+    if (!result.ok()) {
+      sql_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(conn, EncodeErr(result.status().ToString()));
+      return;
+    }
+    std::string response = EncodeOk(SplitLines(result->ToDisplayString()));
+    if (use_cache) CacheInsert(key, response);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    SendAll(conn, response);
+    return;
+  }
+  Result<sql::StatementResult> result = catalog_->ExecuteWrite(stmt);
+  if (!result.ok()) {
+    sql_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendAll(conn, EncodeErr(result.status().ToString()));
+  } else {
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    SendAll(conn, EncodeOk(SplitLines(result->ToDisplayString())));
+  }
 }
 
 void Server::FinishStatement(const std::shared_ptr<Conn>& conn) {

@@ -18,11 +18,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/parallel.h"
@@ -46,6 +49,11 @@ struct ServerOptions {
   /// limit) with `rate_burst` tokens of headroom.
   double rate_qps = 0.0;
   double rate_burst = 16.0;
+  /// Entries in the read-statement result cache, keyed on (catalog
+  /// version, session-settings fingerprint, statement text). Publishing
+  /// a write bumps the version, so stale entries can never be served —
+  /// they just age out of the LRU. 0 disables the cache.
+  size_t result_cache_entries = 256;
 };
 
 /// Monitoring counters (also rendered by the ".stats" dot-command).
@@ -55,6 +63,8 @@ struct ServerCounters {
   uint64_t sql_errors = 0;       ///< ERR from parse/execution
   uint64_t rejected_rate_limit = 0;
   uint64_t rejected_overload = 0;
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
 };
 
 class Server {
@@ -83,6 +93,14 @@ class Server {
   void IoLoop();
   /// Executes one request line on a worker; writes the response.
   void ServeLine(const std::shared_ptr<Conn>& conn, std::string line);
+  /// Executes one parsed statement (SET → the connection's session,
+  /// reads → snapshot copy behind the result cache, writes → the shared
+  /// catalog) and sends the response.
+  void ServeStatement(const std::shared_ptr<Conn>& conn,
+                      const sql::Statement& stmt, const std::string& line);
+  /// Result-cache probe: bumps the entry to the LRU front on a hit.
+  std::optional<std::string> CacheLookup(const std::string& key);
+  void CacheInsert(const std::string& key, std::string response);
   /// Handles ".ping" / ".stats" / ".sleep ms" / ".quit"; true if `line`
   /// was a dot-command.
   bool ServeDotCommand(const std::shared_ptr<Conn>& conn,
@@ -114,6 +132,17 @@ class Server {
   std::atomic<uint64_t> sql_errors_{0};
   std::atomic<uint64_t> rejected_rate_limit_{0};
   std::atomic<uint64_t> rejected_overload_{0};
+
+  /// Read-statement result cache (see ServerOptions::result_cache_entries).
+  struct CacheEntry {
+    std::string response;  ///< the full encoded OK response
+    std::list<std::string>::iterator lru_it;
+  };
+  std::mutex cache_mu_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::list<std::string> cache_lru_;  ///< front = most recently used
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
 };
 
 }  // namespace server

@@ -61,6 +61,8 @@ std::string SharedCatalog::TargetRelation(const sql::Statement& stmt) {
       return stmt.enforce->table;
     case sql::Statement::Kind::kRepair:
       return stmt.repair->table;
+    case sql::Statement::Kind::kDelete:
+      return stmt.delete_stmt->table;
     default:
       return std::string();  // SAVE/LOAD/CHECKPOINT: catalog-wide
   }
@@ -69,6 +71,13 @@ std::string SharedCatalog::TargetRelation(const sql::Statement& stmt) {
 Result<sql::StatementResult> SharedCatalog::ExecuteWrite(
     const sql::Statement& stmt) {
   MAYBMS_CHECK(!IsReadStatement(stmt)) << "read routed to ExecuteWrite";
+  if (stmt.kind == sql::Statement::Kind::kSet) {
+    // Settings are session-local; applying one to the shared writer
+    // would silently change every subsequent commit's semantics.
+    return Status::Unsupported(
+        "SET is session-local; it must run on the requesting session, "
+        "not the shared writer");
+  }
   if (stmt.kind == sql::Statement::Kind::kLoadDb && stmt.load_db->mapped) {
     return Status::Unsupported(
         "LOAD DATABASE ... MAPPED is not available on the server; "

@@ -10,6 +10,8 @@
 //   ENFORCE CHECK (a >= 0) ON r;  ENFORCE KEY (a) ON r;
 //   ENFORCE FD city -> state ON r;
 //   EXPLAIN SELECT ...;  SHOW TABLES;  SHOW WORLDS;  DROP TABLE r;
+//   SET conf.num_threads = 4;  SHOW SETTINGS;
+//   DELETE FROM r OLDEST 10;                            -- window retirement
 #ifndef MAYBMS_SQL_AST_H_
 #define MAYBMS_SQL_AST_H_
 
@@ -97,10 +99,26 @@ struct ExplainStmt {
 };
 
 struct ShowStmt {
-  enum class What { kTables, kWorlds, kRelation };
+  enum class What { kTables, kWorlds, kRelation, kSettings };
   What what = What::kTables;
   std::string relation;   ///< for kRelation
   size_t max_worlds = 32; ///< for kWorlds
+};
+
+/// SET <knob> = <literal>: assigns one session setting (see the knob
+/// registry in session.cc; SHOW SETTINGS lists all of them). Session-
+/// local — never written to the WAL.
+struct SetStmt {
+  std::string name;
+  Value value;
+};
+
+/// DELETE FROM r OLDEST n: retires the n oldest tuples of r (the
+/// streaming window primitive), garbage-collecting components no
+/// surviving tuple references. Lowers to a DeltaBatch evict op.
+struct DeleteStmt {
+  std::string table;
+  size_t count = 0;
 };
 
 struct EnforceStmt {
@@ -156,6 +174,8 @@ struct Statement {
     kSaveDb,
     kLoadDb,
     kCheckpoint,
+    kSet,
+    kDelete,
   };
   Kind kind = Kind::kSelect;
   std::optional<CreateTableStmt> create_table;
@@ -169,6 +189,8 @@ struct Statement {
   std::optional<SaveDbStmt> save_db;
   std::optional<LoadDbStmt> load_db;
   std::optional<CheckpointStmt> checkpoint;
+  std::optional<SetStmt> set;
+  std::optional<DeleteStmt> delete_stmt;
   /// The statement's own SQL text (trimmed; no trailing ';'), captured by
   /// the parser — what the session writes to the write-ahead log.
   std::string source_text;

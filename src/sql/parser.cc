@@ -131,6 +131,8 @@ class Parser {
     if (AtKeyword("repair")) return ParseRepair();
     if (AtKeyword("save")) return ParseSaveDb();
     if (AtKeyword("load")) return ParseLoadDb();
+    if (AtKeyword("set")) return ParseSet();
+    if (AtKeyword("delete")) return ParseDelete();
     if (AtKeyword("checkpoint")) {
       Advance();
       Statement s;
@@ -373,10 +375,41 @@ class Parser {
     } else if (AcceptKeyword("relation")) {
       stmt.what = ShowStmt::What::kRelation;
       MAYBMS_ASSIGN_OR_RETURN(stmt.relation, ExpectIdent("relation name"));
+    } else if (AcceptKeyword("settings")) {
+      stmt.what = ShowStmt::What::kSettings;
     } else {
-      return Error("expected TABLES, WORLDS or RELATION after SHOW");
+      return Error("expected TABLES, WORLDS, RELATION or SETTINGS after SHOW");
     }
     s.show = std::move(stmt);
+    return s;
+  }
+
+  Result<Statement> ParseSet() {
+    MAYBMS_RETURN_IF_ERROR(ExpectKeyword("set"));
+    Statement s;
+    s.kind = Statement::Kind::kSet;
+    SetStmt stmt;
+    MAYBMS_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("setting name"));
+    MAYBMS_RETURN_IF_ERROR(Expect("="));
+    MAYBMS_ASSIGN_OR_RETURN(stmt.value, ParseLiteral());
+    s.set = std::move(stmt);
+    return s;
+  }
+
+  Result<Statement> ParseDelete() {
+    MAYBMS_RETURN_IF_ERROR(ExpectKeyword("delete"));
+    MAYBMS_RETURN_IF_ERROR(ExpectKeyword("from"));
+    Statement s;
+    s.kind = Statement::Kind::kDelete;
+    DeleteStmt stmt;
+    MAYBMS_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    MAYBMS_RETURN_IF_ERROR(ExpectKeyword("oldest"));
+    if (!At(TokenKind::kInt) || Cur().int_value < 0) {
+      return Error("expected a non-negative tuple count after OLDEST");
+    }
+    stmt.count = static_cast<size_t>(Cur().int_value);
+    Advance();
+    s.delete_stmt = std::move(stmt);
     return s;
   }
 

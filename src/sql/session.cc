@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "chase/enforce.h"
+#include "common/hash.h"
 #include "common/string_util.h"
 #include "core/builder.h"
 #include "core/repair.h"
@@ -17,6 +18,159 @@
 
 namespace maybms {
 namespace sql {
+
+namespace {
+
+// The SET / SHOW SETTINGS knob registry: dotted leaf name → typed
+// get/set over the SessionOptions aggregate. Sorted by name; SHOW
+// SETTINGS lists in this order. The ε/δ of APPROX CONF are per-query
+// (not knobs), and conf.cache / approx.cache are wired internally.
+struct Knob {
+  const char* name;
+  std::string (*get)(const SessionOptions&);
+  Status (*set)(SessionOptions*, const Value&);
+};
+
+Status ExpectBool(const Value& v, bool* out) {
+  if (v.is_bool()) {
+    *out = v.as_bool();
+    return Status::OK();
+  }
+  if (v.is_int()) {
+    *out = v.as_int() != 0;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("expected a boolean value");
+}
+
+Status ExpectCount(const Value& v, size_t* out) {
+  if (v.is_int() && v.as_int() >= 0) {
+    *out = static_cast<size_t>(v.as_int());
+    return Status::OK();
+  }
+  return Status::InvalidArgument("expected a non-negative integer");
+}
+
+Status ExpectSeed(const Value& v, uint64_t* out) {
+  if (v.is_int() && v.as_int() >= 0) {
+    *out = static_cast<uint64_t>(v.as_int());
+    return Status::OK();
+  }
+  return Status::InvalidArgument("expected a non-negative integer");
+}
+
+Status ExpectDouble(const Value& v, double* out) {
+  if (v.is_numeric()) {
+    *out = v.NumericValue();
+    return Status::OK();
+  }
+  return Status::InvalidArgument("expected a number");
+}
+
+std::string FormatBoolKnob(bool b) { return b ? "true" : "false"; }
+
+#define MAYBMS_KNOB(NAME, FIELD, FMT, EXPECT)                      \
+  Knob {                                                           \
+    NAME, [](const SessionOptions& o) { return FMT(o.FIELD); },    \
+        [](SessionOptions* o, const Value& v) {                    \
+          return EXPECT(v, &o->FIELD);                             \
+        }                                                          \
+  }
+#define MAYBMS_BOOL_KNOB(NAME, FIELD) \
+  MAYBMS_KNOB(NAME, FIELD, FormatBoolKnob, ExpectBool)
+#define MAYBMS_COUNT_KNOB(NAME, FIELD)                                       \
+  MAYBMS_KNOB(                                                               \
+      NAME, FIELD, [](size_t x) { return StrFormat("%zu", x); }, ExpectCount)
+
+const Knob kKnobs[] = {
+    MAYBMS_COUNT_KNOB("approx.enum_chunk", approx.enum_chunk),
+    MAYBMS_COUNT_KNOB("approx.exact_state_limit", approx.exact_state_limit),
+    MAYBMS_BOOL_KNOB("approx.factorize_clusters", approx.factorize_clusters),
+    MAYBMS_COUNT_KNOB("approx.fixed_samples", approx.fixed_samples),
+    MAYBMS_COUNT_KNOB("approx.max_enum_states", approx.max_enum_states),
+    MAYBMS_COUNT_KNOB("approx.max_samples", approx.max_samples),
+    MAYBMS_BOOL_KNOB("approx.member_marginals", approx.member_marginals),
+    MAYBMS_COUNT_KNOB("approx.num_threads", approx.num_threads),
+    MAYBMS_COUNT_KNOB("approx.sample_chunk", approx.sample_chunk),
+    MAYBMS_BOOL_KNOB("approx.sampling_only", approx.sampling_only),
+    MAYBMS_KNOB(
+        "approx.seed", approx.seed,
+        [](uint64_t x) {
+          return StrFormat("%llu", static_cast<unsigned long long>(x));
+        },
+        ExpectSeed),
+    MAYBMS_KNOB(
+        "conf.eps", conf.eps, [](double x) { return StrFormat("%g", x); },
+        ExpectDouble),
+    MAYBMS_BOOL_KNOB("conf.factorize_clusters", conf.factorize_clusters),
+    MAYBMS_COUNT_KNOB("conf.max_cluster_states", conf.max_cluster_states),
+    MAYBMS_COUNT_KNOB("conf.num_threads", conf.num_threads),
+    MAYBMS_COUNT_KNOB("durability.auto_checkpoint_records",
+                      durability.auto_checkpoint_records),
+    MAYBMS_BOOL_KNOB("durability.wal_enabled", durability.wal_enabled),
+    MAYBMS_BOOL_KNOB("exec.compile_expressions", exec.compile_expressions),
+    MAYBMS_COUNT_KNOB("exec.num_threads", exec.num_threads),
+    MAYBMS_COUNT_KNOB("exec.parallel_row_threshold",
+                      exec.parallel_row_threshold),
+    MAYBMS_BOOL_KNOB("materialize_conf", materialize_conf),
+    MAYBMS_COUNT_KNOB("materialize_conf_capacity", materialize_conf_capacity),
+    MAYBMS_BOOL_KNOB("optimizer.enable", optimizer.enable),
+    MAYBMS_BOOL_KNOB("optimizer.fold_constants", optimizer.fold_constants),
+    MAYBMS_BOOL_KNOB("optimizer.prune_projections",
+                     optimizer.prune_projections),
+    MAYBMS_BOOL_KNOB("optimizer.push_predicates", optimizer.push_predicates),
+    MAYBMS_BOOL_KNOB("optimizer.reorder_joins", optimizer.reorder_joins),
+};
+
+#undef MAYBMS_COUNT_KNOB
+#undef MAYBMS_BOOL_KNOB
+#undef MAYBMS_KNOB
+
+const Knob* FindKnob(const std::string& name) {
+  const std::string lower = ToLower(name);
+  for (const Knob& k : kKnobs) {
+    if (lower == k.name) return &k;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Status Session::SetOption(const std::string& name, const Value& value) {
+  const Knob* knob = FindKnob(name);
+  if (knob == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("unknown setting '%s' (SHOW SETTINGS lists all knobs)",
+                  name.c_str()));
+  }
+  Status st = knob->set(&options_, value);
+  if (!st.ok()) {
+    return Status::InvalidArgument(StrFormat("SET %s: %s", knob->name,
+                                             st.message().c_str()));
+  }
+  return Status::OK();
+}
+
+uint64_t Session::SettingsFingerprint() const {
+  std::string flat;
+  for (const Knob& k : kKnobs) {
+    flat += k.name;
+    flat += '=';
+    flat += k.get(options_);
+    flat += ';';
+  }
+  return HashString(flat);
+}
+
+MaterializedConf* Session::conf_cache() {
+  if (!options_.materialize_conf) return nullptr;
+  const size_t cap = options_.materialize_conf_capacity;
+  if (!conf_cache_ || conf_cache_capacity_ != cap) {
+    conf_cache_ = std::make_unique<MaterializedConf>(cap);
+    conf_cache_capacity_ = cap;
+  }
+  return conf_cache_.get();
+}
 
 std::string StatementResult::ToDisplayString(size_t max_rows) const {
   switch (kind) {
@@ -66,6 +220,7 @@ bool Session::IsLoggedKind(Statement::Kind kind) {
     case Statement::Kind::kInsert:
     case Statement::Kind::kEnforce:
     case Statement::Kind::kRepair:
+    case Statement::Kind::kDelete:
       return true;
     default:
       return false;
@@ -107,11 +262,16 @@ size_t Session::ReplayWal(const std::vector<wal::WalRecord>& records) {
   replaying_ = true;
   size_t applied = 0;
   for (const wal::WalRecord& rec : records) {
-    // Errors are deliberately dropped: a statement that failed (or
-    // half-applied, e.g. a multi-row INSERT hitting a type error on its
-    // second row) when first executed does the same on replay — the
-    // engine applies row-level mutations deterministically in statement
+    // Errors are deliberately dropped: a statement or batch that failed
+    // (or half-applied, e.g. a multi-row INSERT hitting a type error on
+    // its second row) when first executed does the same on replay — the
+    // engine applies row-level mutations deterministically in record
     // order, so the recovered state matches the crashed one.
+    if (rec.type == wal::RecordType::kDelta) {
+      Result<DeltaBatch> batch = DeltaBatch::Deserialize(rec.payload);
+      if (batch.ok() && db_.ApplyDelta(*batch).ok()) ++applied;
+      continue;
+    }
     Result<StatementResult> r = Execute(rec.payload);
     if (r.ok()) ++applied;
   }
@@ -143,9 +303,10 @@ Result<StatementResult> Session::ExecuteParsed(const Statement& stmt) {
     (void)lsn;
   }
   MAYBMS_ASSIGN_OR_RETURN(StatementResult result, ExecuteParsedImpl(stmt));
-  if (log_it && durability_.auto_checkpoint_records > 0 &&
+  if (log_it && options_.durability.auto_checkpoint_records > 0 &&
       attach_ && attach_->writer &&
-      attach_->writer->record_count() >= durability_.auto_checkpoint_records) {
+      attach_->writer->record_count() >=
+          options_.durability.auto_checkpoint_records) {
     Status st = Checkpoint();
     if (!st.ok()) {
       // Non-fatal: the statement itself is durable in the log; the
@@ -165,9 +326,13 @@ Result<StatementResult> Session::ExecuteParsedImpl(const Statement& stmt) {
     case Statement::Kind::kSelect:
     case Statement::Kind::kExplain:
     case Statement::Kind::kLoadDb:
+    case Statement::Kind::kSet:  // settings never touch the catalog
       break;
     case Statement::Kind::kShow:
-      if (stmt.show->what == ShowStmt::What::kTables) break;
+      if (stmt.show->what == ShowStmt::What::kTables ||
+          stmt.show->what == ShowStmt::What::kSettings) {
+        break;
+      }
       MAYBMS_RETURN_IF_ERROR(EnsureResident());
       break;
     default:
@@ -197,7 +362,7 @@ Result<StatementResult> Session::ExecuteParsedImpl(const Statement& stmt) {
       MAYBMS_ASSIGN_OR_RETURN(PlannedQuery q,
                               PlanSelect(*stmt.explain->select, db_));
       MAYBMS_ASSIGN_OR_RETURN(PlanPtr optimized,
-                              Optimize(q.plan, db_, optimizer_options_));
+                              Optimize(q.plan, db_, options_.optimizer));
       MAYBMS_ASSIGN_OR_RETURN(std::string before, ExplainPlan(q.plan, db_));
       MAYBMS_ASSIGN_OR_RETURN(std::string after, ExplainPlan(optimized, db_));
       result.message = "plan:\n" + before + "\n\nplan (optimized):\n" + after;
@@ -206,7 +371,8 @@ Result<StatementResult> Session::ExecuteParsedImpl(const Statement& stmt) {
         result.message += StrFormat(
             "\n→ APPROX CONF(ε=%g, δ=%g) via anytime per-cluster "
             "estimation (exact ≤ %zu states, else bracket/sample to ε/K)",
-            q.approx_eps, q.approx_delta, approx_options_.exact_state_limit);
+            q.approx_eps, q.approx_delta,
+            options_.approx.exact_state_limit);
       }
       if (q.wants_ecount) result.message += "\n→ ECOUNT() via existence sums";
       if (q.wants_esum) {
@@ -224,16 +390,17 @@ Result<StatementResult> Session::ExecuteParsedImpl(const Statement& stmt) {
     case Statement::Kind::kEnforce:
       return RunEnforce(*stmt.enforce);
     case Statement::Kind::kRepair: {
-      MAYBMS_ASSIGN_OR_RETURN(
-          RepairKeyStats stats,
-          RepairKey(&db_, stmt.repair->table, stmt.repair->key,
-                    stmt.repair->weight));
+      DeltaBatch batch;
+      batch.RepairKey(stmt.repair->table, stmt.repair->key,
+                      stmt.repair->weight);
+      MAYBMS_ASSIGN_OR_RETURN(DeltaEffects effects, db_.ApplyDelta(batch));
       StatementResult result;
       result.message = StrFormat(
           "repaired key (%s) in %s: %zu group(s), %zu conflicting, "
           "world count x 2^%.4g",
           Join(stmt.repair->key, ",").c_str(), stmt.repair->table.c_str(),
-          stats.groups, stats.conflicting_groups, stats.log2_worlds_added);
+          effects.repair_groups, effects.repair_conflicting_groups,
+          effects.repair_log2_worlds_added);
       return result;
     }
     case Statement::Kind::kSaveDb:
@@ -246,6 +413,10 @@ Result<StatementResult> Session::ExecuteParsedImpl(const Statement& stmt) {
                                  attach_->db_path.c_str());
       return result;
     }
+    case Statement::Kind::kSet:
+      return RunSet(*stmt.set);
+    case Statement::Kind::kDelete:
+      return RunDelete(*stmt.delete_stmt);
   }
   return Status::Internal("unreachable statement kind");
 }
@@ -263,7 +434,7 @@ Result<StatementResult> Session::RunSaveDb(const SaveDbStmt& stmt) {
   result.message = StrFormat(
       "saved database to '%s' (%s format, %s)", stmt.path.c_str(),
       stmt.binary ? "binary" : "text", FormatBytes(bytes).c_str());
-  if (durability_.wal_enabled) {
+  if (options_.durability.wal_enabled) {
     DurableAttachment a;
     a.db_path = stmt.path;
     a.wal_path = wal::WalPathFor(stmt.path);
@@ -288,7 +459,7 @@ Result<StatementResult> Session::RunLoadDb(const LoadDbStmt& stmt) {
     MAYBMS_ASSIGN_OR_RETURN(MappedWsdDb mapped,
                             MappedWsdDb::Open(stmt.path, {}, env()));
     size_t pending_records = 0;
-    if (durability_.wal_enabled) {
+    if (options_.durability.wal_enabled) {
       const uint64_t fingerprint =
           wal::SnapshotFingerprint(mapped.snapshot_view());
       Result<wal::WalContents> contents = wal::ReadWal(env(), wal_path);
@@ -357,7 +528,7 @@ Result<StatementResult> Session::RunLoadDb(const LoadDbStmt& stmt) {
     return result;
   }
 
-  if (!durability_.wal_enabled) {
+  if (!options_.durability.wal_enabled) {
     MAYBMS_ASSIGN_OR_RETURN(WsdDb loaded, LoadWsdDb(stmt.path, env()));
     // Swap the session catalog only after a fully validated load, so a
     // failed LOAD DATABASE leaves the current database untouched.
@@ -452,7 +623,10 @@ Status Session::AttachForLoad(const std::string& db_path,
 Result<StatementResult> Session::RunInsert(const InsertStmt& stmt) {
   MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db_.GetRelation(stmt.table));
   (void)rel;
-  size_t inserted = 0;
+  // One delta batch per statement: row-at-a-time application (and its
+  // deterministic half-apply on a mid-statement error) is preserved by
+  // ApplyDelta's fail-fast op loop.
+  DeltaBatch batch;
   for (const auto& row : stmt.rows) {
     std::vector<CellSpec> cells;
     cells.reserve(row.size());
@@ -471,23 +645,26 @@ Result<StatementResult> Session::RunInsert(const InsertStmt& stmt) {
         cells.push_back(CellSpec::OrSet(std::move(alts)));
       }
     }
-    MAYBMS_ASSIGN_OR_RETURN(TupleHandle h,
-                            InsertTuple(&db_, stmt.table, std::move(cells)));
-    (void)h;
-    ++inserted;
+    batch.Insert(stmt.table, std::move(cells));
   }
+  MAYBMS_ASSIGN_OR_RETURN(DeltaEffects effects, db_.ApplyDelta(batch));
   StatementResult result;
-  result.message = StrFormat("inserted %zu tuple(s) into %s", inserted,
-                             stmt.table.c_str());
+  result.message = StrFormat("inserted %zu tuple(s) into %s",
+                             effects.tuples_inserted, stmt.table.c_str());
   return result;
 }
 
 Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
   MAYBMS_ASSIGN_OR_RETURN(PlannedQuery q, PlanSelect(stmt, db_));
   MAYBMS_ASSIGN_OR_RETURN(PlanPtr plan,
-                          Optimize(q.plan, db_, optimizer_options_));
+                          Optimize(q.plan, db_, options_.optimizer));
   LiftedExecOptions lifted_opts;
-  lifted_opts.eval = exec_options_;
+  lifted_opts.eval = options_.exec;
+  // Per-query copy of the confidence options with the session's
+  // content-keyed cache attached: repeated queries over mostly-unchanged
+  // world sets recompute only the clusters a delta dirtied.
+  ConfidenceOptions conf_opts = options_.conf;
+  conf_opts.cache = conf_cache();
   WsdDb answer;
   if (mapped_) {
     // Materialize only the shards/components the optimized plan can
@@ -501,7 +678,7 @@ Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
   StatementResult result;
   if (q.wants_ecount) {
     MAYBMS_ASSIGN_OR_RETURN(double ec,
-                            ExpectedCount(answer, "result", conf_options_));
+                            ExpectedCount(answer, "result", conf_opts));
     Relation table("", Schema({{"ecount", ValueType::kDouble}}));
     table.AppendUnchecked({Value::Double(ec)});
     result.kind = StatementResult::Kind::kTable;
@@ -511,7 +688,7 @@ Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
   if (q.wants_esum) {
     MAYBMS_ASSIGN_OR_RETURN(double es,
                             ExpectedSum(answer, "result", q.esum_column,
-                                        conf_options_));
+                                        conf_opts));
     Relation table("", Schema({{"esum", ValueType::kDouble}}));
     table.AppendUnchecked({Value::Double(es)});
     result.kind = StatementResult::Kind::kTable;
@@ -519,7 +696,8 @@ Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
     return result;
   }
   if (q.wants_approx) {
-    ApproxOptions opts = approx_options_;
+    ApproxOptions opts = options_.approx;
+    opts.cache = conf_cache();
     opts.epsilon = q.approx_eps;
     opts.delta = q.approx_delta;
     ApproxConfStats stats;
@@ -548,7 +726,7 @@ Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
   }
   if (q.wants_prob) {
     MAYBMS_ASSIGN_OR_RETURN(Relation conf,
-                            ConfTable(answer, "result", conf_options_));
+                            ConfTable(answer, "result", conf_opts));
     // Rename the trailing conf column to the requested alias.
     Schema s = conf.schema();
     std::vector<Attribute> attrs = s.attrs();
@@ -562,14 +740,14 @@ Result<StatementResult> Session::RunSelect(const SelectStmt& stmt) {
   switch (q.mode) {
     case SelectMode::kPossible: {
       MAYBMS_ASSIGN_OR_RETURN(
-          Relation t, PossibleTuples(answer, "result", conf_options_));
+          Relation t, PossibleTuples(answer, "result", conf_opts));
       result.kind = StatementResult::Kind::kTable;
       result.table = std::move(t);
       return result;
     }
     case SelectMode::kCertain: {
       MAYBMS_ASSIGN_OR_RETURN(
-          Relation t, CertainTuples(answer, "result", conf_options_));
+          Relation t, CertainTuples(answer, "result", conf_opts));
       result.kind = StatementResult::Kind::kTable;
       result.table = std::move(t);
       return result;
@@ -595,13 +773,67 @@ Result<StatementResult> Session::RunEnforce(const EnforceStmt& stmt) {
                                                 stmt.rhs);
     }
   }();
-  MAYBMS_ASSIGN_OR_RETURN(EnforceStats stats, Enforce(&db_, c));
+  const double log2_before = db_.Log2WorldCount();
+  DeltaBatch batch;
+  batch.Enforce(c);
+  MAYBMS_ASSIGN_OR_RETURN(DeltaEffects effects, db_.ApplyDelta(batch));
   StatementResult result;
   result.message = StrFormat(
       "enforced %s: removed probability mass %.6g, %zu component row(s) "
       "deleted; log2(worlds) %.4g -> %.4g",
-      c.ToString().c_str(), stats.removed_mass, stats.rows_removed,
-      stats.log2_worlds_before, stats.log2_worlds_after);
+      c.ToString().c_str(), effects.enforce_removed_mass,
+      effects.enforce_rows_removed, log2_before, db_.Log2WorldCount());
+  return result;
+}
+
+Result<DeltaEffects> Session::ApplyDelta(const DeltaBatch& batch) {
+  MAYBMS_RETURN_IF_ERROR(EnsureResident());
+  const bool log_it = !replaying_ && attach_.has_value();
+  if (log_it) {
+    if (!attach_->writer) {
+      return Status::Internal("durable attachment has no WAL writer");
+    }
+    // Serialize + append + fsync BEFORE applying, mirroring the
+    // statement path: an acknowledged batch is durable; a failed append
+    // applies nothing.
+    MAYBMS_ASSIGN_OR_RETURN(std::string payload, batch.Serialize());
+    MAYBMS_ASSIGN_OR_RETURN(
+        uint64_t lsn,
+        attach_->writer->Append(wal::RecordType::kDelta, payload));
+    (void)lsn;
+  }
+  MAYBMS_ASSIGN_OR_RETURN(DeltaEffects effects, db_.ApplyDelta(batch));
+  if (log_it && options_.durability.auto_checkpoint_records > 0 &&
+      attach_ && attach_->writer &&
+      attach_->writer->record_count() >=
+          options_.durability.auto_checkpoint_records) {
+    // Non-fatal, like the statement path: the batch is durable in the
+    // log either way; a failed checkpoint retries on the next crossing.
+    (void)Checkpoint();
+  }
+  return effects;
+}
+
+Result<StatementResult> Session::RunSet(const SetStmt& stmt) {
+  MAYBMS_RETURN_IF_ERROR(SetOption(stmt.name, stmt.value));
+  const Knob* knob = FindKnob(stmt.name);
+  StatementResult result;
+  result.message =
+      StrFormat("set %s = %s", knob->name, knob->get(options_).c_str());
+  return result;
+}
+
+Result<StatementResult> Session::RunDelete(const DeleteStmt& stmt) {
+  MAYBMS_ASSIGN_OR_RETURN(const WsdRelation* rel, db_.GetRelation(stmt.table));
+  (void)rel;
+  DeltaBatch batch;
+  batch.EvictOldest(stmt.table, stmt.count);
+  MAYBMS_ASSIGN_OR_RETURN(DeltaEffects effects, db_.ApplyDelta(batch));
+  StatementResult result;
+  result.message = StrFormat(
+      "evicted %zu tuple(s) from %s (%zu component(s) collected)",
+      effects.tuples_evicted, stmt.table.c_str(),
+      effects.removed_components.size());
   return result;
 }
 
@@ -647,6 +879,17 @@ Result<StatementResult> Session::RunShow(const ShowStmt& stmt) {
         }
       }
       result.message = std::move(out);
+      return result;
+    }
+    case ShowStmt::What::kSettings: {
+      Relation table("", Schema({{"setting", ValueType::kString},
+                                 {"value", ValueType::kString}}));
+      for (const Knob& k : kKnobs) {
+        table.AppendUnchecked(
+            {Value::String(k.name), Value::String(k.get(options_))});
+      }
+      result.kind = StatementResult::Kind::kTable;
+      result.table = std::move(table);
       return result;
     }
   }

@@ -8,10 +8,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/result.h"
 #include "core/approx_conf.h"
 #include "core/confidence.h"
+#include "core/delta.h"
 #include "core/mapped_db.h"
+#include "core/materialized_conf.h"
 #include "core/serialize.h"
 #include "core/wsd.h"
 #include "ra/expr_compile.h"
@@ -40,6 +44,36 @@ struct DurabilityOptions {
   size_t auto_checkpoint_records = 256;
 };
 
+/// Every session knob behind one aggregate. SQL `SET <knob> = <value>`
+/// and `SHOW SETTINGS` address leaves by dotted name ("conf.num_threads",
+/// "durability.wal_enabled", ...); see the knob registry in session.cc.
+/// Settings are session-local and never reach the WAL.
+struct SessionOptions {
+  /// Probabilistic-aggregate lowering (PROB/POSSIBLE/CERTAIN/ECOUNT/
+  /// ESUM): enumeration budget, cluster factorization, thread count.
+  ConfidenceOptions conf;
+  /// Anytime approximate confidence behind APPROX CONF(ε, δ): sampling
+  /// seed and per-cluster budgets (the ε/δ pair comes from the query).
+  ApproxOptions approx;
+  /// Lifted query evaluation: compiled vectorized expression programs
+  /// vs the row-at-a-time interpreter, and batch parallelism.
+  ExecOptions exec;
+  /// Cost-based plan optimizer (per-rule switches and a master off
+  /// switch); applied to every SELECT and EXPLAIN.
+  OptimizerOptions optimizer;
+  /// WAL attachment and auto-checkpoint threshold.
+  DurabilityOptions durability;
+  /// Maintain the session's content-keyed confidence cache
+  /// (core/materialized_conf.h) across queries: re-issued CONF/APPROX
+  /// CONF/ECOUNT/ESUM recompute only clusters whose components a delta
+  /// dirtied and replay the cheap combine for the rest. Results are
+  /// bit-identical with and without.
+  bool materialize_conf = true;
+  /// Entry capacity of that cache (takes effect on the next query after
+  /// a change).
+  size_t materialize_conf_capacity = 8192;
+};
+
 /// What a statement produced.
 struct StatementResult {
   enum class Kind {
@@ -66,34 +100,48 @@ class Session {
   WsdDb& db() { return db_; }
   const WsdDb& db() const { return db_; }
 
-  /// Knobs of the probabilistic-aggregate lowering (PROB/POSSIBLE/
-  /// CERTAIN/ECOUNT/ESUM): enumeration budget, cluster factorization,
-  /// and the number of threads evaluating independent clusters.
-  const ConfidenceOptions& conf_options() const { return conf_options_; }
-  ConfidenceOptions& mutable_conf_options() { return conf_options_; }
+  /// All session knobs, one aggregate (see SessionOptions).
+  const SessionOptions& options() const { return options_; }
+  SessionOptions& mutable_options() { return options_; }
 
-  /// Knobs of the anytime approximate-confidence engine behind
-  /// APPROX CONF(ε, δ): sampling seed, per-cluster budgets, thread
-  /// count. The ε/δ pair itself comes from the query; seed and budgets
-  /// from here.
-  const ApproxOptions& approx_options() const { return approx_options_; }
-  ApproxOptions& mutable_approx_options() { return approx_options_; }
+  /// Assigns one knob by its dotted name ("conf.num_threads" = 4,
+  /// "optimizer.enable" = false, ...) — the engine of SQL SET. Unknown
+  /// names and type mismatches are InvalidArgument.
+  Status SetOption(const std::string& name, const Value& value);
+  /// Hash of every knob's current value: result caches keyed on
+  /// statement text must also key on this, since settings change what a
+  /// query returns (e.g. approx.seed).
+  uint64_t SettingsFingerprint() const;
 
-  /// Knobs of lifted query evaluation: compiled vectorized expression
-  /// programs vs the row-at-a-time interpreter, and batch parallelism.
-  const ExecOptions& exec_options() const { return exec_options_; }
-  ExecOptions& mutable_exec_options() { return exec_options_; }
-
-  /// Knobs of the cost-based plan optimizer (per-rule switches and a
-  /// master off switch); applied to every SELECT and EXPLAIN.
+  // Pre-aggregate accessors, kept as shims over options(); prefer
+  // options()/mutable_options() in new code.
+  const ConfidenceOptions& conf_options() const { return options_.conf; }
+  ConfidenceOptions& mutable_conf_options() { return options_.conf; }
+  const ApproxOptions& approx_options() const { return options_.approx; }
+  ApproxOptions& mutable_approx_options() { return options_.approx; }
+  const ExecOptions& exec_options() const { return options_.exec; }
+  ExecOptions& mutable_exec_options() { return options_.exec; }
   const OptimizerOptions& optimizer_options() const {
-    return optimizer_options_;
+    return options_.optimizer;
   }
-  OptimizerOptions& mutable_optimizer_options() { return optimizer_options_; }
+  OptimizerOptions& mutable_optimizer_options() { return options_.optimizer; }
+  const DurabilityOptions& durability_options() const {
+    return options_.durability;
+  }
+  DurabilityOptions& mutable_durability_options() {
+    return options_.durability;
+  }
 
-  /// Durability knobs (WAL attachment and auto-checkpoint threshold).
-  const DurabilityOptions& durability_options() const { return durability_; }
-  DurabilityOptions& mutable_durability_options() { return durability_; }
+  /// Applies one delta batch (core/delta.h) — the streaming ingest
+  /// entry point. With a durable attachment the serialized batch is
+  /// appended and fsynced as one wal::RecordType::kDelta record BEFORE
+  /// applying, mirroring the statement path's logging discipline.
+  Result<DeltaEffects> ApplyDelta(const DeltaBatch& batch);
+
+  /// The session's content-keyed confidence cache, created lazily;
+  /// nullptr while options().materialize_conf is false. Exposed for
+  /// stats (hits/misses) and tests.
+  MaterializedConf* conf_cache();
 
   /// File-I/O environment for snapshots, mapped loads and the WAL; null
   /// resets to Env::Default(). Set before SAVE/LOAD — existing
@@ -148,6 +196,8 @@ class Session {
   Result<StatementResult> RunSelect(const SelectStmt& stmt);
   Result<StatementResult> RunInsert(const InsertStmt& stmt);
   Result<StatementResult> RunEnforce(const EnforceStmt& stmt);
+  Result<StatementResult> RunSet(const SetStmt& stmt);
+  Result<StatementResult> RunDelete(const DeleteStmt& stmt);
   Result<StatementResult> RunShow(const ShowStmt& stmt);
   Result<StatementResult> RunSaveDb(const SaveDbStmt& stmt);
   Result<StatementResult> RunLoadDb(const LoadDbStmt& stmt);
@@ -175,11 +225,11 @@ class Session {
   /// snapshot's schema-only skeleton for catalog statements while
   /// SELECTs materialize per-query scratch databases from the map.
   std::optional<MappedWsdDb> mapped_;
-  ConfidenceOptions conf_options_;
-  ApproxOptions approx_options_;
-  ExecOptions exec_options_;
-  OptimizerOptions optimizer_options_;
-  DurabilityOptions durability_;
+  SessionOptions options_;
+  /// Lazily created by conf_cache(); recreated when
+  /// materialize_conf_capacity changes.
+  std::unique_ptr<MaterializedConf> conf_cache_;
+  size_t conf_cache_capacity_ = 0;
   Env* env_ = nullptr;
   std::optional<DurableAttachment> attach_;
   /// True while replaying a WAL: suppresses re-logging.

@@ -112,7 +112,10 @@ Result<WalContents> ReadWal(Env* env, const std::string& path) {
     std::string_view payload(bytes.data() + pos + kRecordFrame, len);
     if (RecordChecksum(lsn, type, len, payload) != crc) break;
     if (lsn != expect_lsn) break;  // out-of-sequence: stale bytes
-    if (type != static_cast<uint8_t>(RecordType::kStatement)) break;
+    if (type != static_cast<uint8_t>(RecordType::kStatement) &&
+        type != static_cast<uint8_t>(RecordType::kDelta)) {
+      break;  // unknown type: stale or future bytes, stop the prefix
+    }
     out.records.push_back(
         {lsn, static_cast<RecordType>(type), std::string(payload)});
     pos += kRecordFrame + len;

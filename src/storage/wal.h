@@ -35,6 +35,7 @@ inline std::string WalPathFor(const std::string& snapshot_path) {
 
 enum class RecordType : uint8_t {
   kStatement = 1,  ///< payload = the SQL text of one mutating statement
+  kDelta = 2,      ///< payload = a serialized DeltaBatch (core/delta.h)
 };
 
 struct WalRecord {

@@ -239,6 +239,51 @@ TEST(ServerTest, StatsCommandAndCounters) {
   EXPECT_EQ(server->counters().connections_accepted, 1u);
 }
 
+TEST(ServerTest, ResultCacheKeyedOnVersionSettingsAndText) {
+  SharedCatalog catalog;
+  auto server = MustStart(&catalog);
+  Client client = MustConnect(*server);
+  MustExecute(&client, "CREATE TABLE t (x INT)");
+  MustExecute(&client, "INSERT INTO t VALUES ({1: 0.5, 2: 0.5})");
+
+  // Same read re-issued: first populates, repeats hit.
+  const std::string q = "SELECT x, PROB() FROM t";
+  Response first = MustExecute(&client, q);
+  ASSERT_TRUE(first.ok);
+  EXPECT_TRUE(MustExecute(&client, q).ok);
+  EXPECT_TRUE(MustExecute(&client, q).ok);
+  EXPECT_GE(server->counters().result_cache_hits, 2u);
+  const uint64_t hits_before = server->counters().result_cache_hits;
+  const uint64_t misses_before = server->counters().result_cache_misses;
+
+  // SET is session-local and changes this connection's settings
+  // fingerprint — the same text must now miss, not serve the old entry.
+  MustExecute(&client, "SET conf.num_threads = 2");
+  EXPECT_TRUE(MustExecute(&client, q).ok);
+  EXPECT_EQ(server->counters().result_cache_hits, hits_before);
+  EXPECT_GT(server->counters().result_cache_misses, misses_before);
+
+  // A committed write bumps the published version: stale entries stop
+  // matching and the fresh answer reflects the write.
+  MustExecute(&client, "INSERT INTO t VALUES (7)");
+  Response after = MustExecute(&client, "CERTAIN SELECT x FROM t");
+  ASSERT_TRUE(after.ok);
+  bool saw_seven = false;
+  for (const std::string& l : after.lines) {
+    if (l.find('7') != std::string::npos) saw_seven = true;
+  }
+  EXPECT_TRUE(saw_seven);
+
+  // Both counters surface through .stats for monitoring.
+  Response stats = MustExecute(&client, ".stats");
+  bool saw_hits = false, saw_misses = false;
+  for (const std::string& l : stats.lines) {
+    if (l.rfind("result_cache_hits ", 0) == 0) saw_hits = true;
+    if (l.rfind("result_cache_misses ", 0) == 0) saw_misses = true;
+  }
+  EXPECT_TRUE(saw_hits && saw_misses);
+}
+
 TEST(ServerTest, AbruptDisconnectAndStop) {
   SharedCatalog catalog;
   auto server = MustStart(&catalog);

@@ -463,6 +463,83 @@ TEST(SessionTest, SaveLoadDatabaseErrors) {
   EXPECT_TRUE(session.db().HasRelation("keepme"));
 }
 
+TEST(SessionTest, SetAndShowSettingsRoundTrip) {
+  Session session;
+  // Every knob SET through SQL must read back through SHOW SETTINGS.
+  MAYBMS_ASSERT_OK(session.Execute("SET conf.num_threads = 3").status());
+  MAYBMS_ASSERT_OK(session.Execute("SET materialize_conf = false").status());
+  MAYBMS_ASSERT_OK(session.Execute("SET conf.eps = 0.25").status());
+  EXPECT_EQ(session.options().conf.num_threads, 3u);
+  EXPECT_FALSE(session.options().materialize_conf);
+  EXPECT_DOUBLE_EQ(session.options().conf.eps, 0.25);
+
+  auto settings = session.Execute("SHOW SETTINGS");
+  ASSERT_TRUE(settings.ok()) << settings.status().ToString();
+  bool saw_threads = false, saw_materialize = false;
+  for (size_t i = 0; i < settings->table.NumRows(); ++i) {
+    const auto& row = settings->table.row(i);
+    if (row[0].as_string() == "conf.num_threads") {
+      EXPECT_EQ(row[1].as_string(), "3");
+      saw_threads = true;
+    } else if (row[0].as_string() == "materialize_conf") {
+      EXPECT_EQ(row[1].as_string(), "false");
+      saw_materialize = true;
+    }
+  }
+  EXPECT_TRUE(saw_threads && saw_materialize);
+
+  // SET acknowledges with the normalized name and rendered value.
+  auto ack = session.Execute("SET approx.seed = 99");
+  ASSERT_TRUE(ack.ok());
+  EXPECT_NE(ack->message.find("approx.seed = 99"), std::string::npos);
+}
+
+TEST(SessionTest, SetErrorsAndFingerprint) {
+  Session session;
+  const uint64_t before = session.SettingsFingerprint();
+  // Unknown knob and type mismatches reject without changing anything.
+  EXPECT_EQ(session.Execute("SET no.such.knob = 1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.Execute("SET conf.num_threads = 'many'").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.Execute("SET conf.num_threads = -2").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.SettingsFingerprint(), before);
+  // A successful SET moves the fingerprint (the server result cache keys
+  // on it); restoring the value restores the fingerprint.
+  MAYBMS_ASSERT_OK(session.Execute("SET exec.num_threads = 5").status());
+  const uint64_t after = session.SettingsFingerprint();
+  EXPECT_NE(after, before);
+  MAYBMS_ASSERT_OK(
+      session
+          .Execute("SET exec.num_threads = " +
+                   std::to_string(SessionOptions{}.exec.num_threads))
+          .status());
+  EXPECT_EQ(session.SettingsFingerprint(), before);
+}
+
+TEST(SessionTest, DeleteOldestRetiresWindowPrefix) {
+  Session session;
+  MAYBMS_ASSERT_OK(session.Execute("CREATE TABLE w (x INT)").status());
+  MAYBMS_ASSERT_OK(
+      session.Execute("INSERT INTO w VALUES (1), (2), (3), (4)").status());
+  auto del = session.Execute("DELETE FROM w OLDEST 3");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_NE(del->message.find("evicted 3 tuple(s) from w"),
+            std::string::npos);
+  auto rest = session.Execute("CERTAIN SELECT x FROM w");
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->table.NumRows(), 1u);
+  EXPECT_EQ(rest->table.row(0)[0].as_int(), 4);
+  // Over-asking clamps to what exists; a missing table is an error.
+  auto drain = session.Execute("DELETE FROM w OLDEST 10");
+  ASSERT_TRUE(drain.ok());
+  EXPECT_NE(drain->message.find("evicted 1 tuple(s)"), std::string::npos);
+  EXPECT_FALSE(session.Execute("DELETE FROM nope OLDEST 1").ok());
+  EXPECT_EQ(session.Execute("DELETE FROM w OLDEST -1").status().code(),
+            StatusCode::kParseError);
+}
+
 }  // namespace
 }  // namespace sql
 }  // namespace maybms
